@@ -1,0 +1,481 @@
+//! Concurrency actions (§4.2, Table 1).
+//!
+//! An *action* reifies one unit of event processing: a lifecycle callback
+//! invocation, a GUI callback, a posted message/runnable, a thread body, or
+//! a system callback. Actions are the nodes of the Static Happens-Before
+//! Graph and the context elements of action-sensitive pointer analysis.
+//!
+//! Actions are minted on the fly during call-graph construction: when the
+//! analysis reaches an action-creating framework op (Table 1, column 2) it
+//! asks the [`ActionRegistry`] for the action identified by the creation
+//! site, the receiver's allocation site, and the resolved entry method.
+//! That identity is what makes actions *context-sensitive event processors*
+//! while keeping their number finite (recursive self-posting, like
+//! `postDelayed(this)`, folds onto the existing action).
+
+use crate::callbacks::GuiEventKind;
+use crate::lifecycle::LifecycleEvent;
+use apir::{AllocSiteId, CallSiteId, ClassId, MethodId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies an [`Action`] within one [`ActionRegistry`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(pub u32);
+
+impl ActionId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A{}", self.0)
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// What kind of event an action processes (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActionKind {
+    /// The synthetic harness root (the `main` of Figure 4).
+    HarnessRoot,
+    /// An Activity lifecycle callback; `instance` disambiguates the two
+    /// occurrences of `onStart`/`onResume` in the lifecycle CFG ("1"/"2").
+    Lifecycle {
+        /// The lifecycle event.
+        event: LifecycleEvent,
+        /// Occurrence number within the lifecycle CFG (1 or 2).
+        instance: u8,
+    },
+    /// A GUI listener callback.
+    Gui {
+        /// The GUI event kind.
+        event: GuiEventKind,
+        /// The view resource id, when known from the layout.
+        view: Option<i32>,
+    },
+    /// A background thread body (`Thread.start`).
+    ThreadRun,
+    /// `AsyncTask.onPreExecute` (main thread).
+    AsyncTaskPre,
+    /// `AsyncTask.doInBackground` (background thread).
+    AsyncTaskBg,
+    /// `AsyncTask.onPostExecute` (main thread).
+    AsyncTaskPost,
+    /// A runnable submitted to an `Executor` pool.
+    ExecutorRun,
+    /// A runnable posted to a looper (`Handler.post`, `View.post`,
+    /// `runOnUiThread`).
+    RunnablePost,
+    /// A message delivered to `Handler.handleMessage`; `what` is the
+    /// constant message code when on-demand constant propagation found one.
+    MessageHandle {
+        /// Constant `Message.what`, if known.
+        what: Option<i64>,
+    },
+    /// `BroadcastReceiver.onReceive`, enabled by `registerReceiver`.
+    Receive,
+    /// `ServiceConnection.onServiceConnected`, enabled by `bindService`.
+    ServiceConnected,
+    /// `ServiceConnection.onServiceDisconnected`.
+    ServiceDisconnected,
+    /// `Service.onStartCommand`, enabled by `startService`.
+    ServiceStart,
+    /// A `TimerTask` body scheduled on a `Timer`'s background thread.
+    TimerTask,
+    /// `LocationListener.onLocationChanged`, enabled by
+    /// `requestLocationUpdates`.
+    LocationUpdate,
+    /// `OnCompletionListener.onCompletion`, enabled by
+    /// `setOnCompletionListener`.
+    MediaCompletion,
+}
+
+impl ActionKind {
+    /// Whether the action's code runs on the main (UI) looper.
+    ///
+    /// `ThreadRun`/`AsyncTaskBg`/`ExecutorRun` run on background threads;
+    /// posted runnables/messages run on their handler's looper (decided by
+    /// the registry, not the kind). Everything else is main-looper.
+    pub fn default_thread(self) -> ThreadKind {
+        match self {
+            ActionKind::ThreadRun
+            | ActionKind::AsyncTaskBg
+            | ActionKind::ExecutorRun
+            | ActionKind::TimerTask => ThreadKind::Background(None),
+            _ => ThreadKind::Main,
+        }
+    }
+}
+
+/// The thread/looper an action executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadKind {
+    /// The main (UI) looper thread.
+    Main,
+    /// A background thread; when the payload is set, it identifies the
+    /// thread by its root action (a `ThreadRun`/`AsyncTaskBg` action).
+    Background(Option<ActionId>),
+}
+
+impl ThreadKind {
+    /// Whether two actions can interleave *as events on the same looper*.
+    ///
+    /// Same-looper actions are atomic with respect to each other (looper
+    /// atomicity, §4.3 rule 6) but their order is nondeterministic;
+    /// cross-thread actions interleave at instruction granularity.
+    pub fn same_looper(self, other: ThreadKind) -> bool {
+        match (self, other) {
+            (ThreadKind::Main, ThreadKind::Main) => true,
+            (ThreadKind::Background(Some(a)), ThreadKind::Background(Some(b))) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// One concurrency action.
+#[derive(Debug, Clone)]
+pub struct Action {
+    /// This action's id.
+    pub id: ActionId,
+    /// What kind of event it processes.
+    pub kind: ActionKind,
+    /// The unique posting/creating action, when exactly one is known.
+    /// `None` for roots or when several actions post here.
+    pub parent: Option<ActionId>,
+    /// Every action observed to post/create this one (excluding itself).
+    pub posters: Vec<ActionId>,
+    /// The thread/looper the action runs on.
+    pub thread: ThreadKind,
+    /// The callback body the action executes.
+    pub entry: MethodId,
+    /// Allocation site of the receiver object, when known.
+    pub recv_site: Option<AllocSiteId>,
+    /// The harness (activity class) this action belongs to.
+    pub harness: ClassId,
+    /// The call site that created/posted the action (harness invocation
+    /// site for lifecycle/GUI actions, `post`/`execute`/`start` site for
+    /// task actions).
+    pub origin_site: Option<CallSiteId>,
+}
+
+impl Action {
+    /// Whether the action runs on the main looper.
+    pub fn on_main(&self) -> bool {
+        self.thread == ThreadKind::Main
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ActionKey {
+    harness: ClassId,
+    kind: ActionKind,
+    origin_site: Option<CallSiteId>,
+    recv_site: Option<AllocSiteId>,
+    entry: MethodId,
+    /// The posting action — actions are *context-sensitive* event
+    /// processors (§4.2), so the same posted event from two different
+    /// actions is two actions. `None` when folded (cycles / deep chains).
+    parent: Option<ActionId>,
+}
+
+/// Parent chains longer than this fold onto a parentless identity, keeping
+/// pathological posting trees bounded.
+const MAX_CHAIN_DEPTH: usize = 8;
+
+/// Mints and stores actions, deduplicating by identity.
+///
+/// Identity is `(harness, kind, origin site, receiver allocation site,
+/// entry method, posting action)` — the "context-sensitive event
+/// processors" of §4.2. Recursive postings (an action re-posting its own
+/// event, like Figure 8's `postDelayed(runner)`, or mutual post cycles)
+/// fold onto the existing ancestor processing the same event, keeping the
+/// SHBG finite.
+#[derive(Debug, Default)]
+pub struct ActionRegistry {
+    actions: Vec<Action>,
+    dedup: HashMap<ActionKey, ActionId>,
+}
+
+impl ActionRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the action for the given identity, minting it if new.
+    ///
+    /// The boolean is `true` when the action was newly created.
+    #[allow(clippy::too_many_arguments)]
+    pub fn obtain(
+        &mut self,
+        harness: ClassId,
+        kind: ActionKind,
+        origin_site: Option<CallSiteId>,
+        recv_site: Option<AllocSiteId>,
+        entry: MethodId,
+        thread: ThreadKind,
+        poster: Option<ActionId>,
+    ) -> (ActionId, bool) {
+        // Cycle folding: if the poster (or one of its ancestors) already
+        // processes this very event, reuse it — a re-post, not a new node.
+        let mut depth = 0usize;
+        let mut cursor = poster;
+        while let Some(p) = cursor {
+            let a = &self.actions[p.index()];
+            if a.harness == harness
+                && a.kind == kind
+                && a.origin_site == origin_site
+                && a.recv_site == recv_site
+                && a.entry == entry
+            {
+                return (p, false);
+            }
+            depth += 1;
+            cursor = a.parent;
+        }
+        let parent = if depth >= MAX_CHAIN_DEPTH { None } else { poster };
+        let key = ActionKey { harness, kind, origin_site, recv_site, entry, parent };
+        if let Some(&id) = self.dedup.get(&key) {
+            if let Some(p) = poster {
+                let a = &mut self.actions[id.index()];
+                if p != id && !a.posters.contains(&p) {
+                    a.posters.push(p);
+                }
+            }
+            return (id, false);
+        }
+        let id = ActionId(u32::try_from(self.actions.len()).expect("action overflow"));
+        self.actions.push(Action {
+            id,
+            kind,
+            parent,
+            posters: poster.into_iter().collect(),
+            thread,
+            entry,
+            recv_site,
+            harness,
+            origin_site,
+        });
+        self.dedup.insert(key, id);
+        (id, true)
+    }
+
+    /// The action with the given id.
+    pub fn action(&self, id: ActionId) -> &Action {
+        &self.actions[id.index()]
+    }
+
+    /// All actions.
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Number of actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Iterates over action ids.
+    pub fn ids(&self) -> impl Iterator<Item = ActionId> + '_ {
+        (0..self.actions.len() as u32).map(ActionId)
+    }
+
+    /// Pins a background action's thread identity to itself (used for
+    /// `ThreadRun`/`AsyncTaskBg`/`ExecutorRun` actions after minting).
+    pub fn bind_own_thread(&mut self, id: ActionId) {
+        let a = &mut self.actions[id.index()];
+        if matches!(a.thread, ThreadKind::Background(None)) {
+            a.thread = ThreadKind::Background(Some(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(reg: &mut ActionRegistry, site: u32, poster: Option<ActionId>) -> (ActionId, bool) {
+        reg.obtain(
+            ClassId(0),
+            ActionKind::RunnablePost,
+            Some(CallSiteId(site)),
+            Some(AllocSiteId(0)),
+            MethodId(1),
+            ThreadKind::Main,
+            poster,
+        )
+    }
+
+    #[test]
+    fn obtain_deduplicates_by_identity() {
+        let mut reg = ActionRegistry::new();
+        let (a, new_a) = mk(&mut reg, 0, None);
+        let (b, new_b) = mk(&mut reg, 0, None);
+        let (c, new_c) = mk(&mut reg, 1, None);
+        assert!(new_a && !new_b && new_c);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn distinct_posters_mint_distinct_actions() {
+        // Actions are context-sensitive event processors: the same posted
+        // event from two different actions is two actions (§4.2).
+        let mut reg = ActionRegistry::new();
+        let (p1, _) = mk(&mut reg, 10, None);
+        let (p2, _) = mk(&mut reg, 11, None);
+        let (a, _) = mk(&mut reg, 0, Some(p1));
+        let (b, _) = mk(&mut reg, 0, Some(p2));
+        assert_ne!(a, b);
+        assert_eq!(reg.action(a).parent, Some(p1));
+        assert_eq!(reg.action(b).parent, Some(p2));
+    }
+
+    #[test]
+    fn self_posting_folds_onto_same_action() {
+        let mut reg = ActionRegistry::new();
+        let (a, _) = mk(&mut reg, 0, None);
+        // The action re-posts itself (postDelayed(this) in Figure 8).
+        let (b, is_new) = mk(&mut reg, 0, Some(a));
+        assert_eq!(a, b);
+        assert!(!is_new);
+        assert!(reg.action(a).posters.is_empty(), "self-post adds no poster");
+    }
+
+    #[test]
+    fn mutual_post_cycles_fold() {
+        // A posts B (site 1), B posts A' (site 0) — A' folds onto A.
+        let mut reg = ActionRegistry::new();
+        let (a, _) = mk(&mut reg, 0, None);
+        let (b, _) = mk(&mut reg, 1, Some(a));
+        let (a2, is_new) = mk(&mut reg, 0, Some(b));
+        assert_eq!(a, a2);
+        assert!(!is_new);
+        let (b2, is_new) = mk(&mut reg, 1, Some(a2));
+        assert_eq!(b, b2);
+        assert!(!is_new);
+        assert_eq!(reg.len(), 2, "the cycle stays two actions");
+    }
+
+    #[test]
+    fn deep_chains_fold_to_parentless_identity() {
+        let mut reg = ActionRegistry::new();
+        let (mut cur, _) = mk(&mut reg, 100, None);
+        // A chain of distinct sites longer than the depth cap.
+        for site in 0..20u32 {
+            let (next, _) = mk(&mut reg, site, Some(cur));
+            cur = next;
+        }
+        // Deep nodes folded: total stays bounded by the number of sites
+        // plus the cap, not the chain length.
+        assert!(reg.len() <= 22, "len = {}", reg.len());
+    }
+
+    #[test]
+    fn looper_identity() {
+        assert!(ThreadKind::Main.same_looper(ThreadKind::Main));
+        let t1 = ThreadKind::Background(Some(ActionId(1)));
+        let t2 = ThreadKind::Background(Some(ActionId(2)));
+        assert!(t1.same_looper(t1));
+        assert!(!t1.same_looper(t2));
+        assert!(!t1.same_looper(ThreadKind::Main));
+        assert!(!ThreadKind::Background(None).same_looper(ThreadKind::Background(None)));
+    }
+
+    #[test]
+    fn bind_own_thread_pins_background_actions() {
+        let mut reg = ActionRegistry::new();
+        let (a, _) = reg.obtain(
+            ClassId(0),
+            ActionKind::ThreadRun,
+            Some(CallSiteId(0)),
+            None,
+            MethodId(0),
+            ActionKind::ThreadRun.default_thread(),
+            None,
+        );
+        reg.bind_own_thread(a);
+        assert_eq!(reg.action(a).thread, ThreadKind::Background(Some(a)));
+        assert!(!reg.action(a).on_main());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Arbitrary posting sequences keep the registry finite, acyclic in
+        /// `parent` chains, and idempotent per identity.
+        #[test]
+        fn registry_stays_finite_and_acyclic(posts in proptest::collection::vec((0u32..6, 0usize..8), 1..64)) {
+            let mut reg = ActionRegistry::new();
+            let mut ids: Vec<ActionId> = Vec::new();
+            for (site, poster_idx) in posts {
+                let poster = if ids.is_empty() { None } else { Some(ids[poster_idx % ids.len()]) };
+                let (id, _) = reg.obtain(
+                    ClassId(0),
+                    ActionKind::RunnablePost,
+                    Some(CallSiteId(site)),
+                    None,
+                    MethodId(0),
+                    ThreadKind::Main,
+                    poster,
+                );
+                ids.push(id);
+            }
+            // Finiteness: bounded by sites × chain cap, far below the
+            // number of obtain calls in adversarial sequences.
+            prop_assert!(reg.len() <= 6 * (8 + 1));
+            // Parent chains terminate and never revisit an action.
+            for a in reg.actions() {
+                let mut seen = std::collections::HashSet::new();
+                let mut cur = a.parent;
+                while let Some(p) = cur {
+                    prop_assert!(seen.insert(p), "parent cycle at {p}");
+                    cur = reg.action(p).parent;
+                }
+            }
+            // Idempotence: re-obtaining any existing identity is a hit.
+            let existing: Vec<Action> = reg.actions().to_vec();
+            for a in existing {
+                let (id, is_new) = reg.obtain(
+                    a.harness,
+                    a.kind,
+                    a.origin_site,
+                    a.recv_site,
+                    a.entry,
+                    a.thread,
+                    a.parent,
+                );
+                prop_assert_eq!(id, a.id);
+                prop_assert!(!is_new);
+            }
+        }
+
+        /// `same_looper` is symmetric and reflexive-on-identified-loopers.
+        #[test]
+        fn same_looper_is_symmetric(a in 0u32..4, b in 0u32..4, main_a in any::<bool>(), main_b in any::<bool>()) {
+            let ta = if main_a { ThreadKind::Main } else { ThreadKind::Background(Some(ActionId(a))) };
+            let tb = if main_b { ThreadKind::Main } else { ThreadKind::Background(Some(ActionId(b))) };
+            prop_assert_eq!(ta.same_looper(tb), tb.same_looper(ta));
+            prop_assert!(ta.same_looper(ta));
+        }
+    }
+}

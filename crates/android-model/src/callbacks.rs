@@ -1,0 +1,242 @@
+//! The callback registry: which methods the framework calls into.
+//!
+//! This is the role FlowDroid's predefined callback list plays in the
+//! paper's harness generator (§3.2): given a method, decide whether the
+//! framework can invoke it, and as what kind of event.
+
+use crate::framework::FrameworkClasses;
+use crate::lifecycle::LifecycleEvent;
+use apir::{MethodId, Program};
+
+/// A GUI event family (one per `setOn*Listener` API / XML attribute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum GuiEventKind {
+    /// `OnClickListener.onClick`.
+    Click,
+    /// `OnLongClickListener.onLongClick`.
+    LongClick,
+    /// `OnScrollListener.onScroll`.
+    Scroll,
+    /// `OnItemClickListener.onItemClick`.
+    ItemClick,
+    /// `TextWatcher.afterTextChanged`.
+    TextChanged,
+}
+
+impl GuiEventKind {
+    /// All GUI event kinds.
+    pub const ALL: [GuiEventKind; 5] = [
+        GuiEventKind::Click,
+        GuiEventKind::LongClick,
+        GuiEventKind::Scroll,
+        GuiEventKind::ItemClick,
+        GuiEventKind::TextChanged,
+    ];
+
+    /// The callback method name for this event.
+    pub fn callback_name(self) -> &'static str {
+        match self {
+            GuiEventKind::Click => "onClick",
+            GuiEventKind::LongClick => "onLongClick",
+            GuiEventKind::Scroll => "onScroll",
+            GuiEventKind::ItemClick => "onItemClick",
+            GuiEventKind::TextChanged => "afterTextChanged",
+        }
+    }
+
+    /// The declared (interface) callback for this event.
+    pub fn interface_method(self, fw: &FrameworkClasses) -> MethodId {
+        match self {
+            GuiEventKind::Click => fw.on_click,
+            GuiEventKind::LongClick => fw.on_long_click,
+            GuiEventKind::Scroll => fw.on_scroll,
+            GuiEventKind::ItemClick => fw.on_item_click,
+            GuiEventKind::TextChanged => fw.after_text_changed,
+        }
+    }
+}
+
+/// A system event family (components other than activities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemEventKind {
+    /// `BroadcastReceiver.onReceive`.
+    Receive,
+    /// `ServiceConnection.onServiceConnected`.
+    ServiceConnected,
+    /// `ServiceConnection.onServiceDisconnected`.
+    ServiceDisconnected,
+    /// `Service.onStartCommand`.
+    ServiceStartCommand,
+    /// `LocationListener.onLocationChanged`.
+    LocationChanged,
+    /// `MediaPlayer$OnCompletionListener.onCompletion`.
+    MediaCompletion,
+}
+
+/// A task event family (threads, messages, async tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskEventKind {
+    /// `Runnable.run` / `Thread.run`.
+    Run,
+    /// `AsyncTask.onPreExecute`.
+    PreExecute,
+    /// `AsyncTask.doInBackground`.
+    DoInBackground,
+    /// `AsyncTask.onPostExecute`.
+    PostExecute,
+    /// `Handler.handleMessage`.
+    HandleMessage,
+}
+
+/// The classification of a framework-invoked callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallbackKind {
+    /// An Activity lifecycle callback.
+    Lifecycle(LifecycleEvent),
+    /// A GUI listener callback.
+    Gui(GuiEventKind),
+    /// A system/component callback.
+    System(SystemEventKind),
+    /// A task body callback.
+    Task(TaskEventKind),
+}
+
+/// Classifies `method` as a framework-invocable callback, if it is one.
+///
+/// A method is a callback when its *name* matches a registry entry and its
+/// declaring class is a subtype of the entry's base class — the same
+/// (name, hierarchy) matching FlowDroid's list uses.
+pub fn classify_callback(
+    program: &Program,
+    fw: &FrameworkClasses,
+    method: MethodId,
+) -> Option<CallbackKind> {
+    let m = program.method(method);
+    let name = program.name(m.name);
+    let class = m.class;
+    let sub = |base| program.is_subtype(class, base);
+    let kind = match name {
+        "onCreate" if sub(fw.activity) => CallbackKind::Lifecycle(LifecycleEvent::Create),
+        "onStart" if sub(fw.activity) => CallbackKind::Lifecycle(LifecycleEvent::Start),
+        "onRestart" if sub(fw.activity) => CallbackKind::Lifecycle(LifecycleEvent::Restart),
+        "onResume" if sub(fw.activity) => CallbackKind::Lifecycle(LifecycleEvent::Resume),
+        "onPause" if sub(fw.activity) => CallbackKind::Lifecycle(LifecycleEvent::Pause),
+        "onStop" if sub(fw.activity) => CallbackKind::Lifecycle(LifecycleEvent::Stop),
+        "onDestroy" if sub(fw.activity) => CallbackKind::Lifecycle(LifecycleEvent::Destroy),
+        "onClick" if sub(fw.on_click_listener) => CallbackKind::Gui(GuiEventKind::Click),
+        "onLongClick" if sub(fw.on_long_click_listener) => {
+            CallbackKind::Gui(GuiEventKind::LongClick)
+        }
+        "onScroll" if sub(fw.on_scroll_listener) => CallbackKind::Gui(GuiEventKind::Scroll),
+        "onItemClick" if sub(fw.on_item_click_listener) => {
+            CallbackKind::Gui(GuiEventKind::ItemClick)
+        }
+        "onReceive" if sub(fw.broadcast_receiver) => {
+            CallbackKind::System(SystemEventKind::Receive)
+        }
+        "onServiceConnected" if sub(fw.service_connection) => {
+            CallbackKind::System(SystemEventKind::ServiceConnected)
+        }
+        "onServiceDisconnected" if sub(fw.service_connection) => {
+            CallbackKind::System(SystemEventKind::ServiceDisconnected)
+        }
+        "onStartCommand" if sub(fw.service) => {
+            CallbackKind::System(SystemEventKind::ServiceStartCommand)
+        }
+        "onLocationChanged" if sub(fw.location_listener) => {
+            CallbackKind::System(SystemEventKind::LocationChanged)
+        }
+        "onCompletion" if sub(fw.on_completion_listener) => {
+            CallbackKind::System(SystemEventKind::MediaCompletion)
+        }
+        "afterTextChanged" if sub(fw.text_watcher) => {
+            CallbackKind::Gui(GuiEventKind::TextChanged)
+        }
+        "run" if sub(fw.runnable) || sub(fw.thread) || sub(fw.timer_task) => {
+            CallbackKind::Task(TaskEventKind::Run)
+        }
+        "onPreExecute" if sub(fw.async_task) => CallbackKind::Task(TaskEventKind::PreExecute),
+        "doInBackground" if sub(fw.async_task) => {
+            CallbackKind::Task(TaskEventKind::DoInBackground)
+        }
+        "onPostExecute" if sub(fw.async_task) => CallbackKind::Task(TaskEventKind::PostExecute),
+        "handleMessage" if sub(fw.handler) => CallbackKind::Task(TaskEventKind::HandleMessage),
+        _ => return None,
+    };
+    Some(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir::{Origin, ProgramBuilder};
+
+    fn app_with_overrides() -> (Program, FrameworkClasses, Vec<MethodId>) {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let mut cb = pb.class("Main", Origin::App);
+        cb.set_super(fw.activity);
+        cb.add_interface(fw.on_click_listener);
+        let main = cb.build();
+        let mut methods = Vec::new();
+        for name in ["onCreate", "onClick", "helper"] {
+            let mut mb = pb.method(main, name);
+            mb.set_param_count(1);
+            mb.ret(None);
+            methods.push(mb.finish());
+        }
+        let mut cb = pb.class("Task", Origin::App);
+        cb.set_super(fw.async_task);
+        let task = cb.build();
+        let mut mb = pb.method(task, "doInBackground");
+        mb.set_param_count(1);
+        mb.ret(None);
+        methods.push(mb.finish());
+        (pb.finish(), fw, methods)
+    }
+
+    #[test]
+    fn classifies_overridden_callbacks() {
+        let (p, fw, ms) = app_with_overrides();
+        assert_eq!(
+            classify_callback(&p, &fw, ms[0]),
+            Some(CallbackKind::Lifecycle(LifecycleEvent::Create))
+        );
+        assert_eq!(classify_callback(&p, &fw, ms[1]), Some(CallbackKind::Gui(GuiEventKind::Click)));
+        assert_eq!(classify_callback(&p, &fw, ms[2]), None, "helper is not a callback");
+        assert_eq!(
+            classify_callback(&p, &fw, ms[3]),
+            Some(CallbackKind::Task(TaskEventKind::DoInBackground))
+        );
+    }
+
+    #[test]
+    fn name_alone_is_not_enough() {
+        // `onCreate` on a non-Activity class is not a lifecycle callback.
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let c = pb.class("Plain", Origin::App).build();
+        let mut mb = pb.method(c, "onCreate");
+        mb.set_param_count(1);
+        mb.ret(None);
+        let m = mb.finish();
+        let p = pb.finish();
+        assert_eq!(classify_callback(&p, &fw, m), None);
+    }
+
+    #[test]
+    fn gui_event_kinds_have_names_and_interfaces() {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let _ = pb.finish();
+        for k in GuiEventKind::ALL {
+            assert!(
+                k.callback_name().starts_with("on")
+                    || k.callback_name().starts_with("after"),
+                "{k:?}"
+            );
+            let _ = k.interface_method(&fw);
+        }
+        assert_eq!(GuiEventKind::Click.callback_name(), "onClick");
+    }
+}

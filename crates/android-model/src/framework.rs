@@ -1,0 +1,734 @@
+//! The framework class library.
+//!
+//! [`FrameworkClasses::install`] populates a [`ProgramBuilder`] with the
+//! slice of the Android Framework and `java.*` runtime that the paper's
+//! benchmarks exercise, and returns the ids of every installed entity so
+//! app builders and analyses can refer to them directly.
+//!
+//! Two kinds of framework methods exist:
+//!
+//! - **opaque** methods (declared with [`ProgramBuilder::abstract_method`]):
+//!   concurrency and registration APIs whose behaviour the analyses model
+//!   semantically (see [`crate::ops::FrameworkOp`]);
+//! - **transparent** methods with real IR bodies (e.g. `Thread.<init>`
+//!   stores its `Runnable` into the `target` field) so that ordinary data
+//!   flow through the framework is visible to the pointer analysis.
+
+use apir::{ClassId, ConstValue, FieldId, MethodId, Operand, Origin, ProgramBuilder, Type};
+
+/// Ids of every class, field, and method installed by the framework model.
+#[derive(Debug, Clone)]
+pub struct FrameworkClasses {
+    // --- java.lang ---
+    /// `java.lang.Object`, the root class.
+    pub object: ClassId,
+    /// `java.lang.Runnable` interface.
+    pub runnable: ClassId,
+    /// `Runnable.run`.
+    pub runnable_run: MethodId,
+    /// `java.lang.Thread`.
+    pub thread: ClassId,
+    /// `Thread.target` field (the wrapped `Runnable`).
+    pub thread_target: FieldId,
+    /// `Thread.<init>(Runnable)` — transparent.
+    pub thread_init: MethodId,
+    /// `Thread.start()` — opaque concurrency op.
+    pub thread_start: MethodId,
+    /// `Thread.run()` — transparent: dispatches to `target.run()`.
+    pub thread_run: MethodId,
+
+    // --- java.util ---
+    /// `java.util.ArrayList` (index-insensitive container model).
+    pub array_list: ClassId,
+    /// `ArrayList.contents` — the single summarized element field.
+    pub array_list_contents: FieldId,
+    /// `ArrayList.add(Object)` — transparent.
+    pub array_list_add: MethodId,
+    /// `ArrayList.get()` — transparent.
+    pub array_list_get: MethodId,
+    /// `ArrayList.clear()` — transparent (nulls the summary field).
+    pub array_list_clear: MethodId,
+    /// `ArrayList.setAt(int, Object)` — opaque; the analysis models it
+    /// index-sensitively when the index is constant (§6.5 future work,
+    /// after Dillig et al.).
+    pub array_list_set_at: MethodId,
+    /// `ArrayList.getAt(int)` — opaque; index-sensitive counterpart.
+    pub array_list_get_at: MethodId,
+    /// Synthetic per-index slot fields `idx0..idx7` used by the
+    /// index-sensitive container model; constant indices ≥ 8 fall back to
+    /// the summarized `contents` field.
+    pub index_slots: [FieldId; 8],
+
+    /// `java.util.concurrent.Executor` interface.
+    pub executor: ClassId,
+    /// `Executor.execute(Runnable)` — opaque concurrency op.
+    pub executor_execute: MethodId,
+    /// `java.util.concurrent.ThreadPoolExecutor` concrete executor.
+    pub thread_pool_executor: ClassId,
+
+    // --- android.os ---
+    /// `android.os.Looper`.
+    pub looper: ClassId,
+    /// `Looper.getMainLooper()` — opaque.
+    pub get_main_looper: MethodId,
+    /// `Looper.myLooper()` — opaque.
+    pub my_looper: MethodId,
+    /// `android.os.Message`.
+    pub message: ClassId,
+    /// `Message.what` field.
+    pub message_what: FieldId,
+    /// `Message.arg1` field.
+    pub message_arg1: FieldId,
+    /// `Message.obj` field.
+    pub message_obj: FieldId,
+    /// `Message.obtain()` — transparent (allocates).
+    pub message_obtain: MethodId,
+    /// `android.os.Handler`.
+    pub handler: ClassId,
+    /// `Handler.<init>()` — opaque (binds to the creating thread's looper).
+    pub handler_init: MethodId,
+    /// `Handler.post(Runnable)` — opaque concurrency op.
+    pub handler_post: MethodId,
+    /// `Handler.postDelayed(Runnable, int)` — opaque concurrency op.
+    pub handler_post_delayed: MethodId,
+    /// `Handler.sendMessage(Message)` — opaque concurrency op.
+    pub handler_send_message: MethodId,
+    /// `Handler.sendEmptyMessage(int)` — opaque concurrency op.
+    pub handler_send_empty_message: MethodId,
+    /// `Handler.handleMessage(Message)` — overridable callback.
+    pub handler_handle_message: MethodId,
+    /// `android.os.AsyncTask`.
+    pub async_task: ClassId,
+    /// `AsyncTask.execute()` — opaque concurrency op.
+    pub async_task_execute: MethodId,
+    /// `AsyncTask.onPreExecute()` — overridable callback (main thread).
+    pub async_task_on_pre_execute: MethodId,
+    /// `AsyncTask.doInBackground()` — overridable callback (bg thread).
+    pub async_task_do_in_background: MethodId,
+    /// `AsyncTask.onPostExecute()` — overridable callback (main thread).
+    pub async_task_on_post_execute: MethodId,
+    /// `android.os.Bundle`.
+    pub bundle: ClassId,
+
+    // --- android.content ---
+    /// `android.content.Context`.
+    pub context: ClassId,
+    /// `Context.registerReceiver(BroadcastReceiver)` — opaque op.
+    pub register_receiver: MethodId,
+    /// `Context.unregisterReceiver(BroadcastReceiver)` — opaque op.
+    pub unregister_receiver: MethodId,
+    /// `Context.startService(Intent)` — opaque op.
+    pub start_service: MethodId,
+    /// `Context.bindService(Intent, ServiceConnection)` — opaque op.
+    pub bind_service: MethodId,
+    /// `android.content.BroadcastReceiver`.
+    pub broadcast_receiver: ClassId,
+    /// `BroadcastReceiver.onReceive(Intent)` — overridable callback.
+    pub on_receive: MethodId,
+    /// `android.content.Intent`.
+    pub intent: ClassId,
+    /// `Intent.extras` field.
+    pub intent_extras: FieldId,
+    /// `Intent.getExtras()` — transparent.
+    pub intent_get_extras: MethodId,
+    /// `android.content.ServiceConnection` interface.
+    pub service_connection: ClassId,
+    /// `ServiceConnection.onServiceConnected()` callback.
+    pub on_service_connected: MethodId,
+    /// `ServiceConnection.onServiceDisconnected()` callback.
+    pub on_service_disconnected: MethodId,
+
+    // --- android.app ---
+    /// `android.app.Activity`.
+    pub activity: ClassId,
+    /// Lifecycle callbacks: `onCreate` … `onDestroy` (overridable).
+    pub activity_on_create: MethodId,
+    /// `Activity.onStart()`.
+    pub activity_on_start: MethodId,
+    /// `Activity.onRestart()`.
+    pub activity_on_restart: MethodId,
+    /// `Activity.onResume()`.
+    pub activity_on_resume: MethodId,
+    /// `Activity.onPause()`.
+    pub activity_on_pause: MethodId,
+    /// `Activity.onStop()`.
+    pub activity_on_stop: MethodId,
+    /// `Activity.onDestroy()`.
+    pub activity_on_destroy: MethodId,
+    /// `Activity.findViewById(int)` — opaque op (inflated-view context).
+    pub find_view_by_id: MethodId,
+    /// `Activity.runOnUiThread(Runnable)` — opaque op (post to main).
+    pub run_on_ui_thread: MethodId,
+    /// `android.app.Service`.
+    pub service: ClassId,
+    /// `Service.onCreate()`.
+    pub service_on_create: MethodId,
+    /// `Service.onStartCommand(Intent)`.
+    pub service_on_start_command: MethodId,
+    /// `Service.onDestroy()`.
+    pub service_on_destroy: MethodId,
+
+    // --- android.view / android.widget ---
+    /// `android.view.View`.
+    pub view: ClassId,
+    /// `View.setOnClickListener(OnClickListener)` — opaque registration.
+    pub set_on_click_listener: MethodId,
+    /// `View.setOnLongClickListener(OnLongClickListener)` — opaque.
+    pub set_on_long_click_listener: MethodId,
+    /// `View.setOnScrollListener(OnScrollListener)` — opaque.
+    pub set_on_scroll_listener: MethodId,
+    /// `View.setOnItemClickListener(OnItemClickListener)` — opaque.
+    pub set_on_item_click_listener: MethodId,
+    /// `View.post(Runnable)` — opaque op (post to main looper).
+    pub view_post: MethodId,
+    /// `View.postDelayed(Runnable, int)` — opaque op.
+    pub view_post_delayed: MethodId,
+    /// `android.view.View$OnClickListener` interface + `onClick(View)`.
+    pub on_click_listener: ClassId,
+    /// `OnClickListener.onClick(View)`.
+    pub on_click: MethodId,
+    /// `android.view.View$OnLongClickListener` interface.
+    pub on_long_click_listener: ClassId,
+    /// `OnLongClickListener.onLongClick(View)`.
+    pub on_long_click: MethodId,
+    /// `android.widget.OnScrollListener` interface.
+    pub on_scroll_listener: ClassId,
+    /// `OnScrollListener.onScroll(View)`.
+    pub on_scroll: MethodId,
+    /// `android.widget.OnItemClickListener` interface.
+    pub on_item_click_listener: ClassId,
+    /// `OnItemClickListener.onItemClick(View, int)`.
+    pub on_item_click: MethodId,
+    /// `android.widget.TextView`.
+    pub text_view: ClassId,
+    /// `TextView.text` field.
+    pub text_view_text: FieldId,
+    /// `TextView.setText(String)` — transparent.
+    pub set_text: MethodId,
+    /// `android.widget.ListView`.
+    pub list_view: ClassId,
+    /// `android.widget.RecyclerView`.
+    pub recycler_view: ClassId,
+    /// `RecyclerView.adapter` field.
+    pub recycler_adapter: FieldId,
+    /// `RecyclerView.setAdapter(Adapter)` — transparent.
+    pub set_adapter: MethodId,
+    /// `android.widget.Adapter` base class.
+    pub adapter: ClassId,
+    /// `Adapter.notifyDataSetChanged()` — overridable; default body touches
+    /// the adapter's version counter so races on it are observable.
+    pub notify_data_set_changed: MethodId,
+    /// `Adapter.version` field (bumped by `notifyDataSetChanged`).
+    pub adapter_version: FieldId,
+
+    // --- java.util.Timer ---
+    /// `java.util.Timer`.
+    pub timer: ClassId,
+    /// `Timer.schedule(TimerTask, delay)` — opaque concurrency op: the
+    /// task runs on the timer's background thread.
+    pub timer_schedule: MethodId,
+    /// `java.util.TimerTask`.
+    pub timer_task: ClassId,
+    /// `TimerTask.run()` — overridable task body.
+    pub timer_task_run: MethodId,
+
+    // --- android.location ---
+    /// `android.location.LocationManager`.
+    pub location_manager: ClassId,
+    /// `LocationManager.requestLocationUpdates(listener)` — opaque op:
+    /// enables `onLocationChanged` actions on the main looper.
+    pub request_location_updates: MethodId,
+    /// `LocationManager.removeUpdates(listener)` — opaque op.
+    pub remove_updates: MethodId,
+    /// `android.location.LocationListener` interface.
+    pub location_listener: ClassId,
+    /// `LocationListener.onLocationChanged(Location)`.
+    pub on_location_changed: MethodId,
+
+    // --- android.text ---
+    /// `android.text.TextWatcher` interface.
+    pub text_watcher: ClassId,
+    /// `TextWatcher.afterTextChanged(Editable)`.
+    pub after_text_changed: MethodId,
+    /// `TextView.addTextChangedListener(TextWatcher)` — GUI registration.
+    pub add_text_changed_listener: MethodId,
+
+    // --- android.media ---
+    /// `android.media.MediaPlayer`.
+    pub media_player: ClassId,
+    /// `MediaPlayer.setOnCompletionListener(listener)` — opaque op:
+    /// enables `onCompletion` actions on the main looper.
+    pub set_on_completion_listener: MethodId,
+    /// `android.media.MediaPlayer$OnCompletionListener` interface.
+    pub on_completion_listener: ClassId,
+    /// `OnCompletionListener.onCompletion(MediaPlayer)`.
+    pub on_completion: MethodId,
+}
+
+impl FrameworkClasses {
+    /// Installs the framework model into `pb`.
+    pub fn install(pb: &mut ProgramBuilder) -> Self {
+        let fw = Origin::Framework;
+
+        // java.lang.Object
+        let object = pb.class("java.lang.Object", fw).build();
+
+        // java.lang.Runnable
+        let mut cb = pb.class("java.lang.Runnable", fw);
+        cb.set_interface();
+        let runnable = cb.build();
+        let runnable_run = pb.abstract_method(runnable, "run", 1);
+
+        // java.lang.Thread
+        let mut cb = pb.class("java.lang.Thread", fw);
+        cb.set_super(object);
+        let thread_target = cb.field("target", Type::Ref(runnable));
+        let thread = cb.build();
+        // Thread.<init>(Runnable): this.target = r
+        let mut mb = pb.method(thread, "<init>");
+        mb.set_param_count(2);
+        let this = mb.param(0);
+        let r = mb.param(1);
+        mb.store(this, thread_target, Operand::Local(r));
+        mb.ret(None);
+        let thread_init = mb.finish();
+        let thread_start = pb.abstract_method(thread, "start", 1);
+        // Thread.run(): this.target.run() — the default body a subclass
+        // overrides; lets `new Thread(runnable)` dispatch to the runnable.
+        let mut mb = pb.method(thread, "run");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let tgt = mb.fresh_local();
+        mb.load(tgt, this, thread_target);
+        mb.vcall(runnable_run, tgt, vec![]);
+        mb.ret(None);
+        let thread_run = mb.finish();
+
+        // java.util.ArrayList — index-insensitive container (§6.5).
+        let mut cb = pb.class("java.util.ArrayList", fw);
+        cb.set_super(object);
+        let array_list_contents = cb.field("contents", Type::Ref(object));
+        let index_slots: [FieldId; 8] =
+            std::array::from_fn(|i| cb.field(&format!("idx{i}"), Type::Ref(object)));
+        let array_list = cb.build();
+        let mut mb = pb.method(array_list, "add");
+        mb.set_param_count(2);
+        let (this, e) = (mb.param(0), mb.param(1));
+        mb.store(this, array_list_contents, Operand::Local(e));
+        mb.ret(None);
+        let array_list_add = mb.finish();
+        let mut mb = pb.method(array_list, "get");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let v = mb.fresh_local();
+        mb.load(v, this, array_list_contents);
+        mb.set_ret(Type::Ref(object));
+        mb.ret(Some(Operand::Local(v)));
+        let array_list_get = mb.finish();
+        let mut mb = pb.method(array_list, "clear");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        mb.store(this, array_list_contents, Operand::Const(ConstValue::Null));
+        mb.ret(None);
+        let array_list_clear = mb.finish();
+        let array_list_set_at = pb.abstract_method(array_list, "setAt", 3);
+        let array_list_get_at = pb.abstract_method(array_list, "getAt", 2);
+
+        // java.util.concurrent.Executor
+        let mut cb = pb.class("java.util.concurrent.Executor", fw);
+        cb.set_interface();
+        let executor = cb.build();
+        let executor_execute = pb.abstract_method(executor, "execute", 2);
+        let mut cb = pb.class("java.util.concurrent.ThreadPoolExecutor", fw);
+        cb.set_super(object);
+        cb.add_interface(executor);
+        let thread_pool_executor = cb.build();
+
+        // android.os.Looper
+        let mut cb = pb.class("android.os.Looper", fw);
+        cb.set_super(object);
+        let looper = cb.build();
+        let get_main_looper = pb.abstract_method(looper, "getMainLooper", 0);
+        let my_looper = pb.abstract_method(looper, "myLooper", 0);
+
+        // android.os.Message
+        let mut cb = pb.class("android.os.Message", fw);
+        cb.set_super(object);
+        let message_what = cb.field("what", Type::Int);
+        let message_arg1 = cb.field("arg1", Type::Int);
+        let message_obj = cb.field("obj", Type::Ref(object));
+        let message = cb.build();
+        // Message.obtain(): return new Message
+        let mut mb = pb.method(message, "obtain");
+        mb.set_static();
+        mb.set_param_count(0);
+        mb.set_ret(Type::Ref(message));
+        let m = mb.fresh_local();
+        mb.new_(m, message);
+        mb.ret(Some(Operand::Local(m)));
+        let message_obtain = mb.finish();
+
+        // android.os.Handler
+        let mut cb = pb.class("android.os.Handler", fw);
+        cb.set_super(object);
+        let handler = cb.build();
+        let handler_init = pb.abstract_method(handler, "<init>", 2);
+        let handler_post = pb.abstract_method(handler, "post", 2);
+        let handler_post_delayed = pb.abstract_method(handler, "postDelayed", 3);
+        let handler_send_message = pb.abstract_method(handler, "sendMessage", 2);
+        let handler_send_empty_message = pb.abstract_method(handler, "sendEmptyMessage", 2);
+        let handler_handle_message = pb.abstract_method(handler, "handleMessage", 2);
+
+        // android.os.AsyncTask
+        let mut cb = pb.class("android.os.AsyncTask", fw);
+        cb.set_super(object);
+        let async_task = cb.build();
+        let async_task_execute = pb.abstract_method(async_task, "execute", 1);
+        let async_task_on_pre_execute = pb.abstract_method(async_task, "onPreExecute", 1);
+        let async_task_do_in_background = pb.abstract_method(async_task, "doInBackground", 1);
+        let async_task_on_post_execute = pb.abstract_method(async_task, "onPostExecute", 1);
+
+        // android.os.Bundle
+        let mut cb = pb.class("android.os.Bundle", fw);
+        cb.set_super(object);
+        let bundle = cb.build();
+
+        // android.content.Context
+        let mut cb = pb.class("android.content.Context", fw);
+        cb.set_super(object);
+        let context = cb.build();
+        let register_receiver = pb.abstract_method(context, "registerReceiver", 2);
+        let unregister_receiver = pb.abstract_method(context, "unregisterReceiver", 2);
+        let start_service = pb.abstract_method(context, "startService", 2);
+        let bind_service = pb.abstract_method(context, "bindService", 3);
+
+        // android.content.BroadcastReceiver
+        let mut cb = pb.class("android.content.BroadcastReceiver", fw);
+        cb.set_super(object);
+        let broadcast_receiver = cb.build();
+        let on_receive = pb.abstract_method(broadcast_receiver, "onReceive", 2);
+
+        // android.content.Intent
+        let mut cb = pb.class("android.content.Intent", fw);
+        cb.set_super(object);
+        let intent_extras = cb.field("extras", Type::Ref(bundle));
+        let intent = cb.build();
+        let mut mb = pb.method(intent, "getExtras");
+        mb.set_param_count(1);
+        mb.set_ret(Type::Ref(bundle));
+        let this = mb.param(0);
+        let b = mb.fresh_local();
+        mb.load(b, this, intent_extras);
+        mb.ret(Some(Operand::Local(b)));
+        let intent_get_extras = mb.finish();
+
+        // android.content.ServiceConnection
+        let mut cb = pb.class("android.content.ServiceConnection", fw);
+        cb.set_interface();
+        let service_connection = cb.build();
+        let on_service_connected = pb.abstract_method(service_connection, "onServiceConnected", 1);
+        let on_service_disconnected =
+            pb.abstract_method(service_connection, "onServiceDisconnected", 1);
+
+        // android.app.Activity
+        let mut cb = pb.class("android.app.Activity", fw);
+        cb.set_super(context);
+        let activity = cb.build();
+        let activity_on_create = pb.abstract_method(activity, "onCreate", 1);
+        let activity_on_start = pb.abstract_method(activity, "onStart", 1);
+        let activity_on_restart = pb.abstract_method(activity, "onRestart", 1);
+        let activity_on_resume = pb.abstract_method(activity, "onResume", 1);
+        let activity_on_pause = pb.abstract_method(activity, "onPause", 1);
+        let activity_on_stop = pb.abstract_method(activity, "onStop", 1);
+        let activity_on_destroy = pb.abstract_method(activity, "onDestroy", 1);
+        let find_view_by_id = pb.abstract_method(activity, "findViewById", 2);
+        let run_on_ui_thread = pb.abstract_method(activity, "runOnUiThread", 2);
+
+        // android.app.Service
+        let mut cb = pb.class("android.app.Service", fw);
+        cb.set_super(context);
+        let service = cb.build();
+        let service_on_create = pb.abstract_method(service, "onCreate", 1);
+        let service_on_start_command = pb.abstract_method(service, "onStartCommand", 2);
+        let service_on_destroy = pb.abstract_method(service, "onDestroy", 1);
+
+        // android.view.View and listener interfaces
+        let mut cb = pb.class("android.view.View", fw);
+        cb.set_super(object);
+        let view = cb.build();
+        let set_on_click_listener = pb.abstract_method(view, "setOnClickListener", 2);
+        let set_on_long_click_listener = pb.abstract_method(view, "setOnLongClickListener", 2);
+        let set_on_scroll_listener = pb.abstract_method(view, "setOnScrollListener", 2);
+        let set_on_item_click_listener = pb.abstract_method(view, "setOnItemClickListener", 2);
+        let view_post = pb.abstract_method(view, "post", 2);
+        let view_post_delayed = pb.abstract_method(view, "postDelayed", 3);
+
+        let mut cb = pb.class("android.view.View$OnClickListener", fw);
+        cb.set_interface();
+        let on_click_listener = cb.build();
+        let on_click = pb.abstract_method(on_click_listener, "onClick", 2);
+        let mut cb = pb.class("android.view.View$OnLongClickListener", fw);
+        cb.set_interface();
+        let on_long_click_listener = cb.build();
+        let on_long_click = pb.abstract_method(on_long_click_listener, "onLongClick", 2);
+        let mut cb = pb.class("android.widget.OnScrollListener", fw);
+        cb.set_interface();
+        let on_scroll_listener = cb.build();
+        let on_scroll = pb.abstract_method(on_scroll_listener, "onScroll", 2);
+        let mut cb = pb.class("android.widget.OnItemClickListener", fw);
+        cb.set_interface();
+        let on_item_click_listener = cb.build();
+        let on_item_click = pb.abstract_method(on_item_click_listener, "onItemClick", 3);
+
+        // Widgets
+        let mut cb = pb.class("android.widget.TextView", fw);
+        cb.set_super(view);
+        let text_view_text = cb.field("text", Type::Str);
+        let text_view = cb.build();
+        let mut mb = pb.method(text_view, "setText");
+        mb.set_param_count(2);
+        let (this, s) = (mb.param(0), mb.param(1));
+        mb.store(this, text_view_text, Operand::Local(s));
+        mb.ret(None);
+        let set_text = mb.finish();
+
+        let mut cb = pb.class("android.widget.ListView", fw);
+        cb.set_super(view);
+        let list_view = cb.build();
+
+        let mut cb = pb.class("android.widget.Adapter", fw);
+        cb.set_super(object);
+        let adapter_version = cb.field("version", Type::Int);
+        let adapter = cb.build();
+        let mut mb = pb.method(adapter, "notifyDataSetChanged");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let v = mb.fresh_local();
+        mb.load(v, this, adapter_version);
+        mb.store(this, adapter_version, Operand::Local(v));
+        mb.ret(None);
+        let notify_data_set_changed = mb.finish();
+
+        let mut cb = pb.class("android.widget.RecyclerView", fw);
+        cb.set_super(view);
+        let recycler_adapter = cb.field("adapter", Type::Ref(adapter));
+        let recycler_view = cb.build();
+        let mut mb = pb.method(recycler_view, "setAdapter");
+        mb.set_param_count(2);
+        let (this, a) = (mb.param(0), mb.param(1));
+        mb.store(this, recycler_adapter, Operand::Local(a));
+        mb.ret(None);
+        let set_adapter = mb.finish();
+
+        // java.util.Timer / TimerTask
+        let mut cb = pb.class("java.util.Timer", fw);
+        cb.set_super(object);
+        let timer = cb.build();
+        let timer_schedule = pb.abstract_method(timer, "schedule", 3);
+        let mut cb = pb.class("java.util.TimerTask", fw);
+        cb.set_super(object);
+        let timer_task = cb.build();
+        let timer_task_run = pb.abstract_method(timer_task, "run", 1);
+
+        // android.location
+        let mut cb = pb.class("android.location.LocationManager", fw);
+        cb.set_super(object);
+        let location_manager = cb.build();
+        let request_location_updates =
+            pb.abstract_method(location_manager, "requestLocationUpdates", 2);
+        let remove_updates = pb.abstract_method(location_manager, "removeUpdates", 2);
+        let mut cb = pb.class("android.location.LocationListener", fw);
+        cb.set_interface();
+        let location_listener = cb.build();
+        let on_location_changed = pb.abstract_method(location_listener, "onLocationChanged", 2);
+
+        // android.text.TextWatcher
+        let mut cb = pb.class("android.text.TextWatcher", fw);
+        cb.set_interface();
+        let text_watcher = cb.build();
+        let after_text_changed = pb.abstract_method(text_watcher, "afterTextChanged", 2);
+        let add_text_changed_listener =
+            pb.abstract_method(text_view, "addTextChangedListener", 2);
+
+        // android.media.MediaPlayer
+        let mut cb = pb.class("android.media.MediaPlayer", fw);
+        cb.set_super(object);
+        let media_player = cb.build();
+        let set_on_completion_listener =
+            pb.abstract_method(media_player, "setOnCompletionListener", 2);
+        let mut cb = pb.class("android.media.MediaPlayer$OnCompletionListener", fw);
+        cb.set_interface();
+        let on_completion_listener = cb.build();
+        let on_completion = pb.abstract_method(on_completion_listener, "onCompletion", 2);
+
+        Self {
+            object,
+            runnable,
+            runnable_run,
+            thread,
+            thread_target,
+            thread_init,
+            thread_start,
+            thread_run,
+            array_list,
+            array_list_contents,
+            array_list_add,
+            array_list_get,
+            array_list_clear,
+            array_list_set_at,
+            array_list_get_at,
+            index_slots,
+            executor,
+            executor_execute,
+            thread_pool_executor,
+            looper,
+            get_main_looper,
+            my_looper,
+            message,
+            message_what,
+            message_arg1,
+            message_obj,
+            message_obtain,
+            handler,
+            handler_init,
+            handler_post,
+            handler_post_delayed,
+            handler_send_message,
+            handler_send_empty_message,
+            handler_handle_message,
+            async_task,
+            async_task_execute,
+            async_task_on_pre_execute,
+            async_task_do_in_background,
+            async_task_on_post_execute,
+            bundle,
+            context,
+            register_receiver,
+            unregister_receiver,
+            start_service,
+            bind_service,
+            broadcast_receiver,
+            on_receive,
+            intent,
+            intent_extras,
+            intent_get_extras,
+            service_connection,
+            on_service_connected,
+            on_service_disconnected,
+            activity,
+            activity_on_create,
+            activity_on_start,
+            activity_on_restart,
+            activity_on_resume,
+            activity_on_pause,
+            activity_on_stop,
+            activity_on_destroy,
+            find_view_by_id,
+            run_on_ui_thread,
+            service,
+            service_on_create,
+            service_on_start_command,
+            service_on_destroy,
+            view,
+            set_on_click_listener,
+            set_on_long_click_listener,
+            set_on_scroll_listener,
+            set_on_item_click_listener,
+            view_post,
+            view_post_delayed,
+            on_click_listener,
+            on_click,
+            on_long_click_listener,
+            on_long_click,
+            on_scroll_listener,
+            on_scroll,
+            on_item_click_listener,
+            on_item_click,
+            text_view,
+            text_view_text,
+            set_text,
+            list_view,
+            recycler_view,
+            recycler_adapter,
+            set_adapter,
+            adapter,
+            notify_data_set_changed,
+            adapter_version,
+            timer,
+            timer_schedule,
+            timer_task,
+            timer_task_run,
+            location_manager,
+            request_location_updates,
+            remove_updates,
+            location_listener,
+            on_location_changed,
+            text_watcher,
+            after_text_changed,
+            add_text_changed_listener,
+            media_player,
+            set_on_completion_listener,
+            on_completion_listener,
+            on_completion,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn framework_installs_and_validates() {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let p = pb.finish();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.class_name(fw.activity), "android.app.Activity");
+        assert!(p.is_subtype(fw.activity, fw.context));
+        assert!(p.is_subtype(fw.recycler_view, fw.view));
+        assert!(p.is_subtype(fw.text_view, fw.object));
+    }
+
+    #[test]
+    fn thread_run_dispatches_through_target() {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let p = pb.finish();
+        let run = p.method(fw.thread_run);
+        assert!(run.has_body());
+        // Body: load target; vcall run.
+        let stmts: Vec<_> = run.iter_stmts().collect();
+        assert_eq!(stmts.len(), 2);
+    }
+
+    #[test]
+    fn opaque_ops_have_no_body() {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let p = pb.finish();
+        for m in [fw.thread_start, fw.handler_post, fw.async_task_execute, fw.find_view_by_id] {
+            assert!(p.method(m).is_abstract, "{} should be opaque", p.method_name(m));
+        }
+        for m in [fw.thread_init, fw.message_obtain, fw.set_text, fw.array_list_add] {
+            assert!(p.method(m).has_body(), "{} should be transparent", p.method_name(m));
+        }
+    }
+
+    #[test]
+    fn dispatch_finds_lifecycle_overrides() {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let mut cb = pb.class("com.example.Main", Origin::App);
+        cb.set_super(fw.activity);
+        let main = cb.build();
+        let mut mb = pb.method(main, "onCreate");
+        mb.set_param_count(1);
+        mb.ret(None);
+        let on_create = mb.finish();
+        let p = pb.finish();
+        assert_eq!(p.dispatch(main, fw.activity_on_create), Some(on_create));
+        // Un-overridden callbacks fall back to the abstract declaration.
+        assert_eq!(p.dispatch(main, fw.activity_on_stop), Some(fw.activity_on_stop));
+    }
+}

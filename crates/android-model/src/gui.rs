@@ -1,0 +1,96 @@
+//! Layout resources: the DroidEL substitute.
+//!
+//! Real apps declare view hierarchies in XML; the framework inflates them
+//! reflectively and `findViewById(int)` retrieves them. Static analysis
+//! cannot see through the reflection, so DroidEL resolves layouts into
+//! explicit bindings. [`Layout`] is that resolved form: for each activity,
+//! the set of views with their ids, classes, XML-registered listeners, and
+//! (optionally) GUI ordering constraints.
+
+use crate::callbacks::GuiEventKind;
+use apir::{ClassId, MethodId};
+
+/// One view declared in a layout.
+#[derive(Debug, Clone)]
+pub struct ViewDecl {
+    /// The resource id (the constant passed to `findViewById`).
+    pub view_id: i32,
+    /// The view's class (a subtype of `android.view.View`).
+    pub class: ClassId,
+    /// Listeners registered in XML (`android:onClick="..."`): the event
+    /// kind and the activity method it names.
+    pub xml_listeners: Vec<(GuiEventKind, MethodId)>,
+    /// If set, this view's events only become available after the named
+    /// view's event fires (models dialogs/sub-screens; induces the
+    /// `onClick2 ≺ onClick3` edges of Figure 6).
+    pub after: Option<i32>,
+}
+
+impl ViewDecl {
+    /// A plain view with no XML listeners or ordering.
+    pub fn new(view_id: i32, class: ClassId) -> Self {
+        Self { view_id, class, xml_listeners: Vec::new(), after: None }
+    }
+
+    /// Adds an XML-registered listener.
+    pub fn with_xml_listener(mut self, kind: GuiEventKind, method: MethodId) -> Self {
+        self.xml_listeners.push((kind, method));
+        self
+    }
+
+    /// Constrains this view to be available only after `view_id` fires.
+    pub fn with_after(mut self, view_id: i32) -> Self {
+        self.after = Some(view_id);
+        self
+    }
+}
+
+/// The resolved layout of one activity.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// The activity this layout belongs to.
+    pub activity: ClassId,
+    /// The declared views.
+    pub views: Vec<ViewDecl>,
+}
+
+impl Layout {
+    /// Creates an empty layout for `activity`.
+    pub fn new(activity: ClassId) -> Self {
+        Self { activity, views: Vec::new() }
+    }
+
+    /// Adds a view declaration.
+    pub fn add_view(&mut self, view: ViewDecl) -> &mut Self {
+        self.views.push(view);
+        self
+    }
+
+    /// Finds a view by resource id.
+    pub fn view(&self, view_id: i32) -> Option<&ViewDecl> {
+        self.views.iter().find(|v| v.view_id == view_id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_lookup_by_id() {
+        let act = ClassId(1);
+        let viewc = ClassId(2);
+        let mut layout = Layout::new(act);
+        layout.add_view(ViewDecl::new(100, viewc));
+        layout.add_view(
+            ViewDecl::new(101, viewc)
+                .with_xml_listener(GuiEventKind::Click, MethodId(7))
+                .with_after(100),
+        );
+        assert_eq!(layout.view(100).unwrap().view_id, 100);
+        let v = layout.view(101).unwrap();
+        assert_eq!(v.after, Some(100));
+        assert_eq!(v.xml_listeners, vec![(GuiEventKind::Click, MethodId(7))]);
+        assert!(layout.view(999).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! # android-model — a model of the Android Framework for static analysis
+//!
+//! This crate is the substitute for the Android Framework (AF) plus the
+//! DroidEL/FlowDroid models the paper's toolchain consumes. It provides:
+//!
+//! - [`framework`]: an IR-level class library (`Activity`, `Handler`,
+//!   `AsyncTask`, `Thread`, views, listeners, …) installed into an
+//!   [`apir::ProgramBuilder`]. Concurrency APIs are *opaque* methods
+//!   recognized by name; plumbing methods (e.g. `Thread.<init>`,
+//!   `ArrayList.add`) have real IR bodies so data flow through them is
+//!   visible to the pointer analysis.
+//! - [`ops`]: recognition of framework API calls ([`FrameworkOp`]), the
+//!   equivalent of hard-coded API lists in WALA-based tools.
+//! - [`callbacks`]: the callback registry (FlowDroid's callback list).
+//! - [`lifecycle`]: the Activity lifecycle state machine of Figure 5.
+//! - [`gui`]: layout resources and XML-registered listeners (DroidEL's
+//!   view-inflation model).
+//! - [`app`]: [`AndroidApp`] — program + manifest + layouts, the unit every
+//!   downstream analysis consumes.
+//! - [`actions`]: the reified concurrency [`Action`]s of §4.2 (Table 1) and
+//!   the [`ActionRegistry`] that mints them during call-graph construction.
+
+pub mod actions;
+pub mod app;
+pub mod asm;
+pub mod callbacks;
+pub mod framework;
+pub mod gui;
+pub mod lifecycle;
+pub mod ops;
+
+pub use actions::{Action, ActionId, ActionKind, ActionRegistry, ThreadKind};
+pub use app::{AndroidApp, AndroidAppBuilder, Manifest};
+pub use asm::{parse_app, render_app, AsmError};
+pub use callbacks::{CallbackKind, GuiEventKind, SystemEventKind, TaskEventKind};
+pub use framework::FrameworkClasses;
+pub use gui::{Layout, ViewDecl};
+pub use lifecycle::LifecycleEvent;
+pub use ops::FrameworkOp;

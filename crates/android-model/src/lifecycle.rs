@@ -1,0 +1,103 @@
+//! The Activity lifecycle state machine (paper Figure 5).
+
+use crate::framework::FrameworkClasses;
+use apir::MethodId;
+
+/// An Activity lifecycle callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LifecycleEvent {
+    /// `onCreate` — first callback after creation.
+    Create,
+    /// `onStart` — becoming visible (appears twice in the machine:
+    /// pre-dominated by `onCreate` or by `onRestart`).
+    Start,
+    /// `onRestart` — returning from the stopped state.
+    Restart,
+    /// `onResume` — becoming interactive (appears twice: pre-dominated by
+    /// `onStart` or by `onPause`).
+    Resume,
+    /// `onPause` — losing focus.
+    Pause,
+    /// `onStop` — no longer visible.
+    Stop,
+    /// `onDestroy` — final callback.
+    Destroy,
+}
+
+impl LifecycleEvent {
+    /// All lifecycle events in declaration order.
+    pub const ALL: [LifecycleEvent; 7] = [
+        LifecycleEvent::Create,
+        LifecycleEvent::Start,
+        LifecycleEvent::Restart,
+        LifecycleEvent::Resume,
+        LifecycleEvent::Pause,
+        LifecycleEvent::Stop,
+        LifecycleEvent::Destroy,
+    ];
+
+    /// The callback method name.
+    pub fn callback_name(self) -> &'static str {
+        match self {
+            LifecycleEvent::Create => "onCreate",
+            LifecycleEvent::Start => "onStart",
+            LifecycleEvent::Restart => "onRestart",
+            LifecycleEvent::Resume => "onResume",
+            LifecycleEvent::Pause => "onPause",
+            LifecycleEvent::Stop => "onStop",
+            LifecycleEvent::Destroy => "onDestroy",
+        }
+    }
+
+    /// The framework's declared (abstract) callback for this event, used as
+    /// the statically-named target of harness call sites; virtual dispatch
+    /// finds the app's override.
+    pub fn declared_callback(self, fw: &FrameworkClasses) -> MethodId {
+        match self {
+            LifecycleEvent::Create => fw.activity_on_create,
+            LifecycleEvent::Start => fw.activity_on_start,
+            LifecycleEvent::Restart => fw.activity_on_restart,
+            LifecycleEvent::Resume => fw.activity_on_resume,
+            LifecycleEvent::Pause => fw.activity_on_pause,
+            LifecycleEvent::Stop => fw.activity_on_stop,
+            LifecycleEvent::Destroy => fw.activity_on_destroy,
+        }
+    }
+
+    /// Whether this callback occurs twice in the lifecycle CFG (the cycles
+    /// of Figure 5), requiring instance disambiguation by dominators.
+    pub fn has_two_instances(self) -> bool {
+        matches!(self, LifecycleEvent::Start | LifecycleEvent::Resume)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir::ProgramBuilder;
+
+    #[test]
+    fn callback_names_match_android() {
+        assert_eq!(LifecycleEvent::Create.callback_name(), "onCreate");
+        assert_eq!(LifecycleEvent::Destroy.callback_name(), "onDestroy");
+        assert_eq!(LifecycleEvent::ALL.len(), 7);
+    }
+
+    #[test]
+    fn only_start_and_resume_cycle() {
+        let twice: Vec<_> =
+            LifecycleEvent::ALL.iter().filter(|e| e.has_two_instances()).collect();
+        assert_eq!(twice, [&LifecycleEvent::Start, &LifecycleEvent::Resume]);
+    }
+
+    #[test]
+    fn declared_callbacks_resolve() {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let p = pb.finish();
+        for e in LifecycleEvent::ALL {
+            let m = e.declared_callback(&fw);
+            assert_eq!(p.name(p.method(m).name), e.callback_name());
+        }
+    }
+}

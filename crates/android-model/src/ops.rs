@@ -1,0 +1,190 @@
+//! Recognition of framework API calls.
+//!
+//! Static analyses never look *inside* opaque framework methods; instead
+//! each call to one is classified as a [`FrameworkOp`] and modelled
+//! semantically (action creation, listener registration, view inflation).
+//! This mirrors how WALA-based tools special-case `android.*` signatures.
+
+use crate::callbacks::GuiEventKind;
+use crate::framework::FrameworkClasses;
+use apir::MethodId;
+
+/// A semantically-modelled framework API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameworkOp {
+    /// `Thread.start()` — forks a background thread action.
+    ThreadStart,
+    /// `AsyncTask.execute()` — schedules `onPreExecute` (main),
+    /// `doInBackground` (background), `onPostExecute` (main).
+    AsyncTaskExecute,
+    /// `Executor.execute(Runnable)` — runs the runnable on a pool thread.
+    ExecutorExecute,
+    /// `Handler.post(Runnable)` — posts to the handler's looper.
+    HandlerPost,
+    /// `Handler.postDelayed(Runnable, delay)` — posts to the handler's looper.
+    HandlerPostDelayed,
+    /// `Handler.sendMessage(Message)` — posts `handleMessage` to the looper.
+    HandlerSendMessage,
+    /// `Handler.sendEmptyMessage(what)` — posts `handleMessage`.
+    HandlerSendEmptyMessage,
+    /// `View.post(Runnable)` — posts to the main looper.
+    ViewPost,
+    /// `View.postDelayed(Runnable, delay)` — posts to the main looper.
+    ViewPostDelayed,
+    /// `Activity.runOnUiThread(Runnable)` — posts to the main looper.
+    RunOnUiThread,
+    /// `Context.registerReceiver(receiver)` — enables `onReceive` actions.
+    RegisterReceiver,
+    /// `Context.unregisterReceiver(receiver)`.
+    UnregisterReceiver,
+    /// `Context.startService(intent)` — triggers service lifecycle actions.
+    StartService,
+    /// `Context.bindService(intent, connection)` — triggers
+    /// `onServiceConnected` on the main looper.
+    BindService,
+    /// A `View.setOn*Listener` registration.
+    SetListener(GuiEventKind),
+    /// `Activity.findViewById(id)` — resolved through the inflated-view map.
+    FindViewById,
+    /// `Handler.<init>(...)` — binds the handler to the creating thread.
+    HandlerInit,
+    /// `Looper.getMainLooper()`.
+    GetMainLooper,
+    /// `Looper.myLooper()`.
+    MyLooper,
+    /// `Timer.schedule(TimerTask, delay)` — runs the task on the timer's
+    /// background thread.
+    TimerSchedule,
+    /// `LocationManager.requestLocationUpdates(listener)` — enables
+    /// `onLocationChanged` actions on the main looper.
+    RequestLocationUpdates,
+    /// `LocationManager.removeUpdates(listener)`.
+    RemoveUpdates,
+    /// `MediaPlayer.setOnCompletionListener(listener)` — enables
+    /// `onCompletion` actions on the main looper.
+    SetOnCompletionListener,
+    /// `ArrayList.setAt(int, Object)` — index-sensitive container store.
+    ArrayListSetAt,
+    /// `ArrayList.getAt(int)` — index-sensitive container load.
+    ArrayListGetAt,
+}
+
+impl FrameworkOp {
+    /// Classifies a statically-named callee as a framework op.
+    ///
+    /// `callee` is the declared target of a call statement; apps never
+    /// override these APIs, so id equality suffices.
+    pub fn classify(fw: &FrameworkClasses, callee: MethodId) -> Option<FrameworkOp> {
+        use FrameworkOp::*;
+        let op = match callee {
+            m if m == fw.thread_start => ThreadStart,
+            m if m == fw.async_task_execute => AsyncTaskExecute,
+            m if m == fw.executor_execute => ExecutorExecute,
+            m if m == fw.handler_post => HandlerPost,
+            m if m == fw.handler_post_delayed => HandlerPostDelayed,
+            m if m == fw.handler_send_message => HandlerSendMessage,
+            m if m == fw.handler_send_empty_message => HandlerSendEmptyMessage,
+            m if m == fw.view_post => ViewPost,
+            m if m == fw.view_post_delayed => ViewPostDelayed,
+            m if m == fw.run_on_ui_thread => RunOnUiThread,
+            m if m == fw.register_receiver => RegisterReceiver,
+            m if m == fw.unregister_receiver => UnregisterReceiver,
+            m if m == fw.start_service => StartService,
+            m if m == fw.bind_service => BindService,
+            m if m == fw.set_on_click_listener => SetListener(GuiEventKind::Click),
+            m if m == fw.set_on_long_click_listener => SetListener(GuiEventKind::LongClick),
+            m if m == fw.set_on_scroll_listener => SetListener(GuiEventKind::Scroll),
+            m if m == fw.set_on_item_click_listener => SetListener(GuiEventKind::ItemClick),
+            m if m == fw.add_text_changed_listener => SetListener(GuiEventKind::TextChanged),
+            m if m == fw.timer_schedule => TimerSchedule,
+            m if m == fw.request_location_updates => RequestLocationUpdates,
+            m if m == fw.remove_updates => RemoveUpdates,
+            m if m == fw.set_on_completion_listener => SetOnCompletionListener,
+            m if m == fw.array_list_set_at => ArrayListSetAt,
+            m if m == fw.array_list_get_at => ArrayListGetAt,
+            m if m == fw.find_view_by_id => FindViewById,
+            m if m == fw.handler_init => HandlerInit,
+            m if m == fw.get_main_looper => GetMainLooper,
+            m if m == fw.my_looper => MyLooper,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    /// Whether this op posts a *task action* to some looper/thread (rather
+    /// than registering a listener or resolving a view).
+    pub fn creates_action(self) -> bool {
+        use FrameworkOp::*;
+        matches!(
+            self,
+            ThreadStart
+                | AsyncTaskExecute
+                | ExecutorExecute
+                | HandlerPost
+                | HandlerPostDelayed
+                | HandlerSendMessage
+                | HandlerSendEmptyMessage
+                | ViewPost
+                | ViewPostDelayed
+                | RunOnUiThread
+                | RegisterReceiver
+                | StartService
+                | BindService
+                | TimerSchedule
+                | RequestLocationUpdates
+                | SetOnCompletionListener
+        )
+    }
+
+    /// Whether this op registers a GUI listener.
+    pub fn as_listener_registration(self) -> Option<GuiEventKind> {
+        match self {
+            FrameworkOp::SetListener(k) => Some(k),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir::ProgramBuilder;
+
+    #[test]
+    fn classifies_every_op_family() {
+        let mut pb = ProgramBuilder::new();
+        let fw = FrameworkClasses::install(&mut pb);
+        let _p = pb.finish();
+        assert_eq!(FrameworkOp::classify(&fw, fw.thread_start), Some(FrameworkOp::ThreadStart));
+        assert_eq!(
+            FrameworkOp::classify(&fw, fw.set_on_click_listener),
+            Some(FrameworkOp::SetListener(GuiEventKind::Click))
+        );
+        assert_eq!(
+            FrameworkOp::classify(&fw, fw.find_view_by_id),
+            Some(FrameworkOp::FindViewById)
+        );
+        // Transparent methods are not ops.
+        assert_eq!(FrameworkOp::classify(&fw, fw.thread_init), None);
+        assert_eq!(FrameworkOp::classify(&fw, fw.array_list_add), None);
+    }
+
+    #[test]
+    fn action_creating_ops() {
+        assert!(FrameworkOp::ThreadStart.creates_action());
+        assert!(FrameworkOp::HandlerSendMessage.creates_action());
+        assert!(FrameworkOp::RegisterReceiver.creates_action());
+        assert!(!FrameworkOp::FindViewById.creates_action());
+        assert!(!FrameworkOp::SetListener(GuiEventKind::Click).creates_action());
+        assert!(!FrameworkOp::UnregisterReceiver.creates_action());
+    }
+
+    #[test]
+    fn listener_registration_extraction() {
+        assert_eq!(
+            FrameworkOp::SetListener(GuiEventKind::Scroll).as_listener_registration(),
+            Some(GuiEventKind::Scroll)
+        );
+        assert_eq!(FrameworkOp::ThreadStart.as_listener_registration(), None);
+    }
+}

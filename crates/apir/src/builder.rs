@@ -1,0 +1,670 @@
+//! Builders for programs, classes, and method bodies.
+//!
+//! A [`ProgramBuilder`] owns all tables while construction is in flight.
+//! [`ClassBuilder`] and [`MethodBuilder`] mutably borrow it, mint ids
+//! eagerly (so hierarchies and call targets can be wired up incrementally),
+//! and write their finished entity back on `build`/`finish`.
+
+use crate::class::{Class, Field, Origin};
+use crate::ids::{AllocSiteId, BlockId, CallSiteId, ClassId, FieldId, Local, MethodId, StmtAddr};
+use crate::interner::{Interner, Symbol};
+use crate::method::{BasicBlock, Method, Terminator};
+use crate::program::Program;
+use crate::stmt::{BinOp, ConstValue, InvokeKind, Operand, Stmt, UnOp};
+use crate::ty::Type;
+use std::collections::HashMap;
+
+/// Incrementally constructs a [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use apir::{ProgramBuilder, Origin};
+/// let mut pb = ProgramBuilder::new();
+/// let root = pb.class("java.lang.Object", Origin::Framework).build();
+/// let program = pb.finish();
+/// assert_eq!(program.classes().len(), 1);
+/// assert_eq!(program.class_name(root), "java.lang.Object");
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    interner: Interner,
+    classes: Vec<Class>,
+    methods: Vec<Method>,
+    fields: Vec<Field>,
+    alloc_sites: Vec<StmtAddr>,
+    call_sites: Vec<StmtAddr>,
+    class_by_name: HashMap<Symbol, ClassId>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a string.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        self.interner.intern(text)
+    }
+
+    /// Begins a new class; the class id is already valid while building.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class with the same name already exists.
+    pub fn class<'a>(&'a mut self, name: &str, origin: Origin) -> ClassBuilder<'a> {
+        let sym = self.interner.intern(name);
+        assert!(
+            !self.class_by_name.contains_key(&sym),
+            "duplicate class name: {name}"
+        );
+        let id = ClassId::from_index(self.classes.len());
+        self.classes.push(Class {
+            id,
+            name: sym,
+            super_class: None,
+            interfaces: Vec::new(),
+            methods: Vec::new(),
+            fields: Vec::new(),
+            is_interface: false,
+            origin,
+        });
+        self.class_by_name.insert(sym, id);
+        ClassBuilder { pb: self, id }
+    }
+
+    /// Begins a new method body on `class`; the method id is already valid
+    /// while building (so recursive calls can target it). Until
+    /// [`MethodBuilder::finish`] runs, the method is recorded as abstract.
+    pub fn method<'a>(&'a mut self, class: ClassId, name: &str) -> MethodBuilder<'a> {
+        let id = self.reserve_method(class, name, 0, true);
+        MethodBuilder {
+            pb: self,
+            id,
+            param_count: 0,
+            local_count: 0,
+            ret: None,
+            is_static: false,
+            blocks: vec![BasicBlock::new()],
+            cur: BlockId(0),
+        }
+    }
+
+    /// Declares a bodyless (abstract / opaque framework) method.
+    pub fn abstract_method(&mut self, class: ClassId, name: &str, param_count: u32) -> MethodId {
+        self.reserve_method(class, name, param_count, true)
+    }
+
+    /// Opens a [`MethodBuilder`] that fills a previously reserved
+    /// (currently bodyless) method — used by two-pass frontends that must
+    /// mint all method ids before assembling any body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the method already has a body.
+    pub fn fill_method(&mut self, id: MethodId) -> MethodBuilder<'_> {
+        assert!(
+            self.methods[id.index()].is_abstract,
+            "method {id} already has a body"
+        );
+        let param_count = self.methods[id.index()].param_count;
+        MethodBuilder {
+            pb: self,
+            id,
+            param_count,
+            local_count: param_count,
+            ret: None,
+            is_static: false,
+            blocks: vec![BasicBlock::new()],
+            cur: BlockId(0),
+        }
+    }
+
+    /// Sets (or replaces) the superclass of an already-declared class.
+    pub fn set_super_of(&mut self, class: ClassId, super_class: ClassId) {
+        self.classes[class.index()].super_class = Some(super_class);
+    }
+
+    /// Adds an implemented interface to an already-declared class.
+    pub fn add_interface_to(&mut self, class: ClassId, iface: ClassId) {
+        self.classes[class.index()].interfaces.push(iface);
+    }
+
+    /// Marks an already-declared class as an interface.
+    pub fn set_interface_of(&mut self, class: ClassId) {
+        self.classes[class.index()].is_interface = true;
+    }
+
+    /// The declared superclass of a class under construction.
+    pub fn super_class_of(&self, class: ClassId) -> Option<ClassId> {
+        self.classes[class.index()].super_class
+    }
+
+    /// Whether `sub` is `sup` or transitively extends/implements it, over
+    /// the classes declared so far.
+    pub fn is_subtype_now(&self, sub: ClassId, sup: ClassId) -> bool {
+        if sub == sup {
+            return true;
+        }
+        let c = &self.classes[sub.index()];
+        if let Some(s) = c.super_class {
+            if self.is_subtype_now(s, sup) {
+                return true;
+            }
+        }
+        c.interfaces.iter().any(|&i| self.is_subtype_now(i, sup))
+    }
+
+    /// The declared type of a field under construction.
+    pub fn field_type_of(&self, field: FieldId) -> Type {
+        self.fields[field.index()].ty
+    }
+
+    /// The declared return type of a method under construction.
+    pub fn ret_type_of(&self, method: MethodId) -> Option<Type> {
+        self.methods[method.index()].ret
+    }
+
+    fn reserve_method(
+        &mut self,
+        class: ClassId,
+        name: &str,
+        param_count: u32,
+        is_abstract: bool,
+    ) -> MethodId {
+        let sym = self.interner.intern(name);
+        let id = MethodId::from_index(self.methods.len());
+        self.methods.push(Method {
+            id,
+            class,
+            name: sym,
+            param_count,
+            ret: None,
+            is_static: false,
+            is_abstract,
+            local_count: param_count,
+            blocks: Vec::new(),
+        });
+        self.classes[class.index()].methods.push(id);
+        id
+    }
+
+    /// Looks up a class id by name, if already declared.
+    pub fn find_class(&self, name: &str) -> Option<ClassId> {
+        let sym = self.interner.get(name)?;
+        self.class_by_name.get(&sym).copied()
+    }
+
+    /// Looks up a method declared directly on `class` by name.
+    pub fn find_method(&self, class: ClassId, name: &str) -> Option<MethodId> {
+        let sym = self.interner.get(name)?;
+        self.classes[class.index()]
+            .methods
+            .iter()
+            .copied()
+            .find(|&m| self.methods[m.index()].name == sym)
+    }
+
+    /// The declared parameter count of a (possibly still in-flight) method.
+    pub fn param_count(&self, m: MethodId) -> u32 {
+        self.methods[m.index()].param_count
+    }
+
+    /// Looks up a field declared directly on `class` by name.
+    pub fn find_field(&self, class: ClassId, name: &str) -> Option<FieldId> {
+        let sym = self.interner.get(name)?;
+        self.classes[class.index()]
+            .fields
+            .iter()
+            .copied()
+            .find(|&f| self.fields[f.index()].name == sym)
+    }
+
+    /// Adds a field to an already-built class.
+    ///
+    /// Harness generation uses this to attach synthetic static fields to
+    /// the `$Harness` class after reopening a finished program.
+    pub fn add_field(&mut self, class: ClassId, name: &str, ty: Type, is_static: bool) -> FieldId {
+        let sym = self.interner.intern(name);
+        let fid = FieldId::from_index(self.fields.len());
+        self.fields.push(Field { id: fid, class, name: sym, ty, is_static });
+        self.classes[class.index()].fields.push(fid);
+        fid
+    }
+
+    /// Inserts `stmt` immediately after the statement at `addr`, fixing up
+    /// every allocation-site and call-site address that shifts.
+    ///
+    /// The inserted statement must not itself be a `New` or `Call` (those
+    /// need site ids minted by a [`MethodBuilder`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range or `stmt` requires a site id.
+    pub fn insert_stmt_after(&mut self, addr: StmtAddr, stmt: Stmt) {
+        assert!(
+            !matches!(stmt, Stmt::New { .. } | Stmt::Call { .. }),
+            "insert_stmt_after cannot mint site ids"
+        );
+        let method = &mut self.methods[addr.method.index()];
+        let block = &mut method.blocks[addr.block.index()];
+        let at = addr.stmt as usize + 1;
+        assert!(at <= block.stmts.len(), "insertion point out of range");
+        block.stmts.insert(at, stmt);
+        let fix = |sites: &mut Vec<StmtAddr>| {
+            for s in sites.iter_mut() {
+                if s.method == addr.method && s.block == addr.block && s.stmt as usize >= at {
+                    s.stmt += 1;
+                }
+            }
+        };
+        fix(&mut self.alloc_sites);
+        fix(&mut self.call_sites);
+    }
+
+    /// Finalizes the program.
+    pub fn finish(self) -> Program {
+        Program {
+            interner: self.interner,
+            classes: self.classes,
+            methods: self.methods,
+            fields: self.fields,
+            alloc_sites: self.alloc_sites,
+            call_sites: self.call_sites,
+            class_by_name: self.class_by_name,
+        }
+    }
+}
+
+impl From<Program> for ProgramBuilder {
+    /// Reopens a finished program for further construction (harness
+    /// generation appends synthetic classes and methods to analyzed apps).
+    fn from(p: Program) -> Self {
+        Self {
+            interner: p.interner,
+            classes: p.classes,
+            methods: p.methods,
+            fields: p.fields,
+            alloc_sites: p.alloc_sites,
+            call_sites: p.call_sites,
+            class_by_name: p.class_by_name,
+        }
+    }
+}
+
+/// Builds one class. Created by [`ProgramBuilder::class`].
+#[derive(Debug)]
+pub struct ClassBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    id: ClassId,
+}
+
+impl<'a> ClassBuilder<'a> {
+    /// The id of the class under construction.
+    pub fn id(&self) -> ClassId {
+        self.id
+    }
+
+    /// Sets the superclass.
+    pub fn set_super(&mut self, super_class: ClassId) -> &mut Self {
+        self.pb.classes[self.id.index()].super_class = Some(super_class);
+        self
+    }
+
+    /// Adds an implemented interface.
+    pub fn add_interface(&mut self, iface: ClassId) -> &mut Self {
+        self.pb.classes[self.id.index()].interfaces.push(iface);
+        self
+    }
+
+    /// Marks the class as an interface.
+    pub fn set_interface(&mut self) -> &mut Self {
+        self.pb.classes[self.id.index()].is_interface = true;
+        self
+    }
+
+    /// Declares an instance field.
+    pub fn field(&mut self, name: &str, ty: Type) -> FieldId {
+        self.add_field(name, ty, false)
+    }
+
+    /// Declares a static field.
+    pub fn static_field(&mut self, name: &str, ty: Type) -> FieldId {
+        self.add_field(name, ty, true)
+    }
+
+    fn add_field(&mut self, name: &str, ty: Type, is_static: bool) -> FieldId {
+        let sym = self.pb.interner.intern(name);
+        let fid = FieldId::from_index(self.pb.fields.len());
+        self.pb.fields.push(Field { id: fid, class: self.id, name: sym, ty, is_static });
+        self.pb.classes[self.id.index()].fields.push(fid);
+        fid
+    }
+
+    /// Finishes the class, returning its id.
+    pub fn build(self) -> ClassId {
+        self.id
+    }
+}
+
+/// Builds one method body. Created by [`ProgramBuilder::method`].
+///
+/// The builder starts in block `bb0` (the entry). Statements are appended to
+/// the *current* block; terminator helpers set the current block's
+/// terminator. Use [`MethodBuilder::new_block`] / [`MethodBuilder::switch_to`]
+/// to shape the CFG.
+#[derive(Debug)]
+pub struct MethodBuilder<'a> {
+    pb: &'a mut ProgramBuilder,
+    id: MethodId,
+    param_count: u32,
+    local_count: u32,
+    ret: Option<Type>,
+    is_static: bool,
+    blocks: Vec<BasicBlock>,
+    cur: BlockId,
+}
+
+impl<'a> MethodBuilder<'a> {
+    /// The id of the method under construction.
+    pub fn id(&self) -> MethodId {
+        self.id
+    }
+
+    /// Access to the owning program builder (to intern names, look up ids).
+    pub fn program(&mut self) -> &mut ProgramBuilder {
+        self.pb
+    }
+
+    /// Declares the number of parameters (locals `0..n`). For instance
+    /// methods local 0 is `this`.
+    pub fn set_param_count(&mut self, n: u32) -> &mut Self {
+        self.param_count = n;
+        self.local_count = self.local_count.max(n);
+        self
+    }
+
+    /// Marks the method static.
+    pub fn set_static(&mut self) -> &mut Self {
+        self.is_static = true;
+        self
+    }
+
+    /// Declares the return type.
+    pub fn set_ret(&mut self, ty: Type) -> &mut Self {
+        self.ret = Some(ty);
+        self
+    }
+
+    /// The `i`-th parameter local.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: u32) -> Local {
+        assert!(i < self.param_count, "parameter {i} out of range");
+        Local(i)
+    }
+
+    /// Allocates a fresh local.
+    pub fn fresh_local(&mut self) -> Local {
+        let l = Local(self.local_count);
+        self.local_count += 1;
+        l
+    }
+
+    /// Creates a new, empty block (does not switch to it).
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(BasicBlock::new());
+        id
+    }
+
+    /// Makes `block` the current emission target.
+    pub fn switch_to(&mut self, block: BlockId) -> &mut Self {
+        assert!(block.index() < self.blocks.len(), "unknown block {block}");
+        self.cur = block;
+        self
+    }
+
+    /// The current block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur
+    }
+
+    fn push(&mut self, stmt: Stmt) -> StmtAddr {
+        let addr = StmtAddr::new(self.id, self.cur, self.blocks[self.cur.index()].stmts.len() as u32);
+        self.blocks[self.cur.index()].stmts.push(stmt);
+        addr
+    }
+
+    /// Emits `dst = value`.
+    pub fn const_(&mut self, dst: Local, value: ConstValue) -> &mut Self {
+        self.push(Stmt::Const { dst, value });
+        self
+    }
+
+    /// Emits `dst = src`.
+    pub fn move_(&mut self, dst: Local, src: Local) -> &mut Self {
+        self.push(Stmt::Move { dst, src });
+        self
+    }
+
+    /// Emits `dst = op src`.
+    pub fn un_op(&mut self, dst: Local, op: UnOp, src: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::UnOp { dst, op, src: src.into() });
+        self
+    }
+
+    /// Emits `dst = lhs op rhs`.
+    pub fn bin_op(
+        &mut self,
+        dst: Local,
+        op: BinOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> &mut Self {
+        self.push(Stmt::BinOp { dst, op, lhs: lhs.into(), rhs: rhs.into() });
+        self
+    }
+
+    /// Emits `dst = new class`, returning the fresh allocation site.
+    pub fn new_(&mut self, dst: Local, class: ClassId) -> AllocSiteId {
+        let site = AllocSiteId::from_index(self.pb.alloc_sites.len());
+        // Reserve the slot, then fill the address in via push.
+        self.pb.alloc_sites.push(StmtAddr::new(self.id, self.cur, 0));
+        let addr = self.push(Stmt::New { dst, class, site });
+        self.pb.alloc_sites[site.index()] = addr;
+        site
+    }
+
+    /// Emits `dst = obj.field`.
+    pub fn load(&mut self, dst: Local, obj: Local, field: FieldId) -> &mut Self {
+        self.push(Stmt::Load { dst, obj, field });
+        self
+    }
+
+    /// Emits `obj.field = value`.
+    pub fn store(&mut self, obj: Local, field: FieldId, value: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::Store { obj, field, value: value.into() });
+        self
+    }
+
+    /// Emits `dst = Class.field`.
+    pub fn static_load(&mut self, dst: Local, field: FieldId) -> &mut Self {
+        self.push(Stmt::StaticLoad { dst, field });
+        self
+    }
+
+    /// Emits `Class.field = value`.
+    pub fn static_store(&mut self, field: FieldId, value: impl Into<Operand>) -> &mut Self {
+        self.push(Stmt::StaticStore { field, value: value.into() });
+        self
+    }
+
+    /// Emits a call, returning the fresh call site.
+    pub fn call(
+        &mut self,
+        dst: Option<Local>,
+        kind: InvokeKind,
+        callee: MethodId,
+        receiver: Option<Local>,
+        args: Vec<Operand>,
+    ) -> CallSiteId {
+        let site = CallSiteId::from_index(self.pb.call_sites.len());
+        self.pb.call_sites.push(StmtAddr::new(self.id, self.cur, 0));
+        let addr = self.push(Stmt::Call { site, dst, kind, callee, receiver, args });
+        self.pb.call_sites[site.index()] = addr;
+        site
+    }
+
+    /// Convenience: virtual call with no return value.
+    pub fn vcall(&mut self, callee: MethodId, receiver: Local, args: Vec<Operand>) -> CallSiteId {
+        self.call(None, InvokeKind::Virtual, callee, Some(receiver), args)
+    }
+
+    /// Sets the current block's terminator to `Goto`.
+    pub fn goto(&mut self, target: BlockId) -> &mut Self {
+        self.blocks[self.cur.index()].terminator = Terminator::Goto(target);
+        self
+    }
+
+    /// Creates a new block, jumps to it, and switches emission there.
+    pub fn goto_new(&mut self) -> BlockId {
+        let b = self.new_block();
+        self.goto(b);
+        self.switch_to(b);
+        b
+    }
+
+    /// Sets the current block's terminator to a two-way branch.
+    pub fn if_(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) -> &mut Self {
+        self.blocks[self.cur.index()].terminator =
+            Terminator::If { cond: cond.into(), then_bb, else_bb };
+        self
+    }
+
+    /// Sets the current block's terminator to a nondeterministic choice.
+    pub fn nondet(&mut self, targets: Vec<BlockId>) -> &mut Self {
+        self.blocks[self.cur.index()].terminator = Terminator::NonDet(targets);
+        self
+    }
+
+    /// Sets the current block's terminator to `Return`.
+    pub fn ret(&mut self, value: Option<Operand>) -> &mut Self {
+        self.blocks[self.cur.index()].terminator = Terminator::Return(value);
+        self
+    }
+
+    /// Finishes the method body, returning its id.
+    pub fn finish(self) -> MethodId {
+        let m = &mut self.pb.methods[self.id.index()];
+        m.param_count = self.param_count;
+        m.local_count = self.local_count.max(self.param_count);
+        m.ret = self.ret;
+        m.is_static = self.is_static;
+        m.is_abstract = false;
+        m.blocks = self.blocks;
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::method::Terminator;
+
+    #[test]
+    fn build_branching_method() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let flag = mb.fresh_local();
+        mb.const_(flag, ConstValue::Bool(true));
+        let t = mb.new_block();
+        let e = mb.new_block();
+        mb.if_(flag, t, e);
+        mb.switch_to(t);
+        mb.ret(None);
+        mb.switch_to(e);
+        mb.ret(None);
+        let m = mb.finish();
+        let p = pb.finish();
+        let method = p.method(m);
+        assert_eq!(method.blocks.len(), 3);
+        assert!(matches!(method.blocks[0].terminator, Terminator::If { .. }));
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn alloc_and_call_sites_register_addresses() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let callee = pb.abstract_method(c, "target", 1);
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let v = mb.fresh_local();
+        let site = mb.new_(v, c);
+        let cs = mb.call(None, InvokeKind::Virtual, callee, Some(v), vec![]);
+        mb.ret(None);
+        mb.finish();
+        let p = pb.finish();
+        assert_eq!(p.alloc_site_class(site), c);
+        let addr = p.call_site_addr(cs);
+        assert_eq!(addr.stmt, 1);
+        assert!(matches!(p.call_site_stmt(cs), Stmt::Call { .. }));
+    }
+
+    #[test]
+    fn goto_new_chains_blocks() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        assert_eq!(mb.current_block(), BlockId(0));
+        let b1 = mb.goto_new();
+        assert_eq!(b1, BlockId(1));
+        assert_eq!(mb.current_block(), b1);
+        mb.ret(None);
+        mb.finish();
+        assert!(pb.finish().validate().is_ok());
+    }
+
+    #[test]
+    fn reopen_and_insert_fixes_site_addresses() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let callee = pb.abstract_method(c, "t", 1);
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let v = mb.fresh_local();
+        let a_site = mb.new_(v, c);
+        let c_site = mb.call(None, InvokeKind::Virtual, callee, Some(v), vec![]);
+        mb.ret(None);
+        mb.finish();
+        let p = pb.finish();
+        let addr0 = p.alloc_site_addr(a_site);
+
+        // Reopen, add a static field, insert a store right after the New.
+        let mut pb = ProgramBuilder::from(p);
+        let f = pb.add_field(c, "$syn", crate::Type::Bool, true);
+        pb.insert_stmt_after(addr0, Stmt::StaticStore { field: f, value: ConstValue::Bool(true).into() });
+        let p = pb.finish();
+        assert!(p.validate().is_ok());
+        // The call site shifted by one; the alloc site did not.
+        assert_eq!(p.alloc_site_addr(a_site).stmt, 0);
+        assert_eq!(p.call_site_addr(c_site).stmt, 2);
+        assert!(matches!(p.call_site_stmt(c_site), Stmt::Call { .. }));
+        assert_eq!(p.alloc_site_class(a_site), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate class name")]
+    fn duplicate_class_names_panic() {
+        let mut pb = ProgramBuilder::new();
+        pb.class("A", Origin::App).build();
+        pb.class("A", Origin::App).build();
+    }
+}

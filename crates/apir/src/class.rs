@@ -1,0 +1,89 @@
+//! Classes, fields, and code origin.
+
+use crate::ids::{ClassId, FieldId, MethodId};
+use crate::interner::Symbol;
+use crate::ty::Type;
+
+/// Where a class's code comes from.
+///
+/// SIERRA's race prioritization (§3.1) ranks races in application code above
+/// races in framework code reached from app code, above races inside
+/// libraries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Origin {
+    /// Third-party library bundled with the app.
+    Library,
+    /// The Android Framework model.
+    Framework,
+    /// The application's own code.
+    App,
+}
+
+/// A field declaration.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// This field's id.
+    pub id: FieldId,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Simple name.
+    pub name: Symbol,
+    /// Declared type.
+    pub ty: Type,
+    /// Whether the field is static.
+    pub is_static: bool,
+}
+
+/// A class (or interface) declaration.
+#[derive(Debug, Clone)]
+pub struct Class {
+    /// This class's id.
+    pub id: ClassId,
+    /// Fully-qualified name, e.g. `com.example.NewsActivity`.
+    pub name: Symbol,
+    /// Superclass, `None` only for the root class.
+    pub super_class: Option<ClassId>,
+    /// Implemented interfaces.
+    pub interfaces: Vec<ClassId>,
+    /// Declared methods.
+    pub methods: Vec<MethodId>,
+    /// Declared instance and static fields.
+    pub fields: Vec<FieldId>,
+    /// Whether this is an interface.
+    pub is_interface: bool,
+    /// Code origin for prioritization.
+    pub origin: Origin,
+}
+
+impl Class {
+    /// Whether instances of this class can be created (`new`).
+    pub fn is_instantiable(&self) -> bool {
+        !self.is_interface
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_orders_by_priority() {
+        assert!(Origin::App > Origin::Framework);
+        assert!(Origin::Framework > Origin::Library);
+    }
+
+    #[test]
+    fn interfaces_are_not_instantiable() {
+        let c = Class {
+            id: ClassId(0),
+            name: Symbol(0),
+            super_class: None,
+            interfaces: vec![],
+            methods: vec![],
+            fields: vec![],
+            is_interface: true,
+            origin: Origin::App,
+        };
+        assert!(!c.is_instantiable());
+    }
+}

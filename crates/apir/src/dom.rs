@@ -1,0 +1,258 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! SIERRA's HB rules 2–5 (§4.3) are all phrased in terms of dominance: the
+//! harness CFG's dominator tree orders lifecycle and GUI actions, and
+//! intra-procedural dominance among posting sites orders posted actions.
+
+use crate::ids::{BlockId, StmtAddr};
+use crate::method::Method;
+
+/// The dominator tree of one method's CFG.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// Immediate dominator of each block (`idom[entry] == entry`).
+    idom: Vec<Option<BlockId>>,
+    /// Whether a block is reachable from the entry.
+    reachable: Vec<bool>,
+}
+
+impl Dominators {
+    /// Computes dominators for `method`'s CFG.
+    ///
+    /// Unreachable blocks have no dominator and are reported by
+    /// [`Dominators::is_reachable`].
+    pub fn compute(method: &Method) -> Self {
+        let n = method.blocks.len();
+        if n == 0 {
+            return Self { idom: Vec::new(), reachable: Vec::new() };
+        }
+
+        // Reverse postorder over the CFG.
+        let mut order = Vec::with_capacity(n);
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut stack = vec![(BlockId(0), 0usize)];
+        state[0] = 1;
+        let succs: Vec<Vec<BlockId>> =
+            method.blocks.iter().map(|b| b.terminator.successors()).collect();
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                order.push(b);
+                stack.pop();
+            }
+        }
+        order.reverse(); // now reverse postorder, entry first
+
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_num[b.index()] = i;
+        }
+        let reachable: Vec<bool> = rpo_num.iter().map(|&i| i != usize::MAX).collect();
+
+        let preds = method.predecessors();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+
+        let intersect = |idom: &[Option<BlockId>], mut a: BlockId, mut b: BlockId| -> BlockId {
+            while a != b {
+                while rpo_num[a.index()] > rpo_num[b.index()] {
+                    a = idom[a.index()].expect("processed block has idom");
+                }
+                while rpo_num[b.index()] > rpo_num[a.index()] {
+                    b = idom[b.index()].expect("processed block has idom");
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if !reachable[p.index()] || idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if new_idom.is_some() && idom[b.index()] != new_idom {
+                    idom[b.index()] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Self { idom, reachable }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry block);
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom.get(b.index()).copied().flatten()
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable.get(b.index()).copied().unwrap_or(false)
+    }
+
+    /// Whether block `a` dominates block `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = match self.idom(cur) {
+                Some(i) => i,
+                None => return false,
+            };
+            if next == cur {
+                return false; // reached entry without meeting `a`
+            }
+            cur = next;
+        }
+    }
+
+    /// Whether block `a` strictly dominates block `b`.
+    pub fn strictly_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        a != b && self.dominates(a, b)
+    }
+
+    /// Statement-level dominance within one method: `a` dominates `b` iff
+    /// they are in the same block with `a` first, or `a`'s block strictly
+    /// dominates `b`'s block.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the addresses belong to different methods.
+    pub fn dominates_stmt(&self, a: StmtAddr, b: StmtAddr) -> bool {
+        debug_assert_eq!(a.method, b.method);
+        if a.block == b.block {
+            a.stmt < b.stmt
+        } else {
+            self.strictly_dominates(a.block, b.block)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::class::Origin;
+    use crate::ids::MethodId;
+    use crate::stmt::ConstValue;
+
+    /// Builds the diamond CFG: 0 -> {1,2} -> 3.
+    fn diamond() -> (crate::Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let cond = mb.fresh_local();
+        mb.const_(cond, ConstValue::Bool(true));
+        let b1 = mb.new_block();
+        let b2 = mb.new_block();
+        let b3 = mb.new_block();
+        mb.if_(cond, b1, b2);
+        mb.switch_to(b1);
+        mb.goto(b3);
+        mb.switch_to(b2);
+        mb.goto(b3);
+        mb.switch_to(b3);
+        mb.ret(None);
+        let m = mb.finish();
+        (pb.finish(), m)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let (p, m) = diamond();
+        let dom = Dominators::compute(p.method(m));
+        let (e, b1, b2, b3) = (BlockId(0), BlockId(1), BlockId(2), BlockId(3));
+        assert_eq!(dom.idom(b1), Some(e));
+        assert_eq!(dom.idom(b2), Some(e));
+        assert_eq!(dom.idom(b3), Some(e));
+        assert!(dom.dominates(e, b3));
+        assert!(!dom.dominates(b1, b3));
+        assert!(!dom.dominates(b2, b3));
+        assert!(dom.strictly_dominates(e, b1));
+        assert!(!dom.strictly_dominates(e, e));
+        assert!(dom.dominates(e, e));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // 0 -> 1; 1 -> {2, 3}; 2 -> 1 (back edge); 3 exit.
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let cond = mb.fresh_local();
+        mb.const_(cond, ConstValue::Bool(true));
+        let b1 = mb.new_block();
+        let b2 = mb.new_block();
+        let b3 = mb.new_block();
+        mb.goto(b1);
+        mb.switch_to(b1);
+        mb.if_(cond, b2, b3);
+        mb.switch_to(b2);
+        mb.goto(b1);
+        mb.switch_to(b3);
+        mb.ret(None);
+        let m = mb.finish();
+        let p = pb.finish();
+        let dom = Dominators::compute(p.method(m));
+        assert!(dom.dominates(b1, b2));
+        assert!(dom.dominates(b1, b3));
+        assert!(!dom.dominates(b2, b3));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        mb.ret(None);
+        let dead = mb.new_block();
+        mb.switch_to(dead);
+        mb.ret(None);
+        let m = mb.finish();
+        let p = pb.finish();
+        let dom = Dominators::compute(p.method(m));
+        assert!(dom.is_reachable(BlockId(0)));
+        assert!(!dom.is_reachable(dead));
+        assert!(!dom.dominates(BlockId(0), dead));
+        assert!(dom.idom(dead).is_none());
+    }
+
+    #[test]
+    fn stmt_level_dominance() {
+        let (p, m) = diamond();
+        let dom = Dominators::compute(p.method(m));
+        let a = StmtAddr::new(m, BlockId(0), 0);
+        let b = StmtAddr::new(m, BlockId(0), 1);
+        let c = StmtAddr::new(m, BlockId(3), 0);
+        assert!(dom.dominates_stmt(a, b));
+        assert!(!dom.dominates_stmt(b, a));
+        assert!(dom.dominates_stmt(a, c));
+        let d1 = StmtAddr::new(m, BlockId(1), 0);
+        assert!(!dom.dominates_stmt(d1, c));
+    }
+}

@@ -1,0 +1,152 @@
+//! Strongly-typed identifiers for every program entity.
+//!
+//! All ids are dense `u32` indices into the owning [`crate::Program`]'s
+//! tables, wrapped in newtypes so they cannot be confused with one another
+//! (C-NEWTYPE). Ids are only meaningful relative to the program that minted
+//! them.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a class in [`crate::Program::classes`].
+    ClassId,
+    "C"
+);
+define_id!(
+    /// Identifies a method in [`crate::Program::methods`].
+    MethodId,
+    "M"
+);
+define_id!(
+    /// Identifies a field declaration in [`crate::Program::fields`].
+    FieldId,
+    "F"
+);
+define_id!(
+    /// Identifies a basic block within one method.
+    BlockId,
+    "bb"
+);
+define_id!(
+    /// A program-unique allocation site (one per `new` statement).
+    AllocSiteId,
+    "alloc"
+);
+define_id!(
+    /// A program-unique call site (one per `call` statement).
+    CallSiteId,
+    "cs"
+);
+define_id!(
+    /// A local variable (virtual register) within one method.
+    ///
+    /// Locals `0..param_count` hold the parameters; for instance methods,
+    /// local 0 is the receiver (`this`).
+    Local,
+    "v"
+);
+
+/// The address of a statement: a method, a block, and the statement's index
+/// within that block.
+///
+/// `stmt == block.stmts.len()` addresses the block terminator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtAddr {
+    /// Method containing the statement.
+    pub method: MethodId,
+    /// Block containing the statement.
+    pub block: BlockId,
+    /// Index of the statement within the block.
+    pub stmt: u32,
+}
+
+impl StmtAddr {
+    /// Creates a statement address.
+    pub fn new(method: MethodId, block: BlockId, stmt: u32) -> Self {
+        Self { method, block, stmt }
+    }
+}
+
+impl fmt::Debug for StmtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}[{}]", self.method, self.block, self.stmt)
+    }
+}
+
+impl fmt::Display for StmtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_through_indices() {
+        let c = ClassId::from_index(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(c, ClassId(7));
+    }
+
+    #[test]
+    fn ids_format_with_prefixes() {
+        assert_eq!(format!("{}", MethodId(3)), "M3");
+        assert_eq!(format!("{:?}", BlockId(0)), "bb0");
+        assert_eq!(format!("{}", Local(12)), "v12");
+    }
+
+    #[test]
+    fn distinct_id_types_do_not_compare_by_accident() {
+        // This is a compile-time property; the test documents the intent.
+        let a = ClassId(1);
+        let b = ClassId(1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stmt_addr_orders_lexicographically() {
+        let a = StmtAddr::new(MethodId(0), BlockId(0), 0);
+        let b = StmtAddr::new(MethodId(0), BlockId(0), 1);
+        let c = StmtAddr::new(MethodId(0), BlockId(1), 0);
+        assert!(a < b && b < c);
+        assert_eq!(format!("{}", a), "M0:bb0[0]");
+    }
+}

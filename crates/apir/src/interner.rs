@@ -1,0 +1,108 @@
+//! A small string interner for class, method, and field names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An interned string handle.
+///
+/// Symbols are cheap to copy and compare; resolve them back to text through
+/// the [`Interner`] (or [`crate::Program::name`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym{}", self.0)
+    }
+}
+
+/// Deduplicating storage for strings.
+///
+/// # Example
+///
+/// ```
+/// let mut interner = apir::Interner::new();
+/// let a = interner.intern("onCreate");
+/// let b = interner.intern("onCreate");
+/// assert_eq!(a, b);
+/// assert_eq!(interner.resolve(a), "onCreate");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<String>,
+    lookup: HashMap<String, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `text`, returning the symbol for it.
+    pub fn intern(&mut self, text: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(text) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(text.to_owned());
+        self.lookup.insert(text.to_owned(), sym);
+        sym
+    }
+
+    /// Returns the symbol for `text` if it was interned before.
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        self.lookup.get(text).copied()
+    }
+
+    /// Resolves a symbol back to its text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was minted by a different interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        let c = i.intern("x");
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let s = i.intern("android.app.Activity");
+        assert_eq!(i.resolve(s), "android.app.Activity");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert!(!i.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Lightweight intra-method reaching-definition queries.
+//!
+//! Several analyses need to know whether an operand at a program point is a
+//! compile-time constant (view ids passed to `findViewById`, message codes
+//! passed to `sendEmptyMessage`, `Message.what` stores). This module walks
+//! definitions backwards within a method — through the current block and
+//! unique-predecessor chains — which covers the straight-line idioms real
+//! registration/posting code uses.
+
+use crate::ids::{Local, StmtAddr};
+use crate::method::Method;
+use crate::stmt::{ConstValue, Operand, Stmt};
+
+/// Maximum number of statements inspected per query (guards degenerate CFGs).
+const SCAN_BUDGET: usize = 4_096;
+
+/// Resolves `operand` at `addr` to a constant, if a unique reaching
+/// definition chain proves one.
+///
+/// Returns `None` when the operand is not provably constant (joins with
+/// multiple predecessors, redefinitions through calls, etc.).
+pub fn resolve_const_operand(method: &Method, addr: StmtAddr, operand: Operand) -> Option<ConstValue> {
+    match operand {
+        Operand::Const(c) => Some(c),
+        Operand::Local(l) => match find_def(method, addr, l)? {
+            (_, Stmt::Const { value, .. }) => Some(*value),
+            (def_addr, Stmt::Move { src, .. }) => {
+                resolve_const_operand(method, def_addr, Operand::Local(*src))
+            }
+            _ => None,
+        },
+    }
+}
+
+/// Finds the most recent definition of `local` strictly before `addr`,
+/// scanning the containing block backwards and then following *unique*
+/// predecessors.
+///
+/// Returns the defining statement and its address, or `None` if the search
+/// reaches a join point, the method entry, or the scan budget first.
+pub fn find_def(
+    method: &Method,
+    addr: StmtAddr,
+    local: Local,
+) -> Option<(StmtAddr, &Stmt)> {
+    let preds = method.predecessors();
+    let mut budget = SCAN_BUDGET;
+    let mut block = addr.block;
+    let mut upto = addr.stmt as usize; // exclusive
+    loop {
+        let stmts = &method.block(block).stmts;
+        for i in (0..upto.min(stmts.len())).rev() {
+            budget = budget.checked_sub(1)?;
+            if stmts[i].def() == Some(local) {
+                return Some((StmtAddr::new(method.id, block, i as u32), &stmts[i]));
+            }
+        }
+        let p = &preds[block.index()];
+        if p.len() != 1 {
+            return None;
+        }
+        block = p[0];
+        upto = method.block(block).stmts.len();
+    }
+}
+
+/// Resolves the allocation-like origin of `local` at `addr`: follows moves
+/// back to a `New`, `Load`, `StaticLoad`, or `Call` definition.
+pub fn find_value_origin(
+    method: &Method,
+    addr: StmtAddr,
+    local: Local,
+) -> Option<(StmtAddr, &Stmt)> {
+    let (def_addr, stmt) = find_def(method, addr, local)?;
+    match stmt {
+        Stmt::Move { src, .. } => find_value_origin(method, def_addr, *src),
+        _ => Some((def_addr, stmt)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::class::Origin;
+    use crate::ids::{BlockId, MethodId};
+
+    fn build(f: impl FnOnce(&mut crate::MethodBuilder<'_>)) -> (crate::Program, MethodId) {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        f(&mut mb);
+        let m = mb.finish();
+        (pb.finish(), m)
+    }
+
+    #[test]
+    fn const_through_moves() {
+        let (p, m) = build(|mb| {
+            let a = mb.fresh_local();
+            let b = mb.fresh_local();
+            mb.const_(a, ConstValue::Int(42));
+            mb.move_(b, a);
+            mb.ret(None);
+        });
+        let method = p.method(m);
+        let at = StmtAddr::new(m, BlockId(0), 2);
+        assert_eq!(
+            resolve_const_operand(method, at, Operand::Local(Local(2))),
+            Some(ConstValue::Int(42))
+        );
+        assert_eq!(
+            resolve_const_operand(method, at, Operand::Const(ConstValue::Bool(true))),
+            Some(ConstValue::Bool(true))
+        );
+    }
+
+    #[test]
+    fn redefinition_shadows() {
+        let (p, m) = build(|mb| {
+            let a = mb.fresh_local();
+            mb.const_(a, ConstValue::Int(1));
+            mb.const_(a, ConstValue::Int(2));
+            mb.ret(None);
+        });
+        let method = p.method(m);
+        let at = StmtAddr::new(m, BlockId(0), 2);
+        assert_eq!(
+            resolve_const_operand(method, at, Operand::Local(Local(1))),
+            Some(ConstValue::Int(2))
+        );
+    }
+
+    #[test]
+    fn join_points_give_up() {
+        let (p, m) = build(|mb| {
+            let a = mb.fresh_local();
+            let flag = mb.fresh_local();
+            mb.const_(flag, ConstValue::Bool(true));
+            let t = mb.new_block();
+            let e = mb.new_block();
+            let j = mb.new_block();
+            mb.if_(flag, t, e);
+            mb.switch_to(t);
+            mb.const_(a, ConstValue::Int(1));
+            mb.goto(j);
+            mb.switch_to(e);
+            mb.const_(a, ConstValue::Int(2));
+            mb.goto(j);
+            mb.switch_to(j);
+            mb.ret(None);
+        });
+        let method = p.method(m);
+        let at = StmtAddr::new(m, BlockId(3), 0);
+        assert_eq!(resolve_const_operand(method, at, Operand::Local(Local(1))), None);
+    }
+
+    #[test]
+    fn unique_predecessor_chain_is_followed() {
+        let (p, m) = build(|mb| {
+            let a = mb.fresh_local();
+            mb.const_(a, ConstValue::Int(7));
+            mb.goto_new();
+            mb.ret(None);
+        });
+        let method = p.method(m);
+        let at = StmtAddr::new(m, BlockId(1), 0);
+        assert_eq!(
+            resolve_const_operand(method, at, Operand::Local(Local(1))),
+            Some(ConstValue::Int(7))
+        );
+    }
+
+    #[test]
+    fn value_origin_finds_allocation() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let a = mb.fresh_local();
+        let b = mb.fresh_local();
+        let site = mb.new_(a, c);
+        mb.move_(b, a);
+        mb.ret(None);
+        let m = mb.finish();
+        let p = pb.finish();
+        let method = p.method(m);
+        let at = StmtAddr::new(m, BlockId(0), 2);
+        let (def_addr, stmt) = find_value_origin(method, at, b).unwrap();
+        assert!(matches!(stmt, Stmt::New { site: s, .. } if *s == site));
+        assert_eq!(def_addr.stmt, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Methods, basic blocks, and terminators.
+
+use crate::ids::{BlockId, ClassId, Local, MethodId, StmtAddr};
+use crate::interner::Symbol;
+use crate::stmt::{Operand, Stmt};
+use crate::ty::Type;
+
+/// The control transfer ending a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way branch on a boolean operand.
+    If {
+        /// Branch condition.
+        cond: Operand,
+        /// Successor when the condition is true.
+        then_bb: BlockId,
+        /// Successor when the condition is false.
+        else_bb: BlockId,
+    },
+    /// Nondeterministic choice among successors.
+    ///
+    /// Used by generated harnesses to model externally-orchestrated control
+    /// flow (`while (*) switch (*) { ... }` in the paper's Figure 4).
+    NonDet(Vec<BlockId>),
+    /// Return from the method.
+    Return(Option<Operand>),
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Goto(b) => vec![*b],
+            Terminator::If { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::NonDet(bs) => bs.clone(),
+            Terminator::Return(_) => Vec::new(),
+        }
+    }
+}
+
+/// A basic block: straight-line statements plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// The block's statements, in execution order.
+    pub stmts: Vec<Stmt>,
+    /// The block's terminator.
+    pub terminator: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates a block ending in `Return(None)`; the builder rewrites the
+    /// terminator as instructions are emitted.
+    pub fn new() -> Self {
+        Self { stmts: Vec::new(), terminator: Terminator::Return(None) }
+    }
+}
+
+impl Default for BasicBlock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A method: signature plus (unless abstract) a CFG of basic blocks.
+#[derive(Debug, Clone)]
+pub struct Method {
+    /// This method's id.
+    pub id: MethodId,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Simple (unqualified) name, e.g. `onCreate`.
+    pub name: Symbol,
+    /// Number of parameters, including the receiver for instance methods.
+    pub param_count: u32,
+    /// Return type, if the method returns a value.
+    pub ret: Option<Type>,
+    /// Whether the method is static (no receiver).
+    pub is_static: bool,
+    /// Whether the method has no body (abstract or opaque framework stub).
+    pub is_abstract: bool,
+    /// Total number of locals, `>= param_count`.
+    pub local_count: u32,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Method {
+    /// The entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &BasicBlock)` pairs.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::from_index(i), b))
+    }
+
+    /// Iterates over every statement with its address.
+    pub fn iter_stmts(&self) -> impl Iterator<Item = (StmtAddr, &Stmt)> {
+        let method = self.id;
+        self.iter_blocks().flat_map(move |(bid, block)| {
+            block
+                .stmts
+                .iter()
+                .enumerate()
+                .map(move |(i, s)| (StmtAddr::new(method, bid, i as u32), s))
+        })
+    }
+
+    /// The statement at `addr`, or `None` if `addr` points at a terminator
+    /// or is out of range.
+    pub fn stmt_at(&self, addr: StmtAddr) -> Option<&Stmt> {
+        debug_assert_eq!(addr.method, self.id);
+        self.blocks.get(addr.block.index())?.stmts.get(addr.stmt as usize)
+    }
+
+    /// Predecessor map: `preds[b]` lists blocks with an edge into `b`.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (bid, block) in self.iter_blocks() {
+            for succ in block.terminator.successors() {
+                preds[succ.index()].push(bid);
+            }
+        }
+        preds
+    }
+
+    /// Whether the method has any body to analyze.
+    pub fn has_body(&self) -> bool {
+        !self.is_abstract
+    }
+
+    /// The receiver local (`this`), if this is an instance method.
+    pub fn this(&self) -> Option<Local> {
+        if self.is_static {
+            None
+        } else {
+            Some(Local(0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Method {
+        let mut b0 = BasicBlock::new();
+        b0.stmts.push(Stmt::Const { dst: Local(1), value: crate::ConstValue::Int(1) });
+        b0.terminator = Terminator::If {
+            cond: Operand::Local(Local(1)),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        let mut b1 = BasicBlock::new();
+        b1.terminator = Terminator::Goto(BlockId(2));
+        let b2 = BasicBlock::new();
+        Method {
+            id: MethodId(0),
+            class: ClassId(0),
+            name: Symbol(0),
+            param_count: 1,
+            ret: None,
+            is_static: false,
+            is_abstract: false,
+            local_count: 2,
+            blocks: vec![b0, b1, b2],
+        }
+    }
+
+    #[test]
+    fn successors_and_predecessors_agree() {
+        let m = sample();
+        let preds = m.predecessors();
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[1], vec![BlockId(0)]);
+        assert_eq!(preds[2], vec![BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn iter_stmts_yields_addresses() {
+        let m = sample();
+        let all: Vec<_> = m.iter_stmts().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, StmtAddr::new(MethodId(0), BlockId(0), 0));
+        assert!(m.stmt_at(all[0].0).is_some());
+        assert!(m.stmt_at(StmtAddr::new(MethodId(0), BlockId(1), 0)).is_none());
+    }
+
+    #[test]
+    fn instance_method_has_this() {
+        let m = sample();
+        assert_eq!(m.this(), Some(Local(0)));
+        assert!(m.has_body());
+    }
+
+    #[test]
+    fn return_has_no_successors() {
+        assert!(Terminator::Return(None).successors().is_empty());
+        assert_eq!(Terminator::NonDet(vec![BlockId(0), BlockId(1)]).successors().len(), 2);
+    }
+}

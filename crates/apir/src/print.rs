@@ -1,0 +1,194 @@
+//! Human-readable program listings for debugging and reports.
+
+use crate::method::Terminator;
+use crate::program::Program;
+use crate::stmt::Stmt;
+use std::fmt::Write as _;
+
+/// Pretty-prints a [`Program`] (or parts of it) as a readable listing.
+///
+/// # Example
+///
+/// ```
+/// use apir::{ProgramBuilder, Origin, ProgramPrinter};
+/// let mut pb = ProgramBuilder::new();
+/// let c = pb.class("A", Origin::App).build();
+/// let mut mb = pb.method(c, "m");
+/// mb.set_param_count(1);
+/// mb.ret(None);
+/// mb.finish();
+/// let p = pb.finish();
+/// let listing = ProgramPrinter::new(&p).print();
+/// assert!(listing.contains("class A"));
+/// assert!(listing.contains("method A.m"));
+/// ```
+#[derive(Debug)]
+pub struct ProgramPrinter<'p> {
+    program: &'p Program,
+}
+
+impl<'p> ProgramPrinter<'p> {
+    /// Creates a printer over `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Self { program }
+    }
+
+    /// Renders the whole program.
+    pub fn print(&self) -> String {
+        let mut out = String::new();
+        for class in self.program.classes() {
+            let kind = if class.is_interface { "interface" } else { "class" };
+            let _ = write!(out, "{kind} {}", self.program.name(class.name));
+            if let Some(s) = class.super_class {
+                let _ = write!(out, " extends {}", self.program.class_name(s));
+            }
+            let _ = writeln!(out, " ({:?})", class.origin);
+            for &f in &class.fields {
+                let field = self.program.field(f);
+                let st = if field.is_static { "static " } else { "" };
+                let _ = writeln!(out, "  {st}field {}: {} ({f})", self.program.name(field.name), field.ty);
+            }
+            for &m in &class.methods {
+                out.push_str(&self.print_method(m));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders one method body.
+    pub fn print_method(&self, id: crate::MethodId) -> String {
+        let mut out = String::new();
+        let p = self.program;
+        let m = p.method(id);
+        let st = if m.is_static { "static " } else { "" };
+        let _ = writeln!(out, "  {st}method {} ({id}, {} params)", p.method_name(id), m.param_count);
+        if m.is_abstract {
+            let _ = writeln!(out, "    <abstract>");
+            return out;
+        }
+        for (bid, block) in m.iter_blocks() {
+            let _ = writeln!(out, "    {bid}:");
+            for stmt in &block.stmts {
+                let _ = writeln!(out, "      {}", self.print_stmt(stmt));
+            }
+            let _ = writeln!(out, "      {}", self.print_terminator(&block.terminator));
+        }
+        out
+    }
+
+    fn print_stmt(&self, stmt: &Stmt) -> String {
+        let p = self.program;
+        match stmt {
+            Stmt::Const { dst, value } => format!("{dst} = {value}"),
+            Stmt::Move { dst, src } => format!("{dst} = {src}"),
+            Stmt::UnOp { dst, op, src } => format!("{dst} = {op:?} {src}"),
+            Stmt::BinOp { dst, op, lhs, rhs } => format!("{dst} = {lhs} {op:?} {rhs}"),
+            Stmt::New { dst, class, site } => {
+                format!("{dst} = new {} ({site})", p.class_name(*class))
+            }
+            Stmt::Load { dst, obj, field } => {
+                format!("{dst} = {obj}.{}", p.field_name(*field))
+            }
+            Stmt::Store { obj, field, value } => {
+                format!("{obj}.{} = {value}", p.field_name(*field))
+            }
+            Stmt::StaticLoad { dst, field } => {
+                let f = p.field(*field);
+                format!("{dst} = {}::{}", p.class_name(f.class), p.name(f.name))
+            }
+            Stmt::StaticStore { field, value } => {
+                let f = p.field(*field);
+                format!("{}::{} = {value}", p.class_name(f.class), p.name(f.name))
+            }
+            Stmt::Call { site, dst, kind, callee, receiver, args } => {
+                let mut s = String::new();
+                if let Some(d) = dst {
+                    let _ = write!(s, "{d} = ");
+                }
+                let _ = write!(s, "call[{kind:?}] {}", p.method_name(*callee));
+                let _ = write!(s, "(");
+                if let Some(r) = receiver {
+                    let _ = write!(s, "this={r}");
+                    if !args.is_empty() {
+                        let _ = write!(s, ", ");
+                    }
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        let _ = write!(s, ", ");
+                    }
+                    let _ = write!(s, "{a}");
+                }
+                let _ = write!(s, ") ({site})");
+                s
+            }
+        }
+    }
+
+    fn print_terminator(&self, t: &Terminator) -> String {
+        match t {
+            Terminator::Goto(b) => format!("goto {b}"),
+            Terminator::If { cond, then_bb, else_bb } => {
+                format!("if {cond} then {then_bb} else {else_bb}")
+            }
+            Terminator::NonDet(targets) => {
+                let list: Vec<String> = targets.iter().map(|b| b.to_string()).collect();
+                format!("nondet [{}]", list.join(", "))
+            }
+            Terminator::Return(None) => "return".to_owned(),
+            Terminator::Return(Some(v)) => format!("return {v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::class::Origin;
+    use crate::stmt::{ConstValue, InvokeKind, Operand};
+    use crate::ty::Type;
+
+    #[test]
+    fn listing_contains_all_constructs() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("A", Origin::App);
+        let f = cb.field("x", Type::Int);
+        let g = cb.static_field("g", Type::Bool);
+        let c = cb.build();
+        let callee = pb.abstract_method(c, "cb", 1);
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let v = mb.fresh_local();
+        mb.new_(v, c);
+        mb.load(v, this, f);
+        mb.store(this, f, Operand::Const(ConstValue::Int(3)));
+        mb.static_load(v, g);
+        mb.static_store(g, Operand::Const(ConstValue::Bool(false)));
+        mb.call(Some(v), InvokeKind::Virtual, callee, Some(this), vec![Operand::Local(v)]);
+        let exit = mb.new_block();
+        mb.nondet(vec![exit]);
+        mb.switch_to(exit);
+        mb.ret(Some(Operand::Local(v)));
+        mb.finish();
+        let p = pb.finish();
+        let listing = ProgramPrinter::new(&p).print();
+        for needle in [
+            "class A",
+            "field x: int",
+            "static field g: bool",
+            "new A",
+            "v1 = v0.x",
+            "v0.x = 3",
+            "A::g = false",
+            "call[Virtual] A.cb",
+            "nondet [bb1]",
+            "return v1",
+            "<abstract>",
+        ] {
+            assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
+        }
+    }
+}

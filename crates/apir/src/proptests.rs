@@ -1,0 +1,138 @@
+//! Property-based tests of the IR substrate.
+
+use crate::builder::ProgramBuilder;
+use crate::class::Origin;
+use crate::dom::Dominators;
+use crate::ids::{BlockId, MethodId};
+use crate::interner::Interner;
+use crate::method::Terminator;
+use crate::program::Program;
+use proptest::prelude::*;
+
+/// Builds a method whose CFG has `n` blocks with the given successor lists.
+fn cfg_program(succs: &[Vec<usize>]) -> (Program, MethodId) {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.class("A", Origin::App).build();
+    let mut mb = pb.method(c, "m");
+    mb.set_param_count(1);
+    for _ in 1..succs.len() {
+        mb.new_block();
+    }
+    for (i, ss) in succs.iter().enumerate() {
+        mb.switch_to(BlockId::from_index(i));
+        match ss.len() {
+            0 => {
+                mb.ret(None);
+            }
+            _ => {
+                mb.nondet(ss.iter().map(|&s| BlockId::from_index(s)).collect());
+            }
+        }
+    }
+    let m = mb.finish();
+    (pb.finish(), m)
+}
+
+/// Reference dominance: `a` dominates `b` iff every entry→b path passes
+/// through `a` — equivalently, removing `a` makes `b` unreachable.
+fn brute_force_dominates(succs: &[Vec<usize>], a: usize, b: usize) -> bool {
+    if a == b {
+        return reachable(succs, None).contains(&b);
+    }
+    let all = reachable(succs, None);
+    if !all.contains(&a) || !all.contains(&b) {
+        return false;
+    }
+    !reachable(succs, Some(a)).contains(&b)
+}
+
+fn reachable(succs: &[Vec<usize>], removed: Option<usize>) -> std::collections::HashSet<usize> {
+    let mut seen = std::collections::HashSet::new();
+    if removed == Some(0) {
+        return seen;
+    }
+    let mut stack = vec![0usize];
+    while let Some(n) = stack.pop() {
+        if Some(n) == removed || !seen.insert(n) {
+            continue;
+        }
+        for &s in &succs[n] {
+            if Some(s) != removed {
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Random CFG strategy: 2..=8 blocks, each with 0..=2 successors.
+fn arb_cfg() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (2usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0..n, 0..=2), n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The iterative dominator algorithm agrees with the node-removal
+    /// definition of dominance on arbitrary CFGs.
+    #[test]
+    fn dominators_match_brute_force(succs in arb_cfg()) {
+        let (p, m) = cfg_program(&succs);
+        prop_assert!(p.validate().is_ok());
+        let dom = Dominators::compute(p.method(m));
+        for a in 0..succs.len() {
+            for b in 0..succs.len() {
+                let expect = brute_force_dominates(&succs, a, b);
+                let got = dom.dominates(BlockId::from_index(a), BlockId::from_index(b));
+                prop_assert_eq!(got, expect, "dom({},{}) in {:?}", a, b, succs);
+            }
+        }
+    }
+
+    /// Reachability flags agree with the brute-force traversal.
+    #[test]
+    fn reachability_matches_brute_force(succs in arb_cfg()) {
+        let (p, m) = cfg_program(&succs);
+        let dom = Dominators::compute(p.method(m));
+        let all = reachable(&succs, None);
+        for b in 0..succs.len() {
+            prop_assert_eq!(dom.is_reachable(BlockId::from_index(b)), all.contains(&b));
+        }
+    }
+
+    /// Interning is a bijection on the set of interned strings.
+    #[test]
+    fn interner_round_trips(strings in proptest::collection::vec("[a-zA-Z0-9_.$]{0,24}", 1..32)) {
+        let mut i = Interner::new();
+        let syms: Vec<_> = strings.iter().map(|s| i.intern(s)).collect();
+        for (s, &sym) in strings.iter().zip(&syms) {
+            prop_assert_eq!(i.resolve(sym), s.as_str());
+            prop_assert_eq!(i.intern(s), sym, "re-interning is stable");
+        }
+        let distinct: std::collections::HashSet<_> = strings.iter().collect();
+        prop_assert_eq!(i.len(), distinct.len());
+    }
+
+    /// Predecessor maps are the exact inverse of terminator successors.
+    #[test]
+    fn predecessors_invert_successors(succs in arb_cfg()) {
+        let (p, m) = cfg_program(&succs);
+        let method = p.method(m);
+        let preds = method.predecessors();
+        for (i, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                prop_assert!(preds[s].contains(&BlockId::from_index(i)));
+            }
+        }
+        // And nothing extra: every recorded predecessor really has the edge.
+        for (b, ps) in preds.iter().enumerate() {
+            for p_ in ps {
+                let term = &method.block(*p_).terminator;
+                prop_assert!(matches!(term, Terminator::NonDet(ts) if ts.contains(&BlockId::from_index(b)))
+                    || matches!(term, Terminator::Goto(t) if t.index() == b));
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Statements: the three-address instruction set.
+
+use crate::ids::{AllocSiteId, CallSiteId, ClassId, FieldId, Local, MethodId};
+use crate::interner::Symbol;
+use std::fmt;
+
+/// A compile-time constant value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstValue {
+    /// An integer constant.
+    Int(i64),
+    /// A boolean constant.
+    Bool(bool),
+    /// The `null` reference.
+    Null,
+    /// An interned string constant.
+    Str(Symbol),
+}
+
+impl ConstValue {
+    /// Whether two constants are definitely different values.
+    ///
+    /// Constants of different kinds never compare equal in the IR's type
+    /// discipline, so they are treated as distinct.
+    pub fn definitely_ne(self, other: ConstValue) -> bool {
+        self != other
+    }
+}
+
+impl fmt::Display for ConstValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstValue::Int(v) => write!(f, "{v}"),
+            ConstValue::Bool(v) => write!(f, "{v}"),
+            ConstValue::Null => write!(f, "null"),
+            ConstValue::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+/// An operand: either a local variable or an inline constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read a local variable.
+    Local(Local),
+    /// An inline constant.
+    Const(ConstValue),
+}
+
+impl Operand {
+    /// The local read by this operand, if any.
+    pub fn as_local(self) -> Option<Local> {
+        match self {
+            Operand::Local(l) => Some(l),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// The constant carried by this operand, if any.
+    pub fn as_const(self) -> Option<ConstValue> {
+        match self {
+            Operand::Const(c) => Some(c),
+            Operand::Local(_) => None,
+        }
+    }
+}
+
+impl From<Local> for Operand {
+    fn from(l: Local) -> Self {
+        Operand::Local(l)
+    }
+}
+
+impl From<ConstValue> for Operand {
+    fn from(c: ConstValue) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Local(l) => write!(f, "{l}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation of a boolean.
+    Not,
+    /// Arithmetic negation of an integer.
+    Neg,
+}
+
+/// A comparison operator (produces a boolean).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Comparison producing a boolean.
+    Cmp(CmpOp),
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+}
+
+/// The dispatch discipline of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InvokeKind {
+    /// Virtual dispatch on the dynamic class of the receiver.
+    Virtual,
+    /// Static (class) method, no receiver.
+    Static,
+    /// Non-virtual instance call (constructors, `super` calls).
+    Special,
+}
+
+/// A non-terminator statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `dst = const`.
+    Const {
+        /// Destination local.
+        dst: Local,
+        /// The constant value.
+        value: ConstValue,
+    },
+    /// `dst = src`.
+    Move {
+        /// Destination local.
+        dst: Local,
+        /// Source local.
+        src: Local,
+    },
+    /// `dst = op src`.
+    UnOp {
+        /// Destination local.
+        dst: Local,
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        src: Operand,
+    },
+    /// `dst = lhs op rhs`.
+    BinOp {
+        /// Destination local.
+        dst: Local,
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = new C` — the only statement that allocates.
+    New {
+        /// Destination local.
+        dst: Local,
+        /// Class being instantiated.
+        class: ClassId,
+        /// Program-unique allocation site.
+        site: AllocSiteId,
+    },
+    /// `dst = obj.field`.
+    Load {
+        /// Destination local.
+        dst: Local,
+        /// Base object.
+        obj: Local,
+        /// Field being read.
+        field: FieldId,
+    },
+    /// `obj.field = value`.
+    Store {
+        /// Base object.
+        obj: Local,
+        /// Field being written.
+        field: FieldId,
+        /// Value stored.
+        value: Operand,
+    },
+    /// `dst = Class.field` (static field read).
+    StaticLoad {
+        /// Destination local.
+        dst: Local,
+        /// Static field being read.
+        field: FieldId,
+    },
+    /// `Class.field = value` (static field write).
+    StaticStore {
+        /// Static field being written.
+        field: FieldId,
+        /// Value stored.
+        value: Operand,
+    },
+    /// `dst = call callee(receiver, args...)`.
+    ///
+    /// `callee` names the *statically resolved declaration*; virtual calls
+    /// are re-dispatched against the receiver's points-to set (static
+    /// analysis) or dynamic class (interpreter).
+    Call {
+        /// Program-unique call site.
+        site: CallSiteId,
+        /// Destination for the return value, if used.
+        dst: Option<Local>,
+        /// Dispatch discipline.
+        kind: InvokeKind,
+        /// Statically-named target declaration.
+        callee: MethodId,
+        /// Receiver (`None` for static calls).
+        receiver: Option<Local>,
+        /// Actual arguments (excluding the receiver).
+        args: Vec<Operand>,
+    },
+}
+
+impl Stmt {
+    /// The local this statement defines, if any.
+    pub fn def(&self) -> Option<Local> {
+        match *self {
+            Stmt::Const { dst, .. }
+            | Stmt::Move { dst, .. }
+            | Stmt::UnOp { dst, .. }
+            | Stmt::BinOp { dst, .. }
+            | Stmt::New { dst, .. }
+            | Stmt::Load { dst, .. }
+            | Stmt::StaticLoad { dst, .. } => Some(dst),
+            Stmt::Call { dst, .. } => dst,
+            Stmt::Store { .. } | Stmt::StaticStore { .. } => None,
+        }
+    }
+
+    /// All locals this statement reads.
+    pub fn uses(&self) -> Vec<Local> {
+        fn push(out: &mut Vec<Local>, op: &Operand) {
+            if let Operand::Local(l) = op {
+                out.push(*l);
+            }
+        }
+        let mut out = Vec::new();
+        match self {
+            Stmt::Const { .. } | Stmt::New { .. } | Stmt::StaticLoad { .. } => {}
+            Stmt::Move { src, .. } => out.push(*src),
+            Stmt::UnOp { src, .. } => push(&mut out, src),
+            Stmt::BinOp { lhs, rhs, .. } => {
+                push(&mut out, lhs);
+                push(&mut out, rhs);
+            }
+            Stmt::Load { obj, .. } => out.push(*obj),
+            Stmt::Store { obj, value, .. } => {
+                out.push(*obj);
+                push(&mut out, value);
+            }
+            Stmt::StaticStore { value, .. } => push(&mut out, value),
+            Stmt::Call { receiver, args, .. } => {
+                if let Some(r) = receiver {
+                    out.push(*r);
+                }
+                for a in args {
+                    push(&mut out, a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this statement is a heap access (instance or static field).
+    pub fn is_heap_access(&self) -> bool {
+        matches!(
+            self,
+            Stmt::Load { .. } | Stmt::Store { .. } | Stmt::StaticLoad { .. } | Stmt::StaticStore { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses_are_consistent() {
+        let s = Stmt::BinOp {
+            dst: Local(2),
+            op: BinOp::Add,
+            lhs: Operand::Local(Local(0)),
+            rhs: Operand::Const(ConstValue::Int(1)),
+        };
+        assert_eq!(s.def(), Some(Local(2)));
+        assert_eq!(s.uses(), vec![Local(0)]);
+    }
+
+    #[test]
+    fn store_defines_nothing() {
+        let s = Stmt::Store {
+            obj: Local(0),
+            field: FieldId(0),
+            value: Operand::Local(Local(1)),
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![Local(0), Local(1)]);
+        assert!(s.is_heap_access());
+    }
+
+    #[test]
+    fn call_uses_receiver_and_args() {
+        let s = Stmt::Call {
+            site: CallSiteId(0),
+            dst: Some(Local(5)),
+            kind: InvokeKind::Virtual,
+            callee: MethodId(0),
+            receiver: Some(Local(1)),
+            args: vec![Operand::Local(Local(2)), Operand::Const(ConstValue::Null)],
+        };
+        assert_eq!(s.def(), Some(Local(5)));
+        assert_eq!(s.uses(), vec![Local(1), Local(2)]);
+        assert!(!s.is_heap_access());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let o: Operand = Local(3).into();
+        assert_eq!(o.as_local(), Some(Local(3)));
+        let c: Operand = ConstValue::Bool(true).into();
+        assert_eq!(c.as_const(), Some(ConstValue::Bool(true)));
+        assert!(c.as_local().is_none());
+    }
+
+    #[test]
+    fn distinct_constants_are_definitely_ne() {
+        assert!(ConstValue::Int(1).definitely_ne(ConstValue::Int(2)));
+        assert!(ConstValue::Bool(true).definitely_ne(ConstValue::Bool(false)));
+        assert!(!ConstValue::Null.definitely_ne(ConstValue::Null));
+        assert!(ConstValue::Int(0).definitely_ne(ConstValue::Null));
+    }
+}

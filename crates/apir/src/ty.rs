@@ -1,0 +1,77 @@
+//! The (deliberately small) type language of the IR.
+
+use crate::ids::ClassId;
+use std::fmt;
+
+/// A value type.
+///
+/// The analyses in this workspace only need to distinguish primitives from
+/// references — EventRacer's "race coverage" filter, for instance, only
+/// reasons about primitive-typed guards, and SIERRA's prioritization ranks
+/// races on reference-typed fields higher because they can manifest as
+/// `NullPointerException`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A machine integer (models all of Java's integral types).
+    Int,
+    /// A boolean.
+    Bool,
+    /// An immutable string (models `java.lang.String`).
+    Str,
+    /// A reference to an instance of `ClassId` (or a subclass).
+    Ref(ClassId),
+}
+
+impl Type {
+    /// Whether this is a primitive (non-reference) type.
+    pub fn is_primitive(self) -> bool {
+        !matches!(self, Type::Ref(_))
+    }
+
+    /// Whether this is a reference type.
+    pub fn is_reference(self) -> bool {
+        matches!(self, Type::Ref(_))
+    }
+
+    /// The referenced class, if this is a reference type.
+    pub fn as_class(self) -> Option<ClassId> {
+        match self {
+            Type::Ref(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Bool => write!(f, "bool"),
+            Type::Str => write!(f, "str"),
+            Type::Ref(c) => write!(f, "ref({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_references_partition_types() {
+        assert!(Type::Int.is_primitive());
+        assert!(Type::Bool.is_primitive());
+        assert!(Type::Str.is_primitive());
+        let r = Type::Ref(ClassId(0));
+        assert!(r.is_reference());
+        assert!(!r.is_primitive());
+        assert_eq!(r.as_class(), Some(ClassId(0)));
+        assert_eq!(Type::Int.as_class(), None);
+    }
+
+    #[test]
+    fn types_display() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::Ref(ClassId(3)).to_string(), "ref(C3)");
+    }
+}

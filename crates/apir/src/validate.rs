@@ -1,0 +1,263 @@
+//! Whole-program well-formedness checks.
+
+use crate::ids::{BlockId, ClassId, FieldId, Local, MethodId};
+use crate::method::Terminator;
+use crate::program::Program;
+use crate::stmt::Stmt;
+use std::error::Error;
+use std::fmt;
+
+/// A well-formedness violation found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A block terminator targets a block id that does not exist.
+    BadBlockTarget {
+        /// Offending method.
+        method: MethodId,
+        /// Block whose terminator is bad.
+        block: BlockId,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// A statement references a local `>= local_count`.
+    BadLocal {
+        /// Offending method.
+        method: MethodId,
+        /// The out-of-range local.
+        local: Local,
+    },
+    /// A statement references a field id that does not exist.
+    BadField {
+        /// Offending method.
+        method: MethodId,
+        /// The out-of-range field.
+        field: FieldId,
+    },
+    /// A call statement names a method id that does not exist.
+    BadCallee {
+        /// Offending method.
+        method: MethodId,
+        /// The out-of-range callee.
+        callee: MethodId,
+    },
+    /// A `new` statement instantiates an interface.
+    NewOfInterface {
+        /// Offending method.
+        method: MethodId,
+        /// The interface being instantiated.
+        class: ClassId,
+    },
+    /// A non-abstract method has no blocks.
+    EmptyBody {
+        /// Offending method.
+        method: MethodId,
+    },
+    /// A static-field access names an instance field, or vice versa.
+    StaticnessMismatch {
+        /// Offending method.
+        method: MethodId,
+        /// The field whose staticness does not match the access.
+        field: FieldId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadBlockTarget { method, block, target } => {
+                write!(f, "{method}:{block} targets nonexistent block {target}")
+            }
+            ValidateError::BadLocal { method, local } => {
+                write!(f, "{method} references out-of-range local {local}")
+            }
+            ValidateError::BadField { method, field } => {
+                write!(f, "{method} references nonexistent field {field}")
+            }
+            ValidateError::BadCallee { method, callee } => {
+                write!(f, "{method} calls nonexistent method {callee}")
+            }
+            ValidateError::NewOfInterface { method, class } => {
+                write!(f, "{method} instantiates interface {class}")
+            }
+            ValidateError::EmptyBody { method } => {
+                write!(f, "non-abstract method {method} has no blocks")
+            }
+            ValidateError::StaticnessMismatch { method, field } => {
+                write!(f, "{method} accesses field {field} with wrong staticness")
+            }
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+impl Program {
+    /// Checks structural well-formedness of every method body.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found, if any.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        for method in self.methods() {
+            if method.is_abstract {
+                continue;
+            }
+            if method.blocks.is_empty() {
+                return Err(ValidateError::EmptyBody { method: method.id });
+            }
+            let check_local = |l: Local| -> Result<(), ValidateError> {
+                if l.0 >= method.local_count {
+                    Err(ValidateError::BadLocal { method: method.id, local: l })
+                } else {
+                    Ok(())
+                }
+            };
+            let check_field = |fid: FieldId, want_static: bool| -> Result<(), ValidateError> {
+                if fid.index() >= self.fields().len() {
+                    return Err(ValidateError::BadField { method: method.id, field: fid });
+                }
+                if self.field(fid).is_static != want_static {
+                    return Err(ValidateError::StaticnessMismatch { method: method.id, field: fid });
+                }
+                Ok(())
+            };
+            for (_, block) in method.iter_blocks() {
+                for stmt in &block.stmts {
+                    if let Some(d) = stmt.def() {
+                        check_local(d)?;
+                    }
+                    for u in stmt.uses() {
+                        check_local(u)?;
+                    }
+                    match stmt {
+                        Stmt::New { class, .. }
+                            if self.class(*class).is_interface => {
+                                return Err(ValidateError::NewOfInterface {
+                                    method: method.id,
+                                    class: *class,
+                                });
+                            }
+                        Stmt::Load { field, .. } | Stmt::Store { field, .. } => {
+                            check_field(*field, false)?;
+                        }
+                        Stmt::StaticLoad { field, .. } | Stmt::StaticStore { field, .. } => {
+                            check_field(*field, true)?;
+                        }
+                        Stmt::Call { callee, .. }
+                            if callee.index() >= self.methods().len() => {
+                                return Err(ValidateError::BadCallee {
+                                    method: method.id,
+                                    callee: *callee,
+                                });
+                            }
+                        _ => {}
+                    }
+                }
+                for target in block.terminator.successors() {
+                    if target.index() >= method.blocks.len() {
+                        let block_id = method
+                            .iter_blocks()
+                            .find(|(_, b)| std::ptr::eq(*b, block))
+                            .map(|(id, _)| id)
+                            .unwrap_or(BlockId(0));
+                        return Err(ValidateError::BadBlockTarget {
+                            method: method.id,
+                            block: block_id,
+                            target,
+                        });
+                    }
+                }
+                // Returns carry operands too; check them.
+                if let Terminator::Return(Some(op)) = &block.terminator {
+                    if let Some(l) = op.as_local() {
+                        check_local(l)?;
+                    }
+                }
+                if let Terminator::If { cond, .. } = &block.terminator {
+                    if let Some(l) = cond.as_local() {
+                        check_local(l)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::class::Origin;
+    use crate::stmt::{ConstValue, Operand};
+
+    #[test]
+    fn valid_program_passes() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        mb.ret(None);
+        mb.finish();
+        assert!(pb.finish().validate().is_ok());
+    }
+
+    #[test]
+    fn bad_block_target_detected() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        mb.goto(BlockId(7));
+        mb.finish();
+        let err = pb.finish().validate().unwrap_err();
+        assert!(matches!(err, ValidateError::BadBlockTarget { target: BlockId(7), .. }));
+        assert!(err.to_string().contains("nonexistent block"));
+    }
+
+    #[test]
+    fn bad_local_detected() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        mb.ret(Some(Operand::Local(Local(99))));
+        mb.finish();
+        let err = pb.finish().validate().unwrap_err();
+        assert!(matches!(err, ValidateError::BadLocal { local: Local(99), .. }));
+    }
+
+    #[test]
+    fn staticness_mismatch_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut cb = pb.class("A", Origin::App);
+        let f = cb.static_field("g", crate::Type::Int);
+        let c = cb.build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        // Instance-style store to a static field.
+        mb.store(this, f, Operand::Const(ConstValue::Int(0)));
+        mb.ret(None);
+        mb.finish();
+        let err = pb.finish().validate().unwrap_err();
+        assert!(matches!(err, ValidateError::StaticnessMismatch { .. }));
+    }
+
+    #[test]
+    fn interface_instantiation_detected() {
+        let mut pb = ProgramBuilder::new();
+        let mut ib = pb.class("I", Origin::App);
+        ib.set_interface();
+        let i = ib.build();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let v = mb.fresh_local();
+        mb.new_(v, i);
+        mb.ret(None);
+        mb.finish();
+        let err = pb.finish().validate().unwrap_err();
+        assert!(matches!(err, ValidateError::NewOfInterface { .. }));
+    }
+}

@@ -1,0 +1,138 @@
+//! Ablations of the design choices DESIGN.md calls out (§6.5).
+//!
+//! - **Context sensitivity**: racy-pair counts and analysis time across
+//!   insensitive / k-cfa / k-obj / hybrid / action-sensitive abstractions
+//!   (the paper's 5× reduction claim).
+//! - **Refutation budget**: path budgets from starved to the paper's
+//!   5,000-path default.
+//! - **Refuted-node cache**: §5's memoization on versus off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pointer::SelectorKind;
+use sierra_core::{Sierra, SierraConfig};
+use std::hint::black_box;
+use symexec::RefuterConfig;
+
+fn bench_context_ablation(c: &mut Criterion) {
+    let (_, app, _) = sierra_bench::size_classes().remove(1); // NPR News
+    let mut group = c.benchmark_group("ablation_contexts");
+    group.sample_size(20);
+    let selectors = [
+        SelectorKind::Insensitive,
+        SelectorKind::KCfa(1),
+        SelectorKind::KObj(1),
+        SelectorKind::Hybrid(1),
+        SelectorKind::ActionSensitive(1),
+        SelectorKind::ActionSensitive(2),
+    ];
+    for sel in selectors {
+        group.bench_with_input(BenchmarkId::new("analysis", sel.name()), &sel, |b, &sel| {
+            let harness = harness_gen::generate(app.clone());
+            b.iter(|| pointer::analyze(black_box(&harness), sel).cg_edge_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_refutation_budget(c: &mut Criterion) {
+    let (_, app, _) = sierra_bench::size_classes().remove(1);
+    let mut group = c.benchmark_group("ablation_budget");
+    group.sample_size(15);
+    for budget in [10usize, 100, 5_000] {
+        let cfg = SierraConfig {
+            refuter: RefuterConfig { max_paths: budget, ..Default::default() },
+            compare_without_as: false,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("max_paths", budget), &cfg, |b, &cfg| {
+            b.iter(|| Sierra::with_config(cfg).analyze_app(app.clone()).races.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_ablation(c: &mut Criterion) {
+    let (_, app, _) = sierra_bench::size_classes().remove(2); // Astrid (largest)
+    let mut group = c.benchmark_group("ablation_cache");
+    group.sample_size(10);
+    for (label, use_cache) in [("cache_on", true), ("cache_off", false)] {
+        let cfg = SierraConfig {
+            refuter: RefuterConfig { use_cache, ..Default::default() },
+            compare_without_as: false,
+            ..Default::default()
+        };
+        group.bench_with_input(BenchmarkId::new("refutation", label), &cfg, |b, &cfg| {
+            b.iter(|| Sierra::with_config(cfg).analyze_app(app.clone()).races.len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_sensitivity(c: &mut Criterion) {
+    // The §6.5 future-work container model: compare indexed-container
+    // analysis with per-slot fields vs the summarized field.
+    let mut app = android_model::AndroidAppBuilder::new("IndexFixture");
+    let mut truth = corpus::GroundTruth::new();
+    corpus::Idiom::IndexedBuffer.plant(&mut app, "com.fix.Buffer", &mut truth);
+    let app = app.finish().expect("fixture builds");
+    let harness = harness_gen::generate(app);
+    let mut group = c.benchmark_group("ablation_index_sensitivity");
+    for (label, on) in [("index_sensitive", true), ("summarized", false)] {
+        let opts = pointer::AnalysisOptions { index_sensitive: on };
+        group.bench_with_input(BenchmarkId::new("analysis", label), &opts, |b, &opts| {
+            b.iter(|| {
+                pointer::analyze_opts(
+                    black_box(&harness),
+                    SelectorKind::ActionSensitive(1),
+                    opts,
+                )
+                .cg_edge_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_exploration(c: &mut Criterion) {
+    // Random vs systematic schedule exploration (the §6.4 "efficient ways
+    // to explore schedules" discussion) under comparable budgets.
+    let (app, _) = corpus::figures::inter_component();
+    let mut group = c.benchmark_group("ablation_exploration");
+    group.sample_size(20);
+    group.bench_function("random_64_runs", |b| {
+        b.iter(|| {
+            eventracer::detect(
+                black_box(&app),
+                &eventracer::EventRacerConfig {
+                    runs: 64,
+                    steps_per_episode: 6,
+                    activity_coverage: 1.0,
+                    ..Default::default()
+                },
+            )
+            .races
+            .len()
+        })
+    });
+    group.bench_function("systematic_64_runs", |b| {
+        b.iter(|| {
+            eventracer::detect_systematic(
+                black_box(&app),
+                &eventracer::SystematicConfig { max_runs: 64, ..Default::default() },
+            )
+            .races
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_context_ablation,
+    bench_refutation_budget,
+    bench_cache_ablation,
+    bench_index_sensitivity,
+    bench_schedule_exploration
+);
+criterion_main!(benches);

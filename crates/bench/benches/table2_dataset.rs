@@ -1,0 +1,24 @@
+//! Table 2: synthesizing the 20-app dataset.
+//!
+//! Benchmarks corpus construction (the stand-in for APK parsing + DroidEL
+//! preprocessing) per app size class, and the whole dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_dataset");
+    for spec in corpus::TWENTY
+        .iter()
+        .filter(|s| matches!(s.name, "VuDroid" | "NPR News" | "Astrid"))
+    {
+        group.bench_with_input(BenchmarkId::new("build_app", spec.name), spec, |b, spec| {
+            b.iter(|| corpus::twenty::build_app(black_box(*spec)))
+        });
+    }
+    group.bench_function("build_all_twenty", |b| b.iter(|| corpus::twenty::build_all().len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset);
+criterion_main!(benches);

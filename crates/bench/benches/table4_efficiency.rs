@@ -1,0 +1,66 @@
+//! Table 4: efficiency — per-stage cost of the pipeline.
+//!
+//! The paper breaks analysis time into CG+PA (dominant), HBG construction
+//! (cheap), and refutation (second-largest). Each stage is benchmarked in
+//! isolation on the medium app so the relative costs can be compared.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pointer::SelectorKind;
+use std::hint::black_box;
+use symexec::{Refuter, RefuterConfig};
+
+fn bench_stages(c: &mut Criterion) {
+    let (_, app, _) = sierra_bench::size_classes().remove(1); // NPR News
+    let mut group = c.benchmark_group("table4_efficiency");
+    group.sample_size(30);
+
+    group.bench_function("stage_harness_generation", |b| {
+        b.iter(|| harness_gen::generate(black_box(app.clone())).harness_count())
+    });
+
+    let harness = harness_gen::generate(app.clone());
+    group.bench_function("stage_cg_pa", |b| {
+        b.iter(|| pointer::analyze(black_box(&harness), SelectorKind::ActionSensitive(1)).actions.len())
+    });
+
+    let analysis = pointer::analyze(&harness, SelectorKind::ActionSensitive(1));
+    group.bench_function("stage_hbg", |b| {
+        b.iter(|| shbg::build(black_box(&analysis), &harness).ordered_pair_count())
+    });
+
+    let graph = shbg::build(&analysis, &harness);
+    let accesses = pointer::collect_accesses(&analysis, &harness.app.program, Some(harness.harness_class));
+    // Unordered conflicting pairs (the refutation stage's input).
+    let mut pairs = Vec::new();
+    for i in 0..accesses.len() {
+        for j in i + 1..accesses.len() {
+            let (a, b) = (&accesses[i], &accesses[j]);
+            if a.action != b.action
+                && (a.is_write || b.is_write)
+                && a.overlaps(b)
+                && graph.unordered(a.action, b.action)
+            {
+                pairs.push((a.clone(), b.clone()));
+            }
+        }
+    }
+    assert!(!pairs.is_empty(), "the fixture must produce candidates");
+    group.bench_function("stage_refutation", |b| {
+        b.iter(|| {
+            let mut refuter =
+                Refuter::new(&analysis, &harness.app.program, RefuterConfig::default())
+                    .with_message_model(harness.app.framework.message_what);
+            let mut kept = 0;
+            for (a, bb) in &pairs {
+                if refuter.refute_pair(a, bb) != symexec::Outcome::Refuted {
+                    kept += 1;
+                }
+            }
+            kept
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 5: the 174-app F-Droid dataset.
+//!
+//! Benchmarks synthesizing and analyzing a slice of the dataset (the full
+//! 174-app sweep is the `sierra-cli table5` command; the bench keeps a
+//! fixed 10-app slice so timings are comparable run to run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sierra_core::{Sierra, SierraConfig};
+use std::hint::black_box;
+
+fn bench_fdroid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_fdroid");
+    group.sample_size(10);
+
+    group.bench_function("synthesize_10_apps", |b| {
+        b.iter(|| {
+            corpus::fdroid::iter_apps().take(10).map(|(_, app, _)| app.size_stmts()).sum::<usize>()
+        })
+    });
+
+    let apps: Vec<_> = corpus::fdroid::iter_apps().take(10).collect();
+    let cfg = SierraConfig { compare_without_as: false, ..Default::default() };
+    group.bench_function("analyze_10_apps", |b| {
+        b.iter(|| {
+            apps.iter()
+                .map(|(_, app, _)| {
+                    Sierra::with_config(cfg).analyze_app(black_box(app.clone())).races.len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fdroid);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! # sierra-bench — benchmark support
+//!
+//! The Criterion benches in `benches/` regenerate the measurements behind
+//! every table and figure of the paper's evaluation; this library hosts
+//! shared fixtures.
+
+use android_model::AndroidApp;
+use corpus::GroundTruth;
+
+/// A small, a medium, and a large Table 2 app (by synthesized size).
+pub fn size_classes() -> Vec<(&'static str, AndroidApp, GroundTruth)> {
+    ["VuDroid", "NPR News", "Astrid"]
+        .into_iter()
+        .map(|name| {
+            let spec = corpus::TWENTY
+                .iter()
+                .find(|s| s.name == name)
+                .expect("known app");
+            let (app, truth) = corpus::twenty::build_app(*spec);
+            (name, app, truth)
+        })
+        .collect()
+}

@@ -1,0 +1,325 @@
+//! Experiment runners: one function per table of the paper.
+
+use corpus::{fdroid, twenty, EvalCounts, GroundTruth};
+use eventracer::EventRacerConfig;
+use sierra_core::{Sierra, SierraConfig, SierraResult};
+use std::time::Duration;
+
+/// Everything measured for one app (one row of Tables 3 and 4).
+#[derive(Debug, Clone)]
+pub struct AppRow {
+    /// App name.
+    pub name: String,
+    /// Number of generated harnesses.
+    pub harnesses: usize,
+    /// Number of actions (SHBG nodes).
+    pub actions: usize,
+    /// HB edges (ordered pairs in the closed SHBG).
+    pub hb_edges: usize,
+    /// Percentage of the theoretical maximum.
+    pub ordered_pct: f64,
+    /// Racy pairs without action sensitivity.
+    pub racy_without_as: usize,
+    /// Racy pairs with action sensitivity.
+    pub racy_with_as: usize,
+    /// Race reports after refutation.
+    pub after_refutation: usize,
+    /// Ground-truth evaluation of SIERRA's reports.
+    pub sierra_eval: EvalCounts,
+    /// Ground-truth evaluation of EventRacer's reports.
+    pub eventracer_eval: EvalCounts,
+    /// Races EventRacer reported.
+    pub eventracer_races: usize,
+    /// Stage time: call graph + pointer analysis.
+    pub t_cg_pa: Duration,
+    /// Stage time: SHBG construction.
+    pub t_hbg: Duration,
+    /// Stage time: refutation.
+    pub t_refutation: Duration,
+    /// Total pipeline time.
+    pub t_total: Duration,
+}
+
+/// Reported `(class, field)` groups of a SIERRA result.
+pub fn sierra_groups(result: &SierraResult) -> Vec<(String, String)> {
+    let p = &result.harness.app.program;
+    let mut v: Vec<(String, String)> = result
+        .races
+        .iter()
+        .map(|r| {
+            let f = p.field(r.field);
+            (p.class_name(f.class).to_owned(), p.name(f.name).to_owned())
+        })
+        .collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Runs SIERRA + EventRacer + ground-truth scoring on one app.
+pub fn run_app(
+    name: &str,
+    app: android_model::AndroidApp,
+    truth: &GroundTruth,
+    sierra_cfg: SierraConfig,
+    er_cfg: &EventRacerConfig,
+) -> AppRow {
+    let er_report = eventracer::detect(&app, er_cfg);
+    let result = Sierra::with_config(sierra_cfg).analyze_app(app);
+
+    let s_groups = sierra_groups(&result);
+    let sierra_eval = truth.evaluate(s_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    let e_groups = er_report.race_groups();
+    let eventracer_eval =
+        truth.evaluate(e_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+
+    AppRow {
+        name: name.to_owned(),
+        harnesses: result.harness_count,
+        actions: result.action_count,
+        hb_edges: result.hb_edges,
+        ordered_pct: result.hb_percent(),
+        racy_without_as: result.racy_pairs_without_as,
+        racy_with_as: result.racy_pairs_with_as,
+        after_refutation: result.races.len(),
+        sierra_eval,
+        eventracer_eval,
+        eventracer_races: er_report.races.len(),
+        t_cg_pa: result.timings.cg_pa,
+        t_hbg: result.timings.hbg,
+        t_refutation: result.timings.refutation,
+        t_total: result.timings.total,
+    }
+}
+
+/// Runs the 20-app dataset (Tables 3 and 4).
+pub fn run_twenty(sierra_cfg: SierraConfig, er_cfg: &EventRacerConfig) -> Vec<AppRow> {
+    twenty::build_all()
+        .into_iter()
+        .map(|(spec, app, truth)| run_app(spec.name, app, &truth, sierra_cfg, er_cfg))
+        .collect()
+}
+
+/// Runs the first `count` apps of the 174-app dataset (Table 5).
+pub fn run_fdroid(count: usize, sierra_cfg: SierraConfig) -> Vec<AppRow> {
+    let er_cfg = EventRacerConfig::default();
+    fdroid::iter_apps()
+        .take(count)
+        .map(|(i, app, truth)| {
+            run_app(&format!("app{i:03}"), app, &truth, sierra_cfg, &er_cfg)
+        })
+        .collect()
+}
+
+/// Median of a numeric series (paper reports medians in Tables 3–5).
+pub fn median<T: Copy + PartialOrd>(values: &[T]) -> Option<T> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("comparable"));
+    Some(v[v.len() / 2])
+}
+
+/// Renders Table 2 (app metadata and synthesized sizes).
+pub fn table2() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<17} {:>28} {:>12} {:>12} {:>10}\n",
+        "App", "Installs", "Paper KB", "IR stmts", "Activities"
+    ));
+    for spec in twenty::TWENTY {
+        let (app, _) = twenty::build_app(spec);
+        out.push_str(&format!(
+            "{:<17} {:>28} {:>12} {:>12} {:>10}\n",
+            spec.name,
+            spec.installs,
+            spec.bytecode_kb,
+            app.size_stmts(),
+            app.manifest.activities.len(),
+        ));
+    }
+    out
+}
+
+/// Renders Table 3 (effectiveness on the 20-app dataset).
+pub fn table3(rows: &[AppRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<17} {:>4} {:>7} {:>8} {:>5} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
+        "App", "Harn", "Actions", "HBedges", "Ord%", "RP-noAS", "RP-AS", "AfterR", "True", "FP", "Miss", "EvRac"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
+            r.name,
+            r.harnesses,
+            r.actions,
+            r.hb_edges,
+            r.ordered_pct,
+            r.racy_without_as,
+            r.racy_with_as,
+            r.after_refutation,
+            r.sierra_eval.true_races,
+            r.sierra_eval.false_positives + r.sierra_eval.unplanted,
+            r.sierra_eval.missed,
+            r.eventracer_eval.true_races,
+        ));
+    }
+    out.push_str(&median_row(rows));
+    out
+}
+
+/// Renders the Table 3/5 median summary line.
+pub fn median_row(rows: &[AppRow]) -> String {
+    let m = |f: &dyn Fn(&AppRow) -> f64| {
+        median(&rows.iter().map(f).collect::<Vec<_>>()).unwrap_or(0.0)
+    };
+    format!(
+        "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
+        "MEDIAN",
+        m(&|r| r.harnesses as f64),
+        m(&|r| r.actions as f64),
+        m(&|r| r.hb_edges as f64),
+        m(&|r| r.ordered_pct),
+        m(&|r| r.racy_without_as as f64),
+        m(&|r| r.racy_with_as as f64),
+        m(&|r| r.after_refutation as f64),
+        m(&|r| r.sierra_eval.true_races as f64),
+        m(&|r| (r.sierra_eval.false_positives + r.sierra_eval.unplanted) as f64),
+        m(&|r| r.sierra_eval.missed as f64),
+        m(&|r| r.eventracer_eval.true_races as f64),
+    )
+}
+
+/// Renders Table 4 (per-stage efficiency).
+pub fn table4(rows: &[AppRow]) -> String {
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<17} {:>10} {:>8} {:>12} {:>10}\n",
+        "App", "CG+PA(ms)", "HBG(ms)", "Refute(ms)", "Total(ms)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2}\n",
+            r.name,
+            ms(r.t_cg_pa),
+            ms(r.t_hbg),
+            ms(r.t_refutation),
+            ms(r.t_total)
+        ));
+    }
+    let med = |f: &dyn Fn(&AppRow) -> f64| {
+        median(&rows.iter().map(f).collect::<Vec<_>>()).unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2}\n",
+        "MEDIAN",
+        med(&|r| ms(r.t_cg_pa)),
+        med(&|r| ms(r.t_hbg)),
+        med(&|r| ms(r.t_refutation)),
+        med(&|r| ms(r.t_total)),
+    ));
+    out
+}
+
+/// Renders Table 5 (174-app medians).
+pub fn table5(rows: &[AppRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{} apps analyzed; medians:\n", rows.len()));
+    out.push_str(&format!(
+        "{:<17} {:>4} {:>7} {:>8} {:>5} {:>7} {:>6}\n",
+        "", "Harn", "Actions", "HBedges", "Ord%", "RP-AS", "AfterR"
+    ));
+    let m = |f: &dyn Fn(&AppRow) -> f64| {
+        median(&rows.iter().map(f).collect::<Vec<_>>()).unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>6}\n",
+        "MEDIAN",
+        m(&|r| r.harnesses as f64),
+        m(&|r| r.actions as f64),
+        m(&|r| r.hb_edges as f64),
+        m(&|r| r.ordered_pct),
+        m(&|r| r.racy_with_as as f64),
+        m(&|r| r.after_refutation as f64),
+    ));
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    out.push_str(&format!(
+        "Efficiency medians: CG+PA {:.2} ms, HBG {:.2} ms, refutation {:.2} ms, total {:.2} ms\n",
+        m(&|r| ms(r.t_cg_pa)),
+        m(&|r| ms(r.t_hbg)),
+        m(&|r| ms(r.t_refutation)),
+        m(&|r| ms(r.t_total)),
+    ));
+    out
+}
+
+/// Aggregate comparison against EventRacer (§6.4's averages).
+pub fn comparison_summary(rows: &[AppRow]) -> String {
+    let n = rows.len().max(1) as f64;
+    let avg = |f: &dyn Fn(&AppRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    format!(
+        "SIERRA:     avg {:.1} reports, {:.1} true races, {:.1} FPs, {:.1} missed\n\
+         EventRacer: avg {:.1} reports, {:.1} true races, {:.1} FPs, {:.1} missed\n\
+         → the dynamic detector misses {:.1} true races per app on average\n",
+        avg(&|r| r.after_refutation as f64),
+        avg(&|r| r.sierra_eval.true_races as f64),
+        avg(&|r| (r.sierra_eval.false_positives + r.sierra_eval.unplanted) as f64),
+        avg(&|r| r.sierra_eval.missed as f64),
+        avg(&|r| r.eventracer_races as f64),
+        avg(&|r| r.eventracer_eval.true_races as f64),
+        avg(&|r| (r.eventracer_eval.false_positives + r.eventracer_eval.unplanted) as f64),
+        avg(&|r| r.eventracer_eval.missed as f64),
+        avg(&|r| r.sierra_eval.true_races as f64 - r.eventracer_eval.true_races as f64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_and_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4, 1, 3, 2]), Some(3)); // upper median
+        assert_eq!(median::<i32>(&[]), None);
+        assert_eq!(median(&[7]), Some(7));
+    }
+
+    #[test]
+    fn table2_lists_all_twenty_apps() {
+        let t = table2();
+        for spec in corpus::TWENTY {
+            assert!(t.contains(spec.name), "missing {}", spec.name);
+        }
+        assert!(t.contains("Installs"));
+    }
+
+    #[test]
+    fn run_app_produces_consistent_rows() {
+        let (app, truth) = corpus::figures::intra_component();
+        let row = run_app(
+            "fig1",
+            app,
+            &truth,
+            SierraConfig::default(),
+            &EventRacerConfig::default(),
+        );
+        assert_eq!(row.harnesses, 1);
+        assert!(row.actions > 0);
+        assert!(row.racy_with_as <= row.racy_without_as);
+        assert!(row.after_refutation <= row.racy_with_as);
+        assert_eq!(row.sierra_eval.missed, 0);
+        // Rendering includes the row and a median line.
+        let t3 = table3(std::slice::from_ref(&row));
+        assert!(t3.contains("fig1") && t3.contains("MEDIAN"));
+        let t4 = table4(std::slice::from_ref(&row));
+        assert!(t4.contains("CG+PA"));
+        let t5 = table5(std::slice::from_ref(&row));
+        assert!(t5.contains("medians"));
+        let cmp = comparison_summary(std::slice::from_ref(&row));
+        assert!(cmp.contains("SIERRA"));
+    }
+}

@@ -1,0 +1,8 @@
+//! # sierra-cli — experiment drivers for the SIERRA reproduction
+//!
+//! The [`experiments`] module regenerates every table of the paper's
+//! evaluation; the `sierra-cli` binary prints them. Criterion benches reuse
+//! the same runners so benchmark numbers and table numbers come from one
+//! code path.
+
+pub mod experiments;

@@ -1,0 +1,145 @@
+//! `sierra-cli` — reproduce the paper's tables from the command line.
+//!
+//! ```text
+//! sierra-cli table2                 # Table 2: the 20-app dataset
+//! sierra-cli table3                 # Table 3: effectiveness (runs everything)
+//! sierra-cli table4                 # Table 4: per-stage efficiency
+//! sierra-cli table5 [--apps N]      # Table 5: the 174-app dataset (medians)
+//! sierra-cli compare                # §6.4 SIERRA vs EventRacer summary
+//! sierra-cli analyze <AppName>      # one Table-2 app, with race reports
+//! sierra-cli figures                # run the Figure 1/2/8 apps
+//! sierra-cli verify <AppName>       # dynamically verify static reports
+//! ```
+
+use eventracer::EventRacerConfig;
+use sierra_cli::experiments;
+use sierra_core::{Sierra, SierraConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let sierra_cfg = SierraConfig::default();
+    let er_cfg = EventRacerConfig::default();
+    match cmd {
+        "table2" => print!("{}", experiments::table2()),
+        "table3" => {
+            let rows = experiments::run_twenty(sierra_cfg, &er_cfg);
+            print!("{}", experiments::table3(&rows));
+        }
+        "table4" => {
+            let rows = experiments::run_twenty(sierra_cfg, &er_cfg);
+            print!("{}", experiments::table4(&rows));
+        }
+        "table5" => {
+            let count = flag_value(&args, "--apps")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(corpus::fdroid::APP_COUNT);
+            let rows = experiments::run_fdroid(count, sierra_cfg);
+            print!("{}", experiments::table5(&rows));
+        }
+        "compare" => {
+            let rows = experiments::run_twenty(sierra_cfg, &er_cfg);
+            print!("{}", experiments::comparison_summary(&rows));
+        }
+        "analyze" => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: sierra-cli analyze <AppName>");
+                std::process::exit(2);
+            };
+            let Some(spec) = corpus::TWENTY.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+            else {
+                eprintln!("unknown app {name:?}; see `sierra-cli table2` for names");
+                std::process::exit(2);
+            };
+            let (app, truth) = corpus::twenty::build_app(*spec);
+            let result = Sierra::with_config(sierra_cfg).analyze_app(app);
+            println!(
+                "{}: {} harnesses, {} actions, {} HB edges ({:.1}%), {} racy pairs → {} races",
+                spec.name,
+                result.harness_count,
+                result.action_count,
+                result.hb_edges,
+                result.hb_percent(),
+                result.racy_pairs_with_as,
+                result.races.len()
+            );
+            for race in &result.races {
+                println!(
+                    "  {}",
+                    race.describe(&result.harness.app.program, &result.analysis.actions)
+                );
+            }
+            let groups = experiments::sierra_groups(&result);
+            let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+            println!(
+                "ground truth: {} true races, {} false positives, {} missed",
+                eval.true_races,
+                eval.false_positives + eval.unplanted,
+                eval.missed
+            );
+        }
+        "verify" => {
+            let Some(name) = args.get(1) else {
+                eprintln!("usage: sierra-cli verify <AppName>");
+                std::process::exit(2);
+            };
+            let Some(spec) = corpus::TWENTY.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+            else {
+                eprintln!("unknown app {name:?}; see `sierra-cli table2` for names");
+                std::process::exit(2);
+            };
+            let (app, _) = corpus::twenty::build_app(*spec);
+            let app_for_verify = app.clone();
+            let result = Sierra::with_config(sierra_cfg).analyze_app(app);
+            let p = &result.harness.app.program;
+            println!("{}: {} static race report(s); verifying dynamically…", spec.name, result.races.len());
+            let mut groups: Vec<(String, String)> = result
+                .races
+                .iter()
+                .map(|r| {
+                    let f = p.field(r.field);
+                    (p.class_name(f.class).to_owned(), p.name(f.name).to_owned())
+                })
+                .collect();
+            groups.sort();
+            groups.dedup();
+            for (class, field) in groups {
+                let verdict = eventracer::verify_race(
+                    &app_for_verify,
+                    &class,
+                    &field,
+                    eventracer::VerifyConfig::default(),
+                );
+                println!("  {class}.{field}: {verdict:?}");
+            }
+        }
+        "figures" => {
+            for (label, (app, truth)) in [
+                ("Figure 1 (intra-component)", corpus::figures::intra_component()),
+                ("Figure 2 (inter-component)", corpus::figures::inter_component()),
+                ("Figure 8 (refutation)", corpus::figures::open_sudoku_guard()),
+            ] {
+                let result = Sierra::with_config(sierra_cfg).analyze_app(app);
+                let groups = experiments::sierra_groups(&result);
+                let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+                println!(
+                    "{label}: {} racy pairs, {} after refutation, {} true, {} FP, {} missed",
+                    result.racy_pairs_with_as,
+                    result.races.len(),
+                    eval.true_races,
+                    eval.false_positives + eval.unplanted,
+                    eval.missed
+                );
+            }
+        }
+        _ => {
+            println!(
+                "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures>"
+            );
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}

@@ -1,0 +1,326 @@
+//! The end-to-end SIERRA pipeline (Figure 3).
+//!
+//! `app → harness generation → pointer analysis (action-sensitive) →
+//! SHBG → racy pairs → symbolic refutation → prioritized race reports`,
+//! with per-stage wall-clock timings for the efficiency tables.
+
+use crate::report::{priority_of, RaceReport};
+use android_model::AndroidApp;
+use harness_gen::HarnessResult;
+use pointer::{collect_accesses, Access, Analysis, SelectorKind};
+use shbg::Shbg;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use symexec::{Outcome, Refuter, RefuterConfig, RefuterStats};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SierraConfig {
+    /// Context-sensitivity for the main run (default: action-sensitive).
+    pub selector: SelectorKind,
+    /// Refutation knobs.
+    pub refuter: RefuterConfig,
+    /// Also run a non-action-sensitive pass to report "racy pairs w/o AS"
+    /// (Table 3, column 6). The comparison selector is hybrid with the
+    /// same k.
+    pub compare_without_as: bool,
+    /// Skip the refutation stage (reports every racy pair; used by
+    /// ablations).
+    pub skip_refutation: bool,
+}
+
+impl Default for SierraConfig {
+    fn default() -> Self {
+        Self {
+            selector: SelectorKind::ActionSensitive(1),
+            refuter: RefuterConfig::default(),
+            compare_without_as: true,
+            skip_refutation: false,
+        }
+    }
+}
+
+/// Wall-clock time of each pipeline stage (Table 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Harness generation.
+    pub harness: Duration,
+    /// Call-graph + pointer analysis ("CG+PA").
+    pub cg_pa: Duration,
+    /// SHBG construction ("HBG").
+    pub hbg: Duration,
+    /// Symbolic-execution refutation.
+    pub refutation: Duration,
+    /// End-to-end.
+    pub total: Duration,
+}
+
+/// The result of analyzing one app.
+#[derive(Debug)]
+pub struct SierraResult {
+    /// The analyzed app's name.
+    pub app_name: String,
+    /// Number of generated harnesses (activities).
+    pub harness_count: usize,
+    /// Number of actions (SHBG nodes).
+    pub action_count: usize,
+    /// Ordered pairs in the transitively-closed SHBG ("HB edges").
+    pub hb_edges: usize,
+    /// Theoretical maximum ordered pairs (per-harness `n·(n−1)/2` summed).
+    pub hb_max: usize,
+    /// Candidate racy pairs without action sensitivity (0 when the
+    /// comparison pass is disabled).
+    pub racy_pairs_without_as: usize,
+    /// Candidate racy pairs with action sensitivity.
+    pub racy_pairs_with_as: usize,
+    /// Races surviving refutation, ranked by priority.
+    pub races: Vec<RaceReport>,
+    /// Refuter statistics.
+    pub refuter_stats: RefuterStats,
+    /// Per-stage timings.
+    pub timings: StageTimings,
+    /// The main (action-sensitive) analysis, for downstream inspection.
+    pub analysis: Analysis,
+    /// The SHBG.
+    pub shbg: Shbg,
+    /// The harnessed app.
+    pub harness: HarnessResult,
+}
+
+impl SierraResult {
+    /// Fraction of the theoretical maximum HB edges found (Table 3 col 5).
+    pub fn hb_percent(&self) -> f64 {
+        if self.hb_max == 0 {
+            0.0
+        } else {
+            100.0 * self.hb_edges as f64 / self.hb_max as f64
+        }
+    }
+
+    /// Renders a complete human-readable report: summary line, stage
+    /// timings, and the ranked race list (the tool's CLI output format).
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} harnesses, {} actions, {} HB edges ({:.1}% of max)",
+            self.app_name,
+            self.harness_count,
+            self.action_count,
+            self.hb_edges,
+            self.hb_percent()
+        );
+        let _ = writeln!(
+            out,
+            "racy pairs: {} (without action-sensitivity: {}); {} race(s) after refutation",
+            self.racy_pairs_with_as,
+            self.racy_pairs_without_as,
+            self.races.len()
+        );
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let _ = writeln!(
+            out,
+            "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, refutation {:.2} ms, total {:.2} ms",
+            ms(self.timings.harness),
+            ms(self.timings.cg_pa),
+            ms(self.timings.hbg),
+            ms(self.timings.refutation),
+            ms(self.timings.total)
+        );
+        let program = &self.harness.app.program;
+        for (i, race) in self.races.iter().enumerate() {
+            let _ =
+                writeln!(out, "{:>3}. {}", i + 1, race.describe(program, &self.analysis.actions));
+        }
+        out
+    }
+
+    /// The SHBG in Graphviz DOT format with readable action labels.
+    pub fn shbg_dot(&self) -> String {
+        self.shbg.to_dot(|a| crate::report::describe_action(&self.analysis.actions, a))
+    }
+}
+
+/// The SIERRA detector.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sierra {
+    /// Pipeline configuration.
+    pub config: SierraConfig,
+}
+
+impl Sierra {
+    /// Creates a detector with default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a detector with the given configuration.
+    pub fn with_config(config: SierraConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs the full pipeline on an app.
+    pub fn analyze_app(&self, app: AndroidApp) -> SierraResult {
+        let t0 = Instant::now();
+        let app_name = app.name.clone();
+
+        // Stage 1: harness generation (§3.2).
+        let harness = harness_gen::generate(app);
+        let t_harness = t0.elapsed();
+
+        // Stage 2: call graph + pointer analysis (§3.3).
+        let t1 = Instant::now();
+        let analysis = pointer::analyze(&harness, self.config.selector);
+        let t_cg_pa = t1.elapsed();
+
+        // Stage 3: SHBG (§4).
+        let t2 = Instant::now();
+        let graph = shbg::build(&analysis, &harness);
+        let t_hbg = t2.elapsed();
+
+        // Racy pairs with action sensitivity.
+        let accesses = collect_accesses(&analysis, &harness.app.program, Some(harness.harness_class));
+        let deduped = dedupe(accesses);
+        let racy = racy_pairs(&deduped, &analysis, &graph);
+        let racy_pairs_with_as = racy.len();
+
+        // Comparison pass without action sensitivity (Table 3 col 6).
+        let racy_pairs_without_as = if self.config.compare_without_as {
+            let plain = match self.config.selector {
+                SelectorKind::ActionSensitive(k) => SelectorKind::Hybrid(k),
+                other => other,
+            };
+            let analysis2 = pointer::analyze(&harness, plain);
+            let graph2 = shbg::build(&analysis2, &harness);
+            let accesses2 =
+                collect_accesses(&analysis2, &harness.app.program, Some(harness.harness_class));
+            racy_pairs(&dedupe(accesses2), &analysis2, &graph2).len()
+        } else {
+            0
+        };
+
+        // Stage 4: refutation (§5) + prioritization (§3.1).
+        let t3 = Instant::now();
+        let mut refuter = Refuter::new(&analysis, &harness.app.program, self.config.refuter)
+            .with_message_model(harness.app.framework.message_what);
+        let mut races: Vec<RaceReport> = Vec::new();
+        for &(a, b) in &racy {
+            let outcome = if self.config.skip_refutation {
+                Outcome::Budget
+            } else {
+                refuter.refute_pair(a, b)
+            };
+            if outcome == Outcome::Refuted {
+                continue;
+            }
+            let field = a.field;
+            let pointer_field =
+                harness.app.program.field(field).ty.is_reference();
+            let priority = priority_of(&harness.app.program, a, b);
+            races.push(RaceReport {
+                a: a.clone(),
+                b: b.clone(),
+                field,
+                outcome,
+                priority,
+                pointer_field,
+            });
+        }
+        races.sort_by_key(|r| r.rank_key());
+        let refuter_stats = refuter.stats;
+        let t_refutation = t3.elapsed();
+
+        // Theoretical maximum of ordered pairs: the paper's `N·(N−1)/2`
+        // over all of the app's actions (cross-harness pairs included in
+        // the denominator even though our model never orders them).
+        let n = analysis.actions.len();
+        let hb_max = n * n.saturating_sub(1) / 2;
+
+        SierraResult {
+            app_name,
+            harness_count: harness.harness_count(),
+            action_count: analysis.actions.len(),
+            hb_edges: graph.ordered_pair_count(),
+            hb_max,
+            racy_pairs_without_as,
+            racy_pairs_with_as,
+            races,
+            refuter_stats,
+            timings: StageTimings {
+                harness: t_harness,
+                cg_pa: t_cg_pa,
+                hbg: t_hbg,
+                refutation: t_refutation,
+                total: t0.elapsed(),
+            },
+            analysis,
+            shbg: graph,
+            harness,
+        }
+    }
+}
+
+/// Deduplicates accesses to one representative per `(action, addr)`.
+fn dedupe(accesses: Vec<Access>) -> Vec<Access> {
+    let mut seen: HashMap<(android_model::ActionId, apir::StmtAddr), Access> = HashMap::new();
+    for a in accesses {
+        seen.entry((a.action, a.addr))
+            .and_modify(|e| {
+                // Merge base points-to across contexts of the same action.
+                for o in &a.base {
+                    if !e.base.contains(o) {
+                        e.base.push(*o);
+                    }
+                }
+            })
+            .or_insert(a);
+    }
+    let mut out: Vec<Access> = seen.into_values().collect();
+    out.sort_by_key(|a| (a.addr, a.action));
+    out
+}
+
+/// Candidate racy pairs: same harness, different unordered actions,
+/// overlapping locations, at least one write (§4.1).
+fn racy_pairs<'a>(
+    accesses: &'a [Access],
+    analysis: &Analysis,
+    graph: &Shbg,
+) -> Vec<(&'a Access, &'a Access)> {
+    // Group by field: only same-field accesses can overlap.
+    let mut by_field: HashMap<apir::FieldId, Vec<&Access>> = HashMap::new();
+    for a in accesses {
+        by_field.entry(a.field).or_default().push(a);
+    }
+    let mut out = Vec::new();
+    for group in by_field.values() {
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                let (a, b) = (group[i], group[j]);
+                if a.action == b.action {
+                    continue;
+                }
+                if !(a.is_write || b.is_write) {
+                    continue;
+                }
+                let (ha, hb) = (
+                    analysis.actions.action(a.action).harness,
+                    analysis.actions.action(b.action).harness,
+                );
+                if ha != hb {
+                    continue; // races are detected per harness
+                }
+                if !a.overlaps(b) {
+                    continue;
+                }
+                if !graph.unordered(a.action, b.action) {
+                    continue;
+                }
+                out.push((a, b));
+            }
+        }
+    }
+    out.sort_by_key(|(a, b)| (a.addr, b.addr, a.action, b.action));
+    out
+}

@@ -1,0 +1,124 @@
+//! Race reports and prioritization (§3.1).
+
+use android_model::{ActionKind, ActionRegistry};
+use apir::{FieldId, Origin, Program};
+use pointer::Access;
+use symexec::Outcome;
+
+/// Priority bucket of a race report (§3.1's heuristics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Races inside library code reached from the framework.
+    Library,
+    /// Races in framework code invoked from library code.
+    FrameworkFromLibrary,
+    /// Races in framework code directly invoked from app code.
+    FrameworkFromApp,
+    /// Races in application code.
+    App,
+}
+
+/// One reported race: an unordered, unrefuted access pair.
+#[derive(Debug, Clone)]
+pub struct RaceReport {
+    /// First access.
+    pub a: Access,
+    /// Second access.
+    pub b: Access,
+    /// The field both accesses touch.
+    pub field: FieldId,
+    /// Refutation outcome (`TruePositive` or `Budget`; `Refuted` pairs are
+    /// dropped before reporting).
+    pub outcome: Outcome,
+    /// Priority bucket.
+    pub priority: Priority,
+    /// Whether the field is reference-typed (ranked higher: such races can
+    /// manifest as `NullPointerException`s).
+    pub pointer_field: bool,
+}
+
+impl RaceReport {
+    /// Sort key: higher priority first, pointer fields first within a
+    /// bucket, refutation-budget reports last within those.
+    pub fn rank_key(&self) -> (std::cmp::Reverse<Priority>, bool, bool) {
+        (
+            std::cmp::Reverse(self.priority),
+            !self.pointer_field,
+            self.outcome == Outcome::Budget,
+        )
+    }
+
+    /// Human-readable one-line description.
+    pub fn describe(&self, program: &Program, actions: &ActionRegistry) -> String {
+        let f = program.field(self.field);
+        format!(
+            "race on {}.{} between {} ({}) and {} ({}) [{:?}, {:?}]",
+            program.class_name(f.class),
+            program.name(f.name),
+            describe_action(actions, self.a.action),
+            if self.a.is_write { "write" } else { "read" },
+            describe_action(actions, self.b.action),
+            if self.b.is_write { "write" } else { "read" },
+            self.priority,
+            self.outcome,
+        )
+    }
+}
+
+/// Short label for an action (used in reports and examples).
+pub fn describe_action(actions: &ActionRegistry, id: android_model::ActionId) -> String {
+    let a = actions.action(id);
+    match &a.kind {
+        ActionKind::HarnessRoot => format!("{id}:harness"),
+        ActionKind::Lifecycle { event, instance } => {
+            format!("{id}:{}\"{instance}\"", event.callback_name())
+        }
+        ActionKind::Gui { event, view } => match view {
+            Some(v) => format!("{id}:{}@view{v}", event.callback_name()),
+            None => format!("{id}:{}", event.callback_name()),
+        },
+        ActionKind::ThreadRun => format!("{id}:thread"),
+        ActionKind::AsyncTaskPre => format!("{id}:onPreExecute"),
+        ActionKind::AsyncTaskBg => format!("{id}:doInBackground"),
+        ActionKind::AsyncTaskPost => format!("{id}:onPostExecute"),
+        ActionKind::ExecutorRun => format!("{id}:executor"),
+        ActionKind::RunnablePost => format!("{id}:post"),
+        ActionKind::MessageHandle { what: Some(w) } => format!("{id}:handleMessage(what={w})"),
+        ActionKind::MessageHandle { what: None } => format!("{id}:handleMessage"),
+        ActionKind::Receive => format!("{id}:onReceive"),
+        ActionKind::ServiceConnected => format!("{id}:onServiceConnected"),
+        ActionKind::ServiceDisconnected => format!("{id}:onServiceDisconnected"),
+        ActionKind::ServiceStart => format!("{id}:onStartCommand"),
+        ActionKind::TimerTask => format!("{id}:timerTask"),
+        ActionKind::LocationUpdate => format!("{id}:onLocationChanged"),
+        ActionKind::MediaCompletion => format!("{id}:onCompletion"),
+    }
+}
+
+/// Computes the §3.1 priority of an access pair from the origins of the
+/// two accessing methods.
+pub fn priority_of(program: &Program, a: &Access, b: &Access) -> Priority {
+    let lo = program.method_origin(a.method).min(program.method_origin(b.method));
+    let hi = program.method_origin(a.method).max(program.method_origin(b.method));
+    match (lo, hi) {
+        (Origin::App, Origin::App) => Priority::App,
+        (Origin::Framework, Origin::App) => Priority::FrameworkFromApp,
+        (Origin::Library, Origin::App) | (Origin::Library, Origin::Framework) => {
+            Priority::FrameworkFromLibrary
+        }
+        (Origin::Framework, Origin::Framework) => Priority::FrameworkFromApp,
+        _ => Priority::Library,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_ordering() {
+        assert!(Priority::App > Priority::FrameworkFromApp);
+        assert!(Priority::FrameworkFromApp > Priority::FrameworkFromLibrary);
+        assert!(Priority::FrameworkFromLibrary > Priority::Library);
+    }
+}

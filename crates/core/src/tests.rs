@@ -1,0 +1,172 @@
+//! End-to-end pipeline tests on the paper's figure apps.
+
+use crate::{Priority, Sierra, SierraConfig};
+use corpus::{figures, RaceLabel};
+
+fn reported_groups(result: &crate::SierraResult) -> Vec<(String, String)> {
+    let p = &result.harness.app.program;
+    result
+        .races
+        .iter()
+        .map(|r| {
+            let f = p.field(r.field);
+            (p.class_name(f.class).to_owned(), p.name(f.name).to_owned())
+        })
+        .collect()
+}
+
+#[test]
+fn figure_1_intra_component_race_is_detected() {
+    let (app, truth) = figures::intra_component();
+    let result = Sierra::new().analyze_app(app);
+    let groups = reported_groups(&result);
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert!(eval.true_races >= 1, "the adapter.data race must be found: {groups:?}");
+    assert_eq!(eval.missed, 0);
+    // The lifecycle-ordered adapter field must not be reported.
+    assert!(
+        truth.classify("com.example.NewsActivity", "adapter") == Some(RaceLabel::Ordered)
+            && !groups.iter().any(|(_, f)| f == "adapter"),
+        "ordered accesses must not be racy pairs: {groups:?}"
+    );
+    assert_eq!(result.harness_count, 1);
+    assert!(result.action_count > 10);
+    assert!(result.hb_edges > 0);
+    assert!(result.hb_percent() > 0.0 && result.hb_percent() <= 100.0);
+}
+
+#[test]
+fn figure_2_inter_component_race_is_detected() {
+    let (app, truth) = figures::inter_component();
+    let result = Sierra::new().analyze_app(app);
+    let groups = reported_groups(&result);
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert_eq!(eval.missed, 0, "both Figure 2 races must be found: {groups:?}");
+    assert!(eval.true_races >= 2);
+    // The mDB pointer race ranks at app priority with a pointer field.
+    let mdb = result
+        .races
+        .iter()
+        .find(|r| {
+            result.harness.app.program.field_name(r.field) == "mDB"
+        })
+        .expect("mDB race reported");
+    assert!(mdb.pointer_field);
+    assert_eq!(mdb.priority, Priority::App);
+}
+
+#[test]
+fn figure_8_guarded_pair_is_refuted_but_guard_reported() {
+    let (app, truth) = figures::open_sudoku_guard();
+    let result = Sierra::new().analyze_app(app);
+    let groups = reported_groups(&result);
+    assert!(
+        !groups.iter().any(|(_, f)| f == "mAccumTime"),
+        "refutation must remove the guarded pair: {groups:?}"
+    );
+    assert!(
+        groups.iter().any(|(_, f)| f == "mIsRunning"),
+        "the benign guard race itself is still reported: {groups:?}"
+    );
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert_eq!(eval.false_positives, 0);
+    assert!(result.refuter_stats.refuted >= 1);
+}
+
+#[test]
+fn message_guard_is_refuted_by_constant_propagation() {
+    let (app, _) = figures::message_guard();
+    let result = Sierra::new().analyze_app(app);
+    let groups = reported_groups(&result);
+    assert!(
+        !groups.iter().any(|(_, f)| f == "msgSlot"),
+        "what-code guarded pair must refute: {groups:?}"
+    );
+}
+
+#[test]
+fn implicit_dependency_is_reported_as_designed() {
+    let (app, truth) = figures::open_manager_implicit();
+    let result = Sierra::new().analyze_app(app);
+    let groups = reported_groups(&result);
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert_eq!(eval.false_positives, 1, "SIERRA reports the implicit dep (§6.5): {groups:?}");
+}
+
+#[test]
+fn action_sensitivity_does_not_increase_racy_pairs() {
+    let (app, _) = figures::intra_component();
+    let result = Sierra::new().analyze_app(app);
+    assert!(
+        result.racy_pairs_with_as <= result.racy_pairs_without_as,
+        "AS must only remove pairs ({} vs {})",
+        result.racy_pairs_with_as,
+        result.racy_pairs_without_as
+    );
+}
+
+#[test]
+fn skip_refutation_reports_every_racy_pair() {
+    let (app, _) = figures::open_sudoku_guard();
+    let config = SierraConfig { skip_refutation: true, ..Default::default() };
+    let with = Sierra::with_config(config).analyze_app(app);
+    let (app2, _) = figures::open_sudoku_guard();
+    let without = Sierra::new().analyze_app(app2);
+    assert!(with.races.len() >= without.races.len());
+    assert_eq!(with.races.len(), with.racy_pairs_with_as);
+}
+
+#[test]
+fn timings_are_populated() {
+    let (app, _) = figures::intra_component();
+    let result = Sierra::new().analyze_app(app);
+    assert!(result.timings.total >= result.timings.cg_pa);
+    assert!(result.timings.total >= result.timings.refutation);
+    assert!(result.timings.total.as_nanos() > 0);
+}
+
+#[test]
+fn race_reports_describe_readably() {
+    let (app, _) = figures::inter_component();
+    let result = Sierra::new().analyze_app(app);
+    let p = &result.harness.app.program;
+    for r in &result.races {
+        let d = r.describe(p, &result.analysis.actions);
+        assert!(d.contains("race on"), "{d}");
+    }
+}
+
+#[test]
+fn render_text_and_dot_outputs_are_complete() {
+    let (app, _) = figures::inter_component();
+    let result = Sierra::new().analyze_app(app);
+    let text = result.render_text();
+    assert!(text.contains("harnesses"));
+    assert!(text.contains("after refutation"));
+    assert!(text.contains("race on"), "{text}");
+    let dot = result.shbg_dot();
+    assert!(dot.starts_with("digraph shbg {"));
+    assert!(dot.contains("Lifecycle"), "rule labels present");
+    assert!(dot.contains("->"));
+    assert!(dot.ends_with("}\n"));
+}
+
+#[test]
+fn indexed_buffer_idiom_detects_same_slot_race_only() {
+    let mut app = android_model::AndroidAppBuilder::new("Idx");
+    let mut truth = corpus::GroundTruth::new();
+    corpus::Idiom::IndexedBuffer.plant(&mut app, "com.idx.Main", &mut truth);
+    let result = Sierra::new().analyze_app(app.finish().unwrap());
+    let groups = reported_groups(&result);
+    assert!(
+        groups.iter().any(|(_, f)| f == "idx1"),
+        "same-slot race must be reported: {groups:?}"
+    );
+    assert!(
+        !groups.iter().any(|(_, f)| f == "idx2" || f == "idx0" || f == "contents"),
+        "distinct slots must not race: {groups:?}"
+    );
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert_eq!(eval.missed, 0);
+    assert_eq!(eval.false_positives, 0);
+}

@@ -1,0 +1,78 @@
+//! The paper's figure apps as standalone one-activity apps.
+
+use crate::ground_truth::GroundTruth;
+use crate::idioms::Idiom;
+use android_model::{AndroidApp, AndroidAppBuilder};
+
+/// Figure 1: the intra-component `RecycleView`/`AsyncTask` race (AOSP bug
+/// 77846 in the paper).
+pub fn intra_component() -> (AndroidApp, GroundTruth) {
+    build_single("NewsApp", "com.example.NewsActivity", Idiom::AsyncUiUpdate)
+}
+
+/// Figure 2: the inter-component Activity-vs-BroadcastReceiver race.
+pub fn inter_component() -> (AndroidApp, GroundTruth) {
+    build_single("BroadcastApp", "com.example.MainActivity", Idiom::ReceiverDb)
+}
+
+/// Figure 8: OpenSudoku's guarded timer — the refutation showcase.
+pub fn open_sudoku_guard() -> (AndroidApp, GroundTruth) {
+    build_single("OpenSudokuTimer", "com.example.TimerActivity", Idiom::GuardedTimer)
+}
+
+/// §6.5 OpenManager: the implicit-dependency false positive.
+pub fn open_manager_implicit() -> (AndroidApp, GroundTruth) {
+    build_single("OpenManagerList", "com.example.ListActivity", Idiom::ImplicitDep)
+}
+
+/// §5 message-code constant-propagation refutation.
+pub fn message_guard() -> (AndroidApp, GroundTruth) {
+    build_single("MessageGuard", "com.example.HandlerActivity", Idiom::MessageGuard)
+}
+
+fn build_single(app_name: &str, activity: &str, idiom: Idiom) -> (AndroidApp, GroundTruth) {
+    let mut app = AndroidAppBuilder::new(app_name);
+    let mut truth = GroundTruth::new();
+    idiom.plant(&mut app, activity, &mut truth);
+    (app.finish().expect("figure app is well-formed"), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_apps_build_and_validate() {
+        for (app, truth) in [
+            intra_component(),
+            inter_component(),
+            open_sudoku_guard(),
+            open_manager_implicit(),
+            message_guard(),
+        ] {
+            assert!(app.program.validate().is_ok(), "{} invalid", app.name);
+            assert_eq!(app.manifest.activities.len(), 1);
+            assert!(!truth.planted.is_empty());
+        }
+    }
+
+    #[test]
+    fn figure_1_plants_a_true_race_on_adapter_data() {
+        let (_, truth) = intra_component();
+        let label = truth.classify("com.example.NewsActivity$Adapter", "data");
+        assert_eq!(label, Some(crate::RaceLabel::TrueRace));
+    }
+
+    #[test]
+    fn figure_8_plants_refutable_and_benign() {
+        let (_, truth) = open_sudoku_guard();
+        assert_eq!(
+            truth.classify("com.example.TimerActivity", "mAccumTime"),
+            Some(crate::RaceLabel::Refutable)
+        );
+        assert_eq!(
+            truth.classify("com.example.TimerActivity", "mIsRunning"),
+            Some(crate::RaceLabel::BenignGuard)
+        );
+    }
+}

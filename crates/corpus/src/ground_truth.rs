@@ -1,0 +1,185 @@
+//! Ground-truth labels for planted concurrency idioms.
+//!
+//! The paper's evaluation classifies reported races by manual inspection
+//! (§6.1, §6.5). Our synthetic apps plant each idiom deliberately, so the
+//! classification is known by construction: each planted race is keyed by
+//! the `(declaring class, field)` it manifests on.
+
+use std::collections::HashSet;
+
+/// The expected verdict for a planted race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaceLabel {
+    /// A genuine, harmful event-based race; SIERRA should report it.
+    TrueRace,
+    /// A true race on a guard variable — reported, but benign (§6.5: 74.8%
+    /// of true reports fit this pattern).
+    BenignGuard,
+    /// A pair protected by ad-hoc synchronization; refutation should
+    /// eliminate it. Reporting it is a false positive.
+    Refutable,
+    /// Accesses ordered by happens-before; must not even become a racy
+    /// pair. Reporting it is a false positive.
+    Ordered,
+    /// An implicit-dependency pattern SIERRA cannot see (§6.5 OpenManager):
+    /// SIERRA is *expected* to report it, and manual inspection counts it
+    /// as a false positive.
+    ImplicitDep,
+}
+
+impl RaceLabel {
+    /// Whether a report on this field counts as a true race under manual
+    /// inspection.
+    pub fn is_true_race(self) -> bool {
+        matches!(self, RaceLabel::TrueRace | RaceLabel::BenignGuard)
+    }
+
+    /// Whether SIERRA is expected to emit a report for this field.
+    pub fn expect_report(self) -> bool {
+        matches!(self, RaceLabel::TrueRace | RaceLabel::BenignGuard | RaceLabel::ImplicitDep)
+    }
+}
+
+/// One planted race site.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlantedRace {
+    /// Declaring class of the racy field.
+    pub class: String,
+    /// Field name.
+    pub field: String,
+    /// Expected verdict.
+    pub label: RaceLabel,
+}
+
+/// All planted races of one app.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// The planted races.
+    pub planted: Vec<PlantedRace>,
+}
+
+impl GroundTruth {
+    /// Creates an empty ground truth.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a planted race (duplicate `(class, field)` keys are merged;
+    /// shared substrate classes can be planted by several activities).
+    pub fn plant(&mut self, class: &str, field: &str, label: RaceLabel) {
+        if self.planted.iter().any(|p| p.class == class && p.field == field) {
+            return;
+        }
+        self.planted.push(PlantedRace {
+            class: class.to_owned(),
+            field: field.to_owned(),
+            label,
+        });
+    }
+
+    /// Merges another app fragment's truth into this one.
+    pub fn extend(&mut self, other: GroundTruth) {
+        self.planted.extend(other.planted);
+    }
+
+    /// The label planted on `(class, field)`, if any.
+    pub fn classify(&self, class: &str, field: &str) -> Option<RaceLabel> {
+        self.planted
+            .iter()
+            .find(|p| p.class == class && p.field == field)
+            .map(|p| p.label)
+    }
+
+    /// Number of planted sites SIERRA is expected to report.
+    pub fn expected_reports(&self) -> usize {
+        self.planted.iter().filter(|p| p.label.expect_report()).count()
+    }
+
+    /// Scores a set of reported `(class, field)` race groups against the
+    /// truth (the "After Manual Inspection" columns of Table 3).
+    pub fn evaluate<'a>(
+        &self,
+        reports: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> EvalCounts {
+        let distinct: HashSet<(String, String)> = reports
+            .into_iter()
+            .map(|(c, f)| (c.to_owned(), f.to_owned()))
+            .collect();
+        let mut counts = EvalCounts { reported: distinct.len(), ..Default::default() };
+        for (c, f) in &distinct {
+            match self.classify(c, f) {
+                Some(l) if l.is_true_race() => counts.true_races += 1,
+                Some(RaceLabel::ImplicitDep) => counts.false_positives += 1,
+                Some(_) => counts.false_positives += 1,
+                None => counts.unplanted += 1,
+            }
+        }
+        // Missed true races (false negatives).
+        for p in &self.planted {
+            if p.label.is_true_race()
+                && !distinct.contains(&(p.class.clone(), p.field.clone()))
+            {
+                counts.missed += 1;
+            }
+        }
+        counts
+    }
+}
+
+/// Evaluation counters over one app's reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounts {
+    /// Distinct reported `(class, field)` groups.
+    pub reported: usize,
+    /// Groups matching a planted true race (incl. benign guards).
+    pub true_races: usize,
+    /// Groups matching a planted false-positive pattern.
+    pub false_positives: usize,
+    /// Groups on fields not planted (noise from shared substrates).
+    pub unplanted: usize,
+    /// Planted true races that went unreported (false negatives).
+    pub missed: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_splits_true_and_false_positives() {
+        let mut t = GroundTruth::new();
+        t.plant("A", "x", RaceLabel::TrueRace);
+        t.plant("A", "g", RaceLabel::BenignGuard);
+        t.plant("A", "p", RaceLabel::Refutable);
+        t.plant("A", "d", RaceLabel::ImplicitDep);
+        t.plant("A", "o", RaceLabel::Ordered);
+        assert_eq!(t.expected_reports(), 3);
+
+        let reports = vec![("A", "x"), ("A", "g"), ("A", "d"), ("A", "z")];
+        let c = t.evaluate(reports);
+        assert_eq!(c.reported, 4);
+        assert_eq!(c.true_races, 2);
+        assert_eq!(c.false_positives, 1, "implicit dependency counts as FP");
+        assert_eq!(c.unplanted, 1);
+        assert_eq!(c.missed, 0);
+    }
+
+    #[test]
+    fn missed_true_races_are_counted() {
+        let mut t = GroundTruth::new();
+        t.plant("A", "x", RaceLabel::TrueRace);
+        t.plant("A", "y", RaceLabel::TrueRace);
+        let c = t.evaluate(vec![("A", "x")]);
+        assert_eq!(c.true_races, 1);
+        assert_eq!(c.missed, 1);
+    }
+
+    #[test]
+    fn labels_behave() {
+        assert!(RaceLabel::TrueRace.is_true_race());
+        assert!(RaceLabel::BenignGuard.is_true_race());
+        assert!(!RaceLabel::Refutable.is_true_race());
+        assert!(RaceLabel::ImplicitDep.expect_report());
+        assert!(!RaceLabel::Ordered.expect_report());
+    }
+}

@@ -1,0 +1,1276 @@
+//! Parameterized concurrency idioms.
+//!
+//! Each idiom synthesizes one activity (plus its helper classes) exhibiting
+//! a concurrency pattern from the paper, and records the expected verdict
+//! in the app's [`GroundTruth`]. The idioms are transcriptions of:
+//!
+//! - Figure 1 (intra-component `AsyncTask`/scroll race),
+//! - Figure 2 (activity vs. broadcast-receiver race),
+//! - Figure 8 (OpenSudoku's guarded timer — refutable),
+//! - §6.3 (image-loader style thread races),
+//! - §6.5 (OpenManager's implicit dependency — SIERRA's known FP),
+//! - §5 (message-code guarded handler — refutable via constant
+//!   propagation),
+//! - plus HB-ordered patterns that must *not* become racy pairs.
+
+use crate::ground_truth::{GroundTruth, RaceLabel};
+use android_model::{AndroidAppBuilder, GuiEventKind, Layout, ViewDecl};
+use apir::{ClassId, ConstValue, FieldId, InvokeKind, Local, MethodId, Operand, Type};
+
+/// The available idioms, in planting rotation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Idiom {
+    /// Figure 1: background `AsyncTask` write vs. GUI scroll read.
+    AsyncUiUpdate,
+    /// Figure 2: receiver update vs. lifecycle close.
+    ReceiverDb,
+    /// Figure 8: guard-flag protected timer (refutable + benign guard).
+    GuardedTimer,
+    /// Lifecycle-ordered accesses (no race).
+    OrderedLifecycle,
+    /// Rule-4-ordered sequential posts (no race).
+    OrderedPosts,
+    /// Unsynchronized background thread vs. GUI read.
+    ThreadUnsync,
+    /// §6.5 OpenManager implicit dependency (reported; manual FP).
+    ImplicitDep,
+    /// Message-code guarded handler (refutable via constant propagation).
+    MessageGuard,
+    /// Service connection callback vs. lifecycle read.
+    ServiceConn,
+    /// XML-listener GUI handlers racing on a custom view's field.
+    ViewText,
+    /// Static field written by a thread, read by a lifecycle callback.
+    StaticFlag,
+    /// Pointer-null-check protected pair: SIERRA refutes it; EventRacer's
+    /// race-coverage filter cannot (it only reasons about primitives) and
+    /// reports it — the paper's 102-false-positive contrast (§6.4).
+    NullGuard,
+    /// A loading-flag guard around an `AsyncTask` result (the most common
+    /// benign-guard shape: §6.5 reports 74.8% of true races fit it).
+    LoadingFlag,
+    /// Two GUI actions share a helper that allocates per call — the §3.3
+    /// `foo`/`bar` conflation example. Racy *only* without
+    /// action-sensitivity; AS-SIERRA must stay silent.
+    PerActionScratch,
+    /// A `Timer`-scheduled task racing a GUI read.
+    TimerTick,
+    /// `LocationListener.onLocationChanged` racing a lifecycle read.
+    LocationTracker,
+    /// `MediaPlayer` completion callback racing a lifecycle read.
+    MediaNotify,
+    /// A `TextWatcher` GUI callback racing an `AsyncTask` background read.
+    WatcherSync,
+    /// Indexed container accesses: slot 1 races (same index from two
+    /// actions); slot 0 vs slot 2 do not. Exercises the index-sensitive
+    /// container model (the §6.5 future-work extension).
+    IndexedBuffer,
+    /// Race-free bulk code plus a handful of independent GUI handlers
+    /// (adds unordered actions; plants nothing reportable).
+    Filler,
+}
+
+impl Idiom {
+    /// Rotation used when synthesizing app suites.
+    pub const ALL: [Idiom; 20] = [
+        Idiom::AsyncUiUpdate,
+        Idiom::ReceiverDb,
+        Idiom::GuardedTimer,
+        Idiom::OrderedLifecycle,
+        Idiom::OrderedPosts,
+        Idiom::ThreadUnsync,
+        Idiom::ImplicitDep,
+        Idiom::MessageGuard,
+        Idiom::ServiceConn,
+        Idiom::ViewText,
+        Idiom::StaticFlag,
+        Idiom::NullGuard,
+        Idiom::LoadingFlag,
+        Idiom::PerActionScratch,
+        Idiom::TimerTick,
+        Idiom::LocationTracker,
+        Idiom::MediaNotify,
+        Idiom::WatcherSync,
+        Idiom::IndexedBuffer,
+        Idiom::Filler,
+    ];
+
+    /// Plants this idiom as a new activity named `name`.
+    pub fn plant(self, app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+        match self {
+            Idiom::AsyncUiUpdate => plant_async_ui_update(app, name, truth),
+            Idiom::ReceiverDb => plant_receiver_db(app, name, truth),
+            Idiom::GuardedTimer => plant_guarded_timer(app, name, truth),
+            Idiom::OrderedLifecycle => plant_ordered_lifecycle(app, name, truth),
+            Idiom::OrderedPosts => plant_ordered_posts(app, name, truth),
+            Idiom::ThreadUnsync => plant_thread_unsync(app, name, truth),
+            Idiom::ImplicitDep => plant_implicit_dep(app, name, truth),
+            Idiom::MessageGuard => plant_message_guard(app, name, truth),
+            Idiom::ServiceConn => plant_service_conn(app, name, truth),
+            Idiom::ViewText => plant_view_text(app, name, truth),
+            Idiom::StaticFlag => plant_static_flag(app, name, truth),
+            Idiom::NullGuard => plant_null_guard(app, name, truth),
+            Idiom::LoadingFlag => plant_loading_flag(app, name, truth),
+            Idiom::PerActionScratch => plant_per_action_scratch(app, name, truth),
+            Idiom::TimerTick => plant_timer_tick(app, name, truth),
+            Idiom::LocationTracker => plant_location_tracker(app, name, truth),
+            Idiom::MediaNotify => plant_media_notify(app, name, truth),
+            Idiom::WatcherSync => plant_watcher_sync(app, name, truth),
+            Idiom::IndexedBuffer => plant_indexed_buffer(app, name, truth),
+            Idiom::Filler => plant_filler(app, name),
+        }
+    }
+}
+
+/// Emits `dst = findViewById(view_id)` on `this` and registers `this` as a
+/// listener of the given kind.
+fn register_self_listener(
+    mb: &mut apir::MethodBuilder<'_>,
+    fw: &android_model::FrameworkClasses,
+    this: Local,
+    view_id: i64,
+    register: MethodId,
+) {
+    let v = mb.fresh_local();
+    mb.call(
+        Some(v),
+        InvokeKind::Virtual,
+        fw.find_view_by_id,
+        Some(this),
+        vec![Operand::Const(ConstValue::Int(view_id))],
+    );
+    mb.call(None, InvokeKind::Virtual, register, Some(v), vec![Operand::Local(this)]);
+}
+
+/// Declares a `Runnable` subclass with an `outer` back-reference and a
+/// `run` body supplied by `body`.
+fn runnable_with_outer(
+    app: &mut AndroidAppBuilder,
+    name: &str,
+    outer_class: ClassId,
+    body: impl FnOnce(&mut apir::MethodBuilder<'_>, Local /*outer*/),
+) -> (ClassId, MethodId /*init*/) {
+    let fw = app.framework().clone();
+    let mut cb = app.subclass(name, fw.object);
+    cb.add_interface(fw.runnable);
+    let outer = cb.field("outer", Type::Ref(outer_class));
+    let class = cb.build();
+    let mut mb = app.method(class, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, outer, Operand::Local(o));
+    mb.ret(None);
+    let init = mb.finish();
+    let mut mb = app.method(class, "run");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let o = mb.fresh_local();
+    mb.load(o, this, outer);
+    body(&mut mb, o);
+    mb.ret(None);
+    mb.finish();
+    (class, init)
+}
+
+fn plant_async_ui_update(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let adapter_name = format!("{name}$Adapter");
+    let mut cb = app.subclass(&adapter_name, fw.adapter);
+    let data = cb.field("data", Type::Ref(fw.object));
+    let adapter_class = cb.build();
+
+    let loader_name = format!("{name}$Loader");
+    let mut cb = app.subclass(&loader_name, fw.async_task);
+    let task_adapter = cb.field("adapter", Type::Ref(adapter_class));
+    let loader = cb.build();
+
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_scroll_listener);
+    let act_adapter = cb.field("adapter", Type::Ref(adapter_class));
+    let activity = cb.build();
+
+    let mut mb = app.method(loader, "<init>");
+    mb.set_param_count(2);
+    let (this, a) = (mb.param(0), mb.param(1));
+    mb.store(this, task_adapter, Operand::Local(a));
+    mb.ret(None);
+    let loader_init = mb.finish();
+
+    let mut mb = app.method(loader, "doInBackground");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (ad, news) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(news, fw.object);
+    mb.load(ad, this, task_adapter);
+    mb.store(ad, data, Operand::Local(news));
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(loader, "onPostExecute");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let ad = mb.fresh_local();
+    mb.load(ad, this, task_adapter);
+    mb.vcall(fw.notify_data_set_changed, ad, vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let ad = mb.fresh_local();
+    mb.new_(ad, adapter_class);
+    mb.store(this, act_adapter, Operand::Local(ad));
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_scroll_listener);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let (ad, t) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(ad, this, act_adapter);
+    mb.new_(t, loader);
+    mb.call(None, InvokeKind::Special, loader_init, Some(t), vec![Operand::Local(ad)]);
+    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onScroll");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let (ad, x) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(ad, this, act_adapter);
+    mb.load(x, ad, data);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(&adapter_name, "data", RaceLabel::TrueRace);
+    truth.plant(name, "adapter", RaceLabel::Ordered);
+}
+
+fn plant_receiver_db(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let db_name = format!("{name}$DB");
+    let mut cb = app.subclass(&db_name, fw.object);
+    let is_open = cb.field("isOpen", Type::Bool);
+    let rows = cb.field("rows", Type::Int);
+    let db = cb.build();
+
+    // DB.update(): reads isOpen, then writes rows.
+    let mut mb = app.method(db, "update");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let t = mb.fresh_local();
+    mb.load(t, this, is_open);
+    mb.store(this, rows, Operand::Const(ConstValue::Int(1)));
+    mb.ret(None);
+    let db_update = mb.finish();
+
+    let mut cb = app.activity(name);
+    let mdb = cb.field("mDB", Type::Ref(db));
+    let activity = cb.build();
+
+    let recv_name = format!("{name}$Recv");
+    let mut cb = app.subclass(&recv_name, fw.broadcast_receiver);
+    let outer = cb.field("outer", Type::Ref(activity));
+    let recv = cb.build();
+    let mut mb = app.method(recv, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, outer, Operand::Local(o));
+    mb.ret(None);
+    let recv_init = mb.finish();
+    // Recv.onReceive(intent): outer.mDB.update(intent.getExtras()).
+    let mut mb = app.method(recv, "onReceive");
+    mb.set_param_count(2);
+    let (this, intent) = (mb.param(0), mb.param(1));
+    let (o, d, b) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+    mb.load(o, this, outer);
+    mb.load(d, o, mdb);
+    mb.call(Some(b), InvokeKind::Virtual, fw.intent_get_extras, Some(intent), vec![]);
+    mb.call(None, InvokeKind::Virtual, db_update, Some(d), vec![Operand::Local(b)]);
+    mb.ret(None);
+    mb.finish();
+
+    let recv_field: FieldId =
+        app.program_builder().add_field(activity, "recv", Type::Ref(recv), false);
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (d, r) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(d, db);
+    mb.store(this, mdb, Operand::Local(d));
+    mb.new_(r, recv);
+    mb.call(None, InvokeKind::Special, recv_init, Some(r), vec![Operand::Local(this)]);
+    mb.store(this, recv_field, Operand::Local(r));
+    mb.call(None, InvokeKind::Virtual, fw.register_receiver, Some(this), vec![Operand::Local(r)]);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onStart");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let d = mb.fresh_local();
+    mb.load(d, this, mdb);
+    mb.store(d, is_open, Operand::Const(ConstValue::Bool(true)));
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onStop");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let d = mb.fresh_local();
+    mb.load(d, this, mdb);
+    mb.store(d, is_open, Operand::Const(ConstValue::Bool(false)));
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onDestroy");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let r = mb.fresh_local();
+    mb.load(r, this, recv_field);
+    mb.call(None, InvokeKind::Virtual, fw.unregister_receiver, Some(this), vec![Operand::Local(r)]);
+    mb.store(this, mdb, Operand::Const(ConstValue::Null));
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(&db_name, "isOpen", RaceLabel::TrueRace);
+    truth.plant(name, "mDB", RaceLabel::TrueRace);
+    truth.plant(name, "recv", RaceLabel::Ordered);
+}
+
+fn plant_guarded_timer(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let is_running = cb.field("mIsRunning", Type::Bool);
+    let accum = cb.field("mAccumTime", Type::Int);
+    let activity = cb.build();
+
+    let (runner, runner_init) =
+        runnable_with_outer(app, &format!("{name}$Runner"), activity, |mb, o| {
+            let t = mb.fresh_local();
+            mb.load(t, o, is_running);
+            let b_then = mb.new_block();
+            let b_done = mb.new_block();
+            let b_off = mb.new_block();
+            let b_exit = mb.new_block();
+            mb.if_(t, b_then, b_exit);
+            mb.switch_to(b_then);
+            mb.store(o, accum, Operand::Const(ConstValue::Int(1)));
+            mb.nondet(vec![b_done, b_off]);
+            mb.switch_to(b_done);
+            mb.goto(b_exit);
+            mb.switch_to(b_off);
+            mb.store(o, is_running, Operand::Const(ConstValue::Bool(false)));
+            mb.goto(b_exit);
+            mb.switch_to(b_exit);
+        });
+
+    let mut mb = app.method(activity, "onResume");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let r = mb.fresh_local();
+    mb.store(this, is_running, Operand::Const(ConstValue::Bool(true)));
+    mb.new_(r, runner);
+    mb.call(None, InvokeKind::Special, runner_init, Some(r), vec![Operand::Local(this)]);
+    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "stop");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let t = mb.fresh_local();
+    mb.load(t, this, is_running);
+    let b_then = mb.new_block();
+    let b_exit = mb.new_block();
+    mb.if_(t, b_then, b_exit);
+    mb.switch_to(b_then);
+    mb.store(this, is_running, Operand::Const(ConstValue::Bool(false)));
+    mb.store(this, accum, Operand::Const(ConstValue::Int(2)));
+    mb.goto(b_exit);
+    mb.switch_to(b_exit);
+    mb.ret(None);
+    let stop = mb.finish();
+
+    let mut mb = app.method(activity, "onPause");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    mb.vcall(stop, this, vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "mAccumTime", RaceLabel::Refutable);
+    truth.plant(name, "mIsRunning", RaceLabel::BenignGuard);
+}
+
+fn plant_ordered_lifecycle(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let obj = app.framework().object;
+    let mut cb = app.activity(name);
+    let cfg = cb.field("cfg", Type::Ref(obj));
+    let activity = cb.build();
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let v = mb.fresh_local();
+    mb.new_(v, obj);
+    mb.store(this, cfg, Operand::Local(v));
+    mb.ret(None);
+    mb.finish();
+    let mut mb = app.method(activity, "onResume");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let v = mb.fresh_local();
+    mb.load(v, this, cfg);
+    mb.ret(None);
+    mb.finish();
+    truth.plant(name, "cfg", RaceLabel::Ordered);
+}
+
+fn plant_ordered_posts(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let stage = cb.field("stage", Type::Int);
+    let activity = cb.build();
+    let (r1, r1_init) = runnable_with_outer(app, &format!("{name}$R1"), activity, |mb, o| {
+        mb.store(o, stage, Operand::Const(ConstValue::Int(1)));
+    });
+    let (r2, r2_init) = runnable_with_outer(app, &format!("{name}$R2"), activity, |mb, o| {
+        let x = mb.fresh_local();
+        mb.load(x, o, stage);
+    });
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    for (class, init) in [(r1, r1_init), (r2, r2_init)] {
+        let r = mb.fresh_local();
+        mb.new_(r, class);
+        mb.call(None, InvokeKind::Special, init, Some(r), vec![Operand::Local(this)]);
+        mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    }
+    mb.ret(None);
+    mb.finish();
+    truth.plant(name, "stage", RaceLabel::Ordered);
+}
+
+fn plant_thread_unsync(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_long_click_listener);
+    let cache = cb.field("cache", Type::Ref(fw.object));
+    let activity = cb.build();
+    let obj = fw.object;
+    let (worker, worker_init) =
+        runnable_with_outer(app, &format!("{name}$Worker"), activity, |mb, o| {
+            let v = mb.fresh_local();
+            mb.new_(v, obj);
+            mb.store(o, cache, Operand::Local(v));
+        });
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
+    register_self_listener(&mut mb, &fw, this, 2, fw.set_on_long_click_listener);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let (w, t) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(w, worker);
+    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![Operand::Local(this)]);
+    mb.new_(t, fw.thread);
+    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onLongClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let x = mb.fresh_local();
+    mb.load(x, this, cache);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "cache", RaceLabel::TrueRace);
+}
+
+fn plant_implicit_dep(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_click_listener);
+    let items = cb.field("items", Type::Ref(fw.array_list));
+    let activity = cb.build();
+    let list_class = fw.array_list;
+    let (filler, filler_init) =
+        runnable_with_outer(app, &format!("{name}$Filler"), activity, |mb, o| {
+            let l = mb.fresh_local();
+            mb.new_(l, list_class);
+            mb.store(o, items, Operand::Local(l));
+        });
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (w, t) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(w, filler);
+    mb.call(None, InvokeKind::Special, filler_init, Some(w), vec![Operand::Local(this)]);
+    mb.new_(t, fw.thread);
+    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
+    mb.ret(None);
+    mb.finish();
+
+    // In the real app, the click is only possible after the list is filled
+    // — an implicit dependency SIERRA cannot see (§6.5).
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let x = mb.fresh_local();
+    mb.load(x, this, items);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "items", RaceLabel::ImplicitDep);
+}
+
+fn plant_message_guard(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let slot = cb.field("msgSlot", Type::Int);
+    let activity = cb.build();
+
+    let handler_name = format!("{name}$H");
+    let mut cb = app.subclass(&handler_name, fw.handler);
+    let outer = cb.field("outer", Type::Ref(activity));
+    let handler_class = cb.build();
+    let mut mb = app.method(handler_class, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, outer, Operand::Local(o));
+    mb.ret(None);
+    let handler_init = mb.finish();
+    // handleMessage(msg): if (msg.what == 1) outer.msgSlot = 1;
+    let mut mb = app.method(handler_class, "handleMessage");
+    mb.set_param_count(2);
+    let (this, msg) = (mb.param(0), mb.param(1));
+    let (o, w, cond) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+    mb.load(o, this, outer);
+    mb.load(w, msg, fw.message_what);
+    mb.bin_op(
+        cond,
+        apir::BinOp::Cmp(apir::CmpOp::Eq),
+        Operand::Local(w),
+        Operand::Const(ConstValue::Int(1)),
+    );
+    let b_then = mb.new_block();
+    let b_exit = mb.new_block();
+    mb.if_(cond, b_then, b_exit);
+    mb.switch_to(b_then);
+    mb.store(o, slot, Operand::Const(ConstValue::Int(1)));
+    mb.goto(b_exit);
+    mb.switch_to(b_exit);
+    mb.ret(None);
+    mb.finish();
+
+    let hfield = app.program_builder().add_field(activity, "handler", Type::Ref(handler_class), false);
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let h = mb.fresh_local();
+    mb.new_(h, handler_class);
+    mb.call(None, InvokeKind::Special, handler_init, Some(h), vec![Operand::Local(this)]);
+    mb.store(this, hfield, Operand::Local(h));
+    mb.ret(None);
+    mb.finish();
+
+    // onResume sends what=1, onPause sends what=2: the two handler actions
+    // both statically reach the guarded store, but the what=2 action cannot
+    // execute it — the pair refutes via constant propagation (§5).
+    for (cb_name, code) in [("onResume", 1i64), ("onPause", 2i64)] {
+        let mut mb = app.method(activity, cb_name);
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let (h, m) = (mb.fresh_local(), mb.fresh_local());
+        mb.load(h, this, hfield);
+        mb.call(Some(m), InvokeKind::Static, fw.message_obtain, None, vec![]);
+        mb.store(m, fw.message_what, Operand::Const(ConstValue::Int(code)));
+        mb.call(None, InvokeKind::Virtual, fw.handler_send_message, Some(h), vec![Operand::Local(m)]);
+        mb.ret(None);
+        mb.finish();
+    }
+
+    truth.plant(name, "msgSlot", RaceLabel::Refutable);
+    truth.plant(name, "handler", RaceLabel::Ordered);
+}
+
+fn plant_service_conn(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let conn_state = cb.field("connState", Type::Int);
+    let activity = cb.build();
+
+    let conn_name = format!("{name}$Conn");
+    let mut cb = app.subclass(&conn_name, fw.object);
+    cb.add_interface(fw.service_connection);
+    let outer = cb.field("outer", Type::Ref(activity));
+    let conn = cb.build();
+    let mut mb = app.method(conn, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, outer, Operand::Local(o));
+    mb.ret(None);
+    let conn_init = mb.finish();
+    let mut mb = app.method(conn, "onServiceConnected");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let o = mb.fresh_local();
+    mb.load(o, this, outer);
+    mb.store(o, conn_state, Operand::Const(ConstValue::Int(1)));
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (c, i) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(c, conn);
+    mb.call(None, InvokeKind::Special, conn_init, Some(c), vec![Operand::Local(this)]);
+    mb.new_(i, fw.intent);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.bind_service,
+        Some(this),
+        vec![Operand::Local(i), Operand::Local(c)],
+    );
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onDestroy");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let x = mb.fresh_local();
+    mb.load(x, this, conn_state);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "connState", RaceLabel::TrueRace);
+}
+
+fn plant_view_text(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let text_name = format!("{name}$Text");
+    let mut cb = app.subclass(&text_name, fw.text_view);
+    let label = cb.field("label", Type::Int);
+    let text_class = cb.build();
+
+    let activity = app.activity(name).build();
+    // Two XML-registered click handlers on two views; both write the same
+    // custom view's field.
+    for (i, handler) in [(1, "onClickA"), (2, "onClickB")] {
+        let mut mb = app.method(activity, handler);
+        mb.set_param_count(2);
+        let this = mb.param(0);
+        let v = mb.fresh_local();
+        mb.call(
+            Some(v),
+            InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![Operand::Const(ConstValue::Int(1))],
+        );
+        mb.store(v, label, Operand::Const(ConstValue::Int(i)));
+        mb.ret(None);
+        mb.finish();
+    }
+    let a_id = app.program_builder().find_method(activity, "onClickA").expect("onClickA");
+    let b_id = app.program_builder().find_method(activity, "onClickB").expect("onClickB");
+    let mut layout = Layout::new(activity);
+    layout.add_view(ViewDecl::new(1, text_class).with_xml_listener(GuiEventKind::Click, a_id));
+    layout.add_view(ViewDecl::new(2, fw.view).with_xml_listener(GuiEventKind::Click, b_id));
+    app.add_layout(layout);
+
+    truth.plant(&text_name, "label", RaceLabel::TrueRace);
+}
+
+fn plant_static_flag(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let flag = cb.static_field("gFlag", Type::Int);
+    let activity = cb.build();
+    let (worker, worker_init) =
+        runnable_with_outer(app, &format!("{name}$Flagger"), activity, |mb, _o| {
+            mb.static_store(flag, Operand::Const(ConstValue::Int(7)));
+        });
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (w, t) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(w, worker);
+    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![Operand::Local(this)]);
+    mb.new_(t, fw.thread);
+    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onPause");
+    mb.set_param_count(1);
+    let x = mb.fresh_local();
+    mb.static_load(x, flag);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "gFlag", RaceLabel::TrueRace);
+}
+
+fn plant_null_guard(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let res = cb.field("res", Type::Ref(fw.object));
+    let payload = cb.field("payload", Type::Int);
+    let activity = cb.build();
+
+    // Runner.run: if (outer.res != null) outer.payload = 1;
+    let (runner, runner_init) =
+        runnable_with_outer(app, &format!("{name}$Checker"), activity, |mb, o| {
+            let (r, cond) = (mb.fresh_local(), mb.fresh_local());
+            mb.load(r, o, res);
+            mb.bin_op(
+                cond,
+                apir::BinOp::Cmp(apir::CmpOp::Ne),
+                Operand::Local(r),
+                Operand::Const(ConstValue::Null),
+            );
+            let b_then = mb.new_block();
+            let b_exit = mb.new_block();
+            mb.if_(cond, b_then, b_exit);
+            mb.switch_to(b_then);
+            mb.store(o, payload, Operand::Const(ConstValue::Int(1)));
+            mb.goto(b_exit);
+            mb.switch_to(b_exit);
+        });
+
+    // onResume: res = new Object; post(checker).
+    let obj = fw.object;
+    let mut mb = app.method(activity, "onResume");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (v, r) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(v, obj);
+    mb.store(this, res, Operand::Local(v));
+    mb.new_(r, runner);
+    mb.call(None, InvokeKind::Special, runner_init, Some(r), vec![Operand::Local(this)]);
+    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    mb.ret(None);
+    mb.finish();
+
+    // onPause: payload = 2; res = null. (The payload write precedes the
+    // res clear, so in the "pause completed first" order the checker's
+    // guard reads null and never writes — the pair refutes.)
+    let mut mb = app.method(activity, "onPause");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    mb.store(this, payload, Operand::Const(ConstValue::Int(2)));
+    mb.store(this, res, Operand::Const(ConstValue::Null));
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "payload", RaceLabel::Refutable);
+    truth.plant(name, "res", RaceLabel::BenignGuard);
+}
+
+fn plant_loading_flag(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let loading = cb.field("mLoading", Type::Bool);
+    let result = cb.field("mResult", Type::Ref(fw.object));
+    let activity = cb.build();
+
+    let task_name = format!("{name}$LoadTask");
+    let mut cb = app.subclass(&task_name, fw.async_task);
+    let outer = cb.field("outer", Type::Ref(activity));
+    let task = cb.build();
+    let mut mb = app.method(task, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, outer, Operand::Local(o));
+    mb.ret(None);
+    let task_init = mb.finish();
+
+    // onPostExecute: if (outer.mLoading) outer.mResult = new Object();
+    let obj = fw.object;
+    let mut mb = app.method(task, "onPostExecute");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (o, t, v) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+    mb.load(o, this, outer);
+    mb.load(t, o, loading);
+    let b_then = mb.new_block();
+    let b_exit = mb.new_block();
+    mb.if_(t, b_then, b_exit);
+    mb.switch_to(b_then);
+    mb.new_(v, obj);
+    mb.store(o, result, Operand::Local(v));
+    mb.goto(b_exit);
+    mb.switch_to(b_exit);
+    mb.ret(None);
+    mb.finish();
+
+    // onStart: mLoading = true; new LoadTask(this).execute().
+    let mut mb = app.method(activity, "onStart");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let t = mb.fresh_local();
+    mb.store(this, loading, Operand::Const(ConstValue::Bool(true)));
+    mb.new_(t, task);
+    mb.call(None, InvokeKind::Special, task_init, Some(t), vec![Operand::Local(this)]);
+    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    // onStop: if (mLoading) { mLoading = false; mResult = null; }
+    let mut mb = app.method(activity, "onStop");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let t = mb.fresh_local();
+    mb.load(t, this, loading);
+    let b_then = mb.new_block();
+    let b_exit = mb.new_block();
+    mb.if_(t, b_then, b_exit);
+    mb.switch_to(b_then);
+    mb.store(this, loading, Operand::Const(ConstValue::Bool(false)));
+    mb.store(this, result, Operand::Const(ConstValue::Null));
+    mb.goto(b_exit);
+    mb.switch_to(b_exit);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "mResult", RaceLabel::Refutable);
+    truth.plant(name, "mLoading", RaceLabel::BenignGuard);
+}
+
+fn plant_per_action_scratch(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let scratch_name = format!("{name}$Scratch");
+    let mut cb = app.subclass(&scratch_name, fw.object);
+    let val = cb.field("val", Type::Int);
+    let scratch = cb.build();
+
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_long_click_listener);
+    let activity = cb.build();
+
+    // helper(): h = new Scratch; h.val = 1 — one allocation per calling
+    // action. Without action-sensitivity the two actions' objects conflate
+    // into a spurious racy pair; with it there is nothing to report.
+    let mut mb = app.method(activity, "helper");
+    mb.set_param_count(1);
+    let h = mb.fresh_local();
+    mb.new_(h, scratch);
+    mb.store(h, val, Operand::Const(ConstValue::Int(1)));
+    mb.ret(None);
+    let helper = mb.finish();
+
+    for cb_name in ["onClick", "onLongClick"] {
+        let mut mb = app.method(activity, cb_name);
+        mb.set_param_count(2);
+        let this = mb.param(0);
+        mb.vcall(helper, this, vec![]);
+        mb.ret(None);
+        mb.finish();
+    }
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
+    register_self_listener(&mut mb, &fw, this, 2, fw.set_on_long_click_listener);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(&scratch_name, "val", RaceLabel::Ordered);
+}
+
+fn plant_timer_tick(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_click_listener);
+    let ticks = cb.field("ticks", Type::Int);
+    let activity = cb.build();
+
+    let task_name = format!("{name}$Tick");
+    let mut cb = app.subclass(&task_name, fw.timer_task);
+    let outer = cb.field("outer", Type::Ref(activity));
+    let task = cb.build();
+    let mut mb = app.method(task, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, outer, Operand::Local(o));
+    mb.ret(None);
+    let task_init = mb.finish();
+    let mut mb = app.method(task, "run");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let o = mb.fresh_local();
+    mb.load(o, this, outer);
+    mb.store(o, ticks, Operand::Const(ConstValue::Int(1)));
+    mb.ret(None);
+    mb.finish();
+
+    // onCreate: new Timer().schedule(new Tick(this), 100); register click.
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (timer, t) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(timer, fw.timer);
+    mb.new_(t, task);
+    mb.call(None, InvokeKind::Special, task_init, Some(t), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.timer_schedule,
+        Some(timer),
+        vec![Operand::Local(t), Operand::Const(ConstValue::Int(100))],
+    );
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
+    mb.ret(None);
+    mb.finish();
+
+    // onClick reads the tick counter.
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let x = mb.fresh_local();
+    mb.load(x, this, ticks);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "ticks", RaceLabel::TrueRace);
+}
+
+fn plant_location_tracker(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.location_listener);
+    let last_loc = cb.field("lastLoc", Type::Ref(fw.object));
+    let activity = cb.build();
+
+    // onLocationChanged: lastLoc = new Object().
+    let obj = fw.object;
+    let mut mb = app.method(activity, "onLocationChanged");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let v = mb.fresh_local();
+    mb.new_(v, obj);
+    mb.store(this, last_loc, Operand::Local(v));
+    mb.ret(None);
+    mb.finish();
+
+    // onCreate: new LocationManager().requestLocationUpdates(this).
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let lm = mb.fresh_local();
+    mb.new_(lm, fw.location_manager);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.request_location_updates,
+        Some(lm),
+        vec![Operand::Local(this)],
+    );
+    mb.ret(None);
+    mb.finish();
+
+    // onDestroy reads the last location (racing late updates).
+    let mut mb = app.method(activity, "onDestroy");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let x = mb.fresh_local();
+    mb.load(x, this, last_loc);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "lastLoc", RaceLabel::TrueRace);
+}
+
+fn plant_media_notify(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_completion_listener);
+    let playing = cb.field("playing", Type::Int);
+    let activity = cb.build();
+
+    // onCompletion: playing = 0.
+    let mut mb = app.method(activity, "onCompletion");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    mb.store(this, playing, Operand::Const(ConstValue::Int(0)));
+    mb.ret(None);
+    mb.finish();
+
+    // onCreate: new MediaPlayer().setOnCompletionListener(this); playing=1.
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let mp = mb.fresh_local();
+    mb.store(this, playing, Operand::Const(ConstValue::Int(1)));
+    mb.new_(mp, fw.media_player);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.set_on_completion_listener,
+        Some(mp),
+        vec![Operand::Local(this)],
+    );
+    mb.ret(None);
+    mb.finish();
+
+    // onPause reads the playback state.
+    let mut mb = app.method(activity, "onPause");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let x = mb.fresh_local();
+    mb.load(x, this, playing);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "playing", RaceLabel::TrueRace);
+}
+
+fn plant_watcher_sync(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    let draft = cb.field("draft", Type::Ref(fw.object));
+    let activity = cb.build();
+
+    // Watcher: afterTextChanged writes the draft.
+    let watcher_name = format!("{name}$Watcher");
+    let mut cb = app.subclass(&watcher_name, fw.object);
+    cb.add_interface(fw.text_watcher);
+    let w_outer = cb.field("outer", Type::Ref(activity));
+    let watcher = cb.build();
+    let mut mb = app.method(watcher, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, w_outer, Operand::Local(o));
+    mb.ret(None);
+    let watcher_init = mb.finish();
+    let obj = fw.object;
+    let mut mb = app.method(watcher, "afterTextChanged");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let (o, v) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(o, this, w_outer);
+    mb.new_(v, obj);
+    mb.store(o, draft, Operand::Local(v));
+    mb.ret(None);
+    mb.finish();
+
+    // Saver task: doInBackground reads the draft.
+    let task_name = format!("{name}$Saver");
+    let mut cb = app.subclass(&task_name, fw.async_task);
+    let t_outer = cb.field("outer", Type::Ref(activity));
+    let saver = cb.build();
+    let mut mb = app.method(saver, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, t_outer, Operand::Local(o));
+    mb.ret(None);
+    let saver_init = mb.finish();
+    let mut mb = app.method(saver, "doInBackground");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (o, x) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(o, this, t_outer);
+    mb.load(x, o, draft);
+    mb.ret(None);
+    mb.finish();
+
+    // onCreate: tv = findViewById(1); tv.addTextChangedListener(new Watcher(this)).
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (tv, w) = (mb.fresh_local(), mb.fresh_local());
+    mb.call(
+        Some(tv),
+        InvokeKind::Virtual,
+        fw.find_view_by_id,
+        Some(this),
+        vec![Operand::Const(ConstValue::Int(1))],
+    );
+    mb.new_(w, watcher);
+    mb.call(None, InvokeKind::Special, watcher_init, Some(w), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.add_text_changed_listener,
+        Some(tv),
+        vec![Operand::Local(w)],
+    );
+    mb.ret(None);
+    mb.finish();
+
+    // onStart kicks off the background save.
+    let mut mb = app.method(activity, "onStart");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let t = mb.fresh_local();
+    mb.new_(t, saver);
+    mb.call(None, InvokeKind::Special, saver_init, Some(t), vec![Operand::Local(this)]);
+    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(name, "draft", RaceLabel::TrueRace);
+}
+
+fn plant_indexed_buffer(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTruth) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_click_listener);
+    let buf = cb.field("buf", Type::Ref(fw.array_list));
+    let activity = cb.build();
+    let obj = fw.object;
+
+    // Worker thread: buf.setAt(0, new); buf.setAt(1, new).
+    let (worker, worker_init) =
+        runnable_with_outer(app, &format!("{name}$Indexer"), activity, |mb, o| {
+            let (b, v0, v1) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+            mb.load(b, o, buf);
+            mb.new_(v0, obj);
+            mb.call(
+                None,
+                InvokeKind::Virtual,
+                fw.array_list_set_at,
+                Some(b),
+                vec![Operand::Const(ConstValue::Int(0)), Operand::Local(v0)],
+            );
+            mb.new_(v1, obj);
+            mb.call(
+                None,
+                InvokeKind::Virtual,
+                fw.array_list_set_at,
+                Some(b),
+                vec![Operand::Const(ConstValue::Int(1)), Operand::Local(v1)],
+            );
+        });
+
+    // onCreate: buf = new ArrayList; start the worker; register a click.
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (b, w, t) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+    mb.new_(b, fw.array_list);
+    mb.store(this, buf, Operand::Local(b));
+    mb.new_(w, worker);
+    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![Operand::Local(this)]);
+    mb.new_(t, fw.thread);
+    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
+    mb.ret(None);
+    mb.finish();
+
+    // onClick: reads slot 1 (races with the worker's slot-1 write) and
+    // slot 2 (no writer — no race under the index-sensitive model).
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let (b, x, y) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+    mb.load(b, this, buf);
+    mb.call(
+        Some(x),
+        InvokeKind::Virtual,
+        fw.array_list_get_at,
+        Some(b),
+        vec![Operand::Const(ConstValue::Int(1))],
+    );
+    mb.call(
+        Some(y),
+        InvokeKind::Virtual,
+        fw.array_list_get_at,
+        Some(b),
+        vec![Operand::Const(ConstValue::Int(2))],
+    );
+    mb.ret(None);
+    mb.finish();
+
+    // Slot 1 is a true race; slots 0 and 2 have no unordered conflicting
+    // pair. (The slot fields live on the shared java.util.ArrayList class.)
+    truth.plant("java.util.ArrayList", "idx1", RaceLabel::TrueRace);
+    truth.plant("java.util.ArrayList", "idx2", RaceLabel::Ordered);
+    truth.plant(name, "buf", RaceLabel::Ordered);
+}
+
+fn plant_filler(app: &mut AndroidAppBuilder, name: &str) {
+    let fw = app.framework().clone();
+    let mut cb = app.activity(name);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_long_click_listener);
+    cb.add_interface(fw.on_scroll_listener);
+    cb.add_interface(fw.on_item_click_listener);
+    let scratch = cb.field("scratch", Type::Ref(fw.object));
+    let counter = cb.field("counter", Type::Int);
+    let activity = cb.build();
+    let obj = fw.object;
+
+    // helper(): allocates, computes, writes own fields.
+    let mut mb = app.method(activity, "helper");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (v, a, b) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+    mb.new_(v, obj);
+    mb.store(this, scratch, Operand::Local(v));
+    mb.const_(a, ConstValue::Int(2));
+    mb.bin_op(b, apir::BinOp::Add, Operand::Local(a), Operand::Const(ConstValue::Int(3)));
+    mb.store(this, counter, Operand::Local(b));
+    mb.ret(None);
+    let helper = mb.finish();
+
+    // Several independent GUI handlers working on action-local state.
+    for cb_name in ["onClick", "onLongClick", "onScroll", "onItemClick"] {
+        let mut mb = app.method(activity, cb_name);
+        mb.set_param_count(if cb_name == "onItemClick" { 3 } else { 2 });
+        let (l, x) = (mb.fresh_local(), mb.fresh_local());
+        mb.new_(l, obj);
+        mb.move_(x, l);
+        mb.ret(None);
+        mb.finish();
+    }
+
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    mb.vcall(helper, this, vec![]);
+    register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
+    register_self_listener(&mut mb, &fw, this, 2, fw.set_on_long_click_listener);
+    register_self_listener(&mut mb, &fw, this, 3, fw.set_on_scroll_listener);
+    register_self_listener(&mut mb, &fw, this, 4, fw.set_on_item_click_listener);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onResume");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let (x, y) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(x, this, scratch);
+    mb.load(y, this, counter);
+    mb.ret(None);
+    mb.finish();
+}

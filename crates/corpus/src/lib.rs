@@ -1,0 +1,28 @@
+//! # corpus — synthetic app datasets with ground truth
+//!
+//! The paper evaluates SIERRA on 20 open-source apps (Table 2) plus 174
+//! F-Droid apps (§6.6), classifying reported races by manual inspection.
+//! Since the APKs cannot ship with this reproduction, this crate
+//! synthesizes deterministic stand-ins:
+//!
+//! - [`figures`] — the paper's motivating examples (Figures 1, 2, 8 and the
+//!   §6.5 patterns) as standalone apps;
+//! - [`idioms`] — the library of planted concurrency patterns, each
+//!   recording its expected verdict in a [`GroundTruth`];
+//! - [`twenty`] — the Table 2 dataset, scaled by each app's real bytecode
+//!   size;
+//! - [`fdroid`] — 174 seeded apps with the paper's 1.1 MB median size.
+//!
+//! Ground truth replaces the authors' manual inspection: every planted race
+//! is labeled ([`RaceLabel`]) and [`GroundTruth::evaluate`] scores a
+//! detector's reports into true races / false positives / misses.
+
+pub mod fdroid;
+pub mod figures;
+mod ground_truth;
+pub mod idioms;
+pub mod twenty;
+
+pub use ground_truth::{EvalCounts, GroundTruth, PlantedRace, RaceLabel};
+pub use idioms::Idiom;
+pub use twenty::{AppSpec, TWENTY};

@@ -1,0 +1,135 @@
+//! The 20-app dataset of Table 2.
+//!
+//! We cannot redistribute the APKs; instead each app is synthesized
+//! deterministically from its Table 2 metadata (name, install band,
+//! bytecode size). The bytecode size scales the number of activities and
+//! planted idioms, so relative app complexity matches the paper's dataset.
+
+use crate::ground_truth::GroundTruth;
+use crate::idioms::Idiom;
+use android_model::{AndroidApp, AndroidAppBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Table 2 metadata for one app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppSpec {
+    /// App name as printed in Table 2.
+    pub name: &'static str,
+    /// Google Play install band (August 2017 per the paper).
+    pub installs: &'static str,
+    /// Bytecode (.dex) size in KB.
+    pub bytecode_kb: u32,
+}
+
+/// The Table 2 dataset.
+pub const TWENTY: [AppSpec; 20] = [
+    AppSpec { name: "APV", installs: "500,000-1,000,000", bytecode_kb: 736 },
+    AppSpec { name: "Astrid", installs: "100,000-500,000", bytecode_kb: 5400 },
+    AppSpec { name: "Barcode Scanner", installs: "100,000,000-500,000,000", bytecode_kb: 808 },
+    AppSpec { name: "Beem", installs: "50,000-100,000", bytecode_kb: 1700 },
+    AppSpec { name: "ConnectBot", installs: "1,000,000-5,000,000", bytecode_kb: 700 },
+    AppSpec { name: "FBReader", installs: "10,000,000-50,000,000", bytecode_kb: 1013 },
+    AppSpec { name: "K-9 Mail", installs: "5,000,000-10,000,000", bytecode_kb: 2800 },
+    AppSpec { name: "KeePassDroid", installs: "1,000,000-5,000,000", bytecode_kb: 489 },
+    AppSpec { name: "Mileage", installs: "500,000-1,000,000", bytecode_kb: 641 },
+    AppSpec { name: "MyTracks", installs: "500,000-1,000,000", bytecode_kb: 5300 },
+    AppSpec { name: "NPR News", installs: "1,000,000-5,000,000", bytecode_kb: 1500 },
+    AppSpec { name: "NotePad", installs: "10,000,000-50,000,000", bytecode_kb: 228 },
+    AppSpec { name: "OpenManager", installs: "N/A (F-Droid)", bytecode_kb: 77 },
+    AppSpec { name: "OpenSudoku", installs: "1,000,000-5,000,000", bytecode_kb: 170 },
+    AppSpec { name: "SipDroid", installs: "1,000,000-5,000,000", bytecode_kb: 539 },
+    AppSpec { name: "SuperGenPass", installs: "10,000-50,000", bytecode_kb: 137 },
+    AppSpec { name: "TippyTipper", installs: "100,000-500,000", bytecode_kb: 79 },
+    AppSpec { name: "VLC", installs: "100,000,000-500,000,000", bytecode_kb: 1100 },
+    AppSpec { name: "VuDroid", installs: "100,000-500,000", bytecode_kb: 63 },
+    AppSpec { name: "XBMC remote", installs: "100,000-500,000", bytecode_kb: 1100 },
+];
+
+/// Deterministic seed for an app name.
+pub fn seed_of(name: &str) -> u64 {
+    // FNV-1a, stable across platforms and Rust versions.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Number of activities synthesized for a bytecode size.
+pub fn activity_count(bytecode_kb: u32) -> usize {
+    (3 + bytecode_kb / 170).clamp(3, 32) as usize
+}
+
+/// Synthesizes one app from its spec.
+pub fn build_app(spec: AppSpec) -> (AndroidApp, GroundTruth) {
+    synthesize(spec.name, activity_count(spec.bytecode_kb), seed_of(spec.name))
+}
+
+/// Synthesizes an app with `n_activities` planted idiom activities.
+pub fn synthesize(name: &str, n_activities: usize, seed: u64) -> (AndroidApp, GroundTruth) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut app = AndroidAppBuilder::new(name);
+    let mut truth = GroundTruth::new();
+    let pkg: String = name
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    // Rotate through the idiom list from a seeded offset, so different apps
+    // get different idiom mixes but every sizable app covers the spectrum.
+    let offset = rng.gen_range(0..Idiom::ALL.len());
+    for i in 0..n_activities {
+        let idiom = Idiom::ALL[(offset + i) % Idiom::ALL.len()];
+        let activity = format!("com.{pkg}.Activity{i}");
+        idiom.plant(&mut app, &activity, &mut truth);
+    }
+    (app.finish().expect("synthesized app is well-formed"), truth)
+}
+
+/// Builds the whole 20-app dataset.
+pub fn build_all() -> Vec<(AppSpec, AndroidApp, GroundTruth)> {
+    TWENTY
+        .iter()
+        .map(|&spec| {
+            let (app, truth) = build_app(spec);
+            (spec, app, truth)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let (a1, t1) = build_app(TWENTY[0]);
+        let (a2, t2) = build_app(TWENTY[0]);
+        assert_eq!(a1.program.stmt_count(), a2.program.stmt_count());
+        assert_eq!(t1.planted, t2.planted);
+    }
+
+    #[test]
+    fn bigger_apps_get_more_activities() {
+        assert!(activity_count(5400) > activity_count(170));
+        assert!(activity_count(63) >= 3);
+        assert!(activity_count(100_000) <= 32);
+    }
+
+    #[test]
+    fn all_twenty_build() {
+        for (spec, app, truth) in build_all() {
+            assert!(app.program.validate().is_ok(), "{} invalid", spec.name);
+            assert_eq!(app.manifest.activities.len(), activity_count(spec.bytecode_kb));
+            assert!(truth.planted.len() >= 2, "{} plants too little", spec.name);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_names() {
+        assert_ne!(seed_of("APV"), seed_of("VLC"));
+        assert_eq!(seed_of("APV"), seed_of("APV"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Choice sources: random vs. scripted schedules.
+//!
+//! Every nondeterministic decision the interpreter and driver make (which
+//! event to deliver, which queue to drain, which `nondet` arm to take)
+//! goes through a [`Decider`]. A [`RandomDecider`] reproduces the classic
+//! random-testing baseline; a [`ScriptedDecider`] replays a fixed choice
+//! prefix and logs every decision point, which is what the systematic
+//! explorer (`crate::systematic`) enumerates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of bounded nondeterministic choices.
+pub trait Decider {
+    /// Picks a value in `0..arity` (`arity ≥ 1`).
+    fn pick(&mut self, arity: usize) -> usize;
+}
+
+/// Seeded pseudo-random choices.
+#[derive(Debug)]
+pub struct RandomDecider {
+    rng: StdRng,
+}
+
+impl RandomDecider {
+    /// Creates a decider from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Decider for RandomDecider {
+    fn pick(&mut self, arity: usize) -> usize {
+        debug_assert!(arity >= 1);
+        if arity <= 1 {
+            0
+        } else {
+            self.rng.gen_range(0..arity)
+        }
+    }
+}
+
+/// Replays a fixed prefix of choices, defaulting to 0 beyond it, and logs
+/// `(arity, choice)` for every decision point.
+#[derive(Debug, Default)]
+pub struct ScriptedDecider {
+    script: Vec<usize>,
+    cursor: usize,
+    /// The realized decision log: `(arity, chosen)` per decision point.
+    pub log: Vec<(usize, usize)>,
+}
+
+impl ScriptedDecider {
+    /// Creates a decider replaying `script`.
+    pub fn new(script: Vec<usize>) -> Self {
+        Self { script, cursor: 0, log: Vec::new() }
+    }
+}
+
+impl Decider for ScriptedDecider {
+    fn pick(&mut self, arity: usize) -> usize {
+        debug_assert!(arity >= 1);
+        let scripted = self.script.get(self.cursor).copied().unwrap_or(0);
+        self.cursor += 1;
+        let choice = scripted.min(arity.saturating_sub(1));
+        self.log.push((arity, choice));
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_decider_is_seed_deterministic_and_in_range() {
+        let mut a = RandomDecider::new(9);
+        let mut b = RandomDecider::new(9);
+        for arity in [1usize, 2, 3, 7, 100] {
+            let x = a.pick(arity);
+            assert_eq!(x, b.pick(arity));
+            assert!(x < arity);
+        }
+    }
+
+    #[test]
+    fn scripted_decider_replays_then_defaults_and_logs() {
+        let mut d = ScriptedDecider::new(vec![2, 5]);
+        assert_eq!(d.pick(4), 2);
+        assert_eq!(d.pick(3), 2, "out-of-range script entries clamp");
+        assert_eq!(d.pick(9), 0, "beyond the script, default to 0");
+        assert_eq!(d.log, vec![(4, 2), (3, 2), (9, 0)]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Dynamic happens-before race detection and the race-coverage filter.
+
+use crate::runtime::{DynLoc, Trace};
+use android_model::AndroidApp;
+use apir::{local_defs, Dominators, Operand, Stmt, StmtAddr, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// One dynamic race, keyed by the racy field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DynamicRace {
+    /// Declaring class of the field.
+    pub class: String,
+    /// Field name.
+    pub field: String,
+    /// The two access sites witnessed.
+    pub sites: (StmtAddr, StmtAddr),
+}
+
+/// Computes the reachability closure over the trace's causal edges:
+/// `ancestors[e]` is the set of events that happen-before `e`.
+pub fn hb_ancestors(trace: &Trace) -> Vec<HashSet<usize>> {
+    hb_closure(trace)
+}
+
+/// Computes the reachability closure over the trace's causal edges.
+fn hb_closure(trace: &Trace) -> Vec<HashSet<usize>> {
+    let n = trace.events.len();
+    // ancestors[e] = set of events that happen-before e.
+    let mut ancestors: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    for e in 0..n {
+        for &p in &trace.events[e].preds {
+            let pa: Vec<usize> = ancestors[p].iter().copied().collect();
+            ancestors[e].insert(p);
+            ancestors[e].extend(pa);
+        }
+    }
+    ancestors
+}
+
+/// Detects unordered conflicting access pairs in a trace.
+///
+/// With `race_coverage_filter`, races where either access site is guarded
+/// by a branch on a *primitive-typed* field are filtered — EventRacer's
+/// race-coverage heuristic, which (per §6.4) cannot reason about
+/// pointer-null guards and therefore reports those as (false-positive)
+/// races.
+pub fn detect_races(
+    app: &AndroidApp,
+    trace: &Trace,
+    race_coverage_filter: bool,
+) -> (Vec<DynamicRace>, usize) {
+    let ancestors = hb_closure(trace);
+    let ordered = |a: usize, b: usize| ancestors[b].contains(&a) || ancestors[a].contains(&b);
+
+    // Group accesses by location.
+    let mut by_loc: HashMap<DynLoc, Vec<(usize, bool, StmtAddr)>> = HashMap::new();
+    for (e, ev) in trace.events.iter().enumerate() {
+        for a in &ev.accesses {
+            let entry = by_loc.entry(a.loc).or_default();
+            // Deduplicate repeated identical accesses within one event.
+            if !entry.iter().any(|&(ee, w, ad)| ee == e && w == a.is_write && ad == a.addr) {
+                entry.push((e, a.is_write, a.addr));
+            }
+        }
+    }
+
+    let mut races: HashSet<DynamicRace> = HashSet::new();
+    let mut filtered = 0usize;
+    let mut guard_cache: HashMap<StmtAddr, bool> = HashMap::new();
+    for (loc, accs) in &by_loc {
+        let field = match loc {
+            DynLoc::Field(_, f) | DynLoc::Static(f) => *f,
+        };
+        for i in 0..accs.len() {
+            for j in i + 1..accs.len() {
+                let (e1, w1, a1) = accs[i];
+                let (e2, w2, a2) = accs[j];
+                if e1 == e2 || !(w1 || w2) || ordered(e1, e2) {
+                    continue;
+                }
+                let fdecl = app.program.field(field);
+                let race = DynamicRace {
+                    class: app.program.class_name(fdecl.class).to_owned(),
+                    field: app.program.name(fdecl.name).to_owned(),
+                    sites: if a1 <= a2 { (a1, a2) } else { (a2, a1) },
+                };
+                if races.contains(&race) {
+                    continue;
+                }
+                if race_coverage_filter {
+                    let g1 = *guard_cache
+                        .entry(a1)
+                        .or_insert_with(|| primitive_guarded(app, a1));
+                    let g2 = *guard_cache
+                        .entry(a2)
+                        .or_insert_with(|| primitive_guarded(app, a2));
+                    if g1 || g2 {
+                        filtered += 1;
+                        continue;
+                    }
+                }
+                races.insert(race);
+            }
+        }
+    }
+    let mut out: Vec<DynamicRace> = races.into_iter().collect();
+    out.sort_by(|a, b| (&a.class, &a.field, a.sites).cmp(&(&b.class, &b.field, b.sites)));
+    (out, filtered)
+}
+
+/// Whether the access at `addr` is dominated by a branch whose condition
+/// traces back to a *primitive-typed* field — the only guards EventRacer's
+/// race coverage reasons about.
+fn primitive_guarded(app: &AndroidApp, addr: StmtAddr) -> bool {
+    let method = app.program.method(addr.method);
+    if !method.has_body() {
+        return false;
+    }
+    let dom = Dominators::compute(method);
+    // Walk the dominator chain; inspect each dominating block's If.
+    let mut block = addr.block;
+    loop {
+        let idom = match dom.idom(block) {
+            Some(b) if b != block => b,
+            _ => return false,
+        };
+        if let Terminator::If { cond, .. } = &method.block(idom).terminator {
+            if let Some(field) = guard_field(app, method, idom, *cond) {
+                if app.program.field(field).ty.is_primitive() {
+                    return true;
+                }
+            }
+        }
+        block = idom;
+    }
+}
+
+/// Traces a branch condition operand to the field it tests, if any.
+fn guard_field(
+    _app: &AndroidApp,
+    method: &apir::Method,
+    block: apir::BlockId,
+    cond: Operand,
+) -> Option<apir::FieldId> {
+    let at = StmtAddr::new(method.id, block, method.block(block).stmts.len() as u32);
+    let local = cond.as_local()?;
+    let (def_addr, def) = local_defs::find_def(method, at, local)?;
+    match def {
+        // `if (flag)` — the condition is a field load directly.
+        Stmt::Load { field, .. } | Stmt::StaticLoad { field, .. } => Some(*field),
+        // `if (x == c)` / `if (x != null)` — one comparison side loads a field.
+        Stmt::BinOp { lhs, rhs, .. } => [*lhs, *rhs].into_iter().find_map(|side| {
+            let l = side.as_local()?;
+            match local_defs::find_def(method, def_addr, l)?.1 {
+                Stmt::Load { field, .. } | Stmt::StaticLoad { field, .. } => Some(*field),
+                _ => None,
+            }
+        }),
+        _ => None,
+    }
+}

@@ -1,0 +1,161 @@
+//! The random exploration driver.
+//!
+//! Dynamic race detectors only see what their inputs exercise (§1: "their
+//! effectiveness hinges on high-quality inputs that can ensure good
+//! coverage"). This driver models a realistic automated-testing session: a
+//! random walk over lifecycle transitions, GUI events, broadcasts, and
+//! task-queue draining — with bounded steps and imperfect screen coverage,
+//! the two mechanisms behind dynamic false negatives.
+
+use crate::decide::{Decider, RandomDecider, ScriptedDecider};
+use crate::runtime::{Runtime, Trace};
+use android_model::{AndroidApp, LifecycleEvent};
+
+/// Driver knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Random steps per activity episode.
+    pub steps_per_episode: usize,
+    /// Probability of visiting each activity at all.
+    pub activity_coverage: f64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self { seed: 42, steps_per_episode: 25, activity_coverage: 0.7 }
+    }
+}
+
+/// Runs one exploration of `app`, returning the trace.
+pub fn explore(app: &AndroidApp, config: DriverConfig) -> Trace {
+    let decider = RandomDecider::new(config.seed);
+    drive(app, decider, config.steps_per_episode, config.activity_coverage).0
+}
+
+/// Runs one exploration with a scripted schedule, returning the trace and
+/// the realized decision log (consumed by the systematic explorer).
+pub fn explore_scripted(
+    app: &AndroidApp,
+    script: Vec<usize>,
+    steps_per_episode: usize,
+) -> (Trace, Vec<(usize, usize)>) {
+    // Scripted runs always cover every activity: coverage is a property
+    // of random testing, not of schedule enumeration.
+    let mut rt = Runtime::new(app, ScriptedDecider::new(script));
+    run_episodes(&mut rt, app, steps_per_episode, 101);
+    let (trace, decider) = rt.into_parts();
+    (trace, decider.log)
+}
+
+fn drive<D: Decider>(
+    app: &AndroidApp,
+    decider: D,
+    steps_per_episode: usize,
+    activity_coverage: f64,
+) -> (Trace, ()) {
+    let mut rt = Runtime::new(app, decider);
+    let coverage_buckets = (activity_coverage * 100.0).clamp(0.0, 100.0) as usize;
+    run_episodes(&mut rt, app, steps_per_episode, coverage_buckets);
+    (rt.trace, ())
+}
+
+fn run_episodes<D: Decider>(
+    rt: &mut Runtime<'_, D>,
+    app: &AndroidApp,
+    steps_per_episode: usize,
+    coverage_buckets: usize,
+) {
+
+    // Statically-declared receivers are registered for the whole run.
+    for &r in &app.manifest.receivers {
+        let inst = rt.alloc(r);
+        rt.register_declared_receiver(inst);
+    }
+
+    let activities = app.manifest.activities.clone();
+    for activity_class in activities {
+        // `decide(100) < buckets` models imperfect screen coverage; with
+        // buckets ≥ 100 every activity is visited.
+        if coverage_buckets < 100 && rt.decide(100) >= coverage_buckets {
+            continue; // this screen is never reached by the test inputs
+        }
+        episode(rt, activity_class, steps_per_episode);
+    }
+}
+
+fn episode<D: Decider>(rt: &mut Runtime<'_, D>, activity_class: apir::ClassId, steps: usize) {
+    let listeners_before = rt.listener_count();
+    let act = rt.alloc(activity_class);
+    rt.lifecycle_event(act, LifecycleEvent::Create);
+    rt.lifecycle_event(act, LifecycleEvent::Start);
+    rt.lifecycle_event(act, LifecycleEvent::Resume);
+
+    let mut paused = false;
+    for _ in 0..steps {
+        let choice = rt.decide(11) as u8;
+        match choice {
+            // GUI events (only while resumed, only this episode's listeners).
+            0..=2 => {
+                let n = rt.listener_count();
+                if !paused && n > listeners_before {
+                    let idx = listeners_before + rt.decide(n - listeners_before);
+                    rt.gui_event(idx);
+                }
+            }
+            // Drain one main-looper task.
+            3..=5 => {
+                rt.drain_one_main();
+            }
+            // Run one background thread body.
+            6..=7 => {
+                rt.run_one_background();
+            }
+            // Deliver a broadcast (legal even while stopped — Figure 2's
+            // bug window).
+            8 => {
+                let n = rt.receiver_count();
+                if n > 0 {
+                    let idx = rt.decide(n);
+                    rt.broadcast(idx);
+                }
+            }
+            // A pause/resume excursion.
+            9 => {
+                if paused {
+                    rt.lifecycle_event(act, LifecycleEvent::Resume);
+                    paused = false;
+                } else {
+                    rt.lifecycle_event(act, LifecycleEvent::Pause);
+                    paused = true;
+                }
+            }
+            // A full stop/restart excursion (Figure 5's outer cycle).
+            _ => {
+                if !paused {
+                    rt.lifecycle_event(act, LifecycleEvent::Pause);
+                }
+                rt.lifecycle_event(act, LifecycleEvent::Stop);
+                rt.lifecycle_event(act, LifecycleEvent::Restart);
+                rt.lifecycle_event(act, LifecycleEvent::Start);
+                rt.lifecycle_event(act, LifecycleEvent::Resume);
+                paused = false;
+            }
+        }
+    }
+
+    if !paused {
+        rt.lifecycle_event(act, LifecycleEvent::Pause);
+    }
+    // Randomly drain *some* leftover work before tearing down — leftover
+    // tasks model schedules the run never observed.
+    let drains = rt.decide(3);
+    for _ in 0..drains {
+        if !rt.drain_one_main() && !rt.run_one_background() {
+            break;
+        }
+    }
+    rt.lifecycle_event(act, LifecycleEvent::Stop);
+    rt.lifecycle_event(act, LifecycleEvent::Destroy);
+}

@@ -1,0 +1,118 @@
+//! # eventracer — the dynamic event-race detector baseline (§6.4)
+//!
+//! A model of EventRacer Android, the state-of-the-art dynamic detector the
+//! paper compares against. It consists of:
+//!
+//! - a concrete **event-driven interpreter** for `apir` apps
+//!   ([`runtime`]): a main looper, background threads, listener/receiver
+//!   registries, and a trace of per-event memory accesses with causal
+//!   (post/fork) edges;
+//! - a random **exploration driver** ([`explore`]) with bounded steps and
+//!   imperfect screen coverage — the source of dynamic false negatives;
+//! - **happens-before race detection** over the trace ([`detect_races`]),
+//!   including EventRacer's *race coverage* filter, which only reasons
+//!   about primitive-typed guards. Pointer-null guarded pairs therefore
+//!   survive as the false positives §6.4 describes (102 of 182 reports),
+//!   while guard-flag races get filtered away (missed true races).
+//!
+//! ```no_run
+//! use android_model::AndroidAppBuilder;
+//! use eventracer::{detect, EventRacerConfig};
+//!
+//! let app = AndroidAppBuilder::new("Demo").finish().expect("valid");
+//! let report = detect(&app, &EventRacerConfig::default());
+//! println!("{} dynamic races in {} events", report.races.len(), report.events);
+//! ```
+
+mod decide;
+mod detect;
+mod driver;
+pub mod runtime;
+pub mod systematic;
+pub mod verify;
+
+pub use detect::{detect_races, hb_ancestors, DynamicRace};
+pub use decide::{Decider, RandomDecider, ScriptedDecider};
+pub use driver::{explore, explore_scripted, DriverConfig};
+pub use systematic::{detect_systematic, SystematicConfig};
+pub use verify::{verify_race, Verdict, VerifyConfig};
+pub use runtime::{Trace, Value};
+
+use android_model::AndroidApp;
+use std::collections::HashSet;
+
+/// Configuration of a dynamic detection session.
+#[derive(Debug, Clone, Copy)]
+pub struct EventRacerConfig {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of independent exploration runs (results are unioned).
+    pub runs: usize,
+    /// Random steps per activity episode.
+    pub steps_per_episode: usize,
+    /// Probability of visiting each activity.
+    pub activity_coverage: f64,
+    /// Enable the race-coverage filter.
+    pub race_coverage_filter: bool,
+}
+
+impl Default for EventRacerConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            runs: 1,
+            steps_per_episode: 14,
+            activity_coverage: 0.45,
+            race_coverage_filter: true,
+        }
+    }
+}
+
+/// The detection result across all runs.
+#[derive(Debug, Clone)]
+pub struct EventRacerReport {
+    /// Distinct dynamic races (after the race-coverage filter).
+    pub races: Vec<DynamicRace>,
+    /// Candidate races removed by the race-coverage filter.
+    pub filtered: usize,
+    /// Total events executed across runs.
+    pub events: usize,
+}
+
+impl EventRacerReport {
+    /// Distinct `(class, field)` race groups (for ground-truth scoring).
+    pub fn race_groups(&self) -> Vec<(String, String)> {
+        let set: HashSet<(String, String)> =
+            self.races.iter().map(|r| (r.class.clone(), r.field.clone())).collect();
+        let mut v: Vec<_> = set.into_iter().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Runs the dynamic detector on `app`.
+pub fn detect(app: &AndroidApp, config: &EventRacerConfig) -> EventRacerReport {
+    let mut races: HashSet<DynamicRace> = HashSet::new();
+    let mut filtered = 0;
+    let mut events = 0;
+    for run in 0..config.runs {
+        let trace = explore(
+            app,
+            DriverConfig {
+                seed: config.seed.wrapping_add(run as u64 * 0x9E37_79B9),
+                steps_per_episode: config.steps_per_episode,
+                activity_coverage: config.activity_coverage,
+            },
+        );
+        events += trace.events.len();
+        let (found, f) = detect_races(app, &trace, config.race_coverage_filter);
+        filtered += f;
+        races.extend(found);
+    }
+    let mut out: Vec<DynamicRace> = races.into_iter().collect();
+    out.sort_by(|a, b| (&a.class, &a.field, a.sites).cmp(&(&b.class, &b.field, b.sites)));
+    EventRacerReport { races: out, filtered, events }
+}
+
+#[cfg(test)]
+mod tests;

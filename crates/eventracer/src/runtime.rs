@@ -1,0 +1,856 @@
+//! A concrete event-driven interpreter for `apir` Android apps.
+//!
+//! This is the execution substrate of the dynamic baseline: apps run under
+//! a simulated main looper plus background threads, driven by a random
+//! environment (lifecycle transitions, GUI events, broadcasts). Every
+//! callback invocation executes atomically as one *event*; the trace
+//! records each event's memory accesses and the causal (post/fork) edges
+//! between events.
+
+use android_model::{AndroidApp, FrameworkOp, GuiEventKind, LifecycleEvent};
+use apir::{
+    BinOp, ClassId, CmpOp, ConstValue, FieldId, InvokeKind, MethodId, Operand, Stmt, StmtAddr,
+    Terminator, UnOp,
+};
+use crate::decide::Decider;
+use std::collections::{HashMap, VecDeque};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Interned string.
+    Str(apir::Symbol),
+    /// Null reference.
+    Null,
+    /// Heap reference.
+    Ref(usize),
+}
+
+impl Value {
+    fn truthy(self) -> bool {
+        matches!(self, Value::Bool(true))
+    }
+}
+
+/// A concrete memory location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DynLoc {
+    /// Instance field of a heap object.
+    Field(usize, FieldId),
+    /// Static field.
+    Static(FieldId),
+}
+
+/// One recorded access.
+#[derive(Debug, Clone, Copy)]
+pub struct AccessRec {
+    /// The location touched.
+    pub loc: DynLoc,
+    /// Whether it was a write.
+    pub is_write: bool,
+    /// The accessing statement.
+    pub addr: StmtAddr,
+}
+
+/// One executed event (an atomic callback invocation).
+#[derive(Debug, Clone)]
+pub struct EventRec {
+    /// Human-readable label (for debugging).
+    pub label: String,
+    /// Causal predecessors (post/fork edges).
+    pub preds: Vec<usize>,
+    /// The accesses performed.
+    pub accesses: Vec<AccessRec>,
+}
+
+/// The full execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Executed events in execution order.
+    pub events: Vec<EventRec>,
+}
+
+#[derive(Debug, Clone)]
+struct PendingTask {
+    decl: MethodId,
+    receiver: Value,
+    args: Vec<Value>,
+    poster: Option<usize>,
+    label: String,
+    /// A task to enqueue on the main queue when this one finishes
+    /// (AsyncTask's `onPostExecute`).
+    followup: Option<(MethodId, Value, String)>,
+}
+
+/// Execution limits for one event.
+const STEP_BUDGET: usize = 20_000;
+const MAX_CALL_DEPTH: usize = 48;
+
+/// The interpreter and environment state for one execution.
+pub struct Runtime<'a, D: Decider> {
+    app: &'a AndroidApp,
+    heap: Vec<(ClassId, HashMap<FieldId, Value>)>,
+    statics: HashMap<FieldId, Value>,
+    views: HashMap<(ClassId, i64), usize>,
+    listeners: Vec<(GuiEventKind, Value)>,
+    receivers: Vec<Value>,
+    main_queue: VecDeque<PendingTask>,
+    bg_ready: Vec<PendingTask>,
+    cur_event: usize,
+    /// The trace under construction.
+    pub trace: Trace,
+    decider: D,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a, D: Decider> Runtime<'a, D> {
+    /// Creates a runtime for `app` driven by `decider`.
+    pub fn new(app: &'a AndroidApp, decider: D) -> Self {
+        Self {
+            app,
+            heap: Vec::new(),
+            statics: HashMap::new(),
+            views: HashMap::new(),
+            listeners: Vec::new(),
+            receivers: Vec::new(),
+            main_queue: VecDeque::new(),
+            bg_ready: Vec::new(),
+            cur_event: 0,
+            trace: Trace::default(),
+            decider,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Tears the runtime down into its trace and decider (the systematic
+    /// explorer reads the decision log off the scripted decider).
+    pub fn into_parts(self) -> (Trace, D) {
+        (self.trace, self.decider)
+    }
+
+    /// Draws a bounded nondeterministic choice in `0..arity`.
+    pub fn decide(&mut self, arity: usize) -> usize {
+        self.decider.pick(arity)
+    }
+
+    /// Allocates a heap object.
+    pub fn alloc(&mut self, class: ClassId) -> Value {
+        self.heap.push((class, HashMap::new()));
+        Value::Ref(self.heap.len() - 1)
+    }
+
+    /// Number of registered listeners.
+    pub fn listener_count(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// Number of registered receivers.
+    pub fn receiver_count(&self) -> usize {
+        self.receivers.len()
+    }
+
+    /// Registers a statically-declared (manifest) receiver instance.
+    pub fn register_declared_receiver(&mut self, recv: Value) {
+        self.receivers.push(recv);
+    }
+
+    /// Whether queued work remains.
+    pub fn has_pending(&self) -> bool {
+        !self.main_queue.is_empty() || !self.bg_ready.is_empty()
+    }
+
+    /// Runs a lifecycle callback on `activity` as one event.
+    pub fn lifecycle_event(&mut self, activity: Value, ev: LifecycleEvent) {
+        let decl = ev.declared_callback(&self.app.framework);
+        self.run_event(PendingTask {
+            decl,
+            receiver: activity,
+            args: vec![],
+            poster: None,
+            label: ev.callback_name().to_owned(),
+            followup: None,
+        });
+    }
+
+    /// Delivers a GUI event to listener index `idx` (from a snapshot).
+    pub fn gui_event(&mut self, idx: usize) {
+        let Some(&(kind, listener)) = self.listeners.get(idx) else { return };
+        let decl = kind.interface_method(&self.app.framework);
+        let argc = self.app.program.method(decl).param_count.saturating_sub(1) as usize;
+        self.run_event(PendingTask {
+            decl,
+            receiver: listener,
+            args: vec![Value::Null; argc],
+            poster: None,
+            label: kind.callback_name().to_owned(),
+            followup: None,
+        });
+    }
+
+    /// Delivers a broadcast to receiver index `idx`.
+    pub fn broadcast(&mut self, idx: usize) {
+        let Some(&recv) = self.receivers.get(idx) else { return };
+        let fw = &self.app.framework;
+        let intent = self.alloc(fw.intent);
+        let bundle = self.alloc(fw.bundle);
+        if let Value::Ref(i) = intent {
+            self.heap[i].1.insert(fw.intent_extras, bundle);
+        }
+        self.run_event(PendingTask {
+            decl: fw.on_receive,
+            receiver: recv,
+            args: vec![intent],
+            poster: None,
+            label: "onReceive".to_owned(),
+            followup: None,
+        });
+    }
+
+    /// Executes the next main-looper task, if any.
+    pub fn drain_one_main(&mut self) -> bool {
+        match self.main_queue.pop_front() {
+            Some(t) => {
+                self.run_event(t);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executes one ready background task (random pick).
+    pub fn run_one_background(&mut self) -> bool {
+        if self.bg_ready.is_empty() {
+            return false;
+        }
+        let idx = self.decide(self.bg_ready.len());
+        let t = self.bg_ready.swap_remove(idx);
+        self.run_event(t);
+        true
+    }
+
+    // ---- event execution ----
+
+    fn run_event(&mut self, task: PendingTask) {
+        let id = self.trace.events.len();
+        self.trace.events.push(EventRec {
+            label: task.label.clone(),
+            preds: task.poster.into_iter().collect(),
+            accesses: Vec::new(),
+        });
+        self.cur_event = id;
+        let mut budget = STEP_BUDGET;
+        self.invoke_virtual(task.decl, task.receiver, &task.args, 0, &mut budget);
+        if let Some((decl, recv, label)) = task.followup {
+            self.main_queue.push_back(PendingTask {
+                decl,
+                receiver: recv,
+                args: vec![],
+                poster: Some(id),
+                label,
+                followup: None,
+            });
+        }
+    }
+
+    fn invoke_virtual(
+        &mut self,
+        decl: MethodId,
+        receiver: Value,
+        args: &[Value],
+        depth: usize,
+        budget: &mut usize,
+    ) -> Value {
+        let Value::Ref(r) = receiver else { return Value::Null };
+        let class = self.heap[r].0;
+        let Some(target) = self.app.program.dispatch(class, decl) else { return Value::Null };
+        if !self.app.program.method(target).has_body() {
+            return Value::Null;
+        }
+        let mut all = Vec::with_capacity(args.len() + 1);
+        all.push(receiver);
+        all.extend_from_slice(args);
+        self.exec_method(target, &all, depth, budget)
+    }
+
+    fn exec_method(
+        &mut self,
+        method: MethodId,
+        args: &[Value],
+        depth: usize,
+        budget: &mut usize,
+    ) -> Value {
+        if depth > MAX_CALL_DEPTH {
+            return Value::Null;
+        }
+        let m = self.app.program.method(method).clone();
+        let mut locals = vec![Value::Null; m.local_count as usize];
+        for (i, v) in args.iter().enumerate().take(m.param_count as usize) {
+            locals[i] = *v;
+        }
+        let mut block = m.entry();
+        loop {
+            let bb = m.block(block).clone();
+            for (i, stmt) in bb.stmts.iter().enumerate() {
+                if *budget == 0 {
+                    return Value::Null;
+                }
+                *budget -= 1;
+                let addr = StmtAddr::new(method, block, i as u32);
+                self.exec_stmt(stmt, addr, &mut locals, depth, budget);
+            }
+            match &bb.terminator {
+                Terminator::Goto(b) => block = *b,
+                Terminator::If { cond, then_bb, else_bb } => {
+                    let v = self.eval(*cond, &locals);
+                    block = if v.truthy() { *then_bb } else { *else_bb };
+                }
+                Terminator::NonDet(targets) => {
+                    if targets.is_empty() {
+                        return Value::Null;
+                    }
+                    let pick = self.decide(targets.len());
+                    block = targets[pick];
+                }
+                Terminator::Return(op) => {
+                    return op.map(|o| self.eval(o, &locals)).unwrap_or(Value::Null);
+                }
+            }
+            if *budget == 0 {
+                return Value::Null;
+            }
+        }
+    }
+
+    fn eval(&self, op: Operand, locals: &[Value]) -> Value {
+        match op {
+            Operand::Local(l) => locals[l.0 as usize],
+            Operand::Const(c) => match c {
+                ConstValue::Int(v) => Value::Int(v),
+                ConstValue::Bool(v) => Value::Bool(v),
+                ConstValue::Null => Value::Null,
+                ConstValue::Str(s) => Value::Str(s),
+            },
+        }
+    }
+
+    fn record(&mut self, loc: DynLoc, is_write: bool, addr: StmtAddr) {
+        self.trace.events[self.cur_event].accesses.push(AccessRec { loc, is_write, addr });
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        addr: StmtAddr,
+        locals: &mut [Value],
+        depth: usize,
+        budget: &mut usize,
+    ) {
+        match stmt {
+            Stmt::Const { dst, value } => {
+                locals[dst.0 as usize] = self.eval(Operand::Const(*value), locals);
+            }
+            Stmt::Move { dst, src } => locals[dst.0 as usize] = locals[src.0 as usize],
+            Stmt::UnOp { dst, op, src } => {
+                let v = self.eval(*src, locals);
+                locals[dst.0 as usize] = match (op, v) {
+                    (UnOp::Not, Value::Bool(b)) => Value::Bool(!b),
+                    (UnOp::Neg, Value::Int(i)) => Value::Int(-i),
+                    _ => Value::Null,
+                };
+            }
+            Stmt::BinOp { dst, op, lhs, rhs } => {
+                let (a, b) = (self.eval(*lhs, locals), self.eval(*rhs, locals));
+                locals[dst.0 as usize] = eval_binop(*op, a, b);
+            }
+            Stmt::New { dst, class, .. } => {
+                locals[dst.0 as usize] = self.alloc(*class);
+            }
+            Stmt::Load { dst, obj, field } => {
+                if let Value::Ref(r) = locals[obj.0 as usize] {
+                    self.record(DynLoc::Field(r, *field), false, addr);
+                    locals[dst.0 as usize] =
+                        self.heap[r].1.get(field).copied().unwrap_or(Value::Null);
+                } else {
+                    locals[dst.0 as usize] = Value::Null;
+                }
+            }
+            Stmt::Store { obj, field, value } => {
+                let v = self.eval(*value, locals);
+                if let Value::Ref(r) = locals[obj.0 as usize] {
+                    self.record(DynLoc::Field(r, *field), true, addr);
+                    self.heap[r].1.insert(*field, v);
+                }
+            }
+            Stmt::StaticLoad { dst, field } => {
+                self.record(DynLoc::Static(*field), false, addr);
+                locals[dst.0 as usize] = self.statics.get(field).copied().unwrap_or(Value::Null);
+            }
+            Stmt::StaticStore { field, value } => {
+                let v = self.eval(*value, locals);
+                self.record(DynLoc::Static(*field), true, addr);
+                self.statics.insert(*field, v);
+            }
+            Stmt::Call { dst, kind, callee, receiver, args, .. } => {
+                let argv: Vec<Value> = args.iter().map(|a| self.eval(*a, locals)).collect();
+                let recv = receiver.map(|r| locals[r.0 as usize]);
+                let ret = self.exec_call(*kind, *callee, recv, &argv, addr, depth, budget);
+                if let Some(d) = dst {
+                    locals[d.0 as usize] = ret;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_call(
+        &mut self,
+        kind: InvokeKind,
+        callee: MethodId,
+        receiver: Option<Value>,
+        args: &[Value],
+        addr: StmtAddr,
+        depth: usize,
+        budget: &mut usize,
+    ) -> Value {
+        let fw = &self.app.framework;
+        if let Some(op) = FrameworkOp::classify(fw, callee) {
+            return self.exec_op(op, receiver, args, addr);
+        }
+        match kind {
+            InvokeKind::Virtual => {
+                let recv = receiver.unwrap_or(Value::Null);
+                self.invoke_virtual(callee, recv, args, depth + 1, budget)
+            }
+            InvokeKind::Static | InvokeKind::Special => {
+                if !self.app.program.method(callee).has_body() {
+                    return Value::Null;
+                }
+                let mut all = Vec::new();
+                if kind == InvokeKind::Special {
+                    all.push(receiver.unwrap_or(Value::Null));
+                }
+                all.extend_from_slice(args);
+                self.exec_method(callee, &all, depth + 1, budget)
+            }
+        }
+    }
+
+    fn exec_op(
+        &mut self,
+        op: FrameworkOp,
+        receiver: Option<Value>,
+        args: &[Value],
+        addr: StmtAddr,
+    ) -> Value {
+        use FrameworkOp::*;
+        let fw = self.app.framework.clone();
+        let cur = self.cur_event;
+        match op {
+            ThreadStart => {
+                if let Some(recv) = receiver {
+                    self.bg_ready.push(PendingTask {
+                        decl: fw.thread_run,
+                        receiver: recv,
+                        args: vec![],
+                        poster: Some(cur),
+                        label: "Thread.run".into(),
+                        followup: None,
+                    });
+                }
+            }
+            AsyncTaskExecute => {
+                if let Some(recv) = receiver {
+                    self.main_queue.push_back(PendingTask {
+                        decl: fw.async_task_on_pre_execute,
+                        receiver: recv,
+                        args: vec![],
+                        poster: Some(cur),
+                        label: "onPreExecute".into(),
+                        followup: None,
+                    });
+                    self.bg_ready.push(PendingTask {
+                        decl: fw.async_task_do_in_background,
+                        receiver: recv,
+                        args: vec![],
+                        poster: Some(cur),
+                        label: "doInBackground".into(),
+                        followup: Some((fw.async_task_on_post_execute, recv, "onPostExecute".into())),
+                    });
+                }
+            }
+            ExecutorExecute => {
+                if let Some(&r) = args.first() {
+                    self.bg_ready.push(PendingTask {
+                        decl: fw.runnable_run,
+                        receiver: r,
+                        args: vec![],
+                        poster: Some(cur),
+                        label: "Executor.run".into(),
+                        followup: None,
+                    });
+                }
+            }
+            HandlerPost | HandlerPostDelayed | ViewPost | ViewPostDelayed | RunOnUiThread => {
+                if let Some(&r) = args.first() {
+                    self.main_queue.push_back(PendingTask {
+                        decl: fw.runnable_run,
+                        receiver: r,
+                        args: vec![],
+                        poster: Some(cur),
+                        label: "Runnable.run".into(),
+                        followup: None,
+                    });
+                }
+            }
+            HandlerSendMessage => {
+                if let (Some(recv), Some(&msg)) = (receiver, args.first()) {
+                    self.main_queue.push_back(PendingTask {
+                        decl: fw.handler_handle_message,
+                        receiver: recv,
+                        args: vec![msg],
+                        poster: Some(cur),
+                        label: "handleMessage".into(),
+                        followup: None,
+                    });
+                }
+            }
+            HandlerSendEmptyMessage => {
+                if let Some(recv) = receiver {
+                    let msg = self.alloc(fw.message);
+                    if let (Value::Ref(i), Some(&what)) = (msg, args.first()) {
+                        self.heap[i].1.insert(fw.message_what, what);
+                    }
+                    self.main_queue.push_back(PendingTask {
+                        decl: fw.handler_handle_message,
+                        receiver: recv,
+                        args: vec![msg],
+                        poster: Some(cur),
+                        label: "handleMessage".into(),
+                        followup: None,
+                    });
+                }
+            }
+            RegisterReceiver => {
+                if let Some(&r) = args.first() {
+                    self.receivers.push(r);
+                }
+            }
+            UnregisterReceiver => {
+                if let Some(&r) = args.first() {
+                    self.receivers.retain(|&x| x != r);
+                }
+            }
+            SetListener(kind) => {
+                if let Some(&l) = args.first() {
+                    self.listeners.push((kind, l));
+                }
+            }
+            FindViewById => {
+                let Some(Value::Ref(r)) = receiver else { return Value::Null };
+                let activity_class = self.heap[r].0;
+                let Some(&Value::Int(id)) = args.first() else { return Value::Null };
+                if let Some(&v) = self.views.get(&(activity_class, id)) {
+                    return Value::Ref(v);
+                }
+                let class = i32::try_from(id)
+                    .ok()
+                    .and_then(|i| self.app.view_class(activity_class, i))
+                    .unwrap_or(fw.view);
+                let v = self.alloc(class);
+                if let Value::Ref(h) = v {
+                    self.views.insert((activity_class, id), h);
+                }
+                return v;
+            }
+            BindService => {
+                if let Some(&conn) = args.get(1) {
+                    self.main_queue.push_back(PendingTask {
+                        decl: fw.on_service_connected,
+                        receiver: conn,
+                        args: vec![],
+                        poster: Some(cur),
+                        label: "onServiceConnected".into(),
+                        followup: None,
+                    });
+                }
+            }
+            TimerSchedule => {
+                if let Some(&task) = args.first() {
+                    self.bg_ready.push(PendingTask {
+                        decl: fw.timer_task_run,
+                        receiver: task,
+                        args: vec![],
+                        poster: Some(cur),
+                        label: "TimerTask.run".into(),
+                        followup: None,
+                    });
+                }
+            }
+            RequestLocationUpdates => {
+                if let Some(&l) = args.first() {
+                    self.main_queue.push_back(PendingTask {
+                        decl: fw.on_location_changed,
+                        receiver: l,
+                        args: vec![Value::Null],
+                        poster: Some(cur),
+                        label: "onLocationChanged".into(),
+                        followup: None,
+                    });
+                }
+            }
+            SetOnCompletionListener => {
+                if let Some(&l) = args.first() {
+                    self.main_queue.push_back(PendingTask {
+                        decl: fw.on_completion,
+                        receiver: l,
+                        args: vec![Value::Null],
+                        poster: Some(cur),
+                        label: "onCompletion".into(),
+                        followup: None,
+                    });
+                }
+            }
+            ArrayListSetAt => {
+                if let (Some(Value::Ref(r)), Some(&Value::Int(k)), Some(&v)) =
+                    (receiver, args.first(), args.get(1))
+                {
+                    let field = if (0..8).contains(&k) {
+                        fw.index_slots[k as usize]
+                    } else {
+                        fw.array_list_contents
+                    };
+                    self.record(DynLoc::Field(r, field), true, addr);
+                    self.heap[r].1.insert(field, v);
+                }
+            }
+            ArrayListGetAt => {
+                if let (Some(Value::Ref(r)), Some(&Value::Int(k))) = (receiver, args.first()) {
+                    let field = if (0..8).contains(&k) {
+                        fw.index_slots[k as usize]
+                    } else {
+                        fw.array_list_contents
+                    };
+                    self.record(DynLoc::Field(r, field), false, addr);
+                    return self.heap[r].1.get(&field).copied().unwrap_or(Value::Null);
+                }
+            }
+            StartService | RemoveUpdates | HandlerInit | GetMainLooper | MyLooper => {}
+        }
+        Value::Null
+    }
+}
+
+fn eval_binop(op: BinOp, a: Value, b: Value) -> Value {
+    use Value::*;
+    match op {
+        BinOp::Add => match (a, b) {
+            (Int(x), Int(y)) => Int(x + y),
+            _ => Null,
+        },
+        BinOp::Sub => match (a, b) {
+            (Int(x), Int(y)) => Int(x - y),
+            _ => Null,
+        },
+        BinOp::Mul => match (a, b) {
+            (Int(x), Int(y)) => Int(x * y),
+            _ => Null,
+        },
+        BinOp::Cmp(CmpOp::Eq) => Bool(a == b),
+        BinOp::Cmp(CmpOp::Ne) => Bool(a != b),
+        BinOp::Cmp(CmpOp::Lt) => match (a, b) {
+            (Int(x), Int(y)) => Bool(x < y),
+            _ => Bool(false),
+        },
+        BinOp::Cmp(CmpOp::Le) => match (a, b) {
+            (Int(x), Int(y)) => Bool(x <= y),
+            _ => Bool(false),
+        },
+        BinOp::And => match (a, b) {
+            (Bool(x), Bool(y)) => Bool(x && y),
+            _ => Bool(false),
+        },
+        BinOp::Or => match (a, b) {
+            (Bool(x), Bool(y)) => Bool(x || y),
+            _ => Bool(false),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::RandomDecider;
+
+    #[test]
+    fn binop_evaluation_covers_the_operator_table() {
+        use Value::*;
+        assert_eq!(eval_binop(BinOp::Add, Int(2), Int(3)), Int(5));
+        assert_eq!(eval_binop(BinOp::Sub, Int(2), Int(3)), Int(-1));
+        assert_eq!(eval_binop(BinOp::Mul, Int(2), Int(3)), Int(6));
+        assert_eq!(eval_binop(BinOp::Add, Int(2), Null), Null);
+        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Eq), Ref(1), Ref(1)), Bool(true));
+        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Ne), Ref(1), Null), Bool(true));
+        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Lt), Int(1), Int(2)), Bool(true));
+        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Le), Int(2), Int(2)), Bool(true));
+        assert_eq!(eval_binop(BinOp::And, Bool(true), Bool(false)), Bool(false));
+        assert_eq!(eval_binop(BinOp::Or, Bool(true), Bool(false)), Bool(true));
+        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Lt), Null, Int(1)), Bool(false));
+    }
+
+    #[test]
+    fn lifecycle_event_executes_the_override_and_records_accesses() {
+        let mut builder = android_model::AndroidAppBuilder::new("T");
+        let fw = builder.framework().clone();
+        let mut cb = builder.activity("Main");
+        let f = cb.field("x", apir::Type::Int);
+        let activity = cb.build();
+        let mut mb = builder.method(activity, "onCreate");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        mb.store(this, f, apir::Operand::Const(ConstValue::Int(7)));
+        mb.ret(None);
+        mb.finish();
+        let app = builder.finish().unwrap();
+
+        let mut rt = Runtime::new(&app, RandomDecider::new(1));
+        let act = rt.alloc(activity);
+        rt.lifecycle_event(act, android_model::LifecycleEvent::Create);
+        assert_eq!(rt.trace.events.len(), 1);
+        let ev = &rt.trace.events[0];
+        assert_eq!(ev.label, "onCreate");
+        assert_eq!(ev.accesses.len(), 1);
+        assert!(ev.accesses[0].is_write);
+        let _ = fw;
+    }
+
+    #[test]
+    fn posted_tasks_carry_the_causal_edge() {
+        let mut builder = android_model::AndroidAppBuilder::new("T");
+        let fw = builder.framework().clone();
+        let mut cb = builder.subclass("R", fw.object);
+        cb.add_interface(fw.runnable);
+        let runnable = cb.build();
+        let mut mb = builder.method(runnable, "run");
+        mb.set_param_count(1);
+        mb.ret(None);
+        mb.finish();
+        let activity = builder.activity("Main").build();
+        let mut mb = builder.method(activity, "onCreate");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let r = mb.fresh_local();
+        mb.new_(r, runnable);
+        mb.call(
+            None,
+            apir::InvokeKind::Virtual,
+            fw.run_on_ui_thread,
+            Some(this),
+            vec![apir::Operand::Local(r)],
+        );
+        mb.ret(None);
+        mb.finish();
+        let app = builder.finish().unwrap();
+
+        let mut rt = Runtime::new(&app, RandomDecider::new(1));
+        let act = rt.alloc(activity);
+        rt.lifecycle_event(act, android_model::LifecycleEvent::Create);
+        assert!(rt.has_pending());
+        assert!(rt.drain_one_main());
+        assert!(!rt.drain_one_main(), "queue is drained");
+        assert_eq!(rt.trace.events.len(), 2);
+        assert_eq!(rt.trace.events[1].preds, vec![0], "post edge from onCreate");
+    }
+
+    #[test]
+    fn listener_registration_feeds_gui_events() {
+        let mut builder = android_model::AndroidAppBuilder::new("T");
+        let fw = builder.framework().clone();
+        let mut cb = builder.activity("Main");
+        cb.add_interface(fw.on_click_listener);
+        let f = cb.field("clicked", apir::Type::Int);
+        let activity = cb.build();
+        let mut mb = builder.method(activity, "onClick");
+        mb.set_param_count(2);
+        let this = mb.param(0);
+        mb.store(this, f, apir::Operand::Const(ConstValue::Int(1)));
+        mb.ret(None);
+        mb.finish();
+        let mut mb = builder.method(activity, "onCreate");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let v = mb.fresh_local();
+        mb.call(
+            Some(v),
+            apir::InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![apir::Operand::Const(ConstValue::Int(1))],
+        );
+        mb.call(
+            None,
+            apir::InvokeKind::Virtual,
+            fw.set_on_click_listener,
+            Some(v),
+            vec![apir::Operand::Local(this)],
+        );
+        mb.ret(None);
+        mb.finish();
+        let app = builder.finish().unwrap();
+
+        let mut rt = Runtime::new(&app, RandomDecider::new(1));
+        let act = rt.alloc(activity);
+        assert_eq!(rt.listener_count(), 0);
+        rt.lifecycle_event(act, android_model::LifecycleEvent::Create);
+        assert_eq!(rt.listener_count(), 1);
+        rt.gui_event(0);
+        assert_eq!(rt.trace.events.len(), 2);
+        assert_eq!(rt.trace.events[1].label, "onClick");
+        assert!(rt.trace.events[1].accesses.iter().any(|a| a.is_write));
+    }
+
+    #[test]
+    fn find_view_by_id_returns_a_stable_view_per_id() {
+        let mut builder = android_model::AndroidAppBuilder::new("T");
+        let fw = builder.framework().clone();
+        let activity = builder.activity("Main").build();
+        let mut mb = builder.method(activity, "onCreate");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let (v1, v2, cond) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
+        mb.call(
+            Some(v1),
+            apir::InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![apir::Operand::Const(ConstValue::Int(9))],
+        );
+        mb.call(
+            Some(v2),
+            apir::InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![apir::Operand::Const(ConstValue::Int(9))],
+        );
+        mb.bin_op(
+            cond,
+            BinOp::Cmp(CmpOp::Eq),
+            apir::Operand::Local(v1),
+            apir::Operand::Local(v2),
+        );
+        // Store the comparison result into a static so the test can see it.
+        mb.ret(Some(apir::Operand::Local(cond)));
+        mb.finish();
+        let app = builder.finish().unwrap();
+        let mut rt = Runtime::new(&app, RandomDecider::new(1));
+        let act = rt.alloc(activity);
+        // Execute onCreate directly as an event; the body compares the two
+        // inflated views — interpretation must not panic and returns are
+        // discarded, so assert via the view table.
+        rt.lifecycle_event(act, android_model::LifecycleEvent::Create);
+        assert_eq!(rt.views.len(), 1, "one view object per (activity, id)");
+    }
+}

@@ -1,0 +1,125 @@
+//! Dynamic-detector tests on the corpus figure apps.
+
+use crate::{detect, EventRacerConfig};
+use corpus::figures;
+
+fn thorough() -> EventRacerConfig {
+    EventRacerConfig {
+        seed: 7,
+        runs: 6,
+        steps_per_episode: 60,
+        activity_coverage: 1.0,
+        race_coverage_filter: true,
+    }
+}
+
+#[test]
+fn detects_figure_1_race_with_good_coverage() {
+    let (app, _) = figures::intra_component();
+    let report = detect(&app, &thorough());
+    assert!(
+        report
+            .race_groups()
+            .iter()
+            .any(|(c, f)| c.ends_with("$Adapter") && f == "data"),
+        "adapter.data race should surface dynamically: {:?}",
+        report.race_groups()
+    );
+    assert!(report.events > 10);
+}
+
+#[test]
+fn race_coverage_filter_hides_guard_flag_races() {
+    let (app, _) = figures::open_sudoku_guard();
+    let filtered = detect(&app, &thorough());
+    assert!(
+        !filtered.race_groups().iter().any(|(_, f)| f == "mAccumTime"),
+        "primitive-guarded accesses are filtered: {:?}",
+        filtered.race_groups()
+    );
+
+    let unfiltered = detect(
+        &app,
+        &EventRacerConfig { race_coverage_filter: false, ..thorough() },
+    );
+    assert!(
+        unfiltered.races.len() >= filtered.races.len(),
+        "the filter only removes races"
+    );
+    assert!(filtered.filtered > 0, "some candidates must have been filtered");
+}
+
+#[test]
+fn pointer_guard_race_survives_the_filter_as_a_false_positive() {
+    // The NullGuard idiom: SIERRA refutes the payload pair via path
+    // conditions; EventRacer's primitive-only filter cannot, so it reports
+    // it (the §6.4 false-positive class).
+    let mut app = android_model::AndroidAppBuilder::new("NullGuardApp");
+    let mut truth = corpus::GroundTruth::new();
+    corpus::Idiom::NullGuard.plant(&mut app, "com.example.Guarded", &mut truth);
+    let app = app.finish().unwrap();
+
+    let report = detect(&app, &thorough());
+    assert!(
+        report.race_groups().iter().any(|(_, f)| f == "payload"),
+        "pointer-guarded pair must be reported dynamically: {:?}",
+        report.race_groups()
+    );
+
+    // And SIERRA refutes the same pair.
+    let result = sierra_core::Sierra::new().analyze_app({
+        let mut app2 = android_model::AndroidAppBuilder::new("NullGuardApp2");
+        let mut t2 = corpus::GroundTruth::new();
+        corpus::Idiom::NullGuard.plant(&mut app2, "com.example.Guarded", &mut t2);
+        app2.finish().unwrap()
+    });
+    let reported: Vec<String> = result
+        .races
+        .iter()
+        .map(|r| result.harness.app.program.field_name(r.field).to_owned())
+        .collect();
+    assert!(!reported.contains(&"payload".to_owned()), "SIERRA refutes it: {reported:?}");
+}
+
+#[test]
+fn eventracer_reports_lifecycle_ordered_pairs_sierra_rules_out() {
+    // ordered_lifecycle: onCreate write vs onResume read. EventRacer has no
+    // lifecycle model, so the events are unordered in its HB — a false
+    // positive SIERRA's rule 2 eliminates (the 15-races discussion, §6.4).
+    let mut app = android_model::AndroidAppBuilder::new("OrderedApp");
+    let mut truth = corpus::GroundTruth::new();
+    corpus::Idiom::OrderedLifecycle.plant(&mut app, "com.example.Ordered", &mut truth);
+    let app = app.finish().unwrap();
+    let report = detect(&app, &thorough());
+    assert!(
+        report.race_groups().iter().any(|(_, f)| f == "cfg"),
+        "EventRacer lacks the lifecycle HB model: {:?}",
+        report.race_groups()
+    );
+}
+
+#[test]
+fn limited_coverage_misses_races() {
+    let (app, truth) = figures::intra_component();
+    let sparse = EventRacerConfig {
+        seed: 3,
+        runs: 1,
+        steps_per_episode: 2,
+        activity_coverage: 0.0,
+        race_coverage_filter: true,
+    };
+    let report = detect(&app, &sparse);
+    let groups = report.race_groups();
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert_eq!(eval.true_races, 0, "nothing explored, nothing found");
+    assert!(eval.missed > 0, "the planted race goes undetected");
+}
+
+#[test]
+fn detection_is_deterministic_for_a_seed() {
+    let (app, _) = figures::inter_component();
+    let a = detect(&app, &thorough());
+    let b = detect(&app, &thorough());
+    assert_eq!(a.race_groups(), b.race_groups());
+    assert_eq!(a.events, b.events);
+}

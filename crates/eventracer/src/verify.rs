@@ -1,0 +1,240 @@
+//! Dynamic verification of statically-reported races.
+//!
+//! §6.4 closes with: "Static and dynamic race detection could also be
+//! combined: the static approach can find over-approximate candidate races
+//! which the dynamic approach (e.g., deterministic replay) can then
+//! verify." This module is that combination: given a race report's
+//! `(class, field)` group, it explores schedules until a trace *witnesses*
+//! the race — both accesses observed in causally-unordered events — or the
+//! attempt budget runs out.
+//!
+//! A `Confirmed` verdict upgrades a static report to an observed race; a
+//! `NotObserved` verdict does not refute it (dynamic absence is exactly
+//! the coverage gap the paper's §6.4 quantifies) but tells the developer
+//! the schedule is hard to reach.
+
+use crate::driver::{explore, DriverConfig};
+use android_model::AndroidApp;
+
+/// Verification budget.
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyConfig {
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Maximum schedules to explore.
+    pub attempts: usize,
+    /// Random steps per activity episode in each schedule.
+    pub steps_per_episode: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        Self { seed: 0xC0FFEE, attempts: 12, steps_per_episode: 40 }
+    }
+}
+
+/// The verification verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The race was witnessed dynamically.
+    Confirmed {
+        /// 1-based index of the first confirming schedule.
+        schedule: usize,
+    },
+    /// No explored schedule witnessed the race (not a refutation).
+    NotObserved {
+        /// Schedules explored.
+        attempts: usize,
+    },
+}
+
+impl Verdict {
+    /// Whether the race was confirmed.
+    pub fn confirmed(self) -> bool {
+        matches!(self, Verdict::Confirmed { .. })
+    }
+}
+
+/// Attempts to dynamically confirm a race on `(class, field)`.
+///
+/// Confirmation follows the paper's true-positive criterion (§5): the same
+/// pair of access sites must be witnessed unordered in **both execution
+/// orders** across the explored schedules. A guard-protected pair (Figure
+/// 8) executes in only one order — the guard suppresses the other — so it
+/// is never confirmed, agreeing with the static refutation.
+///
+/// The race-coverage filter plays no role here: the question is whether
+/// the *accesses* can race, not whether EventRacer's heuristics would
+/// report them.
+pub fn verify_race(app: &AndroidApp, class: &str, field: &str, config: VerifyConfig) -> Verdict {
+    use crate::detect::hb_ancestors;
+    use crate::runtime::DynLoc;
+    use std::collections::{HashMap, HashSet};
+
+    let Some(class_id) = app.program.class_by_name(class) else {
+        return Verdict::NotObserved { attempts: 0 };
+    };
+    let Some(field_id) = app.program.declared_field(class_id, field) else {
+        return Verdict::NotObserved { attempts: 0 };
+    };
+
+    // Site pair → the execution orders witnessed so far (+1 / −1).
+    let mut orders: HashMap<(apir::StmtAddr, apir::StmtAddr), HashSet<i8>> = HashMap::new();
+    for attempt in 0..config.attempts {
+        let trace = explore(
+            app,
+            DriverConfig {
+                seed: config.seed.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                steps_per_episode: config.steps_per_episode,
+                activity_coverage: 1.0,
+            },
+        );
+        let ancestors = hb_ancestors(&trace);
+        // Accesses on the field, grouped per concrete location.
+        let mut by_loc: HashMap<DynLoc, Vec<(usize, bool, apir::StmtAddr)>> = HashMap::new();
+        for (e, ev) in trace.events.iter().enumerate() {
+            for a in &ev.accesses {
+                let f = match a.loc {
+                    DynLoc::Field(_, f) | DynLoc::Static(f) => f,
+                };
+                if f == field_id {
+                    by_loc.entry(a.loc).or_default().push((e, a.is_write, a.addr));
+                }
+            }
+        }
+        for accs in by_loc.values() {
+            for i in 0..accs.len() {
+                for j in 0..accs.len() {
+                    let (e1, w1, a1) = accs[i];
+                    let (e2, w2, a2) = accs[j];
+                    if e1 >= e2 || !(w1 || w2) {
+                        continue;
+                    }
+                    if ancestors[e2].contains(&e1) || ancestors[e1].contains(&e2) {
+                        continue; // causally ordered — not a racing pair
+                    }
+                    // Normalize the site pair; record which side ran first.
+                    let (key, dir) = if a1 <= a2 { ((a1, a2), 1i8) } else { ((a2, a1), -1i8) };
+                    let seen = orders.entry(key).or_default();
+                    seen.insert(dir);
+                    if seen.len() == 2 {
+                        return Verdict::Confirmed { schedule: attempt + 1 };
+                    }
+                }
+            }
+        }
+    }
+    Verdict::NotObserved { attempts: config.attempts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirms_the_figure_1_race() {
+        let (app, _) = corpus::figures::intra_component();
+        let v = verify_race(
+            &app,
+            "com.example.NewsActivity$Adapter",
+            "data",
+            VerifyConfig::default(),
+        );
+        assert!(v.confirmed(), "{v:?}");
+    }
+
+    #[test]
+    fn confirms_the_inter_component_race() {
+        let (app, _) = corpus::figures::inter_component();
+        let v = verify_race(
+            &app,
+            "com.example.MainActivity$DB",
+            "isOpen",
+            VerifyConfig::default(),
+        );
+        assert!(v.confirmed(), "{v:?}");
+    }
+
+    #[test]
+    fn does_not_observe_nonexistent_races() {
+        let (app, _) = corpus::figures::intra_component();
+        let v = verify_race(&app, "com.example.NewsActivity", "no_such_field", VerifyConfig {
+            attempts: 3,
+            steps_per_episode: 10,
+            ..Default::default()
+        });
+        assert!(!v.confirmed(), "{v:?}");
+    }
+
+    #[test]
+    fn one_shot_guarded_pair_is_never_confirmed() {
+        // A one-shot guard: onCreate sets the flag once and posts a guarded
+        // writer; onPause clears the flag and writes. Once the clear runs,
+        // the guarded write can never execute again — only one execution
+        // order is witnessable, so the pair is not confirmed. (This is the
+        // dynamic mirror of the Figure 8 refutation; the *re-arming* timer
+        // of Figure 8 itself is dynamically racy across resume cycles.)
+        use android_model::AndroidAppBuilder;
+        use apir::{ConstValue, InvokeKind, Operand, Type};
+        let mut app = AndroidAppBuilder::new("OneShot");
+        let fw = app.framework().clone();
+        let mut cb = app.activity("Act");
+        let flag = cb.field("flag", Type::Bool);
+        let slot = cb.field("slot", Type::Int);
+        let activity = cb.build();
+        let mut cb = app.subclass("W", fw.object);
+        cb.add_interface(fw.runnable);
+        let outer = cb.field("outer", Type::Ref(activity));
+        let w = cb.build();
+        let mut mb = app.method(w, "<init>");
+        mb.set_param_count(2);
+        let (this, o) = (mb.param(0), mb.param(1));
+        mb.store(this, outer, Operand::Local(o));
+        mb.ret(None);
+        let w_init = mb.finish();
+        let mut mb = app.method(w, "run");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let (o, t) = (mb.fresh_local(), mb.fresh_local());
+        mb.load(o, this, outer);
+        mb.load(t, o, flag);
+        let b_then = mb.new_block();
+        let b_exit = mb.new_block();
+        mb.if_(t, b_then, b_exit);
+        mb.switch_to(b_then);
+        mb.store(o, slot, Operand::Const(ConstValue::Int(1)));
+        mb.goto(b_exit);
+        mb.switch_to(b_exit);
+        mb.ret(None);
+        mb.finish();
+        let mut mb = app.method(activity, "onCreate");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let r = mb.fresh_local();
+        mb.store(this, flag, Operand::Const(ConstValue::Bool(true)));
+        mb.new_(r, w);
+        mb.call(None, InvokeKind::Special, w_init, Some(r), vec![Operand::Local(this)]);
+        mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+        mb.ret(None);
+        mb.finish();
+        let mut mb = app.method(activity, "onPause");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let t = mb.fresh_local();
+        mb.load(t, this, flag);
+        let b_then = mb.new_block();
+        let b_exit = mb.new_block();
+        mb.if_(t, b_then, b_exit);
+        mb.switch_to(b_then);
+        mb.store(this, flag, Operand::Const(ConstValue::Bool(false)));
+        mb.store(this, slot, Operand::Const(ConstValue::Int(2)));
+        mb.goto(b_exit);
+        mb.switch_to(b_exit);
+        mb.ret(None);
+        mb.finish();
+        let app = app.finish().unwrap();
+
+        let v = verify_race(&app, "Act", "slot", VerifyConfig { attempts: 10, ..Default::default() });
+        assert!(!v.confirmed(), "{v:?}");
+    }
+}

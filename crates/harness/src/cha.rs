@@ -1,0 +1,141 @@
+//! Class-hierarchy-analysis reachability.
+//!
+//! Harness generation needs a cheap over-approximation of "which methods can
+//! run once this activity is alive" to decide which listener registrations
+//! belong to which activity's harness. CHA resolves every virtual call
+//! against all concrete subtypes of the static receiver class — coarse, but
+//! sound for discovery purposes (the precise call graph is built later by
+//! the pointer analysis).
+
+use apir::{InvokeKind, MethodId, Program, Stmt};
+use std::collections::{HashSet, VecDeque};
+
+/// Reachable-method computation under class-hierarchy dispatch.
+#[derive(Debug)]
+pub struct ChaReachability {
+    reachable: HashSet<MethodId>,
+}
+
+impl ChaReachability {
+    /// Computes the CHA-reachable set from `roots`.
+    ///
+    /// `extra_roots` is consulted on each newly reached method: it may
+    /// return additional entrypoints (e.g. callbacks of listener classes
+    /// registered in that method), which is how the §3.2 fixpoint loop is
+    /// expressed.
+    pub fn compute(
+        program: &Program,
+        roots: impl IntoIterator<Item = MethodId>,
+        mut extra_roots: impl FnMut(&Program, MethodId) -> Vec<MethodId>,
+    ) -> Self {
+        let mut reachable = HashSet::new();
+        let mut queue: VecDeque<MethodId> = roots.into_iter().collect();
+        while let Some(m) = queue.pop_front() {
+            if !reachable.insert(m) {
+                continue;
+            }
+            for extra in extra_roots(program, m) {
+                if !reachable.contains(&extra) {
+                    queue.push_back(extra);
+                }
+            }
+            let method = program.method(m);
+            if !method.has_body() {
+                continue;
+            }
+            for (_, stmt) in method.iter_stmts() {
+                let Stmt::Call { kind, callee, .. } = stmt else { continue };
+                match kind {
+                    InvokeKind::Static | InvokeKind::Special => {
+                        queue.push_back(*callee);
+                    }
+                    InvokeKind::Virtual => {
+                        let decl_class = program.method(*callee).class;
+                        for sub in program.concrete_subtypes(decl_class) {
+                            if let Some(target) = program.dispatch(sub, *callee) {
+                                queue.push_back(target);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self { reachable }
+    }
+
+    /// Whether `m` is reachable.
+    pub fn contains(&self, m: MethodId) -> bool {
+        self.reachable.contains(&m)
+    }
+
+    /// The reachable set.
+    pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.reachable.iter().copied()
+    }
+
+    /// Number of reachable methods.
+    pub fn len(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// Whether nothing is reachable.
+    pub fn is_empty(&self) -> bool {
+        self.reachable.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apir::{Origin, ProgramBuilder};
+
+    #[test]
+    fn virtual_dispatch_reaches_overrides() {
+        let mut pb = ProgramBuilder::new();
+        let base = pb.class("Base", Origin::App).build();
+        let mut cb = pb.class("Derived", Origin::App);
+        cb.set_super(base);
+        let derived = cb.build();
+        let base_f = pb.abstract_method(base, "f", 1);
+        let mut mb = pb.method(derived, "f");
+        mb.set_param_count(1);
+        mb.ret(None);
+        let derived_f = mb.finish();
+        let mut mb = pb.method(base, "root");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        mb.vcall(base_f, this, vec![]);
+        mb.ret(None);
+        let root = mb.finish();
+        let p = pb.finish();
+        let r = ChaReachability::compute(&p, [root], |_, _| Vec::new());
+        assert!(r.contains(root));
+        assert!(r.contains(derived_f), "CHA must reach the override");
+        assert!(!r.is_empty());
+        assert!(r.len() >= 2);
+        assert!(r.methods().any(|m| m == derived_f));
+    }
+
+    #[test]
+    fn extra_roots_feed_the_fixpoint() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("C", Origin::App).build();
+        let mut mb = pb.method(c, "root");
+        mb.set_param_count(1);
+        mb.ret(None);
+        let root = mb.finish();
+        let mut mb = pb.method(c, "callback");
+        mb.set_param_count(1);
+        mb.ret(None);
+        let callback = mb.finish();
+        let p = pb.finish();
+        let r = ChaReachability::compute(&p, [root], |_, m| {
+            if m == root {
+                vec![callback]
+            } else {
+                Vec::new()
+            }
+        });
+        assert!(r.contains(callback));
+    }
+}

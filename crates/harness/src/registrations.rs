@@ -1,0 +1,210 @@
+//! Listener-registration discovery and instrumentation.
+
+use android_model::{AndroidApp, FrameworkClasses, FrameworkOp, GuiEventKind};
+use apir::{
+    local_defs, CallSiteId, ClassId, ConstValue, FieldId, MethodId, Program, ProgramBuilder, Stmt,
+    StmtAddr, Type,
+};
+
+/// A discovered `View.setOn*Listener(listener)` call site.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// The registration call site.
+    pub site: CallSiteId,
+    /// The GUI event the listener handles.
+    pub kind: GuiEventKind,
+    /// The method containing the registration.
+    pub in_method: MethodId,
+    /// The synthetic static field the listener is stored into (filled in by
+    /// instrumentation).
+    pub field: FieldId,
+    /// The view's resource id, when the receiver traces back to a
+    /// `findViewById(const)` call (the inflated-view binding).
+    pub view_id: Option<i32>,
+}
+
+/// Scans every app-origin method for listener registrations.
+///
+/// Returns registrations with a placeholder `field` (instrumentation
+/// assigns the real one).
+pub fn discover(program: &Program, fw: &FrameworkClasses) -> Vec<(StmtAddr, RegistrationSeed)> {
+    let mut out = Vec::new();
+    for method in program.methods() {
+        if program.class(method.class).origin == apir::Origin::Framework || !method.has_body() {
+            continue;
+        }
+        for (addr, stmt) in method.iter_stmts() {
+            let Stmt::Call { site, callee, receiver, args, .. } = stmt else { continue };
+            let Some(op) = FrameworkOp::classify(fw, *callee) else { continue };
+            let Some(kind) = op.as_listener_registration() else { continue };
+            let Some(listener) = args.first().and_then(|a| a.as_local()) else { continue };
+            let view_id = receiver.and_then(|recv| view_id_of(program, fw, addr, recv));
+            out.push((
+                addr,
+                RegistrationSeed { site: *site, kind, in_method: method.id, listener, view_id },
+            ));
+        }
+    }
+    out
+}
+
+/// A registration before instrumentation assigned its synthetic field.
+#[derive(Debug, Clone)]
+pub struct RegistrationSeed {
+    /// The registration call site.
+    pub site: CallSiteId,
+    /// The GUI event kind.
+    pub kind: GuiEventKind,
+    /// The registering method.
+    pub in_method: MethodId,
+    /// The local holding the listener argument.
+    pub listener: apir::Local,
+    /// The view's resource id, if resolvable.
+    pub view_id: Option<i32>,
+}
+
+/// Traces a registration receiver back to `findViewById(const)`.
+fn view_id_of(
+    program: &Program,
+    fw: &FrameworkClasses,
+    addr: StmtAddr,
+    recv: apir::Local,
+) -> Option<i32> {
+    let method = program.method(addr.method);
+    let (def_addr, origin) = local_defs::find_value_origin(method, addr, recv)?;
+    let Stmt::Call { callee, args, .. } = origin else { return None };
+    if FrameworkOp::classify(fw, *callee) != Some(FrameworkOp::FindViewById) {
+        return None;
+    }
+    match local_defs::resolve_const_operand(method, def_addr, *args.first()?)? {
+        ConstValue::Int(id) => i32::try_from(id).ok(),
+        _ => None,
+    }
+}
+
+/// Instruments `pb` with one synthetic static field per registration and a
+/// store of the listener into it right after each registration call.
+///
+/// Insertion happens in descending address order so earlier insertions do
+/// not invalidate later addresses.
+pub fn instrument(
+    pb: &mut ProgramBuilder,
+    harness_class: ClassId,
+    fw: &FrameworkClasses,
+    mut seeds: Vec<(StmtAddr, RegistrationSeed)>,
+) -> Vec<Registration> {
+    seeds.sort_by_key(|s| std::cmp::Reverse(s.0));
+    let mut out = Vec::new();
+    for (addr, seed) in seeds {
+        let iface = match seed.kind {
+            GuiEventKind::Click => fw.on_click_listener,
+            GuiEventKind::LongClick => fw.on_long_click_listener,
+            GuiEventKind::Scroll => fw.on_scroll_listener,
+            GuiEventKind::ItemClick => fw.on_item_click_listener,
+            GuiEventKind::TextChanged => fw.text_watcher,
+        };
+        let field = pb.add_field(
+            harness_class,
+            &format!("$reg${}", seed.site),
+            Type::Ref(iface),
+            true,
+        );
+        pb.insert_stmt_after(addr, Stmt::StaticStore { field, value: seed.listener.into() });
+        out.push(Registration {
+            site: seed.site,
+            kind: seed.kind,
+            in_method: seed.in_method,
+            field,
+            view_id: seed.view_id,
+        });
+    }
+    out.reverse(); // restore discovery order
+    out
+}
+
+/// Convenience: discovery over a finished app (used by tests).
+pub fn discover_in_app(app: &AndroidApp) -> Vec<(StmtAddr, RegistrationSeed)> {
+    discover(&app.program, &app.framework)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use android_model::AndroidAppBuilder;
+    use apir::{InvokeKind, Operand};
+
+    /// Builds an app whose onCreate does:
+    ///   v = findViewById(7); l = new Listener; v.setOnClickListener(l)
+    fn app_with_registration() -> AndroidApp {
+        let mut app = AndroidAppBuilder::new("T");
+        let fw = app.framework().clone();
+        let main = app.activity("Main").build();
+        let mut cb = app.subclass("Listener", fw.object);
+        cb.add_interface(fw.on_click_listener);
+        let listener = cb.build();
+        let mut mb = app.method(listener, "onClick");
+        mb.set_param_count(2);
+        mb.ret(None);
+        mb.finish();
+
+        let mut mb = app.method(main, "onCreate");
+        mb.set_param_count(1);
+        let this = mb.param(0);
+        let v = mb.fresh_local();
+        let l = mb.fresh_local();
+        let id = mb.fresh_local();
+        mb.const_(id, ConstValue::Int(7));
+        mb.call(
+            Some(v),
+            InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![Operand::Local(id)],
+        );
+        mb.new_(l, listener);
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.set_on_click_listener,
+            Some(v),
+            vec![Operand::Local(l)],
+        );
+        mb.ret(None);
+        mb.finish();
+        app.finish().unwrap()
+    }
+
+    #[test]
+    fn discovers_registration_with_view_binding() {
+        let app = app_with_registration();
+        let seeds = discover_in_app(&app);
+        assert_eq!(seeds.len(), 1);
+        let (_, seed) = &seeds[0];
+        assert_eq!(seed.kind, GuiEventKind::Click);
+        assert_eq!(seed.view_id, Some(7));
+    }
+
+    #[test]
+    fn instrumentation_adds_field_and_store() {
+        let app = app_with_registration();
+        let fw = app.framework.clone();
+        let seeds = discover(&app.program, &fw);
+        let mut pb = ProgramBuilder::from(app.program);
+        let hclass = pb.class("$Harness", apir::Origin::App).build();
+        let regs = instrument(&mut pb, hclass, &fw, seeds);
+        let p = pb.finish();
+        assert!(p.validate().is_ok());
+        assert_eq!(regs.len(), 1);
+        let f = p.field(regs[0].field);
+        assert!(f.is_static);
+        assert_eq!(f.class, hclass);
+        // The store exists right after the registration call.
+        let addr = p.call_site_addr(regs[0].site);
+        let method = p.method(addr.method);
+        let next = apir::StmtAddr::new(addr.method, addr.block, addr.stmt + 1);
+        assert!(matches!(
+            method.stmt_at(next),
+            Some(Stmt::StaticStore { field, .. }) if *field == regs[0].field
+        ));
+    }
+}

@@ -1,0 +1,338 @@
+//! Context abstractions (§3.3).
+//!
+//! A method context is always `(action, elems)`: the enclosing concurrency
+//! action plus a selector-managed string of allocation/call sites. The
+//! *selector* decides how `elems` evolve at calls and — crucially — whether
+//! abstract heap objects carry the allocating action. Carrying the action is
+//! the paper's **action-sensitivity**: objects allocated at the same site in
+//! two different actions stay distinct, which is what cuts racy pairs ~5×
+//! in Table 3.
+
+use android_model::ActionId;
+use apir::{AllocSiteId, CallSiteId, ClassId};
+use std::collections::HashMap;
+
+/// One element of a context string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CtxElem {
+    /// An allocation site (object-sensitivity).
+    Alloc(AllocSiteId),
+    /// A call site (call-site-sensitivity).
+    Call(CallSiteId),
+}
+
+/// An interned method context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(pub u32);
+
+/// The data behind a [`CtxId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CtxData {
+    /// The enclosing action (always tracked, for access attribution).
+    pub action: ActionId,
+    /// The selector-managed context string.
+    pub elems: Vec<CtxElem>,
+}
+
+/// Interns method contexts.
+#[derive(Debug, Default)]
+pub struct CtxTable {
+    data: Vec<CtxData>,
+    map: HashMap<CtxData, CtxId>,
+}
+
+impl CtxTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns a context.
+    pub fn intern(&mut self, data: CtxData) -> CtxId {
+        if let Some(&id) = self.map.get(&data) {
+            return id;
+        }
+        let id = CtxId(u32::try_from(self.data.len()).expect("ctx overflow"));
+        self.data.push(data.clone());
+        self.map.insert(data, id);
+        id
+    }
+
+    /// Resolves a context id.
+    pub fn get(&self, id: CtxId) -> &CtxData {
+        &self.data[id.0 as usize]
+    }
+
+    /// Number of distinct contexts.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// An interned abstract object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+/// The data behind an [`ObjId`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ObjData {
+    /// An allocation-site object with its heap context.
+    Site {
+        /// The allocation site.
+        site: AllocSiteId,
+        /// The allocating action — `Some` only under action-sensitivity.
+        action: Option<ActionId>,
+        /// Selector-truncated heap context string.
+        elems: Vec<CtxElem>,
+        /// The allocated class.
+        class: ClassId,
+    },
+    /// An inflated view (the `InflatedViewContext` of §3.3): identified by
+    /// activity and resource id, so `findViewById` calls with the same id
+    /// alias across actions.
+    View {
+        /// The activity whose layout declares the view.
+        activity: ClassId,
+        /// The view resource id (negative synthetic ids for unresolved
+        /// `findViewById` arguments, unique per call site).
+        view_id: i64,
+        /// The view's class per the layout (or the base `View`).
+        class: ClassId,
+    },
+}
+
+impl ObjData {
+    /// The object's dynamic class.
+    pub fn class(&self) -> ClassId {
+        match self {
+            ObjData::Site { class, .. } | ObjData::View { class, .. } => *class,
+        }
+    }
+
+    /// The allocation site, for site-keyed objects.
+    pub fn site(&self) -> Option<AllocSiteId> {
+        match self {
+            ObjData::Site { site, .. } => Some(*site),
+            ObjData::View { .. } => None,
+        }
+    }
+
+    /// The heap context string (empty for views).
+    pub fn elems(&self) -> &[CtxElem] {
+        match self {
+            ObjData::Site { elems, .. } => elems,
+            ObjData::View { .. } => &[],
+        }
+    }
+}
+
+/// Interns abstract objects.
+#[derive(Debug, Default)]
+pub struct ObjTable {
+    data: Vec<ObjData>,
+    map: HashMap<ObjData, ObjId>,
+}
+
+impl ObjTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an object.
+    pub fn intern(&mut self, data: ObjData) -> ObjId {
+        if let Some(&id) = self.map.get(&data) {
+            return id;
+        }
+        let id = ObjId(u32::try_from(self.data.len()).expect("obj overflow"));
+        self.data.push(data.clone());
+        self.map.insert(data, id);
+        id
+    }
+
+    /// Resolves an object id.
+    pub fn get(&self, id: ObjId) -> &ObjData {
+        &self.data[id.0 as usize]
+    }
+
+    /// Number of distinct objects.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// The context-sensitivity policy (§3.3 and the ablations of §6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectorKind {
+    /// Context-insensitive.
+    Insensitive,
+    /// k-call-site sensitivity (k-cfa).
+    KCfa(u32),
+    /// k-object sensitivity (k-obj).
+    KObj(u32),
+    /// Hybrid: k-obj at virtual dispatch, k-cfa at static calls.
+    Hybrid(u32),
+    /// The paper's action-sensitivity: hybrid + the allocating action on
+    /// every heap object.
+    ActionSensitive(u32),
+}
+
+impl SelectorKind {
+    /// Human-readable name (used in ablation tables).
+    pub fn name(self) -> String {
+        match self {
+            SelectorKind::Insensitive => "insensitive".into(),
+            SelectorKind::KCfa(k) => format!("{k}-cfa"),
+            SelectorKind::KObj(k) => format!("{k}-obj"),
+            SelectorKind::Hybrid(k) => format!("hybrid({k})"),
+            SelectorKind::ActionSensitive(k) => format!("action+hybrid({k})"),
+        }
+    }
+
+    fn k(self) -> usize {
+        match self {
+            SelectorKind::Insensitive => 0,
+            SelectorKind::KCfa(k)
+            | SelectorKind::KObj(k)
+            | SelectorKind::Hybrid(k)
+            | SelectorKind::ActionSensitive(k) => k as usize,
+        }
+    }
+
+    /// Whether heap objects carry the allocating action.
+    pub fn action_sensitive(self) -> bool {
+        matches!(self, SelectorKind::ActionSensitive(_))
+    }
+
+    /// Context string for a virtually-dispatched callee, given the caller's
+    /// string and the receiver object.
+    pub fn virtual_elems(
+        self,
+        caller: &[CtxElem],
+        site: CallSiteId,
+        recv: &ObjData,
+    ) -> Vec<CtxElem> {
+        match self {
+            SelectorKind::Insensitive => Vec::new(),
+            SelectorKind::KCfa(_) => truncate_last(caller, Some(CtxElem::Call(site)), self.k()),
+            SelectorKind::KObj(_) | SelectorKind::Hybrid(_) | SelectorKind::ActionSensitive(_) => {
+                let alloc = recv.site().map(CtxElem::Alloc);
+                truncate_last(recv.elems(), alloc, self.k())
+            }
+        }
+    }
+
+    /// Context string for a static/special callee.
+    pub fn static_elems(self, caller: &[CtxElem], site: CallSiteId) -> Vec<CtxElem> {
+        match self {
+            SelectorKind::Insensitive => Vec::new(),
+            SelectorKind::KObj(_) => caller.to_vec(),
+            SelectorKind::KCfa(_) | SelectorKind::Hybrid(_) | SelectorKind::ActionSensitive(_) => {
+                truncate_last(caller, Some(CtxElem::Call(site)), self.k())
+            }
+        }
+    }
+
+    /// Heap context for an allocation in `ctx`.
+    pub fn heap_ctx(self, ctx: &CtxData) -> (Option<ActionId>, Vec<CtxElem>) {
+        let action = if self.action_sensitive() { Some(ctx.action) } else { None };
+        (action, truncate_last(&ctx.elems, None, self.k()))
+    }
+}
+
+/// Keeps the last `k` elements of `base ++ [extra]`.
+fn truncate_last(base: &[CtxElem], extra: Option<CtxElem>, k: usize) -> Vec<CtxElem> {
+    let mut v: Vec<CtxElem> = base.to_vec();
+    if let Some(e) = extra {
+        v.push(e);
+    }
+    if v.len() > k {
+        v.drain(..v.len() - k);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(site: u32, elems: Vec<CtxElem>) -> ObjData {
+        ObjData::Site { site: AllocSiteId(site), action: None, elems, class: ClassId(0) }
+    }
+
+    #[test]
+    fn tables_intern_and_deduplicate() {
+        let mut ctxs = CtxTable::new();
+        let a = ctxs.intern(CtxData { action: ActionId(0), elems: vec![] });
+        let b = ctxs.intern(CtxData { action: ActionId(0), elems: vec![] });
+        let c = ctxs.intern(CtxData { action: ActionId(1), elems: vec![] });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(ctxs.len(), 2);
+
+        let mut objs = ObjTable::new();
+        let o1 = objs.intern(obj(0, vec![]));
+        let o2 = objs.intern(obj(0, vec![]));
+        assert_eq!(o1, o2);
+        assert_eq!(objs.len(), 1);
+        assert_eq!(objs.get(o1).class(), ClassId(0));
+    }
+
+    #[test]
+    fn kcfa_appends_call_sites_and_truncates() {
+        let s = SelectorKind::KCfa(2);
+        let caller = vec![CtxElem::Call(CallSiteId(1)), CtxElem::Call(CallSiteId(2))];
+        let got = s.static_elems(&caller, CallSiteId(3));
+        assert_eq!(got, vec![CtxElem::Call(CallSiteId(2)), CtxElem::Call(CallSiteId(3))]);
+    }
+
+    #[test]
+    fn kobj_uses_receiver_allocation_chain() {
+        let s = SelectorKind::KObj(2);
+        let recv = obj(9, vec![CtxElem::Alloc(AllocSiteId(5))]);
+        let got = s.virtual_elems(&[], CallSiteId(0), &recv);
+        assert_eq!(got, vec![CtxElem::Alloc(AllocSiteId(5)), CtxElem::Alloc(AllocSiteId(9))]);
+        // Static calls pass the caller context through.
+        let caller = vec![CtxElem::Alloc(AllocSiteId(1))];
+        assert_eq!(s.static_elems(&caller, CallSiteId(0)), caller);
+    }
+
+    #[test]
+    fn hybrid_mixes_obj_and_cfa() {
+        let s = SelectorKind::Hybrid(1);
+        let recv = obj(9, vec![]);
+        assert_eq!(s.virtual_elems(&[], CallSiteId(0), &recv), vec![CtxElem::Alloc(AllocSiteId(9))]);
+        assert_eq!(s.static_elems(&[], CallSiteId(4)), vec![CtxElem::Call(CallSiteId(4))]);
+    }
+
+    #[test]
+    fn action_sensitivity_tags_heap_objects() {
+        let plain = SelectorKind::Hybrid(1);
+        let action = SelectorKind::ActionSensitive(1);
+        let ctx = CtxData { action: ActionId(7), elems: vec![CtxElem::Call(CallSiteId(1))] };
+        assert_eq!(plain.heap_ctx(&ctx).0, None);
+        assert_eq!(action.heap_ctx(&ctx).0, Some(ActionId(7)));
+        assert!(plain.name().starts_with("hybrid"));
+        assert!(action.action_sensitive());
+    }
+
+    #[test]
+    fn insensitive_contexts_are_empty() {
+        let s = SelectorKind::Insensitive;
+        let recv = obj(9, vec![CtxElem::Alloc(AllocSiteId(5))]);
+        assert!(s.virtual_elems(&[CtxElem::Call(CallSiteId(1))], CallSiteId(0), &recv).is_empty());
+        assert!(s.static_elems(&[CtxElem::Call(CallSiteId(1))], CallSiteId(0)).is_empty());
+        let ctx = CtxData { action: ActionId(0), elems: vec![CtxElem::Call(CallSiteId(1))] };
+        assert_eq!(s.heap_ctx(&ctx), (None, vec![]));
+    }
+}

@@ -1,0 +1,181 @@
+//! Memory-access extraction (§4.1's ⟨x, τ, A⟩ bundles).
+
+use crate::ctx::{CtxId, ObjId};
+use crate::solver::Analysis;
+use android_model::{ActionId, FrameworkOp};
+use apir::{local_defs, ClassId, ConstValue, FieldId, Method, MethodId, Operand, Program, Stmt, StmtAddr};
+
+/// An abstract memory location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessLoc {
+    /// An instance field of an abstract object.
+    Field(ObjId, FieldId),
+    /// A static field.
+    Static(FieldId),
+}
+
+/// One memory access attributed to an action.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// The action performing the access.
+    pub action: ActionId,
+    /// The method containing the access.
+    pub method: MethodId,
+    /// The method context.
+    pub ctx: CtxId,
+    /// The statement address.
+    pub addr: StmtAddr,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// The accessed field.
+    pub field: FieldId,
+    /// Points-to set of the base object (empty for statics).
+    pub base: Vec<ObjId>,
+    /// Whether this is a static-field access.
+    pub is_static: bool,
+}
+
+impl Access {
+    /// The abstract locations this access may touch.
+    pub fn locs(&self) -> Vec<AccessLoc> {
+        if self.is_static {
+            vec![AccessLoc::Static(self.field)]
+        } else {
+            self.base.iter().map(|&o| AccessLoc::Field(o, self.field)).collect()
+        }
+    }
+
+    /// Whether two accesses may touch a common location.
+    pub fn overlaps(&self, other: &Access) -> bool {
+        if self.field != other.field || self.is_static != other.is_static {
+            return false;
+        }
+        if self.is_static {
+            return true;
+        }
+        self.base.iter().any(|o| other.base.contains(o))
+    }
+}
+
+/// Extracts every heap access from the reachable program, attributed to its
+/// action. Accesses to fields declared on `exclude_class` (the synthetic
+/// `$Harness`) are skipped. Opaque container ops (`ArrayList.setAt`/`getAt`)
+/// contribute accesses on their (possibly index-sensitive) slot fields.
+pub fn collect_accesses(
+    analysis: &Analysis,
+    program: &Program,
+    exclude_class: Option<ClassId>,
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    for &(method, ctx) in &analysis.reachable {
+        let m = program.method(method);
+        if !m.has_body() {
+            continue;
+        }
+        if Some(m.class) == exclude_class {
+            continue; // harness body itself
+        }
+        let action = analysis.action_of(ctx);
+        for (addr, stmt) in m.iter_stmts() {
+            let (is_write, field, base_local, is_static) = match stmt {
+                Stmt::Load { obj, field, .. } => (false, *field, Some(*obj), false),
+                Stmt::Store { obj, field, .. } => (true, *field, Some(*obj), false),
+                Stmt::StaticLoad { field, .. } => (false, *field, None, true),
+                Stmt::StaticStore { field, .. } => (true, *field, None, true),
+                Stmt::Call { callee, receiver, args, .. } => {
+                    // Container ops are heap accesses in disguise.
+                    let fwc = analysis.framework();
+                    let (w, idx_op) = match FrameworkOp::classify(fwc, *callee) {
+                        Some(FrameworkOp::ArrayListSetAt) => (true, args.first().copied()),
+                        Some(FrameworkOp::ArrayListGetAt) => (false, args.first().copied()),
+                        _ => continue,
+                    };
+                    let Some(base) = receiver else { continue };
+                    let field = resolve_index_field(analysis, m, addr, idx_op);
+                    (w, field, Some(*base), false)
+                }
+                _ => continue,
+            };
+            if Some(program.field(field).class) == exclude_class {
+                continue; // synthetic registration fields
+            }
+            let base = match base_local {
+                Some(l) => {
+                    let mut v: Vec<ObjId> =
+                        analysis.pts_var(method, ctx, l).iter().copied().collect();
+                    v.sort();
+                    v
+                }
+                None => Vec::new(),
+            };
+            if !is_static && base.is_empty() {
+                continue; // no resolvable target — cannot race
+            }
+            out.push(Access { action, method, ctx, addr, is_write, field, base, is_static });
+        }
+    }
+    out.sort_by_key(|a| (a.addr, a.ctx, a.is_write));
+    out
+}
+
+/// The slot field an indexed container access touches, mirroring the
+/// solver's resolution exactly.
+fn resolve_index_field(
+    analysis: &Analysis,
+    method: &Method,
+    addr: StmtAddr,
+    idx: Option<Operand>,
+) -> FieldId {
+    let fw = analysis.framework();
+    if !analysis.options.index_sensitive {
+        return fw.array_list_contents;
+    }
+    match idx.and_then(|op| local_defs::resolve_const_operand(method, addr, op)) {
+        Some(ConstValue::Int(k)) if (0..8).contains(&k) => fw.index_slots[k as usize],
+        _ => fw.array_list_contents,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_accesses_always_overlap_on_same_field() {
+        let a = Access {
+            action: ActionId(0),
+            method: MethodId(0),
+            ctx: CtxId(0),
+            addr: StmtAddr::new(MethodId(0), apir::BlockId(0), 0),
+            is_write: true,
+            field: FieldId(3),
+            base: vec![],
+            is_static: true,
+        };
+        let mut b = a.clone();
+        b.is_write = false;
+        assert!(a.overlaps(&b));
+        b.field = FieldId(4);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn instance_accesses_overlap_only_on_shared_objects() {
+        let mk = |base: Vec<u32>| Access {
+            action: ActionId(0),
+            method: MethodId(0),
+            ctx: CtxId(0),
+            addr: StmtAddr::new(MethodId(0), apir::BlockId(0), 0),
+            is_write: true,
+            field: FieldId(1),
+            base: base.into_iter().map(ObjId).collect(),
+            is_static: false,
+        };
+        let a = mk(vec![1, 2]);
+        let b = mk(vec![2, 3]);
+        let c = mk(vec![4]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert_eq!(a.locs().len(), 2);
+    }
+}

@@ -1,0 +1,1121 @@
+//! The context-sensitive Andersen solver with on-the-fly call graph.
+//!
+//! Standard inclusion-based points-to analysis (difference propagation over
+//! a constraint graph), extended with:
+//!
+//! - **on-the-fly dispatch**: virtual calls resolve per receiver object as
+//!   its points-to set grows;
+//! - **the Android concurrency model**: calls classified as
+//!   [`FrameworkOp`]s mint [`Action`]s (Table 1) and analyze the posted
+//!   callback bodies under fresh action contexts;
+//! - **harness sites**: the generated harness's callback invocation sites
+//!   each start a lifecycle/GUI/system action;
+//! - **inflated views**: `findViewById(const)` returns the per-`(activity,
+//!   id)` view object (§3.3's `InflatedViewContext`).
+
+use crate::ctx::{CtxData, CtxId, CtxTable, ObjData, ObjId, ObjTable, SelectorKind};
+use android_model::{
+    ActionId, ActionKind, ActionRegistry, FrameworkClasses, FrameworkOp, ThreadKind,
+};
+use apir::{
+    local_defs, CallSiteId, ClassId, ConstValue, FieldId, InvokeKind, Local, MethodId, Operand,
+    Program, Stmt, StmtAddr, Terminator,
+};
+use harness_gen::{HarnessResult, HarnessSiteKind};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Analysis options beyond the context selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Model `ArrayList.setAt`/`getAt` with per-constant-index slot fields
+    /// (the §6.5 future-work extension after Dillig et al.). When off,
+    /// every indexed access folds onto the summarized `contents` field.
+    pub index_sensitive: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self { index_sensitive: true }
+    }
+}
+
+/// A record of one action posting another (consumed by HB rules 1 and 4–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PostRecord {
+    /// The action whose code contains the posting site.
+    pub poster: ActionId,
+    /// The posting call site.
+    pub site: CallSiteId,
+    /// The posted action.
+    pub posted: ActionId,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum NodeKey {
+    Var { method: MethodId, ctx: CtxId, local: Local },
+    Ret { method: MethodId, ctx: CtxId },
+    Field { obj: ObjId, field: FieldId },
+    Static { field: FieldId },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct NodeId(u32);
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Load { field: FieldId, dst: NodeId },
+    Store { field: FieldId, src: SrcValue },
+    VCall(CallInfo),
+    HarnessCall(CallInfo),
+    Op(OpInfo),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SrcValue {
+    Node(NodeId),
+    // Constants stored to pointer fields carry no objects; recorded for
+    // completeness so stores of `null` don't create nodes.
+    Nothing,
+}
+
+#[derive(Debug, Clone)]
+struct CallInfo {
+    site: CallSiteId,
+    caller_method: MethodId,
+    caller_ctx: CtxId,
+    callee: MethodId,
+    dst: Option<Local>,
+    args: Vec<Operand>,
+}
+
+#[derive(Debug, Clone)]
+struct OpInfo {
+    op: FrameworkOp,
+    site: CallSiteId,
+    caller_method: MethodId,
+    caller_ctx: CtxId,
+    recv_node: Option<NodeId>,
+    args: Vec<Operand>,
+    /// Pre-resolved constant `Message.what`, for message ops.
+    what: Option<i64>,
+}
+
+/// The finished analysis (points-to sets, call graph, actions, posts).
+#[derive(Debug)]
+pub struct Analysis {
+    /// The selector the analysis ran with.
+    pub selector: SelectorKind,
+    /// The options the analysis ran with.
+    pub options: AnalysisOptions,
+    /// The framework ids of the analyzed app (needed to re-recognize
+    /// container ops when extracting accesses).
+    framework: FrameworkClasses,
+    /// All minted actions.
+    pub actions: ActionRegistry,
+    /// Method-context table.
+    pub ctxs: CtxTable,
+    /// Abstract-object table.
+    pub objs: ObjTable,
+    /// Reachable method contexts.
+    pub reachable: HashSet<(MethodId, CtxId)>,
+    /// Call-graph edges: `(caller, ctx, site) → callees`.
+    pub cg_edges: HashMap<(MethodId, CtxId, CallSiteId), Vec<(MethodId, CtxId)>>,
+    /// Action-posting records.
+    pub posts: Vec<PostRecord>,
+    /// Harness callback site → its action.
+    pub harness_actions: HashMap<CallSiteId, ActionId>,
+    /// Per activity: the harness-root action.
+    pub root_actions: Vec<(ClassId, ActionId)>,
+    nodes: HashMap<NodeKey, NodeId>,
+    pts: Vec<HashSet<ObjId>>,
+}
+
+static EMPTY_PTS: std::sync::OnceLock<HashSet<ObjId>> = std::sync::OnceLock::new();
+
+impl Analysis {
+    /// Points-to set of a local under a context.
+    pub fn pts_var(&self, method: MethodId, ctx: CtxId, local: Local) -> &HashSet<ObjId> {
+        let key = NodeKey::Var { method, ctx, local };
+        match self.nodes.get(&key) {
+            Some(n) => &self.pts[n.0 as usize],
+            None => EMPTY_PTS.get_or_init(HashSet::new),
+        }
+    }
+
+    /// Points-to set of an object field.
+    pub fn pts_field(&self, obj: ObjId, field: FieldId) -> &HashSet<ObjId> {
+        match self.nodes.get(&NodeKey::Field { obj, field }) {
+            Some(n) => &self.pts[n.0 as usize],
+            None => EMPTY_PTS.get_or_init(HashSet::new),
+        }
+    }
+
+    /// The action a context belongs to.
+    pub fn action_of(&self, ctx: CtxId) -> ActionId {
+        self.ctxs.get(ctx).action
+    }
+
+    /// Every reachable context of a method.
+    pub fn contexts_of(&self, method: MethodId) -> Vec<CtxId> {
+        self.reachable.iter().filter(|(m, _)| *m == method).map(|(_, c)| *c).collect()
+    }
+
+    /// Total call-graph edges (for stats).
+    pub fn cg_edge_count(&self) -> usize {
+        self.cg_edges.values().map(Vec::len).sum()
+    }
+
+    /// The analyzed app's framework ids.
+    pub fn framework(&self) -> &FrameworkClasses {
+        &self.framework
+    }
+}
+
+/// Runs the analysis over a harnessed app with default options.
+pub fn analyze(harness: &HarnessResult, selector: SelectorKind) -> Analysis {
+    analyze_opts(harness, selector, AnalysisOptions::default())
+}
+
+/// Runs the analysis with explicit options (ablation entry point).
+pub fn analyze_opts(
+    harness: &HarnessResult,
+    selector: SelectorKind,
+    options: AnalysisOptions,
+) -> Analysis {
+    Solver::new(harness, selector, options).run()
+}
+
+struct Solver<'a> {
+    program: &'a Program,
+    fw: &'a FrameworkClasses,
+    harness: &'a HarnessResult,
+    selector: SelectorKind,
+    options: AnalysisOptions,
+    ctxs: CtxTable,
+    objs: ObjTable,
+    actions: ActionRegistry,
+    nodes: HashMap<NodeKey, NodeId>,
+    keys: Vec<NodeKey>,
+    pts: Vec<HashSet<ObjId>>,
+    delta: Vec<Vec<ObjId>>,
+    succ: Vec<HashSet<NodeId>>,
+    pending: Vec<Vec<Pending>>,
+    worklist: VecDeque<NodeId>,
+    queued: Vec<bool>,
+    reachable: HashSet<(MethodId, CtxId)>,
+    cg_edges: HashMap<(MethodId, CtxId, CallSiteId), Vec<(MethodId, CtxId)>>,
+    cg_edge_set: HashSet<(MethodId, CtxId, CallSiteId, MethodId, CtxId)>,
+    posts: Vec<PostRecord>,
+    post_set: HashSet<PostRecord>,
+    harness_actions: HashMap<CallSiteId, ActionId>,
+    harness_site_kinds: HashMap<CallSiteId, HarnessSiteKind>,
+    alloc_action: HashMap<ObjId, ActionId>,
+    resolved: HashSet<(CallSiteId, CtxId, ObjId)>,
+    op_resolved: HashSet<(CallSiteId, CtxId, ObjId, ObjId)>,
+    root_actions: Vec<(ClassId, ActionId)>,
+}
+
+/// Sentinel "no object" id for op dedup pairs.
+const NO_OBJ: ObjId = ObjId(u32::MAX);
+
+impl<'a> Solver<'a> {
+    fn new(harness: &'a HarnessResult, selector: SelectorKind, options: AnalysisOptions) -> Self {
+        let mut harness_site_kinds = HashMap::new();
+        for h in &harness.activities {
+            for (site, kind) in &h.sites {
+                harness_site_kinds.insert(*site, kind.clone());
+            }
+        }
+        Self {
+            program: &harness.app.program,
+            fw: &harness.app.framework,
+            harness,
+            selector,
+            options,
+            ctxs: CtxTable::new(),
+            objs: ObjTable::new(),
+            actions: ActionRegistry::new(),
+            nodes: HashMap::new(),
+            keys: Vec::new(),
+            pts: Vec::new(),
+            delta: Vec::new(),
+            succ: Vec::new(),
+            pending: Vec::new(),
+            worklist: VecDeque::new(),
+            queued: Vec::new(),
+            reachable: HashSet::new(),
+            cg_edges: HashMap::new(),
+            cg_edge_set: HashSet::new(),
+            posts: Vec::new(),
+            post_set: HashSet::new(),
+            harness_actions: HashMap::new(),
+            harness_site_kinds,
+            alloc_action: HashMap::new(),
+            resolved: HashSet::new(),
+            op_resolved: HashSet::new(),
+            root_actions: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> Analysis {
+        for h in &self.harness.activities {
+            let (root, _) = self.actions.obtain(
+                h.activity,
+                ActionKind::HarnessRoot,
+                None,
+                None,
+                h.method,
+                ThreadKind::Main,
+                None,
+            );
+            self.root_actions.push((h.activity, root));
+            let ctx = self.ctxs.intern(CtxData { action: root, elems: Vec::new() });
+            self.mark_reachable(h.method, ctx);
+        }
+        while let Some(n) = self.worklist.pop_front() {
+            self.queued[n.0 as usize] = false;
+            let delta = std::mem::take(&mut self.delta[n.0 as usize]);
+            if delta.is_empty() {
+                continue;
+            }
+            let succs: Vec<NodeId> = self.succ[n.0 as usize].iter().copied().collect();
+            for s in succs {
+                for &o in &delta {
+                    self.add_obj(s, o);
+                }
+            }
+            let pendings = self.pending[n.0 as usize].clone();
+            for p in pendings {
+                self.process_pending(&p, &delta);
+            }
+        }
+        Analysis {
+            selector: self.selector,
+            options: self.options,
+            framework: self.fw.clone(),
+            actions: self.actions,
+            ctxs: self.ctxs,
+            objs: self.objs,
+            reachable: self.reachable,
+            cg_edges: self.cg_edges,
+            posts: self.posts,
+            harness_actions: self.harness_actions,
+            root_actions: self.root_actions,
+            nodes: self.nodes,
+            pts: self.pts,
+        }
+    }
+
+    // ---- node & graph plumbing ----
+
+    fn node(&mut self, key: NodeKey) -> NodeId {
+        if let Some(&n) = self.nodes.get(&key) {
+            return n;
+        }
+        let n = NodeId(u32::try_from(self.keys.len()).expect("node overflow"));
+        self.nodes.insert(key.clone(), n);
+        self.keys.push(key);
+        self.pts.push(HashSet::new());
+        self.delta.push(Vec::new());
+        self.succ.push(HashSet::new());
+        self.pending.push(Vec::new());
+        self.queued.push(false);
+        n
+    }
+
+    fn var(&mut self, method: MethodId, ctx: CtxId, local: Local) -> NodeId {
+        self.node(NodeKey::Var { method, ctx, local })
+    }
+
+    fn add_obj(&mut self, n: NodeId, o: ObjId) {
+        if self.pts[n.0 as usize].insert(o) {
+            self.delta[n.0 as usize].push(o);
+            if !self.queued[n.0 as usize] {
+                self.queued[n.0 as usize] = true;
+                self.worklist.push_back(n);
+            }
+        }
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if from == to {
+            return;
+        }
+        if self.succ[from.0 as usize].insert(to) {
+            let objs: Vec<ObjId> = self.pts[from.0 as usize].iter().copied().collect();
+            for o in objs {
+                self.add_obj(to, o);
+            }
+        }
+    }
+
+    fn add_pending(&mut self, n: NodeId, p: Pending) {
+        self.pending[n.0 as usize].push(p.clone());
+        let objs: Vec<ObjId> = self.pts[n.0 as usize].iter().copied().collect();
+        if !objs.is_empty() {
+            self.process_pending(&p, &objs);
+        }
+    }
+
+    fn operand_node(
+        &mut self,
+        method: MethodId,
+        ctx: CtxId,
+        op: Operand,
+    ) -> Option<NodeId> {
+        op.as_local().map(|l| self.var(method, ctx, l))
+    }
+
+    // ---- reachability & body processing ----
+
+    fn mark_reachable(&mut self, method: MethodId, ctx: CtxId) {
+        if !self.reachable.insert((method, ctx)) {
+            return;
+        }
+        if !self.program.method(method).has_body() {
+            return;
+        }
+        self.process_body(method, ctx);
+    }
+
+    fn process_body(&mut self, method: MethodId, ctx: CtxId) {
+        let m = self.program.method(method);
+        let stmts: Vec<(StmtAddr, Stmt)> =
+            m.iter_stmts().map(|(a, s)| (a, s.clone())).collect();
+        let rets: Vec<Operand> = m
+            .iter_blocks()
+            .filter_map(|(_, b)| match &b.terminator {
+                Terminator::Return(Some(op)) => Some(*op),
+                _ => None,
+            })
+            .collect();
+        for r in rets {
+            if let Some(src) = self.operand_node(method, ctx, r) {
+                let ret = self.node(NodeKey::Ret { method, ctx });
+                self.add_edge(src, ret);
+            }
+        }
+        for (addr, stmt) in stmts {
+            match stmt {
+                Stmt::Move { dst, src } => {
+                    let s = self.var(method, ctx, src);
+                    let d = self.var(method, ctx, dst);
+                    self.add_edge(s, d);
+                }
+                Stmt::New { dst, class, site } => {
+                    let (action, elems) = self.selector.heap_ctx(self.ctxs.get(ctx));
+                    let obj = self.objs.intern(ObjData::Site { site, action, elems, class });
+                    let cur = self.ctxs.get(ctx).action;
+                    self.alloc_action.entry(obj).or_insert(cur);
+                    let d = self.var(method, ctx, dst);
+                    self.add_obj(d, obj);
+                }
+                Stmt::Load { dst, obj, field } => {
+                    let base = self.var(method, ctx, obj);
+                    let d = self.var(method, ctx, dst);
+                    self.add_pending(base, Pending::Load { field, dst: d });
+                }
+                Stmt::Store { obj, field, value } => {
+                    let base = self.var(method, ctx, obj);
+                    let src = match self.operand_node(method, ctx, value) {
+                        Some(n) => SrcValue::Node(n),
+                        None => SrcValue::Nothing,
+                    };
+                    self.add_pending(base, Pending::Store { field, src });
+                }
+                Stmt::StaticLoad { dst, field } => {
+                    let s = self.node(NodeKey::Static { field });
+                    let d = self.var(method, ctx, dst);
+                    self.add_edge(s, d);
+                }
+                Stmt::StaticStore { field, value } => {
+                    if let Some(src) = self.operand_node(method, ctx, value) {
+                        let d = self.node(NodeKey::Static { field });
+                        self.add_edge(src, d);
+                    }
+                }
+                Stmt::Call { site, dst, kind, callee, receiver, args } => {
+                    self.process_call(method, ctx, addr, site, dst, kind, callee, receiver, args);
+                }
+                Stmt::Const { .. } | Stmt::UnOp { .. } | Stmt::BinOp { .. } => {}
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_call(
+        &mut self,
+        method: MethodId,
+        ctx: CtxId,
+        addr: StmtAddr,
+        site: CallSiteId,
+        dst: Option<Local>,
+        kind: InvokeKind,
+        callee: MethodId,
+        receiver: Option<Local>,
+        args: Vec<Operand>,
+    ) {
+        // 1. Harness callback invocation sites mint lifecycle/GUI/system
+        //    actions per receiver object.
+        if self.harness_site_kinds.contains_key(&site) {
+            if let Some(r) = receiver {
+                let rn = self.var(method, ctx, r);
+                self.add_pending(
+                    rn,
+                    Pending::HarnessCall(CallInfo {
+                        site,
+                        caller_method: method,
+                        caller_ctx: ctx,
+                        callee,
+                        dst,
+                        args,
+                    }),
+                );
+            }
+            return;
+        }
+        // 2. Framework ops.
+        if let Some(op) = FrameworkOp::classify(self.fw, callee) {
+            self.process_op(method, ctx, addr, site, dst, op, receiver, args);
+            return;
+        }
+        // 3. Ordinary calls.
+        match kind {
+            InvokeKind::Virtual => {
+                if let Some(r) = receiver {
+                    let rn = self.var(method, ctx, r);
+                    self.add_pending(
+                        rn,
+                        Pending::VCall(CallInfo {
+                            site,
+                            caller_method: method,
+                            caller_ctx: ctx,
+                            callee,
+                            dst,
+                            args,
+                        }),
+                    );
+                }
+            }
+            InvokeKind::Static | InvokeKind::Special => {
+                let target = callee;
+                if !self.program.method(target).has_body() {
+                    return;
+                }
+                let caller_elems = self.ctxs.get(ctx).elems.clone();
+                let action = self.ctxs.get(ctx).action;
+                let elems = self.selector.static_elems(&caller_elems, site);
+                let tctx = self.ctxs.intern(CtxData { action, elems });
+                self.record_cg_edge(method, ctx, site, target, tctx);
+                self.mark_reachable(target, tctx);
+                let mut param = 0u32;
+                if kind == InvokeKind::Special {
+                    if let Some(r) = receiver {
+                        let rn = self.var(method, ctx, r);
+                        let p0 = self.var(target, tctx, Local(0));
+                        self.add_edge(rn, p0);
+                    }
+                    param = 1;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if let Some(an) = self.operand_node(method, ctx, *a) {
+                        let pn = self.var(target, tctx, Local(param + i as u32));
+                        self.add_edge(an, pn);
+                    }
+                }
+                if let Some(d) = dst {
+                    let ret = self.node(NodeKey::Ret { method: target, ctx: tctx });
+                    let dn = self.var(method, ctx, d);
+                    self.add_edge(ret, dn);
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_op(
+        &mut self,
+        method: MethodId,
+        ctx: CtxId,
+        addr: StmtAddr,
+        site: CallSiteId,
+        dst: Option<Local>,
+        op: FrameworkOp,
+        receiver: Option<Local>,
+        args: Vec<Operand>,
+    ) {
+        use FrameworkOp::*;
+        match op {
+            FindViewById => {
+                let Some(d) = dst else { return };
+                let m = self.program.method(method);
+                let view_id = args
+                    .first()
+                    .and_then(|a| local_defs::resolve_const_operand(m, addr, *a))
+                    .and_then(|c| match c {
+                        ConstValue::Int(v) => Some(v),
+                        _ => None,
+                    })
+                    .unwrap_or(-(site.0 as i64) - 1);
+                let action = self.ctxs.get(ctx).action;
+                let activity = self.actions.action(action).harness;
+                let class = i32::try_from(view_id)
+                    .ok()
+                    .and_then(|id| self.harness.app.view_class(activity, id))
+                    .unwrap_or(self.fw.view);
+                let obj = self.objs.intern(ObjData::View { activity, view_id, class });
+                self.alloc_action.entry(obj).or_insert(action);
+                let dn = self.var(method, ctx, d);
+                self.add_obj(dn, obj);
+            }
+            SetListener(_) | UnregisterReceiver | RemoveUpdates | HandlerInit | GetMainLooper
+            | MyLooper | StartService => {}
+            ArrayListSetAt => {
+                let Some(r) = receiver else { return };
+                let rn = self.var(method, ctx, r);
+                let field = self.index_field(method, addr, args.first().copied());
+                let src = match args.get(1).and_then(|a| self.operand_node(method, ctx, *a)) {
+                    Some(n) => SrcValue::Node(n),
+                    None => SrcValue::Nothing,
+                };
+                self.add_pending(rn, Pending::Store { field, src });
+            }
+            ArrayListGetAt => {
+                let (Some(r), Some(d)) = (receiver, dst) else { return };
+                let rn = self.var(method, ctx, r);
+                let dn = self.var(method, ctx, d);
+                let field = self.index_field(method, addr, args.first().copied());
+                self.add_pending(rn, Pending::Load { field, dst: dn });
+            }
+            HandlerSendMessage | HandlerSendEmptyMessage => {
+                let what = self.message_what(method, addr, op, &args);
+                if let Some(r) = receiver {
+                    let rn = self.var(method, ctx, r);
+                    self.add_pending(
+                        rn,
+                        Pending::Op(OpInfo {
+                            op,
+                            site,
+                            caller_method: method,
+                            caller_ctx: ctx,
+                            recv_node: Some(rn),
+                            args,
+                            what,
+                        }),
+                    );
+                }
+            }
+            ThreadStart | AsyncTaskExecute => {
+                if let Some(r) = receiver {
+                    let rn = self.var(method, ctx, r);
+                    self.add_pending(
+                        rn,
+                        Pending::Op(OpInfo {
+                            op,
+                            site,
+                            caller_method: method,
+                            caller_ctx: ctx,
+                            recv_node: Some(rn),
+                            args,
+                            what: None,
+                        }),
+                    );
+                }
+            }
+            HandlerPost | HandlerPostDelayed => {
+                // Cross-product op: handler receiver × runnable argument.
+                let Some(r) = receiver else { return };
+                let rn = self.var(method, ctx, r);
+                let Some(an) = args.first().and_then(|a| self.operand_node(method, ctx, *a))
+                else {
+                    return;
+                };
+                let info = OpInfo {
+                    op,
+                    site,
+                    caller_method: method,
+                    caller_ctx: ctx,
+                    recv_node: Some(rn),
+                    args,
+                    what: None,
+                };
+                self.add_pending(rn, Pending::Op(info.clone()));
+                self.add_pending(an, Pending::Op(info));
+            }
+            TimerSchedule | RequestLocationUpdates | SetOnCompletionListener | ExecutorExecute
+            | ViewPost | ViewPostDelayed | RunOnUiThread => {
+                let Some(an) = args.first().and_then(|a| self.operand_node(method, ctx, *a))
+                else {
+                    return;
+                };
+                self.add_pending(
+                    an,
+                    Pending::Op(OpInfo {
+                        op,
+                        site,
+                        caller_method: method,
+                        caller_ctx: ctx,
+                        recv_node: None,
+                        args,
+                        what: None,
+                    }),
+                );
+            }
+            RegisterReceiver => {
+                let Some(an) = args.first().and_then(|a| self.operand_node(method, ctx, *a))
+                else {
+                    return;
+                };
+                self.add_pending(
+                    an,
+                    Pending::Op(OpInfo {
+                        op,
+                        site,
+                        caller_method: method,
+                        caller_ctx: ctx,
+                        recv_node: None,
+                        args,
+                        what: None,
+                    }),
+                );
+            }
+            BindService => {
+                let Some(an) = args.get(1).and_then(|a| self.operand_node(method, ctx, *a))
+                else {
+                    return;
+                };
+                self.add_pending(
+                    an,
+                    Pending::Op(OpInfo {
+                        op,
+                        site,
+                        caller_method: method,
+                        caller_ctx: ctx,
+                        recv_node: None,
+                        args,
+                        what: None,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Resolves a container index operand to its slot field: `idx0..idx7`
+    /// for small constants under the index-sensitive model, otherwise the
+    /// summarized `contents` field.
+    fn index_field(&self, method: MethodId, addr: StmtAddr, idx: Option<Operand>) -> FieldId {
+        if !self.options.index_sensitive {
+            return self.fw.array_list_contents;
+        }
+        let m = self.program.method(method);
+        match idx.and_then(|op| local_defs::resolve_const_operand(m, addr, op)) {
+            Some(ConstValue::Int(k)) if (0..8).contains(&k) => self.fw.index_slots[k as usize],
+            _ => self.fw.array_list_contents,
+        }
+    }
+
+    /// On-demand constant propagation for message codes (§5).
+    fn message_what(
+        &self,
+        method: MethodId,
+        addr: StmtAddr,
+        op: FrameworkOp,
+        args: &[Operand],
+    ) -> Option<i64> {
+        let m = self.program.method(method);
+        match op {
+            FrameworkOp::HandlerSendEmptyMessage => {
+                match local_defs::resolve_const_operand(m, addr, *args.first()?)? {
+                    ConstValue::Int(v) => Some(v),
+                    _ => None,
+                }
+            }
+            FrameworkOp::HandlerSendMessage => {
+                // Trace the message operand to its origin, then look for a
+                // unique constant store to `.what` on the same origin.
+                let msg = args.first()?.as_local()?;
+                let (origin_addr, _) = local_defs::find_value_origin(m, addr, msg)?;
+                let mut found: Option<i64> = None;
+                for (saddr, stmt) in m.iter_stmts() {
+                    let Stmt::Store { obj, field, value } = stmt else { continue };
+                    if *field != self.fw.message_what {
+                        continue;
+                    }
+                    let Some((oaddr, _)) = local_defs::find_value_origin(m, saddr, *obj) else {
+                        continue;
+                    };
+                    if oaddr != origin_addr {
+                        continue;
+                    }
+                    match local_defs::resolve_const_operand(m, saddr, *value) {
+                        Some(ConstValue::Int(v)) if found.is_none() || found == Some(v) => {
+                            found = Some(v)
+                        }
+                        _ => return None,
+                    }
+                }
+                found
+            }
+            _ => None,
+        }
+    }
+
+    // ---- pending resolution ----
+
+    fn process_pending(&mut self, p: &Pending, delta: &[ObjId]) {
+        match p {
+            Pending::Load { field, dst } => {
+                for &o in delta {
+                    let f = self.node(NodeKey::Field { obj: o, field: *field });
+                    self.add_edge(f, *dst);
+                }
+            }
+            Pending::Store { field, src } => {
+                if let SrcValue::Node(src) = src {
+                    for &o in delta {
+                        let f = self.node(NodeKey::Field { obj: o, field: *field });
+                        self.add_edge(*src, f);
+                    }
+                }
+            }
+            Pending::VCall(info) => {
+                for &o in delta {
+                    if !self.resolved.insert((info.site, info.caller_ctx, o)) {
+                        continue;
+                    }
+                    self.resolve_virtual(info, o);
+                }
+            }
+            Pending::HarnessCall(info) => {
+                for &o in delta {
+                    if !self.resolved.insert((info.site, info.caller_ctx, o)) {
+                        continue;
+                    }
+                    self.resolve_harness(info, o);
+                }
+            }
+            Pending::Op(info) => self.resolve_op(info),
+        }
+    }
+
+    fn resolve_virtual(&mut self, info: &CallInfo, recv: ObjId) {
+        let recv_class = self.objs.get(recv).class();
+        let Some(target) = self.program.dispatch(recv_class, info.callee) else { return };
+        if !self.program.method(target).has_body() {
+            return;
+        }
+        let caller = self.ctxs.get(info.caller_ctx).clone();
+        let elems = self.selector.virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+        let tctx = self.ctxs.intern(CtxData { action: caller.action, elems });
+        self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, target, tctx);
+        self.mark_reachable(target, tctx);
+        let p0 = self.var(target, tctx, Local(0));
+        self.add_obj(p0, recv);
+        self.bind_args_and_ret(info, target, tctx);
+    }
+
+    fn bind_args_and_ret(&mut self, info: &CallInfo, target: MethodId, tctx: CtxId) {
+        for (i, a) in info.args.iter().enumerate() {
+            if let Some(an) = self.operand_node(info.caller_method, info.caller_ctx, *a) {
+                let pn = self.var(target, tctx, Local(1 + i as u32));
+                self.add_edge(an, pn);
+            }
+        }
+        if let Some(d) = info.dst {
+            let ret = self.node(NodeKey::Ret { method: target, ctx: tctx });
+            let dn = self.var(info.caller_method, info.caller_ctx, d);
+            self.add_edge(ret, dn);
+        }
+    }
+
+    fn resolve_harness(&mut self, info: &CallInfo, recv: ObjId) {
+        let kind = match &self.harness_site_kinds[&info.site] {
+            HarnessSiteKind::Lifecycle { event, instance } => {
+                ActionKind::Lifecycle { event: *event, instance: *instance }
+            }
+            HarnessSiteKind::Gui { event, view, .. } => {
+                ActionKind::Gui { event: *event, view: *view }
+            }
+            HarnessSiteKind::Receive { .. } => ActionKind::Receive,
+            HarnessSiteKind::ServiceStart { .. } => ActionKind::ServiceStart,
+        };
+        let cur = self.ctxs.get(info.caller_ctx).action;
+        let harness_activity = self.actions.action(cur).harness;
+        let recv_class = self.objs.get(recv).class();
+        let entry = self
+            .program
+            .dispatch(recv_class, info.callee)
+            .unwrap_or(info.callee);
+        let (action, _) = self.actions.obtain(
+            harness_activity,
+            kind,
+            Some(info.site),
+            self.objs.get(recv).site(),
+            entry,
+            ThreadKind::Main,
+            Some(cur),
+        );
+        self.harness_actions.insert(info.site, action);
+        if !self.program.method(entry).has_body() {
+            return;
+        }
+        let caller = self.ctxs.get(info.caller_ctx).clone();
+        let elems = self.selector.virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+        let tctx = self.ctxs.intern(CtxData { action, elems });
+        self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, entry, tctx);
+        self.mark_reachable(entry, tctx);
+        let p0 = self.var(entry, tctx, Local(0));
+        self.add_obj(p0, recv);
+        self.bind_args_and_ret(info, entry, tctx);
+    }
+
+    /// Resolves an action-creating framework op over the cross product of
+    /// its driver points-to sets.
+    fn resolve_op(&mut self, info: &OpInfo) {
+        use FrameworkOp::*;
+        let recv_objs: Vec<ObjId> = match info.recv_node {
+            Some(n) => self.pts[n.0 as usize].iter().copied().collect(),
+            None => vec![NO_OBJ],
+        };
+        let arg_objs: Vec<ObjId> = match info.op {
+            HandlerPost | HandlerPostDelayed | ExecutorExecute | ViewPost | ViewPostDelayed
+            | RunOnUiThread | RegisterReceiver | TimerSchedule | RequestLocationUpdates
+            | SetOnCompletionListener => {
+                let idx = 0;
+                match info.args.get(idx).and_then(|a| a.as_local()) {
+                    Some(l) => {
+                        let n = self.var(info.caller_method, info.caller_ctx, l);
+                        self.pts[n.0 as usize].iter().copied().collect()
+                    }
+                    None => Vec::new(),
+                }
+            }
+            BindService => match info.args.get(1).and_then(|a| a.as_local()) {
+                Some(l) => {
+                    let n = self.var(info.caller_method, info.caller_ctx, l);
+                    self.pts[n.0 as usize].iter().copied().collect()
+                }
+                None => Vec::new(),
+            },
+            _ => vec![NO_OBJ],
+        };
+        for &r in &recv_objs {
+            for &a in &arg_objs {
+                if !self.op_resolved.insert((info.site, info.caller_ctx, r, a)) {
+                    continue;
+                }
+                self.dispatch_op(info, r, a);
+            }
+        }
+    }
+
+    fn dispatch_op(&mut self, info: &OpInfo, recv: ObjId, arg: ObjId) {
+        use FrameworkOp::*;
+        let cur = self.ctxs.get(info.caller_ctx).action;
+        let harness = self.actions.action(cur).harness;
+        match info.op {
+            ThreadStart => {
+                self.spawn(info, recv, self.fw.thread_run, ActionKind::ThreadRun, None, true);
+            }
+            AsyncTaskExecute => {
+                self.spawn(
+                    info,
+                    recv,
+                    self.fw.async_task_on_pre_execute,
+                    ActionKind::AsyncTaskPre,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+                self.spawn(
+                    info,
+                    recv,
+                    self.fw.async_task_do_in_background,
+                    ActionKind::AsyncTaskBg,
+                    None,
+                    true,
+                );
+                self.spawn(
+                    info,
+                    recv,
+                    self.fw.async_task_on_post_execute,
+                    ActionKind::AsyncTaskPost,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+            }
+            ExecutorExecute => {
+                self.spawn(info, arg, self.fw.runnable_run, ActionKind::ExecutorRun, None, true);
+            }
+            HandlerPost | HandlerPostDelayed => {
+                let looper = self.looper_of(recv);
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.runnable_run,
+                    ActionKind::RunnablePost,
+                    Some(looper),
+                    false,
+                );
+            }
+            ViewPost | ViewPostDelayed | RunOnUiThread => {
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.runnable_run,
+                    ActionKind::RunnablePost,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+            }
+            HandlerSendMessage | HandlerSendEmptyMessage => {
+                let looper = self.looper_of(recv);
+                let kind = ActionKind::MessageHandle { what: info.what };
+                let posted = self.spawn(
+                    info,
+                    recv,
+                    self.fw.handler_handle_message,
+                    kind,
+                    Some(looper),
+                    false,
+                );
+                // Bind the message argument to handleMessage's parameter.
+                if info.op == HandlerSendMessage {
+                    if let (Some((entry, tctx)), Some(l)) =
+                        (posted, info.args.first().and_then(|a| a.as_local()))
+                    {
+                        let an = self.var(info.caller_method, info.caller_ctx, l);
+                        let pn = self.var(entry, tctx, Local(1));
+                        self.add_edge(an, pn);
+                    }
+                }
+            }
+            RegisterReceiver => {
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.on_receive,
+                    ActionKind::Receive,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+            }
+            TimerSchedule => {
+                self.spawn(info, arg, self.fw.timer_task_run, ActionKind::TimerTask, None, true);
+            }
+            RequestLocationUpdates => {
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.on_location_changed,
+                    ActionKind::LocationUpdate,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+            }
+            SetOnCompletionListener => {
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.on_completion,
+                    ActionKind::MediaCompletion,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+            }
+            BindService => {
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.on_service_connected,
+                    ActionKind::ServiceConnected,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.on_service_disconnected,
+                    ActionKind::ServiceDisconnected,
+                    Some(ThreadKind::Main),
+                    false,
+                );
+            }
+            _ => {
+                let _ = harness;
+            }
+        }
+    }
+
+    /// Mints an action for `decl` dispatched on `recv`, analyzes its body
+    /// under the new action context, and records the post.
+    ///
+    /// Returns the entry and its context when a body was analyzed.
+    fn spawn(
+        &mut self,
+        info: &OpInfo,
+        recv: ObjId,
+        decl: MethodId,
+        kind: ActionKind,
+        thread: Option<ThreadKind>,
+        own_thread: bool,
+    ) -> Option<(MethodId, CtxId)> {
+        if recv == NO_OBJ {
+            return None;
+        }
+        let recv_class = self.objs.get(recv).class();
+        let entry = self.program.dispatch(recv_class, decl)?;
+        let cur = self.ctxs.get(info.caller_ctx).action;
+        let harness = self.actions.action(cur).harness;
+        let thread = thread.unwrap_or_else(|| kind.default_thread());
+        let (action, _) = self.actions.obtain(
+            harness,
+            kind,
+            Some(info.site),
+            self.objs.get(recv).site(),
+            entry,
+            thread,
+            Some(cur),
+        );
+        if own_thread {
+            self.actions.bind_own_thread(action);
+        }
+        let rec = PostRecord { poster: cur, site: info.site, posted: action };
+        if self.post_set.insert(rec) {
+            self.posts.push(rec);
+        }
+        if !self.program.method(entry).has_body() {
+            return None;
+        }
+        let caller = self.ctxs.get(info.caller_ctx).clone();
+        let elems = self.selector.virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+        let tctx = self.ctxs.intern(CtxData { action, elems });
+        self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, entry, tctx);
+        self.mark_reachable(entry, tctx);
+        let p0 = self.var(entry, tctx, Local(0));
+        self.add_obj(p0, recv);
+        Some((entry, tctx))
+    }
+
+    /// The looper a handler object delivers to: the thread of the action
+    /// that allocated the handler (the paper's in-thread reachability
+    /// pre-processing, §4.4).
+    fn looper_of(&self, handler: ObjId) -> ThreadKind {
+        match self.alloc_action.get(&handler) {
+            Some(&a) => self.actions.action(a).thread,
+            None => ThreadKind::Main,
+        }
+    }
+
+    fn record_cg_edge(
+        &mut self,
+        caller: MethodId,
+        cctx: CtxId,
+        site: CallSiteId,
+        callee: MethodId,
+        tctx: CtxId,
+    ) {
+        if self.cg_edge_set.insert((caller, cctx, site, callee, tctx)) {
+            self.cg_edges.entry((caller, cctx, site)).or_default().push((callee, tctx));
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! A dense bit matrix for transitive-closure computation.
+
+/// An `n × n` boolean matrix backed by `u64` words.
+#[derive(Debug, Clone)]
+pub struct BitMatrix {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-false `n × n` matrix.
+    pub fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        Self { n, words, rows: vec![0; n * words] }
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is zero-dimensional.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn set(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n);
+        self.rows[a * self.words + b / 64] |= 1 << (b % 64);
+    }
+
+    /// Reads `(a, b)`.
+    pub fn get(&self, a: usize, b: usize) -> bool {
+        if a >= self.n || b >= self.n {
+            return false;
+        }
+        self.rows[a * self.words + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// `row[a] |= row[b]`; returns whether row `a` changed.
+    pub fn or_row(&mut self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let mut changed = false;
+        let (ra, rb) = (a * self.words, b * self.words);
+        for w in 0..self.words {
+            let src = self.rows[rb + w];
+            let dst = &mut self.rows[ra + w];
+            let nv = *dst | src;
+            if nv != *dst {
+                *dst = nv;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Iterates over the set bits of row `a`.
+    pub fn row_bits(&self, a: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for w in 0..self.words {
+            let mut word = self.rows[a * self.words + w];
+            while word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                out.push(w * 64 + bit);
+                word &= word - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of set bits in the whole matrix.
+    pub fn count_ones(&self) -> usize {
+        self.rows.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Computes the transitive closure in place (Warshall over bit rows).
+    pub fn transitive_closure(&mut self) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for a in 0..self.n {
+                for b in self.row_bits(a) {
+                    if self.or_row(a, b) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMatrix::new(130);
+        m.set(0, 129);
+        m.set(64, 64);
+        assert!(m.get(0, 129));
+        assert!(m.get(64, 64));
+        assert!(!m.get(129, 0));
+        assert!(!m.get(200, 0));
+        assert_eq!(m.count_ones(), 2);
+        assert_eq!(m.len(), 130);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn closure_of_a_chain() {
+        let mut m = BitMatrix::new(5);
+        for i in 0..4 {
+            m.set(i, i + 1);
+        }
+        m.transitive_closure();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(m.get(i, j), i < j, "({i},{j})");
+            }
+        }
+        assert_eq!(m.count_ones(), 10);
+    }
+
+    #[test]
+    fn row_bits_enumerates() {
+        let mut m = BitMatrix::new(70);
+        m.set(3, 1);
+        m.set(3, 65);
+        assert_eq!(m.row_bits(3), vec![1, 65]);
+        assert!(m.row_bits(0).is_empty());
+    }
+
+    #[test]
+    fn or_row_merges() {
+        let mut m = BitMatrix::new(4);
+        m.set(1, 2);
+        m.set(1, 3);
+        assert!(m.or_row(0, 1));
+        assert!(m.get(0, 2) && m.get(0, 3));
+        assert!(!m.or_row(0, 1), "idempotent");
+        assert!(!m.or_row(2, 2), "self-merge is a no-op");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+        (2usize..=12).prop_flat_map(|n| {
+            (Just(n), proptest::collection::vec((0..n, 0..n), 0..24))
+        })
+    }
+
+    proptest! {
+        /// The closure is exactly graph reachability (excluding trivial
+        /// self-reachability unless on a cycle).
+        #[test]
+        fn closure_is_reachability((n, edges) in arb_edges()) {
+            let mut m = BitMatrix::new(n);
+            let mut adj = vec![vec![]; n];
+            for &(a, b) in &edges {
+                m.set(a, b);
+                adj[a].push(b);
+            }
+            m.transitive_closure();
+            for s in 0..n {
+                // BFS from s through at least one edge.
+                let mut seen = std::collections::HashSet::new();
+                let mut stack: Vec<usize> = adj[s].clone();
+                while let Some(x) = stack.pop() {
+                    if seen.insert(x) {
+                        stack.extend(adj[x].iter().copied());
+                    }
+                }
+                for t in 0..n {
+                    prop_assert_eq!(m.get(s, t), seen.contains(&t), "({},{})", s, t);
+                }
+            }
+        }
+
+        /// Closing twice changes nothing (idempotence).
+        #[test]
+        fn closure_is_idempotent((n, edges) in arb_edges()) {
+            let mut m = BitMatrix::new(n);
+            for &(a, b) in &edges {
+                m.set(a, b);
+            }
+            m.transitive_closure();
+            let once = m.clone();
+            m.transitive_closure();
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(m.get(a, b), once.get(a, b));
+                }
+            }
+        }
+
+        /// The closure only adds bits, never removes them.
+        #[test]
+        fn closure_is_extensive((n, edges) in arb_edges()) {
+            let mut m = BitMatrix::new(n);
+            for &(a, b) in &edges {
+                m.set(a, b);
+            }
+            let before = m.clone();
+            m.transitive_closure();
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert!(!before.get(a, b) || m.get(a, b));
+                }
+            }
+            prop_assert!(m.count_ones() >= before.count_ones());
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Path-constraint representation for backward symbolic execution.
+//!
+//! SIERRA's refutation queries only ever need conjunctions of
+//! (in)equalities between storage locations and compile-time constants —
+//! guard-flag idioms (`if (mIsRunning)`), null checks (`if (x != null)`),
+//! and message codes (`msg.what == 3`). A conjunction over such atoms is
+//! decidable by a map from location to constraint with eager contradiction
+//! detection, which is the role Z3 plays in the original tool.
+
+use apir::{ConstValue, FieldId, Local};
+use pointer::ObjId;
+use std::collections::BTreeMap;
+
+/// A symbolic storage location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SymLoc {
+    /// A local variable of the *current frame* (frame-crossing substitutes
+    /// or drops these).
+    Local(Local),
+    /// An instance field of an abstract object (tracked only when the base
+    /// points-to set is a singleton — a must-alias).
+    Heap(ObjId, FieldId),
+    /// A static field.
+    Static(FieldId),
+}
+
+/// A constraint on one location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// The location holds exactly this constant.
+    Eq(ConstValue),
+    /// The location holds anything but this constant.
+    Ne(ConstValue),
+}
+
+impl Constraint {
+    /// Whether a known constant value satisfies the constraint.
+    pub fn admits(self, v: ConstValue) -> bool {
+        match self {
+            Constraint::Eq(c) => c == v,
+            Constraint::Ne(c) => c != v,
+        }
+    }
+
+    /// Conjunction of two constraints on the same location, as a
+    /// **conservative over-approximation**: the result admits every value
+    /// both operands admit (and possibly more), and `None` is returned only
+    /// when the conjunction is genuinely unsatisfiable.
+    ///
+    /// The one lossy case is two *distinct* disequalities (`x ≠ a ∧ x ≠ b`),
+    /// which a single [`Constraint`] cannot represent; one of them is kept.
+    /// Losing precision here only weakens path conditions, i.e. the refuter
+    /// refutes *less* — the safe direction for a race detector that
+    /// over-approximates races (§4.3's closing remark).
+    pub fn meet(self, other: Constraint) -> Option<Constraint> {
+        use Constraint::*;
+        match (self, other) {
+            (Eq(a), Eq(b)) => (a == b).then_some(Eq(a)),
+            (Eq(a), Ne(b)) | (Ne(b), Eq(a)) => (a != b).then_some(Eq(a)),
+            // Distinct disequalities are jointly satisfiable (int domains
+            // have ≥3 values; boolean Ne normalizes to Eq before meeting);
+            // keeping only `self`'s is the documented over-approximation.
+            (Ne(a), Ne(_)) => Some(Ne(a)),
+        }
+    }
+
+    /// Normalizes boolean disequalities to equalities (`x ≠ true ⇒ x = false`).
+    pub fn normalized(self) -> Constraint {
+        match self {
+            Constraint::Ne(ConstValue::Bool(b)) => Constraint::Eq(ConstValue::Bool(!b)),
+            c => c,
+        }
+    }
+}
+
+/// A conjunction of constraints; `None` results signal contradiction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConstraintStore {
+    map: BTreeMap<SymLoc, Constraint>,
+}
+
+impl ConstraintStore {
+    /// Creates an empty (trivially satisfiable) store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `loc ⊨ c`; returns `false` on contradiction.
+    #[must_use]
+    pub fn add(&mut self, loc: SymLoc, c: Constraint) -> bool {
+        let c = c.normalized();
+        match self.map.get(&loc) {
+            None => {
+                self.map.insert(loc, c);
+                true
+            }
+            Some(&old) => match old.meet(c) {
+                Some(m) => {
+                    self.map.insert(loc, m);
+                    true
+                }
+                None => false,
+            },
+        }
+    }
+
+    /// The constraint on `loc`, if any.
+    pub fn get(&self, loc: SymLoc) -> Option<Constraint> {
+        self.map.get(&loc).copied()
+    }
+
+    /// Removes and returns the constraint on `loc`.
+    pub fn take(&mut self, loc: SymLoc) -> Option<Constraint> {
+        self.map.remove(&loc)
+    }
+
+    /// Discharges `loc` against a known constant: `true` if consistent
+    /// (constraint removed), `false` if contradictory.
+    #[must_use]
+    pub fn discharge_const(&mut self, loc: SymLoc, v: ConstValue) -> bool {
+        match self.map.remove(&loc) {
+            None => true,
+            Some(c) => c.admits(v),
+        }
+    }
+
+    /// Drops every local-variable constraint (used at frame boundaries).
+    pub fn drop_locals(&mut self) {
+        self.map.retain(|loc, _| !matches!(loc, SymLoc::Local(_)));
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(loc, constraint)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SymLoc, Constraint)> + '_ {
+        self.map.iter().map(|(&l, &c)| (l, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meet_detects_contradictions() {
+        use Constraint::*;
+        assert_eq!(Eq(ConstValue::Int(1)).meet(Eq(ConstValue::Int(1))), Some(Eq(ConstValue::Int(1))));
+        assert_eq!(Eq(ConstValue::Int(1)).meet(Eq(ConstValue::Int(2))), None);
+        assert_eq!(Eq(ConstValue::Int(1)).meet(Ne(ConstValue::Int(2))), Some(Eq(ConstValue::Int(1))));
+        assert_eq!(Eq(ConstValue::Int(1)).meet(Ne(ConstValue::Int(1))), None);
+        assert!(Ne(ConstValue::Int(1)).meet(Ne(ConstValue::Int(2))).is_some());
+    }
+
+    #[test]
+    fn boolean_ne_normalizes_to_eq() {
+        let c = Constraint::Ne(ConstValue::Bool(true)).normalized();
+        assert_eq!(c, Constraint::Eq(ConstValue::Bool(false)));
+        assert!(c.admits(ConstValue::Bool(false)));
+        assert!(!c.admits(ConstValue::Bool(true)));
+    }
+
+    #[test]
+    fn store_add_and_discharge() {
+        let mut s = ConstraintStore::new();
+        let loc = SymLoc::Local(Local(1));
+        assert!(s.add(loc, Constraint::Eq(ConstValue::Bool(true))));
+        // Contradictory add fails.
+        assert!(!s.clone_add_fails(loc));
+        assert!(s.discharge_const(loc, ConstValue::Bool(true)));
+        assert!(s.is_empty());
+        // Discharging an unconstrained loc is fine.
+        assert!(s.discharge_const(loc, ConstValue::Int(9)));
+    }
+
+    impl ConstraintStore {
+        fn clone_add_fails(&self, loc: SymLoc) -> bool {
+            let mut c = self.clone();
+            c.add(loc, Constraint::Eq(ConstValue::Bool(false)))
+        }
+    }
+
+    #[test]
+    fn drop_locals_keeps_heap() {
+        let mut s = ConstraintStore::new();
+        assert!(s.add(SymLoc::Local(Local(0)), Constraint::Eq(ConstValue::Int(1))));
+        assert!(s.add(SymLoc::Heap(ObjId(3), FieldId(2)), Constraint::Eq(ConstValue::Bool(true))));
+        assert!(s.add(SymLoc::Static(FieldId(9)), Constraint::Ne(ConstValue::Null)));
+        s.drop_locals();
+        assert_eq!(s.len(), 2);
+        assert!(s.get(SymLoc::Local(Local(0))).is_none());
+        assert!(s.get(SymLoc::Heap(ObjId(3), FieldId(2))).is_some());
+        assert_eq!(s.iter().count(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_const() -> impl Strategy<Value = ConstValue> {
+        prop_oneof![
+            (-4i64..4).prop_map(ConstValue::Int),
+            any::<bool>().prop_map(ConstValue::Bool),
+            Just(ConstValue::Null),
+        ]
+    }
+
+    fn arb_constraint() -> impl Strategy<Value = Constraint> {
+        prop_oneof![
+            arb_const().prop_map(Constraint::Eq),
+            arb_const().prop_map(Constraint::Ne),
+        ]
+    }
+
+    proptest! {
+        /// `meet` is a *sound over-approximation*: every value admitted by
+        /// both operands is admitted by the meet, and `None` (contradiction)
+        /// is only returned when no value satisfies both. This is the
+        /// direction refutation soundness needs — a lossy meet refutes
+        /// less, never more.
+        #[test]
+        fn meet_over_approximates_conjunction(a in arb_constraint(), b in arb_constraint(), v in arb_const()) {
+            match a.meet(b) {
+                Some(c) => {
+                    if a.admits(v) && b.admits(v) {
+                        prop_assert!(c.admits(v), "{a:?} ⊓ {b:?} = {c:?} must admit {v:?}");
+                    }
+                }
+                None => {
+                    // Contradiction: no value satisfies both (over this
+                    // sampled domain).
+                    prop_assert!(!(a.admits(v) && b.admits(v)));
+                }
+            }
+        }
+
+        /// Normalization preserves satisfaction.
+        #[test]
+        fn normalization_preserves_semantics(c in arb_constraint(), v in arb_const()) {
+            // Boolean disequalities flip to equalities over {true, false}.
+            if let ConstValue::Bool(_) = v {
+                prop_assert_eq!(c.normalized().admits(v), c.admits(v));
+            }
+        }
+
+        /// The store accumulates conjunctively in the sound direction: if a
+        /// sequence of adds succeeds and a value satisfies every added
+        /// constraint, the stored constraint still admits it — and a
+        /// rejected add really was a contradiction.
+        ///
+        /// Constraints and the probe value are drawn from one kind: the
+        /// boolean normalization (`x ≠ true ⇒ x = false`) is only sound for
+        /// boolean-typed locations, which the IR's typing guarantees.
+        #[test]
+        fn store_accumulates_conjunctively(
+            (cs, v) in prop_oneof![
+                (
+                    proptest::collection::vec(
+                        prop_oneof![
+                            (-4i64..4).prop_map(|i| Constraint::Eq(ConstValue::Int(i))),
+                            (-4i64..4).prop_map(|i| Constraint::Ne(ConstValue::Int(i))),
+                        ],
+                        1..6,
+                    ),
+                    (-4i64..4).prop_map(ConstValue::Int),
+                ),
+                (
+                    proptest::collection::vec(
+                        prop_oneof![
+                            any::<bool>().prop_map(|b| Constraint::Eq(ConstValue::Bool(b))),
+                            any::<bool>().prop_map(|b| Constraint::Ne(ConstValue::Bool(b))),
+                        ],
+                        1..6,
+                    ),
+                    any::<bool>().prop_map(ConstValue::Bool),
+                ),
+            ]
+        ) {
+            let mut store = ConstraintStore::new();
+            let loc = SymLoc::Static(FieldId(0));
+            let mut all_ok = true;
+            for &c in &cs {
+                if !store.add(loc, c) {
+                    all_ok = false;
+                    break;
+                }
+            }
+            if all_ok {
+                let stored = store.get(loc).expect("constraint present");
+                if cs.iter().all(|c| c.admits(v)) {
+                    prop_assert!(stored.admits(v), "{cs:?} stored as {stored:?} must admit {v:?}");
+                }
+            }
+        }
+    }
+}

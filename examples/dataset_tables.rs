@@ -1,0 +1,29 @@
+//! Regenerates the paper's evaluation tables (2, 3, 4, 5) in one run.
+//!
+//! ```sh
+//! cargo run --release --example dataset_tables
+//! ```
+
+use sierra::eventracer::EventRacerConfig;
+use sierra::sierra_core::SierraConfig;
+use sierra_cli::experiments;
+
+fn main() {
+    println!("== Table 2: the 20-app dataset ==");
+    print!("{}", experiments::table2());
+
+    let rows = experiments::run_twenty(SierraConfig::default(), &EventRacerConfig::default());
+
+    println!("\n== Table 3: effectiveness ==");
+    print!("{}", experiments::table3(&rows));
+
+    println!("\n== Table 4: efficiency ==");
+    print!("{}", experiments::table4(&rows));
+
+    println!("\n== §6.4 comparison with the dynamic detector ==");
+    print!("{}", experiments::comparison_summary(&rows));
+
+    println!("\n== Table 5: the 174-app F-Droid dataset (first 40 apps) ==");
+    let rows5 = experiments::run_fdroid(40, SierraConfig::default());
+    print!("{}", experiments::table5(&rows5));
+}

@@ -1,0 +1,53 @@
+//! Figure 1 of the paper: the intra-component `RecycleView`/`AsyncTask`
+//! race (AOSP issue 77846). `onClick` launches a `LoaderTask` whose
+//! `doInBackground` updates the adapter's data from a background thread;
+//! scrolling before `onPostExecute` runs crashes the app.
+//!
+//! ```sh
+//! cargo run --example intra_component_race
+//! ```
+
+use sierra::corpus::figures;
+use sierra::sierra_core::Sierra;
+
+fn main() {
+    let (app, truth) = figures::intra_component();
+    println!(
+        "app {:?}: {} classes, {} IR statements",
+        app.name,
+        app.program.classes().len(),
+        app.program.stmt_count()
+    );
+
+    let result = Sierra::new().analyze_app(app);
+    println!(
+        "actions: {}, HB edges: {} ({:.1}%), racy pairs: {}, after refutation: {}",
+        result.action_count,
+        result.hb_edges,
+        result.hb_percent(),
+        result.racy_pairs_with_as,
+        result.races.len()
+    );
+    let program = &result.harness.app.program;
+    for race in &result.races {
+        println!("  {}", race.describe(program, &result.analysis.actions));
+    }
+
+    // Score against the planted ground truth.
+    let groups: Vec<(String, String)> = result
+        .races
+        .iter()
+        .map(|r| {
+            let f = program.field(r.field);
+            (program.class_name(f.class).to_owned(), program.name(f.name).to_owned())
+        })
+        .collect();
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    println!(
+        "ground truth: {} true race(s), {} false positive(s), {} missed",
+        eval.true_races,
+        eval.false_positives + eval.unplanted,
+        eval.missed
+    );
+    assert_eq!(eval.missed, 0, "the Figure 1 race must be found");
+}

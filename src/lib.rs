@@ -1,0 +1,26 @@
+//! # sierra — facade crate for the SIERRA reproduction workspace
+//!
+//! This crate re-exports every component of the reproduction of
+//! *Static Detection of Event-based Races in Android Apps* (Hu & Neamtiu,
+//! ASPLOS 2018) so that examples, integration tests, and downstream users
+//! can depend on a single crate.
+//!
+//! - [`apir`] — the Android-app IR substrate.
+//! - [`android_model`] — framework model: lifecycle, GUI, loopers, components.
+//! - `pointer` — context-sensitive points-to analysis + call graph.
+//! - [`harness_gen`] — automatic harness generation (§3.2).
+//! - [`shbg`] — actions and the Static Happens-Before Graph (§4).
+//! - [`symexec`] — backward symbolic-execution refutation (§5).
+//! - [`sierra_core`] — the end-to-end detector pipeline.
+//! - [`eventracer`] — the dynamic-detector baseline used in §6.4.
+//! - [`corpus`] — the synthetic 20-app and 174-app datasets.
+
+pub use android_model;
+pub use apir;
+pub use corpus;
+pub use eventracer;
+pub use harness_gen;
+pub use pointer;
+pub use shbg;
+pub use sierra_core;
+pub use symexec;

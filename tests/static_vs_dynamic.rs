@@ -1,0 +1,76 @@
+//! Integration: the §6.4 static-vs-dynamic comparison holds in aggregate.
+
+use sierra::corpus::twenty;
+use sierra::eventracer::{detect, EventRacerConfig};
+use sierra::sierra_core::Sierra;
+
+#[test]
+fn static_detection_dominates_dynamic_on_the_dataset() {
+    let er_cfg = EventRacerConfig::default();
+    let mut sierra_true = 0usize;
+    let mut sierra_fp = 0usize;
+    let mut dynamic_true = 0usize;
+    let mut dynamic_fp = 0usize;
+    let mut dynamic_missed = 0usize;
+
+    for (_, app, truth) in twenty::build_all() {
+        let dynamic = detect(&app, &er_cfg);
+        let result = Sierra::new().analyze_app(app);
+        let p = &result.harness.app.program;
+        let s_groups: Vec<(String, String)> = result
+            .races
+            .iter()
+            .map(|r| {
+                let f = p.field(r.field);
+                (p.class_name(f.class).to_owned(), p.name(f.name).to_owned())
+            })
+            .collect();
+        let s = truth.evaluate(s_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+        let e_groups = dynamic.race_groups();
+        let e = truth.evaluate(e_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+        sierra_true += s.true_races;
+        sierra_fp += s.false_positives + s.unplanted;
+        dynamic_true += e.true_races;
+        dynamic_fp += e.false_positives + e.unplanted;
+        dynamic_missed += e.missed;
+        assert_eq!(s.missed, 0, "static analysis misses nothing planted");
+    }
+
+    // The paper's headline (§6.4): the static detector finds a multiple of
+    // the dynamic detector's true races...
+    assert!(
+        sierra_true >= dynamic_true * 2,
+        "static {sierra_true} vs dynamic {dynamic_true}"
+    );
+    // ...the dynamic detector misses many true races...
+    assert!(dynamic_missed > dynamic_true, "missed {dynamic_missed} vs found {dynamic_true}");
+    // ...and carries a worse false-positive profile (pointer-guarded pairs
+    // its race-coverage filter cannot reason about).
+    assert!(dynamic_fp > sierra_fp, "dynamic FP {dynamic_fp} vs static FP {sierra_fp}");
+}
+
+#[test]
+fn dynamic_coverage_controls_recall() {
+    // More exploration → (weakly) more detected races.
+    let (_, app, _) = twenty::build_all().remove(10); // NPR News
+    let sparse = detect(
+        &app,
+        &EventRacerConfig {
+            runs: 1,
+            steps_per_episode: 3,
+            activity_coverage: 0.2,
+            ..Default::default()
+        },
+    );
+    let thorough = detect(
+        &app,
+        &EventRacerConfig {
+            runs: 6,
+            steps_per_episode: 60,
+            activity_coverage: 1.0,
+            ..Default::default()
+        },
+    );
+    assert!(thorough.races.len() >= sparse.races.len());
+    assert!(thorough.events > sparse.events);
+}
