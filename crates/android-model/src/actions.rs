@@ -242,8 +242,19 @@ impl ActionRegistry {
             depth += 1;
             cursor = a.parent;
         }
-        let parent = if depth >= MAX_CHAIN_DEPTH { None } else { poster };
-        let key = ActionKey { harness, kind, origin_site, recv_site, entry, parent };
+        let parent = if depth >= MAX_CHAIN_DEPTH {
+            None
+        } else {
+            poster
+        };
+        let key = ActionKey {
+            harness,
+            kind,
+            origin_site,
+            recv_site,
+            entry,
+            parent,
+        };
         if let Some(&id) = self.dedup.get(&key) {
             if let Some(p) = poster {
                 let a = &mut self.actions[id.index()];
@@ -418,17 +429,25 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use sierra_prng::SplitMix64;
 
-    proptest! {
-        /// Arbitrary posting sequences keep the registry finite, acyclic in
-        /// `parent` chains, and idempotent per identity.
-        #[test]
-        fn registry_stays_finite_and_acyclic(posts in proptest::collection::vec((0u32..6, 0usize..8), 1..64)) {
+    /// Arbitrary posting sequences keep the registry finite, acyclic in
+    /// `parent` chains, and idempotent per identity.
+    #[test]
+    fn registry_stays_finite_and_acyclic() {
+        let mut rng = SplitMix64::new(0xAC7105);
+        for _ in 0..256 {
+            let posts: Vec<(u32, usize)> = (0..1 + rng.usize(63))
+                .map(|_| (rng.usize(6) as u32, rng.usize(8)))
+                .collect();
             let mut reg = ActionRegistry::new();
             let mut ids: Vec<ActionId> = Vec::new();
             for (site, poster_idx) in posts {
-                let poster = if ids.is_empty() { None } else { Some(ids[poster_idx % ids.len()]) };
+                let poster = if ids.is_empty() {
+                    None
+                } else {
+                    Some(ids[poster_idx % ids.len()])
+                };
                 let (id, _) = reg.obtain(
                     ClassId(0),
                     ActionKind::RunnablePost,
@@ -442,13 +461,13 @@ mod proptests {
             }
             // Finiteness: bounded by sites × chain cap, far below the
             // number of obtain calls in adversarial sequences.
-            prop_assert!(reg.len() <= 6 * (8 + 1));
+            assert!(reg.len() <= 6 * (8 + 1));
             // Parent chains terminate and never revisit an action.
             for a in reg.actions() {
                 let mut seen = std::collections::HashSet::new();
                 let mut cur = a.parent;
                 while let Some(p) = cur {
-                    prop_assert!(seen.insert(p), "parent cycle at {p}");
+                    assert!(seen.insert(p), "parent cycle at {p}");
                     cur = reg.action(p).parent;
                 }
             }
@@ -464,18 +483,34 @@ mod proptests {
                     a.thread,
                     a.parent,
                 );
-                prop_assert_eq!(id, a.id);
-                prop_assert!(!is_new);
+                assert_eq!(id, a.id);
+                assert!(!is_new);
             }
         }
+    }
 
-        /// `same_looper` is symmetric and reflexive-on-identified-loopers.
-        #[test]
-        fn same_looper_is_symmetric(a in 0u32..4, b in 0u32..4, main_a in any::<bool>(), main_b in any::<bool>()) {
-            let ta = if main_a { ThreadKind::Main } else { ThreadKind::Background(Some(ActionId(a))) };
-            let tb = if main_b { ThreadKind::Main } else { ThreadKind::Background(Some(ActionId(b))) };
-            prop_assert_eq!(ta.same_looper(tb), tb.same_looper(ta));
-            prop_assert!(ta.same_looper(ta));
+    /// `same_looper` is symmetric and reflexive-on-identified-loopers.
+    #[test]
+    fn same_looper_is_symmetric() {
+        for a in 0u32..4 {
+            for b in 0u32..4 {
+                for main_a in [false, true] {
+                    for main_b in [false, true] {
+                        let ta = if main_a {
+                            ThreadKind::Main
+                        } else {
+                            ThreadKind::Background(Some(ActionId(a)))
+                        };
+                        let tb = if main_b {
+                            ThreadKind::Main
+                        } else {
+                            ThreadKind::Background(Some(ActionId(b)))
+                        };
+                        assert_eq!(ta.same_looper(tb), tb.same_looper(ta));
+                        assert!(ta.same_looper(ta));
+                    }
+                }
+            }
         }
     }
 }

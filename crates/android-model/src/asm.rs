@@ -79,7 +79,10 @@ impl fmt::Display for AsmError {
 impl Error for AsmError {}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 // ---- source structure (pass 1) ----
@@ -134,10 +137,10 @@ pub fn parse_app(app_name: &str, source: &str) -> Result<AndroidApp, AsmError> {
         class_ids.insert(c.name.clone(), id);
     }
     let resolve_class = |builder: &mut AndroidAppBuilder, name: &str, line: usize| {
-        builder
-            .program_builder()
-            .find_class(name)
-            .ok_or(AsmError { line, message: format!("unknown class {name}") })
+        builder.program_builder().find_class(name).ok_or(AsmError {
+            line,
+            message: format!("unknown class {name}"),
+        })
     };
 
     // Wire hierarchies, then manifest components, then fields, then
@@ -160,15 +163,18 @@ pub fn parse_app(app_name: &str, source: &str) -> Result<AndroidApp, AsmError> {
         let id = class_ids[&c.name];
         for (line, is_static, fname, ty_text) in &c.fields {
             let ty = parse_type(&mut builder, ty_text, *line)?;
-            builder.program_builder().add_field(id, fname, ty, *is_static);
+            builder
+                .program_builder()
+                .add_field(id, fname, ty, *is_static);
         }
     }
     let mut method_ids: Vec<(ClassId, MethodId, &MethodSrc)> = Vec::new();
     for c in &classes {
         let id = class_ids[&c.name];
         for m in &c.methods {
-            let mid =
-                builder.program_builder().abstract_method(id, &m.name, m.params.len() as u32);
+            let mid = builder
+                .program_builder()
+                .abstract_method(id, &m.name, m.params.len() as u32);
             method_ids.push((id, mid, m));
         }
     }
@@ -188,7 +194,10 @@ pub fn parse_app(app_name: &str, source: &str) -> Result<AndroidApp, AsmError> {
         builder.add_layout(layout);
     }
 
-    builder.finish().map_err(|e| AsmError { line: 0, message: format!("IR validation failed: {e}") })
+    builder.finish().map_err(|e| AsmError {
+        line: 0,
+        message: format!("IR validation failed: {e}"),
+    })
 }
 
 fn strip_comment(line: &str) -> &str {
@@ -210,8 +219,9 @@ fn parse_structure(source: &str) -> Result<(Vec<ClassSrc>, Vec<LayoutSrc>), AsmE
     let mut i = 0;
     while i < lines.len() {
         let (ln, line) = (&lines[i].0, lines[i].1.as_str());
-        if let Some(rest) =
-            line.strip_prefix("class ").or_else(|| line.strip_prefix("interface "))
+        if let Some(rest) = line
+            .strip_prefix("class ")
+            .or_else(|| line.strip_prefix("interface "))
         {
             let is_interface = line.starts_with("interface ");
             // Headers may continue onto following lines until the `{`.
@@ -309,9 +319,16 @@ fn parse_structure(source: &str) -> Result<(Vec<ClassSrc>, Vec<LayoutSrc>), AsmE
                 return err(*ln, "unterminated layout body");
             }
             i += 1;
-            layouts.push(LayoutSrc { line: *ln, class, views });
+            layouts.push(LayoutSrc {
+                line: *ln,
+                class,
+                views,
+            });
         } else {
-            return err(*ln, format!("expected `class`, `interface`, or `layout`, got {line:?}"));
+            return err(
+                *ln,
+                format!("expected `class`, `interface`, or `layout`, got {line:?}"),
+            );
         }
     }
     Ok((classes, layouts))
@@ -354,40 +371,60 @@ fn parse_type(builder: &mut AndroidAppBuilder, text: &str, line: usize) -> Resul
             let c = builder
                 .program_builder()
                 .find_class(cname)
-                .ok_or(AsmError { line, message: format!("unknown type {cname}") })?;
+                .ok_or(AsmError {
+                    line,
+                    message: format!("unknown type {cname}"),
+                })?;
             Ok(Type::Ref(c))
         }
     }
 }
 
 /// `view <id>: <Class> [after <id>] [onClick <Class.method>]`.
-fn parse_view(builder: &mut AndroidAppBuilder, text: &str, line: usize) -> Result<ViewDecl, AsmError> {
-    let rest = text
-        .strip_prefix("view ")
-        .ok_or(AsmError { line, message: "expected `view <id>: <class> …`".into() })?;
-    let (id, rest) =
-        rest.split_once(':').ok_or(AsmError { line, message: "view needs `id: class`".into() })?;
-    let id: i32 =
-        id.trim().parse().map_err(|_| AsmError { line, message: "bad view id".into() })?;
+fn parse_view(
+    builder: &mut AndroidAppBuilder,
+    text: &str,
+    line: usize,
+) -> Result<ViewDecl, AsmError> {
+    let rest = text.strip_prefix("view ").ok_or(AsmError {
+        line,
+        message: "expected `view <id>: <class> …`".into(),
+    })?;
+    let (id, rest) = rest.split_once(':').ok_or(AsmError {
+        line,
+        message: "view needs `id: class`".into(),
+    })?;
+    let id: i32 = id.trim().parse().map_err(|_| AsmError {
+        line,
+        message: "bad view id".into(),
+    })?;
     let mut toks = rest.split_whitespace();
-    let cname = toks.next().ok_or(AsmError { line, message: "view needs a class".into() })?;
+    let cname = toks.next().ok_or(AsmError {
+        line,
+        message: "view needs a class".into(),
+    })?;
     let vclass = builder
         .program_builder()
         .find_class(cname)
-        .ok_or(AsmError { line, message: format!("unknown view class {cname}") })?;
+        .ok_or(AsmError {
+            line,
+            message: format!("unknown view class {cname}"),
+        })?;
     let mut decl = ViewDecl::new(id, vclass);
     while let Some(tok) = toks.next() {
         match tok {
             "after" => {
-                let a = toks
-                    .next()
-                    .and_then(|t| t.parse().ok())
-                    .ok_or(AsmError { line, message: "`after` needs a view id".into() })?;
+                let a = toks.next().and_then(|t| t.parse().ok()).ok_or(AsmError {
+                    line,
+                    message: "`after` needs a view id".into(),
+                })?;
                 decl = decl.with_after(a);
             }
             "onClick" => {
-                let target =
-                    toks.next().ok_or(AsmError { line, message: "`onClick` needs Class.method".into() })?;
+                let target = toks.next().ok_or(AsmError {
+                    line,
+                    message: "`onClick` needs Class.method".into(),
+                })?;
                 let m = resolve_method_name(builder, target, line)?;
                 decl = decl.with_xml_listener(GuiEventKind::Click, m);
             }
@@ -403,13 +440,17 @@ fn resolve_method_name(
     text: &str,
     line: usize,
 ) -> Result<MethodId, AsmError> {
-    let (cname, mname) = text
-        .rsplit_once('.')
-        .ok_or(AsmError { line, message: format!("expected Class.method, got {text:?}") })?;
+    let (cname, mname) = text.rsplit_once('.').ok_or(AsmError {
+        line,
+        message: format!("expected Class.method, got {text:?}"),
+    })?;
     let class = builder
         .program_builder()
         .find_class(cname)
-        .ok_or(AsmError { line, message: format!("unknown class {cname}") })?;
+        .ok_or(AsmError {
+            line,
+            message: format!("unknown class {cname}"),
+        })?;
     let mut cur = Some(class);
     while let Some(c) = cur {
         if let Some(m) = builder.program_builder().find_method(c, mname) {
@@ -440,10 +481,10 @@ impl Env {
     }
 
     fn existing(&self, name: &str, line: usize) -> Result<Local, AsmError> {
-        self.locals
-            .get(name)
-            .copied()
-            .ok_or(AsmError { line, message: format!("use of unassigned local {name}") })
+        self.locals.get(name).copied().ok_or(AsmError {
+            line,
+            message: format!("use of unassigned local {name}"),
+        })
     }
 }
 
@@ -474,8 +515,11 @@ fn assemble_body(
     if src.is_static {
         mb.set_static();
     }
-    let mut env =
-        Env { locals: HashMap::new(), types: HashMap::new(), blocks: HashMap::new() };
+    let mut env = Env {
+        locals: HashMap::new(),
+        types: HashMap::new(),
+        blocks: HashMap::new(),
+    };
     for (idx, (pname, _)) in src.params.iter().enumerate() {
         let l = Local(idx as u32);
         env.locals.insert(pname.clone(), l);
@@ -492,7 +536,11 @@ fn assemble_body(
             if env.blocks.contains_key(label) {
                 continue;
             }
-            let id = if first_label { BlockId(0) } else { mb.new_block() };
+            let id = if first_label {
+                BlockId(0)
+            } else {
+                mb.new_block()
+            };
             first_label = false;
             env.blocks.insert(label.to_owned(), id);
         }
@@ -563,12 +611,14 @@ fn assemble_stmt(
     }
     if let Some(rest) = text.strip_prefix("if ") {
         // if x then bbA else bbB
-        let (cond, rest) = rest
-            .split_once(" then ")
-            .ok_or(AsmError { line, message: "if needs `then`".into() })?;
-        let (then_l, else_l) = rest
-            .split_once(" else ")
-            .ok_or(AsmError { line, message: "if needs `else`".into() })?;
+        let (cond, rest) = rest.split_once(" then ").ok_or(AsmError {
+            line,
+            message: "if needs `then`".into(),
+        })?;
+        let (then_l, else_l) = rest.split_once(" else ").ok_or(AsmError {
+            line,
+            message: "if needs `else`".into(),
+        })?;
         let cond = parse_operand(env, cond, line)?;
         let t = block_of(env, then_l.trim(), line)?;
         let e = block_of(env, else_l.trim(), line)?;
@@ -576,8 +626,10 @@ fn assemble_stmt(
         return Ok(true);
     }
     if let Some(rest) = text.strip_prefix("nondet ") {
-        let targets: Result<Vec<BlockId>, AsmError> =
-            rest.split_whitespace().map(|l| block_of(env, l, line)).collect();
+        let targets: Result<Vec<BlockId>, AsmError> = rest
+            .split_whitespace()
+            .map(|l| block_of(env, l, line))
+            .collect();
         mb.nondet(targets?);
         return Ok(true);
     }
@@ -602,7 +654,11 @@ fn assemble_stmt(
         mb.static_store(field, op);
         return Ok(false);
     }
-    if lhs.contains('.') && env.locals.contains_key(lhs.split('.').next().unwrap_or_default()) {
+    if lhs.contains('.')
+        && env
+            .locals
+            .contains_key(lhs.split('.').next().unwrap_or_default())
+    {
         let (base, fspec) = lhs.split_once('.').expect("checked");
         let base_l = env.existing(base, line)?;
         let field = resolve_field_spec(mb, env, base_l, fspec.trim(), line)?;
@@ -617,10 +673,10 @@ fn assemble_stmt(
     // Destination local assignments.
     if let Some(rest) = rhs.strip_prefix("new ") {
         let cname = rest.trim();
-        let c = mb
-            .program()
-            .find_class(cname)
-            .ok_or(AsmError { line, message: format!("unknown class {cname}") })?;
+        let c = mb.program().find_class(cname).ok_or(AsmError {
+            line,
+            message: format!("unknown class {cname}"),
+        })?;
         let dst = env.local(mb, lhs);
         mb.new_(dst, c);
         env.types.insert(dst, c);
@@ -720,10 +776,10 @@ fn split_assign(text: &str) -> Option<(&str, &str)> {
 }
 
 fn block_of(env: &Env, label: &str, line: usize) -> Result<BlockId, AsmError> {
-    env.blocks
-        .get(label)
-        .copied()
-        .ok_or(AsmError { line, message: format!("unknown block label {label}") })
+    env.blocks.get(label).copied().ok_or(AsmError {
+        line,
+        message: format!("unknown block label {label}"),
+    })
 }
 
 fn resolve_static_field(
@@ -732,10 +788,10 @@ fn resolve_static_field(
     fname: &str,
     line: usize,
 ) -> Result<FieldId, AsmError> {
-    let class = mb
-        .program()
-        .find_class(cname)
-        .ok_or(AsmError { line, message: format!("unknown class {cname}") })?;
+    let class = mb.program().find_class(cname).ok_or(AsmError {
+        line,
+        message: format!("unknown class {cname}"),
+    })?;
     let mut cur = Some(class);
     while let Some(c) = cur {
         if let Some(f) = mb.program().find_field(c, fname) {
@@ -756,10 +812,10 @@ fn resolve_field_spec(
     line: usize,
 ) -> Result<FieldId, AsmError> {
     if let Some((cname, fname)) = spec.rsplit_once('#') {
-        let class = mb
-            .program()
-            .find_class(cname.trim())
-            .ok_or(AsmError { line, message: format!("unknown class {cname}") })?;
+        let class = mb.program().find_class(cname.trim()).ok_or(AsmError {
+            line,
+            message: format!("unknown class {cname}"),
+        })?;
         let mut cur = Some(class);
         while let Some(c) = cur {
             if let Some(f) = mb.program().find_field(c, fname.trim()) {
@@ -814,21 +870,34 @@ fn assemble_call(
         Some("virtual") => InvokeKind::Virtual,
         Some("static") => InvokeKind::Static,
         Some("special") => InvokeKind::Special,
-        other => return err(line, format!("expected virtual|static|special, got {other:?}")),
+        other => {
+            return err(
+                line,
+                format!("expected virtual|static|special, got {other:?}"),
+            )
+        }
     };
-    let rest =
-        toks.next().ok_or(AsmError { line, message: "call needs a target".into() })?.trim();
-    let (target, args_text) =
-        rest.split_once('(').ok_or(AsmError { line, message: "call needs `(args)`".into() })?;
+    let rest = toks
+        .next()
+        .ok_or(AsmError {
+            line,
+            message: "call needs a target".into(),
+        })?
+        .trim();
+    let (target, args_text) = rest.split_once('(').ok_or(AsmError {
+        line,
+        message: "call needs `(args)`".into(),
+    })?;
     let args_text = args_text.trim_end_matches(')');
     let callee = {
-        let (cname, mname) = target
-            .rsplit_once('.')
-            .ok_or(AsmError { line, message: format!("expected Class.method, got {target:?}") })?;
-        let class = mb
-            .program()
-            .find_class(cname.trim())
-            .ok_or(AsmError { line, message: format!("unknown class {cname}") })?;
+        let (cname, mname) = target.rsplit_once('.').ok_or(AsmError {
+            line,
+            message: format!("expected Class.method, got {target:?}"),
+        })?;
+        let class = mb.program().find_class(cname.trim()).ok_or(AsmError {
+            line,
+            message: format!("unknown class {cname}"),
+        })?;
         let mut found = None;
         let mut cur = Some(class);
         while let Some(c) = cur {
@@ -838,10 +907,17 @@ fn assemble_call(
             }
             cur = mb.program().super_class_of(c);
         }
-        found.ok_or(AsmError { line, message: format!("unknown method {target}") })?
+        found.ok_or(AsmError {
+            line,
+            message: format!("unknown method {target}"),
+        })?
     };
     let mut args: Vec<Operand> = Vec::new();
-    for a in args_text.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+    for a in args_text
+        .split(',')
+        .map(str::trim)
+        .filter(|a| !a.is_empty())
+    {
         args.push(parse_operand(env, a, line)?);
     }
     let expected = mb.program().param_count(callee) as usize;
@@ -860,7 +936,10 @@ fn assemble_call(
     };
     let given = args.len() + usize::from(receiver.is_some());
     if given != expected {
-        return err(line, format!("{target:?} takes {expected} argument(s), got {given}"));
+        return err(
+            line,
+            format!("{target:?} takes {expected} argument(s), got {given}"),
+        );
     }
     mb.call(dst, kind, callee, receiver, args);
     Ok(mb.program().ret_type_of(callee).and_then(|t| t.as_class()))
@@ -927,7 +1006,10 @@ layout com.ex.Main {
         assert!(app.layout_for(main).is_some());
         // And the whole pipeline runs over the assembled app.
         let result_fields = harness_gen_generate(app);
-        assert!(result_fields.contains(&"data".to_owned()), "{result_fields:?}");
+        assert!(
+            result_fields.contains(&"data".to_owned()),
+            "{result_fields:?}"
+        );
     }
 
     /// Helper: run the detector over an assembled app, returning reported
@@ -1087,7 +1169,11 @@ pub fn render_app(app: &AndroidApp) -> String {
         if class.origin != apir::Origin::App {
             continue;
         }
-        let kw = if class.is_interface { "interface" } else { "class" };
+        let kw = if class.is_interface {
+            "interface"
+        } else {
+            "class"
+        };
         let _ = write!(out, "{kw} {}", p.name(class.name));
         if let Some(s) = class.super_class {
             if p.class_name(s) != "java.lang.Object" {
@@ -1125,7 +1211,12 @@ pub fn render_app(app: &AndroidApp) -> String {
                 })
                 .collect();
             let st = if m.is_static { " static" } else { "" };
-            let _ = writeln!(out, "  method {}({}){st} {{", p.name(m.name), params.join(", "));
+            let _ = writeln!(
+                out,
+                "  method {}({}){st} {{",
+                p.name(m.name),
+                params.join(", ")
+            );
             for (bid, block) in m.iter_blocks() {
                 let _ = writeln!(out, "    bb{}:", bid.index());
                 for stmt in &block.stmts {
@@ -1158,12 +1249,7 @@ pub fn render_app(app: &AndroidApp) -> String {
 
 /// Unqualified for `this` (always inferable); qualified `Class#field`
 /// otherwise, so re-parsing never depends on type inference succeeding.
-fn render_field_spec(
-    p: &apir::Program,
-    m: &apir::Method,
-    base: Local,
-    field: FieldId,
-) -> String {
+fn render_field_spec(p: &apir::Program, m: &apir::Method, base: Local, field: FieldId) -> String {
     let fd = p.field(field);
     if base.0 == 0 && !m.is_static {
         p.name(fd.name).to_owned()
@@ -1196,7 +1282,11 @@ fn render_stmt(p: &apir::Program, m: &apir::Method, stmt: &apir::Stmt) -> String
     use apir::Stmt as S;
     match stmt {
         S::Const { dst, value } => {
-            format!("{} = {}", render_local(m, *dst), render_operand(m, Operand::Const(*value)))
+            format!(
+                "{} = {}",
+                render_local(m, *dst),
+                render_operand(m, Operand::Const(*value))
+            )
         }
         S::Move { dst, src } => {
             format!("{} = {}", render_local(m, *dst), render_local(m, *src))
@@ -1206,7 +1296,11 @@ fn render_stmt(p: &apir::Program, m: &apir::Method, stmt: &apir::Stmt) -> String
                 UnOp::Not => "!",
                 UnOp::Neg => "- ",
             };
-            format!("{} = {sym}{}", render_local(m, *dst), render_operand(m, *src))
+            format!(
+                "{} = {sym}{}",
+                render_local(m, *dst),
+                render_operand(m, *src)
+            )
         }
         S::BinOp { dst, op, lhs, rhs } => {
             let sym = match op {
@@ -1253,9 +1347,21 @@ fn render_stmt(p: &apir::Program, m: &apir::Method, stmt: &apir::Stmt) -> String
         }
         S::StaticStore { field, value } => {
             let f = p.field(*field);
-            format!("{}::{} = {}", p.class_name(f.class), p.name(f.name), render_operand(m, *value))
+            format!(
+                "{}::{} = {}",
+                p.class_name(f.class),
+                p.name(f.name),
+                render_operand(m, *value)
+            )
         }
-        S::Call { dst, kind, callee, receiver, args, .. } => {
+        S::Call {
+            dst,
+            kind,
+            callee,
+            receiver,
+            args,
+            ..
+        } => {
             let mut s = String::new();
             if let Some(d) = dst {
                 s.push_str(&format!("{} = ", render_local(m, *d)));
@@ -1270,7 +1376,11 @@ fn render_stmt(p: &apir::Program, m: &apir::Method, stmt: &apir::Stmt) -> String
                 all.push(render_local(m, *r));
             }
             all.extend(args.iter().map(|a| render_operand(m, *a)));
-            s.push_str(&format!("call {kw} {}({})", p.method_name(*callee), all.join(", ")));
+            s.push_str(&format!(
+                "call {kw} {}({})",
+                p.method_name(*callee),
+                all.join(", ")
+            ));
             s
         }
     }
@@ -1280,7 +1390,11 @@ fn render_terminator(m: &apir::Method, t: &apir::Terminator) -> String {
     use apir::Terminator as T;
     match t {
         T::Goto(b) => format!("goto bb{}", b.index()),
-        T::If { cond, then_bb, else_bb } => {
+        T::If {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             format!(
                 "if {} then bb{} else bb{}",
                 render_operand(m, *cond),
@@ -1351,7 +1465,10 @@ layout com.rt.Main {
         let text2 = render_app(&app2);
         assert_eq!(text1, text2, "render∘parse is a fixpoint");
         assert_eq!(app1.program.stmt_count(), app2.program.stmt_count());
-        assert_eq!(app1.manifest.activities.len(), app2.manifest.activities.len());
+        assert_eq!(
+            app1.manifest.activities.len(),
+            app2.manifest.activities.len()
+        );
         assert_eq!(app1.layouts.len(), app2.layouts.len());
     }
 
@@ -1362,8 +1479,8 @@ layout com.rt.Main {
             ("fig8", crate_figures_guard()),
         ] {
             let text = render_app(&app);
-            let app2 = parse_app("RoundTrip", &text)
-                .unwrap_or_else(|e| panic!("{label}: {e}\n{text}"));
+            let app2 =
+                parse_app("RoundTrip", &text).unwrap_or_else(|e| panic!("{label}: {e}\n{text}"));
             assert!(app2.program.validate().is_ok(), "{label}");
             assert_eq!(
                 app.manifest.activities.len(),

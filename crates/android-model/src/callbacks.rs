@@ -131,9 +131,7 @@ pub fn classify_callback(
         "onItemClick" if sub(fw.on_item_click_listener) => {
             CallbackKind::Gui(GuiEventKind::ItemClick)
         }
-        "onReceive" if sub(fw.broadcast_receiver) => {
-            CallbackKind::System(SystemEventKind::Receive)
-        }
+        "onReceive" if sub(fw.broadcast_receiver) => CallbackKind::System(SystemEventKind::Receive),
         "onServiceConnected" if sub(fw.service_connection) => {
             CallbackKind::System(SystemEventKind::ServiceConnected)
         }
@@ -149,16 +147,12 @@ pub fn classify_callback(
         "onCompletion" if sub(fw.on_completion_listener) => {
             CallbackKind::System(SystemEventKind::MediaCompletion)
         }
-        "afterTextChanged" if sub(fw.text_watcher) => {
-            CallbackKind::Gui(GuiEventKind::TextChanged)
-        }
+        "afterTextChanged" if sub(fw.text_watcher) => CallbackKind::Gui(GuiEventKind::TextChanged),
         "run" if sub(fw.runnable) || sub(fw.thread) || sub(fw.timer_task) => {
             CallbackKind::Task(TaskEventKind::Run)
         }
         "onPreExecute" if sub(fw.async_task) => CallbackKind::Task(TaskEventKind::PreExecute),
-        "doInBackground" if sub(fw.async_task) => {
-            CallbackKind::Task(TaskEventKind::DoInBackground)
-        }
+        "doInBackground" if sub(fw.async_task) => CallbackKind::Task(TaskEventKind::DoInBackground),
         "onPostExecute" if sub(fw.async_task) => CallbackKind::Task(TaskEventKind::PostExecute),
         "handleMessage" if sub(fw.handler) => CallbackKind::Task(TaskEventKind::HandleMessage),
         _ => return None,
@@ -202,8 +196,15 @@ mod tests {
             classify_callback(&p, &fw, ms[0]),
             Some(CallbackKind::Lifecycle(LifecycleEvent::Create))
         );
-        assert_eq!(classify_callback(&p, &fw, ms[1]), Some(CallbackKind::Gui(GuiEventKind::Click)));
-        assert_eq!(classify_callback(&p, &fw, ms[2]), None, "helper is not a callback");
+        assert_eq!(
+            classify_callback(&p, &fw, ms[1]),
+            Some(CallbackKind::Gui(GuiEventKind::Click))
+        );
+        assert_eq!(
+            classify_callback(&p, &fw, ms[2]),
+            None,
+            "helper is not a callback"
+        );
         assert_eq!(
             classify_callback(&p, &fw, ms[3]),
             Some(CallbackKind::Task(TaskEventKind::DoInBackground))
@@ -231,8 +232,7 @@ mod tests {
         let _ = pb.finish();
         for k in GuiEventKind::ALL {
             assert!(
-                k.callback_name().starts_with("on")
-                    || k.callback_name().starts_with("after"),
+                k.callback_name().starts_with("on") || k.callback_name().starts_with("after"),
                 "{k:?}"
             );
             let _ = k.interface_method(&fw);

@@ -547,8 +547,7 @@ impl FrameworkClasses {
         cb.set_interface();
         let text_watcher = cb.build();
         let after_text_changed = pb.abstract_method(text_watcher, "afterTextChanged", 2);
-        let add_text_changed_listener =
-            pb.abstract_method(text_view, "addTextChangedListener", 2);
+        let add_text_changed_listener = pb.abstract_method(text_view, "addTextChangedListener", 2);
 
         // android.media.MediaPlayer
         let mut cb = pb.class("android.media.MediaPlayer", fw);
@@ -707,11 +706,29 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let fw = FrameworkClasses::install(&mut pb);
         let p = pb.finish();
-        for m in [fw.thread_start, fw.handler_post, fw.async_task_execute, fw.find_view_by_id] {
-            assert!(p.method(m).is_abstract, "{} should be opaque", p.method_name(m));
+        for m in [
+            fw.thread_start,
+            fw.handler_post,
+            fw.async_task_execute,
+            fw.find_view_by_id,
+        ] {
+            assert!(
+                p.method(m).is_abstract,
+                "{} should be opaque",
+                p.method_name(m)
+            );
         }
-        for m in [fw.thread_init, fw.message_obtain, fw.set_text, fw.array_list_add] {
-            assert!(p.method(m).has_body(), "{} should be transparent", p.method_name(m));
+        for m in [
+            fw.thread_init,
+            fw.message_obtain,
+            fw.set_text,
+            fw.array_list_add,
+        ] {
+            assert!(
+                p.method(m).has_body(),
+                "{} should be transparent",
+                p.method_name(m)
+            );
         }
     }
 
@@ -729,6 +746,9 @@ mod tests {
         let p = pb.finish();
         assert_eq!(p.dispatch(main, fw.activity_on_create), Some(on_create));
         // Un-overridden callbacks fall back to the abstract declaration.
-        assert_eq!(p.dispatch(main, fw.activity_on_stop), Some(fw.activity_on_stop));
+        assert_eq!(
+            p.dispatch(main, fw.activity_on_stop),
+            Some(fw.activity_on_stop)
+        );
     }
 }

@@ -29,7 +29,12 @@ pub struct ViewDecl {
 impl ViewDecl {
     /// A plain view with no XML listeners or ordering.
     pub fn new(view_id: i32, class: ClassId) -> Self {
-        Self { view_id, class, xml_listeners: Vec::new(), after: None }
+        Self {
+            view_id,
+            class,
+            xml_listeners: Vec::new(),
+            after: None,
+        }
     }
 
     /// Adds an XML-registered listener.
@@ -57,7 +62,10 @@ pub struct Layout {
 impl Layout {
     /// Creates an empty layout for `activity`.
     pub fn new(activity: ClassId) -> Self {
-        Self { activity, views: Vec::new() }
+        Self {
+            activity,
+            views: Vec::new(),
+        }
     }
 
     /// Adds a view declaration.

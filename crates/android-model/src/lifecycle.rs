@@ -85,8 +85,10 @@ mod tests {
 
     #[test]
     fn only_start_and_resume_cycle() {
-        let twice: Vec<_> =
-            LifecycleEvent::ALL.iter().filter(|e| e.has_two_instances()).collect();
+        let twice: Vec<_> = LifecycleEvent::ALL
+            .iter()
+            .filter(|e| e.has_two_instances())
+            .collect();
         assert_eq!(twice, [&LifecycleEvent::Start, &LifecycleEvent::Resume]);
     }
 

@@ -155,7 +155,10 @@ mod tests {
         let mut pb = ProgramBuilder::new();
         let fw = FrameworkClasses::install(&mut pb);
         let _p = pb.finish();
-        assert_eq!(FrameworkOp::classify(&fw, fw.thread_start), Some(FrameworkOp::ThreadStart));
+        assert_eq!(
+            FrameworkOp::classify(&fw, fw.thread_start),
+            Some(FrameworkOp::ThreadStart)
+        );
         assert_eq!(
             FrameworkOp::classify(&fw, fw.set_on_click_listener),
             Some(FrameworkOp::SetListener(GuiEventKind::Click))

@@ -228,7 +228,13 @@ impl ProgramBuilder {
     pub fn add_field(&mut self, class: ClassId, name: &str, ty: Type, is_static: bool) -> FieldId {
         let sym = self.interner.intern(name);
         let fid = FieldId::from_index(self.fields.len());
-        self.fields.push(Field { id: fid, class, name: sym, ty, is_static });
+        self.fields.push(Field {
+            id: fid,
+            class,
+            name: sym,
+            ty,
+            is_static,
+        });
         self.classes[class.index()].fields.push(fid);
         fid
     }
@@ -337,7 +343,13 @@ impl<'a> ClassBuilder<'a> {
     fn add_field(&mut self, name: &str, ty: Type, is_static: bool) -> FieldId {
         let sym = self.pb.interner.intern(name);
         let fid = FieldId::from_index(self.pb.fields.len());
-        self.pb.fields.push(Field { id: fid, class: self.id, name: sym, ty, is_static });
+        self.pb.fields.push(Field {
+            id: fid,
+            class: self.id,
+            name: sym,
+            ty,
+            is_static,
+        });
         self.pb.classes[self.id.index()].fields.push(fid);
         fid
     }
@@ -434,7 +446,11 @@ impl<'a> MethodBuilder<'a> {
     }
 
     fn push(&mut self, stmt: Stmt) -> StmtAddr {
-        let addr = StmtAddr::new(self.id, self.cur, self.blocks[self.cur.index()].stmts.len() as u32);
+        let addr = StmtAddr::new(
+            self.id,
+            self.cur,
+            self.blocks[self.cur.index()].stmts.len() as u32,
+        );
         self.blocks[self.cur.index()].stmts.push(stmt);
         addr
     }
@@ -453,7 +469,11 @@ impl<'a> MethodBuilder<'a> {
 
     /// Emits `dst = op src`.
     pub fn un_op(&mut self, dst: Local, op: UnOp, src: impl Into<Operand>) -> &mut Self {
-        self.push(Stmt::UnOp { dst, op, src: src.into() });
+        self.push(Stmt::UnOp {
+            dst,
+            op,
+            src: src.into(),
+        });
         self
     }
 
@@ -465,7 +485,12 @@ impl<'a> MethodBuilder<'a> {
         lhs: impl Into<Operand>,
         rhs: impl Into<Operand>,
     ) -> &mut Self {
-        self.push(Stmt::BinOp { dst, op, lhs: lhs.into(), rhs: rhs.into() });
+        self.push(Stmt::BinOp {
+            dst,
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
         self
     }
 
@@ -473,7 +498,9 @@ impl<'a> MethodBuilder<'a> {
     pub fn new_(&mut self, dst: Local, class: ClassId) -> AllocSiteId {
         let site = AllocSiteId::from_index(self.pb.alloc_sites.len());
         // Reserve the slot, then fill the address in via push.
-        self.pb.alloc_sites.push(StmtAddr::new(self.id, self.cur, 0));
+        self.pb
+            .alloc_sites
+            .push(StmtAddr::new(self.id, self.cur, 0));
         let addr = self.push(Stmt::New { dst, class, site });
         self.pb.alloc_sites[site.index()] = addr;
         site
@@ -487,7 +514,11 @@ impl<'a> MethodBuilder<'a> {
 
     /// Emits `obj.field = value`.
     pub fn store(&mut self, obj: Local, field: FieldId, value: impl Into<Operand>) -> &mut Self {
-        self.push(Stmt::Store { obj, field, value: value.into() });
+        self.push(Stmt::Store {
+            obj,
+            field,
+            value: value.into(),
+        });
         self
     }
 
@@ -499,7 +530,10 @@ impl<'a> MethodBuilder<'a> {
 
     /// Emits `Class.field = value`.
     pub fn static_store(&mut self, field: FieldId, value: impl Into<Operand>) -> &mut Self {
-        self.push(Stmt::StaticStore { field, value: value.into() });
+        self.push(Stmt::StaticStore {
+            field,
+            value: value.into(),
+        });
         self
     }
 
@@ -514,7 +548,14 @@ impl<'a> MethodBuilder<'a> {
     ) -> CallSiteId {
         let site = CallSiteId::from_index(self.pb.call_sites.len());
         self.pb.call_sites.push(StmtAddr::new(self.id, self.cur, 0));
-        let addr = self.push(Stmt::Call { site, dst, kind, callee, receiver, args });
+        let addr = self.push(Stmt::Call {
+            site,
+            dst,
+            kind,
+            callee,
+            receiver,
+            args,
+        });
         self.pb.call_sites[site.index()] = addr;
         site
     }
@@ -539,9 +580,17 @@ impl<'a> MethodBuilder<'a> {
     }
 
     /// Sets the current block's terminator to a two-way branch.
-    pub fn if_(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) -> &mut Self {
-        self.blocks[self.cur.index()].terminator =
-            Terminator::If { cond: cond.into(), then_bb, else_bb };
+    pub fn if_(
+        &mut self,
+        cond: impl Into<Operand>,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> &mut Self {
+        self.blocks[self.cur.index()].terminator = Terminator::If {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        };
         self
     }
 
@@ -650,7 +699,13 @@ mod tests {
         // Reopen, add a static field, insert a store right after the New.
         let mut pb = ProgramBuilder::from(p);
         let f = pb.add_field(c, "$syn", crate::Type::Bool, true);
-        pb.insert_stmt_after(addr0, Stmt::StaticStore { field: f, value: ConstValue::Bool(true).into() });
+        pb.insert_stmt_after(
+            addr0,
+            Stmt::StaticStore {
+                field: f,
+                value: ConstValue::Bool(true).into(),
+            },
+        );
         let p = pb.finish();
         assert!(p.validate().is_ok());
         // The call site shifted by one; the alloc site did not.

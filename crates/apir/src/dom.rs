@@ -24,7 +24,10 @@ impl Dominators {
     pub fn compute(method: &Method) -> Self {
         let n = method.blocks.len();
         if n == 0 {
-            return Self { idom: Vec::new(), reachable: Vec::new() };
+            return Self {
+                idom: Vec::new(),
+                reachable: Vec::new(),
+            };
         }
 
         // Reverse postorder over the CFG.
@@ -32,8 +35,11 @@ impl Dominators {
         let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
         let mut stack = vec![(BlockId(0), 0usize)];
         state[0] = 1;
-        let succs: Vec<Vec<BlockId>> =
-            method.blocks.iter().map(|b| b.terminator.successors()).collect();
+        let succs: Vec<Vec<BlockId>> = method
+            .blocks
+            .iter()
+            .map(|b| b.terminator.successors())
+            .collect();
         while let Some(&mut (b, ref mut i)) = stack.last_mut() {
             if *i < succs[b.index()].len() {
                 let s = succs[b.index()][*i];

@@ -99,7 +99,11 @@ pub struct StmtAddr {
 impl StmtAddr {
     /// Creates a statement address.
     pub fn new(method: MethodId, block: BlockId, stmt: u32) -> Self {
-        Self { method, block, stmt }
+        Self {
+            method,
+            block,
+            stmt,
+        }
     }
 }
 

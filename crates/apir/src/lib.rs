@@ -44,9 +44,9 @@ mod interner;
 pub mod local_defs;
 mod method;
 mod print;
+mod program;
 #[cfg(test)]
 mod proptests;
-mod program;
 mod stmt;
 mod ty;
 mod validate;

@@ -19,7 +19,11 @@ const SCAN_BUDGET: usize = 4_096;
 ///
 /// Returns `None` when the operand is not provably constant (joins with
 /// multiple predecessors, redefinitions through calls, etc.).
-pub fn resolve_const_operand(method: &Method, addr: StmtAddr, operand: Operand) -> Option<ConstValue> {
+pub fn resolve_const_operand(
+    method: &Method,
+    addr: StmtAddr,
+    operand: Operand,
+) -> Option<ConstValue> {
     match operand {
         Operand::Const(c) => Some(c),
         Operand::Local(l) => match find_def(method, addr, l)? {
@@ -38,11 +42,7 @@ pub fn resolve_const_operand(method: &Method, addr: StmtAddr, operand: Operand) 
 ///
 /// Returns the defining statement and its address, or `None` if the search
 /// reaches a join point, the method entry, or the scan budget first.
-pub fn find_def(
-    method: &Method,
-    addr: StmtAddr,
-    local: Local,
-) -> Option<(StmtAddr, &Stmt)> {
+pub fn find_def(method: &Method, addr: StmtAddr, local: Local) -> Option<(StmtAddr, &Stmt)> {
     let preds = method.predecessors();
     let mut budget = SCAN_BUDGET;
     let mut block = addr.block;
@@ -153,7 +153,10 @@ mod tests {
         });
         let method = p.method(m);
         let at = StmtAddr::new(m, BlockId(3), 0);
-        assert_eq!(resolve_const_operand(method, at, Operand::Local(Local(1))), None);
+        assert_eq!(
+            resolve_const_operand(method, at, Operand::Local(Local(1))),
+            None
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ impl Terminator {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Goto(b) => vec![*b],
-            Terminator::If { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::If {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             Terminator::NonDet(bs) => bs.clone(),
             Terminator::Return(_) => Vec::new(),
         }
@@ -53,7 +55,10 @@ impl BasicBlock {
     /// Creates a block ending in `Return(None)`; the builder rewrites the
     /// terminator as instructions are emitted.
     pub fn new() -> Self {
-        Self { stmts: Vec::new(), terminator: Terminator::Return(None) }
+        Self {
+            stmts: Vec::new(),
+            terminator: Terminator::Return(None),
+        }
     }
 }
 
@@ -103,7 +108,10 @@ impl Method {
 
     /// Iterates over `(BlockId, &BasicBlock)` pairs.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
-        self.blocks.iter().enumerate().map(|(i, b)| (BlockId::from_index(i), b))
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId::from_index(i), b))
     }
 
     /// Iterates over every statement with its address.
@@ -122,7 +130,10 @@ impl Method {
     /// or is out of range.
     pub fn stmt_at(&self, addr: StmtAddr) -> Option<&Stmt> {
         debug_assert_eq!(addr.method, self.id);
-        self.blocks.get(addr.block.index())?.stmts.get(addr.stmt as usize)
+        self.blocks
+            .get(addr.block.index())?
+            .stmts
+            .get(addr.stmt as usize)
     }
 
     /// Predecessor map: `preds[b]` lists blocks with an edge into `b`.
@@ -157,7 +168,10 @@ mod tests {
 
     fn sample() -> Method {
         let mut b0 = BasicBlock::new();
-        b0.stmts.push(Stmt::Const { dst: Local(1), value: crate::ConstValue::Int(1) });
+        b0.stmts.push(Stmt::Const {
+            dst: Local(1),
+            value: crate::ConstValue::Int(1),
+        });
         b0.terminator = Terminator::If {
             cond: Operand::Local(Local(1)),
             then_bb: BlockId(1),
@@ -195,7 +209,9 @@ mod tests {
         assert_eq!(all.len(), 1);
         assert_eq!(all[0].0, StmtAddr::new(MethodId(0), BlockId(0), 0));
         assert!(m.stmt_at(all[0].0).is_some());
-        assert!(m.stmt_at(StmtAddr::new(MethodId(0), BlockId(1), 0)).is_none());
+        assert!(m
+            .stmt_at(StmtAddr::new(MethodId(0), BlockId(1), 0))
+            .is_none());
     }
 
     #[test]
@@ -208,6 +224,11 @@ mod tests {
     #[test]
     fn return_has_no_successors() {
         assert!(Terminator::Return(None).successors().is_empty());
-        assert_eq!(Terminator::NonDet(vec![BlockId(0), BlockId(1)]).successors().len(), 2);
+        assert_eq!(
+            Terminator::NonDet(vec![BlockId(0), BlockId(1)])
+                .successors()
+                .len(),
+            2
+        );
     }
 }

@@ -37,7 +37,11 @@ impl<'p> ProgramPrinter<'p> {
     pub fn print(&self) -> String {
         let mut out = String::new();
         for class in self.program.classes() {
-            let kind = if class.is_interface { "interface" } else { "class" };
+            let kind = if class.is_interface {
+                "interface"
+            } else {
+                "class"
+            };
             let _ = write!(out, "{kind} {}", self.program.name(class.name));
             if let Some(s) = class.super_class {
                 let _ = write!(out, " extends {}", self.program.class_name(s));
@@ -46,7 +50,12 @@ impl<'p> ProgramPrinter<'p> {
             for &f in &class.fields {
                 let field = self.program.field(f);
                 let st = if field.is_static { "static " } else { "" };
-                let _ = writeln!(out, "  {st}field {}: {} ({f})", self.program.name(field.name), field.ty);
+                let _ = writeln!(
+                    out,
+                    "  {st}field {}: {} ({f})",
+                    self.program.name(field.name),
+                    field.ty
+                );
             }
             for &m in &class.methods {
                 out.push_str(&self.print_method(m));
@@ -62,7 +71,12 @@ impl<'p> ProgramPrinter<'p> {
         let p = self.program;
         let m = p.method(id);
         let st = if m.is_static { "static " } else { "" };
-        let _ = writeln!(out, "  {st}method {} ({id}, {} params)", p.method_name(id), m.param_count);
+        let _ = writeln!(
+            out,
+            "  {st}method {} ({id}, {} params)",
+            p.method_name(id),
+            m.param_count
+        );
         if m.is_abstract {
             let _ = writeln!(out, "    <abstract>");
             return out;
@@ -101,7 +115,14 @@ impl<'p> ProgramPrinter<'p> {
                 let f = p.field(*field);
                 format!("{}::{} = {value}", p.class_name(f.class), p.name(f.name))
             }
-            Stmt::Call { site, dst, kind, callee, receiver, args } => {
+            Stmt::Call {
+                site,
+                dst,
+                kind,
+                callee,
+                receiver,
+                args,
+            } => {
                 let mut s = String::new();
                 if let Some(d) = dst {
                     let _ = write!(s, "{d} = ");
@@ -129,7 +150,11 @@ impl<'p> ProgramPrinter<'p> {
     fn print_terminator(&self, t: &Terminator) -> String {
         match t {
             Terminator::Goto(b) => format!("goto {b}"),
-            Terminator::If { cond, then_bb, else_bb } => {
+            Terminator::If {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 format!("if {cond} then {then_bb} else {else_bb}")
             }
             Terminator::NonDet(targets) => {
@@ -167,7 +192,13 @@ mod tests {
         mb.store(this, f, Operand::Const(ConstValue::Int(3)));
         mb.static_load(v, g);
         mb.static_store(g, Operand::Const(ConstValue::Bool(false)));
-        mb.call(Some(v), InvokeKind::Virtual, callee, Some(this), vec![Operand::Local(v)]);
+        mb.call(
+            Some(v),
+            InvokeKind::Virtual,
+            callee,
+            Some(this),
+            vec![Operand::Local(v)],
+        );
         let exit = mb.new_block();
         mb.nondet(vec![exit]);
         mb.switch_to(exit);
@@ -188,7 +219,10 @@ mod tests {
             "return v1",
             "<abstract>",
         ] {
-            assert!(listing.contains(needle), "missing {needle:?} in:\n{listing}");
+            assert!(
+                listing.contains(needle),
+                "missing {needle:?} in:\n{listing}"
+            );
         }
     }
 }

@@ -85,13 +85,21 @@ impl Program {
     /// Finds a method declared *directly* on `class` by simple name.
     pub fn declared_method(&self, class: ClassId, name: &str) -> Option<MethodId> {
         let sym = self.interner.get(name)?;
-        self.class(class).methods.iter().copied().find(|&m| self.method(m).name == sym)
+        self.class(class)
+            .methods
+            .iter()
+            .copied()
+            .find(|&m| self.method(m).name == sym)
     }
 
     /// Finds a field declared directly on `class` by simple name.
     pub fn declared_field(&self, class: ClassId, name: &str) -> Option<FieldId> {
         let sym = self.interner.get(name)?;
-        self.class(class).fields.iter().copied().find(|&f| self.field(f).name == sym)
+        self.class(class)
+            .fields
+            .iter()
+            .copied()
+            .find(|&f| self.field(f).name == sym)
     }
 
     /// Whether `sub` equals `sup` or transitively extends/implements it.
@@ -195,7 +203,10 @@ impl Program {
     /// Total number of statements across all method bodies (a rough
     /// "bytecode size" measure used by the corpus and the tables).
     pub fn stmt_count(&self) -> usize {
-        self.methods.iter().map(|m| m.blocks.iter().map(|b| b.stmts.len() + 1).sum::<usize>()).sum()
+        self.methods
+            .iter()
+            .map(|m| m.blocks.iter().map(|b| b.stmts.len() + 1).sum::<usize>())
+            .sum()
     }
 }
 

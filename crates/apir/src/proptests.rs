@@ -1,4 +1,8 @@
-//! Property-based tests of the IR substrate.
+//! Randomized property tests of the IR substrate.
+//!
+//! Each test draws many random cases from a fixed-seed [`SplitMix64`]
+//! stream, so the suite is a deterministic property check: the same CFGs
+//! and strings are exercised on every run and every machine.
 
 use crate::builder::ProgramBuilder;
 use crate::class::Origin;
@@ -7,7 +11,7 @@ use crate::ids::{BlockId, MethodId};
 use crate::interner::Interner;
 use crate::method::Terminator;
 use crate::program::Program;
-use proptest::prelude::*;
+use sierra_prng::SplitMix64;
 
 /// Builds a method whose CFG has `n` blocks with the given successor lists.
 fn cfg_program(succs: &[Vec<usize>]) -> (Program, MethodId) {
@@ -65,73 +69,95 @@ fn reachable(succs: &[Vec<usize>], removed: Option<usize>) -> std::collections::
     seen
 }
 
-/// Random CFG strategy: 2..=8 blocks, each with 0..=2 successors.
-fn arb_cfg() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    (2usize..=8).prop_flat_map(|n| {
-        proptest::collection::vec(proptest::collection::vec(0..n, 0..=2), n)
-    })
+/// A random CFG: 2..=8 blocks, each with 0..=2 successors.
+fn random_cfg(rng: &mut SplitMix64) -> Vec<Vec<usize>> {
+    let n = 2 + rng.usize(7);
+    (0..n)
+        .map(|_| (0..rng.usize(3)).map(|_| rng.usize(n)).collect())
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    /// The iterative dominator algorithm agrees with the node-removal
-    /// definition of dominance on arbitrary CFGs.
-    #[test]
-    fn dominators_match_brute_force(succs in arb_cfg()) {
+/// The iterative dominator algorithm agrees with the node-removal
+/// definition of dominance on arbitrary CFGs.
+#[test]
+fn dominators_match_brute_force() {
+    let mut rng = SplitMix64::new(0xD0111);
+    for _ in 0..128 {
+        let succs = random_cfg(&mut rng);
         let (p, m) = cfg_program(&succs);
-        prop_assert!(p.validate().is_ok());
+        assert!(p.validate().is_ok());
         let dom = Dominators::compute(p.method(m));
         for a in 0..succs.len() {
             for b in 0..succs.len() {
                 let expect = brute_force_dominates(&succs, a, b);
                 let got = dom.dominates(BlockId::from_index(a), BlockId::from_index(b));
-                prop_assert_eq!(got, expect, "dom({},{}) in {:?}", a, b, succs);
+                assert_eq!(got, expect, "dom({a},{b}) in {succs:?}");
             }
         }
     }
+}
 
-    /// Reachability flags agree with the brute-force traversal.
-    #[test]
-    fn reachability_matches_brute_force(succs in arb_cfg()) {
+/// Reachability flags agree with the brute-force traversal.
+#[test]
+fn reachability_matches_brute_force() {
+    let mut rng = SplitMix64::new(0x4EAC4);
+    for _ in 0..128 {
+        let succs = random_cfg(&mut rng);
         let (p, m) = cfg_program(&succs);
         let dom = Dominators::compute(p.method(m));
         let all = reachable(&succs, None);
         for b in 0..succs.len() {
-            prop_assert_eq!(dom.is_reachable(BlockId::from_index(b)), all.contains(&b));
+            assert_eq!(dom.is_reachable(BlockId::from_index(b)), all.contains(&b));
         }
     }
+}
 
-    /// Interning is a bijection on the set of interned strings.
-    #[test]
-    fn interner_round_trips(strings in proptest::collection::vec("[a-zA-Z0-9_.$]{0,24}", 1..32)) {
+/// Interning is a bijection on the set of interned strings.
+#[test]
+fn interner_round_trips() {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.$";
+    let mut rng = SplitMix64::new(0x57217);
+    for _ in 0..128 {
+        let count = 1 + rng.usize(31);
+        let strings: Vec<String> = (0..count)
+            .map(|_| {
+                let len = rng.usize(25);
+                (0..len).map(|_| *rng.pick(ALPHABET) as char).collect()
+            })
+            .collect();
         let mut i = Interner::new();
         let syms: Vec<_> = strings.iter().map(|s| i.intern(s)).collect();
         for (s, &sym) in strings.iter().zip(&syms) {
-            prop_assert_eq!(i.resolve(sym), s.as_str());
-            prop_assert_eq!(i.intern(s), sym, "re-interning is stable");
+            assert_eq!(i.resolve(sym), s.as_str());
+            assert_eq!(i.intern(s), sym, "re-interning is stable");
         }
         let distinct: std::collections::HashSet<_> = strings.iter().collect();
-        prop_assert_eq!(i.len(), distinct.len());
+        assert_eq!(i.len(), distinct.len());
     }
+}
 
-    /// Predecessor maps are the exact inverse of terminator successors.
-    #[test]
-    fn predecessors_invert_successors(succs in arb_cfg()) {
+/// Predecessor maps are the exact inverse of terminator successors.
+#[test]
+fn predecessors_invert_successors() {
+    let mut rng = SplitMix64::new(0x94ED5);
+    for _ in 0..128 {
+        let succs = random_cfg(&mut rng);
         let (p, m) = cfg_program(&succs);
         let method = p.method(m);
         let preds = method.predecessors();
         for (i, ss) in succs.iter().enumerate() {
             for &s in ss {
-                prop_assert!(preds[s].contains(&BlockId::from_index(i)));
+                assert!(preds[s].contains(&BlockId::from_index(i)));
             }
         }
         // And nothing extra: every recorded predecessor really has the edge.
         for (b, ps) in preds.iter().enumerate() {
             for p_ in ps {
                 let term = &method.block(*p_).terminator;
-                prop_assert!(matches!(term, Terminator::NonDet(ts) if ts.contains(&BlockId::from_index(b)))
-                    || matches!(term, Terminator::Goto(t) if t.index() == b));
+                assert!(
+                    matches!(term, Terminator::NonDet(ts) if ts.contains(&BlockId::from_index(b)))
+                        || matches!(term, Terminator::Goto(t) if t.index() == b)
+                );
             }
         }
     }

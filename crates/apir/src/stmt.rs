@@ -289,7 +289,10 @@ impl Stmt {
     pub fn is_heap_access(&self) -> bool {
         matches!(
             self,
-            Stmt::Load { .. } | Stmt::Store { .. } | Stmt::StaticLoad { .. } | Stmt::StaticStore { .. }
+            Stmt::Load { .. }
+                | Stmt::Store { .. }
+                | Stmt::StaticLoad { .. }
+                | Stmt::StaticStore { .. }
         )
     }
 }

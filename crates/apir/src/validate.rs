@@ -64,7 +64,11 @@ pub enum ValidateError {
 impl fmt::Display for ValidateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidateError::BadBlockTarget { method, block, target } => {
+            ValidateError::BadBlockTarget {
+                method,
+                block,
+                target,
+            } => {
                 write!(f, "{method}:{block} targets nonexistent block {target}")
             }
             ValidateError::BadLocal { method, local } => {
@@ -107,17 +111,26 @@ impl Program {
             }
             let check_local = |l: Local| -> Result<(), ValidateError> {
                 if l.0 >= method.local_count {
-                    Err(ValidateError::BadLocal { method: method.id, local: l })
+                    Err(ValidateError::BadLocal {
+                        method: method.id,
+                        local: l,
+                    })
                 } else {
                     Ok(())
                 }
             };
             let check_field = |fid: FieldId, want_static: bool| -> Result<(), ValidateError> {
                 if fid.index() >= self.fields().len() {
-                    return Err(ValidateError::BadField { method: method.id, field: fid });
+                    return Err(ValidateError::BadField {
+                        method: method.id,
+                        field: fid,
+                    });
                 }
                 if self.field(fid).is_static != want_static {
-                    return Err(ValidateError::StaticnessMismatch { method: method.id, field: fid });
+                    return Err(ValidateError::StaticnessMismatch {
+                        method: method.id,
+                        field: fid,
+                    });
                 }
                 Ok(())
             };
@@ -130,26 +143,24 @@ impl Program {
                         check_local(u)?;
                     }
                     match stmt {
-                        Stmt::New { class, .. }
-                            if self.class(*class).is_interface => {
-                                return Err(ValidateError::NewOfInterface {
-                                    method: method.id,
-                                    class: *class,
-                                });
-                            }
+                        Stmt::New { class, .. } if self.class(*class).is_interface => {
+                            return Err(ValidateError::NewOfInterface {
+                                method: method.id,
+                                class: *class,
+                            });
+                        }
                         Stmt::Load { field, .. } | Stmt::Store { field, .. } => {
                             check_field(*field, false)?;
                         }
                         Stmt::StaticLoad { field, .. } | Stmt::StaticStore { field, .. } => {
                             check_field(*field, true)?;
                         }
-                        Stmt::Call { callee, .. }
-                            if callee.index() >= self.methods().len() => {
-                                return Err(ValidateError::BadCallee {
-                                    method: method.id,
-                                    callee: *callee,
-                                });
-                            }
+                        Stmt::Call { callee, .. } if callee.index() >= self.methods().len() => {
+                            return Err(ValidateError::BadCallee {
+                                method: method.id,
+                                callee: *callee,
+                            });
+                        }
                         _ => {}
                     }
                 }
@@ -211,7 +222,13 @@ mod tests {
         mb.goto(BlockId(7));
         mb.finish();
         let err = pb.finish().validate().unwrap_err();
-        assert!(matches!(err, ValidateError::BadBlockTarget { target: BlockId(7), .. }));
+        assert!(matches!(
+            err,
+            ValidateError::BadBlockTarget {
+                target: BlockId(7),
+                ..
+            }
+        ));
         assert!(err.to_string().contains("nonexistent block"));
     }
 
@@ -224,7 +241,13 @@ mod tests {
         mb.ret(Some(Operand::Local(Local(99))));
         mb.finish();
         let err = pb.finish().validate().unwrap_err();
-        assert!(matches!(err, ValidateError::BadLocal { local: Local(99), .. }));
+        assert!(matches!(
+            err,
+            ValidateError::BadLocal {
+                local: Local(99),
+                ..
+            }
+        ));
     }
 
     #[test]

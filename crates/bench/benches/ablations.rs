@@ -6,17 +6,23 @@
 //! - **Refutation budget**: path budgets from starved to the paper's
 //!   5,000-path default.
 //! - **Refuted-node cache**: §5's memoization on versus off.
+//!
+//! ```sh
+//! cargo bench --bench ablations
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pointer::SelectorKind;
-use sierra_core::{Sierra, SierraConfig};
-use std::hint::black_box;
+use sierra_bench::{group, time};
+use sierra_core::{AnalysisSession, Sierra, SierraConfig};
+use std::sync::Arc;
 use symexec::RefuterConfig;
 
-fn bench_context_ablation(c: &mut Criterion) {
+fn context_ablation() {
     let (_, app, _) = sierra_bench::size_classes().remove(1); // NPR News
-    let mut group = c.benchmark_group("ablation_contexts");
-    group.sample_size(20);
+    group("ablation_contexts");
+    // The harness is generated once and shared between selector sessions —
+    // context sensitivity only changes the pointer stage.
+    let harness = Arc::new(harness_gen::generate(app));
     let selectors = [
         SelectorKind::Insensitive,
         SelectorKind::KCfa(1),
@@ -26,49 +32,60 @@ fn bench_context_ablation(c: &mut Criterion) {
         SelectorKind::ActionSensitive(2),
     ];
     for sel in selectors {
-        group.bench_with_input(BenchmarkId::new("analysis", sel.name()), &sel, |b, &sel| {
-            let harness = harness_gen::generate(app.clone());
-            b.iter(|| pointer::analyze(black_box(&harness), sel).cg_edge_count())
+        let cfg = SierraConfig::builder()
+            .selector(sel)
+            .compare_without_as(false)
+            .skip_refutation()
+            .build();
+        time(&format!("analysis/{sel}"), 15, || {
+            let mut session = AnalysisSession::from_harness(cfg, harness.clone());
+            let candidates = session.candidates().len();
+            (session.metrics().pointer.cg_edges, candidates)
         });
     }
-    group.finish();
 }
 
-fn bench_refutation_budget(c: &mut Criterion) {
+fn refutation_budget() {
     let (_, app, _) = sierra_bench::size_classes().remove(1);
-    let mut group = c.benchmark_group("ablation_budget");
-    group.sample_size(15);
+    group("ablation_budget");
     for budget in [10usize, 100, 5_000] {
-        let cfg = SierraConfig {
-            refuter: RefuterConfig { max_paths: budget, ..Default::default() },
-            compare_without_as: false,
-            ..Default::default()
-        };
-        group.bench_with_input(BenchmarkId::new("max_paths", budget), &cfg, |b, &cfg| {
-            b.iter(|| Sierra::with_config(cfg).analyze_app(app.clone()).races.len())
+        let cfg = SierraConfig::builder()
+            .refuter(RefuterConfig {
+                max_paths: budget,
+                ..Default::default()
+            })
+            .compare_without_as(false)
+            .build();
+        time(&format!("max_paths/{budget}"), 10, || {
+            Sierra::with_config(cfg)
+                .analyze_app(app.clone())
+                .races
+                .len()
         });
     }
-    group.finish();
 }
 
-fn bench_cache_ablation(c: &mut Criterion) {
+fn cache_ablation() {
     let (_, app, _) = sierra_bench::size_classes().remove(2); // Astrid (largest)
-    let mut group = c.benchmark_group("ablation_cache");
-    group.sample_size(10);
+    group("ablation_cache");
     for (label, use_cache) in [("cache_on", true), ("cache_off", false)] {
-        let cfg = SierraConfig {
-            refuter: RefuterConfig { use_cache, ..Default::default() },
-            compare_without_as: false,
-            ..Default::default()
-        };
-        group.bench_with_input(BenchmarkId::new("refutation", label), &cfg, |b, &cfg| {
-            b.iter(|| Sierra::with_config(cfg).analyze_app(app.clone()).races.len())
+        let cfg = SierraConfig::builder()
+            .refuter(RefuterConfig {
+                use_cache,
+                ..Default::default()
+            })
+            .compare_without_as(false)
+            .build();
+        time(&format!("refutation/{label}"), 8, || {
+            Sierra::with_config(cfg)
+                .analyze_app(app.clone())
+                .races
+                .len()
         });
     }
-    group.finish();
 }
 
-fn bench_index_sensitivity(c: &mut Criterion) {
+fn index_sensitivity() {
     // The §6.5 future-work container model: compare indexed-container
     // analysis with per-slot fields vs the summarized field.
     let mut app = android_model::AndroidAppBuilder::new("IndexFixture");
@@ -76,63 +93,52 @@ fn bench_index_sensitivity(c: &mut Criterion) {
     corpus::Idiom::IndexedBuffer.plant(&mut app, "com.fix.Buffer", &mut truth);
     let app = app.finish().expect("fixture builds");
     let harness = harness_gen::generate(app);
-    let mut group = c.benchmark_group("ablation_index_sensitivity");
+    group("ablation_index_sensitivity");
     for (label, on) in [("index_sensitive", true), ("summarized", false)] {
-        let opts = pointer::AnalysisOptions { index_sensitive: on };
-        group.bench_with_input(BenchmarkId::new("analysis", label), &opts, |b, &opts| {
-            b.iter(|| {
-                pointer::analyze_opts(
-                    black_box(&harness),
-                    SelectorKind::ActionSensitive(1),
-                    opts,
-                )
-                .cg_edge_count()
-            })
+        let opts = pointer::AnalysisOptions {
+            index_sensitive: on,
+        };
+        time(&format!("analysis/{label}"), 20, || {
+            pointer::analyze_opts(&harness, SelectorKind::ActionSensitive(1), opts).cg_edge_count()
         });
     }
-    group.finish();
 }
 
-fn bench_schedule_exploration(c: &mut Criterion) {
+fn schedule_exploration() {
     // Random vs systematic schedule exploration (the §6.4 "efficient ways
     // to explore schedules" discussion) under comparable budgets.
     let (app, _) = corpus::figures::inter_component();
-    let mut group = c.benchmark_group("ablation_exploration");
-    group.sample_size(20);
-    group.bench_function("random_64_runs", |b| {
-        b.iter(|| {
-            eventracer::detect(
-                black_box(&app),
-                &eventracer::EventRacerConfig {
-                    runs: 64,
-                    steps_per_episode: 6,
-                    activity_coverage: 1.0,
-                    ..Default::default()
-                },
-            )
-            .races
-            .len()
-        })
+    group("ablation_exploration");
+    time("random_64_runs", 15, || {
+        eventracer::detect(
+            &app,
+            &eventracer::EventRacerConfig {
+                runs: 64,
+                steps_per_episode: 6,
+                activity_coverage: 1.0,
+                ..Default::default()
+            },
+        )
+        .races
+        .len()
     });
-    group.bench_function("systematic_64_runs", |b| {
-        b.iter(|| {
-            eventracer::detect_systematic(
-                black_box(&app),
-                &eventracer::SystematicConfig { max_runs: 64, ..Default::default() },
-            )
-            .races
-            .len()
-        })
+    time("systematic_64_runs", 15, || {
+        eventracer::detect_systematic(
+            &app,
+            &eventracer::SystematicConfig {
+                max_runs: 64,
+                ..Default::default()
+            },
+        )
+        .races
+        .len()
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_context_ablation,
-    bench_refutation_budget,
-    bench_cache_ablation,
-    bench_index_sensitivity,
-    bench_schedule_exploration
-);
-criterion_main!(benches);
+fn main() {
+    context_ablation();
+    refutation_budget();
+    cache_ablation();
+    index_sensitivity();
+    schedule_exploration();
+}

@@ -1,27 +1,30 @@
-//! The paper's figures as benchmarks.
+//! The paper's figures as timing runs.
 //!
 //! - Figure 1: detecting the intra-component `AsyncTask` race.
 //! - Figure 2: detecting the inter-component receiver race.
 //! - Figures 5 & 6: lifecycle/GUI HB construction (harness dominators).
 //! - Figure 7: the inter-action transitivity fixpoint (rules 6 + 7).
 //! - Figure 8: the refutation query on the guarded-timer pattern.
+//!
+//! ```sh
+//! cargo bench --bench figures
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pointer::SelectorKind;
+use sierra_bench::{group, time};
 use sierra_core::Sierra;
-use std::hint::black_box;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
+fn main() {
+    group("figures");
 
     // Figures 1 and 2: end-to-end detection.
     let (fig1, _) = corpus::figures::intra_component();
-    group.bench_function("fig1_intra_component_detection", |b| {
-        b.iter(|| Sierra::new().analyze_app(black_box(fig1.clone())).races.len())
+    time("fig1_intra_component_detection", 20, || {
+        Sierra::new().analyze_app(fig1.clone()).races.len()
     });
     let (fig2, _) = corpus::figures::inter_component();
-    group.bench_function("fig2_inter_component_detection", |b| {
-        b.iter(|| Sierra::new().analyze_app(black_box(fig2.clone())).races.len())
+    time("fig2_inter_component_detection", 20, || {
+        Sierra::new().analyze_app(fig2.clone()).races.len()
     });
 
     // Figures 5/6/7: SHBG construction on a prepared analysis. The corpus's
@@ -34,21 +37,15 @@ fn bench_figures(c: &mut Criterion) {
     let app = app.finish().expect("fixture builds");
     let harness = harness_gen::generate(app);
     let analysis = pointer::analyze(&harness, SelectorKind::ActionSensitive(1));
-    group.bench_function("fig5_fig6_fig7_shbg_construction", |b| {
-        b.iter(|| shbg::build(black_box(&analysis), &harness).ordered_pair_count())
+    time("fig5_fig6_fig7_shbg_construction", 30, || {
+        shbg::build(&analysis, &harness).ordered_pair_count()
     });
 
     // Figure 8: the refutation showcase.
     let (fig8, _) = corpus::figures::open_sudoku_guard();
-    group.bench_function("fig8_refutation_pipeline", |b| {
-        b.iter(|| {
-            let r = Sierra::new().analyze_app(black_box(fig8.clone()));
-            assert!(r.refuter_stats.refuted > 0);
-            r.races.len()
-        })
+    time("fig8_refutation_pipeline", 20, || {
+        let r = Sierra::new().analyze_app(fig8.clone());
+        assert!(r.metrics.refuter.refuted > 0);
+        r.races.len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

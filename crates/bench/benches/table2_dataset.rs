@@ -1,24 +1,23 @@
 //! Table 2: synthesizing the 20-app dataset.
 //!
-//! Benchmarks corpus construction (the stand-in for APK parsing + DroidEL
+//! Times corpus construction (the stand-in for APK parsing + DroidEL
 //! preprocessing) per app size class, and the whole dataset.
+//!
+//! ```sh
+//! cargo bench --bench table2_dataset
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use sierra_bench::{group, time};
 
-fn bench_dataset(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_dataset");
+fn main() {
+    group("table2_dataset");
     for spec in corpus::TWENTY
         .iter()
         .filter(|s| matches!(s.name, "VuDroid" | "NPR News" | "Astrid"))
     {
-        group.bench_with_input(BenchmarkId::new("build_app", spec.name), spec, |b, spec| {
-            b.iter(|| corpus::twenty::build_app(black_box(*spec)))
+        time(&format!("build_app/{}", spec.name), 20, || {
+            corpus::twenty::build_app(*spec)
         });
     }
-    group.bench_function("build_all_twenty", |b| b.iter(|| corpus::twenty::build_all().len()));
-    group.finish();
+    time("build_all_twenty", 10, || corpus::twenty::build_all().len());
 }
-
-criterion_group!(benches, bench_dataset);
-criterion_main!(benches);

@@ -2,35 +2,33 @@
 //!
 //! The paper's Table 3 reports, per app: harnesses, actions, HB edges,
 //! racy pairs without/with action sensitivity, and races after refutation.
-//! This bench measures the pipeline producing those numbers and asserts
+//! This bench times the pipeline producing those numbers and asserts
 //! the headline shape (AS reduces pairs; refutation reduces reports).
+//!
+//! ```sh
+//! cargo bench --bench table3_effectiveness
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sierra_bench::{group, time};
 use sierra_core::{Sierra, SierraConfig};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table3_effectiveness");
-    group.sample_size(20);
+fn main() {
+    group("table3_effectiveness");
     for (name, app, _) in sierra_bench::size_classes() {
         // Sanity-check the shape once, outside the timed loop.
         let result = Sierra::new().analyze_app(app.clone());
         assert!(result.racy_pairs_with_as <= result.racy_pairs_without_as);
         assert!(result.races.len() <= result.racy_pairs_with_as);
 
-        group.bench_with_input(BenchmarkId::new("full_pipeline", name), &app, |b, app| {
-            b.iter(|| Sierra::new().analyze_app(app.clone()).races.len())
+        time(&format!("full_pipeline/{name}"), 10, || {
+            Sierra::new().analyze_app(app.clone()).races.len()
         });
-        group.bench_with_input(
-            BenchmarkId::new("pipeline_no_comparison_pass", name),
-            &app,
-            |b, app| {
-                let cfg = SierraConfig { compare_without_as: false, ..Default::default() };
-                b.iter(|| Sierra::with_config(cfg).analyze_app(app.clone()).races.len())
-            },
-        );
+        let cfg = SierraConfig::builder().compare_without_as(false).build();
+        time(&format!("pipeline_no_comparison_pass/{name}"), 10, || {
+            Sierra::with_config(cfg)
+                .analyze_app(app.clone())
+                .races
+                .len()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

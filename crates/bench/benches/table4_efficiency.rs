@@ -1,35 +1,42 @@
 //! Table 4: efficiency — per-stage cost of the pipeline.
 //!
 //! The paper breaks analysis time into CG+PA (dominant), HBG construction
-//! (cheap), and refutation (second-largest). Each stage is benchmarked in
-//! isolation on the medium app so the relative costs can be compared.
+//! (cheap), and refutation (second-largest). Each stage is timed in
+//! isolation on the medium app so the relative costs can be compared, and
+//! the per-stage work counters (`StageMetrics`) are printed alongside.
+//!
+//! ```sh
+//! cargo bench --bench table4_efficiency
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pointer::SelectorKind;
-use std::hint::black_box;
+use sierra_bench::{group, time};
+use sierra_core::Sierra;
 use symexec::{Refuter, RefuterConfig};
 
-fn bench_stages(c: &mut Criterion) {
+fn main() {
     let (_, app, _) = sierra_bench::size_classes().remove(1); // NPR News
-    let mut group = c.benchmark_group("table4_efficiency");
-    group.sample_size(30);
+    group("table4_efficiency");
 
-    group.bench_function("stage_harness_generation", |b| {
-        b.iter(|| harness_gen::generate(black_box(app.clone())).harness_count())
+    time("stage_harness_generation", 30, || {
+        harness_gen::generate(app.clone()).harness_count()
     });
 
     let harness = harness_gen::generate(app.clone());
-    group.bench_function("stage_cg_pa", |b| {
-        b.iter(|| pointer::analyze(black_box(&harness), SelectorKind::ActionSensitive(1)).actions.len())
+    time("stage_cg_pa", 30, || {
+        pointer::analyze(&harness, SelectorKind::ActionSensitive(1))
+            .actions
+            .len()
     });
 
     let analysis = pointer::analyze(&harness, SelectorKind::ActionSensitive(1));
-    group.bench_function("stage_hbg", |b| {
-        b.iter(|| shbg::build(black_box(&analysis), &harness).ordered_pair_count())
+    time("stage_hbg", 30, || {
+        shbg::build(&analysis, &harness).ordered_pair_count()
     });
 
     let graph = shbg::build(&analysis, &harness);
-    let accesses = pointer::collect_accesses(&analysis, &harness.app.program, Some(harness.harness_class));
+    let accesses =
+        pointer::collect_accesses(&analysis, &harness.app.program, Some(harness.harness_class));
     // Unordered conflicting pairs (the refutation stage's input).
     let mut pairs = Vec::new();
     for i in 0..accesses.len() {
@@ -45,22 +52,38 @@ fn bench_stages(c: &mut Criterion) {
         }
     }
     assert!(!pairs.is_empty(), "the fixture must produce candidates");
-    group.bench_function("stage_refutation", |b| {
-        b.iter(|| {
-            let mut refuter =
-                Refuter::new(&analysis, &harness.app.program, RefuterConfig::default())
-                    .with_message_model(harness.app.framework.message_what);
-            let mut kept = 0;
-            for (a, bb) in &pairs {
-                if refuter.refute_pair(a, bb) != symexec::Outcome::Refuted {
-                    kept += 1;
-                }
+    time("stage_refutation", 30, || {
+        let mut refuter = Refuter::new(&analysis, &harness.app.program, RefuterConfig::default())
+            .with_message_model(harness.app.framework.message_what);
+        let mut kept = 0;
+        for (a, bb) in &pairs {
+            if refuter.refute_pair(a, bb) != symexec::Outcome::Refuted {
+                kept += 1;
             }
-            kept
-        })
+        }
+        kept
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_stages);
-criterion_main!(benches);
+    // The work counters behind the timings (one staged run end to end).
+    let result = Sierra::new().analyze_app(app);
+    let m = &result.metrics;
+    group("table4_work_counters");
+    println!(
+        "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects",
+        m.pointer.worklist_iterations,
+        m.pointer.propagations,
+        m.pointer.cg_edges,
+        m.pointer.reachable_contexts,
+        m.pointer.abstract_objects
+    );
+    println!(
+        "shbg:    {} rule applications ({} accepted) over {} fixpoint rounds",
+        m.shbg.total_applications(),
+        m.shbg.total_accepted(),
+        m.shbg.fixpoint_rounds
+    );
+    println!(
+        "refuter: {} paths over {} queries ({} refuted, {} budget-exhausted)",
+        m.refuter.paths, m.refuter.queries, m.refuter.refuted, m.refuter.budget_exhausted
+    );
+}

@@ -1,36 +1,59 @@
 //! Table 5: the 174-app F-Droid dataset.
 //!
-//! Benchmarks synthesizing and analyzing a slice of the dataset (the full
+//! Times synthesizing and analyzing a slice of the dataset (the full
 //! 174-app sweep is the `sierra-cli table5` command; the bench keeps a
-//! fixed 10-app slice so timings are comparable run to run).
+//! fixed 10-app slice so timings are comparable run to run), and compares
+//! the engine's worker pool against a serial sweep.
+//!
+//! ```sh
+//! cargo bench --bench table5_fdroid
+//! ```
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sierra_core::{Sierra, SierraConfig};
-use std::hint::black_box;
+use sierra_bench::{group, time};
+use sierra_core::{run_jobs, Sierra, SierraConfig};
 
-fn bench_fdroid(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table5_fdroid");
-    group.sample_size(10);
+fn main() {
+    group("table5_fdroid");
 
-    group.bench_function("synthesize_10_apps", |b| {
-        b.iter(|| {
-            corpus::fdroid::iter_apps().take(10).map(|(_, app, _)| app.size_stmts()).sum::<usize>()
-        })
+    time("synthesize_10_apps", 10, || {
+        corpus::fdroid::iter_apps()
+            .take(10)
+            .map(|(_, app, _)| app.size_stmts())
+            .sum::<usize>()
     });
 
     let apps: Vec<_> = corpus::fdroid::iter_apps().take(10).collect();
-    let cfg = SierraConfig { compare_without_as: false, ..Default::default() };
-    group.bench_function("analyze_10_apps", |b| {
-        b.iter(|| {
-            apps.iter()
-                .map(|(_, app, _)| {
-                    Sierra::with_config(cfg).analyze_app(black_box(app.clone())).races.len()
-                })
-                .sum::<usize>()
-        })
+    let cfg = SierraConfig::builder().compare_without_as(false).build();
+    time("analyze_10_apps_serial", 5, || {
+        apps.iter()
+            .map(|(_, app, _)| {
+                Sierra::with_config(cfg)
+                    .analyze_app(app.clone())
+                    .races
+                    .len()
+            })
+            .sum::<usize>()
     });
-    group.finish();
-}
 
-criterion_group!(benches, bench_fdroid);
-criterion_main!(benches);
+    // The same sweep through the engine: jobs=1 must match the serial
+    // numbers, jobs=0 (all cores) shows the pool's speedup.
+    for jobs in [1usize, 0] {
+        let label = if jobs == 0 {
+            "analyze_10_apps_engine_all_cores"
+        } else {
+            "analyze_10_apps_engine_1_job"
+        };
+        time(label, 5, || {
+            let items: Vec<(String, _)> = apps
+                .iter()
+                .map(|(idx, app, _)| (format!("fdroid-{idx}"), app.clone()))
+                .collect();
+            run_jobs(jobs, items, |_, app| {
+                Sierra::with_config(cfg).analyze_app(app).races.len()
+            })
+            .into_iter()
+            .map(|r| r.expect("no panics in the sweep"))
+            .sum::<usize>()
+        });
+    }
+}

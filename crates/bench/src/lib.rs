@@ -1,11 +1,12 @@
 //! # sierra-bench — benchmark support
 //!
-//! The Criterion benches in `benches/` regenerate the measurements behind
+//! The timing binaries in `benches/` regenerate the measurements behind
 //! every table and figure of the paper's evaluation; this library hosts
-//! shared fixtures.
+//! shared fixtures and the std-only timing harness they use.
 
 use android_model::AndroidApp;
 use corpus::GroundTruth;
+use std::time::{Duration, Instant};
 
 /// A small, a medium, and a large Table 2 app (by synthesized size).
 pub fn size_classes() -> Vec<(&'static str, AndroidApp, GroundTruth)> {
@@ -20,4 +21,30 @@ pub fn size_classes() -> Vec<(&'static str, AndroidApp, GroundTruth)> {
             (name, app, truth)
         })
         .collect()
+}
+
+/// Times `f` over `iters` iterations after one untimed warm-up run,
+/// prints a `label  min/mean` line, and returns the mean per-iteration
+/// duration. The result of each call is passed through
+/// [`std::hint::black_box`] so the work is not optimized away.
+pub fn time<T>(label: &str, iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    assert!(iters > 0, "at least one iteration");
+    std::hint::black_box(f());
+    let mut min = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let elapsed = start.elapsed();
+        total += elapsed;
+        min = min.min(elapsed);
+    }
+    let mean = total / iters as u32;
+    println!("{label:<46} min {min:>12.3?}  mean {mean:>12.3?}  ({iters} iters)");
+    mean
+}
+
+/// Prints a section header for a group of [`time`] measurements.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
 }

@@ -1,15 +1,24 @@
 //! Experiment runners: one function per table of the paper.
+//!
+//! The corpus runners ([`run_twenty`], [`run_fdroid`]) fan their apps
+//! across the [`sierra_core::engine`] worker pool; a `jobs` argument of
+//! `0` uses every available core. Rows come back in corpus order
+//! regardless of scheduling, and an app whose analysis panics becomes an
+//! error row instead of killing the run.
 
 use corpus::{fdroid, twenty, EvalCounts, GroundTruth};
 use eventracer::EventRacerConfig;
-use sierra_core::{Sierra, SierraConfig, SierraResult};
+use sierra_core::{run_jobs, EngineError, Sierra, SierraConfig, SierraResult};
 use std::time::Duration;
 
 /// Everything measured for one app (one row of Tables 3 and 4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct AppRow {
     /// App name.
     pub name: String,
+    /// Set when the app's analysis panicked; every other field is then
+    /// zero and the row is excluded from medians.
+    pub error: Option<String>,
     /// Number of generated harnesses.
     pub harnesses: usize,
     /// Number of actions (SHBG nodes).
@@ -30,6 +39,14 @@ pub struct AppRow {
     pub eventracer_eval: EvalCounts,
     /// Races EventRacer reported.
     pub eventracer_races: usize,
+    /// Pointer-analysis worklist iterations.
+    pub pa_worklist_iters: usize,
+    /// Call-graph edges.
+    pub cg_edges: usize,
+    /// SHBG rule applications (all rules).
+    pub shbg_rule_apps: usize,
+    /// Refuter paths explored.
+    pub refuter_paths: usize,
     /// Stage time: call graph + pointer analysis.
     pub t_cg_pa: Duration,
     /// Stage time: SHBG construction.
@@ -38,6 +55,17 @@ pub struct AppRow {
     pub t_refutation: Duration,
     /// Total pipeline time.
     pub t_total: Duration,
+}
+
+impl AppRow {
+    /// A row for an app whose analysis died.
+    pub fn failed(name: &str, message: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            error: Some(message.to_owned()),
+            ..Self::default()
+        }
+    }
 }
 
 /// Reported `(class, field)` groups of a SIERRA result.
@@ -70,11 +98,12 @@ pub fn run_app(
     let s_groups = sierra_groups(&result);
     let sierra_eval = truth.evaluate(s_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
     let e_groups = er_report.race_groups();
-    let eventracer_eval =
-        truth.evaluate(e_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    let eventracer_eval = truth.evaluate(e_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
 
+    let m = &result.metrics;
     AppRow {
         name: name.to_owned(),
+        error: None,
         harnesses: result.harness_count,
         actions: result.action_count,
         hb_edges: result.hb_edges,
@@ -85,30 +114,57 @@ pub fn run_app(
         sierra_eval,
         eventracer_eval,
         eventracer_races: er_report.races.len(),
-        t_cg_pa: result.timings.cg_pa,
-        t_hbg: result.timings.hbg,
-        t_refutation: result.timings.refutation,
-        t_total: result.timings.total,
+        pa_worklist_iters: m.pointer.worklist_iterations,
+        cg_edges: m.pointer.cg_edges,
+        shbg_rule_apps: m.shbg.total_applications(),
+        refuter_paths: m.refuter.paths,
+        t_cg_pa: m.timings.cg_pa,
+        t_hbg: m.timings.hbg,
+        t_refutation: m.timings.refutation,
+        t_total: m.timings.total,
     }
 }
 
-/// Runs the 20-app dataset (Tables 3 and 4).
-pub fn run_twenty(sierra_cfg: SierraConfig, er_cfg: &EventRacerConfig) -> Vec<AppRow> {
-    twenty::build_all()
-        .into_iter()
-        .map(|(spec, app, truth)| run_app(spec.name, app, &truth, sierra_cfg, er_cfg))
-        .collect()
+fn row_or_error(outcome: Result<AppRow, EngineError>) -> AppRow {
+    match outcome {
+        Ok(row) => row,
+        Err(e) => AppRow::failed(&e.item, &e.message),
+    }
 }
 
-/// Runs the first `count` apps of the 174-app dataset (Table 5).
-pub fn run_fdroid(count: usize, sierra_cfg: SierraConfig) -> Vec<AppRow> {
+/// Runs the 20-app dataset (Tables 3 and 4) on `jobs` workers.
+pub fn run_twenty(sierra_cfg: SierraConfig, er_cfg: &EventRacerConfig, jobs: usize) -> Vec<AppRow> {
+    let items: Vec<(String, _)> = twenty::build_all()
+        .into_iter()
+        .map(|(spec, app, truth)| (spec.name.to_owned(), (app, truth)))
+        .collect();
+    run_jobs(jobs, items, |name, (app, truth)| {
+        run_app(name, app, &truth, sierra_cfg, er_cfg)
+    })
+    .into_iter()
+    .map(row_or_error)
+    .collect()
+}
+
+/// Runs the first `count` apps of the 174-app dataset (Table 5) on
+/// `jobs` workers.
+pub fn run_fdroid(count: usize, sierra_cfg: SierraConfig, jobs: usize) -> Vec<AppRow> {
     let er_cfg = EventRacerConfig::default();
-    fdroid::iter_apps()
+    let items: Vec<(String, _)> = fdroid::iter_apps()
         .take(count)
-        .map(|(i, app, truth)| {
-            run_app(&format!("app{i:03}"), app, &truth, sierra_cfg, &er_cfg)
-        })
-        .collect()
+        .map(|(i, app, truth)| (format!("app{i:03}"), (app, truth)))
+        .collect();
+    run_jobs(jobs, items, |name, (app, truth)| {
+        run_app(name, app, &truth, sierra_cfg, &er_cfg)
+    })
+    .into_iter()
+    .map(row_or_error)
+    .collect()
+}
+
+/// The rows that analyzed successfully (medians are computed over these).
+fn ok_rows(rows: &[AppRow]) -> Vec<&AppRow> {
+    rows.iter().filter(|r| r.error.is_none()).collect()
 }
 
 /// Median of a numeric series (paper reports medians in Tables 3–5).
@@ -147,9 +203,24 @@ pub fn table3(rows: &[AppRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
         "{:<17} {:>4} {:>7} {:>8} {:>5} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
-        "App", "Harn", "Actions", "HBedges", "Ord%", "RP-noAS", "RP-AS", "AfterR", "True", "FP", "Miss", "EvRac"
+        "App",
+        "Harn",
+        "Actions",
+        "HBedges",
+        "Ord%",
+        "RP-noAS",
+        "RP-AS",
+        "AfterR",
+        "True",
+        "FP",
+        "Miss",
+        "EvRac"
     ));
     for r in rows {
+        if let Some(err) = &r.error {
+            out.push_str(&format!("{:<17} ERROR: {err}\n", r.name));
+            continue;
+        }
         out.push_str(&format!(
             "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
             r.name,
@@ -172,8 +243,9 @@ pub fn table3(rows: &[AppRow]) -> String {
 
 /// Renders the Table 3/5 median summary line.
 pub fn median_row(rows: &[AppRow]) -> String {
+    let ok = ok_rows(rows);
     let m = |f: &dyn Fn(&AppRow) -> f64| {
-        median(&rows.iter().map(f).collect::<Vec<_>>()).unwrap_or(0.0)
+        median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     format!(
         "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
@@ -192,48 +264,79 @@ pub fn median_row(rows: &[AppRow]) -> String {
     )
 }
 
-/// Renders Table 4 (per-stage efficiency).
+/// Renders Table 4 (per-stage efficiency: timings plus work counters).
 pub fn table4(rows: &[AppRow]) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:>10} {:>8} {:>12} {:>10}\n",
-        "App", "CG+PA(ms)", "HBG(ms)", "Refute(ms)", "Total(ms)"
+        "{:<17} {:>10} {:>8} {:>12} {:>10} {:>8} {:>8} {:>8} {:>8}\n",
+        "App",
+        "CG+PA(ms)",
+        "HBG(ms)",
+        "Refute(ms)",
+        "Total(ms)",
+        "PAiters",
+        "CGedges",
+        "HBapps",
+        "Paths"
     ));
     for r in rows {
+        if let Some(err) = &r.error {
+            out.push_str(&format!("{:<17} ERROR: {err}\n", r.name));
+            continue;
+        }
         out.push_str(&format!(
-            "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2}\n",
+            "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2} {:>8} {:>8} {:>8} {:>8}\n",
             r.name,
             ms(r.t_cg_pa),
             ms(r.t_hbg),
             ms(r.t_refutation),
-            ms(r.t_total)
+            ms(r.t_total),
+            r.pa_worklist_iters,
+            r.cg_edges,
+            r.shbg_rule_apps,
+            r.refuter_paths,
         ));
     }
+    let ok = ok_rows(rows);
     let med = |f: &dyn Fn(&AppRow) -> f64| {
-        median(&rows.iter().map(f).collect::<Vec<_>>()).unwrap_or(0.0)
+        median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     out.push_str(&format!(
-        "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2}\n",
+        "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2} {:>8.0} {:>8.0} {:>8.0} {:>8.0}\n",
         "MEDIAN",
         med(&|r| ms(r.t_cg_pa)),
         med(&|r| ms(r.t_hbg)),
         med(&|r| ms(r.t_refutation)),
         med(&|r| ms(r.t_total)),
+        med(&|r| r.pa_worklist_iters as f64),
+        med(&|r| r.cg_edges as f64),
+        med(&|r| r.shbg_rule_apps as f64),
+        med(&|r| r.refuter_paths as f64),
     ));
     out
 }
 
 /// Renders Table 5 (174-app medians).
 pub fn table5(rows: &[AppRow]) -> String {
+    let ok = ok_rows(rows);
     let mut out = String::new();
-    out.push_str(&format!("{} apps analyzed; medians:\n", rows.len()));
+    out.push_str(&format!("{} apps analyzed", ok.len()));
+    if ok.len() < rows.len() {
+        out.push_str(&format!(" ({} failed)", rows.len() - ok.len()));
+    }
+    out.push_str("; medians:\n");
+    for r in rows {
+        if let Some(err) = &r.error {
+            out.push_str(&format!("{:<17} ERROR: {err}\n", r.name));
+        }
+    }
     out.push_str(&format!(
         "{:<17} {:>4} {:>7} {:>8} {:>5} {:>7} {:>6}\n",
         "", "Harn", "Actions", "HBedges", "Ord%", "RP-AS", "AfterR"
     ));
     let m = |f: &dyn Fn(&AppRow) -> f64| {
-        median(&rows.iter().map(f).collect::<Vec<_>>()).unwrap_or(0.0)
+        median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     out.push_str(&format!(
         "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>6}\n",
@@ -253,13 +356,21 @@ pub fn table5(rows: &[AppRow]) -> String {
         m(&|r| ms(r.t_refutation)),
         m(&|r| ms(r.t_total)),
     ));
+    out.push_str(&format!(
+        "Work medians: {:.0} PA worklist iterations, {:.0} CG edges, {:.0} HB rule applications, {:.0} refuter paths\n",
+        m(&|r| r.pa_worklist_iters as f64),
+        m(&|r| r.cg_edges as f64),
+        m(&|r| r.shbg_rule_apps as f64),
+        m(&|r| r.refuter_paths as f64),
+    ));
     out
 }
 
 /// Aggregate comparison against EventRacer (§6.4's averages).
 pub fn comparison_summary(rows: &[AppRow]) -> String {
-    let n = rows.len().max(1) as f64;
-    let avg = |f: &dyn Fn(&AppRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
+    let ok = ok_rows(rows);
+    let n = ok.len().max(1) as f64;
+    let avg = |f: &dyn Fn(&AppRow) -> f64| ok.iter().map(|r| f(r)).sum::<f64>() / n;
     format!(
         "SIERRA:     avg {:.1} reports, {:.1} true races, {:.1} FPs, {:.1} missed\n\
          EventRacer: avg {:.1} reports, {:.1} true races, {:.1} FPs, {:.1} missed\n\
@@ -312,14 +423,37 @@ mod tests {
         assert!(row.racy_with_as <= row.racy_without_as);
         assert!(row.after_refutation <= row.racy_with_as);
         assert_eq!(row.sierra_eval.missed, 0);
+        assert!(row.pa_worklist_iters > 0);
+        assert!(row.cg_edges > 0);
+        assert!(row.shbg_rule_apps > 0);
         // Rendering includes the row and a median line.
         let t3 = table3(std::slice::from_ref(&row));
         assert!(t3.contains("fig1") && t3.contains("MEDIAN"));
         let t4 = table4(std::slice::from_ref(&row));
-        assert!(t4.contains("CG+PA"));
+        assert!(t4.contains("CG+PA") && t4.contains("PAiters"));
         let t5 = table5(std::slice::from_ref(&row));
         assert!(t5.contains("medians"));
         let cmp = comparison_summary(std::slice::from_ref(&row));
         assert!(cmp.contains("SIERRA"));
+    }
+
+    #[test]
+    fn error_rows_render_and_are_excluded_from_medians() {
+        let (app, truth) = corpus::figures::intra_component();
+        let ok = run_app(
+            "fig1",
+            app,
+            &truth,
+            SierraConfig::default(),
+            &EventRacerConfig::default(),
+        );
+        let bad = AppRow::failed("broken.app", "index out of bounds");
+        let rows = vec![ok.clone(), bad];
+        for render in [table3(&rows), table4(&rows), table5(&rows)] {
+            assert!(render.contains("broken.app"), "{render}");
+            assert!(render.contains("ERROR: index out of bounds"), "{render}");
+        }
+        // The median line matches the one computed without the error row.
+        assert_eq!(median_row(&rows), median_row(std::slice::from_ref(&ok)));
     }
 }

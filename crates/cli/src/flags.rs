@@ -1,0 +1,144 @@
+//! Shared command-line flags.
+//!
+//! Every `sierra-cli` subcommand accepts the same analysis knobs:
+//!
+//! ```text
+//! --context <SPEC>   context selector: insensitive | action:K | k-cfa:K
+//!                    | k-obj:K | hybrid:K          (default action:1)
+//! --budget <N>       refuter path budget             (default 5000)
+//! --jobs <N>         worker threads; 0 = all cores   (default 0)
+//! ```
+//!
+//! [`CommonFlags::parse`] consumes the recognized flags (and their
+//! values) from the argument list, leaving positional arguments and
+//! subcommand-specific flags in place.
+
+use sierra_core::SierraConfig;
+
+/// Parsed values of the shared flags.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommonFlags {
+    /// `--jobs N`: engine worker threads (0 = available parallelism).
+    pub jobs: usize,
+    /// The pipeline configuration assembled from `--context`/`--budget`.
+    pub config: SierraConfig,
+}
+
+impl CommonFlags {
+    /// Extracts `--context`, `--budget`, and `--jobs` from `args`,
+    /// removing each recognized flag and its value. Unknown flags and
+    /// positionals are untouched.
+    pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
+        let mut builder = SierraConfig::builder();
+        let mut jobs = 0usize;
+        if let Some(spec) = take_flag(args, "--context")? {
+            let selector = spec
+                .parse()
+                .map_err(|e: pointer::ParseSelectorError| e.to_string())?;
+            builder = builder.selector(selector);
+        }
+        if let Some(v) = take_flag(args, "--budget")? {
+            let budget = v
+                .parse()
+                .map_err(|_| format!("invalid --budget {v:?}: expected a count"))?;
+            builder = builder.refuter_budget(budget);
+        }
+        if let Some(v) = take_flag(args, "--jobs")? {
+            jobs = v
+                .parse()
+                .map_err(|_| format!("invalid --jobs {v:?}: expected a count"))?;
+        }
+        Ok(Self {
+            jobs,
+            config: builder.build(),
+        })
+    }
+}
+
+/// Removes `flag` and its value from `args`; errors when the value is
+/// missing.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} requires a value"));
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(value))
+}
+
+/// Removes `flag` and its value from `args` without interpreting it
+/// (subcommand-specific flags like `--apps`).
+pub fn take_raw_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    take_flag(args, flag).ok().flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pointer::SelectorKind;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| (*a).to_owned()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let mut args = argv(&["table3"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(flags.jobs, 0);
+        assert_eq!(flags.config.selector, SelectorKind::ActionSensitive(1));
+        assert_eq!(args, argv(&["table3"]));
+    }
+
+    #[test]
+    fn parses_and_consumes_all_three_flags() {
+        let mut args = argv(&[
+            "table5",
+            "--jobs",
+            "4",
+            "--apps",
+            "10",
+            "--context",
+            "k-obj:2",
+            "--budget",
+            "100",
+        ]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(flags.jobs, 4);
+        assert_eq!(flags.config.selector, SelectorKind::KObj(2));
+        assert_eq!(flags.config.refuter.max_paths, 100);
+        // Subcommand flags survive.
+        assert_eq!(args, argv(&["table5", "--apps", "10"]));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(CommonFlags::parse(&mut argv(&["x", "--context", "bogus"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--jobs", "many"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--budget"])).is_err());
+    }
+
+    #[test]
+    fn selector_specs_round_trip() {
+        for spec in [
+            "insensitive",
+            "action:1",
+            "action:2",
+            "k-cfa:3",
+            "k-obj:2",
+            "hybrid:1",
+        ] {
+            let parsed: SelectorKind = spec.parse().expect(spec);
+            assert_eq!(parsed.to_string(), spec);
+        }
+        assert_eq!(
+            "action".parse::<SelectorKind>(),
+            Ok(SelectorKind::ActionSensitive(1))
+        );
+        assert!("insensitive:1".parse::<SelectorKind>().is_err());
+        assert!("k-obj:".parse::<SelectorKind>().is_err());
+    }
+}

@@ -1,8 +1,10 @@
 //! # sierra-cli — experiment drivers for the SIERRA reproduction
 //!
 //! The [`experiments`] module regenerates every table of the paper's
-//! evaluation; the `sierra-cli` binary prints them. Criterion benches reuse
-//! the same runners so benchmark numbers and table numbers come from one
-//! code path.
+//! evaluation; the `sierra-cli` binary prints them. The timing benches
+//! reuse the same runners so benchmark numbers and table numbers come
+//! from one code path. [`flags`] holds the `--context`/`--budget`/
+//! `--jobs` parser shared by every subcommand.
 
 pub mod experiments;
+pub mod flags;

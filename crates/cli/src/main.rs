@@ -3,42 +3,62 @@
 //! ```text
 //! sierra-cli table2                 # Table 2: the 20-app dataset
 //! sierra-cli table3                 # Table 3: effectiveness (runs everything)
-//! sierra-cli table4                 # Table 4: per-stage efficiency
+//! sierra-cli table4                 # Table 4: per-stage efficiency + counters
 //! sierra-cli table5 [--apps N]      # Table 5: the 174-app dataset (medians)
 //! sierra-cli compare                # §6.4 SIERRA vs EventRacer summary
 //! sierra-cli analyze <AppName>      # one Table-2 app, with race reports
 //! sierra-cli figures                # run the Figure 1/2/8 apps
 //! sierra-cli verify <AppName>       # dynamically verify static reports
 //! ```
+//!
+//! Every subcommand also accepts the shared analysis flags:
+//!
+//! ```text
+//! --context <SPEC>   insensitive | action:K | k-cfa:K | k-obj:K | hybrid:K
+//! --budget <N>       refuter path budget
+//! --jobs <N>         engine worker threads (0 = all cores)
+//! ```
 
 use eventracer::EventRacerConfig;
 use sierra_cli::experiments;
-use sierra_core::{Sierra, SierraConfig};
+use sierra_cli::flags::{take_raw_flag, CommonFlags};
+use sierra_core::Sierra;
+
+const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>>\n\
+                     shared flags: --context <SPEC> --budget <N> --jobs <N>";
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = args.first().map(String::as_str).unwrap_or("help");
-    let sierra_cfg = SierraConfig::default();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let common = match CommonFlags::parse(&mut args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cmd = args.first().cloned().unwrap_or_else(|| "help".to_owned());
+    let sierra_cfg = common.config;
+    let jobs = common.jobs;
     let er_cfg = EventRacerConfig::default();
-    match cmd {
+    match cmd.as_str() {
         "table2" => print!("{}", experiments::table2()),
         "table3" => {
-            let rows = experiments::run_twenty(sierra_cfg, &er_cfg);
+            let rows = experiments::run_twenty(sierra_cfg, &er_cfg, jobs);
             print!("{}", experiments::table3(&rows));
         }
         "table4" => {
-            let rows = experiments::run_twenty(sierra_cfg, &er_cfg);
+            let rows = experiments::run_twenty(sierra_cfg, &er_cfg, jobs);
             print!("{}", experiments::table4(&rows));
         }
         "table5" => {
-            let count = flag_value(&args, "--apps")
+            let count = take_raw_flag(&mut args, "--apps")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(corpus::fdroid::APP_COUNT);
-            let rows = experiments::run_fdroid(count, sierra_cfg);
+            let rows = experiments::run_fdroid(count, sierra_cfg, jobs);
             print!("{}", experiments::table5(&rows));
         }
         "compare" => {
-            let rows = experiments::run_twenty(sierra_cfg, &er_cfg);
+            let rows = experiments::run_twenty(sierra_cfg, &er_cfg, jobs);
             print!("{}", experiments::comparison_summary(&rows));
         }
         "analyze" => {
@@ -46,29 +66,16 @@ fn main() {
                 eprintln!("usage: sierra-cli analyze <AppName>");
                 std::process::exit(2);
             };
-            let Some(spec) = corpus::TWENTY.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+            let Some(spec) = corpus::TWENTY
+                .iter()
+                .find(|s| s.name.eq_ignore_ascii_case(name))
             else {
                 eprintln!("unknown app {name:?}; see `sierra-cli table2` for names");
                 std::process::exit(2);
             };
             let (app, truth) = corpus::twenty::build_app(*spec);
             let result = Sierra::with_config(sierra_cfg).analyze_app(app);
-            println!(
-                "{}: {} harnesses, {} actions, {} HB edges ({:.1}%), {} racy pairs → {} races",
-                spec.name,
-                result.harness_count,
-                result.action_count,
-                result.hb_edges,
-                result.hb_percent(),
-                result.racy_pairs_with_as,
-                result.races.len()
-            );
-            for race in &result.races {
-                println!(
-                    "  {}",
-                    race.describe(&result.harness.app.program, &result.analysis.actions)
-                );
-            }
+            print!("{result}");
             let groups = experiments::sierra_groups(&result);
             let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
             println!(
@@ -83,7 +90,9 @@ fn main() {
                 eprintln!("usage: sierra-cli verify <AppName>");
                 std::process::exit(2);
             };
-            let Some(spec) = corpus::TWENTY.iter().find(|s| s.name.eq_ignore_ascii_case(name))
+            let Some(spec) = corpus::TWENTY
+                .iter()
+                .find(|s| s.name.eq_ignore_ascii_case(name))
             else {
                 eprintln!("unknown app {name:?}; see `sierra-cli table2` for names");
                 std::process::exit(2);
@@ -92,7 +101,11 @@ fn main() {
             let app_for_verify = app.clone();
             let result = Sierra::with_config(sierra_cfg).analyze_app(app);
             let p = &result.harness.app.program;
-            println!("{}: {} static race report(s); verifying dynamically…", spec.name, result.races.len());
+            println!(
+                "{}: {} static race report(s); verifying dynamically…",
+                spec.name,
+                result.races.len()
+            );
             let mut groups: Vec<(String, String)> = result
                 .races
                 .iter()
@@ -115,9 +128,18 @@ fn main() {
         }
         "figures" => {
             for (label, (app, truth)) in [
-                ("Figure 1 (intra-component)", corpus::figures::intra_component()),
-                ("Figure 2 (inter-component)", corpus::figures::inter_component()),
-                ("Figure 8 (refutation)", corpus::figures::open_sudoku_guard()),
+                (
+                    "Figure 1 (intra-component)",
+                    corpus::figures::intra_component(),
+                ),
+                (
+                    "Figure 2 (inter-component)",
+                    corpus::figures::inter_component(),
+                ),
+                (
+                    "Figure 8 (refutation)",
+                    corpus::figures::open_sudoku_guard(),
+                ),
             ] {
                 let result = Sierra::with_config(sierra_cfg).analyze_app(app);
                 let groups = experiments::sierra_groups(&result);
@@ -132,14 +154,10 @@ fn main() {
                 );
             }
         }
-        _ => {
-            println!(
-                "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures>"
-            );
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            std::process::exit(2);
         }
     }
-}
-
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }

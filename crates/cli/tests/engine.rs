@@ -1,0 +1,66 @@
+//! The worker-pool engine must not change results: a parallel sweep has
+//! to render byte-identical tables to a serial one, and a poisoned app
+//! must surface as an ERROR row without sinking the run.
+
+use eventracer::EventRacerConfig;
+use sierra_cli::experiments::{run_fdroid, run_twenty, table3, table5};
+use sierra_core::{run_jobs, SierraConfig};
+
+#[test]
+fn parallel_and_serial_sweeps_render_identical_tables() {
+    let cfg = SierraConfig::builder().compare_without_as(false).build();
+    let er = EventRacerConfig {
+        runs: 4,
+        ..Default::default()
+    };
+    let serial = run_twenty(cfg, &er, 1);
+    let parallel = run_twenty(cfg, &er, 8);
+
+    // Table 3 carries only analysis results — byte-identical.
+    assert_eq!(table3(&serial), table3(&parallel));
+    // Table 4's wall-clock columns differ run to run; its work counters
+    // must not.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "input order is preserved");
+        assert_eq!(s.pa_worklist_iters, p.pa_worklist_iters, "{}", s.name);
+        assert_eq!(s.cg_edges, p.cg_edges, "{}", s.name);
+        assert_eq!(s.shbg_rule_apps, p.shbg_rule_apps, "{}", s.name);
+        assert_eq!(s.refuter_paths, p.refuter_paths, "{}", s.name);
+    }
+}
+
+#[test]
+fn fdroid_slice_is_schedule_independent() {
+    let cfg = SierraConfig::builder().compare_without_as(false).build();
+    let serial = run_fdroid(8, cfg, 1);
+    let parallel = run_fdroid(8, cfg, 4);
+    let strip_timings = |rows: &[sierra_cli::experiments::AppRow]| {
+        let table = table5(rows);
+        table
+            .lines()
+            .filter(|l| !l.starts_with("Efficiency medians"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip_timings(&serial), strip_timings(&parallel));
+}
+
+#[test]
+fn a_poisoned_app_becomes_an_error_row() {
+    let items = vec![
+        ("good".to_owned(), 1usize),
+        ("poisoned".to_owned(), 2),
+        ("also good".to_owned(), 3),
+    ];
+    let results = run_jobs(4, items, |name, n| {
+        if name == "poisoned" {
+            panic!("simulated analysis crash");
+        }
+        n * 10
+    });
+    assert_eq!(results[0], Ok(10));
+    assert_eq!(results[2], Ok(30));
+    let err = results[1].as_ref().expect_err("poisoned app fails");
+    assert_eq!(err.item, "poisoned");
+    assert!(err.message.contains("simulated analysis crash"));
+}

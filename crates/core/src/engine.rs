@@ -1,0 +1,175 @@
+//! The parallel corpus engine.
+//!
+//! Fans a list of independent analysis jobs across a pool of scoped
+//! worker threads (`std::thread::scope`, no dependencies) with a shared
+//! atomic work queue. Guarantees:
+//!
+//! - **deterministic, input-ordered results**: the output vector is
+//!   indexed by input position, so scheduling never reorders results —
+//!   combined with the analyses' own determinism, `--jobs 8` output is
+//!   byte-identical to `--jobs 1`;
+//! - **panic isolation**: a job that panics becomes an [`EngineError`]
+//!   row; the other workers and the run as a whole survive;
+//! - a `jobs = 0` request resolves to the machine's available
+//!   parallelism.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A job that died (panicked) inside a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// The name of the failed work item.
+    pub item: String,
+    /// The panic payload, when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: analysis panicked: {}", self.item, self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Resolves a `--jobs` request: `0` means "all available cores", and a
+/// pool larger than the number of items is clamped.
+pub fn effective_jobs(requested: usize, items: usize) -> usize {
+    let jobs = if requested == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        requested
+    };
+    jobs.clamp(1, items.max(1))
+}
+
+/// Runs `f` over every `(name, input)` item on a pool of `jobs` scoped
+/// worker threads and returns the results **in input order**.
+///
+/// Workers pull items from a shared atomic queue, so large items don't
+/// serialize behind a static partition. A panicking item yields an
+/// `Err(EngineError)` in its slot; the remaining items still run.
+pub fn run_jobs<I, O, F>(jobs: usize, items: Vec<(String, I)>, f: F) -> Vec<Result<O, EngineError>>
+where
+    I: Send,
+    O: Send,
+    F: Fn(&str, I) -> O + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let jobs = effective_jobs(jobs, n);
+    // Input slots each worker `take`s exactly once, and per-item result
+    // slots indexed by input position.
+    let slots: Vec<Mutex<Option<(String, I)>>> =
+        items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+    let results: Vec<Mutex<Option<Result<O, EngineError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let (name, input) = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot taken once");
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&name, input)));
+                let row = match outcome {
+                    Ok(out) => Ok(out),
+                    Err(payload) => Err(EngineError {
+                        item: name,
+                        message: panic_message(payload.as_ref()),
+                    }),
+                };
+                *results[i].lock().expect("result lock") = Some(row);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<(String, usize)> = (0..32).map(|i| (format!("item-{i}"), i)).collect();
+        // Make early items the slowest so a naive collect-by-completion
+        // would reorder them.
+        let out = run_jobs(8, items, |_, i| {
+            std::thread::sleep(std::time::Duration::from_millis((32 - i as u64) / 8));
+            i * 2
+        });
+        let values: Vec<usize> = out.into_iter().map(|r| r.expect("no panic")).collect();
+        assert_eq!(values, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_item_does_not_kill_the_run() {
+        let items: Vec<(String, usize)> = (0..8).map(|i| (format!("it-{i}"), i)).collect();
+        let out = run_jobs(4, items, |_, i| {
+            if i == 3 {
+                panic!("boom on {i}");
+            }
+            i
+        });
+        assert_eq!(out.len(), 8);
+        for (i, row) in out.iter().enumerate() {
+            if i == 3 {
+                let err = row.as_ref().expect_err("item 3 panicked");
+                assert_eq!(err.item, "it-3");
+                assert!(err.message.contains("boom"), "{err}");
+            } else {
+                assert_eq!(*row.as_ref().expect("ok"), i);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_jobs_resolves_to_available_parallelism() {
+        assert!(effective_jobs(0, 100) >= 1);
+        assert_eq!(effective_jobs(5, 2), 2, "pool clamped to item count");
+        assert_eq!(effective_jobs(3, 100), 3);
+        assert_eq!(effective_jobs(1, 0), 1);
+    }
+
+    #[test]
+    fn single_job_pool_runs_everything() {
+        let items: Vec<(String, u64)> = (0..5).map(|i| (i.to_string(), i)).collect();
+        let out = run_jobs(1, items, |name, i| format!("{name}:{i}"));
+        let values: Vec<String> = out.into_iter().map(|r| r.expect("ok")).collect();
+        assert_eq!(values, vec!["0:0", "1:1", "2:2", "3:3", "4:4"]);
+    }
+}

@@ -28,11 +28,17 @@
 //! }
 //! ```
 
+pub mod engine;
 mod pipeline;
 mod report;
+mod session;
 
-pub use pipeline::{Sierra, SierraConfig, SierraResult, StageTimings};
+pub use engine::{run_jobs, EngineError};
+pub use pipeline::{
+    Sierra, SierraConfig, SierraConfigBuilder, SierraResult, StageMetrics, StageTimings,
+};
 pub use report::{describe_action, priority_of, Priority, RaceReport};
+pub use session::AnalysisSession;
 
 #[cfg(test)]
 mod tests;

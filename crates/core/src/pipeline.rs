@@ -1,19 +1,25 @@
 //! The end-to-end SIERRA pipeline (Figure 3).
 //!
 //! `app → harness generation → pointer analysis (action-sensitive) →
-//! SHBG → racy pairs → symbolic refutation → prioritized race reports`,
-//! with per-stage wall-clock timings for the efficiency tables.
+//! SHBG → racy pairs → symbolic refutation → prioritized race reports`.
+//!
+//! The pipeline is staged: [`crate::AnalysisSession`] exposes each stage
+//! (`harness → pointer → shbg → candidates → refute`) so drivers can stop
+//! early, share a generated harness across passes, or collect per-stage
+//! [`StageMetrics`]. [`Sierra::analyze_app`] remains the one-shot
+//! entry point and is a thin wrapper over a session.
 
-use crate::report::{priority_of, RaceReport};
+use crate::report::RaceReport;
+use crate::session::AnalysisSession;
 use android_model::AndroidApp;
 use harness_gen::HarnessResult;
-use pointer::{collect_accesses, Access, Analysis, SelectorKind};
-use shbg::Shbg;
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
-use symexec::{Outcome, Refuter, RefuterConfig, RefuterStats};
+use pointer::{Analysis, SelectorKind, SolverStats};
+use shbg::{HbRule, Shbg, ShbgStats};
+use std::sync::Arc;
+use std::time::Duration;
+use symexec::{RefuterConfig, RefuterStats};
 
-/// Pipeline configuration.
+/// Pipeline configuration. Construct with [`SierraConfig::builder`].
 #[derive(Debug, Clone, Copy)]
 pub struct SierraConfig {
     /// Context-sensitivity for the main run (default: action-sensitive).
@@ -40,6 +46,56 @@ impl Default for SierraConfig {
     }
 }
 
+impl SierraConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> SierraConfigBuilder {
+        SierraConfigBuilder::default()
+    }
+}
+
+/// Fluent builder for [`SierraConfig`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SierraConfigBuilder {
+    cfg: SierraConfig,
+}
+
+impl SierraConfigBuilder {
+    /// Sets the context selector for the main pass.
+    pub fn selector(mut self, selector: SelectorKind) -> Self {
+        self.cfg.selector = selector;
+        self
+    }
+
+    /// Sets the refuter configuration.
+    pub fn refuter(mut self, refuter: RefuterConfig) -> Self {
+        self.cfg.refuter = refuter;
+        self
+    }
+
+    /// Sets the refuter path budget, keeping the other refuter knobs.
+    pub fn refuter_budget(mut self, max_paths: usize) -> Self {
+        self.cfg.refuter.max_paths = max_paths;
+        self
+    }
+
+    /// Enables or disables the comparison pass without action sensitivity.
+    pub fn compare_without_as(mut self, yes: bool) -> Self {
+        self.cfg.compare_without_as = yes;
+        self
+    }
+
+    /// Disables the refutation stage.
+    pub fn skip_refutation(mut self) -> Self {
+        self.cfg.skip_refutation = true;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SierraConfig {
+        self.cfg
+    }
+}
+
 /// Wall-clock time of each pipeline stage (Table 4).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StageTimings {
@@ -53,6 +109,22 @@ pub struct StageTimings {
     pub refutation: Duration,
     /// End-to-end.
     pub total: Duration,
+}
+
+/// Per-stage wall-clock timings plus the work counters each stage
+/// recorded: points-to worklist iterations and call-graph size from the
+/// solver, HB-rule application counts from SHBG construction, and path
+/// budgets from the refuter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageMetrics {
+    /// Wall-clock stage timings.
+    pub timings: StageTimings,
+    /// Pointer-analysis counters.
+    pub pointer: SolverStats,
+    /// SHBG rule-application counters.
+    pub shbg: ShbgStats,
+    /// Refutation counters.
+    pub refuter: RefuterStats,
 }
 
 /// The result of analyzing one app.
@@ -75,16 +147,14 @@ pub struct SierraResult {
     pub racy_pairs_with_as: usize,
     /// Races surviving refutation, ranked by priority.
     pub races: Vec<RaceReport>,
-    /// Refuter statistics.
-    pub refuter_stats: RefuterStats,
-    /// Per-stage timings.
-    pub timings: StageTimings,
+    /// Per-stage timings and counters.
+    pub metrics: StageMetrics,
     /// The main (action-sensitive) analysis, for downstream inspection.
     pub analysis: Analysis,
     /// The SHBG.
     pub shbg: Shbg,
-    /// The harnessed app.
-    pub harness: HarnessResult,
+    /// The harnessed app (shared with any comparison pass).
+    pub harness: Arc<HarnessResult>,
 }
 
 impl SierraResult {
@@ -97,12 +167,28 @@ impl SierraResult {
         }
     }
 
-    /// Renders a complete human-readable report: summary line, stage
-    /// timings, and the ranked race list (the tool's CLI output format).
+    /// Renders a complete human-readable report.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `Display` impl (`format!(\"{result}\")`)"
+    )]
     pub fn render_text(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        let _ = writeln!(
+        self.to_string()
+    }
+
+    /// The SHBG in Graphviz DOT format with readable action labels.
+    pub fn shbg_dot(&self) -> String {
+        self.shbg
+            .to_dot(|a| crate::report::describe_action(&self.analysis.actions, a))
+    }
+}
+
+impl std::fmt::Display for SierraResult {
+    /// The complete human-readable report: summary line, stage timings,
+    /// per-stage counters, and the ranked race list (the CLI's `analyze`
+    /// output format).
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
             out,
             "{}: {} harnesses, {} actions, {} HB edges ({:.1}% of max)",
             self.app_name,
@@ -110,35 +196,65 @@ impl SierraResult {
             self.action_count,
             self.hb_edges,
             self.hb_percent()
-        );
-        let _ = writeln!(
+        )?;
+        writeln!(
             out,
             "racy pairs: {} (without action-sensitivity: {}); {} race(s) after refutation",
             self.racy_pairs_with_as,
             self.racy_pairs_without_as,
             self.races.len()
-        );
+        )?;
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
-        let _ = writeln!(
+        let t = &self.metrics.timings;
+        writeln!(
             out,
             "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, refutation {:.2} ms, total {:.2} ms",
-            ms(self.timings.harness),
-            ms(self.timings.cg_pa),
-            ms(self.timings.hbg),
-            ms(self.timings.refutation),
-            ms(self.timings.total)
-        );
+            ms(t.harness),
+            ms(t.cg_pa),
+            ms(t.hbg),
+            ms(t.refutation),
+            ms(t.total)
+        )?;
+        let pa = &self.metrics.pointer;
+        writeln!(
+            out,
+            "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects",
+            pa.worklist_iterations,
+            pa.propagations,
+            pa.cg_edges,
+            pa.reachable_contexts,
+            pa.abstract_objects
+        )?;
+        let hb = &self.metrics.shbg;
+        write!(out, "shbg: {} rule applications (", hb.total_applications())?;
+        for (i, rule) in HbRule::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(out, ", ")?;
+            }
+            write!(
+                out,
+                "{} {}",
+                rule.short_name(),
+                hb.applications[rule.index()]
+            )?;
+        }
+        writeln!(out, "), {} fixpoint rounds", hb.fixpoint_rounds)?;
+        let rf = &self.metrics.refuter;
+        writeln!(
+            out,
+            "refuter: {} paths over {} queries ({} refuted, {} witnessed, {} budget-exhausted, {} cache hits)",
+            rf.paths, rf.queries, rf.refuted, rf.witnessed, rf.budget_exhausted, rf.cache_hits
+        )?;
         let program = &self.harness.app.program;
         for (i, race) in self.races.iter().enumerate() {
-            let _ =
-                writeln!(out, "{:>3}. {}", i + 1, race.describe(program, &self.analysis.actions));
+            writeln!(
+                out,
+                "{:>3}. {}",
+                i + 1,
+                race.describe(program, &self.analysis.actions)
+            )?;
         }
-        out
-    }
-
-    /// The SHBG in Graphviz DOT format with readable action labels.
-    pub fn shbg_dot(&self) -> String {
-        self.shbg.to_dot(|a| crate::report::describe_action(&self.analysis.actions, a))
+        Ok(())
     }
 }
 
@@ -160,167 +276,13 @@ impl Sierra {
         Self { config }
     }
 
+    /// Starts a staged session on an app (run stages individually).
+    pub fn session(&self, app: AndroidApp) -> AnalysisSession {
+        AnalysisSession::new(self.config, app)
+    }
+
     /// Runs the full pipeline on an app.
     pub fn analyze_app(&self, app: AndroidApp) -> SierraResult {
-        let t0 = Instant::now();
-        let app_name = app.name.clone();
-
-        // Stage 1: harness generation (§3.2).
-        let harness = harness_gen::generate(app);
-        let t_harness = t0.elapsed();
-
-        // Stage 2: call graph + pointer analysis (§3.3).
-        let t1 = Instant::now();
-        let analysis = pointer::analyze(&harness, self.config.selector);
-        let t_cg_pa = t1.elapsed();
-
-        // Stage 3: SHBG (§4).
-        let t2 = Instant::now();
-        let graph = shbg::build(&analysis, &harness);
-        let t_hbg = t2.elapsed();
-
-        // Racy pairs with action sensitivity.
-        let accesses = collect_accesses(&analysis, &harness.app.program, Some(harness.harness_class));
-        let deduped = dedupe(accesses);
-        let racy = racy_pairs(&deduped, &analysis, &graph);
-        let racy_pairs_with_as = racy.len();
-
-        // Comparison pass without action sensitivity (Table 3 col 6).
-        let racy_pairs_without_as = if self.config.compare_without_as {
-            let plain = match self.config.selector {
-                SelectorKind::ActionSensitive(k) => SelectorKind::Hybrid(k),
-                other => other,
-            };
-            let analysis2 = pointer::analyze(&harness, plain);
-            let graph2 = shbg::build(&analysis2, &harness);
-            let accesses2 =
-                collect_accesses(&analysis2, &harness.app.program, Some(harness.harness_class));
-            racy_pairs(&dedupe(accesses2), &analysis2, &graph2).len()
-        } else {
-            0
-        };
-
-        // Stage 4: refutation (§5) + prioritization (§3.1).
-        let t3 = Instant::now();
-        let mut refuter = Refuter::new(&analysis, &harness.app.program, self.config.refuter)
-            .with_message_model(harness.app.framework.message_what);
-        let mut races: Vec<RaceReport> = Vec::new();
-        for &(a, b) in &racy {
-            let outcome = if self.config.skip_refutation {
-                Outcome::Budget
-            } else {
-                refuter.refute_pair(a, b)
-            };
-            if outcome == Outcome::Refuted {
-                continue;
-            }
-            let field = a.field;
-            let pointer_field =
-                harness.app.program.field(field).ty.is_reference();
-            let priority = priority_of(&harness.app.program, a, b);
-            races.push(RaceReport {
-                a: a.clone(),
-                b: b.clone(),
-                field,
-                outcome,
-                priority,
-                pointer_field,
-            });
-        }
-        races.sort_by_key(|r| r.rank_key());
-        let refuter_stats = refuter.stats;
-        let t_refutation = t3.elapsed();
-
-        // Theoretical maximum of ordered pairs: the paper's `N·(N−1)/2`
-        // over all of the app's actions (cross-harness pairs included in
-        // the denominator even though our model never orders them).
-        let n = analysis.actions.len();
-        let hb_max = n * n.saturating_sub(1) / 2;
-
-        SierraResult {
-            app_name,
-            harness_count: harness.harness_count(),
-            action_count: analysis.actions.len(),
-            hb_edges: graph.ordered_pair_count(),
-            hb_max,
-            racy_pairs_without_as,
-            racy_pairs_with_as,
-            races,
-            refuter_stats,
-            timings: StageTimings {
-                harness: t_harness,
-                cg_pa: t_cg_pa,
-                hbg: t_hbg,
-                refutation: t_refutation,
-                total: t0.elapsed(),
-            },
-            analysis,
-            shbg: graph,
-            harness,
-        }
+        AnalysisSession::new(self.config, app).finish()
     }
-}
-
-/// Deduplicates accesses to one representative per `(action, addr)`.
-fn dedupe(accesses: Vec<Access>) -> Vec<Access> {
-    let mut seen: HashMap<(android_model::ActionId, apir::StmtAddr), Access> = HashMap::new();
-    for a in accesses {
-        seen.entry((a.action, a.addr))
-            .and_modify(|e| {
-                // Merge base points-to across contexts of the same action.
-                for o in &a.base {
-                    if !e.base.contains(o) {
-                        e.base.push(*o);
-                    }
-                }
-            })
-            .or_insert(a);
-    }
-    let mut out: Vec<Access> = seen.into_values().collect();
-    out.sort_by_key(|a| (a.addr, a.action));
-    out
-}
-
-/// Candidate racy pairs: same harness, different unordered actions,
-/// overlapping locations, at least one write (§4.1).
-fn racy_pairs<'a>(
-    accesses: &'a [Access],
-    analysis: &Analysis,
-    graph: &Shbg,
-) -> Vec<(&'a Access, &'a Access)> {
-    // Group by field: only same-field accesses can overlap.
-    let mut by_field: HashMap<apir::FieldId, Vec<&Access>> = HashMap::new();
-    for a in accesses {
-        by_field.entry(a.field).or_default().push(a);
-    }
-    let mut out = Vec::new();
-    for group in by_field.values() {
-        for i in 0..group.len() {
-            for j in i + 1..group.len() {
-                let (a, b) = (group[i], group[j]);
-                if a.action == b.action {
-                    continue;
-                }
-                if !(a.is_write || b.is_write) {
-                    continue;
-                }
-                let (ha, hb) = (
-                    analysis.actions.action(a.action).harness,
-                    analysis.actions.action(b.action).harness,
-                );
-                if ha != hb {
-                    continue; // races are detected per harness
-                }
-                if !a.overlaps(b) {
-                    continue;
-                }
-                if !graph.unordered(a.action, b.action) {
-                    continue;
-                }
-                out.push((a, b));
-            }
-        }
-    }
-    out.sort_by_key(|(a, b)| (a.addr, b.addr, a.action, b.action));
-    out
 }

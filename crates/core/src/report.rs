@@ -98,8 +98,12 @@ pub fn describe_action(actions: &ActionRegistry, id: android_model::ActionId) ->
 /// Computes the §3.1 priority of an access pair from the origins of the
 /// two accessing methods.
 pub fn priority_of(program: &Program, a: &Access, b: &Access) -> Priority {
-    let lo = program.method_origin(a.method).min(program.method_origin(b.method));
-    let hi = program.method_origin(a.method).max(program.method_origin(b.method));
+    let lo = program
+        .method_origin(a.method)
+        .min(program.method_origin(b.method));
+    let hi = program
+        .method_origin(a.method)
+        .max(program.method_origin(b.method));
     match (lo, hi) {
         (Origin::App, Origin::App) => Priority::App,
         (Origin::Framework, Origin::App) => Priority::FrameworkFromApp,

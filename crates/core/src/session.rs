@@ -1,0 +1,319 @@
+//! The staged analysis session.
+//!
+//! [`AnalysisSession`] splits the pipeline into five explicitly-driven
+//! stages, each computed once on first request and cached:
+//!
+//! ```text
+//! harness() → pointer() → shbg() → candidates() → refute() → finish()
+//! ```
+//!
+//! Calling a later stage forces the earlier ones, so `finish()` alone
+//! reproduces the one-shot [`crate::Sierra::analyze_app`] behaviour. The
+//! staging exists for three drivers:
+//!
+//! - the corpus **engine** runs whole sessions on worker threads;
+//! - **ablations** stop after `candidates()` and never pay for
+//!   refutation;
+//! - the **comparison pass** (`racy pairs w/o AS`, Table 3) is a second
+//!   session over the *same* generated harness — [`Self::from_harness`]
+//!   shares it through an [`Arc`] instead of re-generating.
+//!
+//! Each stage records its wall-clock time and work counters into
+//! [`StageMetrics`].
+
+use crate::pipeline::{SierraConfig, SierraResult, StageMetrics};
+use crate::report::{priority_of, RaceReport};
+use android_model::AndroidApp;
+use harness_gen::HarnessResult;
+use pointer::{collect_accesses, Access, Analysis, SelectorKind};
+use shbg::Shbg;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use symexec::{Outcome, Refuter};
+
+/// A staged run of the pipeline over one app. See the module docs.
+#[derive(Debug)]
+pub struct AnalysisSession {
+    config: SierraConfig,
+    app_name: String,
+    started: Instant,
+    metrics: StageMetrics,
+    /// Present until the harness stage consumes it (absent for
+    /// [`AnalysisSession::from_harness`] sessions).
+    app: Option<AndroidApp>,
+    harness: Option<Arc<HarnessResult>>,
+    analysis: Option<Analysis>,
+    shbg: Option<Shbg>,
+    candidates: Option<Vec<(Access, Access)>>,
+    races: Option<Vec<RaceReport>>,
+}
+
+impl AnalysisSession {
+    /// Starts a session on an app.
+    pub fn new(config: SierraConfig, app: AndroidApp) -> Self {
+        Self {
+            config,
+            app_name: app.name.clone(),
+            started: Instant::now(),
+            metrics: StageMetrics::default(),
+            app: Some(app),
+            harness: None,
+            analysis: None,
+            shbg: None,
+            candidates: None,
+            races: None,
+        }
+    }
+
+    /// Starts a session over an already-generated harness (its generation
+    /// time is *not* charged to this session).
+    pub fn from_harness(config: SierraConfig, harness: Arc<HarnessResult>) -> Self {
+        Self {
+            config,
+            app_name: harness.app.name.clone(),
+            started: Instant::now(),
+            metrics: StageMetrics::default(),
+            app: None,
+            harness: Some(harness),
+            analysis: None,
+            shbg: None,
+            candidates: None,
+            races: None,
+        }
+    }
+
+    /// The configuration the session runs with.
+    pub fn config(&self) -> &SierraConfig {
+        &self.config
+    }
+
+    /// The metrics recorded by the stages run so far.
+    pub fn metrics(&self) -> &StageMetrics {
+        &self.metrics
+    }
+
+    /// Stage 1: harness generation (§3.2).
+    pub fn harness(&mut self) -> &Arc<HarnessResult> {
+        if self.harness.is_none() {
+            let app = self.app.take().expect("session constructed with an app");
+            let t = Instant::now();
+            let harness = harness_gen::generate(app);
+            self.metrics.timings.harness = t.elapsed();
+            self.harness = Some(Arc::new(harness));
+        }
+        self.harness.as_ref().expect("just generated")
+    }
+
+    /// Stage 2: call graph + pointer analysis (§3.3).
+    pub fn pointer(&mut self) -> &Analysis {
+        if self.analysis.is_none() {
+            self.harness();
+            let harness = self.harness.as_ref().expect("stage 1 ran");
+            let t = Instant::now();
+            let analysis = pointer::analyze(harness, self.config.selector);
+            self.metrics.timings.cg_pa = t.elapsed();
+            self.metrics.pointer = analysis.stats;
+            self.analysis = Some(analysis);
+        }
+        self.analysis.as_ref().expect("just analyzed")
+    }
+
+    /// Stage 3: SHBG construction (§4).
+    pub fn shbg(&mut self) -> &Shbg {
+        if self.shbg.is_none() {
+            self.pointer();
+            let harness = self.harness.as_ref().expect("stage 1 ran");
+            let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let t = Instant::now();
+            let graph = shbg::build(analysis, harness);
+            self.metrics.timings.hbg = t.elapsed();
+            self.metrics.shbg = graph.stats;
+            self.shbg = Some(graph);
+        }
+        self.shbg.as_ref().expect("just built")
+    }
+
+    /// Stage 4: candidate racy pairs — same harness, different unordered
+    /// actions, overlapping locations, at least one write (§4.1).
+    pub fn candidates(&mut self) -> &[(Access, Access)] {
+        if self.candidates.is_none() {
+            self.shbg();
+            let harness = self.harness.as_ref().expect("stage 1 ran");
+            let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let graph = self.shbg.as_ref().expect("stage 3 ran");
+            let accesses =
+                collect_accesses(analysis, &harness.app.program, Some(harness.harness_class));
+            let deduped = dedupe(accesses);
+            let pairs = racy_pairs(&deduped, analysis, graph)
+                .into_iter()
+                .map(|(a, b)| (a.clone(), b.clone()))
+                .collect();
+            self.candidates = Some(pairs);
+        }
+        self.candidates.as_ref().expect("just computed")
+    }
+
+    /// Stage 5: refutation (§5) + prioritization (§3.1). With
+    /// `skip_refutation` every candidate survives.
+    pub fn refute(&mut self) -> &[RaceReport] {
+        if self.races.is_none() {
+            self.candidates();
+            let harness = self.harness.as_ref().expect("stage 1 ran");
+            let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let candidates = self.candidates.as_ref().expect("stage 4 ran");
+            let t = Instant::now();
+            let program = &harness.app.program;
+            let mut refuter = Refuter::new(analysis, program, self.config.refuter)
+                .with_message_model(harness.app.framework.message_what);
+            let mut races: Vec<RaceReport> = Vec::new();
+            for (a, b) in candidates {
+                let outcome = if self.config.skip_refutation {
+                    Outcome::Budget
+                } else {
+                    refuter.refute_pair(a, b)
+                };
+                if outcome == Outcome::Refuted {
+                    continue;
+                }
+                let field = a.field;
+                let pointer_field = program.field(field).ty.is_reference();
+                let priority = priority_of(program, a, b);
+                races.push(RaceReport {
+                    a: a.clone(),
+                    b: b.clone(),
+                    field,
+                    outcome,
+                    priority,
+                    pointer_field,
+                });
+            }
+            races.sort_by_key(|r| r.rank_key());
+            self.metrics.refuter = refuter.stats;
+            self.metrics.timings.refutation = t.elapsed();
+            self.races = Some(races);
+        }
+        self.races.as_ref().expect("just refuted")
+    }
+
+    /// Runs every remaining stage (plus the comparison pass when
+    /// configured) and assembles the [`SierraResult`].
+    pub fn finish(mut self) -> SierraResult {
+        self.refute();
+
+        // Comparison pass without action sensitivity (Table 3 col 6): a
+        // second session over the same generated harness, stopped after
+        // the candidate stage.
+        let harness = self.harness.clone().expect("stages ran");
+        let racy_pairs_without_as = if self.config.compare_without_as {
+            let plain = match self.config.selector {
+                SelectorKind::ActionSensitive(k) => SelectorKind::Hybrid(k),
+                other => other,
+            };
+            let cfg = SierraConfig {
+                selector: plain,
+                compare_without_as: false,
+                skip_refutation: true,
+                ..self.config
+            };
+            AnalysisSession::from_harness(cfg, harness.clone())
+                .candidates()
+                .len()
+        } else {
+            0
+        };
+
+        let analysis = self.analysis.expect("stages ran");
+        let graph = self.shbg.expect("stages ran");
+        let races = self.races.expect("stages ran");
+        let candidates = self.candidates.expect("stages ran");
+
+        // Theoretical maximum of ordered pairs: the paper's `N·(N−1)/2`
+        // over all of the app's actions (cross-harness pairs included in
+        // the denominator even though our model never orders them).
+        let n = analysis.actions.len();
+        let hb_max = n * n.saturating_sub(1) / 2;
+
+        let mut metrics = self.metrics;
+        metrics.timings.total = self.started.elapsed();
+
+        SierraResult {
+            app_name: self.app_name,
+            harness_count: harness.harness_count(),
+            action_count: n,
+            hb_edges: graph.ordered_pair_count(),
+            hb_max,
+            racy_pairs_without_as,
+            racy_pairs_with_as: candidates.len(),
+            races,
+            metrics,
+            analysis,
+            shbg: graph,
+            harness,
+        }
+    }
+}
+
+/// Deduplicates accesses to one representative per `(action, addr)`.
+fn dedupe(accesses: Vec<Access>) -> Vec<Access> {
+    let mut seen: HashMap<(android_model::ActionId, apir::StmtAddr), Access> = HashMap::new();
+    for a in accesses {
+        seen.entry((a.action, a.addr))
+            .and_modify(|e| {
+                // Merge base points-to across contexts of the same action.
+                for o in &a.base {
+                    if !e.base.contains(o) {
+                        e.base.push(*o);
+                    }
+                }
+            })
+            .or_insert(a);
+    }
+    let mut out: Vec<Access> = seen.into_values().collect();
+    out.sort_by_key(|a| (a.addr, a.action));
+    out
+}
+
+/// Candidate racy pairs: same harness, different unordered actions,
+/// overlapping locations, at least one write (§4.1).
+fn racy_pairs<'a>(
+    accesses: &'a [Access],
+    analysis: &Analysis,
+    graph: &Shbg,
+) -> Vec<(&'a Access, &'a Access)> {
+    // Group by field: only same-field accesses can overlap.
+    let mut by_field: HashMap<apir::FieldId, Vec<&Access>> = HashMap::new();
+    for a in accesses {
+        by_field.entry(a.field).or_default().push(a);
+    }
+    let mut out = Vec::new();
+    for group in by_field.values() {
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                let (a, b) = (group[i], group[j]);
+                if a.action == b.action {
+                    continue;
+                }
+                if !(a.is_write || b.is_write) {
+                    continue;
+                }
+                let (ha, hb) = (
+                    analysis.actions.action(a.action).harness,
+                    analysis.actions.action(b.action).harness,
+                );
+                if ha != hb {
+                    continue; // races are detected per harness
+                }
+                if !a.overlaps(b) {
+                    continue;
+                }
+                if !graph.unordered(a.action, b.action) {
+                    continue;
+                }
+                out.push((a, b));
+            }
+        }
+    }
+    out.sort_by_key(|(a, b)| (a.addr, b.addr, a.action, b.action));
+    out
+}

@@ -21,7 +21,10 @@ fn figure_1_intra_component_race_is_detected() {
     let result = Sierra::new().analyze_app(app);
     let groups = reported_groups(&result);
     let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
-    assert!(eval.true_races >= 1, "the adapter.data race must be found: {groups:?}");
+    assert!(
+        eval.true_races >= 1,
+        "the adapter.data race must be found: {groups:?}"
+    );
     assert_eq!(eval.missed, 0);
     // The lifecycle-ordered adapter field must not be reported.
     assert!(
@@ -41,15 +44,16 @@ fn figure_2_inter_component_race_is_detected() {
     let result = Sierra::new().analyze_app(app);
     let groups = reported_groups(&result);
     let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
-    assert_eq!(eval.missed, 0, "both Figure 2 races must be found: {groups:?}");
+    assert_eq!(
+        eval.missed, 0,
+        "both Figure 2 races must be found: {groups:?}"
+    );
     assert!(eval.true_races >= 2);
     // The mDB pointer race ranks at app priority with a pointer field.
     let mdb = result
         .races
         .iter()
-        .find(|r| {
-            result.harness.app.program.field_name(r.field) == "mDB"
-        })
+        .find(|r| result.harness.app.program.field_name(r.field) == "mDB")
         .expect("mDB race reported");
     assert!(mdb.pointer_field);
     assert_eq!(mdb.priority, Priority::App);
@@ -70,7 +74,7 @@ fn figure_8_guarded_pair_is_refuted_but_guard_reported() {
     );
     let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
     assert_eq!(eval.false_positives, 0);
-    assert!(result.refuter_stats.refuted >= 1);
+    assert!(result.metrics.refuter.refuted >= 1);
 }
 
 #[test]
@@ -90,7 +94,10 @@ fn implicit_dependency_is_reported_as_designed() {
     let result = Sierra::new().analyze_app(app);
     let groups = reported_groups(&result);
     let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
-    assert_eq!(eval.false_positives, 1, "SIERRA reports the implicit dep (§6.5): {groups:?}");
+    assert_eq!(
+        eval.false_positives, 1,
+        "SIERRA reports the implicit dep (§6.5): {groups:?}"
+    );
 }
 
 #[test]
@@ -108,7 +115,7 @@ fn action_sensitivity_does_not_increase_racy_pairs() {
 #[test]
 fn skip_refutation_reports_every_racy_pair() {
     let (app, _) = figures::open_sudoku_guard();
-    let config = SierraConfig { skip_refutation: true, ..Default::default() };
+    let config = SierraConfig::builder().skip_refutation().build();
     let with = Sierra::with_config(config).analyze_app(app);
     let (app2, _) = figures::open_sudoku_guard();
     let without = Sierra::new().analyze_app(app2);
@@ -117,12 +124,50 @@ fn skip_refutation_reports_every_racy_pair() {
 }
 
 #[test]
-fn timings_are_populated() {
+fn metrics_are_populated() {
     let (app, _) = figures::intra_component();
     let result = Sierra::new().analyze_app(app);
-    assert!(result.timings.total >= result.timings.cg_pa);
-    assert!(result.timings.total >= result.timings.refutation);
-    assert!(result.timings.total.as_nanos() > 0);
+    let t = &result.metrics.timings;
+    assert!(t.total >= t.cg_pa);
+    assert!(t.total >= t.refutation);
+    assert!(t.total.as_nanos() > 0);
+    // The stage counters carry through from solver, SHBG, and refuter.
+    assert!(result.metrics.pointer.worklist_iterations > 0);
+    assert!(result.metrics.pointer.cg_edges > 0);
+    assert_eq!(
+        result.metrics.pointer.cg_edges,
+        result.analysis.cg_edge_count()
+    );
+    assert!(result.metrics.shbg.total_applications() >= result.metrics.shbg.total_accepted());
+    assert_eq!(
+        result.metrics.shbg.total_accepted(),
+        result.shbg.edges.len()
+    );
+    assert!(result.metrics.shbg.fixpoint_rounds >= 1);
+    assert!(result.metrics.refuter.queries >= result.metrics.refuter.refuted);
+}
+
+#[test]
+fn staged_session_matches_one_shot_run() {
+    let (app, _) = figures::inter_component();
+    let one_shot = Sierra::new().analyze_app(app.clone());
+    let mut session = Sierra::new().session(app);
+    session.harness();
+    session.pointer();
+    session.shbg();
+    let n_candidates = session.candidates().len();
+    let n_races = session.refute().len();
+    let staged = session.finish();
+    assert_eq!(staged.racy_pairs_with_as, n_candidates);
+    assert_eq!(staged.races.len(), n_races);
+    assert_eq!(staged.racy_pairs_with_as, one_shot.racy_pairs_with_as);
+    assert_eq!(staged.racy_pairs_without_as, one_shot.racy_pairs_without_as);
+    assert_eq!(staged.races.len(), one_shot.races.len());
+    assert_eq!(staged.hb_edges, one_shot.hb_edges);
+    assert_eq!(
+        staged.metrics.pointer.worklist_iterations,
+        one_shot.metrics.pointer.worklist_iterations
+    );
 }
 
 #[test]
@@ -140,10 +185,15 @@ fn race_reports_describe_readably() {
 fn render_text_and_dot_outputs_are_complete() {
     let (app, _) = figures::inter_component();
     let result = Sierra::new().analyze_app(app);
-    let text = result.render_text();
+    let text = result.to_string();
     assert!(text.contains("harnesses"));
     assert!(text.contains("after refutation"));
     assert!(text.contains("race on"), "{text}");
+    assert!(text.contains("worklist iterations"), "{text}");
+    assert!(text.contains("rule applications"), "{text}");
+    #[allow(deprecated)]
+    let legacy = result.render_text();
+    assert_eq!(legacy, text, "render_text delegates to Display");
     let dot = result.shbg_dot();
     assert!(dot.starts_with("digraph shbg {"));
     assert!(dot.contains("Lifecycle"), "rule labels present");
@@ -163,7 +213,9 @@ fn indexed_buffer_idiom_detects_same_slot_race_only() {
         "same-slot race must be reported: {groups:?}"
     );
     assert!(
-        !groups.iter().any(|(_, f)| f == "idx2" || f == "idx0" || f == "contents"),
+        !groups
+            .iter()
+            .any(|(_, f)| f == "idx2" || f == "idx0" || f == "contents"),
         "distinct slots must not race: {groups:?}"
     );
     let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));

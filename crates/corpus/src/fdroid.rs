@@ -8,8 +8,7 @@
 use crate::ground_truth::GroundTruth;
 use crate::twenty::{activity_count, synthesize};
 use android_model::AndroidApp;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sierra_prng::SplitMix64;
 
 /// Number of apps in the dataset.
 pub const APP_COUNT: usize = 174;
@@ -18,13 +17,13 @@ pub const APP_COUNT: usize = 174;
 pub const BASE_SEED: u64 = 0x0051_E88A_2018;
 
 /// Approximate standard normal via the sum of 12 uniforms.
-fn approx_normal(rng: &mut StdRng) -> f64 {
-    (0..12).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() - 6.0
+fn approx_normal(rng: &mut SplitMix64) -> f64 {
+    (0..12).map(|_| rng.f64()).sum::<f64>() - 6.0
 }
 
 /// The synthesized bytecode size (KB) of app `index`.
 pub fn size_kb(index: usize) -> u32 {
-    let mut rng = StdRng::seed_from_u64(BASE_SEED.wrapping_add(index as u64));
+    let mut rng = SplitMix64::new(BASE_SEED.wrapping_add(index as u64));
     let z = approx_normal(&mut rng);
     // Log-normal around the paper's 1.1 MB median.
     let kb = 1100.0 * (0.7 * z).exp();
@@ -35,7 +34,11 @@ pub fn size_kb(index: usize) -> u32 {
 pub fn build_app(index: usize) -> (AndroidApp, GroundTruth) {
     let kb = size_kb(index);
     let name = format!("org.fdroid.app{index:03}");
-    synthesize(&name, activity_count(kb), BASE_SEED.wrapping_add(7 + index as u64))
+    synthesize(
+        &name,
+        activity_count(kb),
+        BASE_SEED.wrapping_add(7 + index as u64),
+    )
 }
 
 /// Iterates over all apps lazily (building 174 apps eagerly is wasteful for

@@ -12,22 +12,38 @@ pub fn intra_component() -> (AndroidApp, GroundTruth) {
 
 /// Figure 2: the inter-component Activity-vs-BroadcastReceiver race.
 pub fn inter_component() -> (AndroidApp, GroundTruth) {
-    build_single("BroadcastApp", "com.example.MainActivity", Idiom::ReceiverDb)
+    build_single(
+        "BroadcastApp",
+        "com.example.MainActivity",
+        Idiom::ReceiverDb,
+    )
 }
 
 /// Figure 8: OpenSudoku's guarded timer — the refutation showcase.
 pub fn open_sudoku_guard() -> (AndroidApp, GroundTruth) {
-    build_single("OpenSudokuTimer", "com.example.TimerActivity", Idiom::GuardedTimer)
+    build_single(
+        "OpenSudokuTimer",
+        "com.example.TimerActivity",
+        Idiom::GuardedTimer,
+    )
 }
 
 /// §6.5 OpenManager: the implicit-dependency false positive.
 pub fn open_manager_implicit() -> (AndroidApp, GroundTruth) {
-    build_single("OpenManagerList", "com.example.ListActivity", Idiom::ImplicitDep)
+    build_single(
+        "OpenManagerList",
+        "com.example.ListActivity",
+        Idiom::ImplicitDep,
+    )
 }
 
 /// §5 message-code constant-propagation refutation.
 pub fn message_guard() -> (AndroidApp, GroundTruth) {
-    build_single("MessageGuard", "com.example.HandlerActivity", Idiom::MessageGuard)
+    build_single(
+        "MessageGuard",
+        "com.example.HandlerActivity",
+        Idiom::MessageGuard,
+    )
 }
 
 fn build_single(app_name: &str, activity: &str, idiom: Idiom) -> (AndroidApp, GroundTruth) {

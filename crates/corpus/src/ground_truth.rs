@@ -36,7 +36,10 @@ impl RaceLabel {
 
     /// Whether SIERRA is expected to emit a report for this field.
     pub fn expect_report(self) -> bool {
-        matches!(self, RaceLabel::TrueRace | RaceLabel::BenignGuard | RaceLabel::ImplicitDep)
+        matches!(
+            self,
+            RaceLabel::TrueRace | RaceLabel::BenignGuard | RaceLabel::ImplicitDep
+        )
     }
 }
 
@@ -67,7 +70,11 @@ impl GroundTruth {
     /// Records a planted race (duplicate `(class, field)` keys are merged;
     /// shared substrate classes can be planted by several activities).
     pub fn plant(&mut self, class: &str, field: &str, label: RaceLabel) {
-        if self.planted.iter().any(|p| p.class == class && p.field == field) {
+        if self
+            .planted
+            .iter()
+            .any(|p| p.class == class && p.field == field)
+        {
             return;
         }
         self.planted.push(PlantedRace {
@@ -92,7 +99,10 @@ impl GroundTruth {
 
     /// Number of planted sites SIERRA is expected to report.
     pub fn expected_reports(&self) -> usize {
-        self.planted.iter().filter(|p| p.label.expect_report()).count()
+        self.planted
+            .iter()
+            .filter(|p| p.label.expect_report())
+            .count()
     }
 
     /// Scores a set of reported `(class, field)` race groups against the
@@ -105,7 +115,10 @@ impl GroundTruth {
             .into_iter()
             .map(|(c, f)| (c.to_owned(), f.to_owned()))
             .collect();
-        let mut counts = EvalCounts { reported: distinct.len(), ..Default::default() };
+        let mut counts = EvalCounts {
+            reported: distinct.len(),
+            ..Default::default()
+        };
         for (c, f) in &distinct {
             match self.classify(c, f) {
                 Some(l) if l.is_true_race() => counts.true_races += 1,
@@ -116,9 +129,7 @@ impl GroundTruth {
         }
         // Missed true races (false negatives).
         for p in &self.planted {
-            if p.label.is_true_race()
-                && !distinct.contains(&(p.class.clone(), p.field.clone()))
-            {
+            if p.label.is_true_race() && !distinct.contains(&(p.class.clone(), p.field.clone())) {
                 counts.missed += 1;
             }
         }

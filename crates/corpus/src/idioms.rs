@@ -139,7 +139,13 @@ fn register_self_listener(
         Some(this),
         vec![Operand::Const(ConstValue::Int(view_id))],
     );
-    mb.call(None, InvokeKind::Virtual, register, Some(v), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        register,
+        Some(v),
+        vec![Operand::Local(this)],
+    );
 }
 
 /// Declares a `Runnable` subclass with an `outer` back-reference and a
@@ -233,8 +239,20 @@ fn plant_async_ui_update(app: &mut AndroidAppBuilder, name: &str, truth: &mut Gr
     let (ad, t) = (mb.fresh_local(), mb.fresh_local());
     mb.load(ad, this, act_adapter);
     mb.new_(t, loader);
-    mb.call(None, InvokeKind::Special, loader_init, Some(t), vec![Operand::Local(ad)]);
-    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        loader_init,
+        Some(t),
+        vec![Operand::Local(ad)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.async_task_execute,
+        Some(t),
+        vec![],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -290,13 +308,26 @@ fn plant_receiver_db(app: &mut AndroidAppBuilder, name: &str, truth: &mut Ground
     let (o, d, b) = (mb.fresh_local(), mb.fresh_local(), mb.fresh_local());
     mb.load(o, this, outer);
     mb.load(d, o, mdb);
-    mb.call(Some(b), InvokeKind::Virtual, fw.intent_get_extras, Some(intent), vec![]);
-    mb.call(None, InvokeKind::Virtual, db_update, Some(d), vec![Operand::Local(b)]);
+    mb.call(
+        Some(b),
+        InvokeKind::Virtual,
+        fw.intent_get_extras,
+        Some(intent),
+        vec![],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        db_update,
+        Some(d),
+        vec![Operand::Local(b)],
+    );
     mb.ret(None);
     mb.finish();
 
     let recv_field: FieldId =
-        app.program_builder().add_field(activity, "recv", Type::Ref(recv), false);
+        app.program_builder()
+            .add_field(activity, "recv", Type::Ref(recv), false);
 
     let mut mb = app.method(activity, "onCreate");
     mb.set_param_count(1);
@@ -305,9 +336,21 @@ fn plant_receiver_db(app: &mut AndroidAppBuilder, name: &str, truth: &mut Ground
     mb.new_(d, db);
     mb.store(this, mdb, Operand::Local(d));
     mb.new_(r, recv);
-    mb.call(None, InvokeKind::Special, recv_init, Some(r), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        recv_init,
+        Some(r),
+        vec![Operand::Local(this)],
+    );
     mb.store(this, recv_field, Operand::Local(r));
-    mb.call(None, InvokeKind::Virtual, fw.register_receiver, Some(this), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.register_receiver,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -334,7 +377,13 @@ fn plant_receiver_db(app: &mut AndroidAppBuilder, name: &str, truth: &mut Ground
     let this = mb.param(0);
     let r = mb.fresh_local();
     mb.load(r, this, recv_field);
-    mb.call(None, InvokeKind::Virtual, fw.unregister_receiver, Some(this), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.unregister_receiver,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
     mb.store(this, mdb, Operand::Const(ConstValue::Null));
     mb.ret(None);
     mb.finish();
@@ -377,8 +426,20 @@ fn plant_guarded_timer(app: &mut AndroidAppBuilder, name: &str, truth: &mut Grou
     let r = mb.fresh_local();
     mb.store(this, is_running, Operand::Const(ConstValue::Bool(true)));
     mb.new_(r, runner);
-    mb.call(None, InvokeKind::Special, runner_init, Some(r), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        runner_init,
+        Some(r),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -450,8 +511,20 @@ fn plant_ordered_posts(app: &mut AndroidAppBuilder, name: &str, truth: &mut Grou
     for (class, init) in [(r1, r1_init), (r2, r2_init)] {
         let r = mb.fresh_local();
         mb.new_(r, class);
-        mb.call(None, InvokeKind::Special, init, Some(r), vec![Operand::Local(this)]);
-        mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+        mb.call(
+            None,
+            InvokeKind::Special,
+            init,
+            Some(r),
+            vec![Operand::Local(this)],
+        );
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.run_on_ui_thread,
+            Some(this),
+            vec![Operand::Local(r)],
+        );
     }
     mb.ret(None);
     mb.finish();
@@ -486,9 +559,21 @@ fn plant_thread_unsync(app: &mut AndroidAppBuilder, name: &str, truth: &mut Grou
     let this = mb.param(0);
     let (w, t) = (mb.fresh_local(), mb.fresh_local());
     mb.new_(w, worker);
-    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        worker_init,
+        Some(w),
+        vec![Operand::Local(this)],
+    );
     mb.new_(t, fw.thread);
-    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(w)],
+    );
     mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
     mb.ret(None);
     mb.finish();
@@ -523,9 +608,21 @@ fn plant_implicit_dep(app: &mut AndroidAppBuilder, name: &str, truth: &mut Groun
     let this = mb.param(0);
     let (w, t) = (mb.fresh_local(), mb.fresh_local());
     mb.new_(w, filler);
-    mb.call(None, InvokeKind::Special, filler_init, Some(w), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        filler_init,
+        Some(w),
+        vec![Operand::Local(this)],
+    );
     mb.new_(t, fw.thread);
-    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(w)],
+    );
     mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
     register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
     mb.ret(None);
@@ -583,14 +680,22 @@ fn plant_message_guard(app: &mut AndroidAppBuilder, name: &str, truth: &mut Grou
     mb.ret(None);
     mb.finish();
 
-    let hfield = app.program_builder().add_field(activity, "handler", Type::Ref(handler_class), false);
+    let hfield =
+        app.program_builder()
+            .add_field(activity, "handler", Type::Ref(handler_class), false);
 
     let mut mb = app.method(activity, "onCreate");
     mb.set_param_count(1);
     let this = mb.param(0);
     let h = mb.fresh_local();
     mb.new_(h, handler_class);
-    mb.call(None, InvokeKind::Special, handler_init, Some(h), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        handler_init,
+        Some(h),
+        vec![Operand::Local(this)],
+    );
     mb.store(this, hfield, Operand::Local(h));
     mb.ret(None);
     mb.finish();
@@ -606,7 +711,13 @@ fn plant_message_guard(app: &mut AndroidAppBuilder, name: &str, truth: &mut Grou
         mb.load(h, this, hfield);
         mb.call(Some(m), InvokeKind::Static, fw.message_obtain, None, vec![]);
         mb.store(m, fw.message_what, Operand::Const(ConstValue::Int(code)));
-        mb.call(None, InvokeKind::Virtual, fw.handler_send_message, Some(h), vec![Operand::Local(m)]);
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.handler_send_message,
+            Some(h),
+            vec![Operand::Local(m)],
+        );
         mb.ret(None);
         mb.finish();
     }
@@ -646,7 +757,13 @@ fn plant_service_conn(app: &mut AndroidAppBuilder, name: &str, truth: &mut Groun
     let this = mb.param(0);
     let (c, i) = (mb.fresh_local(), mb.fresh_local());
     mb.new_(c, conn);
-    mb.call(None, InvokeKind::Special, conn_init, Some(c), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        conn_init,
+        Some(c),
+        vec![Operand::Local(this)],
+    );
     mb.new_(i, fw.intent);
     mb.call(
         None,
@@ -695,8 +812,14 @@ fn plant_view_text(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundTr
         mb.ret(None);
         mb.finish();
     }
-    let a_id = app.program_builder().find_method(activity, "onClickA").expect("onClickA");
-    let b_id = app.program_builder().find_method(activity, "onClickB").expect("onClickB");
+    let a_id = app
+        .program_builder()
+        .find_method(activity, "onClickA")
+        .expect("onClickA");
+    let b_id = app
+        .program_builder()
+        .find_method(activity, "onClickB")
+        .expect("onClickB");
     let mut layout = Layout::new(activity);
     layout.add_view(ViewDecl::new(1, text_class).with_xml_listener(GuiEventKind::Click, a_id));
     layout.add_view(ViewDecl::new(2, fw.view).with_xml_listener(GuiEventKind::Click, b_id));
@@ -720,9 +843,21 @@ fn plant_static_flag(app: &mut AndroidAppBuilder, name: &str, truth: &mut Ground
     let this = mb.param(0);
     let (w, t) = (mb.fresh_local(), mb.fresh_local());
     mb.new_(w, worker);
-    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        worker_init,
+        Some(w),
+        vec![Operand::Local(this)],
+    );
     mb.new_(t, fw.thread);
-    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(w)],
+    );
     mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
     mb.ret(None);
     mb.finish();
@@ -773,8 +908,20 @@ fn plant_null_guard(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundT
     mb.new_(v, obj);
     mb.store(this, res, Operand::Local(v));
     mb.new_(r, runner);
-    mb.call(None, InvokeKind::Special, runner_init, Some(r), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        runner_init,
+        Some(r),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -837,8 +984,20 @@ fn plant_loading_flag(app: &mut AndroidAppBuilder, name: &str, truth: &mut Groun
     let t = mb.fresh_local();
     mb.store(this, loading, Operand::Const(ConstValue::Bool(true)));
     mb.new_(t, task);
-    mb.call(None, InvokeKind::Special, task_init, Some(t), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        task_init,
+        Some(t),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.async_task_execute,
+        Some(t),
+        vec![],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -939,7 +1098,13 @@ fn plant_timer_tick(app: &mut AndroidAppBuilder, name: &str, truth: &mut GroundT
     let (timer, t) = (mb.fresh_local(), mb.fresh_local());
     mb.new_(timer, fw.timer);
     mb.new_(t, task);
-    mb.call(None, InvokeKind::Special, task_init, Some(t), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        task_init,
+        Some(t),
+        vec![Operand::Local(this)],
+    );
     mb.call(
         None,
         InvokeKind::Virtual,
@@ -1115,7 +1280,13 @@ fn plant_watcher_sync(app: &mut AndroidAppBuilder, name: &str, truth: &mut Groun
         vec![Operand::Const(ConstValue::Int(1))],
     );
     mb.new_(w, watcher);
-    mb.call(None, InvokeKind::Special, watcher_init, Some(w), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        watcher_init,
+        Some(w),
+        vec![Operand::Local(this)],
+    );
     mb.call(
         None,
         InvokeKind::Virtual,
@@ -1132,8 +1303,20 @@ fn plant_watcher_sync(app: &mut AndroidAppBuilder, name: &str, truth: &mut Groun
     let this = mb.param(0);
     let t = mb.fresh_local();
     mb.new_(t, saver);
-    mb.call(None, InvokeKind::Special, saver_init, Some(t), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        saver_init,
+        Some(t),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.async_task_execute,
+        Some(t),
+        vec![],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -1179,9 +1362,21 @@ fn plant_indexed_buffer(app: &mut AndroidAppBuilder, name: &str, truth: &mut Gro
     mb.new_(b, fw.array_list);
     mb.store(this, buf, Operand::Local(b));
     mb.new_(w, worker);
-    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        worker_init,
+        Some(w),
+        vec![Operand::Local(this)],
+    );
     mb.new_(t, fw.thread);
-    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(w)],
+    );
     mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
     register_self_listener(&mut mb, &fw, this, 1, fw.set_on_click_listener);
     mb.ret(None);
@@ -1238,7 +1433,12 @@ fn plant_filler(app: &mut AndroidAppBuilder, name: &str) {
     mb.new_(v, obj);
     mb.store(this, scratch, Operand::Local(v));
     mb.const_(a, ConstValue::Int(2));
-    mb.bin_op(b, apir::BinOp::Add, Operand::Local(a), Operand::Const(ConstValue::Int(3)));
+    mb.bin_op(
+        b,
+        apir::BinOp::Add,
+        Operand::Local(a),
+        Operand::Const(ConstValue::Int(3)),
+    );
     mb.store(this, counter, Operand::Local(b));
     mb.ret(None);
     let helper = mb.finish();

@@ -8,8 +8,7 @@
 use crate::ground_truth::GroundTruth;
 use crate::idioms::Idiom;
 use android_model::{AndroidApp, AndroidAppBuilder};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sierra_prng::SplitMix64;
 
 /// Table 2 metadata for one app.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,26 +23,106 @@ pub struct AppSpec {
 
 /// The Table 2 dataset.
 pub const TWENTY: [AppSpec; 20] = [
-    AppSpec { name: "APV", installs: "500,000-1,000,000", bytecode_kb: 736 },
-    AppSpec { name: "Astrid", installs: "100,000-500,000", bytecode_kb: 5400 },
-    AppSpec { name: "Barcode Scanner", installs: "100,000,000-500,000,000", bytecode_kb: 808 },
-    AppSpec { name: "Beem", installs: "50,000-100,000", bytecode_kb: 1700 },
-    AppSpec { name: "ConnectBot", installs: "1,000,000-5,000,000", bytecode_kb: 700 },
-    AppSpec { name: "FBReader", installs: "10,000,000-50,000,000", bytecode_kb: 1013 },
-    AppSpec { name: "K-9 Mail", installs: "5,000,000-10,000,000", bytecode_kb: 2800 },
-    AppSpec { name: "KeePassDroid", installs: "1,000,000-5,000,000", bytecode_kb: 489 },
-    AppSpec { name: "Mileage", installs: "500,000-1,000,000", bytecode_kb: 641 },
-    AppSpec { name: "MyTracks", installs: "500,000-1,000,000", bytecode_kb: 5300 },
-    AppSpec { name: "NPR News", installs: "1,000,000-5,000,000", bytecode_kb: 1500 },
-    AppSpec { name: "NotePad", installs: "10,000,000-50,000,000", bytecode_kb: 228 },
-    AppSpec { name: "OpenManager", installs: "N/A (F-Droid)", bytecode_kb: 77 },
-    AppSpec { name: "OpenSudoku", installs: "1,000,000-5,000,000", bytecode_kb: 170 },
-    AppSpec { name: "SipDroid", installs: "1,000,000-5,000,000", bytecode_kb: 539 },
-    AppSpec { name: "SuperGenPass", installs: "10,000-50,000", bytecode_kb: 137 },
-    AppSpec { name: "TippyTipper", installs: "100,000-500,000", bytecode_kb: 79 },
-    AppSpec { name: "VLC", installs: "100,000,000-500,000,000", bytecode_kb: 1100 },
-    AppSpec { name: "VuDroid", installs: "100,000-500,000", bytecode_kb: 63 },
-    AppSpec { name: "XBMC remote", installs: "100,000-500,000", bytecode_kb: 1100 },
+    AppSpec {
+        name: "APV",
+        installs: "500,000-1,000,000",
+        bytecode_kb: 736,
+    },
+    AppSpec {
+        name: "Astrid",
+        installs: "100,000-500,000",
+        bytecode_kb: 5400,
+    },
+    AppSpec {
+        name: "Barcode Scanner",
+        installs: "100,000,000-500,000,000",
+        bytecode_kb: 808,
+    },
+    AppSpec {
+        name: "Beem",
+        installs: "50,000-100,000",
+        bytecode_kb: 1700,
+    },
+    AppSpec {
+        name: "ConnectBot",
+        installs: "1,000,000-5,000,000",
+        bytecode_kb: 700,
+    },
+    AppSpec {
+        name: "FBReader",
+        installs: "10,000,000-50,000,000",
+        bytecode_kb: 1013,
+    },
+    AppSpec {
+        name: "K-9 Mail",
+        installs: "5,000,000-10,000,000",
+        bytecode_kb: 2800,
+    },
+    AppSpec {
+        name: "KeePassDroid",
+        installs: "1,000,000-5,000,000",
+        bytecode_kb: 489,
+    },
+    AppSpec {
+        name: "Mileage",
+        installs: "500,000-1,000,000",
+        bytecode_kb: 641,
+    },
+    AppSpec {
+        name: "MyTracks",
+        installs: "500,000-1,000,000",
+        bytecode_kb: 5300,
+    },
+    AppSpec {
+        name: "NPR News",
+        installs: "1,000,000-5,000,000",
+        bytecode_kb: 1500,
+    },
+    AppSpec {
+        name: "NotePad",
+        installs: "10,000,000-50,000,000",
+        bytecode_kb: 228,
+    },
+    AppSpec {
+        name: "OpenManager",
+        installs: "N/A (F-Droid)",
+        bytecode_kb: 77,
+    },
+    AppSpec {
+        name: "OpenSudoku",
+        installs: "1,000,000-5,000,000",
+        bytecode_kb: 170,
+    },
+    AppSpec {
+        name: "SipDroid",
+        installs: "1,000,000-5,000,000",
+        bytecode_kb: 539,
+    },
+    AppSpec {
+        name: "SuperGenPass",
+        installs: "10,000-50,000",
+        bytecode_kb: 137,
+    },
+    AppSpec {
+        name: "TippyTipper",
+        installs: "100,000-500,000",
+        bytecode_kb: 79,
+    },
+    AppSpec {
+        name: "VLC",
+        installs: "100,000,000-500,000,000",
+        bytecode_kb: 1100,
+    },
+    AppSpec {
+        name: "VuDroid",
+        installs: "100,000-500,000",
+        bytecode_kb: 63,
+    },
+    AppSpec {
+        name: "XBMC remote",
+        installs: "100,000-500,000",
+        bytecode_kb: 1100,
+    },
 ];
 
 /// Deterministic seed for an app name.
@@ -64,12 +143,16 @@ pub fn activity_count(bytecode_kb: u32) -> usize {
 
 /// Synthesizes one app from its spec.
 pub fn build_app(spec: AppSpec) -> (AndroidApp, GroundTruth) {
-    synthesize(spec.name, activity_count(spec.bytecode_kb), seed_of(spec.name))
+    synthesize(
+        spec.name,
+        activity_count(spec.bytecode_kb),
+        seed_of(spec.name),
+    )
 }
 
 /// Synthesizes an app with `n_activities` planted idiom activities.
 pub fn synthesize(name: &str, n_activities: usize, seed: u64) -> (AndroidApp, GroundTruth) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut app = AndroidAppBuilder::new(name);
     let mut truth = GroundTruth::new();
     let pkg: String = name
@@ -79,7 +162,7 @@ pub fn synthesize(name: &str, n_activities: usize, seed: u64) -> (AndroidApp, Gr
         .to_ascii_lowercase();
     // Rotate through the idiom list from a seeded offset, so different apps
     // get different idiom mixes but every sizable app covers the spectrum.
-    let offset = rng.gen_range(0..Idiom::ALL.len());
+    let offset = rng.usize(Idiom::ALL.len());
     for i in 0..n_activities {
         let idiom = Idiom::ALL[(offset + i) % Idiom::ALL.len()];
         let activity = format!("com.{pkg}.Activity{i}");
@@ -122,7 +205,10 @@ mod tests {
     fn all_twenty_build() {
         for (spec, app, truth) in build_all() {
             assert!(app.program.validate().is_ok(), "{} invalid", spec.name);
-            assert_eq!(app.manifest.activities.len(), activity_count(spec.bytecode_kb));
+            assert_eq!(
+                app.manifest.activities.len(),
+                activity_count(spec.bytecode_kb)
+            );
             assert!(truth.planted.len() >= 2, "{} plants too little", spec.name);
         }
     }

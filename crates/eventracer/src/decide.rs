@@ -7,8 +7,7 @@
 //! prefix and logs every decision point, which is what the systematic
 //! explorer (`crate::systematic`) enumerates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sierra_prng::SplitMix64;
 
 /// A source of bounded nondeterministic choices.
 pub trait Decider {
@@ -19,13 +18,15 @@ pub trait Decider {
 /// Seeded pseudo-random choices.
 #[derive(Debug)]
 pub struct RandomDecider {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomDecider {
     /// Creates a decider from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
@@ -35,7 +36,7 @@ impl Decider for RandomDecider {
         if arity <= 1 {
             0
         } else {
-            self.rng.gen_range(0..arity)
+            self.rng.usize(arity)
         }
     }
 }
@@ -53,7 +54,11 @@ pub struct ScriptedDecider {
 impl ScriptedDecider {
     /// Creates a decider replaying `script`.
     pub fn new(script: Vec<usize>) -> Self {
-        Self { script, cursor: 0, log: Vec::new() }
+        Self {
+            script,
+            cursor: 0,
+            log: Vec::new(),
+        }
     }
 }
 

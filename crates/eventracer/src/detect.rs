@@ -58,7 +58,10 @@ pub fn detect_races(
         for a in &ev.accesses {
             let entry = by_loc.entry(a.loc).or_default();
             // Deduplicate repeated identical accesses within one event.
-            if !entry.iter().any(|&(ee, w, ad)| ee == e && w == a.is_write && ad == a.addr) {
+            if !entry
+                .iter()
+                .any(|&(ee, w, ad)| ee == e && w == a.is_write && ad == a.addr)
+            {
                 entry.push((e, a.is_write, a.addr));
             }
         }

@@ -24,14 +24,24 @@ pub struct DriverConfig {
 
 impl Default for DriverConfig {
     fn default() -> Self {
-        Self { seed: 42, steps_per_episode: 25, activity_coverage: 0.7 }
+        Self {
+            seed: 42,
+            steps_per_episode: 25,
+            activity_coverage: 0.7,
+        }
     }
 }
 
 /// Runs one exploration of `app`, returning the trace.
 pub fn explore(app: &AndroidApp, config: DriverConfig) -> Trace {
     let decider = RandomDecider::new(config.seed);
-    drive(app, decider, config.steps_per_episode, config.activity_coverage).0
+    drive(
+        app,
+        decider,
+        config.steps_per_episode,
+        config.activity_coverage,
+    )
+    .0
 }
 
 /// Runs one exploration with a scripted schedule, returning the trace and
@@ -67,7 +77,6 @@ fn run_episodes<D: Decider>(
     steps_per_episode: usize,
     coverage_buckets: usize,
 ) {
-
     // Statically-declared receivers are registered for the whole run.
     for &r in &app.manifest.receivers {
         let inst = rt.alloc(r);

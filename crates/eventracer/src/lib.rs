@@ -31,12 +31,12 @@ pub mod runtime;
 pub mod systematic;
 pub mod verify;
 
-pub use detect::{detect_races, hb_ancestors, DynamicRace};
 pub use decide::{Decider, RandomDecider, ScriptedDecider};
+pub use detect::{detect_races, hb_ancestors, DynamicRace};
 pub use driver::{explore, explore_scripted, DriverConfig};
+pub use runtime::{Trace, Value};
 pub use systematic::{detect_systematic, SystematicConfig};
 pub use verify::{verify_race, Verdict, VerifyConfig};
-pub use runtime::{Trace, Value};
 
 use android_model::AndroidApp;
 use std::collections::HashSet;
@@ -82,8 +82,11 @@ pub struct EventRacerReport {
 impl EventRacerReport {
     /// Distinct `(class, field)` race groups (for ground-truth scoring).
     pub fn race_groups(&self) -> Vec<(String, String)> {
-        let set: HashSet<(String, String)> =
-            self.races.iter().map(|r| (r.class.clone(), r.field.clone())).collect();
+        let set: HashSet<(String, String)> = self
+            .races
+            .iter()
+            .map(|r| (r.class.clone(), r.field.clone()))
+            .collect();
         let mut v: Vec<_> = set.into_iter().collect();
         v.sort();
         v
@@ -111,7 +114,11 @@ pub fn detect(app: &AndroidApp, config: &EventRacerConfig) -> EventRacerReport {
     }
     let mut out: Vec<DynamicRace> = races.into_iter().collect();
     out.sort_by(|a, b| (&a.class, &a.field, a.sites).cmp(&(&b.class, &b.field, b.sites)));
-    EventRacerReport { races: out, filtered, events }
+    EventRacerReport {
+        races: out,
+        filtered,
+        events,
+    }
 }
 
 #[cfg(test)]

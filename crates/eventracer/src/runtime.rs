@@ -7,12 +7,12 @@
 //! records each event's memory accesses and the causal (post/fork) edges
 //! between events.
 
+use crate::decide::Decider;
 use android_model::{AndroidApp, FrameworkOp, GuiEventKind, LifecycleEvent};
 use apir::{
     BinOp, ClassId, CmpOp, ConstValue, FieldId, InvokeKind, MethodId, Operand, Stmt, StmtAddr,
     Terminator, UnOp,
 };
-use crate::decide::Decider;
 use std::collections::{HashMap, VecDeque};
 
 /// A runtime value.
@@ -178,7 +178,9 @@ impl<'a, D: Decider> Runtime<'a, D> {
 
     /// Delivers a GUI event to listener index `idx` (from a snapshot).
     pub fn gui_event(&mut self, idx: usize) {
-        let Some(&(kind, listener)) = self.listeners.get(idx) else { return };
+        let Some(&(kind, listener)) = self.listeners.get(idx) else {
+            return;
+        };
         let decl = kind.interface_method(&self.app.framework);
         let argc = self.app.program.method(decl).param_count.saturating_sub(1) as usize;
         self.run_event(PendingTask {
@@ -193,7 +195,9 @@ impl<'a, D: Decider> Runtime<'a, D> {
 
     /// Delivers a broadcast to receiver index `idx`.
     pub fn broadcast(&mut self, idx: usize) {
-        let Some(&recv) = self.receivers.get(idx) else { return };
+        let Some(&recv) = self.receivers.get(idx) else {
+            return;
+        };
         let fw = &self.app.framework;
         let intent = self.alloc(fw.intent);
         let bundle = self.alloc(fw.bundle);
@@ -264,9 +268,13 @@ impl<'a, D: Decider> Runtime<'a, D> {
         depth: usize,
         budget: &mut usize,
     ) -> Value {
-        let Value::Ref(r) = receiver else { return Value::Null };
+        let Value::Ref(r) = receiver else {
+            return Value::Null;
+        };
         let class = self.heap[r].0;
-        let Some(target) = self.app.program.dispatch(class, decl) else { return Value::Null };
+        let Some(target) = self.app.program.dispatch(class, decl) else {
+            return Value::Null;
+        };
         if !self.app.program.method(target).has_body() {
             return Value::Null;
         }
@@ -304,7 +312,11 @@ impl<'a, D: Decider> Runtime<'a, D> {
             }
             match &bb.terminator {
                 Terminator::Goto(b) => block = *b,
-                Terminator::If { cond, then_bb, else_bb } => {
+                Terminator::If {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
                     let v = self.eval(*cond, &locals);
                     block = if v.truthy() { *then_bb } else { *else_bb };
                 }
@@ -338,7 +350,11 @@ impl<'a, D: Decider> Runtime<'a, D> {
     }
 
     fn record(&mut self, loc: DynLoc, is_write: bool, addr: StmtAddr) {
-        self.trace.events[self.cur_event].accesses.push(AccessRec { loc, is_write, addr });
+        self.trace.events[self.cur_event].accesses.push(AccessRec {
+            loc,
+            is_write,
+            addr,
+        });
     }
 
     fn exec_stmt(
@@ -394,7 +410,14 @@ impl<'a, D: Decider> Runtime<'a, D> {
                 self.record(DynLoc::Static(*field), true, addr);
                 self.statics.insert(*field, v);
             }
-            Stmt::Call { dst, kind, callee, receiver, args, .. } => {
+            Stmt::Call {
+                dst,
+                kind,
+                callee,
+                receiver,
+                args,
+                ..
+            } => {
                 let argv: Vec<Value> = args.iter().map(|a| self.eval(*a, locals)).collect();
                 let recv = receiver.map(|r| locals[r.0 as usize]);
                 let ret = self.exec_call(*kind, *callee, recv, &argv, addr, depth, budget);
@@ -478,7 +501,11 @@ impl<'a, D: Decider> Runtime<'a, D> {
                         args: vec![],
                         poster: Some(cur),
                         label: "doInBackground".into(),
-                        followup: Some((fw.async_task_on_post_execute, recv, "onPostExecute".into())),
+                        followup: Some((
+                            fw.async_task_on_post_execute,
+                            recv,
+                            "onPostExecute".into(),
+                        )),
                     });
                 }
             }
@@ -550,9 +577,13 @@ impl<'a, D: Decider> Runtime<'a, D> {
                 }
             }
             FindViewById => {
-                let Some(Value::Ref(r)) = receiver else { return Value::Null };
+                let Some(Value::Ref(r)) = receiver else {
+                    return Value::Null;
+                };
                 let activity_class = self.heap[r].0;
-                let Some(&Value::Int(id)) = args.first() else { return Value::Null };
+                let Some(&Value::Int(id)) = args.first() else {
+                    return Value::Null;
+                };
                 if let Some(&v) = self.views.get(&(activity_class, id)) {
                     return Value::Ref(v);
                 }
@@ -692,10 +723,19 @@ mod tests {
         assert_eq!(eval_binop(BinOp::Sub, Int(2), Int(3)), Int(-1));
         assert_eq!(eval_binop(BinOp::Mul, Int(2), Int(3)), Int(6));
         assert_eq!(eval_binop(BinOp::Add, Int(2), Null), Null);
-        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Eq), Ref(1), Ref(1)), Bool(true));
+        assert_eq!(
+            eval_binop(BinOp::Cmp(CmpOp::Eq), Ref(1), Ref(1)),
+            Bool(true)
+        );
         assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Ne), Ref(1), Null), Bool(true));
-        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Lt), Int(1), Int(2)), Bool(true));
-        assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Le), Int(2), Int(2)), Bool(true));
+        assert_eq!(
+            eval_binop(BinOp::Cmp(CmpOp::Lt), Int(1), Int(2)),
+            Bool(true)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Cmp(CmpOp::Le), Int(2), Int(2)),
+            Bool(true)
+        );
         assert_eq!(eval_binop(BinOp::And, Bool(true), Bool(false)), Bool(false));
         assert_eq!(eval_binop(BinOp::Or, Bool(true), Bool(false)), Bool(true));
         assert_eq!(eval_binop(BinOp::Cmp(CmpOp::Lt), Null, Int(1)), Bool(false));

@@ -35,7 +35,12 @@ pub struct SystematicConfig {
 
 impl Default for SystematicConfig {
     fn default() -> Self {
-        Self { max_runs: 128, steps_per_episode: 6, branch_depth: 24, race_coverage_filter: true }
+        Self {
+            max_runs: 128,
+            steps_per_episode: 6,
+            branch_depth: 24,
+            race_coverage_filter: true,
+        }
     }
 }
 
@@ -87,7 +92,11 @@ pub fn detect_systematic(app: &AndroidApp, config: &SystematicConfig) -> EventRa
 
     let mut out: Vec<DynamicRace> = races.into_iter().collect();
     out.sort_by(|a, b| (&a.class, &a.field, a.sites).cmp(&(&b.class, &b.field, b.sites)));
-    EventRacerReport { races: out, filtered, events }
+    EventRacerReport {
+        races: out,
+        filtered,
+        events,
+    }
 }
 
 #[cfg(test)]
@@ -113,7 +122,11 @@ mod tests {
         // sub-millisecond runs to reach it.
         let report = detect_systematic(
             &app,
-            &SystematicConfig { max_runs: 2500, steps_per_episode: 6, ..Default::default() },
+            &SystematicConfig {
+                max_runs: 2500,
+                steps_per_episode: 6,
+                ..Default::default()
+            },
         );
         assert!(
             report
@@ -133,7 +146,11 @@ mod tests {
         let (app, _) = corpus::figures::inter_component();
         let systematic = detect_systematic(
             &app,
-            &SystematicConfig { max_runs: 64, steps_per_episode: 6, ..Default::default() },
+            &SystematicConfig {
+                max_runs: 64,
+                steps_per_episode: 6,
+                ..Default::default()
+            },
         );
         let random = crate::detect(
             &app,
@@ -158,11 +175,17 @@ mod tests {
         let (app, _) = corpus::figures::intra_component();
         let small = detect_systematic(
             &app,
-            &SystematicConfig { max_runs: 2, ..Default::default() },
+            &SystematicConfig {
+                max_runs: 2,
+                ..Default::default()
+            },
         );
         let large = detect_systematic(
             &app,
-            &SystematicConfig { max_runs: 32, ..Default::default() },
+            &SystematicConfig {
+                max_runs: 32,
+                ..Default::default()
+            },
         );
         assert!(large.events >= small.events);
         assert!(large.race_groups().len() >= small.race_groups().len());

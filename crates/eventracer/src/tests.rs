@@ -33,20 +33,29 @@ fn race_coverage_filter_hides_guard_flag_races() {
     let (app, _) = figures::open_sudoku_guard();
     let filtered = detect(&app, &thorough());
     assert!(
-        !filtered.race_groups().iter().any(|(_, f)| f == "mAccumTime"),
+        !filtered
+            .race_groups()
+            .iter()
+            .any(|(_, f)| f == "mAccumTime"),
         "primitive-guarded accesses are filtered: {:?}",
         filtered.race_groups()
     );
 
     let unfiltered = detect(
         &app,
-        &EventRacerConfig { race_coverage_filter: false, ..thorough() },
+        &EventRacerConfig {
+            race_coverage_filter: false,
+            ..thorough()
+        },
     );
     assert!(
         unfiltered.races.len() >= filtered.races.len(),
         "the filter only removes races"
     );
-    assert!(filtered.filtered > 0, "some candidates must have been filtered");
+    assert!(
+        filtered.filtered > 0,
+        "some candidates must have been filtered"
+    );
 }
 
 #[test]
@@ -78,7 +87,10 @@ fn pointer_guard_race_survives_the_filter_as_a_false_positive() {
         .iter()
         .map(|r| result.harness.app.program.field_name(r.field).to_owned())
         .collect();
-    assert!(!reported.contains(&"payload".to_owned()), "SIERRA refutes it: {reported:?}");
+    assert!(
+        !reported.contains(&"payload".to_owned()),
+        "SIERRA refutes it: {reported:?}"
+    );
 }
 
 #[test]

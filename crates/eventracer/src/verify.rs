@@ -29,7 +29,11 @@ pub struct VerifyConfig {
 
 impl Default for VerifyConfig {
     fn default() -> Self {
-        Self { seed: 0xC0FFEE, attempts: 12, steps_per_episode: 40 }
+        Self {
+            seed: 0xC0FFEE,
+            attempts: 12,
+            steps_per_episode: 40,
+        }
     }
 }
 
@@ -84,7 +88,9 @@ pub fn verify_race(app: &AndroidApp, class: &str, field: &str, config: VerifyCon
         let trace = explore(
             app,
             DriverConfig {
-                seed: config.seed.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                seed: config
+                    .seed
+                    .wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 steps_per_episode: config.steps_per_episode,
                 activity_coverage: 1.0,
             },
@@ -98,7 +104,10 @@ pub fn verify_race(app: &AndroidApp, class: &str, field: &str, config: VerifyCon
                     DynLoc::Field(_, f) | DynLoc::Static(f) => f,
                 };
                 if f == field_id {
-                    by_loc.entry(a.loc).or_default().push((e, a.is_write, a.addr));
+                    by_loc
+                        .entry(a.loc)
+                        .or_default()
+                        .push((e, a.is_write, a.addr));
                 }
             }
         }
@@ -114,17 +123,25 @@ pub fn verify_race(app: &AndroidApp, class: &str, field: &str, config: VerifyCon
                         continue; // causally ordered — not a racing pair
                     }
                     // Normalize the site pair; record which side ran first.
-                    let (key, dir) = if a1 <= a2 { ((a1, a2), 1i8) } else { ((a2, a1), -1i8) };
+                    let (key, dir) = if a1 <= a2 {
+                        ((a1, a2), 1i8)
+                    } else {
+                        ((a2, a1), -1i8)
+                    };
                     let seen = orders.entry(key).or_default();
                     seen.insert(dir);
                     if seen.len() == 2 {
-                        return Verdict::Confirmed { schedule: attempt + 1 };
+                        return Verdict::Confirmed {
+                            schedule: attempt + 1,
+                        };
                     }
                 }
             }
         }
     }
-    Verdict::NotObserved { attempts: config.attempts }
+    Verdict::NotObserved {
+        attempts: config.attempts,
+    }
 }
 
 #[cfg(test)]
@@ -158,11 +175,16 @@ mod tests {
     #[test]
     fn does_not_observe_nonexistent_races() {
         let (app, _) = corpus::figures::intra_component();
-        let v = verify_race(&app, "com.example.NewsActivity", "no_such_field", VerifyConfig {
-            attempts: 3,
-            steps_per_episode: 10,
-            ..Default::default()
-        });
+        let v = verify_race(
+            &app,
+            "com.example.NewsActivity",
+            "no_such_field",
+            VerifyConfig {
+                attempts: 3,
+                steps_per_episode: 10,
+                ..Default::default()
+            },
+        );
         assert!(!v.confirmed(), "{v:?}");
     }
 
@@ -213,8 +235,20 @@ mod tests {
         let r = mb.fresh_local();
         mb.store(this, flag, Operand::Const(ConstValue::Bool(true)));
         mb.new_(r, w);
-        mb.call(None, InvokeKind::Special, w_init, Some(r), vec![Operand::Local(this)]);
-        mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+        mb.call(
+            None,
+            InvokeKind::Special,
+            w_init,
+            Some(r),
+            vec![Operand::Local(this)],
+        );
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.run_on_ui_thread,
+            Some(this),
+            vec![Operand::Local(r)],
+        );
         mb.ret(None);
         mb.finish();
         let mut mb = app.method(activity, "onPause");
@@ -234,7 +268,15 @@ mod tests {
         mb.finish();
         let app = app.finish().unwrap();
 
-        let v = verify_race(&app, "Act", "slot", VerifyConfig { attempts: 10, ..Default::default() });
+        let v = verify_race(
+            &app,
+            "Act",
+            "slot",
+            VerifyConfig {
+                attempts: 10,
+                ..Default::default()
+            },
+        );
         assert!(!v.confirmed(), "{v:?}");
     }
 }

@@ -44,7 +44,9 @@ impl ChaReachability {
                 continue;
             }
             for (_, stmt) in method.iter_stmts() {
-                let Stmt::Call { kind, callee, .. } = stmt else { continue };
+                let Stmt::Call { kind, callee, .. } = stmt else {
+                    continue;
+                };
                 match kind {
                     InvokeKind::Static | InvokeKind::Special => {
                         queue.push_back(*callee);

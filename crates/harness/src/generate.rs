@@ -2,9 +2,7 @@
 
 use crate::cha::ChaReachability;
 use crate::registrations::{self, Registration, RegistrationSeed};
-use android_model::{
-    AndroidApp, FrameworkClasses, FrameworkOp, GuiEventKind, LifecycleEvent,
-};
+use android_model::{AndroidApp, FrameworkClasses, FrameworkOp, GuiEventKind, LifecycleEvent};
 use apir::{
     AllocSiteId, BlockId, CallSiteId, ClassId, ConstValue, FieldId, InvokeKind, Local, MethodId,
     Operand, Origin, Program, ProgramBuilder, Stmt, StmtAddr,
@@ -91,7 +89,13 @@ pub fn generate(app: AndroidApp) -> HarnessResult {
     // §3.2: reached registrations contribute listener callbacks as roots).
     let assignment = assign_registrations(&app.program, &fw, &app, &seeds);
 
-    let AndroidApp { name, program, framework, manifest, layouts } = app;
+    let AndroidApp {
+        name,
+        program,
+        framework,
+        manifest,
+        layouts,
+    } = app;
     let mut pb = ProgramBuilder::from(program);
     let harness_class = pb.class("$Harness", Origin::App).build();
     let regs = registrations::instrument(&mut pb, harness_class, &fw, seeds);
@@ -102,7 +106,12 @@ pub fn generate(app: AndroidApp) -> HarnessResult {
     for (i, &activity) in manifest.activities.iter().enumerate() {
         let assigned: Vec<&Registration> = assignment
             .get(&activity)
-            .map(|sites| sites.iter().filter_map(|s| reg_by_site.get(s).copied()).collect())
+            .map(|sites| {
+                sites
+                    .iter()
+                    .filter_map(|s| reg_by_site.get(s).copied())
+                    .collect()
+            })
             .unwrap_or_default();
         let layout = layouts.iter().find(|l| l.activity == activity);
         let h = emit_harness(
@@ -121,8 +130,19 @@ pub fn generate(app: AndroidApp) -> HarnessResult {
 
     let program = pb.finish();
     debug_assert!(program.validate().is_ok());
-    let app = AndroidApp { name, program, framework, manifest, layouts };
-    HarnessResult { app, harness_class, activities, registrations: regs }
+    let app = AndroidApp {
+        name,
+        program,
+        framework,
+        manifest,
+        layouts,
+    };
+    HarnessResult {
+        app,
+        harness_class,
+        activities,
+        registrations: regs,
+    }
 }
 
 /// Maps each activity to the registration sites reachable from it.
@@ -160,8 +180,11 @@ fn assign_registrations(
             }
         }
         for &s in &app.manifest.services {
-            for decl in [fw.service_on_start_command, fw.service_on_create, fw.service_on_destroy]
-            {
+            for decl in [
+                fw.service_on_start_command,
+                fw.service_on_create,
+                fw.service_on_destroy,
+            ] {
                 if let Some(m) = program.dispatch(s, decl) {
                     roots.push(m);
                 }
@@ -206,8 +229,12 @@ fn discovery_targets(
         return out;
     }
     for (_, stmt) in method.iter_stmts() {
-        let Stmt::Call { callee, .. } = stmt else { continue };
-        let Some(op) = FrameworkOp::classify(fw, *callee) else { continue };
+        let Stmt::Call { callee, .. } = stmt else {
+            continue;
+        };
+        let Some(op) = FrameworkOp::classify(fw, *callee) else {
+            continue;
+        };
         let mut add_callbacks = |base: ClassId, decls: &[MethodId]| {
             for sub in program.concrete_subtypes(base) {
                 for &decl in decls {
@@ -249,7 +276,11 @@ fn discovery_targets(
             ),
             StartService => add_callbacks(
                 fw.service,
-                &[fw.service_on_start_command, fw.service_on_create, fw.service_on_destroy],
+                &[
+                    fw.service_on_start_command,
+                    fw.service_on_create,
+                    fw.service_on_destroy,
+                ],
             ),
             _ => {}
         }
@@ -343,15 +374,14 @@ fn emit_harness(
         })
         .collect();
 
-    let lifecycle =
-        |mb: &mut apir::MethodBuilder<'_>,
-         sites: &mut Vec<(CallSiteId, HarnessSiteKind)>,
-         event: LifecycleEvent,
-         instance: u8| {
-            let decl = event.declared_callback(fw);
-            let site = mb.call(None, InvokeKind::Virtual, decl, Some(act), vec![]);
-            sites.push((site, HarnessSiteKind::Lifecycle { event, instance }));
-        };
+    let lifecycle = |mb: &mut apir::MethodBuilder<'_>,
+                     sites: &mut Vec<(CallSiteId, HarnessSiteKind)>,
+                     event: LifecycleEvent,
+                     instance: u8| {
+        let decl = event.declared_callback(fw);
+        let site = mb.call(None, InvokeKind::Virtual, decl, Some(act), vec![]);
+        sites.push((site, HarnessSiteKind::Lifecycle { event, instance }));
+    };
 
     // onCreate in the entry block.
     lifecycle(&mut mb, &mut sites, LifecycleEvent::Create, 1);
@@ -435,8 +465,10 @@ fn emit_harness(
 
     // Fill sub-heads.
     for (&v, &head) in &subhead {
-        let mut targets: Vec<BlockId> =
-            children.get(&v).map(|cs| cs.iter().map(|&i| case_blocks[i]).collect()).unwrap_or_default();
+        let mut targets: Vec<BlockId> = children
+            .get(&v)
+            .map(|cs| cs.iter().map(|&i| case_blocks[i]).collect())
+            .unwrap_or_default();
         targets.push(loop_head);
         mb.switch_to(head);
         mb.nondet(targets);
@@ -445,8 +477,13 @@ fn emit_harness(
     // Fill receiver/service blocks.
     for (bi, (r, l)) in recv_blocks.iter().zip(&recv_locals) {
         mb.switch_to(*bi);
-        let site =
-            mb.call(None, InvokeKind::Virtual, fw.on_receive, Some(*l), vec![Operand::Local(intent)]);
+        let site = mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.on_receive,
+            Some(*l),
+            vec![Operand::Local(intent)],
+        );
         sites.push((site, HarnessSiteKind::Receive { receiver: *r }));
         mb.goto(loop_head);
     }
@@ -466,7 +503,10 @@ fn emit_harness(
     // Main loop head: nondet over root cases, components, and pausing.
     let mut loop_targets: Vec<BlockId> = Vec::new();
     for (i, case) in cases.iter().enumerate() {
-        let nested = case.view.map(|v| after_of.contains_key(&v)).unwrap_or(false);
+        let nested = case
+            .view
+            .map(|v| after_of.contains_key(&v))
+            .unwrap_or(false);
         if !nested {
             loop_targets.push(case_blocks[i]);
         }
@@ -496,7 +536,12 @@ fn emit_harness(
     mb.ret(None);
 
     let method = mb.finish();
-    ActivityHarness { activity, method, activity_alloc, sites }
+    ActivityHarness {
+        activity,
+        method,
+        activity_alloc,
+        sites,
+    }
 }
 
 #[cfg(test)]
@@ -518,9 +563,7 @@ mod tests {
         let handler = mb.finish();
         let fw = app.framework().clone();
         let mut layout = Layout::new(main);
-        layout.add_view(
-            ViewDecl::new(1, fw.view).with_xml_listener(GuiEventKind::Click, handler),
-        );
+        layout.add_view(ViewDecl::new(1, fw.view).with_xml_listener(GuiEventKind::Click, handler));
         layout.add_view(
             ViewDecl::new(2, fw.view)
                 .with_xml_listener(GuiEventKind::Click, handler)
@@ -544,8 +587,11 @@ mod tests {
             .filter(|(_, k)| matches!(k, HarnessSiteKind::Lifecycle { .. }))
             .count();
         assert_eq!(lifecycle_sites, 9);
-        let gui_sites =
-            h.sites.iter().filter(|(_, k)| matches!(k, HarnessSiteKind::Gui { .. })).count();
+        let gui_sites = h
+            .sites
+            .iter()
+            .filter(|(_, k)| matches!(k, HarnessSiteKind::Gui { .. }))
+            .count();
         assert_eq!(gui_sites, 2);
     }
 
@@ -594,7 +640,9 @@ mod tests {
             let (site, _) = h
                 .sites
                 .iter()
-                .find(|(_, k)| matches!(k, HarnessSiteKind::Gui { view: Some(v), .. } if *v == view))
+                .find(
+                    |(_, k)| matches!(k, HarnessSiteKind::Gui { view: Some(v), .. } if *v == view),
+                )
                 .unwrap();
             p.call_site_addr(*site)
         };
@@ -606,7 +654,13 @@ mod tests {
             .sites
             .iter()
             .find(|(_, k)| {
-                matches!(k, HarnessSiteKind::Lifecycle { event: LifecycleEvent::Resume, instance: 1 })
+                matches!(
+                    k,
+                    HarnessSiteKind::Lifecycle {
+                        event: LifecycleEvent::Resume,
+                        instance: 1
+                    }
+                )
             })
             .unwrap()
             .0;
@@ -639,7 +693,13 @@ mod tests {
             vec![Operand::Const(ConstValue::Int(5))],
         );
         mb.new_(l, listener);
-        mb.call(None, InvokeKind::Virtual, fw.set_on_click_listener, Some(v), vec![Operand::Local(l)]);
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.set_on_click_listener,
+            Some(v),
+            vec![Operand::Local(l)],
+        );
         mb.ret(None);
         mb.finish();
         let app = app.finish().unwrap();
@@ -648,11 +708,19 @@ mod tests {
         assert_eq!(result.registrations.len(), 1);
         assert_eq!(result.registrations[0].view_id, Some(5));
         let h = &result.activities[0];
-        let gui = h
-            .sites
-            .iter()
-            .find(|(_, k)| matches!(k, HarnessSiteKind::Gui { registration: Some(_), .. }));
-        assert!(gui.is_some(), "registration must produce a harness GUI case");
+        let gui = h.sites.iter().find(|(_, k)| {
+            matches!(
+                k,
+                HarnessSiteKind::Gui {
+                    registration: Some(_),
+                    ..
+                }
+            )
+        });
+        assert!(
+            gui.is_some(),
+            "registration must produce a harness GUI case"
+        );
     }
 
     #[test]

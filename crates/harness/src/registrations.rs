@@ -34,14 +34,35 @@ pub fn discover(program: &Program, fw: &FrameworkClasses) -> Vec<(StmtAddr, Regi
             continue;
         }
         for (addr, stmt) in method.iter_stmts() {
-            let Stmt::Call { site, callee, receiver, args, .. } = stmt else { continue };
-            let Some(op) = FrameworkOp::classify(fw, *callee) else { continue };
-            let Some(kind) = op.as_listener_registration() else { continue };
-            let Some(listener) = args.first().and_then(|a| a.as_local()) else { continue };
+            let Stmt::Call {
+                site,
+                callee,
+                receiver,
+                args,
+                ..
+            } = stmt
+            else {
+                continue;
+            };
+            let Some(op) = FrameworkOp::classify(fw, *callee) else {
+                continue;
+            };
+            let Some(kind) = op.as_listener_registration() else {
+                continue;
+            };
+            let Some(listener) = args.first().and_then(|a| a.as_local()) else {
+                continue;
+            };
             let view_id = receiver.and_then(|recv| view_id_of(program, fw, addr, recv));
             out.push((
                 addr,
-                RegistrationSeed { site: *site, kind, in_method: method.id, listener, view_id },
+                RegistrationSeed {
+                    site: *site,
+                    kind,
+                    in_method: method.id,
+                    listener,
+                    view_id,
+                },
             ));
         }
     }
@@ -72,7 +93,9 @@ fn view_id_of(
 ) -> Option<i32> {
     let method = program.method(addr.method);
     let (def_addr, origin) = local_defs::find_value_origin(method, addr, recv)?;
-    let Stmt::Call { callee, args, .. } = origin else { return None };
+    let Stmt::Call { callee, args, .. } = origin else {
+        return None;
+    };
     if FrameworkOp::classify(fw, *callee) != Some(FrameworkOp::FindViewById) {
         return None;
     }
@@ -109,7 +132,13 @@ pub fn instrument(
             Type::Ref(iface),
             true,
         );
-        pb.insert_stmt_after(addr, Stmt::StaticStore { field, value: seed.listener.into() });
+        pb.insert_stmt_after(
+            addr,
+            Stmt::StaticStore {
+                field,
+                value: seed.listener.into(),
+            },
+        );
         out.push(Registration {
             site: seed.site,
             kind: seed.kind,

@@ -187,6 +187,59 @@ pub enum SelectorKind {
     ActionSensitive(u32),
 }
 
+/// Error from parsing a context-selector spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSelectorError(String);
+
+impl std::fmt::Display for ParseSelectorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid context spec {:?}: expected \"insensitive\" or \"action|k-cfa|k-obj|hybrid:K\"",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseSelectorError {}
+
+impl std::fmt::Display for SelectorKind {
+    /// The canonical spec syntax, re-parsable by [`FromStr`]:
+    /// `insensitive`, `action:K`, `k-cfa:K`, `k-obj:K`, `hybrid:K`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SelectorKind::Insensitive => write!(f, "insensitive"),
+            SelectorKind::KCfa(k) => write!(f, "k-cfa:{k}"),
+            SelectorKind::KObj(k) => write!(f, "k-obj:{k}"),
+            SelectorKind::Hybrid(k) => write!(f, "hybrid:{k}"),
+            SelectorKind::ActionSensitive(k) => write!(f, "action:{k}"),
+        }
+    }
+}
+
+impl std::str::FromStr for SelectorKind {
+    type Err = ParseSelectorError;
+
+    /// Parses the spec syntax rendered by [`Display`](fmt::Display):
+    /// `insensitive`, or one of `action`/`k-cfa`/`k-obj`/`hybrid`
+    /// followed by `:K` (`K` defaults to 1 when omitted).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseSelectorError(s.to_owned());
+        let (kind, k) = match s.split_once(':') {
+            Some((kind, k)) => (kind, Some(k.parse::<u32>().map_err(|_| err())?)),
+            None => (s, None),
+        };
+        match (kind, k) {
+            ("insensitive", None) => Ok(SelectorKind::Insensitive),
+            ("action", k) => Ok(SelectorKind::ActionSensitive(k.unwrap_or(1))),
+            ("k-cfa", k) => Ok(SelectorKind::KCfa(k.unwrap_or(1))),
+            ("k-obj", k) => Ok(SelectorKind::KObj(k.unwrap_or(1))),
+            ("hybrid", k) => Ok(SelectorKind::Hybrid(k.unwrap_or(1))),
+            _ => Err(err()),
+        }
+    }
+}
+
 impl SelectorKind {
     /// Human-readable name (used in ablation tables).
     pub fn name(self) -> String {
@@ -245,7 +298,11 @@ impl SelectorKind {
 
     /// Heap context for an allocation in `ctx`.
     pub fn heap_ctx(self, ctx: &CtxData) -> (Option<ActionId>, Vec<CtxElem>) {
-        let action = if self.action_sensitive() { Some(ctx.action) } else { None };
+        let action = if self.action_sensitive() {
+            Some(ctx.action)
+        } else {
+            None
+        };
         (action, truncate_last(&ctx.elems, None, self.k()))
     }
 }
@@ -267,15 +324,29 @@ mod tests {
     use super::*;
 
     fn obj(site: u32, elems: Vec<CtxElem>) -> ObjData {
-        ObjData::Site { site: AllocSiteId(site), action: None, elems, class: ClassId(0) }
+        ObjData::Site {
+            site: AllocSiteId(site),
+            action: None,
+            elems,
+            class: ClassId(0),
+        }
     }
 
     #[test]
     fn tables_intern_and_deduplicate() {
         let mut ctxs = CtxTable::new();
-        let a = ctxs.intern(CtxData { action: ActionId(0), elems: vec![] });
-        let b = ctxs.intern(CtxData { action: ActionId(0), elems: vec![] });
-        let c = ctxs.intern(CtxData { action: ActionId(1), elems: vec![] });
+        let a = ctxs.intern(CtxData {
+            action: ActionId(0),
+            elems: vec![],
+        });
+        let b = ctxs.intern(CtxData {
+            action: ActionId(0),
+            elems: vec![],
+        });
+        let c = ctxs.intern(CtxData {
+            action: ActionId(1),
+            elems: vec![],
+        });
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(ctxs.len(), 2);
@@ -293,7 +364,10 @@ mod tests {
         let s = SelectorKind::KCfa(2);
         let caller = vec![CtxElem::Call(CallSiteId(1)), CtxElem::Call(CallSiteId(2))];
         let got = s.static_elems(&caller, CallSiteId(3));
-        assert_eq!(got, vec![CtxElem::Call(CallSiteId(2)), CtxElem::Call(CallSiteId(3))]);
+        assert_eq!(
+            got,
+            vec![CtxElem::Call(CallSiteId(2)), CtxElem::Call(CallSiteId(3))]
+        );
     }
 
     #[test]
@@ -301,7 +375,13 @@ mod tests {
         let s = SelectorKind::KObj(2);
         let recv = obj(9, vec![CtxElem::Alloc(AllocSiteId(5))]);
         let got = s.virtual_elems(&[], CallSiteId(0), &recv);
-        assert_eq!(got, vec![CtxElem::Alloc(AllocSiteId(5)), CtxElem::Alloc(AllocSiteId(9))]);
+        assert_eq!(
+            got,
+            vec![
+                CtxElem::Alloc(AllocSiteId(5)),
+                CtxElem::Alloc(AllocSiteId(9))
+            ]
+        );
         // Static calls pass the caller context through.
         let caller = vec![CtxElem::Alloc(AllocSiteId(1))];
         assert_eq!(s.static_elems(&caller, CallSiteId(0)), caller);
@@ -311,15 +391,24 @@ mod tests {
     fn hybrid_mixes_obj_and_cfa() {
         let s = SelectorKind::Hybrid(1);
         let recv = obj(9, vec![]);
-        assert_eq!(s.virtual_elems(&[], CallSiteId(0), &recv), vec![CtxElem::Alloc(AllocSiteId(9))]);
-        assert_eq!(s.static_elems(&[], CallSiteId(4)), vec![CtxElem::Call(CallSiteId(4))]);
+        assert_eq!(
+            s.virtual_elems(&[], CallSiteId(0), &recv),
+            vec![CtxElem::Alloc(AllocSiteId(9))]
+        );
+        assert_eq!(
+            s.static_elems(&[], CallSiteId(4)),
+            vec![CtxElem::Call(CallSiteId(4))]
+        );
     }
 
     #[test]
     fn action_sensitivity_tags_heap_objects() {
         let plain = SelectorKind::Hybrid(1);
         let action = SelectorKind::ActionSensitive(1);
-        let ctx = CtxData { action: ActionId(7), elems: vec![CtxElem::Call(CallSiteId(1))] };
+        let ctx = CtxData {
+            action: ActionId(7),
+            elems: vec![CtxElem::Call(CallSiteId(1))],
+        };
         assert_eq!(plain.heap_ctx(&ctx).0, None);
         assert_eq!(action.heap_ctx(&ctx).0, Some(ActionId(7)));
         assert!(plain.name().starts_with("hybrid"));
@@ -330,9 +419,16 @@ mod tests {
     fn insensitive_contexts_are_empty() {
         let s = SelectorKind::Insensitive;
         let recv = obj(9, vec![CtxElem::Alloc(AllocSiteId(5))]);
-        assert!(s.virtual_elems(&[CtxElem::Call(CallSiteId(1))], CallSiteId(0), &recv).is_empty());
-        assert!(s.static_elems(&[CtxElem::Call(CallSiteId(1))], CallSiteId(0)).is_empty());
-        let ctx = CtxData { action: ActionId(0), elems: vec![CtxElem::Call(CallSiteId(1))] };
+        assert!(s
+            .virtual_elems(&[CtxElem::Call(CallSiteId(1))], CallSiteId(0), &recv)
+            .is_empty());
+        assert!(s
+            .static_elems(&[CtxElem::Call(CallSiteId(1))], CallSiteId(0))
+            .is_empty());
+        let ctx = CtxData {
+            action: ActionId(0),
+            elems: vec![CtxElem::Call(CallSiteId(1))],
+        };
         assert_eq!(s.heap_ctx(&ctx), (None, vec![]));
     }
 }

@@ -22,9 +22,11 @@ mod ctx;
 mod result;
 mod solver;
 
-pub use ctx::{CtxData, CtxElem, CtxId, CtxTable, ObjData, ObjId, ObjTable, SelectorKind};
+pub use ctx::{
+    CtxData, CtxElem, CtxId, CtxTable, ObjData, ObjId, ObjTable, ParseSelectorError, SelectorKind,
+};
 pub use result::{collect_accesses, Access, AccessLoc};
-pub use solver::{analyze, analyze_opts, Analysis, AnalysisOptions, PostRecord};
+pub use solver::{analyze, analyze_opts, Analysis, AnalysisOptions, PostRecord, SolverStats};
 
 #[cfg(test)]
 mod tests;

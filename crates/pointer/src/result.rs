@@ -3,7 +3,9 @@
 use crate::ctx::{CtxId, ObjId};
 use crate::solver::Analysis;
 use android_model::{ActionId, FrameworkOp};
-use apir::{local_defs, ClassId, ConstValue, FieldId, Method, MethodId, Operand, Program, Stmt, StmtAddr};
+use apir::{
+    local_defs, ClassId, ConstValue, FieldId, Method, MethodId, Operand, Program, Stmt, StmtAddr,
+};
 
 /// An abstract memory location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,7 +43,10 @@ impl Access {
         if self.is_static {
             vec![AccessLoc::Static(self.field)]
         } else {
-            self.base.iter().map(|&o| AccessLoc::Field(o, self.field)).collect()
+            self.base
+                .iter()
+                .map(|&o| AccessLoc::Field(o, self.field))
+                .collect()
         }
     }
 
@@ -82,7 +87,12 @@ pub fn collect_accesses(
                 Stmt::Store { obj, field, .. } => (true, *field, Some(*obj), false),
                 Stmt::StaticLoad { field, .. } => (false, *field, None, true),
                 Stmt::StaticStore { field, .. } => (true, *field, None, true),
-                Stmt::Call { callee, receiver, args, .. } => {
+                Stmt::Call {
+                    callee,
+                    receiver,
+                    args,
+                    ..
+                } => {
                     // Container ops are heap accesses in disguise.
                     let fwc = analysis.framework();
                     let (w, idx_op) = match FrameworkOp::classify(fwc, *callee) {
@@ -111,7 +121,16 @@ pub fn collect_accesses(
             if !is_static && base.is_empty() {
                 continue; // no resolvable target — cannot race
             }
-            out.push(Access { action, method, ctx, addr, is_write, field, base, is_static });
+            out.push(Access {
+                action,
+                method,
+                ctx,
+                addr,
+                is_write,
+                field,
+                base,
+                is_static,
+            });
         }
     }
     out.sort_by_key(|a| (a.addr, a.ctx, a.is_write));

@@ -35,7 +35,9 @@ pub struct AnalysisOptions {
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        Self { index_sensitive: true }
+        Self {
+            index_sensitive: true,
+        }
     }
 }
 
@@ -52,14 +54,45 @@ pub struct PostRecord {
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum NodeKey {
-    Var { method: MethodId, ctx: CtxId, local: Local },
-    Ret { method: MethodId, ctx: CtxId },
-    Field { obj: ObjId, field: FieldId },
-    Static { field: FieldId },
+    Var {
+        method: MethodId,
+        ctx: CtxId,
+        local: Local,
+    },
+    Ret {
+        method: MethodId,
+        ctx: CtxId,
+    },
+    Field {
+        obj: ObjId,
+        field: FieldId,
+    },
+    Static {
+        field: FieldId,
+    },
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 struct NodeId(u32);
+
+/// Counters recorded while the solver runs, reported per stage by the
+/// pipeline's metrics. All counts are deterministic: the solver visits
+/// work in a sorted order, so the same app yields the same counters on
+/// every run and every thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Worklist pops that carried a non-empty delta (i.e. real
+    /// propagation rounds, not spurious re-queues).
+    pub worklist_iterations: usize,
+    /// Objects newly inserted into some points-to set.
+    pub propagations: usize,
+    /// Total call-graph edges discovered.
+    pub cg_edges: usize,
+    /// Reachable `(method, context)` pairs.
+    pub reachable_contexts: usize,
+    /// Distinct abstract objects minted.
+    pub abstract_objects: usize,
+}
 
 #[derive(Debug, Clone)]
 enum Pending {
@@ -126,6 +159,8 @@ pub struct Analysis {
     pub harness_actions: HashMap<CallSiteId, ActionId>,
     /// Per activity: the harness-root action.
     pub root_actions: Vec<(ClassId, ActionId)>,
+    /// Counters recorded during solving.
+    pub stats: SolverStats,
     nodes: HashMap<NodeKey, NodeId>,
     pts: Vec<HashSet<ObjId>>,
 }
@@ -155,9 +190,16 @@ impl Analysis {
         self.ctxs.get(ctx).action
     }
 
-    /// Every reachable context of a method.
+    /// Every reachable context of a method, in sorted order.
     pub fn contexts_of(&self, method: MethodId) -> Vec<CtxId> {
-        self.reachable.iter().filter(|(m, _)| *m == method).map(|(_, c)| *c).collect()
+        let mut out: Vec<CtxId> = self
+            .reachable
+            .iter()
+            .filter(|(m, _)| *m == method)
+            .map(|(_, c)| *c)
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Total call-graph edges (for stats).
@@ -213,6 +255,7 @@ struct Solver<'a> {
     resolved: HashSet<(CallSiteId, CtxId, ObjId)>,
     op_resolved: HashSet<(CallSiteId, CtxId, ObjId, ObjId)>,
     root_actions: Vec<(ClassId, ActionId)>,
+    stats: SolverStats,
 }
 
 /// Sentinel "no object" id for op dedup pairs.
@@ -254,6 +297,7 @@ impl<'a> Solver<'a> {
             resolved: HashSet::new(),
             op_resolved: HashSet::new(),
             root_actions: Vec::new(),
+            stats: SolverStats::default(),
         }
     }
 
@@ -269,7 +313,10 @@ impl<'a> Solver<'a> {
                 None,
             );
             self.root_actions.push((h.activity, root));
-            let ctx = self.ctxs.intern(CtxData { action: root, elems: Vec::new() });
+            let ctx = self.ctxs.intern(CtxData {
+                action: root,
+                elems: Vec::new(),
+            });
             self.mark_reachable(h.method, ctx);
         }
         while let Some(n) = self.worklist.pop_front() {
@@ -278,7 +325,12 @@ impl<'a> Solver<'a> {
             if delta.is_empty() {
                 continue;
             }
-            let succs: Vec<NodeId> = self.succ[n.0 as usize].iter().copied().collect();
+            self.stats.worklist_iterations += 1;
+            // Visit successors in id order: points-to sets are hash sets,
+            // and a hash-order traversal would make the counters (and any
+            // order-dependent downstream tie-break) vary across threads.
+            let mut succs: Vec<NodeId> = self.succ[n.0 as usize].iter().copied().collect();
+            succs.sort_unstable();
             for s in succs {
                 for &o in &delta {
                     self.add_obj(s, o);
@@ -289,6 +341,9 @@ impl<'a> Solver<'a> {
                 self.process_pending(&p, &delta);
             }
         }
+        self.stats.cg_edges = self.cg_edges.values().map(Vec::len).sum();
+        self.stats.reachable_contexts = self.reachable.len();
+        self.stats.abstract_objects = self.objs.len();
         Analysis {
             selector: self.selector,
             options: self.options,
@@ -301,6 +356,7 @@ impl<'a> Solver<'a> {
             posts: self.posts,
             harness_actions: self.harness_actions,
             root_actions: self.root_actions,
+            stats: self.stats,
             nodes: self.nodes,
             pts: self.pts,
         }
@@ -329,6 +385,7 @@ impl<'a> Solver<'a> {
 
     fn add_obj(&mut self, n: NodeId, o: ObjId) {
         if self.pts[n.0 as usize].insert(o) {
+            self.stats.propagations += 1;
             self.delta[n.0 as usize].push(o);
             if !self.queued[n.0 as usize] {
                 self.queued[n.0 as usize] = true;
@@ -342,7 +399,8 @@ impl<'a> Solver<'a> {
             return;
         }
         if self.succ[from.0 as usize].insert(to) {
-            let objs: Vec<ObjId> = self.pts[from.0 as usize].iter().copied().collect();
+            let mut objs: Vec<ObjId> = self.pts[from.0 as usize].iter().copied().collect();
+            objs.sort_unstable();
             for o in objs {
                 self.add_obj(to, o);
             }
@@ -351,18 +409,14 @@ impl<'a> Solver<'a> {
 
     fn add_pending(&mut self, n: NodeId, p: Pending) {
         self.pending[n.0 as usize].push(p.clone());
-        let objs: Vec<ObjId> = self.pts[n.0 as usize].iter().copied().collect();
+        let mut objs: Vec<ObjId> = self.pts[n.0 as usize].iter().copied().collect();
+        objs.sort_unstable();
         if !objs.is_empty() {
             self.process_pending(&p, &objs);
         }
     }
 
-    fn operand_node(
-        &mut self,
-        method: MethodId,
-        ctx: CtxId,
-        op: Operand,
-    ) -> Option<NodeId> {
+    fn operand_node(&mut self, method: MethodId, ctx: CtxId, op: Operand) -> Option<NodeId> {
         op.as_local().map(|l| self.var(method, ctx, l))
     }
 
@@ -380,8 +434,7 @@ impl<'a> Solver<'a> {
 
     fn process_body(&mut self, method: MethodId, ctx: CtxId) {
         let m = self.program.method(method);
-        let stmts: Vec<(StmtAddr, Stmt)> =
-            m.iter_stmts().map(|(a, s)| (a, s.clone())).collect();
+        let stmts: Vec<(StmtAddr, Stmt)> = m.iter_stmts().map(|(a, s)| (a, s.clone())).collect();
         let rets: Vec<Operand> = m
             .iter_blocks()
             .filter_map(|(_, b)| match &b.terminator {
@@ -404,7 +457,12 @@ impl<'a> Solver<'a> {
                 }
                 Stmt::New { dst, class, site } => {
                     let (action, elems) = self.selector.heap_ctx(self.ctxs.get(ctx));
-                    let obj = self.objs.intern(ObjData::Site { site, action, elems, class });
+                    let obj = self.objs.intern(ObjData::Site {
+                        site,
+                        action,
+                        elems,
+                        class,
+                    });
                     let cur = self.ctxs.get(ctx).action;
                     self.alloc_action.entry(obj).or_insert(cur);
                     let d = self.var(method, ctx, dst);
@@ -434,7 +492,14 @@ impl<'a> Solver<'a> {
                         self.add_edge(src, d);
                     }
                 }
-                Stmt::Call { site, dst, kind, callee, receiver, args } => {
+                Stmt::Call {
+                    site,
+                    dst,
+                    kind,
+                    callee,
+                    receiver,
+                    args,
+                } => {
                     self.process_call(method, ctx, addr, site, dst, kind, callee, receiver, args);
                 }
                 Stmt::Const { .. } | Stmt::UnOp { .. } | Stmt::BinOp { .. } => {}
@@ -524,7 +589,10 @@ impl<'a> Solver<'a> {
                     }
                 }
                 if let Some(d) = dst {
-                    let ret = self.node(NodeKey::Ret { method: target, ctx: tctx });
+                    let ret = self.node(NodeKey::Ret {
+                        method: target,
+                        ctx: tctx,
+                    });
                     let dn = self.var(method, ctx, d);
                     self.add_edge(ret, dn);
                 }
@@ -563,7 +631,11 @@ impl<'a> Solver<'a> {
                     .ok()
                     .and_then(|id| self.harness.app.view_class(activity, id))
                     .unwrap_or(self.fw.view);
-                let obj = self.objs.intern(ObjData::View { activity, view_id, class });
+                let obj = self.objs.intern(ObjData::View {
+                    activity,
+                    view_id,
+                    class,
+                });
                 self.alloc_action.entry(obj).or_insert(action);
                 let dn = self.var(method, ctx, d);
                 self.add_obj(dn, obj);
@@ -581,7 +653,9 @@ impl<'a> Solver<'a> {
                 self.add_pending(rn, Pending::Store { field, src });
             }
             ArrayListGetAt => {
-                let (Some(r), Some(d)) = (receiver, dst) else { return };
+                let (Some(r), Some(d)) = (receiver, dst) else {
+                    return;
+                };
                 let rn = self.var(method, ctx, r);
                 let dn = self.var(method, ctx, d);
                 let field = self.index_field(method, addr, args.first().copied());
@@ -626,7 +700,9 @@ impl<'a> Solver<'a> {
                 // Cross-product op: handler receiver × runnable argument.
                 let Some(r) = receiver else { return };
                 let rn = self.var(method, ctx, r);
-                let Some(an) = args.first().and_then(|a| self.operand_node(method, ctx, *a))
+                let Some(an) = args
+                    .first()
+                    .and_then(|a| self.operand_node(method, ctx, *a))
                 else {
                     return;
                 };
@@ -642,9 +718,16 @@ impl<'a> Solver<'a> {
                 self.add_pending(rn, Pending::Op(info.clone()));
                 self.add_pending(an, Pending::Op(info));
             }
-            TimerSchedule | RequestLocationUpdates | SetOnCompletionListener | ExecutorExecute
-            | ViewPost | ViewPostDelayed | RunOnUiThread => {
-                let Some(an) = args.first().and_then(|a| self.operand_node(method, ctx, *a))
+            TimerSchedule
+            | RequestLocationUpdates
+            | SetOnCompletionListener
+            | ExecutorExecute
+            | ViewPost
+            | ViewPostDelayed
+            | RunOnUiThread => {
+                let Some(an) = args
+                    .first()
+                    .and_then(|a| self.operand_node(method, ctx, *a))
                 else {
                     return;
                 };
@@ -662,7 +745,9 @@ impl<'a> Solver<'a> {
                 );
             }
             RegisterReceiver => {
-                let Some(an) = args.first().and_then(|a| self.operand_node(method, ctx, *a))
+                let Some(an) = args
+                    .first()
+                    .and_then(|a| self.operand_node(method, ctx, *a))
                 else {
                     return;
                 };
@@ -680,8 +765,7 @@ impl<'a> Solver<'a> {
                 );
             }
             BindService => {
-                let Some(an) = args.get(1).and_then(|a| self.operand_node(method, ctx, *a))
-                else {
+                let Some(an) = args.get(1).and_then(|a| self.operand_node(method, ctx, *a)) else {
                     return;
                 };
                 self.add_pending(
@@ -737,7 +821,9 @@ impl<'a> Solver<'a> {
                 let (origin_addr, _) = local_defs::find_value_origin(m, addr, msg)?;
                 let mut found: Option<i64> = None;
                 for (saddr, stmt) in m.iter_stmts() {
-                    let Stmt::Store { obj, field, value } = stmt else { continue };
+                    let Stmt::Store { obj, field, value } = stmt else {
+                        continue;
+                    };
                     if *field != self.fw.message_what {
                         continue;
                     }
@@ -766,14 +852,20 @@ impl<'a> Solver<'a> {
         match p {
             Pending::Load { field, dst } => {
                 for &o in delta {
-                    let f = self.node(NodeKey::Field { obj: o, field: *field });
+                    let f = self.node(NodeKey::Field {
+                        obj: o,
+                        field: *field,
+                    });
                     self.add_edge(f, *dst);
                 }
             }
             Pending::Store { field, src } => {
                 if let SrcValue::Node(src) = src {
                     for &o in delta {
-                        let f = self.node(NodeKey::Field { obj: o, field: *field });
+                        let f = self.node(NodeKey::Field {
+                            obj: o,
+                            field: *field,
+                        });
                         self.add_edge(*src, f);
                     }
                 }
@@ -800,13 +892,20 @@ impl<'a> Solver<'a> {
 
     fn resolve_virtual(&mut self, info: &CallInfo, recv: ObjId) {
         let recv_class = self.objs.get(recv).class();
-        let Some(target) = self.program.dispatch(recv_class, info.callee) else { return };
+        let Some(target) = self.program.dispatch(recv_class, info.callee) else {
+            return;
+        };
         if !self.program.method(target).has_body() {
             return;
         }
         let caller = self.ctxs.get(info.caller_ctx).clone();
-        let elems = self.selector.virtual_elems(&caller.elems, info.site, self.objs.get(recv));
-        let tctx = self.ctxs.intern(CtxData { action: caller.action, elems });
+        let elems = self
+            .selector
+            .virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+        let tctx = self.ctxs.intern(CtxData {
+            action: caller.action,
+            elems,
+        });
         self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, target, tctx);
         self.mark_reachable(target, tctx);
         let p0 = self.var(target, tctx, Local(0));
@@ -822,7 +921,10 @@ impl<'a> Solver<'a> {
             }
         }
         if let Some(d) = info.dst {
-            let ret = self.node(NodeKey::Ret { method: target, ctx: tctx });
+            let ret = self.node(NodeKey::Ret {
+                method: target,
+                ctx: tctx,
+            });
             let dn = self.var(info.caller_method, info.caller_ctx, d);
             self.add_edge(ret, dn);
         }
@@ -830,12 +932,14 @@ impl<'a> Solver<'a> {
 
     fn resolve_harness(&mut self, info: &CallInfo, recv: ObjId) {
         let kind = match &self.harness_site_kinds[&info.site] {
-            HarnessSiteKind::Lifecycle { event, instance } => {
-                ActionKind::Lifecycle { event: *event, instance: *instance }
-            }
-            HarnessSiteKind::Gui { event, view, .. } => {
-                ActionKind::Gui { event: *event, view: *view }
-            }
+            HarnessSiteKind::Lifecycle { event, instance } => ActionKind::Lifecycle {
+                event: *event,
+                instance: *instance,
+            },
+            HarnessSiteKind::Gui { event, view, .. } => ActionKind::Gui {
+                event: *event,
+                view: *view,
+            },
             HarnessSiteKind::Receive { .. } => ActionKind::Receive,
             HarnessSiteKind::ServiceStart { .. } => ActionKind::ServiceStart,
         };
@@ -860,7 +964,9 @@ impl<'a> Solver<'a> {
             return;
         }
         let caller = self.ctxs.get(info.caller_ctx).clone();
-        let elems = self.selector.virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+        let elems = self
+            .selector
+            .virtual_elems(&caller.elems, info.site, self.objs.get(recv));
         let tctx = self.ctxs.intern(CtxData { action, elems });
         self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, entry, tctx);
         self.mark_reachable(entry, tctx);
@@ -873,13 +979,21 @@ impl<'a> Solver<'a> {
     /// its driver points-to sets.
     fn resolve_op(&mut self, info: &OpInfo) {
         use FrameworkOp::*;
-        let recv_objs: Vec<ObjId> = match info.recv_node {
+        let mut recv_objs: Vec<ObjId> = match info.recv_node {
             Some(n) => self.pts[n.0 as usize].iter().copied().collect(),
             None => vec![NO_OBJ],
         };
-        let arg_objs: Vec<ObjId> = match info.op {
-            HandlerPost | HandlerPostDelayed | ExecutorExecute | ViewPost | ViewPostDelayed
-            | RunOnUiThread | RegisterReceiver | TimerSchedule | RequestLocationUpdates
+        recv_objs.sort_unstable();
+        let mut arg_objs: Vec<ObjId> = match info.op {
+            HandlerPost
+            | HandlerPostDelayed
+            | ExecutorExecute
+            | ViewPost
+            | ViewPostDelayed
+            | RunOnUiThread
+            | RegisterReceiver
+            | TimerSchedule
+            | RequestLocationUpdates
             | SetOnCompletionListener => {
                 let idx = 0;
                 match info.args.get(idx).and_then(|a| a.as_local()) {
@@ -899,6 +1013,7 @@ impl<'a> Solver<'a> {
             },
             _ => vec![NO_OBJ],
         };
+        arg_objs.sort_unstable();
         for &r in &recv_objs {
             for &a in &arg_objs {
                 if !self.op_resolved.insert((info.site, info.caller_ctx, r, a)) {
@@ -915,7 +1030,14 @@ impl<'a> Solver<'a> {
         let harness = self.actions.action(cur).harness;
         match info.op {
             ThreadStart => {
-                self.spawn(info, recv, self.fw.thread_run, ActionKind::ThreadRun, None, true);
+                self.spawn(
+                    info,
+                    recv,
+                    self.fw.thread_run,
+                    ActionKind::ThreadRun,
+                    None,
+                    true,
+                );
             }
             AsyncTaskExecute => {
                 self.spawn(
@@ -944,7 +1066,14 @@ impl<'a> Solver<'a> {
                 );
             }
             ExecutorExecute => {
-                self.spawn(info, arg, self.fw.runnable_run, ActionKind::ExecutorRun, None, true);
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.runnable_run,
+                    ActionKind::ExecutorRun,
+                    None,
+                    true,
+                );
             }
             HandlerPost | HandlerPostDelayed => {
                 let looper = self.looper_of(recv);
@@ -1000,7 +1129,14 @@ impl<'a> Solver<'a> {
                 );
             }
             TimerSchedule => {
-                self.spawn(info, arg, self.fw.timer_task_run, ActionKind::TimerTask, None, true);
+                self.spawn(
+                    info,
+                    arg,
+                    self.fw.timer_task_run,
+                    ActionKind::TimerTask,
+                    None,
+                    true,
+                );
             }
             RequestLocationUpdates => {
                 self.spawn(
@@ -1079,7 +1215,11 @@ impl<'a> Solver<'a> {
         if own_thread {
             self.actions.bind_own_thread(action);
         }
-        let rec = PostRecord { poster: cur, site: info.site, posted: action };
+        let rec = PostRecord {
+            poster: cur,
+            site: info.site,
+            posted: action,
+        };
         if self.post_set.insert(rec) {
             self.posts.push(rec);
         }
@@ -1087,7 +1227,9 @@ impl<'a> Solver<'a> {
             return None;
         }
         let caller = self.ctxs.get(info.caller_ctx).clone();
-        let elems = self.selector.virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+        let elems = self
+            .selector
+            .virtual_elems(&caller.elems, info.site, self.objs.get(recv));
         let tctx = self.ctxs.intern(CtxData { action, elems });
         self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, entry, tctx);
         self.mark_reachable(entry, tctx);
@@ -1115,7 +1257,10 @@ impl<'a> Solver<'a> {
         tctx: CtxId,
     ) {
         if self.cg_edge_set.insert((caller, cctx, site, callee, tctx)) {
-            self.cg_edges.entry((caller, cctx, site)).or_default().push((callee, tctx));
+            self.cg_edges
+                .entry((caller, cctx, site))
+                .or_default()
+                .push((callee, tctx));
         }
     }
 }

@@ -73,8 +73,20 @@ fn news_app() -> harness_gen::HarnessResult {
     );
     mb.new_(ad, adapter_class);
     mb.store(this, act_adapter, Operand::Local(ad));
-    mb.call(None, InvokeKind::Virtual, fw.set_on_click_listener, Some(rv), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.set_on_scroll_listener, Some(rv), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.set_on_click_listener,
+        Some(rv),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.set_on_scroll_listener,
+        Some(rv),
+        vec![Operand::Local(this)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -86,8 +98,20 @@ fn news_app() -> harness_gen::HarnessResult {
     let t = mb.fresh_local();
     mb.load(ad, this, act_adapter);
     mb.new_(t, task_class);
-    mb.call(None, InvokeKind::Special, task_init, Some(t), vec![Operand::Local(ad)]);
-    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        task_init,
+        Some(t),
+        vec![Operand::Local(ad)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.async_task_execute,
+        Some(t),
+        vec![],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -144,10 +168,24 @@ fn news_app_actions_and_posts() {
     // The onClick action posted the task actions.
     let click = gui
         .iter()
-        .find(|x| matches!(x.kind, ActionKind::Gui { event: GuiEventKind::Click, .. }))
+        .find(|x| {
+            matches!(
+                x.kind,
+                ActionKind::Gui {
+                    event: GuiEventKind::Click,
+                    ..
+                }
+            )
+        })
         .unwrap();
-    assert!(a.posts.iter().any(|p| p.poster == click.id && p.posted == bg.id));
-    assert!(a.posts.iter().any(|p| p.poster == click.id && p.posted == post.id));
+    assert!(a
+        .posts
+        .iter()
+        .any(|p| p.poster == click.id && p.posted == bg.id));
+    assert!(a
+        .posts
+        .iter()
+        .any(|p| p.poster == click.id && p.posted == post.id));
 }
 
 #[test]
@@ -176,11 +214,17 @@ fn news_app_accesses_overlap_between_bg_write_and_scroll_read() {
         .find(|x| {
             matches!(
                 a.actions.action(x.action).kind,
-                ActionKind::Gui { event: GuiEventKind::Scroll, .. }
+                ActionKind::Gui {
+                    event: GuiEventKind::Scroll,
+                    ..
+                }
             )
         })
         .expect("read attributed to onScroll action");
-    assert!(w.overlaps(r), "bg write and scroll read must alias the adapter");
+    assert!(
+        w.overlaps(r),
+        "bg write and scroll read must alias the adapter"
+    );
 }
 
 /// Two different GUI actions call the same helper that allocates an object
@@ -229,7 +273,13 @@ fn factory_app() -> harness_gen::HarnessResult {
         Some(this),
         vec![Operand::Const(ConstValue::Int(9))],
     );
-    mb.call(None, InvokeKind::Virtual, fw.set_on_click_listener, Some(v), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.set_on_click_listener,
+        Some(v),
+        vec![Operand::Local(this)],
+    );
     mb.call(
         None,
         InvokeKind::Virtual,
@@ -253,8 +303,10 @@ fn action_sensitivity_separates_per_action_allocations() {
     let count_holder_writes = |sel: SelectorKind| {
         let a = analyze(&h, sel);
         let accesses = collect_accesses(&a, program, Some(h.harness_class));
-        let writes: Vec<_> =
-            accesses.into_iter().filter(|x| x.is_write && x.field == xf).collect();
+        let writes: Vec<_> = accesses
+            .into_iter()
+            .filter(|x| x.is_write && x.field == xf)
+            .collect();
         let mut overlapping_cross_action = 0;
         for i in 0..writes.len() {
             for j in i + 1..writes.len() {
@@ -299,7 +351,13 @@ fn thread_with_runnable_reaches_run_body() {
     let t = mb.fresh_local();
     mb.new_(r, work);
     mb.new_(t, fw.thread);
-    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(r)],
+    );
     mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
     mb.ret(None);
     mb.finish();
@@ -312,12 +370,16 @@ fn thread_with_runnable_reaches_run_body() {
         .iter()
         .find(|x| matches!(x.kind, ActionKind::ThreadRun))
         .expect("thread action");
-    assert!(matches!(thread_action.thread, ThreadKind::Background(Some(id)) if id == thread_action.id));
+    assert!(
+        matches!(thread_action.thread, ThreadKind::Background(Some(id)) if id == thread_action.id)
+    );
 
     // Work.run's store must be attributed to the thread action.
     let accesses = collect_accesses(&a, &h.app.program, Some(h.harness_class));
-    let run_writes: Vec<_> =
-        accesses.iter().filter(|x| x.is_write && x.field == done).collect();
+    let run_writes: Vec<_> = accesses
+        .iter()
+        .filter(|x| x.is_write && x.field == done)
+        .collect();
     assert_eq!(run_writes.len(), 1);
     assert_eq!(run_writes[0].action, thread_action.id);
 }
@@ -371,7 +433,11 @@ fn handler_message_gets_constant_what_and_main_looper() {
         .find(|x| matches!(x.kind, ActionKind::MessageHandle { .. }))
         .expect("message action");
     assert_eq!(msg.kind, ActionKind::MessageHandle { what: Some(3) });
-    assert_eq!(msg.thread, ThreadKind::Main, "handler allocated on the main thread");
+    assert_eq!(
+        msg.thread,
+        ThreadKind::Main,
+        "handler allocated on the main thread"
+    );
 }
 
 #[test]
@@ -397,7 +463,13 @@ fn find_view_by_id_aliases_across_actions() {
             Some(this),
             vec![Operand::Const(ConstValue::Int(5))],
         );
-        mb.call(None, InvokeKind::Virtual, fw.set_text, Some(v), vec![Operand::Local(s)]);
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.set_text,
+            Some(v),
+            vec![Operand::Local(s)],
+        );
         mb.ret(None);
         mb.finish();
     }
@@ -413,7 +485,10 @@ fn find_view_by_id_aliases_across_actions() {
     // onPause), and in each the base is the *same* single inflated view.
     assert_eq!(text_writes.len(), 2, "one store per caller action context");
     assert_eq!(text_writes[0].base.len(), 1);
-    assert_eq!(text_writes[0].base, text_writes[1].base, "inflated view aliases across actions");
+    assert_eq!(
+        text_writes[0].base, text_writes[1].base,
+        "inflated view aliases across actions"
+    );
     assert_ne!(text_writes[0].action, text_writes[1].action);
     assert!(text_writes[0].overlaps(text_writes[1]));
 }
@@ -427,7 +502,10 @@ fn lifecycle_actions_cover_both_instances() {
         .actions()
         .iter()
         .filter_map(|x| match x.kind {
-            ActionKind::Lifecycle { event: LifecycleEvent::Start, instance } => Some(instance),
+            ActionKind::Lifecycle {
+                event: LifecycleEvent::Start,
+                instance,
+            } => Some(instance),
             _ => None,
         })
         .collect();
@@ -481,22 +559,31 @@ fn index_sensitive_containers_separate_slots() {
     let a = crate::solver::analyze_opts(
         &h,
         SelectorKind::ActionSensitive(1),
-        AnalysisOptions { index_sensitive: true },
+        AnalysisOptions {
+            index_sensitive: true,
+        },
     );
     let accesses = collect_accesses(&a, &h.app.program, Some(h.harness_class));
-    let slot_accs: Vec<_> =
-        accesses.iter().filter(|x| {
+    let slot_accs: Vec<_> = accesses
+        .iter()
+        .filter(|x| {
             let n = h.app.program.field_name(x.field);
             n.starts_with("idx") || n == "contents"
-        }).collect();
+        })
+        .collect();
     assert_eq!(slot_accs.len(), 2, "{slot_accs:?}");
-    assert!(!slot_accs[0].overlaps(slot_accs[1]), "different slots must not overlap");
+    assert!(
+        !slot_accs[0].overlaps(slot_accs[1]),
+        "different slots must not overlap"
+    );
 
     // Index-insensitive: both fold onto `contents` and overlap.
     let a = crate::solver::analyze_opts(
         &h,
         SelectorKind::ActionSensitive(1),
-        AnalysisOptions { index_sensitive: false },
+        AnalysisOptions {
+            index_sensitive: false,
+        },
     );
     let accesses = collect_accesses(&a, &h.app.program, Some(h.harness_class));
     let slot_accs: Vec<_> = accesses
@@ -504,7 +591,10 @@ fn index_sensitive_containers_separate_slots() {
         .filter(|x| h.app.program.field_name(x.field) == "contents")
         .collect();
     assert_eq!(slot_accs.len(), 2);
-    assert!(slot_accs[0].overlaps(slot_accs[1]), "summary model conflates slots");
+    assert!(
+        slot_accs[0].overlaps(slot_accs[1]),
+        "summary model conflates slots"
+    );
 }
 
 #[test]
@@ -547,7 +637,13 @@ fn handler_allocated_on_background_thread_binds_its_looper() {
     let (w, t) = (mb.fresh_local(), mb.fresh_local());
     mb.new_(w, worker);
     mb.new_(t, fw.thread);
-    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(w)],
+    );
     mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
     mb.ret(None);
     mb.finish();
@@ -588,11 +684,19 @@ fn new_framework_families_mint_their_action_kinds() {
     let a = analyze(&h, SelectorKind::ActionSensitive(1));
     let kinds: Vec<&ActionKind> = a.actions.actions().iter().map(|x| &x.kind).collect();
     assert!(kinds.iter().any(|k| matches!(k, ActionKind::TimerTask)));
-    assert!(kinds.iter().any(|k| matches!(k, ActionKind::LocationUpdate)));
-    assert!(kinds.iter().any(|k| matches!(k, ActionKind::MediaCompletion)));
     assert!(kinds
         .iter()
-        .any(|k| matches!(k, ActionKind::Gui { event: GuiEventKind::TextChanged, .. })));
+        .any(|k| matches!(k, ActionKind::LocationUpdate)));
+    assert!(kinds
+        .iter()
+        .any(|k| matches!(k, ActionKind::MediaCompletion)));
+    assert!(kinds.iter().any(|k| matches!(
+        k,
+        ActionKind::Gui {
+            event: GuiEventKind::TextChanged,
+            ..
+        }
+    )));
 }
 
 // Small helpers so this test file does not depend on `corpus` (which would

@@ -12,7 +12,11 @@ impl BitMatrix {
     /// Creates an all-false `n × n` matrix.
     pub fn new(n: usize) -> Self {
         let words = n.div_ceil(64);
-        Self { n, words, rows: vec![0; n * words] }
+        Self {
+            n,
+            words,
+            rows: vec![0; n * words],
+        }
     }
 
     /// Matrix dimension.
@@ -154,19 +158,24 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use sierra_prng::SplitMix64;
 
-    fn arb_edges() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
-        (2usize..=12).prop_flat_map(|n| {
-            (Just(n), proptest::collection::vec((0..n, 0..n), 0..24))
-        })
+    /// A random edge list over 2..=12 nodes.
+    fn random_edges(rng: &mut SplitMix64) -> (usize, Vec<(usize, usize)>) {
+        let n = 2 + rng.usize(11);
+        let edges = (0..rng.usize(24))
+            .map(|_| (rng.usize(n), rng.usize(n)))
+            .collect();
+        (n, edges)
     }
 
-    proptest! {
-        /// The closure is exactly graph reachability (excluding trivial
-        /// self-reachability unless on a cycle).
-        #[test]
-        fn closure_is_reachability((n, edges) in arb_edges()) {
+    /// The closure is exactly graph reachability (excluding trivial
+    /// self-reachability unless on a cycle).
+    #[test]
+    fn closure_is_reachability() {
+        let mut rng = SplitMix64::new(0xB17A1);
+        for _ in 0..256 {
+            let (n, edges) = random_edges(&mut rng);
             let mut m = BitMatrix::new(n);
             let mut adj = vec![vec![]; n];
             for &(a, b) in &edges {
@@ -184,14 +193,18 @@ mod proptests {
                     }
                 }
                 for t in 0..n {
-                    prop_assert_eq!(m.get(s, t), seen.contains(&t), "({},{})", s, t);
+                    assert_eq!(m.get(s, t), seen.contains(&t), "({s},{t}) in {edges:?}");
                 }
             }
         }
+    }
 
-        /// Closing twice changes nothing (idempotence).
-        #[test]
-        fn closure_is_idempotent((n, edges) in arb_edges()) {
+    /// Closing twice changes nothing (idempotence).
+    #[test]
+    fn closure_is_idempotent() {
+        let mut rng = SplitMix64::new(0x1DE3B);
+        for _ in 0..256 {
+            let (n, edges) = random_edges(&mut rng);
             let mut m = BitMatrix::new(n);
             for &(a, b) in &edges {
                 m.set(a, b);
@@ -201,14 +214,18 @@ mod proptests {
             m.transitive_closure();
             for a in 0..n {
                 for b in 0..n {
-                    prop_assert_eq!(m.get(a, b), once.get(a, b));
+                    assert_eq!(m.get(a, b), once.get(a, b));
                 }
             }
         }
+    }
 
-        /// The closure only adds bits, never removes them.
-        #[test]
-        fn closure_is_extensive((n, edges) in arb_edges()) {
+    /// The closure only adds bits, never removes them.
+    #[test]
+    fn closure_is_extensive() {
+        let mut rng = SplitMix64::new(0xE87E5);
+        for _ in 0..256 {
+            let (n, edges) = random_edges(&mut rng);
             let mut m = BitMatrix::new(n);
             for &(a, b) in &edges {
                 m.set(a, b);
@@ -217,10 +234,10 @@ mod proptests {
             m.transitive_closure();
             for a in 0..n {
                 for b in 0..n {
-                    prop_assert!(!before.get(a, b) || m.get(a, b));
+                    assert!(!before.get(a, b) || m.get(a, b));
                 }
             }
-            prop_assert!(m.count_ones() >= before.count_ones());
+            assert!(m.count_ones() >= before.count_ones());
         }
     }
 }

@@ -5,7 +5,7 @@ use android_model::{ActionId, ActionKind};
 use apir::{BlockId, CallSiteId, Dominators, MethodId, Stmt, StmtAddr};
 use harness_gen::HarnessResult;
 use pointer::{Analysis, CtxId};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Which rule introduced an HB edge (for reports and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +27,71 @@ pub enum HbRule {
     InterActionTransitivity,
 }
 
+impl HbRule {
+    /// Every rule, in presentation order.
+    pub const ALL: [HbRule; 7] = [
+        HbRule::ActionInvocation,
+        HbRule::AsyncTaskOrder,
+        HbRule::Lifecycle,
+        HbRule::Gui,
+        HbRule::IntraProcDom,
+        HbRule::InterProcDom,
+        HbRule::InterActionTransitivity,
+    ];
+
+    /// Dense index of the rule (position in [`HbRule::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            HbRule::ActionInvocation => 0,
+            HbRule::AsyncTaskOrder => 1,
+            HbRule::Lifecycle => 2,
+            HbRule::Gui => 3,
+            HbRule::IntraProcDom => 4,
+            HbRule::InterProcDom => 5,
+            HbRule::InterActionTransitivity => 6,
+        }
+    }
+
+    /// Short column label for tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            HbRule::ActionInvocation => "invoke",
+            HbRule::AsyncTaskOrder => "atask",
+            HbRule::Lifecycle => "life",
+            HbRule::Gui => "gui",
+            HbRule::IntraProcDom => "dom4",
+            HbRule::InterProcDom => "dom5",
+            HbRule::InterActionTransitivity => "trans6",
+        }
+    }
+}
+
+/// Counters recorded while building the SHBG: how often each HB rule
+/// fired and how many distinct edges it contributed, plus how many
+/// rounds the rule-6/7 fixpoint needed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShbgStats {
+    /// Rule applications attempted (an `add` call), indexed by
+    /// [`HbRule::index`]. Re-derivations of an existing edge count.
+    pub applications: [usize; 7],
+    /// Distinct edges accepted per rule, indexed by [`HbRule::index`].
+    pub accepted: [usize; 7],
+    /// Rounds of the inter-action-transitivity fixpoint (rules 6 & 7).
+    pub fixpoint_rounds: usize,
+}
+
+impl ShbgStats {
+    /// Total rule applications across all rules.
+    pub fn total_applications(&self) -> usize {
+        self.applications.iter().sum()
+    }
+
+    /// Total accepted edges across all rules.
+    pub fn total_accepted(&self) -> usize {
+        self.accepted.iter().sum()
+    }
+}
+
 /// One direct HB edge with provenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct HbEdge {
@@ -43,6 +108,8 @@ pub struct HbEdge {
 pub struct Shbg {
     /// Direct edges with provenance.
     pub edges: Vec<HbEdge>,
+    /// Rule-application counters recorded during construction.
+    pub stats: ShbgStats,
     closure: BitMatrix,
     n: usize,
 }
@@ -70,7 +137,11 @@ impl Shbg {
 
     /// Direct edges introduced by `rule`.
     pub fn edges_by_rule(&self, rule: HbRule) -> Vec<HbEdge> {
-        self.edges.iter().copied().filter(|e| e.rule == rule).collect()
+        self.edges
+            .iter()
+            .copied()
+            .filter(|e| e.rule == rule)
+            .collect()
     }
 
     /// Renders the direct-edge graph in Graphviz DOT format, labeling each
@@ -87,7 +158,11 @@ impl Shbg {
             }
         }
         for e in &self.edges {
-            let _ = writeln!(out, "  n{} -> n{} [label=\"{:?}\"];", e.src.0, e.dst.0, e.rule);
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{:?}\"];",
+                e.src.0, e.dst.0, e.rule
+            );
         }
         out.push_str("}\n");
         out
@@ -99,8 +174,10 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
     let n = analysis.actions.len();
     let mut closure = BitMatrix::new(n);
     let mut edges: Vec<HbEdge> = Vec::new();
+    let mut stats = ShbgStats::default();
     let mut edge_set: HashSet<(ActionId, ActionId)> = HashSet::new();
     let mut add = |edges: &mut Vec<HbEdge>,
+                   stats: &mut ShbgStats,
                    closure: &mut BitMatrix,
                    src: ActionId,
                    dst: ActionId,
@@ -108,7 +185,9 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
         if src == dst {
             return;
         }
+        stats.applications[rule.index()] += 1;
         if edge_set.insert((src, dst)) {
+            stats.accepted[rule.index()] += 1;
             edges.push(HbEdge { src, dst, rule });
             closure.set(src.index(), dst.index());
         }
@@ -119,13 +198,20 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
     // --- Rule 1: action invocation (unique poster ≺ posted). ---
     for a in analysis.actions.actions() {
         if let Some(p) = a.parent {
-            add(&mut edges, &mut closure, p, a.id, HbRule::ActionInvocation);
+            add(
+                &mut edges,
+                &mut stats,
+                &mut closure,
+                p,
+                a.id,
+                HbRule::ActionInvocation,
+            );
         }
     }
 
     // --- AsyncTask order: pre ≺ bg ≺ post for the same execute() site. ---
     type TaskKey = (Option<CallSiteId>, Option<apir::AllocSiteId>);
-    let mut tasks: HashMap<TaskKey, [Option<ActionId>; 3]> = HashMap::new();
+    let mut tasks: BTreeMap<TaskKey, [Option<ActionId>; 3]> = BTreeMap::new();
     for a in analysis.actions.actions() {
         let slot = match a.kind {
             ActionKind::AsyncTaskPre => 0,
@@ -138,10 +224,24 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
     for trio in tasks.values() {
         let present: Vec<ActionId> = trio.iter().flatten().copied().collect();
         for w in present.windows(2) {
-            add(&mut edges, &mut closure, w[0], w[1], HbRule::AsyncTaskOrder);
+            add(
+                &mut edges,
+                &mut stats,
+                &mut closure,
+                w[0],
+                w[1],
+                HbRule::AsyncTaskOrder,
+            );
         }
         if present.len() == 3 {
-            add(&mut edges, &mut closure, present[0], present[2], HbRule::AsyncTaskOrder);
+            add(
+                &mut edges,
+                &mut stats,
+                &mut closure,
+                present[0],
+                present[2],
+                HbRule::AsyncTaskOrder,
+            );
         }
     }
 
@@ -154,8 +254,7 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
             .iter()
             .filter_map(|(site, kind)| {
                 let action = analysis.harness_actions.get(site)?;
-                let is_lifecycle =
-                    matches!(kind, harness_gen::HarnessSiteKind::Lifecycle { .. });
+                let is_lifecycle = matches!(kind, harness_gen::HarnessSiteKind::Lifecycle { .. });
                 Some((*site, *action, is_lifecycle))
             })
             .collect();
@@ -167,17 +266,27 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                 let addr1 = program.call_site_addr(s1);
                 let addr2 = program.call_site_addr(s2);
                 if dom.dominates_stmt(addr1, addr2) {
-                    let rule = if l1 && l2 { HbRule::Lifecycle } else { HbRule::Gui };
-                    add(&mut edges, &mut closure, a1, a2, rule);
+                    let rule = if l1 && l2 {
+                        HbRule::Lifecycle
+                    } else {
+                        HbRule::Gui
+                    };
+                    add(&mut edges, &mut stats, &mut closure, a1, a2, rule);
                 }
             }
         }
     }
 
     // --- Rules 4 & 5: domination among posting sites of one action. ---
-    let mut posts_by_poster: HashMap<ActionId, Vec<(CallSiteId, ActionId)>> = HashMap::new();
+    // Keyed by a BTreeMap so the rule-6 fixpoint below visits posters in
+    // action order — edge order (and so the recorded stats) must not
+    // depend on hash-map iteration, which varies across threads.
+    let mut posts_by_poster: BTreeMap<ActionId, Vec<(CallSiteId, ActionId)>> = BTreeMap::new();
     for p in &analysis.posts {
-        posts_by_poster.entry(p.poster).or_default().push((p.site, p.posted));
+        posts_by_poster
+            .entry(p.poster)
+            .or_default()
+            .push((p.site, p.posted));
     }
     let mut dom_cache: HashMap<MethodId, Dominators> = HashMap::new();
     for (&poster, posts) in &posts_by_poster {
@@ -204,7 +313,14 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                         .entry(addr1.method)
                         .or_insert_with(|| Dominators::compute(program.method(addr1.method)));
                     if dom.dominates_stmt(addr1, addr2) {
-                        add(&mut edges, &mut closure, a1, a2, HbRule::IntraProcDom);
+                        add(
+                            &mut edges,
+                            &mut stats,
+                            &mut closure,
+                            a1,
+                            a2,
+                            HbRule::IntraProcDom,
+                        );
                     }
                 } else {
                     // Rule 5: remove e1 from the action's ICFG; if e2 is no
@@ -212,7 +328,14 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                     if !icfg_reachable_avoiding(analysis, program, poster, addr2, Some(addr1))
                         && icfg_reachable_avoiding(analysis, program, poster, addr2, None)
                     {
-                        add(&mut edges, &mut closure, a1, a2, HbRule::InterProcDom);
+                        add(
+                            &mut edges,
+                            &mut stats,
+                            &mut closure,
+                            a1,
+                            a2,
+                            HbRule::InterProcDom,
+                        );
                     }
                 }
             }
@@ -222,6 +345,7 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
     // --- Rules 6 & 7: inter-action transitivity + transitive closure, to a
     //     fixpoint (rule 6 can enable more rule 6 edges). ---
     loop {
+        stats.fixpoint_rounds += 1;
         closure.transitive_closure();
         let mut grew = false;
         for (p1, posts1) in &posts_by_poster {
@@ -242,6 +366,7 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                         if !closure.get(a3.index(), a4.index()) {
                             add(
                                 &mut edges,
+                                &mut stats,
                                 &mut closure,
                                 a3,
                                 a4,
@@ -258,7 +383,12 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
         }
     }
 
-    Shbg { edges, closure, n }
+    Shbg {
+        edges,
+        stats,
+        closure,
+        n,
+    }
 }
 
 /// Whether `target` is reachable in `action`'s interprocedural CFG from the

@@ -10,13 +10,24 @@ fn lifecycle_action(a: &Analysis, ev: LifecycleEvent, instance: u8) -> ActionId 
     a.actions
         .actions()
         .iter()
-        .find(|x| x.kind == ActionKind::Lifecycle { event: ev, instance })
+        .find(|x| {
+            x.kind
+                == ActionKind::Lifecycle {
+                    event: ev,
+                    instance,
+                }
+        })
         .unwrap_or_else(|| panic!("missing lifecycle action {ev:?} #{instance}"))
         .id
 }
 
 fn action_of_kind(a: &Analysis, pred: impl Fn(&ActionKind) -> bool) -> ActionId {
-    a.actions.actions().iter().find(|x| pred(&x.kind)).expect("action of kind").id
+    a.actions
+        .actions()
+        .iter()
+        .find(|x| pred(&x.kind))
+        .expect("action of kind")
+        .id
 }
 
 /// Minimal activity with a lifecycle override (so the harness exists).
@@ -83,7 +94,13 @@ fn async_task_posting_is_ordered_by_rule_1_and_task_order() {
     mb.set_param_count(1);
     let t = mb.fresh_local();
     mb.new_(t, task);
-    mb.call(None, InvokeKind::Virtual, fw.async_task_execute, Some(t), vec![]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.async_task_execute,
+        Some(t),
+        vec![],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -95,7 +112,10 @@ fn async_task_posting_is_ordered_by_rule_1_and_task_order() {
     let bg = action_of_kind(&a, |k| matches!(k, ActionKind::AsyncTaskBg));
     let post = action_of_kind(&a, |k| matches!(k, ActionKind::AsyncTaskPost));
     assert!(g.ordered(create, bg), "rule 1: poster ≺ posted");
-    assert!(g.ordered(bg, post), "task order: doInBackground ≺ onPostExecute");
+    assert!(
+        g.ordered(bg, post),
+        "task order: doInBackground ≺ onPostExecute"
+    );
     assert!(g.ordered(create, post), "transitivity");
     assert!(!g.edges_by_rule(HbRule::AsyncTaskOrder).is_empty());
     assert!(!g.edges_by_rule(HbRule::ActionInvocation).is_empty());
@@ -130,8 +150,20 @@ fn rule_4_orders_sequential_posts() {
     let r2 = mb.fresh_local();
     mb.new_(r1, runnables[0]);
     mb.new_(r2, runnables[1]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r1)]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r2)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r1)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r2)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -187,7 +219,13 @@ fn rule_5_orders_posts_across_methods() {
     let this = mb.param(0);
     let r2 = mb.fresh_local();
     mb.new_(r2, runnables[1]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r2)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r2)],
+    );
     mb.ret(None);
     let helper = mb.finish();
     // onCreate() { runOnUiThread(new R1); helper() }
@@ -196,7 +234,13 @@ fn rule_5_orders_posts_across_methods() {
     let this = mb.param(0);
     let r1 = mb.fresh_local();
     mb.new_(r1, runnables[0]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r1)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r1)],
+    );
     mb.vcall(helper, this, vec![]);
     mb.ret(None);
     mb.finish();
@@ -248,7 +292,13 @@ fn rule_6_inter_action_transitivity() {
         let this = mb.param(0);
         let r = mb.fresh_local();
         mb.new_(r, class);
-        mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            fw.run_on_ui_thread,
+            Some(this),
+            vec![Operand::Local(r)],
+        );
         mb.ret(None);
         mb.finish();
     }
@@ -295,7 +345,13 @@ fn gui_events_are_unordered_with_pause_but_after_resume() {
         Some(this),
         vec![Operand::Const(ConstValue::Int(1))],
     );
-    mb.call(None, InvokeKind::Virtual, fw.set_on_click_listener, Some(v), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.set_on_click_listener,
+        Some(v),
+        vec![Operand::Local(this)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -303,14 +359,23 @@ fn gui_events_are_unordered_with_pause_but_after_resume() {
     let a = analyze(&h, SelectorKind::ActionSensitive(1));
     let g = build(&a, &h);
     let click = action_of_kind(&a, |k| {
-        matches!(k, ActionKind::Gui { event: GuiEventKind::Click, .. })
+        matches!(
+            k,
+            ActionKind::Gui {
+                event: GuiEventKind::Click,
+                ..
+            }
+        )
     });
     let resume1 = lifecycle_action(&a, LifecycleEvent::Resume, 1);
     let pause = lifecycle_action(&a, LifecycleEvent::Pause, 1);
     let destroy = lifecycle_action(&a, LifecycleEvent::Destroy, 1);
     assert!(g.ordered(resume1, click), "Figure 6: onResume ≺ onClick");
     assert!(g.unordered(click, pause), "clicks race with pausing");
-    assert!(g.unordered(click, destroy), "no false UI-after-stop ordering *edges* needed");
+    assert!(
+        g.unordered(click, destroy),
+        "no false UI-after-stop ordering *edges* needed"
+    );
     assert!(g.ordered_pair_count() > 0);
     assert!(g.action_count() > 10);
 }

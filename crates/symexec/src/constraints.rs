@@ -152,11 +152,19 @@ mod tests {
     #[test]
     fn meet_detects_contradictions() {
         use Constraint::*;
-        assert_eq!(Eq(ConstValue::Int(1)).meet(Eq(ConstValue::Int(1))), Some(Eq(ConstValue::Int(1))));
+        assert_eq!(
+            Eq(ConstValue::Int(1)).meet(Eq(ConstValue::Int(1))),
+            Some(Eq(ConstValue::Int(1)))
+        );
         assert_eq!(Eq(ConstValue::Int(1)).meet(Eq(ConstValue::Int(2))), None);
-        assert_eq!(Eq(ConstValue::Int(1)).meet(Ne(ConstValue::Int(2))), Some(Eq(ConstValue::Int(1))));
+        assert_eq!(
+            Eq(ConstValue::Int(1)).meet(Ne(ConstValue::Int(2))),
+            Some(Eq(ConstValue::Int(1)))
+        );
         assert_eq!(Eq(ConstValue::Int(1)).meet(Ne(ConstValue::Int(1))), None);
-        assert!(Ne(ConstValue::Int(1)).meet(Ne(ConstValue::Int(2))).is_some());
+        assert!(Ne(ConstValue::Int(1))
+            .meet(Ne(ConstValue::Int(2)))
+            .is_some());
     }
 
     #[test]
@@ -191,7 +199,10 @@ mod tests {
     fn drop_locals_keeps_heap() {
         let mut s = ConstraintStore::new();
         assert!(s.add(SymLoc::Local(Local(0)), Constraint::Eq(ConstValue::Int(1))));
-        assert!(s.add(SymLoc::Heap(ObjId(3), FieldId(2)), Constraint::Eq(ConstValue::Bool(true))));
+        assert!(s.add(
+            SymLoc::Heap(ObjId(3), FieldId(2)),
+            Constraint::Eq(ConstValue::Bool(true))
+        ));
         assert!(s.add(SymLoc::Static(FieldId(9)), Constraint::Ne(ConstValue::Null)));
         s.drop_locals();
         assert_eq!(s.len(), 2);
@@ -204,87 +215,105 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use sierra_prng::SplitMix64;
 
-    fn arb_const() -> impl Strategy<Value = ConstValue> {
-        prop_oneof![
-            (-4i64..4).prop_map(ConstValue::Int),
-            any::<bool>().prop_map(ConstValue::Bool),
-            Just(ConstValue::Null),
-        ]
+    fn random_const(rng: &mut SplitMix64) -> ConstValue {
+        match rng.usize(3) {
+            0 => ConstValue::Int(rng.range_i64(-4, 4)),
+            1 => ConstValue::Bool(rng.bool()),
+            _ => ConstValue::Null,
+        }
     }
 
-    fn arb_constraint() -> impl Strategy<Value = Constraint> {
-        prop_oneof![
-            arb_const().prop_map(Constraint::Eq),
-            arb_const().prop_map(Constraint::Ne),
-        ]
+    fn random_constraint(rng: &mut SplitMix64) -> Constraint {
+        let v = random_const(rng);
+        if rng.bool() {
+            Constraint::Eq(v)
+        } else {
+            Constraint::Ne(v)
+        }
     }
 
-    proptest! {
-        /// `meet` is a *sound over-approximation*: every value admitted by
-        /// both operands is admitted by the meet, and `None` (contradiction)
-        /// is only returned when no value satisfies both. This is the
-        /// direction refutation soundness needs — a lossy meet refutes
-        /// less, never more.
-        #[test]
-        fn meet_over_approximates_conjunction(a in arb_constraint(), b in arb_constraint(), v in arb_const()) {
+    /// `meet` is a *sound over-approximation*: every value admitted by
+    /// both operands is admitted by the meet, and `None` (contradiction)
+    /// is only returned when no value satisfies both. This is the
+    /// direction refutation soundness needs — a lossy meet refutes
+    /// less, never more.
+    #[test]
+    fn meet_over_approximates_conjunction() {
+        let mut rng = SplitMix64::new(0x533E7);
+        for _ in 0..1024 {
+            let a = random_constraint(&mut rng);
+            let b = random_constraint(&mut rng);
+            let v = random_const(&mut rng);
             match a.meet(b) {
                 Some(c) => {
                     if a.admits(v) && b.admits(v) {
-                        prop_assert!(c.admits(v), "{a:?} ⊓ {b:?} = {c:?} must admit {v:?}");
+                        assert!(c.admits(v), "{a:?} ⊓ {b:?} = {c:?} must admit {v:?}");
                     }
                 }
                 None => {
                     // Contradiction: no value satisfies both (over this
                     // sampled domain).
-                    prop_assert!(!(a.admits(v) && b.admits(v)));
+                    assert!(!(a.admits(v) && b.admits(v)));
                 }
             }
         }
+    }
 
-        /// Normalization preserves satisfaction.
-        #[test]
-        fn normalization_preserves_semantics(c in arb_constraint(), v in arb_const()) {
+    /// Normalization preserves satisfaction.
+    #[test]
+    fn normalization_preserves_semantics() {
+        let mut rng = SplitMix64::new(0x9083A);
+        for _ in 0..1024 {
+            let c = random_constraint(&mut rng);
             // Boolean disequalities flip to equalities over {true, false}.
-            if let ConstValue::Bool(_) = v {
-                prop_assert_eq!(c.normalized().admits(v), c.admits(v));
+            for v in [ConstValue::Bool(false), ConstValue::Bool(true)] {
+                assert_eq!(c.normalized().admits(v), c.admits(v));
             }
         }
+    }
 
-        /// The store accumulates conjunctively in the sound direction: if a
-        /// sequence of adds succeeds and a value satisfies every added
-        /// constraint, the stored constraint still admits it — and a
-        /// rejected add really was a contradiction.
-        ///
-        /// Constraints and the probe value are drawn from one kind: the
-        /// boolean normalization (`x ≠ true ⇒ x = false`) is only sound for
-        /// boolean-typed locations, which the IR's typing guarantees.
-        #[test]
-        fn store_accumulates_conjunctively(
-            (cs, v) in prop_oneof![
-                (
-                    proptest::collection::vec(
-                        prop_oneof![
-                            (-4i64..4).prop_map(|i| Constraint::Eq(ConstValue::Int(i))),
-                            (-4i64..4).prop_map(|i| Constraint::Ne(ConstValue::Int(i))),
-                        ],
-                        1..6,
-                    ),
-                    (-4i64..4).prop_map(ConstValue::Int),
-                ),
-                (
-                    proptest::collection::vec(
-                        prop_oneof![
-                            any::<bool>().prop_map(|b| Constraint::Eq(ConstValue::Bool(b))),
-                            any::<bool>().prop_map(|b| Constraint::Ne(ConstValue::Bool(b))),
-                        ],
-                        1..6,
-                    ),
-                    any::<bool>().prop_map(ConstValue::Bool),
-                ),
-            ]
-        ) {
+    /// The store accumulates conjunctively in the sound direction: if a
+    /// sequence of adds succeeds and a value satisfies every added
+    /// constraint, the stored constraint still admits it — and a
+    /// rejected add really was a contradiction.
+    ///
+    /// Constraints and the probe value are drawn from one kind: the
+    /// boolean normalization (`x ≠ true ⇒ x = false`) is only sound for
+    /// boolean-typed locations, which the IR's typing guarantees.
+    #[test]
+    fn store_accumulates_conjunctively() {
+        let mut rng = SplitMix64::new(0x5704E);
+        for _ in 0..1024 {
+            let len = 1 + rng.usize(5);
+            let (cs, v): (Vec<Constraint>, ConstValue) = if rng.bool() {
+                // Integer-typed location.
+                let cs = (0..len)
+                    .map(|_| {
+                        let i = ConstValue::Int(rng.range_i64(-4, 4));
+                        if rng.bool() {
+                            Constraint::Eq(i)
+                        } else {
+                            Constraint::Ne(i)
+                        }
+                    })
+                    .collect();
+                (cs, ConstValue::Int(rng.range_i64(-4, 4)))
+            } else {
+                // Boolean-typed location.
+                let cs = (0..len)
+                    .map(|_| {
+                        let b = ConstValue::Bool(rng.bool());
+                        if rng.bool() {
+                            Constraint::Eq(b)
+                        } else {
+                            Constraint::Ne(b)
+                        }
+                    })
+                    .collect();
+                (cs, ConstValue::Bool(rng.bool()))
+            };
             let mut store = ConstraintStore::new();
             let loc = SymLoc::Static(FieldId(0));
             let mut all_ok = true;
@@ -297,7 +326,10 @@ mod proptests {
             if all_ok {
                 let stored = store.get(loc).expect("constraint present");
                 if cs.iter().all(|c| c.admits(v)) {
-                    prop_assert!(stored.admits(v), "{cs:?} stored as {stored:?} must admit {v:?}");
+                    assert!(
+                        stored.admits(v),
+                        "{cs:?} stored as {stored:?} must admit {v:?}"
+                    );
                 }
             }
         }

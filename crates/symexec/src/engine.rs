@@ -16,8 +16,8 @@
 use crate::constraints::{Constraint, ConstraintStore, SymLoc};
 use android_model::{ActionId, ActionKind};
 use apir::{
-    BlockId, CallSiteId, ConstValue, FieldId, Local, MethodId, Operand, Program, Stmt,
-    StmtAddr, Terminator,
+    BlockId, CallSiteId, ConstValue, FieldId, Local, MethodId, Operand, Program, Stmt, StmtAddr,
+    Terminator,
 };
 use pointer::{Access, Analysis, CtxId};
 use std::collections::{HashMap, HashSet};
@@ -38,7 +38,12 @@ pub struct RefuterConfig {
 
 impl Default for RefuterConfig {
     fn default() -> Self {
-        Self { max_paths: 5_000, max_steps: 200_000, block_visit_limit: 2, use_cache: true }
+        Self {
+            max_paths: 5_000,
+            max_steps: 200_000,
+            block_visit_limit: 2,
+            use_cache: true,
+        }
     }
 }
 
@@ -130,6 +135,12 @@ impl<'a> Refuter<'a> {
                 callers.entry((m, ctx)).or_default().push((cm, cctx, site));
             }
         }
+        // The source map iterates in hash order, which varies per thread;
+        // sorted caller lists keep path exploration (and its budget
+        // counters) identical regardless of which worker runs the query.
+        for list in callers.values_mut() {
+            list.sort_unstable();
+        }
         Self {
             program,
             analysis,
@@ -152,9 +163,13 @@ impl<'a> Refuter<'a> {
     /// Checks store consistency against the action's known facts at its
     /// entry boundary (currently: the constant message code).
     fn action_facts_ok(&self, store: &ConstraintStore, action: ActionId, ctx: CtxId) -> bool {
-        let Some(wf) = self.message_what_field else { return true };
+        let Some(wf) = self.message_what_field else {
+            return true;
+        };
         let a = self.analysis.actions.action(action);
-        let ActionKind::MessageHandle { what: Some(w) } = a.kind else { return true };
+        let ActionKind::MessageHandle { what: Some(w) } = a.kind else {
+            return true;
+        };
         let pts = self.analysis.pts_var(a.entry, ctx, Local(1));
         for (loc, c) in store.iter() {
             if let SymLoc::Heap(o, f) = loc {
@@ -294,11 +309,8 @@ impl<'a> Refuter<'a> {
                                             let term =
                                                 &self.program.method(cm).block(exit).terminator;
                                             if let Terminator::Return(Some(op)) = term {
-                                                if !add_operand_constraint(
-                                                    &mut child.store,
-                                                    *op,
-                                                    c,
-                                                ) {
+                                                if !add_operand_constraint(&mut child.store, *op, c)
+                                                {
                                                     continue;
                                                 }
                                             }
@@ -336,8 +348,11 @@ impl<'a> Refuter<'a> {
                     let mut forked = st.clone();
                     *forked.visits.entry((st.m, p)).or_insert(0) += 1;
                     // Branch condition constraint.
-                    if let Terminator::If { cond, then_bb, else_bb } =
-                        &method.block(p).terminator
+                    if let Terminator::If {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } = &method.block(p).terminator
                     {
                         let want = if *then_bb == st.block && *else_bb == st.block {
                             None
@@ -416,13 +431,18 @@ impl<'a> Refuter<'a> {
                         }
                     } else {
                         // Ascend to same-action callers.
-                        let Some(callers) = self.callers.get(&(st.m, st.ctx)) else { continue };
+                        let Some(callers) = self.callers.get(&(st.m, st.ctx)) else {
+                            continue;
+                        };
                         for &(cm, cctx, site) in callers.clone().iter() {
                             if self.analysis.action_of(cctx) != later_action {
                                 continue;
                             }
-                            let Some(addr) = self.site_addr(site) else { continue };
-                            let Some(call_stmt) = self.call_stmt_at(cm, addr.block, addr.stmt as i32)
+                            let Some(addr) = self.site_addr(site) else {
+                                continue;
+                            };
+                            let Some(call_stmt) =
+                                self.call_stmt_at(cm, addr.block, addr.stmt as i32)
                             else {
                                 continue;
                             };
@@ -494,12 +514,15 @@ impl<'a> Refuter<'a> {
     /// All contexts of `action`'s entry method that belong to the action.
     fn action_entry_ctxs(&self, action: ActionId) -> Vec<CtxId> {
         let entry = self.analysis.actions.action(action).entry;
-        self.analysis
+        let mut out: Vec<CtxId> = self
+            .analysis
             .reachable
             .iter()
             .filter(|&&(m, ctx)| m == entry && self.analysis.action_of(ctx) == action)
             .map(|&(_, ctx)| ctx)
-            .collect()
+            .collect();
+        out.sort_unstable();
+        out
     }
 
     /// Frames of `action` that can reach `(tm, tctx)` in the call graph.
@@ -536,21 +559,23 @@ impl<'a> Refuter<'a> {
                 None => true,
             },
             Stmt::UnOp { dst, op, src } => {
-                let Some(c) = store.take(SymLoc::Local(*dst)) else { return true };
+                let Some(c) = store.take(SymLoc::Local(*dst)) else {
+                    return true;
+                };
                 match (op, c.normalized()) {
                     (apir::UnOp::Not, Constraint::Eq(ConstValue::Bool(b))) => {
-                        add_operand_constraint(
-                            store,
-                            *src,
-                            Constraint::Eq(ConstValue::Bool(!b)),
-                        )
+                        add_operand_constraint(store, *src, Constraint::Eq(ConstValue::Bool(!b)))
                     }
                     _ => true, // arithmetic negation: drop
                 }
             }
             Stmt::BinOp { dst, op, lhs, rhs } => {
-                let Some(c) = store.take(SymLoc::Local(*dst)) else { return true };
-                let Constraint::Eq(ConstValue::Bool(b)) = c.normalized() else { return true };
+                let Some(c) = store.take(SymLoc::Local(*dst)) else {
+                    return true;
+                };
+                let Constraint::Eq(ConstValue::Bool(b)) = c.normalized() else {
+                    return true;
+                };
                 let eq_holds = match op {
                     apir::BinOp::Cmp(apir::CmpOp::Eq) => b,
                     apir::BinOp::Cmp(apir::CmpOp::Ne) => !b,
@@ -559,7 +584,11 @@ impl<'a> Refuter<'a> {
                 match (lhs, rhs) {
                     (Operand::Local(l), Operand::Const(v))
                     | (Operand::Const(v), Operand::Local(l)) => {
-                        let cc = if eq_holds { Constraint::Eq(*v) } else { Constraint::Ne(*v) };
+                        let cc = if eq_holds {
+                            Constraint::Eq(*v)
+                        } else {
+                            Constraint::Ne(*v)
+                        };
                         store.add(SymLoc::Local(*l), cc)
                     }
                     (Operand::Const(a), Operand::Const(b2)) => (a == b2) == eq_holds,
@@ -571,7 +600,9 @@ impl<'a> Refuter<'a> {
                 _ => true,
             },
             Stmt::Load { dst, obj, field } => {
-                let Some(c) = store.take(SymLoc::Local(*dst)) else { return true };
+                let Some(c) = store.take(SymLoc::Local(*dst)) else {
+                    return true;
+                };
                 let pts = self.analysis.pts_var(st.m, st.ctx, *obj);
                 if pts.len() == 1 {
                     let o = *pts.iter().next().expect("singleton");
@@ -625,14 +656,20 @@ impl<'a> Refuter<'a> {
         _cctx: CtxId,
         call_stmt: &Stmt,
     ) -> bool {
-        let Stmt::Call { receiver, args, .. } = call_stmt else { return true };
+        let Stmt::Call { receiver, args, .. } = call_stmt else {
+            return true;
+        };
         let callee_m = self.program.method(callee);
         let mut transfers: Vec<(Operand, Constraint)> = Vec::new();
         let shift = if callee_m.is_static { 0 } else { 1 };
         for p in 0..callee_m.param_count {
-            let Some(c) = store.take(SymLoc::Local(Local(p))) else { continue };
+            let Some(c) = store.take(SymLoc::Local(Local(p))) else {
+                continue;
+            };
             if !callee_m.is_static && p == 0 {
-                if let Some(r) = receiver { transfers.push((Operand::Local(*r), c)) }
+                if let Some(r) = receiver {
+                    transfers.push((Operand::Local(*r), c))
+                }
             } else if let Some(a) = args.get((p - shift) as usize) {
                 transfers.push((*a, c));
             }

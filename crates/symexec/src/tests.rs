@@ -85,8 +85,20 @@ fn fig8() -> Fig8 {
     let r = mb.fresh_local();
     mb.store(this, is_running, Operand::Const(ConstValue::Bool(true)));
     mb.new_(r, runner);
-    mb.call(None, InvokeKind::Special, runner_init, Some(r), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        runner_init,
+        Some(r),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -116,7 +128,11 @@ fn fig8() -> Fig8 {
     mb.finish();
 
     let harness = generate(app.finish().unwrap());
-    Fig8 { harness, is_running, accum }
+    Fig8 {
+        harness,
+        is_running,
+        accum,
+    }
 }
 
 fn access_in<'a>(
@@ -140,8 +156,11 @@ fn access_in<'a>(
 fn figure_8_accum_time_race_is_refuted() {
     let f = fig8();
     let analysis = analyze(&f.harness, SelectorKind::ActionSensitive(1));
-    let accesses =
-        collect_accesses(&analysis, &f.harness.app.program, Some(f.harness.harness_class));
+    let accesses = collect_accesses(
+        &analysis,
+        &f.harness.app.program,
+        Some(f.harness.harness_class),
+    );
 
     let alpha_a = access_in(&accesses, &analysis, f.accum, true, |k| {
         matches!(k, ActionKind::RunnablePost)
@@ -149,14 +168,20 @@ fn figure_8_accum_time_race_is_refuted() {
     let alpha_b = access_in(&accesses, &analysis, f.accum, true, |k| {
         matches!(
             k,
-            ActionKind::Lifecycle { event: android_model::LifecycleEvent::Pause, .. }
+            ActionKind::Lifecycle {
+                event: android_model::LifecycleEvent::Pause,
+                ..
+            }
         )
     });
 
-    let mut refuter =
-        Refuter::new(&analysis, &f.harness.app.program, RefuterConfig::default());
+    let mut refuter = Refuter::new(&analysis, &f.harness.app.program, RefuterConfig::default());
     let outcome = refuter.refute_pair(alpha_a, alpha_b);
-    assert_eq!(outcome, Outcome::Refuted, "the mAccumTime pair is guarded by mIsRunning");
+    assert_eq!(
+        outcome,
+        Outcome::Refuted,
+        "the mAccumTime pair is guarded by mIsRunning"
+    );
     assert_eq!(refuter.stats.refuted, 1);
 }
 
@@ -164,8 +189,11 @@ fn figure_8_accum_time_race_is_refuted() {
 fn figure_8_guard_variable_race_is_a_true_positive() {
     let f = fig8();
     let analysis = analyze(&f.harness, SelectorKind::ActionSensitive(1));
-    let accesses =
-        collect_accesses(&analysis, &f.harness.app.program, Some(f.harness.harness_class));
+    let accesses = collect_accesses(
+        &analysis,
+        &f.harness.app.program,
+        Some(f.harness.harness_class),
+    );
 
     // The guard itself races: run() reads mIsRunning, stop() writes it.
     let guard_read = access_in(&accesses, &analysis, f.is_running, false, |k| {
@@ -174,12 +202,14 @@ fn figure_8_guard_variable_race_is_a_true_positive() {
     let guard_write = access_in(&accesses, &analysis, f.is_running, true, |k| {
         matches!(
             k,
-            ActionKind::Lifecycle { event: android_model::LifecycleEvent::Pause, .. }
+            ActionKind::Lifecycle {
+                event: android_model::LifecycleEvent::Pause,
+                ..
+            }
         )
     });
 
-    let mut refuter =
-        Refuter::new(&analysis, &f.harness.app.program, RefuterConfig::default());
+    let mut refuter = Refuter::new(&analysis, &f.harness.app.program, RefuterConfig::default());
     let outcome = refuter.refute_pair(guard_read, guard_write);
     assert_eq!(
         outcome,
@@ -193,8 +223,11 @@ fn figure_8_guard_variable_race_is_a_true_positive() {
 fn budget_exhaustion_reports_the_race() {
     let f = fig8();
     let analysis = analyze(&f.harness, SelectorKind::ActionSensitive(1));
-    let accesses =
-        collect_accesses(&analysis, &f.harness.app.program, Some(f.harness.harness_class));
+    let accesses = collect_accesses(
+        &analysis,
+        &f.harness.app.program,
+        Some(f.harness.harness_class),
+    );
     let alpha_a = access_in(&accesses, &analysis, f.accum, true, |k| {
         matches!(k, ActionKind::RunnablePost)
     });
@@ -202,7 +235,11 @@ fn budget_exhaustion_reports_the_race() {
         matches!(k, ActionKind::Lifecycle { .. })
     });
 
-    let config = RefuterConfig { max_paths: 1, max_steps: 2, ..Default::default() };
+    let config = RefuterConfig {
+        max_paths: 1,
+        max_steps: 2,
+        ..Default::default()
+    };
     let mut refuter = Refuter::new(&analysis, &f.harness.app.program, config);
     assert_eq!(refuter.refute_pair(alpha_a, alpha_b), Outcome::Budget);
     assert_eq!(refuter.stats.budget_exhausted, 1);
@@ -240,8 +277,20 @@ fn unguarded_pair_is_witnessed() {
     let this = mb.param(0);
     let r = mb.fresh_local();
     mb.new_(r, runner);
-    mb.call(None, InvokeKind::Special, runner_init, Some(r), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        runner_init,
+        Some(r),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
     mb.ret(None);
     mb.finish();
     let mut mb = app.method(activity, "onPause");
@@ -268,16 +317,18 @@ fn unguarded_pair_is_witnessed() {
 fn cache_short_circuits_repeat_queries() {
     let f = fig8();
     let analysis = analyze(&f.harness, SelectorKind::ActionSensitive(1));
-    let accesses =
-        collect_accesses(&analysis, &f.harness.app.program, Some(f.harness.harness_class));
+    let accesses = collect_accesses(
+        &analysis,
+        &f.harness.app.program,
+        Some(f.harness.harness_class),
+    );
     let alpha_a = access_in(&accesses, &analysis, f.accum, true, |k| {
         matches!(k, ActionKind::RunnablePost)
     });
     let alpha_b = access_in(&accesses, &analysis, f.accum, true, |k| {
         matches!(k, ActionKind::Lifecycle { .. })
     });
-    let mut refuter =
-        Refuter::new(&analysis, &f.harness.app.program, RefuterConfig::default());
+    let mut refuter = Refuter::new(&analysis, &f.harness.app.program, RefuterConfig::default());
     assert_eq!(refuter.refute_pair(alpha_a, alpha_b), Outcome::Refuted);
     // The same pair again: answered from the refuted-node cache.
     assert_eq!(refuter.refute_pair(alpha_a, alpha_b), Outcome::Refuted);
@@ -361,8 +412,20 @@ fn refutation_ascends_through_nested_callers() {
     let r = mb.fresh_local();
     mb.store(this, flag, Operand::Const(ConstValue::Bool(true)));
     mb.new_(r, runner);
-    mb.call(None, InvokeKind::Special, rinit, Some(r), vec![Operand::Local(this)]);
-    mb.call(None, InvokeKind::Virtual, fw.run_on_ui_thread, Some(this), vec![Operand::Local(r)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        rinit,
+        Some(r),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
     mb.ret(None);
     mb.finish();
 
@@ -374,9 +437,17 @@ fn refutation_ascends_through_nested_callers() {
         .program
         .declared_field(harness.app.program.class_by_name("Act").unwrap(), "x")
         .unwrap();
-    let a = access_in(&accesses, &analysis, xf, true, |k| matches!(k, ActionKind::RunnablePost));
+    let a = access_in(&accesses, &analysis, xf, true, |k| {
+        matches!(k, ActionKind::RunnablePost)
+    });
     let b = access_in(&accesses, &analysis, xf, true, |k| {
-        matches!(k, ActionKind::Lifecycle { event: android_model::LifecycleEvent::Pause, .. })
+        matches!(
+            k,
+            ActionKind::Lifecycle {
+                event: android_model::LifecycleEvent::Pause,
+                ..
+            }
+        )
     });
     let mut refuter = Refuter::new(&analysis, &harness.app.program, RefuterConfig::default());
     assert_eq!(
@@ -390,8 +461,11 @@ fn refutation_ascends_through_nested_callers() {
 fn disabling_the_cache_gives_the_same_verdicts() {
     let f = fig8();
     let analysis = analyze(&f.harness, SelectorKind::ActionSensitive(1));
-    let accesses =
-        collect_accesses(&analysis, &f.harness.app.program, Some(f.harness.harness_class));
+    let accesses = collect_accesses(
+        &analysis,
+        &f.harness.app.program,
+        Some(f.harness.harness_class),
+    );
     let pairs: Vec<(&Access, &Access)> = {
         let mut v = Vec::new();
         for i in 0..accesses.len() {
@@ -405,9 +479,15 @@ fn disabling_the_cache_gives_the_same_verdicts() {
         v
     };
     let run = |use_cache: bool| {
-        let cfg = RefuterConfig { use_cache, ..Default::default() };
+        let cfg = RefuterConfig {
+            use_cache,
+            ..Default::default()
+        };
         let mut r = Refuter::new(&analysis, &f.harness.app.program, cfg);
-        pairs.iter().map(|(a, b)| r.refute_pair(a, b)).collect::<Vec<_>>()
+        pairs
+            .iter()
+            .map(|(a, b)| r.refute_pair(a, b))
+            .collect::<Vec<_>>()
     };
     // The paper's cache is deliberately aggressive (§5 "Caching"): paths
     // entering a node visited by a refuted query are pruned, so the cache

@@ -63,10 +63,14 @@ fn main() {
     );
 
     let result = Sierra::new().analyze_app(app);
-    print!("{}", result.render_text());
+    print!("{result}");
 
     let program = &result.harness.app.program;
-    let fields: Vec<&str> = result.races.iter().map(|r| program.field_name(r.field)).collect();
+    let fields: Vec<&str> = result
+        .races
+        .iter()
+        .map(|r| program.field_name(r.field))
+        .collect();
     assert!(
         !fields.contains(&"elapsed"),
         "the guarded elapsed pair must refute: {fields:?}"

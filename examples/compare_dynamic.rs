@@ -31,7 +31,10 @@ fn main() {
             .iter()
             .map(|r| {
                 let f = program.field(r.field);
-                (program.class_name(f.class).to_owned(), program.name(f.name).to_owned())
+                (
+                    program.class_name(f.class).to_owned(),
+                    program.name(f.name).to_owned(),
+                )
             })
             .collect();
         let s = truth.evaluate(s_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));

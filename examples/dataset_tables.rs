@@ -12,7 +12,7 @@ fn main() {
     println!("== Table 2: the 20-app dataset ==");
     print!("{}", experiments::table2());
 
-    let rows = experiments::run_twenty(SierraConfig::default(), &EventRacerConfig::default());
+    let rows = experiments::run_twenty(SierraConfig::default(), &EventRacerConfig::default(), 0);
 
     println!("\n== Table 3: effectiveness ==");
     print!("{}", experiments::table3(&rows));
@@ -24,6 +24,6 @@ fn main() {
     print!("{}", experiments::comparison_summary(&rows));
 
     println!("\n== Table 5: the 174-app F-Droid dataset (first 40 apps) ==");
-    let rows5 = experiments::run_fdroid(40, SierraConfig::default());
+    let rows5 = experiments::run_fdroid(40, SierraConfig::default(), 0);
     print!("{}", experiments::table5(&rows5));
 }

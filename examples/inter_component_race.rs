@@ -28,14 +28,20 @@ fn main() {
         .find(|r| program.field_name(r.field) == "mDB")
         .expect("the Figure 2 mDB race is reported");
     assert_eq!(mdb.priority, Priority::App);
-    assert!(mdb.pointer_field, "NullPointerException-prone races rank high");
+    assert!(
+        mdb.pointer_field,
+        "NullPointerException-prone races rank high"
+    );
 
     let groups: Vec<(String, String)> = result
         .races
         .iter()
         .map(|r| {
             let f = program.field(r.field);
-            (program.class_name(f.class).to_owned(), program.name(f.name).to_owned())
+            (
+                program.class_name(f.class).to_owned(),
+                program.name(f.name).to_owned(),
+            )
         })
         .collect();
     let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
@@ -45,5 +51,8 @@ fn main() {
         eval.false_positives + eval.unplanted,
         eval.missed
     );
-    assert!(eval.true_races >= 2, "both Figure 2 races (mDB and isOpen) found");
+    assert!(
+        eval.true_races >= 2,
+        "both Figure 2 races (mDB and isOpen) found"
+    );
 }

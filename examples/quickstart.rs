@@ -46,8 +46,10 @@ fn main() {
     let mut mb = app.method(activity, "onCreate");
     mb.set_param_count(1);
     let this = mb.param(0);
-    for (view_id, register) in [(1, fw.set_on_click_listener), (2, fw.set_on_long_click_listener)]
-    {
+    for (view_id, register) in [
+        (1, fw.set_on_click_listener),
+        (2, fw.set_on_long_click_listener),
+    ] {
         let view = mb.fresh_local();
         mb.call(
             Some(view),
@@ -56,7 +58,13 @@ fn main() {
             Some(this),
             vec![Operand::Const(ConstValue::Int(view_id))],
         );
-        mb.call(None, InvokeKind::Virtual, register, Some(view), vec![Operand::Local(this)]);
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            register,
+            Some(view),
+            vec![Operand::Local(this)],
+        );
     }
     mb.ret(None);
     mb.finish();
@@ -67,9 +75,21 @@ fn main() {
     let this = mb.param(0);
     let (w, t) = (mb.fresh_local(), mb.fresh_local());
     mb.new_(w, worker);
-    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![Operand::Local(this)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        worker_init,
+        Some(w),
+        vec![Operand::Local(this)],
+    );
     mb.new_(t, fw.thread);
-    mb.call(None, InvokeKind::Special, fw.thread_init, Some(t), vec![Operand::Local(w)]);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(w)],
+    );
     mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
     mb.ret(None);
     mb.finish();
@@ -102,7 +122,10 @@ fn main() {
         result.races.len()
     );
     for race in &result.races {
-        println!("  {}", race.describe(&result.harness.app.program, &result.analysis.actions));
+        println!(
+            "  {}",
+            race.describe(&result.harness.app.program, &result.analysis.actions)
+        );
     }
     assert!(
         !result.races.is_empty(),

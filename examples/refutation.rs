@@ -16,28 +16,26 @@ fn main() {
     let with_refutation = Sierra::new().analyze_app(app);
 
     let (app, _) = figures::open_sudoku_guard();
-    let without = Sierra::with_config(SierraConfig {
-        skip_refutation: true,
-        ..Default::default()
-    })
-    .analyze_app(app);
+    let without =
+        Sierra::with_config(SierraConfig::builder().skip_refutation().build()).analyze_app(app);
 
     println!(
         "candidate racy pairs: {}  → after refutation: {}",
         without.races.len(),
         with_refutation.races.len()
     );
+    let rf = &with_refutation.metrics.refuter;
     println!(
         "refuter: {} queries, {} refuted, {} witnessed, {} paths explored",
-        with_refutation.refuter_stats.queries,
-        with_refutation.refuter_stats.refuted,
-        with_refutation.refuter_stats.witnessed,
-        with_refutation.refuter_stats.paths
+        rf.queries, rf.refuted, rf.witnessed, rf.paths
     );
 
     let program = &with_refutation.harness.app.program;
-    let fields: Vec<&str> =
-        with_refutation.races.iter().map(|r| program.field_name(r.field)).collect();
+    let fields: Vec<&str> = with_refutation
+        .races
+        .iter()
+        .map(|r| program.field_name(r.field))
+        .collect();
     println!("surviving reports: {fields:?}");
 
     assert!(

@@ -9,8 +9,11 @@ use sierra::sierra_core::Sierra;
 
 fn fields_of(result: &sierra::sierra_core::SierraResult) -> Vec<String> {
     let p = &result.harness.app.program;
-    let mut v: Vec<String> =
-        result.races.iter().map(|r| p.field_name(r.field).to_owned()).collect();
+    let mut v: Vec<String> = result
+        .races
+        .iter()
+        .map(|r| p.field_name(r.field).to_owned())
+        .collect();
     v.sort();
     v.dedup();
     v
@@ -41,6 +44,12 @@ fn figure_8_fixture_reproduces_the_refutation() {
     let app = parse_app("Fig8Fixture", src).expect("fixture parses");
     let result = Sierra::new().analyze_app(app);
     let fields = fields_of(&result);
-    assert!(!fields.contains(&"mAccumTime".to_owned()), "refuted: {fields:?}");
-    assert!(fields.contains(&"mIsRunning".to_owned()), "guard race kept: {fields:?}");
+    assert!(
+        !fields.contains(&"mAccumTime".to_owned()),
+        "refuted: {fields:?}"
+    );
+    assert!(
+        fields.contains(&"mIsRunning".to_owned()),
+        "guard race kept: {fields:?}"
+    );
 }

@@ -49,7 +49,10 @@ fn twenty_app_dataset_invariants() {
     for (spec, app, truth) in twenty::build_all() {
         let result = Sierra::new().analyze_app(app);
         // Structural invariants of Table 3.
-        assert_eq!(result.harness_count, twenty::activity_count(spec.bytecode_kb));
+        assert_eq!(
+            result.harness_count,
+            twenty::activity_count(spec.bytecode_kb)
+        );
         assert!(result.action_count > 0, "{}", spec.name);
         assert!(result.hb_edges <= result.hb_max, "{}", spec.name);
         assert!(
@@ -65,7 +68,11 @@ fn twenty_app_dataset_invariants() {
         // Static analysis must not miss planted true races.
         let gs = groups(&result);
         let eval = truth.evaluate(gs.iter().map(|(c, f)| (c.as_str(), f.as_str())));
-        assert_eq!(eval.missed, 0, "{}: missed true races (reported {gs:?})", spec.name);
+        assert_eq!(
+            eval.missed, 0,
+            "{}: missed true races (reported {gs:?})",
+            spec.name
+        );
     }
 }
 
@@ -84,8 +91,7 @@ fn skipping_refutation_only_adds_reports() {
     let (app, _) = corpus::figures::open_sudoku_guard();
     let full = Sierra::new().analyze_app(app.clone());
     let skipped =
-        Sierra::with_config(SierraConfig { skip_refutation: true, ..Default::default() })
-            .analyze_app(app);
+        Sierra::with_config(SierraConfig::builder().skip_refutation().build()).analyze_app(app);
     let full_groups = groups(&full);
     let skipped_groups = groups(&skipped);
     for g in &full_groups {
@@ -149,9 +155,18 @@ class com.t.Main extends android.app.Activity {
     let result = sierra::sierra_core::Sierra::new().analyze_app(app);
     let p = &result.harness.app.program;
     let fields: Vec<&str> = result.races.iter().map(|r| p.field_name(r.field)).collect();
-    assert!(fields.contains(&"isOpen"), "receiver-vs-stop race found: {fields:?}");
-    assert!(!fields.contains(&"recv"), "onCreate-ordered field not racy: {fields:?}");
-    assert!(!fields.contains(&"db"), "db pointer only written in onCreate: {fields:?}");
+    assert!(
+        fields.contains(&"isOpen"),
+        "receiver-vs-stop race found: {fields:?}"
+    );
+    assert!(
+        !fields.contains(&"recv"),
+        "onCreate-ordered field not racy: {fields:?}"
+    );
+    assert!(
+        !fields.contains(&"db"),
+        "db pointer only written in onCreate: {fields:?}"
+    );
 }
 
 #[test]

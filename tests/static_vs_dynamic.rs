@@ -43,10 +43,16 @@ fn static_detection_dominates_dynamic_on_the_dataset() {
         "static {sierra_true} vs dynamic {dynamic_true}"
     );
     // ...the dynamic detector misses many true races...
-    assert!(dynamic_missed > dynamic_true, "missed {dynamic_missed} vs found {dynamic_true}");
+    assert!(
+        dynamic_missed > dynamic_true,
+        "missed {dynamic_missed} vs found {dynamic_true}"
+    );
     // ...and carries a worse false-positive profile (pointer-guarded pairs
     // its race-coverage filter cannot reason about).
-    assert!(dynamic_fp > sierra_fp, "dynamic FP {dynamic_fp} vs static FP {sierra_fp}");
+    assert!(
+        dynamic_fp > sierra_fp,
+        "dynamic FP {dynamic_fp} vs static FP {sierra_fp}"
+    );
 }
 
 #[test]
