@@ -5,39 +5,27 @@
 //! isolation on the medium app so the relative costs can be compared, and
 //! the per-stage work counters (`StageMetrics`) are printed alongside.
 //!
+//! A final group measures the parallel refutation stage on a
+//! refutation-bound stress app (`--refute-jobs 1` vs `4`) and writes all
+//! measurements to `BENCH_table4.json` for CI artifact upload.
+//!
 //! ```sh
 //! cargo bench --bench table4_efficiency
 //! ```
 
-use pointer::SelectorKind;
+use pointer::{Access, SelectorKind};
 use sierra_bench::{group, time};
-use sierra_core::Sierra;
+use sierra_core::{refute_candidates, Sierra};
+use std::time::Duration;
 use symexec::{Refuter, RefuterConfig};
 
-fn main() {
-    let (_, app, _) = sierra_bench::size_classes().remove(1); // NPR News
-    group("table4_efficiency");
-
-    time("stage_harness_generation", 30, || {
-        harness_gen::generate(app.clone()).harness_count()
-    });
-
-    let harness = harness_gen::generate(app.clone());
-    time("stage_cg_pa", 30, || {
-        pointer::analyze(&harness, SelectorKind::ActionSensitive(1))
-            .actions
-            .len()
-    });
-
-    let analysis = pointer::analyze(&harness, SelectorKind::ActionSensitive(1));
-    time("stage_hbg", 30, || {
-        shbg::build(&analysis, &harness).ordered_pair_count()
-    });
-
-    let graph = shbg::build(&analysis, &harness);
-    let accesses =
-        pointer::collect_accesses(&analysis, &harness.app.program, Some(harness.harness_class));
-    // Unordered conflicting pairs (the refutation stage's input).
+/// Unordered conflicting same-field pairs (the refutation stage's input),
+/// without the SHBG filter — fine for timing fixtures where every
+/// cross-action conflicting pair is a candidate by construction.
+fn conflicting_pairs(
+    accesses: &[Access],
+    unordered: impl Fn(&Access, &Access) -> bool,
+) -> Vec<(Access, Access)> {
     let mut pairs = Vec::new();
     for i in 0..accesses.len() {
         for j in i + 1..accesses.len() {
@@ -45,14 +33,41 @@ fn main() {
             if a.action != b.action
                 && (a.is_write || b.is_write)
                 && a.overlaps(b)
-                && graph.unordered(a.action, b.action)
+                && unordered(a, b)
             {
                 pairs.push((a.clone(), b.clone()));
             }
         }
     }
+    pairs
+}
+
+fn main() {
+    let (_, app, _) = sierra_bench::size_classes().remove(1); // NPR News
+    group("table4_efficiency");
+
+    let t_harness = time("stage_harness_generation", 30, || {
+        harness_gen::generate(app.clone()).harness_count()
+    });
+
+    let harness = harness_gen::generate(app.clone());
+    let t_cg_pa = time("stage_cg_pa", 30, || {
+        pointer::analyze(&harness, SelectorKind::ActionSensitive(1))
+            .actions
+            .len()
+    });
+
+    let analysis = pointer::analyze(&harness, SelectorKind::ActionSensitive(1));
+    let t_hbg = time("stage_hbg", 30, || {
+        shbg::build(&analysis, &harness).ordered_pair_count()
+    });
+
+    let graph = shbg::build(&analysis, &harness);
+    let accesses =
+        pointer::collect_accesses(&analysis, &harness.app.program, Some(harness.harness_class));
+    let pairs = conflicting_pairs(&accesses, |a, b| graph.unordered(a.action, b.action));
     assert!(!pairs.is_empty(), "the fixture must produce candidates");
-    time("stage_refutation", 30, || {
+    let t_refutation = time("stage_refutation", 30, || {
         let mut refuter = Refuter::new(&analysis, &harness.app.program, RefuterConfig::default())
             .with_message_model(harness.app.framework.message_what);
         let mut kept = 0;
@@ -69,21 +84,144 @@ fn main() {
     let m = &result.metrics;
     group("table4_work_counters");
     println!(
-        "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects",
+        "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects, {} pts-set bytes",
         m.pointer.worklist_iterations,
         m.pointer.propagations,
         m.pointer.cg_edges,
         m.pointer.reachable_contexts,
-        m.pointer.abstract_objects
+        m.pointer.abstract_objects,
+        m.pointer.pts_set_bytes
     );
     println!(
-        "shbg:    {} rule applications ({} accepted) over {} fixpoint rounds",
+        "shbg:    {} rule applications ({} accepted) over {} fixpoint rounds, {} closure SCCs",
         m.shbg.total_applications(),
         m.shbg.total_accepted(),
-        m.shbg.fixpoint_rounds
+        m.shbg.fixpoint_rounds,
+        m.shbg.closure_sccs
     );
     println!(
         "refuter: {} paths over {} queries ({} refuted, {} budget-exhausted)",
         m.refuter.paths, m.refuter.queries, m.refuter.refuted, m.refuter.budget_exhausted
     );
+
+    // Parallel refutation speedup on a refutation-bound stress app: each
+    // of its candidate pairs drives the backward executor to its path
+    // budget, so the stage is embarrassingly parallel across pairs.
+    group("refutation_parallel_speedup");
+    let stress = sierra_bench::refutation_stress_app(13, 8);
+    let stress_harness = harness_gen::generate(stress);
+    let stress_analysis = pointer::analyze(&stress_harness, SelectorKind::ActionSensitive(1));
+    let stress_accesses = pointer::collect_accesses(
+        &stress_analysis,
+        &stress_harness.app.program,
+        Some(stress_harness.harness_class),
+    );
+    // Keep only the posted-runnable vs lifecycle write-write pairs:
+    // other combinations (guard-field reads, lifecycle-vs-lifecycle
+    // writes) resolve cheaply and would dilute the measurement.
+    let posted = |a: &Access| {
+        matches!(
+            stress_analysis.actions.action(a.action).kind,
+            android_model::ActionKind::RunnablePost
+        )
+    };
+    let stress_pairs = conflicting_pairs(&stress_accesses, |a, b| {
+        a.is_write && b.is_write && posted(a) != posted(b)
+    });
+    assert!(
+        stress_pairs.len() >= 8,
+        "stress app must produce one candidate per field, got {}",
+        stress_pairs.len()
+    );
+    let what = stress_harness.app.framework.message_what;
+    let refute_with = |jobs: usize| {
+        refute_candidates(
+            &stress_analysis,
+            &stress_harness.app.program,
+            what,
+            RefuterConfig::default(),
+            jobs,
+            &stress_pairs,
+        )
+    };
+    let probe = refute_with(1);
+    assert!(
+        probe.stats.budget_exhausted == stress_pairs.len(),
+        "every stress query must exhaust the path budget ({} of {})",
+        probe.stats.budget_exhausted,
+        stress_pairs.len()
+    );
+    println!(
+        "stress fixture: {} candidate pairs, {} paths explored per serial run",
+        stress_pairs.len(),
+        probe.stats.paths
+    );
+    let t_jobs1 = time("refute_candidates_jobs_1", 10, || {
+        refute_with(1).outcomes.len()
+    });
+    let t_jobs4 = time("refute_candidates_jobs_4", 10, || {
+        refute_with(4).outcomes.len()
+    });
+    let speedup = t_jobs1.as_secs_f64() / t_jobs4.as_secs_f64();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("parallel refutation speedup at 4 jobs: {speedup:.2}x ({cores} core(s) available)");
+    if cores < 4 {
+        println!("note: fewer than 4 cores available; the 4-job run cannot realize its full speedup here");
+    }
+
+    // Machine-readable record for the CI artifact (no serde in-tree, so
+    // the JSON is assembled by hand).
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"table4_efficiency\",\n",
+            "  \"app\": \"NPR News\",\n",
+            "  \"stage_mean_us\": {{\n",
+            "    \"harness\": {:.3},\n",
+            "    \"cg_pa\": {:.3},\n",
+            "    \"hbg\": {:.3},\n",
+            "    \"refutation\": {:.3}\n",
+            "  }},\n",
+            "  \"counters\": {{\n",
+            "    \"worklist_iterations\": {},\n",
+            "    \"propagations\": {},\n",
+            "    \"cg_edges\": {},\n",
+            "    \"pts_set_bytes\": {},\n",
+            "    \"rule_applications\": {},\n",
+            "    \"fixpoint_rounds\": {},\n",
+            "    \"closure_sccs\": {},\n",
+            "    \"refuter_paths\": {},\n",
+            "    \"refuter_queries\": {}\n",
+            "  }},\n",
+            "  \"refutation_parallel\": {{\n",
+            "    \"candidate_pairs\": {},\n",
+            "    \"cores_available\": {},\n",
+            "    \"jobs1_mean_us\": {:.3},\n",
+            "    \"jobs4_mean_us\": {:.3},\n",
+            "    \"speedup\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        us(t_harness),
+        us(t_cg_pa),
+        us(t_hbg),
+        us(t_refutation),
+        m.pointer.worklist_iterations,
+        m.pointer.propagations,
+        m.pointer.cg_edges,
+        m.pointer.pts_set_bytes,
+        m.shbg.total_applications(),
+        m.shbg.fixpoint_rounds,
+        m.shbg.closure_sccs,
+        m.refuter.paths,
+        m.refuter.queries,
+        stress_pairs.len(),
+        cores,
+        us(t_jobs1),
+        us(t_jobs4),
+        speedup,
+    );
+    std::fs::write("BENCH_table4.json", &json).expect("write BENCH_table4.json");
+    println!("wrote BENCH_table4.json");
 }

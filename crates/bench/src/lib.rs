@@ -5,6 +5,7 @@
 //! shared fixtures and the std-only timing harness they use.
 
 use android_model::AndroidApp;
+use apir::{ConstValue, InvokeKind, Operand, Type};
 use corpus::GroundTruth;
 use std::time::{Duration, Instant};
 
@@ -21,6 +22,118 @@ pub fn size_classes() -> Vec<(&'static str, AndroidApp, GroundTruth)> {
             (name, app, truth)
         })
         .collect()
+}
+
+/// A refutation stress app: every candidate pair drives the backward
+/// executor to its path budget, so refutation cost dominates and scales
+/// with the worker count.
+///
+/// The shape is Figure 8's guard idiom with a twist that defeats both of
+/// the refuter's early exits:
+///
+/// - A posted `Runner.run` guards its `fields` stores with `if (flag)`,
+///   so the backward walk carries a `flag == true` heap constraint into
+///   the earlier action.
+/// - `onPause` writes the same fields, clears `flag`, and then runs
+///   through `diamonds` nondeterministic diamonds before returning. The
+///   backward walk from `onPause`'s exit forks `2^diamonds` paths, and
+///   every one of them dies at `flag = false` — so the query can neither
+///   witness early nor refute before exploring the whole frontier.
+///
+/// With `diamonds` ≥ 13 the frontier exceeds the default 5,000-path
+/// budget, making each query cost exactly one budget's worth of work —
+/// refuted-method caching never kicks in (budgeted queries are not
+/// cached), so all `fields` queries stay equally expensive and
+/// embarrassingly parallel.
+pub fn refutation_stress_app(diamonds: usize, fields: usize) -> AndroidApp {
+    let mut app = android_model::AndroidAppBuilder::new("RefuteStress");
+    let fw = app.framework().clone();
+
+    let mut cb = app.activity("Hot");
+    let flag = cb.field("flag", Type::Bool);
+    let slots: Vec<_> = (0..fields)
+        .map(|i| cb.field(&format!("f{i}"), Type::Int))
+        .collect();
+    let activity = cb.build();
+
+    let mut cb = app.subclass("Runner", fw.object);
+    cb.add_interface(fw.runnable);
+    let outer = cb.field("outer", Type::Ref(activity));
+    let runner = cb.build();
+
+    let mut mb = app.method(runner, "<init>");
+    mb.set_param_count(2);
+    let (this, o) = (mb.param(0), mb.param(1));
+    mb.store(this, outer, Operand::Local(o));
+    mb.ret(None);
+    let runner_init = mb.finish();
+
+    let mut mb = app.method(runner, "run");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let o = mb.fresh_local();
+    let g = mb.fresh_local();
+    mb.load(o, this, outer);
+    mb.load(g, o, flag);
+    let then_bb = mb.new_block();
+    let else_bb = mb.new_block();
+    mb.if_(Operand::Local(g), then_bb, else_bb);
+    mb.switch_to(then_bb);
+    for &f in &slots {
+        mb.store(o, f, Operand::Const(ConstValue::Int(1)));
+    }
+    mb.ret(None);
+    mb.switch_to(else_bb);
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onResume");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    let r = mb.fresh_local();
+    mb.new_(r, runner);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        runner_init,
+        Some(r),
+        vec![Operand::Local(this)],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.run_on_ui_thread,
+        Some(this),
+        vec![Operand::Local(r)],
+    );
+    mb.ret(None);
+    mb.finish();
+
+    let mut mb = app.method(activity, "onPause");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    for &f in &slots {
+        mb.store(this, f, Operand::Const(ConstValue::Int(2)));
+    }
+    mb.store(this, flag, Operand::Const(ConstValue::Bool(false)));
+    let scratch = mb.fresh_local();
+    for _ in 0..diamonds {
+        let left = mb.new_block();
+        let right = mb.new_block();
+        let join = mb.new_block();
+        mb.nondet(vec![left, right]);
+        mb.switch_to(left);
+        mb.const_(scratch, ConstValue::Int(1));
+        mb.goto(join);
+        mb.switch_to(right);
+        mb.const_(scratch, ConstValue::Int(2));
+        mb.goto(join);
+        mb.switch_to(join);
+    }
+    mb.ret(None);
+    mb.finish();
+
+    app.finish().expect("valid stress app")
 }
 
 /// Times `f` over `iters` iterations after one untimed warm-up run,

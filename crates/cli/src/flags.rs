@@ -3,10 +3,12 @@
 //! Every `sierra-cli` subcommand accepts the same analysis knobs:
 //!
 //! ```text
-//! --context <SPEC>   context selector: insensitive | action:K | k-cfa:K
-//!                    | k-obj:K | hybrid:K          (default action:1)
-//! --budget <N>       refuter path budget             (default 5000)
-//! --jobs <N>         worker threads; 0 = all cores   (default 0)
+//! --context <SPEC>      context selector: insensitive | action:K | k-cfa:K
+//!                       | k-obj:K | hybrid:K          (default action:1)
+//! --budget <N>          refuter path budget             (default 5000)
+//! --jobs <N>            corpus worker threads; 0 = all cores   (default 0)
+//! --refute-jobs <N>     refutation worker threads per app;
+//!                       0 = all cores                   (default 1)
 //! ```
 //!
 //! [`CommonFlags::parse`] consumes the recognized flags (and their
@@ -25,9 +27,9 @@ pub struct CommonFlags {
 }
 
 impl CommonFlags {
-    /// Extracts `--context`, `--budget`, and `--jobs` from `args`,
-    /// removing each recognized flag and its value. Unknown flags and
-    /// positionals are untouched.
+    /// Extracts `--context`, `--budget`, `--jobs`, and `--refute-jobs`
+    /// from `args`, removing each recognized flag and its value. Unknown
+    /// flags and positionals are untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
         let mut builder = SierraConfig::builder();
         let mut jobs = 0usize;
@@ -47,6 +49,12 @@ impl CommonFlags {
             jobs = v
                 .parse()
                 .map_err(|_| format!("invalid --jobs {v:?}: expected a count"))?;
+        }
+        if let Some(v) = take_flag(args, "--refute-jobs")? {
+            let refute_jobs = v
+                .parse()
+                .map_err(|_| format!("invalid --refute-jobs {v:?}: expected a count"))?;
+            builder = builder.refute_jobs(refute_jobs);
         }
         Ok(Self {
             jobs,
@@ -94,7 +102,7 @@ mod tests {
     }
 
     #[test]
-    fn parses_and_consumes_all_three_flags() {
+    fn parses_and_consumes_all_shared_flags() {
         let mut args = argv(&[
             "table5",
             "--jobs",
@@ -105,13 +113,23 @@ mod tests {
             "k-obj:2",
             "--budget",
             "100",
+            "--refute-jobs",
+            "8",
         ]);
         let flags = CommonFlags::parse(&mut args).expect("parse");
         assert_eq!(flags.jobs, 4);
         assert_eq!(flags.config.selector, SelectorKind::KObj(2));
         assert_eq!(flags.config.refuter.max_paths, 100);
+        assert_eq!(flags.config.refute_jobs, 8);
         // Subcommand flags survive.
         assert_eq!(args, argv(&["table5", "--apps", "10"]));
+    }
+
+    #[test]
+    fn refute_jobs_defaults_to_serial() {
+        let mut args = argv(&["table4"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(flags.config.refute_jobs, 1);
     }
 
     #[test]
@@ -119,6 +137,8 @@ mod tests {
         assert!(CommonFlags::parse(&mut argv(&["x", "--context", "bogus"])).is_err());
         assert!(CommonFlags::parse(&mut argv(&["x", "--jobs", "many"])).is_err());
         assert!(CommonFlags::parse(&mut argv(&["x", "--budget"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--refute-jobs", "-1"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--refute-jobs"])).is_err());
     }
 
     #[test]

@@ -14,9 +14,10 @@
 //! Every subcommand also accepts the shared analysis flags:
 //!
 //! ```text
-//! --context <SPEC>   insensitive | action:K | k-cfa:K | k-obj:K | hybrid:K
-//! --budget <N>       refuter path budget
-//! --jobs <N>         engine worker threads (0 = all cores)
+//! --context <SPEC>     insensitive | action:K | k-cfa:K | k-obj:K | hybrid:K
+//! --budget <N>         refuter path budget
+//! --jobs <N>           corpus engine worker threads (0 = all cores)
+//! --refute-jobs <N>    per-app refutation worker threads (0 = all cores)
 //! ```
 
 use eventracer::EventRacerConfig;
@@ -25,7 +26,7 @@ use sierra_cli::flags::{take_raw_flag, CommonFlags};
 use sierra_core::Sierra;
 
 const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>>\n\
-                     shared flags: --context <SPEC> --budget <N> --jobs <N>";
+                     shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N>";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

@@ -38,7 +38,7 @@ pub use pipeline::{
     Sierra, SierraConfig, SierraConfigBuilder, SierraResult, StageMetrics, StageTimings,
 };
 pub use report::{describe_action, priority_of, Priority, RaceReport};
-pub use session::AnalysisSession;
+pub use session::{refute_candidates, AnalysisSession, RefutationRun};
 
 #[cfg(test)]
 mod tests;

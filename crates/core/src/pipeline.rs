@@ -33,6 +33,10 @@ pub struct SierraConfig {
     /// Skip the refutation stage (reports every racy pair; used by
     /// ablations).
     pub skip_refutation: bool,
+    /// Worker threads for the refutation stage (`0` = all cores,
+    /// default `1` = serial). Verdicts are thread-count-independent:
+    /// any value produces byte-identical race reports.
+    pub refute_jobs: usize,
 }
 
 impl Default for SierraConfig {
@@ -42,6 +46,7 @@ impl Default for SierraConfig {
             refuter: RefuterConfig::default(),
             compare_without_as: true,
             skip_refutation: false,
+            refute_jobs: 1,
         }
     }
 }
@@ -90,6 +95,12 @@ impl SierraConfigBuilder {
         self
     }
 
+    /// Sets the refutation worker-pool size (`0` = all cores).
+    pub fn refute_jobs(mut self, jobs: usize) -> Self {
+        self.cfg.refute_jobs = jobs;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SierraConfig {
         self.cfg
@@ -125,6 +136,9 @@ pub struct StageMetrics {
     pub shbg: ShbgStats,
     /// Refutation counters.
     pub refuter: RefuterStats,
+    /// Worker threads the refutation stage actually used (`0` when the
+    /// stage was skipped).
+    pub refute_jobs_used: usize,
 }
 
 /// The result of analyzing one app.
@@ -218,12 +232,13 @@ impl std::fmt::Display for SierraResult {
         let pa = &self.metrics.pointer;
         writeln!(
             out,
-            "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects",
+            "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects, {} pts-set bytes",
             pa.worklist_iterations,
             pa.propagations,
             pa.cg_edges,
             pa.reachable_contexts,
-            pa.abstract_objects
+            pa.abstract_objects,
+            pa.pts_set_bytes
         )?;
         let hb = &self.metrics.shbg;
         write!(out, "shbg: {} rule applications (", hb.total_applications())?;
@@ -238,12 +253,22 @@ impl std::fmt::Display for SierraResult {
                 hb.applications[rule.index()]
             )?;
         }
-        writeln!(out, "), {} fixpoint rounds", hb.fixpoint_rounds)?;
+        writeln!(
+            out,
+            "), {} fixpoint rounds, {} closure SCCs",
+            hb.fixpoint_rounds, hb.closure_sccs
+        )?;
         let rf = &self.metrics.refuter;
         writeln!(
             out,
-            "refuter: {} paths over {} queries ({} refuted, {} witnessed, {} budget-exhausted, {} cache hits)",
-            rf.paths, rf.queries, rf.refuted, rf.witnessed, rf.budget_exhausted, rf.cache_hits
+            "refuter: {} paths over {} queries ({} refuted, {} witnessed, {} budget-exhausted, {} cache hits, {} worker(s))",
+            rf.paths,
+            rf.queries,
+            rf.refuted,
+            rf.witnessed,
+            rf.budget_exhausted,
+            rf.cache_hits,
+            self.metrics.refute_jobs_used
         )?;
         let program = &self.harness.app.program;
         for (i, race) in self.races.iter().enumerate() {

@@ -19,12 +19,14 @@
 //! and per-action memory accesses that the SHBG and race detector consume.
 
 mod ctx;
+mod ptsset;
 mod result;
 mod solver;
 
 pub use ctx::{
     CtxData, CtxElem, CtxId, CtxTable, ObjData, ObjId, ObjTable, ParseSelectorError, SelectorKind,
 };
+pub use ptsset::PtsSet;
 pub use result::{collect_accesses, Access, AccessLoc};
 pub use solver::{analyze, analyze_opts, Analysis, AnalysisOptions, PostRecord, SolverStats};
 

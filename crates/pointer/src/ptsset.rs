@@ -1,0 +1,340 @@
+//! Hybrid points-to set representation.
+//!
+//! Points-to sets in an Andersen solver are overwhelmingly tiny (most
+//! locals point to one or two objects) but a few hubs (e.g. `this`
+//! parameters of widely-shared callbacks) grow large and are unioned
+//! constantly. `PtsSet` keeps small sets as a sorted `Vec<ObjId>` —
+//! cache-friendly, allocation-free membership via binary search — and
+//! promotes a set to a fixed-stride bitset once it crosses
+//! [`PROMOTE_LEN`], where `contains` is a word probe and unions run at
+//! word level.
+//!
+//! Iteration order is **ascending object id in both representations**,
+//! which is what makes the solver deterministic without the
+//! collect-and-sort round trips the old `HashSet<ObjId>` storage needed.
+
+use crate::ctx::ObjId;
+
+/// Sorted-vec length beyond which a set is promoted to the bitset
+/// representation. Chosen so the vec stays within a couple of cache
+/// lines; sets this large are rare but union-heavy.
+const PROMOTE_LEN: usize = 48;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Sorted ascending, no duplicates.
+    Small(Vec<ObjId>),
+    /// `words[i] & (1 << b)` set iff `ObjId(64*i + b)` is a member;
+    /// `len` caches the population count.
+    Bits { words: Vec<u64>, len: usize },
+}
+
+/// A set of [`ObjId`]s with a small-sorted-vec/bitset hybrid layout.
+#[derive(Debug, Clone)]
+pub struct PtsSet {
+    repr: Repr,
+}
+
+impl PtsSet {
+    /// An empty set. `const` so shared empty sentinels need no
+    /// lazy-init machinery.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            repr: Repr::Small(Vec::new()),
+        }
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Small(v) => v.len(),
+            Repr::Bits { len, .. } => *len,
+        }
+    }
+
+    /// True when the set has no members.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test. Allocation-free in both representations.
+    #[must_use]
+    pub fn contains(&self, o: ObjId) -> bool {
+        match &self.repr {
+            Repr::Small(v) => v.binary_search(&o).is_ok(),
+            Repr::Bits { words, .. } => {
+                let (w, b) = (o.0 as usize / 64, o.0 as usize % 64);
+                w < words.len() && words[w] & (1 << b) != 0
+            }
+        }
+    }
+
+    /// Inserts `o`; returns `true` when it was not already present.
+    pub fn insert(&mut self, o: ObjId) -> bool {
+        match &mut self.repr {
+            Repr::Small(v) => match v.binary_search(&o) {
+                Ok(_) => false,
+                Err(pos) => {
+                    v.insert(pos, o);
+                    if v.len() > PROMOTE_LEN {
+                        self.promote();
+                    }
+                    true
+                }
+            },
+            Repr::Bits { words, len } => {
+                let (w, b) = (o.0 as usize / 64, o.0 as usize % 64);
+                if w >= words.len() {
+                    words.resize(w + 1, 0);
+                }
+                let fresh = words[w] & (1 << b) == 0;
+                if fresh {
+                    words[w] |= 1 << b;
+                    *len += 1;
+                }
+                fresh
+            }
+        }
+    }
+
+    /// Unions `other` into `self`; returns `true` when any member was
+    /// added. Word-level when both sides are bitsets.
+    pub fn union_in_place(&mut self, other: &PtsSet) -> bool {
+        if let (Repr::Bits { words, len }, Repr::Bits { words: ow, .. }) =
+            (&mut self.repr, &other.repr)
+        {
+            if ow.len() > words.len() {
+                words.resize(ow.len(), 0);
+            }
+            let mut added = 0usize;
+            for (w, &o) in words.iter_mut().zip(ow.iter()) {
+                let new = o & !*w;
+                added += new.count_ones() as usize;
+                *w |= new;
+            }
+            *len += added;
+            return added > 0;
+        }
+        let mut changed = false;
+        for o in other.iter() {
+            changed |= self.insert(o);
+        }
+        changed
+    }
+
+    /// The sole member, when the set is a singleton.
+    #[must_use]
+    pub fn as_singleton(&self) -> Option<ObjId> {
+        if self.len() == 1 {
+            self.iter().next()
+        } else {
+            None
+        }
+    }
+
+    /// Borrowed iterator over members in **ascending id order** (both
+    /// representations).
+    #[must_use]
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            inner: match &self.repr {
+                Repr::Small(v) => IterRepr::Small(v.iter()),
+                Repr::Bits { words, .. } => IterRepr::Bits {
+                    words,
+                    next_word: 0,
+                    base: 0,
+                    cur: 0,
+                },
+            },
+        }
+    }
+
+    /// Heap bytes held by this set's backing storage (capacity, not
+    /// just length — this is what the `pts_set_bytes` stat reports).
+    #[must_use]
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Small(v) => v.capacity() * std::mem::size_of::<ObjId>(),
+            Repr::Bits { words, .. } => words.capacity() * std::mem::size_of::<u64>(),
+        }
+    }
+
+    fn promote(&mut self) {
+        let Repr::Small(v) = &self.repr else { return };
+        let max = v.last().map_or(0, |o| o.0 as usize);
+        let mut words = vec![0u64; max / 64 + 1];
+        for o in v {
+            words[o.0 as usize / 64] |= 1 << (o.0 as usize % 64);
+        }
+        self.repr = Repr::Bits {
+            len: v.len(),
+            words,
+        };
+    }
+}
+
+impl Default for PtsSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Equality is set equality, independent of representation.
+impl PartialEq for PtsSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for PtsSet {}
+
+impl<'a> IntoIterator for &'a PtsSet {
+    type Item = ObjId;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<ObjId> for PtsSet {
+    fn from_iter<I: IntoIterator<Item = ObjId>>(it: I) -> Self {
+        let mut s = Self::new();
+        for o in it {
+            s.insert(o);
+        }
+        s
+    }
+}
+
+/// Borrowed ascending iterator over a [`PtsSet`].
+pub struct Iter<'a> {
+    inner: IterRepr<'a>,
+}
+
+enum IterRepr<'a> {
+    Small(std::slice::Iter<'a, ObjId>),
+    Bits {
+        words: &'a [u64],
+        next_word: usize,
+        base: usize,
+        cur: u64,
+    },
+}
+
+impl Iterator for Iter<'_> {
+    type Item = ObjId;
+
+    fn next(&mut self) -> Option<ObjId> {
+        match &mut self.inner {
+            IterRepr::Small(it) => it.next().copied(),
+            IterRepr::Bits {
+                words,
+                next_word,
+                base,
+                cur,
+            } => loop {
+                if *cur != 0 {
+                    let b = cur.trailing_zeros() as usize;
+                    *cur &= *cur - 1;
+                    return Some(ObjId((*base + b) as u32));
+                }
+                if *next_word >= words.len() {
+                    return None;
+                }
+                *cur = words[*next_word];
+                *base = *next_word * 64;
+                *next_word += 1;
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ObjId> {
+        v.iter().map(|&i| ObjId(i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_iter_small() {
+        let mut s = PtsSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(ObjId(7)));
+        assert!(s.insert(ObjId(3)));
+        assert!(!s.insert(ObjId(7)));
+        assert!(s.contains(ObjId(3)));
+        assert!(!s.contains(ObjId(4)));
+        assert_eq!(s.iter().collect::<Vec<_>>(), ids(&[3, 7]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_singleton(), None);
+        let one: PtsSet = [ObjId(9)].into_iter().collect();
+        assert_eq!(one.as_singleton(), Some(ObjId(9)));
+    }
+
+    #[test]
+    fn promotion_preserves_members_and_order() {
+        let mut s = PtsSet::new();
+        // Insert descending to stress the sorted insert, past the
+        // promotion threshold.
+        let mut want: Vec<ObjId> = Vec::new();
+        for i in (0..200u32).rev().step_by(3) {
+            s.insert(ObjId(i));
+            want.push(ObjId(i));
+        }
+        want.sort_unstable();
+        assert!(matches!(s.repr, Repr::Bits { .. }));
+        let got: Vec<ObjId> = s.iter().collect();
+        assert_eq!(got, want);
+        for &o in &want {
+            assert!(s.contains(o));
+        }
+        assert!(!s.contains(ObjId(0)));
+        assert!(!s.contains(ObjId(198)));
+        assert_eq!(s.len(), want.len());
+    }
+
+    #[test]
+    fn union_across_representations() {
+        let small: PtsSet = ids(&[1, 5, 9]).into_iter().collect();
+        let big: PtsSet = (0..150u32).map(ObjId).collect();
+        for (mut a, b) in [
+            (small.clone(), big.clone()),
+            (big.clone(), small.clone()),
+            (small.clone(), small.clone()),
+            (big.clone(), big.clone()),
+        ] {
+            let before = a.len();
+            let expect: PtsSet = a.iter().chain(b.iter()).collect();
+            let changed = a.union_in_place(&b);
+            assert_eq!(changed, a.len() > before);
+            assert_eq!(a, expect);
+        }
+    }
+
+    #[test]
+    fn equality_is_representation_independent() {
+        let mut promoted = PtsSet::new();
+        for i in 0..60u32 {
+            promoted.insert(ObjId(i));
+        }
+        let rebuilt: PtsSet = (0..60u32).map(ObjId).collect();
+        assert!(matches!(promoted.repr, Repr::Bits { .. }));
+        assert_eq!(promoted, rebuilt);
+        let mut other = rebuilt.clone();
+        other.insert(ObjId(1000));
+        assert_ne!(promoted, other);
+    }
+
+    #[test]
+    fn empty_set_is_const_constructible() {
+        static EMPTY: PtsSet = PtsSet::new();
+        assert!(EMPTY.is_empty());
+        assert_eq!(EMPTY.iter().next(), None);
+        assert_eq!(EMPTY.heap_bytes(), 0);
+    }
+}

@@ -110,12 +110,8 @@ pub fn collect_accesses(
                 continue; // synthetic registration fields
             }
             let base = match base_local {
-                Some(l) => {
-                    let mut v: Vec<ObjId> =
-                        analysis.pts_var(method, ctx, l).iter().copied().collect();
-                    v.sort();
-                    v
-                }
+                // PtsSet iterates in ascending id order already.
+                Some(l) => analysis.pts_var(method, ctx, l).iter().collect(),
                 None => Vec::new(),
             };
             if !is_static && base.is_empty() {

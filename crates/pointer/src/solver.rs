@@ -14,6 +14,7 @@
 //!   id)` view object (§3.3's `InflatedViewContext`).
 
 use crate::ctx::{CtxData, CtxId, CtxTable, ObjData, ObjId, ObjTable, SelectorKind};
+use crate::ptsset::PtsSet;
 use android_model::{
     ActionId, ActionKind, ActionRegistry, FrameworkClasses, FrameworkOp, ThreadKind,
 };
@@ -92,6 +93,9 @@ pub struct SolverStats {
     pub reachable_contexts: usize,
     /// Distinct abstract objects minted.
     pub abstract_objects: usize,
+    /// Heap bytes held by all points-to sets at the fixpoint (the
+    /// footprint of the hybrid [`PtsSet`] representation).
+    pub pts_set_bytes: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -151,6 +155,9 @@ pub struct Analysis {
     pub objs: ObjTable,
     /// Reachable method contexts.
     pub reachable: HashSet<(MethodId, CtxId)>,
+    /// Per-method reachable contexts, sorted (cached from `reachable`
+    /// so [`Analysis::contexts_of`] never re-scans or re-sorts).
+    contexts_by_method: HashMap<MethodId, Vec<CtxId>>,
     /// Call-graph edges: `(caller, ctx, site) → callees`.
     pub cg_edges: HashMap<(MethodId, CtxId, CallSiteId), Vec<(MethodId, CtxId)>>,
     /// Action-posting records.
@@ -162,26 +169,26 @@ pub struct Analysis {
     /// Counters recorded during solving.
     pub stats: SolverStats,
     nodes: HashMap<NodeKey, NodeId>,
-    pts: Vec<HashSet<ObjId>>,
+    pts: Vec<PtsSet>,
 }
 
-static EMPTY_PTS: std::sync::OnceLock<HashSet<ObjId>> = std::sync::OnceLock::new();
+static EMPTY_PTS: PtsSet = PtsSet::new();
 
 impl Analysis {
     /// Points-to set of a local under a context.
-    pub fn pts_var(&self, method: MethodId, ctx: CtxId, local: Local) -> &HashSet<ObjId> {
+    pub fn pts_var(&self, method: MethodId, ctx: CtxId, local: Local) -> &PtsSet {
         let key = NodeKey::Var { method, ctx, local };
         match self.nodes.get(&key) {
             Some(n) => &self.pts[n.0 as usize],
-            None => EMPTY_PTS.get_or_init(HashSet::new),
+            None => &EMPTY_PTS,
         }
     }
 
     /// Points-to set of an object field.
-    pub fn pts_field(&self, obj: ObjId, field: FieldId) -> &HashSet<ObjId> {
+    pub fn pts_field(&self, obj: ObjId, field: FieldId) -> &PtsSet {
         match self.nodes.get(&NodeKey::Field { obj, field }) {
             Some(n) => &self.pts[n.0 as usize],
-            None => EMPTY_PTS.get_or_init(HashSet::new),
+            None => &EMPTY_PTS,
         }
     }
 
@@ -190,16 +197,12 @@ impl Analysis {
         self.ctxs.get(ctx).action
     }
 
-    /// Every reachable context of a method, in sorted order.
-    pub fn contexts_of(&self, method: MethodId) -> Vec<CtxId> {
-        let mut out: Vec<CtxId> = self
-            .reachable
-            .iter()
-            .filter(|(m, _)| *m == method)
-            .map(|(_, c)| *c)
-            .collect();
-        out.sort_unstable();
-        out
+    /// Every reachable context of a method, in sorted order (cached at
+    /// solve time; this is a map lookup, not a scan).
+    pub fn contexts_of(&self, method: MethodId) -> &[CtxId] {
+        self.contexts_by_method
+            .get(&method)
+            .map_or(&[], Vec::as_slice)
     }
 
     /// Total call-graph edges (for stats).
@@ -238,9 +241,11 @@ struct Solver<'a> {
     actions: ActionRegistry,
     nodes: HashMap<NodeKey, NodeId>,
     keys: Vec<NodeKey>,
-    pts: Vec<HashSet<ObjId>>,
+    pts: Vec<PtsSet>,
     delta: Vec<Vec<ObjId>>,
-    succ: Vec<HashSet<NodeId>>,
+    /// Successor lists, kept sorted so the worklist loop needs no
+    /// per-pop collect-and-sort.
+    succ: Vec<Vec<NodeId>>,
     pending: Vec<Vec<Pending>>,
     worklist: VecDeque<NodeId>,
     queued: Vec<bool>,
@@ -260,6 +265,18 @@ struct Solver<'a> {
 
 /// Sentinel "no object" id for op dedup pairs.
 const NO_OBJ: ObjId = ObjId(u32::MAX);
+
+/// Splits one set out of `v` immutably and another mutably; `a != b`.
+fn pair_mut(v: &mut [PtsSet], a: usize, b: usize) -> (&PtsSet, &mut PtsSet) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&hi[0], &mut lo[b])
+    }
+}
 
 impl<'a> Solver<'a> {
     fn new(harness: &'a HarnessResult, selector: SelectorKind, options: AnalysisOptions) -> Self {
@@ -326,24 +343,38 @@ impl<'a> Solver<'a> {
                 continue;
             }
             self.stats.worklist_iterations += 1;
-            // Visit successors in id order: points-to sets are hash sets,
-            // and a hash-order traversal would make the counters (and any
-            // order-dependent downstream tie-break) vary across threads.
-            let mut succs: Vec<NodeId> = self.succ[n.0 as usize].iter().copied().collect();
-            succs.sort_unstable();
+            // Successor lists are kept sorted, so id-order traversal —
+            // required for thread-independent counters and tie-breaks —
+            // is a plain clone, not a collect-and-sort.
+            let succs = self.succ[n.0 as usize].clone();
             for s in succs {
                 for &o in &delta {
                     self.add_obj(s, o);
                 }
             }
-            let pendings = self.pending[n.0 as usize].clone();
-            for p in pendings {
-                self.process_pending(&p, &delta);
+            // Drain the pending list instead of cloning it: entries
+            // added while processing (always for *other* nodes, or
+            // already self-processed by `add_pending`) accumulate in the
+            // emptied slot and are re-appended after the drained list so
+            // the order matches what the clone-based loop produced.
+            let taken = std::mem::take(&mut self.pending[n.0 as usize]);
+            for p in &taken {
+                self.process_pending(p, &delta);
             }
+            let added = std::mem::replace(&mut self.pending[n.0 as usize], taken);
+            self.pending[n.0 as usize].extend(added);
         }
         self.stats.cg_edges = self.cg_edges.values().map(Vec::len).sum();
         self.stats.reachable_contexts = self.reachable.len();
         self.stats.abstract_objects = self.objs.len();
+        self.stats.pts_set_bytes = self.pts.iter().map(PtsSet::heap_bytes).sum();
+        let mut contexts_by_method: HashMap<MethodId, Vec<CtxId>> = HashMap::new();
+        for &(m, c) in &self.reachable {
+            contexts_by_method.entry(m).or_default().push(c);
+        }
+        for ctxs in contexts_by_method.values_mut() {
+            ctxs.sort_unstable();
+        }
         Analysis {
             selector: self.selector,
             options: self.options,
@@ -352,6 +383,7 @@ impl<'a> Solver<'a> {
             ctxs: self.ctxs,
             objs: self.objs,
             reachable: self.reachable,
+            contexts_by_method,
             cg_edges: self.cg_edges,
             posts: self.posts,
             harness_actions: self.harness_actions,
@@ -371,9 +403,9 @@ impl<'a> Solver<'a> {
         let n = NodeId(u32::try_from(self.keys.len()).expect("node overflow"));
         self.nodes.insert(key.clone(), n);
         self.keys.push(key);
-        self.pts.push(HashSet::new());
+        self.pts.push(PtsSet::new());
         self.delta.push(Vec::new());
-        self.succ.push(HashSet::new());
+        self.succ.push(Vec::new());
         self.pending.push(Vec::new());
         self.queued.push(false);
         n
@@ -398,19 +430,45 @@ impl<'a> Solver<'a> {
         if from == to {
             return;
         }
-        if self.succ[from.0 as usize].insert(to) {
-            let mut objs: Vec<ObjId> = self.pts[from.0 as usize].iter().copied().collect();
-            objs.sort_unstable();
-            for o in objs {
-                self.add_obj(to, o);
+        let succs = &mut self.succ[from.0 as usize];
+        let Err(pos) = succs.binary_search(&to) else {
+            return;
+        };
+        succs.insert(pos, to);
+        let (f, t) = (from.0 as usize, to.0 as usize);
+        let Self {
+            pts,
+            delta,
+            stats,
+            queued,
+            worklist,
+            ..
+        } = self;
+        let (src, dst) = pair_mut(pts, f, t);
+        // Two passes, both allocation-free: record the genuinely new
+        // objects in the target's delta (ascending, like add_obj would),
+        // then union at word level.
+        let d = &mut delta[t];
+        let before = d.len();
+        for o in src.iter() {
+            if !dst.contains(o) {
+                d.push(o);
+            }
+        }
+        if d.len() > before {
+            dst.union_in_place(src);
+            stats.propagations += d.len() - before;
+            if !queued[t] {
+                queued[t] = true;
+                worklist.push_back(to);
             }
         }
     }
 
     fn add_pending(&mut self, n: NodeId, p: Pending) {
+        // PtsSet iterates ascending, so no sort is needed.
+        let objs: Vec<ObjId> = self.pts[n.0 as usize].iter().collect();
         self.pending[n.0 as usize].push(p.clone());
-        let mut objs: Vec<ObjId> = self.pts[n.0 as usize].iter().copied().collect();
-        objs.sort_unstable();
         if !objs.is_empty() {
             self.process_pending(&p, &objs);
         }
@@ -979,12 +1037,12 @@ impl<'a> Solver<'a> {
     /// its driver points-to sets.
     fn resolve_op(&mut self, info: &OpInfo) {
         use FrameworkOp::*;
-        let mut recv_objs: Vec<ObjId> = match info.recv_node {
-            Some(n) => self.pts[n.0 as usize].iter().copied().collect(),
+        // Both object lists come out of PtsSet iteration already sorted.
+        let recv_objs: Vec<ObjId> = match info.recv_node {
+            Some(n) => self.pts[n.0 as usize].iter().collect(),
             None => vec![NO_OBJ],
         };
-        recv_objs.sort_unstable();
-        let mut arg_objs: Vec<ObjId> = match info.op {
+        let arg_objs: Vec<ObjId> = match info.op {
             HandlerPost
             | HandlerPostDelayed
             | ExecutorExecute
@@ -999,7 +1057,7 @@ impl<'a> Solver<'a> {
                 match info.args.get(idx).and_then(|a| a.as_local()) {
                     Some(l) => {
                         let n = self.var(info.caller_method, info.caller_ctx, l);
-                        self.pts[n.0 as usize].iter().copied().collect()
+                        self.pts[n.0 as usize].iter().collect()
                     }
                     None => Vec::new(),
                 }
@@ -1007,13 +1065,12 @@ impl<'a> Solver<'a> {
             BindService => match info.args.get(1).and_then(|a| a.as_local()) {
                 Some(l) => {
                     let n = self.var(info.caller_method, info.caller_ctx, l);
-                    self.pts[n.0 as usize].iter().copied().collect()
+                    self.pts[n.0 as usize].iter().collect()
                 }
                 None => Vec::new(),
             },
             _ => vec![NO_OBJ],
         };
-        arg_objs.sort_unstable();
         for &r in &recv_objs {
             for &a in &arg_objs {
                 if !self.op_resolved.insert((info.site, info.caller_ctx, r, a)) {

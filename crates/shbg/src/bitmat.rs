@@ -1,6 +1,21 @@
 //! A dense bit matrix for transitive-closure computation.
+//!
+//! The closure is computed by **SCC condensation**: Tarjan's algorithm
+//! shrinks the edge relation to its strongly-connected components, the
+//! condensation (a DAG) is closed in reverse topological order with
+//! word-level row ORs, and the component rows are expanded back to the
+//! original nodes. On the mostly-acyclic happens-before graphs the SHBG
+//! produces, this does one linear pass plus one OR per condensation
+//! edge, instead of Warshall-style re-sweeps to a fixpoint.
 
 /// An `n × n` boolean matrix backed by `u64` words.
+///
+/// # Index contract
+///
+/// Both [`BitMatrix::set`] and [`BitMatrix::get`] **panic** when an
+/// index is `>= len()`. (Earlier versions silently returned `false`
+/// from `get`, which let out-of-range action ids read as "unordered"
+/// instead of surfacing the bug.)
 #[derive(Debug, Clone)]
 pub struct BitMatrix {
     n: usize,
@@ -35,15 +50,25 @@ impl BitMatrix {
     ///
     /// Panics if an index is out of range.
     pub fn set(&mut self, a: usize, b: usize) {
-        assert!(a < self.n && b < self.n);
+        assert!(
+            a < self.n && b < self.n,
+            "BitMatrix::set({a}, {b}) out of range for n={}",
+            self.n
+        );
         self.rows[a * self.words + b / 64] |= 1 << (b % 64);
     }
 
     /// Reads `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range (same contract as [`set`](Self::set)).
     pub fn get(&self, a: usize, b: usize) -> bool {
-        if a >= self.n || b >= self.n {
-            return false;
-        }
+        assert!(
+            a < self.n && b < self.n,
+            "BitMatrix::get({a}, {b}) out of range for n={}",
+            self.n
+        );
         self.rows[a * self.words + b / 64] & (1 << (b % 64)) != 0
     }
 
@@ -66,18 +91,15 @@ impl BitMatrix {
         changed
     }
 
-    /// Iterates over the set bits of row `a`.
-    pub fn row_bits(&self, a: usize) -> Vec<usize> {
-        let mut out = Vec::new();
-        for w in 0..self.words {
-            let mut word = self.rows[a * self.words + w];
-            while word != 0 {
-                let bit = word.trailing_zeros() as usize;
-                out.push(w * 64 + bit);
-                word &= word - 1;
-            }
+    /// Iterates over the set bits of row `a`, ascending, without
+    /// allocating.
+    pub fn row_bits(&self, a: usize) -> RowBits<'_> {
+        RowBits {
+            words: &self.rows[a * self.words..(a + 1) * self.words],
+            next_word: 0,
+            base: 0,
+            cur: 0,
         }
-        out
     }
 
     /// Number of set bits in the whole matrix.
@@ -85,20 +107,171 @@ impl BitMatrix {
         self.rows.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Computes the transitive closure in place (Warshall over bit rows).
-    pub fn transitive_closure(&mut self) {
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for a in 0..self.n {
+    /// Computes the transitive closure in place; returns the number of
+    /// strongly-connected components of the edge relation.
+    ///
+    /// Semantics: after the call, `get(a, b)` holds iff `b` is
+    /// reachable from `a` through **at least one** edge — so `get(a, a)`
+    /// holds only when `a` lies on a cycle (including a self-loop).
+    pub fn transitive_closure(&mut self) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        let scc = tarjan(self);
+        let words = self.words;
+        let sccs = scc.count;
+        // Bit mask of each component's member nodes.
+        let mut members = vec![0u64; sccs * words];
+        for a in 0..self.n {
+            members[scc.comp[a] * words + a / 64] |= 1 << (a % 64);
+        }
+        // A single-node component is cyclic only via a self-loop.
+        let mut cyclic = scc.multi;
+        for a in 0..self.n {
+            if self.get(a, a) {
+                cyclic[scc.comp[a]] = true;
+            }
+        }
+        // Close the condensation. Tarjan emits components in reverse
+        // topological order (every component reachable from `s` has a
+        // smaller id), so by the time `s` is processed the full rows of
+        // all its successors are final: one OR per condensation edge.
+        let mut full = vec![0u64; sccs * words];
+        let mut seen = vec![false; sccs];
+        let mut touched: Vec<usize> = Vec::new();
+        for s in 0..sccs {
+            for a in (0..self.n).filter(|&a| scc.comp[a] == s) {
                 for b in self.row_bits(a) {
-                    if self.or_row(a, b) {
-                        changed = true;
+                    let t = scc.comp[b];
+                    if t == s || seen[t] {
+                        continue;
                     }
+                    seen[t] = true;
+                    touched.push(t);
+                    for w in 0..words {
+                        full[s * words + w] |= full[t * words + w] | members[t * words + w];
+                    }
+                }
+            }
+            if cyclic[s] {
+                for w in 0..words {
+                    full[s * words + w] |= members[s * words + w];
+                }
+            }
+            for &t in &touched {
+                seen[t] = false;
+            }
+            touched.clear();
+        }
+        // Expand component rows back to the original nodes.
+        for a in 0..self.n {
+            let s = scc.comp[a];
+            self.rows[a * words..(a + 1) * words]
+                .copy_from_slice(&full[s * words..(s + 1) * words]);
+        }
+        sccs
+    }
+}
+
+/// Borrowed, non-allocating iterator over the set bits of one row.
+pub struct RowBits<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    base: usize,
+    cur: u64,
+}
+
+impl Iterator for RowBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.cur != 0 {
+                let bit = self.cur.trailing_zeros() as usize;
+                self.cur &= self.cur - 1;
+                return Some(self.base + bit);
+            }
+            if self.next_word >= self.words.len() {
+                return None;
+            }
+            self.cur = self.words[self.next_word];
+            self.base = self.next_word * 64;
+            self.next_word += 1;
+        }
+    }
+}
+
+/// Tarjan condensation of the matrix's edge relation.
+struct SccResult {
+    /// Node → component id. Ids are assigned in **emission order**:
+    /// every component reachable from component `s` has an id `< s`.
+    comp: Vec<usize>,
+    /// Number of components.
+    count: usize,
+    /// Per component: whether it has more than one member.
+    multi: Vec<bool>,
+}
+
+fn tarjan(m: &BitMatrix) -> SccResult {
+    const UNVISITED: u32 = u32::MAX;
+    let n = m.len();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0u32;
+    let mut comp = vec![usize::MAX; n];
+    let mut multi = Vec::new();
+    let mut count = 0usize;
+    // Explicit DFS frames: (node, its successor iterator).
+    let mut frames: Vec<(usize, RowBits<'_>)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, m.row_bits(root)));
+        while let Some((v, it)) = frames.last_mut() {
+            let v = *v;
+            if let Some(w) = it.next() {
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, m.row_bits(w)));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                if lowlink[v] == index[v] {
+                    let mut size = 0usize;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        comp[w] = count;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    multi.push(size > 1);
+                    count += 1;
+                }
+                frames.pop();
+                if let Some((p, _)) = frames.last() {
+                    let p = *p;
+                    lowlink[p] = lowlink[p].min(lowlink[v]);
                 }
             }
         }
     }
+    SccResult { comp, count, multi }
 }
 
 #[cfg(test)]
@@ -113,10 +286,23 @@ mod tests {
         assert!(m.get(0, 129));
         assert!(m.get(64, 64));
         assert!(!m.get(129, 0));
-        assert!(!m.get(200, 0));
         assert_eq!(m.count_ones(), 2);
         assert_eq!(m.len(), 130);
         assert!(!m.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_panics_out_of_range() {
+        let m = BitMatrix::new(130);
+        let _ = m.get(200, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_panics_out_of_range() {
+        let mut m = BitMatrix::new(130);
+        m.set(0, 130);
     }
 
     #[test]
@@ -125,7 +311,8 @@ mod tests {
         for i in 0..4 {
             m.set(i, i + 1);
         }
-        m.transitive_closure();
+        let sccs = m.transitive_closure();
+        assert_eq!(sccs, 5, "an acyclic chain has one SCC per node");
         for i in 0..5 {
             for j in 0..5 {
                 assert_eq!(m.get(i, j), i < j, "({i},{j})");
@@ -135,12 +322,40 @@ mod tests {
     }
 
     #[test]
+    fn closure_of_a_cycle_collapses_to_one_scc() {
+        let mut m = BitMatrix::new(4);
+        m.set(0, 1);
+        m.set(1, 2);
+        m.set(2, 0);
+        m.set(2, 3);
+        let sccs = m.transitive_closure();
+        assert_eq!(sccs, 2, "{{0,1,2}} and {{3}}");
+        for a in 0..3 {
+            for b in 0..3 {
+                assert!(m.get(a, b), "cycle members reach each other ({a},{b})");
+            }
+            assert!(m.get(a, 3));
+        }
+        assert!(!m.get(3, 0) && !m.get(3, 3));
+    }
+
+    #[test]
+    fn self_loop_is_self_reachable() {
+        let mut m = BitMatrix::new(2);
+        m.set(0, 0);
+        let sccs = m.transitive_closure();
+        assert_eq!(sccs, 2);
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 1), "no edge, not self-reachable");
+    }
+
+    #[test]
     fn row_bits_enumerates() {
         let mut m = BitMatrix::new(70);
         m.set(3, 1);
         m.set(3, 65);
-        assert_eq!(m.row_bits(3), vec![1, 65]);
-        assert!(m.row_bits(0).is_empty());
+        assert_eq!(m.row_bits(3).collect::<Vec<_>>(), vec![1, 65]);
+        assert_eq!(m.row_bits(0).next(), None);
     }
 
     #[test]
@@ -167,6 +382,23 @@ mod proptests {
             .map(|_| (rng.usize(n), rng.usize(n)))
             .collect();
         (n, edges)
+    }
+
+    /// The reference implementation the SCC closure must match: Warshall
+    /// over bit rows, re-swept until no row changes.
+    fn naive_closure(m: &mut BitMatrix) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for a in 0..m.len() {
+                let succs: Vec<usize> = m.row_bits(a).collect();
+                for b in succs {
+                    if m.or_row(a, b) {
+                        changed = true;
+                    }
+                }
+            }
+        }
     }
 
     /// The closure is exactly graph reachability (excluding trivial
@@ -238,6 +470,52 @@ mod proptests {
                 }
             }
             assert!(m.count_ones() >= before.count_ones());
+        }
+    }
+
+    /// The SCC-condensed closure agrees with naive Warshall on random
+    /// DAG-plus-cycles graphs up to 512 nodes.
+    #[test]
+    fn scc_closure_matches_naive_warshall() {
+        let mut rng = SplitMix64::new(0x5CC_C105);
+        for round in 0..24 {
+            let n = 2 + rng.usize(511);
+            let mut m = BitMatrix::new(n);
+            // A sparse random base graph...
+            for _ in 0..rng.usize(4 * n + 1) {
+                m.set(rng.usize(n), rng.usize(n));
+            }
+            // ...a layered DAG backbone...
+            for a in 0..n.saturating_sub(1) {
+                if rng.usize(3) == 0 {
+                    m.set(a, a + 1 + rng.usize(n - a - 1));
+                }
+            }
+            // ...plus a few planted cycles (chains closed with a back edge).
+            for _ in 0..rng.usize(4) {
+                let start = rng.usize(n);
+                let len = 1 + rng.usize(8);
+                let mut prev = start;
+                for k in 1..=len {
+                    let next = (start + k) % n;
+                    m.set(prev, next);
+                    prev = next;
+                }
+                m.set(prev, start);
+            }
+            let mut reference = m.clone();
+            naive_closure(&mut reference);
+            let sccs = m.transitive_closure();
+            assert!(sccs >= 1 && sccs <= n);
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(
+                        m.get(a, b),
+                        reference.get(a, b),
+                        "({a},{b}) round {round} n={n}"
+                    );
+                }
+            }
         }
     }
 }

@@ -78,6 +78,10 @@ pub struct ShbgStats {
     pub accepted: [usize; 7],
     /// Rounds of the inter-action-transitivity fixpoint (rules 6 & 7).
     pub fixpoint_rounds: usize,
+    /// Strongly-connected components of the HB edge relation at the
+    /// final closure (reported by the SCC-condensed closure; equals the
+    /// action count when the graph is acyclic).
+    pub closure_sccs: usize,
 }
 
 impl ShbgStats {
@@ -344,15 +348,26 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
 
     // --- Rules 6 & 7: inter-action transitivity + transitive closure, to a
     //     fixpoint (rule 6 can enable more rule 6 edges). ---
+    let mut reach_buf: Vec<usize> = Vec::new();
     loop {
         stats.fixpoint_rounds += 1;
-        closure.transitive_closure();
+        stats.closure_sccs = closure.transitive_closure();
         let mut grew = false;
         for (p1, posts1) in &posts_by_poster {
-            for (p2, posts2) in &posts_by_poster {
-                if p1 == p2 || !closure.get(p1.index(), p2.index()) {
+            // Walk p1's closure row instead of probing every other
+            // poster; buffered because `add` mutates the closure while
+            // we iterate. Row bits ascend, matching the BTreeMap order
+            // the probing loop visited posters in.
+            reach_buf.clear();
+            reach_buf.extend(closure.row_bits(p1.index()));
+            for &p2_idx in &reach_buf {
+                let p2 = ActionId(p2_idx as u32);
+                if *p1 == p2 {
                     continue;
                 }
+                let Some(posts2) = posts_by_poster.get(&p2) else {
+                    continue;
+                };
                 for &(_, a3) in posts1 {
                     for &(_, a4) in posts2 {
                         if a3 == a4 {

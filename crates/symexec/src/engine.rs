@@ -21,6 +21,7 @@ use apir::{
 };
 use pointer::{Access, Analysis, CtxId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Refutation tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +77,19 @@ pub struct RefuterStats {
     pub paths: usize,
 }
 
+impl RefuterStats {
+    /// Adds `other`'s counters into `self` (used when merging the
+    /// per-worker refuters of a parallel refutation batch).
+    pub fn absorb(&mut self, other: &RefuterStats) {
+        self.queries += other.queries;
+        self.refuted += other.refuted;
+        self.witnessed += other.witnessed;
+        self.budget_exhausted += other.budget_exhausted;
+        self.cache_hits += other.cache_hits;
+        self.paths += other.paths;
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Backward from the later access to its action entry.
@@ -116,7 +130,8 @@ pub struct Refuter<'a> {
     analysis: &'a Analysis,
     config: RefuterConfig,
     /// Inverse call graph: callee frame → (caller frame, site).
-    callers: CallerIndex,
+    /// Shared read-only across forked workers, so `fork` is cheap.
+    callers: Arc<CallerIndex>,
     /// Methods visited by fully-refuted queries (the paper's cache).
     refuted_methods: HashSet<MethodId>,
     /// `Message.what`'s field id, enabling the §5 on-demand
@@ -145,11 +160,38 @@ impl<'a> Refuter<'a> {
             program,
             analysis,
             config,
-            callers,
+            callers: Arc::new(callers),
             refuted_methods: HashSet::new(),
             message_what_field: None,
             stats: RefuterStats::default(),
         }
+    }
+
+    /// A worker refuter for one batch of a parallel refutation: shares
+    /// the caller index (an `Arc` bump), snapshots the current
+    /// refuted-methods cache, and starts with zeroed stats. Verdicts of
+    /// a fork depend only on the snapshot, never on what sibling
+    /// workers discover concurrently — that is what makes parallel
+    /// refutation thread-count-independent.
+    #[must_use]
+    pub fn fork(&self) -> Refuter<'a> {
+        Refuter {
+            program: self.program,
+            analysis: self.analysis,
+            config: self.config,
+            callers: Arc::clone(&self.callers),
+            refuted_methods: self.refuted_methods.clone(),
+            message_what_field: self.message_what_field,
+            stats: RefuterStats::default(),
+        }
+    }
+
+    /// Merges a finished fork back: unions its refuted-methods cache
+    /// (set union is order-independent, so merge order cannot affect
+    /// later batches) and absorbs its stats.
+    pub fn merge_from(&mut self, other: Refuter<'a>) {
+        self.refuted_methods.extend(other.refuted_methods);
+        self.stats.absorb(&other.stats);
     }
 
     /// Enables `Message.what` constant-propagation facts: a
@@ -173,7 +215,7 @@ impl<'a> Refuter<'a> {
         let pts = self.analysis.pts_var(a.entry, ctx, Local(1));
         for (loc, c) in store.iter() {
             if let SymLoc::Heap(o, f) = loc {
-                if f == wf && pts.contains(&o) && !c.admits(ConstValue::Int(w)) {
+                if f == wf && pts.contains(o) && !c.admits(ConstValue::Int(w)) {
                     return false;
                 }
             }
@@ -431,10 +473,11 @@ impl<'a> Refuter<'a> {
                         }
                     } else {
                         // Ascend to same-action callers.
-                        let Some(callers) = self.callers.get(&(st.m, st.ctx)) else {
+                        let callers = Arc::clone(&self.callers);
+                        let Some(callers) = callers.get(&(st.m, st.ctx)) else {
                             continue;
                         };
-                        for &(cm, cctx, site) in callers.clone().iter() {
+                        for &(cm, cctx, site) in callers {
                             if self.analysis.action_of(cctx) != later_action {
                                 continue;
                             }
@@ -604,8 +647,7 @@ impl<'a> Refuter<'a> {
                     return true;
                 };
                 let pts = self.analysis.pts_var(st.m, st.ctx, *obj);
-                if pts.len() == 1 {
-                    let o = *pts.iter().next().expect("singleton");
+                if let Some(o) = pts.as_singleton() {
                     store.add(SymLoc::Heap(o, *field), c)
                 } else {
                     true // may-alias base: drop the constraint
@@ -613,8 +655,7 @@ impl<'a> Refuter<'a> {
             }
             Stmt::Store { obj, field, value } => {
                 let pts = self.analysis.pts_var(st.m, st.ctx, *obj);
-                if pts.len() == 1 {
-                    let o = *pts.iter().next().expect("singleton");
+                if let Some(o) = pts.as_singleton() {
                     match store.take(SymLoc::Heap(o, *field)) {
                         None => true,
                         Some(c) => match value {
