@@ -1,0 +1,174 @@
+//! Branch-edge identification and the shared infeasible-edge set.
+//!
+//! The prefilter's constant/branch pruning decides, per method, which
+//! outgoing edges of `If` terminators can never be taken. Those facts are
+//! exchanged as plain CFG edges so that both the prefilter (dead-block
+//! access pruning) and the symbolic refuter (backward path pruning) can
+//! consume them without depending on each other.
+
+use crate::ids::{BlockId, MethodId};
+use crate::method::{Method, Terminator};
+use crate::stmt::Operand;
+use std::collections::HashSet;
+
+/// One outgoing edge of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchEdge {
+    /// Block ending in the `If` terminator.
+    pub from: BlockId,
+    /// The successor this edge leads to.
+    pub to: BlockId,
+    /// The branch condition operand.
+    pub cond: Operand,
+    /// `true` for the then-edge, `false` for the else-edge.
+    pub taken: bool,
+}
+
+impl Method {
+    /// Every edge leaving an `If` terminator, in block order (then-edge
+    /// before else-edge). Degenerate branches whose arms coincide are
+    /// skipped: such an edge is taken under either condition value, so
+    /// no condition fact can make it infeasible.
+    pub fn branch_edges(&self) -> Vec<BranchEdge> {
+        let mut out = Vec::new();
+        for (from, block) in self.iter_blocks() {
+            if let Terminator::If {
+                cond,
+                then_bb,
+                else_bb,
+            } = block.terminator
+            {
+                if then_bb == else_bb {
+                    continue;
+                }
+                out.push(BranchEdge {
+                    from,
+                    to: then_bb,
+                    cond,
+                    taken: true,
+                });
+                out.push(BranchEdge {
+                    from,
+                    to: else_bb,
+                    cond,
+                    taken: false,
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A set of statically-infeasible CFG edges, keyed by
+/// `(method, from-block, to-block)`.
+///
+/// Produced by the prefilter's constant propagation and consumed by the
+/// backward refuter: crossing an infeasible edge (in either direction)
+/// can never contribute a feasible witness path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InfeasibleEdges {
+    edges: HashSet<(MethodId, BlockId, BlockId)>,
+}
+
+impl InfeasibleEdges {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the edge `from → to` in `method` infeasible. Returns `true`
+    /// if the edge was newly inserted.
+    pub fn insert(&mut self, method: MethodId, from: BlockId, to: BlockId) -> bool {
+        self.edges.insert((method, from, to))
+    }
+
+    /// Whether the edge `from → to` in `method` is infeasible.
+    pub fn contains(&self, method: MethodId, from: BlockId, to: BlockId) -> bool {
+        self.edges.contains(&(method, from, to))
+    }
+
+    /// Number of infeasible edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edge is marked.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges in deterministic (sorted) order.
+    pub fn iter_sorted(&self) -> Vec<(MethodId, BlockId, BlockId)> {
+        let mut v: Vec<_> = self.edges.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::class::Origin;
+    use crate::stmt::ConstValue;
+
+    #[test]
+    fn branch_edges_enumerate_if_arms_only() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let flag = mb.fresh_local();
+        mb.const_(flag, ConstValue::Bool(true));
+        let t = mb.new_block();
+        let e = mb.new_block();
+        mb.if_(flag, t, e);
+        mb.switch_to(t);
+        mb.ret(None);
+        mb.switch_to(e);
+        mb.ret(None);
+        let m = mb.finish();
+        let p = pb.finish();
+        let edges = p.method(m).branch_edges();
+        assert_eq!(edges.len(), 2);
+        assert!(edges[0].taken && !edges[1].taken);
+        assert_eq!(edges[0].from, edges[1].from);
+        assert_ne!(edges[0].to, edges[1].to);
+    }
+
+    #[test]
+    fn degenerate_branches_are_skipped() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.class("A", Origin::App).build();
+        let mut mb = pb.method(c, "m");
+        mb.set_param_count(1);
+        let flag = mb.fresh_local();
+        mb.const_(flag, ConstValue::Bool(true));
+        let j = mb.new_block();
+        mb.if_(flag, j, j);
+        mb.switch_to(j);
+        mb.ret(None);
+        let m = mb.finish();
+        let p = pb.finish();
+        assert!(p.method(m).branch_edges().is_empty());
+    }
+
+    #[test]
+    fn infeasible_edge_set_round_trips() {
+        let mut set = InfeasibleEdges::new();
+        assert!(set.is_empty());
+        assert!(set.insert(MethodId(1), BlockId(0), BlockId(2)));
+        assert!(!set.insert(MethodId(1), BlockId(0), BlockId(2)));
+        set.insert(MethodId(0), BlockId(3), BlockId(1));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(MethodId(1), BlockId(0), BlockId(2)));
+        assert!(!set.contains(MethodId(1), BlockId(0), BlockId(1)));
+        assert_eq!(
+            set.iter_sorted(),
+            vec![
+                (MethodId(0), BlockId(3), BlockId(1)),
+                (MethodId(1), BlockId(0), BlockId(2)),
+            ]
+        );
+    }
+}

@@ -39,6 +39,7 @@
 mod builder;
 mod class;
 mod dom;
+mod edges;
 mod ids;
 mod interner;
 pub mod local_defs;
@@ -54,6 +55,7 @@ mod validate;
 pub use builder::{ClassBuilder, MethodBuilder, ProgramBuilder};
 pub use class::{Class, Field, Origin};
 pub use dom::Dominators;
+pub use edges::{BranchEdge, InfeasibleEdges};
 pub use ids::{AllocSiteId, BlockId, CallSiteId, ClassId, FieldId, Local, MethodId, StmtAddr};
 pub use interner::{Interner, Symbol};
 pub use method::{BasicBlock, Method, Terminator};

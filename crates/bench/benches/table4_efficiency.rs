@@ -15,7 +15,7 @@
 
 use pointer::{Access, SelectorKind};
 use sierra_bench::{group, time};
-use sierra_core::{refute_candidates, Sierra};
+use sierra_core::{refute_candidates, Sierra, SierraConfig};
 use std::time::Duration;
 use symexec::{Refuter, RefuterConfig};
 
@@ -142,6 +142,7 @@ fn main() {
             RefuterConfig::default(),
             jobs,
             &stress_pairs,
+            None,
         )
     };
     let probe = refute_with(1);
@@ -168,6 +169,45 @@ fn main() {
     if cores < 4 {
         println!("note: fewer than 4 cores available; the 4-job run cannot realize its full speedup here");
     }
+
+    // Prefilter ablation: the stress app's GUI handlers carry pairs the
+    // refuter can only resolve by exhausting its path budget, while the
+    // prefilter discharges them statically. Comparing the refutation
+    // stage with and without pruning shows the candidate-reduction
+    // payoff end to end.
+    group("prefilter_ablation");
+    let run_stress = |no_prefilter: bool| {
+        let app = sierra_bench::refutation_stress_app(13, 8);
+        let cfg = SierraConfig::builder().no_prefilter(no_prefilter).build();
+        Sierra::with_config(cfg).analyze_app(app)
+    };
+    let pf = run_stress(false);
+    let stress_candidates = pf.racy_pairs_with_as;
+    let pruned_pairs = pf.pruned.len();
+    let reduction = pruned_pairs as f64 / stress_candidates.max(1) as f64;
+    let ps = pf.metrics.prefilter;
+    println!(
+        "prefilter: {pruned_pairs} of {stress_candidates} stress candidates pruned ({:.1}%) — escape {}, guarded {}, constprop {}; {} infeasible edges",
+        reduction * 100.0,
+        ps.pruned_escape,
+        ps.pruned_guarded,
+        ps.pruned_constprop,
+        ps.infeasible_edges
+    );
+    let refute_stage_mean = |no_prefilter: bool| {
+        let iters = 3u32;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            total += run_stress(no_prefilter).metrics.timings.refutation;
+        }
+        total / iters
+    };
+    let t_refute_pf = refute_stage_mean(false);
+    let t_refute_nopf = refute_stage_mean(true);
+    println!(
+        "refutation stage: {t_refute_pf:.3?} with prefilter vs {t_refute_nopf:.3?} without ({:.2}x)",
+        t_refute_nopf.as_secs_f64() / t_refute_pf.as_secs_f64().max(1e-9)
+    );
 
     // Machine-readable record for the CI artifact (no serde in-tree, so
     // the JSON is assembled by hand).
@@ -200,6 +240,17 @@ fn main() {
             "    \"jobs1_mean_us\": {:.3},\n",
             "    \"jobs4_mean_us\": {:.3},\n",
             "    \"speedup\": {:.3}\n",
+            "  }},\n",
+            "  \"prefilter\": {{\n",
+            "    \"stress_candidates\": {},\n",
+            "    \"pruned_pairs\": {},\n",
+            "    \"reduction_ratio\": {:.3},\n",
+            "    \"pruned_escape\": {},\n",
+            "    \"pruned_guarded\": {},\n",
+            "    \"pruned_constprop\": {},\n",
+            "    \"infeasible_edges\": {},\n",
+            "    \"refute_with_prefilter_us\": {:.3},\n",
+            "    \"refute_without_prefilter_us\": {:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -221,6 +272,15 @@ fn main() {
         us(t_jobs1),
         us(t_jobs4),
         speedup,
+        stress_candidates,
+        pruned_pairs,
+        reduction,
+        ps.pruned_escape,
+        ps.pruned_guarded,
+        ps.pruned_constprop,
+        ps.infeasible_edges,
+        us(t_refute_pf),
+        us(t_refute_nopf),
     );
     std::fs::write("BENCH_table4.json", &json).expect("write BENCH_table4.json");
     println!("wrote BENCH_table4.json");

@@ -47,10 +47,16 @@ pub struct AppRow {
     pub shbg_rule_apps: usize,
     /// Refuter paths explored.
     pub refuter_paths: usize,
+    /// Candidate pairs pruned by the prefilter (escape + guard + constprop).
+    pub pruned_pairs: usize,
+    /// Statically-infeasible branch edges found by constant propagation.
+    pub infeasible_edges: usize,
     /// Stage time: call graph + pointer analysis.
     pub t_cg_pa: Duration,
     /// Stage time: SHBG construction.
     pub t_hbg: Duration,
+    /// Stage time: prefilter pruning.
+    pub t_prefilter: Duration,
     /// Stage time: refutation.
     pub t_refutation: Duration,
     /// Total pipeline time.
@@ -118,8 +124,11 @@ pub fn run_app(
         cg_edges: m.pointer.cg_edges,
         shbg_rule_apps: m.shbg.total_applications(),
         refuter_paths: m.refuter.paths,
+        pruned_pairs: m.prefilter.pruned_total(),
+        infeasible_edges: m.prefilter.infeasible_edges,
         t_cg_pa: m.timings.cg_pa,
         t_hbg: m.timings.hbg,
+        t_prefilter: m.timings.prefilter,
         t_refutation: m.timings.refutation,
         t_total: m.timings.total,
     }
@@ -269,16 +278,19 @@ pub fn table4(rows: &[AppRow]) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:>10} {:>8} {:>12} {:>10} {:>8} {:>8} {:>8} {:>8}\n",
+        "{:<17} {:>10} {:>8} {:>11} {:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}\n",
         "App",
         "CG+PA(ms)",
         "HBG(ms)",
+        "Prefilt(ms)",
         "Refute(ms)",
         "Total(ms)",
         "PAiters",
         "CGedges",
         "HBapps",
-        "Paths"
+        "Paths",
+        "Pruned",
+        "Infeas"
     ));
     for r in rows {
         if let Some(err) = &r.error {
@@ -286,16 +298,19 @@ pub fn table4(rows: &[AppRow]) -> String {
             continue;
         }
         out.push_str(&format!(
-            "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2} {:>8} {:>8} {:>8} {:>8}\n",
+            "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}\n",
             r.name,
             ms(r.t_cg_pa),
             ms(r.t_hbg),
+            ms(r.t_prefilter),
             ms(r.t_refutation),
             ms(r.t_total),
             r.pa_worklist_iters,
             r.cg_edges,
             r.shbg_rule_apps,
             r.refuter_paths,
+            r.pruned_pairs,
+            r.infeasible_edges,
         ));
     }
     let ok = ok_rows(rows);
@@ -303,16 +318,19 @@ pub fn table4(rows: &[AppRow]) -> String {
         median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     out.push_str(&format!(
-        "{:<17} {:>10.2} {:>8.2} {:>12.2} {:>10.2} {:>8.0} {:>8.0} {:>8.0} {:>8.0}\n",
+        "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>6.0} {:>6.0}\n",
         "MEDIAN",
         med(&|r| ms(r.t_cg_pa)),
         med(&|r| ms(r.t_hbg)),
+        med(&|r| ms(r.t_prefilter)),
         med(&|r| ms(r.t_refutation)),
         med(&|r| ms(r.t_total)),
         med(&|r| r.pa_worklist_iters as f64),
         med(&|r| r.cg_edges as f64),
         med(&|r| r.shbg_rule_apps as f64),
         med(&|r| r.refuter_paths as f64),
+        med(&|r| r.pruned_pairs as f64),
+        med(&|r| r.infeasible_edges as f64),
     ));
     out
 }
@@ -431,6 +449,7 @@ mod tests {
         assert!(t3.contains("fig1") && t3.contains("MEDIAN"));
         let t4 = table4(std::slice::from_ref(&row));
         assert!(t4.contains("CG+PA") && t4.contains("PAiters"));
+        assert!(t4.contains("Prefilt(ms)") && t4.contains("Pruned") && t4.contains("Infeas"));
         let t5 = table5(std::slice::from_ref(&row));
         assert!(t5.contains("medians"));
         let cmp = comparison_summary(std::slice::from_ref(&row));

@@ -9,6 +9,8 @@
 //! --jobs <N>            corpus worker threads; 0 = all cores   (default 0)
 //! --refute-jobs <N>     refutation worker threads per app;
 //!                       0 = all cores                   (default 1)
+//! --no-prefilter        disable the pre-refutation static pruning
+//!                       stage (escape/guard/constprop)
 //! ```
 //!
 //! [`CommonFlags::parse`] consumes the recognized flags (and their
@@ -27,9 +29,9 @@ pub struct CommonFlags {
 }
 
 impl CommonFlags {
-    /// Extracts `--context`, `--budget`, `--jobs`, and `--refute-jobs`
-    /// from `args`, removing each recognized flag and its value. Unknown
-    /// flags and positionals are untouched.
+    /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`, and
+    /// `--no-prefilter` from `args`, removing each recognized flag (and
+    /// its value, if any). Unknown flags and positionals are untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
         let mut builder = SierraConfig::builder();
         let mut jobs = 0usize;
@@ -56,6 +58,9 @@ impl CommonFlags {
                 .map_err(|_| format!("invalid --refute-jobs {v:?}: expected a count"))?;
             builder = builder.refute_jobs(refute_jobs);
         }
+        if take_switch(args, "--no-prefilter") {
+            builder = builder.no_prefilter(true);
+        }
         Ok(Self {
             jobs,
             config: builder.build(),
@@ -81,6 +86,18 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
 /// (subcommand-specific flags like `--apps`).
 pub fn take_raw_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     take_flag(args, flag).ok().flatten()
+}
+
+/// Removes a value-less switch from `args`; returns whether it was
+/// present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
 }
 
 #[cfg(test)]
@@ -130,6 +147,18 @@ mod tests {
         let mut args = argv(&["table4"]);
         let flags = CommonFlags::parse(&mut args).expect("parse");
         assert_eq!(flags.config.refute_jobs, 1);
+    }
+
+    #[test]
+    fn no_prefilter_switch_is_consumed() {
+        let mut args = argv(&["analyze", "fig1", "--no-prefilter"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(flags.config.no_prefilter);
+        assert_eq!(args, argv(&["analyze", "fig1"]));
+
+        let mut args = argv(&["analyze", "fig1"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(!flags.config.no_prefilter);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! --budget <N>         refuter path budget
 //! --jobs <N>           corpus engine worker threads (0 = all cores)
 //! --refute-jobs <N>    per-app refutation worker threads (0 = all cores)
+//! --no-prefilter       disable pre-refutation static pruning
 //! ```
 
 use eventracer::EventRacerConfig;
@@ -26,7 +27,7 @@ use sierra_cli::flags::{take_raw_flag, CommonFlags};
 use sierra_core::Sierra;
 
 const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>>\n\
-                     shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N>";
+                     shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

@@ -12,9 +12,12 @@
 //! 3. **SHBG** (`shbg`): static happens-before over actions, rules 1–7.
 //! 4. **Racy pairs**: unordered same-harness access pairs on overlapping
 //!    locations with at least one write.
-//! 5. **Refutation** (`symexec`): goal-directed backward symbolic
+//! 5. **Prefilter** (`prefilter`): cheap flow-aware static pruning —
+//!    escape analysis, write-once guard detection, and constant/branch
+//!    pruning — removes pairs that cannot race before the refuter runs.
+//! 6. **Refutation** (`symexec`): goal-directed backward symbolic
 //!    execution rules out ad-hoc-synchronized pairs.
-//! 6. **Prioritization** (§3.1): app code above framework code, pointer
+//! 7. **Prioritization** (§3.1): app code above framework code, pointer
 //!    fields above primitives.
 //!
 //! ```no_run
@@ -37,8 +40,9 @@ pub use engine::{run_jobs, EngineError};
 pub use pipeline::{
     Sierra, SierraConfig, SierraConfigBuilder, SierraResult, StageMetrics, StageTimings,
 };
-pub use report::{describe_action, priority_of, Priority, RaceReport};
-pub use session::{refute_candidates, AnalysisSession, RefutationRun};
+pub use prefilter::{PrefilterStats, PrunedPair, Verdict};
+pub use report::{describe_action, describe_pair, priority_of, Priority, RaceReport};
+pub use session::{refute_candidates, AnalysisSession, PrefilterOutcome, RefutationRun};
 
 #[cfg(test)]
 mod tests;

@@ -14,6 +14,7 @@ use crate::session::AnalysisSession;
 use android_model::AndroidApp;
 use harness_gen::HarnessResult;
 use pointer::{Analysis, SelectorKind, SolverStats};
+use prefilter::{PrefilterStats, PrunedPair};
 use shbg::{HbRule, Shbg, ShbgStats};
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,8 +32,13 @@ pub struct SierraConfig {
     /// same k.
     pub compare_without_as: bool,
     /// Skip the refutation stage (reports every racy pair; used by
-    /// ablations).
+    /// ablations). Implies `no_prefilter`: ablations count raw
+    /// candidates.
     pub skip_refutation: bool,
+    /// Disable the pre-refutation static pruning stage (escape, guard,
+    /// and constant-branch analyses), restoring the old
+    /// `candidates → refute` pipeline for A/B measurement.
+    pub no_prefilter: bool,
     /// Worker threads for the refutation stage (`0` = all cores,
     /// default `1` = serial). Verdicts are thread-count-independent:
     /// any value produces byte-identical race reports.
@@ -46,6 +52,7 @@ impl Default for SierraConfig {
             refuter: RefuterConfig::default(),
             compare_without_as: true,
             skip_refutation: false,
+            no_prefilter: false,
             refute_jobs: 1,
         }
     }
@@ -95,6 +102,12 @@ impl SierraConfigBuilder {
         self
     }
 
+    /// Enables or disables the pre-refutation static pruning stage.
+    pub fn no_prefilter(mut self, yes: bool) -> Self {
+        self.cfg.no_prefilter = yes;
+        self
+    }
+
     /// Sets the refutation worker-pool size (`0` = all cores).
     pub fn refute_jobs(mut self, jobs: usize) -> Self {
         self.cfg.refute_jobs = jobs;
@@ -116,6 +129,8 @@ pub struct StageTimings {
     pub cg_pa: Duration,
     /// SHBG construction ("HBG").
     pub hbg: Duration,
+    /// Pre-refutation static pruning.
+    pub prefilter: Duration,
     /// Symbolic-execution refutation.
     pub refutation: Duration,
     /// End-to-end.
@@ -134,6 +149,8 @@ pub struct StageMetrics {
     pub pointer: SolverStats,
     /// SHBG rule-application counters.
     pub shbg: ShbgStats,
+    /// Pre-refutation pruning counters.
+    pub prefilter: PrefilterStats,
     /// Refutation counters.
     pub refuter: RefuterStats,
     /// Worker threads the refutation stage actually used (`0` when the
@@ -161,6 +178,9 @@ pub struct SierraResult {
     pub racy_pairs_with_as: usize,
     /// Races surviving refutation, ranked by priority.
     pub races: Vec<RaceReport>,
+    /// Candidate pairs the prefilter removed before refutation, each
+    /// with its machine-checkable reason (empty under `no_prefilter`).
+    pub pruned: Vec<PrunedPair>,
     /// Per-stage timings and counters.
     pub metrics: StageMetrics,
     /// The main (action-sensitive) analysis, for downstream inspection.
@@ -179,15 +199,6 @@ impl SierraResult {
         } else {
             100.0 * self.hb_edges as f64 / self.hb_max as f64
         }
-    }
-
-    /// Renders a complete human-readable report.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the `Display` impl (`format!(\"{result}\")`)"
-    )]
-    pub fn render_text(&self) -> String {
-        self.to_string()
     }
 
     /// The SHBG in Graphviz DOT format with readable action labels.
@@ -222,10 +233,11 @@ impl std::fmt::Display for SierraResult {
         let t = &self.metrics.timings;
         writeln!(
             out,
-            "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, refutation {:.2} ms, total {:.2} ms",
+            "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, prefilter {:.2} ms, refutation {:.2} ms, total {:.2} ms",
             ms(t.harness),
             ms(t.cg_pa),
             ms(t.hbg),
+            ms(t.prefilter),
             ms(t.refutation),
             ms(t.total)
         )?;
@@ -258,6 +270,17 @@ impl std::fmt::Display for SierraResult {
             "), {} fixpoint rounds, {} closure SCCs",
             hb.fixpoint_rounds, hb.closure_sccs
         )?;
+        let pf = &self.metrics.prefilter;
+        writeln!(
+            out,
+            "prefilter: {} of {} candidate pairs pruned (escape {}, guarded {}, constprop {}), {} infeasible branch edges",
+            pf.pruned_total(),
+            self.racy_pairs_with_as,
+            pf.pruned_escape,
+            pf.pruned_guarded,
+            pf.pruned_constprop,
+            pf.infeasible_edges
+        )?;
         let rf = &self.metrics.refuter;
         writeln!(
             out,
@@ -277,6 +300,14 @@ impl std::fmt::Display for SierraResult {
                 "{:>3}. {}",
                 i + 1,
                 race.describe(program, &self.analysis.actions)
+            )?;
+        }
+        for p in &self.pruned {
+            writeln!(
+                out,
+                "  – pruned: {} [{}]",
+                crate::report::describe_pair(program, &self.analysis.actions, &p.a, &p.b),
+                p.verdict.describe(program)
             )?;
         }
         Ok(())

@@ -65,6 +65,26 @@ impl RaceReport {
     }
 }
 
+/// Human-readable one-line description of an arbitrary access pair
+/// (shared by race reports and prefilter pruning annotations).
+pub fn describe_pair(
+    program: &Program,
+    actions: &ActionRegistry,
+    a: &Access,
+    b: &Access,
+) -> String {
+    let f = program.field(a.field);
+    format!(
+        "pair on {}.{} between {} ({}) and {} ({})",
+        program.class_name(f.class),
+        program.name(f.name),
+        describe_action(actions, a.action),
+        if a.is_write { "write" } else { "read" },
+        describe_action(actions, b.action),
+        if b.is_write { "write" } else { "read" },
+    )
+}
+
 /// Short label for an action (used in reports and examples).
 pub fn describe_action(actions: &ActionRegistry, id: android_model::ActionId) -> String {
     let a = actions.action(id);

@@ -1,10 +1,10 @@
 //! The staged analysis session.
 //!
-//! [`AnalysisSession`] splits the pipeline into five explicitly-driven
+//! [`AnalysisSession`] splits the pipeline into six explicitly-driven
 //! stages, each computed once on first request and cached:
 //!
 //! ```text
-//! harness() → pointer() → shbg() → candidates() → refute() → finish()
+//! harness() → pointer() → shbg() → candidates() → prefilter() → refute() → finish()
 //! ```
 //!
 //! Calling a later stage forces the earlier ones, so `finish()` alone
@@ -25,9 +25,10 @@ use crate::engine::{effective_jobs, run_jobs};
 use crate::pipeline::{SierraConfig, SierraResult, StageMetrics};
 use crate::report::{priority_of, RaceReport};
 use android_model::AndroidApp;
-use apir::{FieldId, Program};
+use apir::{FieldId, InfeasibleEdges, Program};
 use harness_gen::HarnessResult;
 use pointer::{collect_accesses, Access, Analysis, SelectorKind};
+use prefilter::PrunedPair;
 use shbg::Shbg;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -48,7 +49,19 @@ pub struct AnalysisSession {
     analysis: Option<Analysis>,
     shbg: Option<Shbg>,
     candidates: Option<Vec<(Access, Access)>>,
+    prefilter: Option<PrefilterOutcome>,
     races: Option<Vec<RaceReport>>,
+}
+
+/// Cached output of the prefilter stage.
+#[derive(Debug)]
+pub struct PrefilterOutcome {
+    /// Candidate pairs that survive to refutation, in candidate order.
+    pub kept: Vec<(Access, Access)>,
+    /// Pruned pairs with their verdicts, in candidate order.
+    pub pruned: Vec<PrunedPair>,
+    /// Statically-infeasible branch edges, shared with the refuter.
+    pub infeasible: Arc<InfeasibleEdges>,
 }
 
 impl AnalysisSession {
@@ -64,6 +77,7 @@ impl AnalysisSession {
             analysis: None,
             shbg: None,
             candidates: None,
+            prefilter: None,
             races: None,
         }
     }
@@ -81,6 +95,7 @@ impl AnalysisSession {
             analysis: None,
             shbg: None,
             candidates: None,
+            prefilter: None,
             races: None,
         }
     }
@@ -156,14 +171,50 @@ impl AnalysisSession {
         self.candidates.as_ref().expect("just computed")
     }
 
-    /// Stage 5: refutation (§5) + prioritization (§3.1). With
-    /// `skip_refutation` every candidate survives.
-    pub fn refute(&mut self) -> &[RaceReport] {
-        if self.races.is_none() {
+    /// Stage 5: pre-refutation static pruning (escape analysis, guard
+    /// detection, constant/branch pruning). A passthrough under
+    /// `no_prefilter` — and under `skip_refutation`, whose ablations
+    /// count raw candidate pairs.
+    pub fn prefilter(&mut self) -> &PrefilterOutcome {
+        if self.prefilter.is_none() {
             self.candidates();
             let harness = self.harness.as_ref().expect("stage 1 ran");
             let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let graph = self.shbg.as_ref().expect("stage 3 ran");
             let candidates = self.candidates.as_ref().expect("stage 4 ran");
+            let t = Instant::now();
+            let outcome = if self.config.no_prefilter || self.config.skip_refutation {
+                PrefilterOutcome {
+                    kept: candidates.clone(),
+                    pruned: Vec::new(),
+                    infeasible: Arc::new(InfeasibleEdges::new()),
+                }
+            } else {
+                let run = prefilter::run(&harness.app.program, analysis, graph, candidates);
+                self.metrics.prefilter = run.stats;
+                PrefilterOutcome {
+                    kept: run.kept,
+                    pruned: run.pruned,
+                    infeasible: Arc::new(run.infeasible),
+                }
+            };
+            let elapsed = t.elapsed();
+            self.metrics.timings.prefilter = elapsed;
+            self.metrics.prefilter.prefilter_ns = elapsed.as_nanos() as u64;
+            self.prefilter = Some(outcome);
+        }
+        self.prefilter.as_ref().expect("just prefiltered")
+    }
+
+    /// Stage 6: refutation (§5) + prioritization (§3.1). With
+    /// `skip_refutation` every candidate survives.
+    pub fn refute(&mut self) -> &[RaceReport] {
+        if self.races.is_none() {
+            self.prefilter();
+            let harness = self.harness.as_ref().expect("stage 1 ran");
+            let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let prefilter = self.prefilter.as_ref().expect("stage 5 ran");
+            let candidates = &prefilter.kept;
             let t = Instant::now();
             let program = &harness.app.program;
             let (outcomes, refuter_stats, jobs_used) = if self.config.skip_refutation {
@@ -180,6 +231,7 @@ impl AnalysisSession {
                     self.config.refuter,
                     self.config.refute_jobs,
                     candidates,
+                    Some(Arc::clone(&prefilter.infeasible)),
                 );
                 (run.outcomes, run.stats, run.jobs_used)
             };
@@ -240,6 +292,7 @@ impl AnalysisSession {
         let graph = self.shbg.expect("stages ran");
         let races = self.races.expect("stages ran");
         let candidates = self.candidates.expect("stages ran");
+        let pruned = self.prefilter.expect("stages ran").pruned;
 
         // Theoretical maximum of ordered pairs: the paper's `N·(N−1)/2`
         // over all of the app's actions (cross-harness pairs included in
@@ -259,6 +312,7 @@ impl AnalysisSession {
             racy_pairs_without_as,
             racy_pairs_with_as: candidates.len(),
             races,
+            pruned,
             metrics,
             analysis,
             shbg: graph,
@@ -305,9 +359,13 @@ pub fn refute_candidates(
     config: RefuterConfig,
     jobs: usize,
     candidates: &[(Access, Access)],
+    infeasible: Option<Arc<InfeasibleEdges>>,
 ) -> RefutationRun {
     let jobs = effective_jobs(jobs, candidates.len());
     let mut base = Refuter::new(analysis, program, config).with_message_model(message_what);
+    if let Some(edges) = infeasible {
+        base = base.with_infeasible_edges(edges);
+    }
     let mut outcomes: Vec<Outcome> = Vec::with_capacity(candidates.len());
     for batch in candidates.chunks(REFUTE_BATCH) {
         if jobs == 1 {

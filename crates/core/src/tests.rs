@@ -156,9 +156,13 @@ fn staged_session_matches_one_shot_run() {
     session.pointer();
     session.shbg();
     let n_candidates = session.candidates().len();
+    let n_kept = session.prefilter().kept.len();
+    let n_pruned = session.prefilter().pruned.len();
+    assert_eq!(n_kept + n_pruned, n_candidates);
     let n_races = session.refute().len();
     let staged = session.finish();
     assert_eq!(staged.racy_pairs_with_as, n_candidates);
+    assert_eq!(staged.pruned.len(), n_pruned);
     assert_eq!(staged.races.len(), n_races);
     assert_eq!(staged.racy_pairs_with_as, one_shot.racy_pairs_with_as);
     assert_eq!(staged.racy_pairs_without_as, one_shot.racy_pairs_without_as);
@@ -182,7 +186,7 @@ fn race_reports_describe_readably() {
 }
 
 #[test]
-fn render_text_and_dot_outputs_are_complete() {
+fn display_and_dot_outputs_are_complete() {
     let (app, _) = figures::inter_component();
     let result = Sierra::new().analyze_app(app);
     let text = result.to_string();
@@ -191,9 +195,8 @@ fn render_text_and_dot_outputs_are_complete() {
     assert!(text.contains("race on"), "{text}");
     assert!(text.contains("worklist iterations"), "{text}");
     assert!(text.contains("rule applications"), "{text}");
-    #[allow(deprecated)]
-    let legacy = result.render_text();
-    assert_eq!(legacy, text, "render_text delegates to Display");
+    assert!(text.contains("prefilter:"), "{text}");
+    assert!(text.contains("candidate pairs pruned"), "{text}");
     let dot = result.shbg_dot();
     assert!(dot.starts_with("digraph shbg {"));
     assert!(dot.contains("Lifecycle"), "rule labels present");

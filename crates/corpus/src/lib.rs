@@ -9,6 +9,8 @@
 //!   §6.5 patterns) as standalone apps;
 //! - [`idioms`] — the library of planted concurrency patterns, each
 //!   recording its expected verdict in a [`GroundTruth`];
+//! - [`prefilter_idioms`] — a fixture app exercising each pre-refutation
+//!   pruning verdict (escape, guarded, constprop) exactly once;
 //! - [`twenty`] — the Table 2 dataset, scaled by each app's real bytecode
 //!   size;
 //! - [`fdroid`] — 174 seeded apps with the paper's 1.1 MB median size.
@@ -21,6 +23,7 @@ pub mod fdroid;
 pub mod figures;
 mod ground_truth;
 pub mod idioms;
+pub mod prefilter_idioms;
 pub mod twenty;
 
 pub use ground_truth::{EvalCounts, GroundTruth, PlantedRace, RaceLabel};

@@ -1,0 +1,150 @@
+//! Fixture app exercising each prefilter verdict exactly once.
+//!
+//! The activity plants three prunable patterns plus their live
+//! counterparts, so tests can pin the per-verdict prune counts:
+//!
+//! - **escape**: two GUI handlers call a helper that allocates a
+//!   `Scratch` object per call and writes its field. The object never
+//!   leaves the calling action, so even when a context-insensitive
+//!   points-to analysis conflates the two allocations into one abstract
+//!   object (producing a candidate pair), the escape rule prunes it.
+//!   Under action-sensitive contexts the pair never forms at all.
+//! - **guarded**: `onScroll` populates `cache` and then sets the
+//!   write-once `ready` flag; `onItemClick` reads `cache` only under
+//!   `if (ready)`. The "`onItemClick` first" direction is infeasible
+//!   (the flag still holds its default), so the guard rule prunes the
+//!   `cache` pair. The `ready` pair itself stays — it is the benign
+//!   guard race SIERRA still reports.
+//! - **constprop**: `onClick` writes `log` only under a
+//!   constant-`false` branch; `onLongClick` writes it for real. The
+//!   dead-branch access cannot execute, so the pair prunes.
+
+use crate::ground_truth::{GroundTruth, RaceLabel};
+use android_model::{AndroidApp, AndroidAppBuilder};
+use apir::{ConstValue, InvokeKind, Operand, Type};
+
+/// The activity name the fixture plants everything under.
+pub const ACTIVITY: &str = "com.prefilter.Main";
+
+/// Builds the prefilter-idiom fixture app and its ground truth.
+pub fn prefilter_idioms_app() -> (AndroidApp, GroundTruth) {
+    let mut app = AndroidAppBuilder::new("PrefilterIdioms");
+    let mut truth = GroundTruth::new();
+    let fw = app.framework().clone();
+
+    let scratch_name = format!("{ACTIVITY}$Scratch");
+    let mut cb = app.subclass(&scratch_name, fw.object);
+    let val = cb.field("val", Type::Int);
+    let scratch = cb.build();
+
+    let mut cb = app.activity(ACTIVITY);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_long_click_listener);
+    cb.add_interface(fw.on_scroll_listener);
+    cb.add_interface(fw.on_item_click_listener);
+    let cache = cb.field("cache", Type::Ref(fw.object));
+    let ready = cb.field("ready", Type::Bool);
+    let log = cb.field("log", Type::Int);
+    let activity = cb.build();
+
+    // helper(): h = new Scratch; h.val = 1 — one confined allocation per
+    // calling action.
+    let mut mb = app.method(activity, "helper");
+    mb.set_param_count(1);
+    let h = mb.fresh_local();
+    mb.new_(h, scratch);
+    mb.store(h, val, Operand::Const(ConstValue::Int(1)));
+    mb.ret(None);
+    let helper = mb.finish();
+
+    // onClick: helper(); if (false) log = 1.
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    mb.vcall(helper, this, vec![]);
+    let c = mb.fresh_local();
+    mb.const_(c, ConstValue::Bool(false));
+    let b_dead = mb.new_block();
+    let b_exit = mb.new_block();
+    mb.if_(Operand::Local(c), b_dead, b_exit);
+    mb.switch_to(b_dead);
+    mb.store(this, log, Operand::Const(ConstValue::Int(1)));
+    mb.goto(b_exit);
+    mb.switch_to(b_exit);
+    mb.ret(None);
+    mb.finish();
+
+    // onLongClick: helper(); log = 2.
+    let mut mb = app.method(activity, "onLongClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    mb.vcall(helper, this, vec![]);
+    mb.store(this, log, Operand::Const(ConstValue::Int(2)));
+    mb.ret(None);
+    mb.finish();
+
+    // onScroll: cache = new Object(); ready = true (the unique store).
+    let obj = fw.object;
+    let mut mb = app.method(activity, "onScroll");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let v = mb.fresh_local();
+    mb.new_(v, obj);
+    mb.store(this, cache, Operand::Local(v));
+    mb.store(this, ready, Operand::Const(ConstValue::Bool(true)));
+    mb.ret(None);
+    mb.finish();
+
+    // onItemClick: if (ready) read cache.
+    let mut mb = app.method(activity, "onItemClick");
+    mb.set_param_count(3);
+    let this = mb.param(0);
+    let g = mb.fresh_local();
+    mb.load(g, this, ready);
+    let b_then = mb.new_block();
+    let b_exit = mb.new_block();
+    mb.if_(Operand::Local(g), b_then, b_exit);
+    mb.switch_to(b_then);
+    let x = mb.fresh_local();
+    mb.load(x, this, cache);
+    mb.goto(b_exit);
+    mb.switch_to(b_exit);
+    mb.ret(None);
+    mb.finish();
+
+    // onCreate registers all four handlers.
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    for (id, register) in [
+        (1i64, fw.set_on_click_listener),
+        (2, fw.set_on_long_click_listener),
+        (3, fw.set_on_scroll_listener),
+        (4, fw.set_on_item_click_listener),
+    ] {
+        let view = mb.fresh_local();
+        mb.call(
+            Some(view),
+            InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![Operand::Const(ConstValue::Int(id))],
+        );
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            register,
+            Some(view),
+            vec![Operand::Local(this)],
+        );
+    }
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant(&scratch_name, "val", RaceLabel::Ordered);
+    truth.plant(ACTIVITY, "cache", RaceLabel::Refutable);
+    truth.plant(ACTIVITY, "ready", RaceLabel::BenignGuard);
+    truth.plant(ACTIVITY, "log", RaceLabel::Refutable);
+
+    (app.finish().expect("valid prefilter fixture"), truth)
+}

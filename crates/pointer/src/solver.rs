@@ -214,6 +214,33 @@ impl Analysis {
     pub fn framework(&self) -> &FrameworkClasses {
         &self.framework
     }
+
+    /// Every object that appears in at least one instance-field or
+    /// static-field points-to set — i.e. every object published to the
+    /// heap. An object absent from this set is reachable only through
+    /// locals (and return values), which is the load-bearing fact behind
+    /// the prefilter's escape analysis: a reference can only cross from
+    /// one action to another via the heap, via a posted receiver, or via
+    /// an unmodeled callee.
+    pub fn heap_published(&self) -> HashSet<ObjId> {
+        let mut out = HashSet::new();
+        for (key, node) in &self.nodes {
+            if matches!(key, NodeKey::Field { .. } | NodeKey::Static { .. }) {
+                out.extend(self.pts[node.0 as usize].iter());
+            }
+        }
+        out
+    }
+
+    /// Call sites in `(method, ctx)` that resolved to no analyzed callee
+    /// (framework ops, body-less targets, empty receiver sets). The
+    /// escape analysis treats pointer arguments at such sites as having
+    /// escaped, since the callee's effect on them is unmodeled.
+    pub fn is_opaque_call(&self, method: MethodId, ctx: CtxId, site: CallSiteId) -> bool {
+        self.cg_edges
+            .get(&(method, ctx, site))
+            .is_none_or(Vec::is_empty)
+    }
 }
 
 /// Runs the analysis over a harnessed app with default options.

@@ -1,0 +1,223 @@
+//! Sparse conditional constant propagation over `apir` locals.
+//!
+//! A small SCCP-style analysis per method: block entry states map locals
+//! to known constants (absent = unknown), edges become *executable* only
+//! when their source block runs and the branch condition permits them.
+//! At the fixpoint, an `If` edge of an executable block that was never
+//! taken is statically infeasible, and a block with no executable
+//! in-edge is dead.
+//!
+//! Both facts are consumed twice: the prefilter drops candidate accesses
+//! in dead blocks ([`crate::Verdict::ConstProp`]), and the infeasible
+//! edges are exported to the symbolic refuter so backward path search
+//! never crosses them.
+
+use apir::{
+    BinOp, BlockId, CmpOp, ConstValue, Local, Method, MethodId, Operand, Program, Stmt, Terminator,
+    UnOp,
+};
+use pointer::Analysis;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Per-method constant-propagation facts.
+#[derive(Debug, Clone, Default)]
+pub struct ConstFacts {
+    /// `If` edges that can never be taken, in `(from, to)` block order.
+    pub infeasible: Vec<(BlockId, BlockId)>,
+    /// Blocks that never execute (no feasible in-edge), sorted.
+    pub dead_blocks: Vec<BlockId>,
+}
+
+impl ConstFacts {
+    /// Whether `block` was proven dead.
+    pub fn is_dead(&self, block: BlockId) -> bool {
+        self.dead_blocks.binary_search(&block).is_ok()
+    }
+}
+
+/// Known-constant environment at a program point (absent local = unknown).
+type State = HashMap<Local, ConstValue>;
+
+/// Runs the analysis over every reachable method body of `analysis`, in
+/// deterministic (method-id) order.
+pub fn analyze_reachable(program: &Program, analysis: &Analysis) -> HashMap<MethodId, ConstFacts> {
+    let mut methods: Vec<MethodId> = analysis
+        .reachable
+        .iter()
+        .map(|&(m, _)| m)
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    methods.sort_unstable();
+    let mut out = HashMap::new();
+    for m in methods {
+        let method = program.method(m);
+        if !method.has_body() {
+            continue;
+        }
+        let facts = analyze_method(method);
+        if !facts.infeasible.is_empty() || !facts.dead_blocks.is_empty() {
+            out.insert(m, facts);
+        }
+    }
+    out
+}
+
+/// Analyzes one method body.
+pub fn analyze_method(method: &Method) -> ConstFacts {
+    let n = method.blocks.len();
+    let mut in_states: Vec<Option<State>> = vec![None; n];
+    let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
+    let mut worklist: VecDeque<BlockId> = VecDeque::new();
+
+    in_states[method.entry().index()] = Some(State::new());
+    worklist.push_back(method.entry());
+
+    while let Some(b) = worklist.pop_front() {
+        let mut state = match &in_states[b.index()] {
+            Some(s) => s.clone(),
+            None => continue,
+        };
+        let block = method.block(b);
+        for stmt in &block.stmts {
+            transfer(stmt, &mut state);
+        }
+        let succs: Vec<BlockId> = match block.terminator {
+            Terminator::If {
+                cond,
+                then_bb,
+                else_bb,
+            } if then_bb != else_bb => match eval(cond, &state) {
+                Some(ConstValue::Bool(true)) => vec![then_bb],
+                Some(ConstValue::Bool(false)) => vec![else_bb],
+                _ => vec![then_bb, else_bb],
+            },
+            ref t => t.successors(),
+        };
+        for succ in succs {
+            let newly_exec = exec_edges.insert((b, succ));
+            let changed = merge_into(&mut in_states[succ.index()], &state);
+            if newly_exec || changed {
+                worklist.push_back(succ);
+            }
+        }
+    }
+
+    let mut facts = ConstFacts::default();
+    for (b, block) in method.iter_blocks() {
+        if in_states[b.index()].is_none() {
+            facts.dead_blocks.push(b);
+            continue;
+        }
+        if let Terminator::If {
+            then_bb, else_bb, ..
+        } = block.terminator
+        {
+            if then_bb != else_bb {
+                for succ in [then_bb, else_bb] {
+                    if !exec_edges.contains(&(b, succ)) {
+                        facts.infeasible.push((b, succ));
+                    }
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// Joins `from` into the entry state at `into`; keys must agree on the
+/// same constant to survive. Returns whether `into` changed.
+fn merge_into(into: &mut Option<State>, from: &State) -> bool {
+    match into {
+        None => {
+            *into = Some(from.clone());
+            true
+        }
+        Some(cur) => {
+            let before = cur.len();
+            cur.retain(|l, v| from.get(l) == Some(v));
+            cur.len() != before
+        }
+    }
+}
+
+fn eval(op: Operand, state: &State) -> Option<ConstValue> {
+    match op {
+        Operand::Const(c) => Some(c),
+        Operand::Local(l) => state.get(&l).copied(),
+    }
+}
+
+fn transfer(stmt: &Stmt, state: &mut State) {
+    match stmt {
+        Stmt::Const { dst, value } => {
+            state.insert(*dst, *value);
+        }
+        Stmt::Move { dst, src } => match state.get(src).copied() {
+            Some(v) => {
+                state.insert(*dst, v);
+            }
+            None => {
+                state.remove(dst);
+            }
+        },
+        Stmt::UnOp { dst, op, src } => {
+            let v = match (op, eval(*src, state)) {
+                (UnOp::Not, Some(ConstValue::Bool(b))) => Some(ConstValue::Bool(!b)),
+                (UnOp::Neg, Some(ConstValue::Int(i))) => Some(ConstValue::Int(i.wrapping_neg())),
+                _ => None,
+            };
+            set_or_clear(state, *dst, v);
+        }
+        Stmt::BinOp { dst, op, lhs, rhs } => {
+            let v = apply_binop(*op, eval(*lhs, state), eval(*rhs, state));
+            set_or_clear(state, *dst, v);
+        }
+        Stmt::New { dst, .. } | Stmt::Load { dst, .. } | Stmt::StaticLoad { dst, .. } => {
+            state.remove(dst);
+        }
+        Stmt::Call { dst, .. } => {
+            if let Some(d) = dst {
+                state.remove(d);
+            }
+        }
+        Stmt::Store { .. } | Stmt::StaticStore { .. } => {}
+    }
+}
+
+fn set_or_clear(state: &mut State, dst: Local, v: Option<ConstValue>) {
+    match v {
+        Some(v) => {
+            state.insert(dst, v);
+        }
+        None => {
+            state.remove(&dst);
+        }
+    }
+}
+
+fn apply_binop(op: BinOp, lhs: Option<ConstValue>, rhs: Option<ConstValue>) -> Option<ConstValue> {
+    let (l, r) = (lhs?, rhs?);
+    match (op, l, r) {
+        (BinOp::Add, ConstValue::Int(a), ConstValue::Int(b)) => {
+            Some(ConstValue::Int(a.wrapping_add(b)))
+        }
+        (BinOp::Sub, ConstValue::Int(a), ConstValue::Int(b)) => {
+            Some(ConstValue::Int(a.wrapping_sub(b)))
+        }
+        (BinOp::Mul, ConstValue::Int(a), ConstValue::Int(b)) => {
+            Some(ConstValue::Int(a.wrapping_mul(b)))
+        }
+        (BinOp::And, ConstValue::Bool(a), ConstValue::Bool(b)) => Some(ConstValue::Bool(a && b)),
+        (BinOp::Or, ConstValue::Bool(a), ConstValue::Bool(b)) => Some(ConstValue::Bool(a || b)),
+        (BinOp::Cmp(CmpOp::Eq), a, b) => Some(ConstValue::Bool(a == b)),
+        (BinOp::Cmp(CmpOp::Ne), a, b) => Some(ConstValue::Bool(a != b)),
+        (BinOp::Cmp(CmpOp::Lt), ConstValue::Int(a), ConstValue::Int(b)) => {
+            Some(ConstValue::Bool(a < b))
+        }
+        (BinOp::Cmp(CmpOp::Le), ConstValue::Int(a), ConstValue::Int(b)) => {
+            Some(ConstValue::Bool(a <= b))
+        }
+        _ => None,
+    }
+}

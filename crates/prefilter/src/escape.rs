@@ -1,0 +1,103 @@
+//! Action-local escape analysis over the pointer-analysis results.
+//!
+//! A reference can travel from one action's code to another's in only
+//! four ways in this model:
+//!
+//! 1. through the heap — the object appears in an instance-field or
+//!    static-field points-to set ([`Analysis::heap_published`]);
+//! 2. as the receiver of a posted/registered action (the object whose
+//!    callback the action runs — `Action::recv_site`, plus whatever the
+//!    action entry's `this` points to);
+//! 3. through a call edge that crosses actions (the harness invoking a
+//!    callback, a framework op entering a posted body);
+//! 4. into an *opaque* callee — a call site with no analyzed target —
+//!    whose effect on its arguments is unmodeled.
+//!
+//! An allocation-site object touched by none of these channels is
+//! confined to the locals of its allocating action's transitive call
+//! region: two distinct actions can never alias a concrete instance of
+//! it, so a candidate pair whose shared bases are all confined cannot be
+//! a race. Abstract objects are classified per *context* of allocation,
+//! which is why the analysis leans on the action-tagged contexts the
+//! solver always maintains (§3.3): under weaker selectors the same
+//! syntactic site may serve many actions, and confinement is exactly the
+//! property that restores action-sensitivity-like precision for it.
+
+use apir::{AllocSiteId, Operand, Program, Stmt};
+use pointer::{Analysis, ObjData, ObjId};
+use std::collections::HashSet;
+
+/// Objects confined to a single action (allocation-site objects only;
+/// view and framework objects are shared by design and never qualify).
+pub fn non_escaping_objects(program: &Program, analysis: &Analysis) -> HashSet<ObjId> {
+    // Channel 1: heap publication.
+    let mut escaped = analysis.heap_published();
+
+    // Channel 2: action receivers.
+    let recv_sites: HashSet<AllocSiteId> = analysis
+        .actions
+        .actions()
+        .iter()
+        .filter_map(|a| a.recv_site)
+        .collect();
+    for action in analysis.actions.actions() {
+        let entry = program.method(action.entry);
+        if let Some(this) = entry.this() {
+            for &ctx in analysis.contexts_of(action.entry) {
+                escaped.extend(analysis.pts_var(action.entry, ctx, this).iter());
+            }
+        }
+    }
+
+    // Channels 3 and 4: pointer arguments at opaque or cross-action call
+    // sites. Framework ops (post, execute, sendMessage, ...) resolve to
+    // no analyzed callee and land in the opaque case; harness→callback
+    // and poster→body edges land in the cross-action case.
+    for &(m, ctx) in &analysis.reachable {
+        let method = program.method(m);
+        if !method.has_body() {
+            continue;
+        }
+        let action = analysis.action_of(ctx);
+        for (_, stmt) in method.iter_stmts() {
+            let Stmt::Call {
+                site,
+                receiver,
+                args,
+                ..
+            } = stmt
+            else {
+                continue;
+            };
+            let leaks = if analysis.is_opaque_call(m, ctx, *site) {
+                true
+            } else {
+                analysis.cg_edges[&(m, ctx, *site)]
+                    .iter()
+                    .any(|&(_, callee_ctx)| analysis.action_of(callee_ctx) != action)
+            };
+            if !leaks {
+                continue;
+            }
+            if let Some(r) = receiver {
+                escaped.extend(analysis.pts_var(m, ctx, *r).iter());
+            }
+            for a in args {
+                if let Operand::Local(l) = a {
+                    escaped.extend(analysis.pts_var(m, ctx, *l).iter());
+                }
+            }
+        }
+    }
+
+    let mut out = HashSet::new();
+    for i in 0..analysis.objs.len() {
+        let o = ObjId(i as u32);
+        if let ObjData::Site { site, .. } = analysis.objs.get(o) {
+            if !escaped.contains(&o) && !recv_sites.contains(site) {
+                out.insert(o);
+            }
+        }
+    }
+    out
+}

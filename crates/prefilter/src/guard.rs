@@ -1,0 +1,346 @@
+//! Dominator-based detection of write-once guard fields.
+//!
+//! The target idiom is the ubiquitous "initialized" flag:
+//!
+//! ```text
+//! // action W:            // action R:
+//! this.data = compute();  if (this.ready) {   // or `x != null`
+//! this.ready = true;          use(this.data);
+//!                         }
+//! ```
+//!
+//! When `ready` is *write-once* — exactly one store statement in the
+//! whole reachable program, contained in a single action `W` — its value
+//! is the type default (`false` / `null`) in every state before `W`'s
+//! store runs, on **every** receiver, which makes the reasoning
+//! alias-free. Three sound consequences, each keyed on a branch edge
+//! that (a) is the unique in-edge of its target block and (b) dominates
+//! the guarded access `x`:
+//!
+//! - **dead-guard**: the edge requires a non-default value but
+//!   `x.action ≺ W` in the happens-before closure — the store can never
+//!   have run during `x.action`, so `x` is dead;
+//! - **established-guard**: the edge requires the default but `W ≺
+//!   x.action`, the unique store provably writes a non-default value,
+//!   and the field is static (single cell) — the default can never be
+//!   observed, so `x` is dead;
+//! - **one-sided pair**: the edge requires a non-default value and the
+//!   writer `W` *is* the other access's action — the pair direction
+//!   "`x.action` runs entirely first" is infeasible (the store has not
+//!   run, the guard still holds its default, `x` is unreachable), which
+//!   is exactly the refuter's criterion for refuting the pair.
+
+use crate::Verdict;
+use android_model::ActionId;
+use apir::{
+    local_defs, BlockId, CmpOp, ConstValue, Dominators, FieldId, Local, Method, MethodId, Operand,
+    Program, Stmt, StmtAddr, Type, UnOp,
+};
+use pointer::{Access, Analysis};
+use shbg::Shbg;
+use std::collections::{HashMap, HashSet};
+
+/// The unique store of a write-once field.
+#[derive(Debug, Clone, Copy)]
+struct WriteOnce {
+    /// The single action whose code contains the store.
+    writer: ActionId,
+    /// Whether the field is static (one cell — enables the
+    /// established-guard rule without alias reasoning).
+    is_static: bool,
+    /// Whether the stored value is provably non-default
+    /// (`true` / a fresh allocation).
+    sets_nondefault: bool,
+}
+
+/// A branch edge `from → to` conditioned on a guard field, where `to`
+/// has `from` as its unique predecessor (so dominance by `to` implies
+/// the edge was taken).
+#[derive(Debug, Clone, Copy)]
+struct GuardEdge {
+    /// The guard field the condition tests.
+    field: FieldId,
+    /// The edge's target block.
+    to: BlockId,
+    /// Whether taking this edge requires the field to hold a
+    /// non-default value (`true`/non-null) rather than the default.
+    requires_nondefault: bool,
+}
+
+/// Lazily-computed guard facts over one analyzed app.
+pub struct GuardAnalysis<'a> {
+    program: &'a Program,
+    graph: &'a Shbg,
+    write_once: HashMap<FieldId, WriteOnce>,
+    doms: HashMap<MethodId, Dominators>,
+    edges: HashMap<MethodId, Vec<GuardEdge>>,
+}
+
+impl<'a> GuardAnalysis<'a> {
+    /// Scans the reachable program for write-once fields.
+    pub fn new(program: &'a Program, analysis: &'a Analysis, graph: &'a Shbg) -> Self {
+        Self {
+            program,
+            graph,
+            write_once: find_write_once_fields(program, analysis),
+            doms: HashMap::new(),
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Applies the guard rules to a candidate pair, in deterministic
+    /// order (dead-access rules on `a` then `b`, then the one-sided pair
+    /// rule on `a` then `b`).
+    pub fn pair_verdict(&mut self, a: &Access, b: &Access) -> Option<Verdict> {
+        self.dead_verdict(a)
+            .or_else(|| self.dead_verdict(b))
+            .or_else(|| self.one_sided_verdict(a, b.action))
+            .or_else(|| self.one_sided_verdict(b, a.action))
+    }
+
+    /// Dead-guard and established-guard rules: is `x` unreachable under
+    /// every schedule because a dominating guard edge can never be taken
+    /// during `x.action`?
+    fn dead_verdict(&mut self, x: &Access) -> Option<Verdict> {
+        for g in self.dominating_guards(x.method, x.addr.block) {
+            let Some(&wo) = self.write_once.get(&g.field) else {
+                continue;
+            };
+            if wo.writer == x.action {
+                continue;
+            }
+            let dead = if g.requires_nondefault {
+                // The store has not run during any of x.action.
+                self.graph.ordered(x.action, wo.writer)
+            } else {
+                // The store ran before x.action and wrote non-default.
+                wo.is_static && wo.sets_nondefault && self.graph.ordered(wo.writer, x.action)
+            };
+            if dead {
+                return Some(Verdict::Guarded {
+                    guard: g.field,
+                    writer: wo.writer,
+                });
+            }
+        }
+        None
+    }
+
+    /// One-sided pair rule: `x` is guarded on a non-default value whose
+    /// unique writer is the partner's action, so the pair direction with
+    /// `x.action` first has no feasible witness.
+    fn one_sided_verdict(&mut self, x: &Access, other: ActionId) -> Option<Verdict> {
+        for g in self.dominating_guards(x.method, x.addr.block) {
+            if !g.requires_nondefault {
+                continue;
+            }
+            let Some(&wo) = self.write_once.get(&g.field) else {
+                continue;
+            };
+            if wo.writer == other && wo.writer != x.action {
+                return Some(Verdict::Guarded {
+                    guard: g.field,
+                    writer: wo.writer,
+                });
+            }
+        }
+        None
+    }
+
+    /// Guard edges of `method` whose target dominates `block`.
+    fn dominating_guards(&mut self, method: MethodId, block: BlockId) -> Vec<GuardEdge> {
+        let m = self.program.method(method);
+        let doms = self
+            .doms
+            .entry(method)
+            .or_insert_with(|| Dominators::compute(m));
+        let program = self.program;
+        self.edges
+            .entry(method)
+            .or_insert_with(|| guard_edges(program, m))
+            .iter()
+            .filter(|g| doms.dominates(g.to, block))
+            .copied()
+            .collect()
+    }
+}
+
+/// Fields with exactly one store statement in the reachable program,
+/// that store sitting in code reachable from exactly one action.
+fn find_write_once_fields(program: &Program, analysis: &Analysis) -> HashMap<FieldId, WriteOnce> {
+    let mut methods: Vec<MethodId> = analysis
+        .reachable
+        .iter()
+        .map(|&(m, _)| m)
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    methods.sort_unstable();
+
+    // field → (store count, the last store's location and value).
+    let mut stores: HashMap<FieldId, (usize, MethodId, StmtAddr, Operand, bool)> = HashMap::new();
+    for &mid in &methods {
+        let method = program.method(mid);
+        if !method.has_body() {
+            continue;
+        }
+        for (addr, stmt) in method.iter_stmts() {
+            let (field, value, is_static) = match stmt {
+                Stmt::Store { field, value, .. } => (*field, *value, false),
+                Stmt::StaticStore { field, value } => (*field, *value, true),
+                _ => continue,
+            };
+            stores
+                .entry(field)
+                .and_modify(|e| e.0 += 1)
+                .or_insert((1, mid, addr, value, is_static));
+        }
+    }
+
+    let mut out = HashMap::new();
+    for (field, (count, mid, addr, value, is_static)) in stores {
+        if count != 1 {
+            continue;
+        }
+        // The store's method must be reachable from exactly one action.
+        let mut writers: HashSet<ActionId> = HashSet::new();
+        for &ctx in analysis.contexts_of(mid) {
+            writers.insert(analysis.action_of(ctx));
+        }
+        let mut it = writers.into_iter();
+        let (Some(writer), None) = (it.next(), it.next()) else {
+            continue;
+        };
+        let method = program.method(mid);
+        out.insert(
+            field,
+            WriteOnce {
+                writer,
+                is_static,
+                sets_nondefault: stores_nondefault(method, addr, value),
+            },
+        );
+    }
+    out
+}
+
+/// Whether the stored value is provably non-default for a guard field:
+/// the literal `true`, or a freshly allocated object.
+fn stores_nondefault(method: &Method, addr: StmtAddr, value: Operand) -> bool {
+    match local_defs::resolve_const_operand(method, addr, value) {
+        Some(ConstValue::Bool(b)) => b,
+        Some(ConstValue::Int(i)) => i != 0,
+        Some(ConstValue::Str(_)) => true,
+        Some(ConstValue::Null) => false,
+        None => match value {
+            Operand::Local(l) => matches!(
+                local_defs::find_value_origin(method, addr, l),
+                Some((_, Stmt::New { .. }))
+            ),
+            Operand::Const(_) => false,
+        },
+    }
+}
+
+/// Extracts the guard edges of one method: for each `If` whose condition
+/// traces to a boolean-field load or a null-check of a reference-field
+/// load, the then/else edges whose target has the branch as its unique
+/// predecessor.
+fn guard_edges(program: &Program, method: &Method) -> Vec<GuardEdge> {
+    let preds = method.predecessors();
+    let mut out = Vec::new();
+    for edge in method.branch_edges() {
+        if preds[edge.to.index()].as_slice() != [edge.from] {
+            continue;
+        }
+        let branch_addr = StmtAddr::new(
+            method.id,
+            edge.from,
+            method.block(edge.from).stmts.len() as u32,
+        );
+        let Some((field, then_requires_nondefault)) =
+            classify_cond(program, method, branch_addr, edge.cond)
+        else {
+            continue;
+        };
+        out.push(GuardEdge {
+            field,
+            to: edge.to,
+            requires_nondefault: if edge.taken {
+                then_requires_nondefault
+            } else {
+                !then_requires_nondefault
+            },
+        });
+    }
+    out
+}
+
+/// Traces a branch condition to a guard-field test. Returns the field
+/// and whether the *then* edge requires a non-default value.
+fn classify_cond(
+    program: &Program,
+    method: &Method,
+    addr: StmtAddr,
+    cond: Operand,
+) -> Option<(FieldId, bool)> {
+    let l = cond.as_local()?;
+    trace_cond(program, method, addr, l, false, 8)
+}
+
+fn trace_cond(
+    program: &Program,
+    method: &Method,
+    addr: StmtAddr,
+    local: Local,
+    negated: bool,
+    fuel: u8,
+) -> Option<(FieldId, bool)> {
+    let fuel = fuel.checked_sub(1)?;
+    let (def_addr, def) = local_defs::find_def(method, addr, local)?;
+    match def {
+        Stmt::Load { field, .. } | Stmt::StaticLoad { field, .. } => {
+            // `if (flag)`: true ⇔ non-default, for boolean fields only.
+            (program.field(*field).ty == Type::Bool).then_some((*field, !negated))
+        }
+        Stmt::Move { src, .. } => trace_cond(program, method, def_addr, *src, negated, fuel),
+        Stmt::UnOp {
+            op: UnOp::Not,
+            src: Operand::Local(s),
+            ..
+        } => trace_cond(program, method, def_addr, *s, !negated, fuel),
+        Stmt::BinOp { op, lhs, rhs, .. } => {
+            let cmp = match op {
+                apir::BinOp::Cmp(c @ (CmpOp::Eq | CmpOp::Ne)) => *c,
+                _ => return None,
+            };
+            let field = null_compared_field(program, method, def_addr, *lhs, *rhs)
+                .or_else(|| null_compared_field(program, method, def_addr, *rhs, *lhs))?;
+            // `x == null`: true ⇔ default; `x != null`: true ⇔ non-default.
+            let raw = cmp == CmpOp::Ne;
+            Some((field, raw != negated))
+        }
+        _ => None,
+    }
+}
+
+/// If `konst` is the literal `null` and `loaded` traces to a
+/// reference-field load, returns that field.
+fn null_compared_field(
+    program: &Program,
+    method: &Method,
+    addr: StmtAddr,
+    loaded: Operand,
+    konst: Operand,
+) -> Option<FieldId> {
+    if local_defs::resolve_const_operand(method, addr, konst) != Some(ConstValue::Null) {
+        return None;
+    }
+    let l = loaded.as_local()?;
+    match local_defs::find_value_origin(method, addr, l)? {
+        (_, Stmt::Load { field, .. }) | (_, Stmt::StaticLoad { field, .. }) => {
+            matches!(program.field(*field).ty, Type::Ref(_)).then_some(*field)
+        }
+        _ => None,
+    }
+}
