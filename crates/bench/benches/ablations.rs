@@ -97,6 +97,7 @@ fn index_sensitivity() {
     for (label, on) in [("index_sensitive", true), ("summarized", false)] {
         let opts = pointer::AnalysisOptions {
             index_sensitive: on,
+            ..pointer::AnalysisOptions::default()
         };
         time(&format!("analysis/{label}"), 20, || {
             pointer::analyze_opts(&harness, SelectorKind::ActionSensitive(1), opts).cg_edge_count()

@@ -80,7 +80,7 @@ fn main() {
     });
 
     // The work counters behind the timings (one staged run end to end).
-    let result = Sierra::new().analyze_app(app);
+    let result = Sierra::new().analyze_app(app.clone());
     let m = &result.metrics;
     group("table4_work_counters");
     println!(
@@ -209,6 +209,80 @@ fn main() {
         t_refute_nopf.as_secs_f64() / t_refute_pf.as_secs_f64().max(1e-9)
     );
 
+    // Pointer-solver ablation: online cycle collapse on a cycle-chain
+    // stress app (work counters and wall clock), plus the overlapped
+    // comparison pass end to end on the medium app.
+    group("pointer_ablation");
+    let cyc_harness = harness_gen::generate(sierra_bench::pointer_cycle_stress_app(48, 8));
+    let analyze_cycles = |collapse: bool| {
+        pointer::analyze_opts(
+            &cyc_harness,
+            SelectorKind::ActionSensitive(1),
+            pointer::AnalysisOptions {
+                cycle_collapse: collapse,
+                ..pointer::AnalysisOptions::default()
+            },
+        )
+    };
+    let pa_on = analyze_cycles(true);
+    let pa_off = analyze_cycles(false);
+    assert!(
+        pa_on.stats.collapsed_sccs >= 48,
+        "every chained cycle must collapse, got {}",
+        pa_on.stats.collapsed_sccs
+    );
+    assert!(
+        pa_on.stats.worklist_iterations < pa_off.stats.worklist_iterations,
+        "collapse must reduce worklist iterations ({} vs {})",
+        pa_on.stats.worklist_iterations,
+        pa_off.stats.worklist_iterations
+    );
+    assert!(
+        pa_on.stats.propagations < pa_off.stats.propagations,
+        "collapse must reduce propagations ({} vs {})",
+        pa_on.stats.propagations,
+        pa_off.stats.propagations
+    );
+    println!(
+        "cycle fixture (48 cycles × 8 locals): {} SCC(s) collapsed ({} node(s)); \
+         worklist iterations {} vs {} without collapse, propagations {} vs {}",
+        pa_on.stats.collapsed_sccs,
+        pa_on.stats.collapsed_nodes,
+        pa_on.stats.worklist_iterations,
+        pa_off.stats.worklist_iterations,
+        pa_on.stats.propagations,
+        pa_off.stats.propagations,
+    );
+    let t_collapse_on = time("cg_pa_cycle_collapse_on", 20, || {
+        analyze_cycles(true).stats.worklist_iterations
+    });
+    let t_collapse_off = time("cg_pa_cycle_collapse_off", 20, || {
+        analyze_cycles(false).stats.worklist_iterations
+    });
+
+    let overlap_run = |overlap: bool| {
+        let cfg = SierraConfig::builder().overlap_compare(overlap).build();
+        Sierra::with_config(cfg).analyze_app(app.clone())
+    };
+    let overlap_probe = overlap_run(true);
+    let overlap_saved = overlap_probe.metrics.overlap_saved;
+    println!(
+        "overlapped comparison pass: compare {:.3?} hidden behind refutation, {:.3?} saved",
+        overlap_probe.metrics.timings.compare, overlap_saved
+    );
+    let t_overlap_on = time("pipeline_overlap_compare_on", 10, || {
+        overlap_run(true).races.len()
+    });
+    let t_overlap_off = time("pipeline_overlap_compare_off", 10, || {
+        overlap_run(false).races.len()
+    });
+    println!(
+        "end-to-end with overlap {:.3?} vs serial {:.3?} ({:.2}x)",
+        t_overlap_on,
+        t_overlap_off,
+        t_overlap_off.as_secs_f64() / t_overlap_on.as_secs_f64().max(1e-9)
+    );
+
     // Machine-readable record for the CI artifact (no serde in-tree, so
     // the JSON is assembled by hand).
     let us = |d: Duration| d.as_secs_f64() * 1e6;
@@ -251,6 +325,19 @@ fn main() {
             "    \"infeasible_edges\": {},\n",
             "    \"refute_with_prefilter_us\": {:.3},\n",
             "    \"refute_without_prefilter_us\": {:.3}\n",
+            "  }},\n",
+            "  \"pointer_ablation\": {{\n",
+            "    \"collapsed_sccs\": {},\n",
+            "    \"collapsed_nodes\": {},\n",
+            "    \"worklist_iterations_collapse_on\": {},\n",
+            "    \"worklist_iterations_collapse_off\": {},\n",
+            "    \"propagations_collapse_on\": {},\n",
+            "    \"propagations_collapse_off\": {},\n",
+            "    \"cg_pa_collapse_on_us\": {:.3},\n",
+            "    \"cg_pa_collapse_off_us\": {:.3},\n",
+            "    \"overlap_saved_us\": {:.3},\n",
+            "    \"pipeline_overlap_on_us\": {:.3},\n",
+            "    \"pipeline_overlap_off_us\": {:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -281,6 +368,17 @@ fn main() {
         ps.infeasible_edges,
         us(t_refute_pf),
         us(t_refute_nopf),
+        pa_on.stats.collapsed_sccs,
+        pa_on.stats.collapsed_nodes,
+        pa_on.stats.worklist_iterations,
+        pa_off.stats.worklist_iterations,
+        pa_on.stats.propagations,
+        pa_off.stats.propagations,
+        us(t_collapse_on),
+        us(t_collapse_off),
+        us(overlap_saved),
+        us(t_overlap_on),
+        us(t_overlap_off),
     );
     std::fs::write("BENCH_table4.json", &json).expect("write BENCH_table4.json");
     println!("wrote BENCH_table4.json");

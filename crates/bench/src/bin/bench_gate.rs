@@ -1,0 +1,232 @@
+//! Bench regression gate: compares the work counters of a fresh
+//! `BENCH_table4.json` (written by the `table4_efficiency` bench) against
+//! the checked-in `BENCH_baseline.json` and exits nonzero when a gated
+//! counter drifts outside the tolerance band.
+//!
+//! Only deterministic *work counters* are gated — worklist iterations,
+//! propagations, rule applications, prune tallies, and the cycle-collapse
+//! ablation deltas. Wall-clock keys (`*_us`, `stage_mean_us`) are never
+//! compared: they depend on the host and would make the gate flaky. On
+//! top of the per-counter band the gate checks the two structural
+//! invariants the pointer overhaul exists to provide: collapse must
+//! reduce both worklist iterations and propagations on the cycle
+//! fixture.
+//!
+//! When an intentional change shifts a counter past the band, rerun
+//! `cargo bench -p sierra-bench --bench table4_efficiency` and refresh
+//! the gated keys in `crates/bench/BENCH_baseline.json` in the same
+//! commit, so the diff documents the new cost.
+//!
+//! Usage: `bench_gate [current.json] [baseline.json]` (defaults to the
+//! crate-relative paths used by CI).
+
+use std::process::ExitCode;
+
+/// Relative drift allowed per counter. The counters are deterministic on
+/// a given commit, so the band only absorbs drift from intentional code
+/// changes small enough not to matter (e.g. one extra constraint node);
+/// anything larger must come with a baseline refresh.
+const TOLERANCE: f64 = 0.10;
+
+/// Counter keys gated against the baseline. Quoted-key extraction is
+/// exact, so `worklist_iterations` does not match
+/// `worklist_iterations_collapse_on`.
+const GATED: &[&str] = &[
+    // counters
+    "worklist_iterations",
+    "propagations",
+    "cg_edges",
+    "pts_set_bytes",
+    "rule_applications",
+    "fixpoint_rounds",
+    "closure_sccs",
+    "refuter_paths",
+    "refuter_queries",
+    // prefilter
+    "stress_candidates",
+    "pruned_pairs",
+    "pruned_escape",
+    "pruned_guarded",
+    "pruned_constprop",
+    "infeasible_edges",
+    // pointer ablation
+    "collapsed_sccs",
+    "collapsed_nodes",
+    "worklist_iterations_collapse_on",
+    "worklist_iterations_collapse_off",
+    "propagations_collapse_on",
+    "propagations_collapse_off",
+];
+
+/// Extracts the numeric value of `"key": <number>` from `json`. No serde
+/// in-tree, and the bench JSON is flat and machine-written, so a quoted
+/// exact-key scan is sufficient and keeps the gate dependency-free.
+fn counter(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn within_band(current: f64, baseline: f64) -> bool {
+    (current - baseline).abs() <= TOLERANCE * baseline.abs()
+}
+
+fn run(current: &str, baseline: &str) -> Result<(), Vec<String>> {
+    let mut violations = Vec::new();
+    for key in GATED {
+        let base = counter(baseline, key);
+        let cur = counter(current, key);
+        match (base, cur) {
+            (Some(b), Some(c)) => {
+                if !within_band(c, b) {
+                    violations.push(format!(
+                        "{key}: {c} is outside ±{:.0}% of baseline {b}",
+                        TOLERANCE * 100.0
+                    ));
+                }
+            }
+            (Some(_), None) => violations.push(format!("{key}: missing from current run")),
+            (None, Some(_)) => violations.push(format!("{key}: missing from baseline")),
+            // Absent from both: nothing to compare (the bench does not
+            // emit this counter), so the gate has no opinion.
+            (None, None) => {}
+        }
+    }
+    // Structural invariants of the cycle-collapse ablation, independent
+    // of any baseline value.
+    let pairs = [
+        (
+            "worklist_iterations_collapse_on",
+            "worklist_iterations_collapse_off",
+        ),
+        ("propagations_collapse_on", "propagations_collapse_off"),
+    ];
+    for (on_key, off_key) in pairs {
+        if let (Some(on), Some(off)) = (counter(current, on_key), counter(current, off_key)) {
+            if on >= off {
+                violations.push(format!(
+                    "{on_key} ({on}) must be below {off_key} ({off}): cycle collapse stopped paying for itself"
+                ));
+            }
+        }
+    }
+    if let Some(sccs) = counter(current, "collapsed_sccs") {
+        if sccs < 1.0 {
+            violations.push("collapsed_sccs: cycle fixture no longer collapses anything".into());
+        }
+    }
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let current_path = args
+        .next()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_table4.json").to_owned());
+    let baseline_path = args
+        .next()
+        .unwrap_or_else(|| concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_baseline.json").to_owned());
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {p}: {e}");
+            None
+        }
+    };
+    let (Some(current), Some(baseline)) = (read(&current_path), read(&baseline_path)) else {
+        return ExitCode::FAILURE;
+    };
+    match run(&current, &baseline) {
+        Ok(()) => {
+            println!(
+                "bench_gate: {} counters within ±{:.0}% of baseline, invariants hold",
+                GATED.len(),
+                TOLERANCE * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(violations) => {
+            eprintln!("bench_gate: {} violation(s):", violations.len());
+            for v in &violations {
+                eprintln!("  {v}");
+            }
+            eprintln!(
+                "if intentional, refresh crates/bench/BENCH_baseline.json from a fresh bench run"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+      "counters": { "worklist_iterations": 100, "propagations": 200 },
+      "pointer_ablation": {
+        "collapsed_sccs": 4,
+        "worklist_iterations_collapse_on": 10,
+        "worklist_iterations_collapse_off": 40,
+        "propagations_collapse_on": 50,
+        "propagations_collapse_off": 90
+      }
+    }"#;
+
+    #[test]
+    fn quoted_key_extraction_is_exact() {
+        assert_eq!(counter(BASE, "worklist_iterations"), Some(100.0));
+        assert_eq!(counter(BASE, "worklist_iterations_collapse_on"), Some(10.0));
+        assert_eq!(counter(BASE, "propagations"), Some(200.0));
+        assert_eq!(counter(BASE, "nonexistent"), None);
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        assert!(run(BASE, BASE).is_ok());
+    }
+
+    #[test]
+    fn drift_beyond_band_fails() {
+        let drifted = BASE.replace("\"propagations\": 200", "\"propagations\": 260");
+        let err = run(&drifted, BASE).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.starts_with("propagations:")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn drift_within_band_passes() {
+        let drifted = BASE.replace("\"propagations\": 200", "\"propagations\": 210");
+        assert!(run(&drifted, BASE).is_ok());
+    }
+
+    #[test]
+    fn collapse_invariants_are_enforced() {
+        let broken = BASE.replace(
+            "\"worklist_iterations_collapse_on\": 10",
+            "\"worklist_iterations_collapse_on\": 40",
+        );
+        let err = run(&broken, BASE).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("stopped paying")), "{err:?}");
+    }
+
+    #[test]
+    fn missing_counter_fails() {
+        let gutted = BASE.replace(", \"propagations\": 200", "");
+        let err = run(&gutted, BASE).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("missing from current run")),
+            "{err:?}"
+        );
+    }
+}

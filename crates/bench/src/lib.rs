@@ -5,7 +5,7 @@
 //! shared fixtures and the std-only timing harness they use.
 
 use android_model::AndroidApp;
-use apir::{ConstValue, InvokeKind, Operand, Type};
+use apir::{ConstValue, InvokeKind, Local, Operand, Type};
 use corpus::GroundTruth;
 use std::time::{Duration, Instant};
 
@@ -221,6 +221,58 @@ pub fn refutation_stress_app(diamonds: usize, fields: usize) -> AndroidApp {
     mb.finish();
 
     app.finish().expect("valid stress app")
+}
+
+/// A pointer-analysis stress app whose constraint graph is a chain of
+/// `cycles` copy cycles, each `cycle_len` locals long, with one fresh
+/// allocation feeding every cycle.
+///
+/// Each cycle's entry local also receives the previous cycle's value, so
+/// points-to sets grow along the chain: cycle `i` holds `i + 1` objects.
+/// Without online cycle collapse every delta arriving at a cycle must
+/// circulate through all `cycle_len` members (the worklist fires each
+/// member once per incoming object); with collapse each cycle folds onto
+/// a single representative after its first round. The fixture therefore
+/// separates the two configurations by a wide, stable margin in
+/// `worklist_iterations` and `propagations`, which is what the
+/// `pointer_ablation` benchmark group measures and the bench gate pins.
+///
+/// All copy statements are emitted before any allocation: `add_edge`
+/// eagerly unions the source's current points-to set into the target, so
+/// alloc-then-move program order would saturate the whole chain during
+/// constraint construction and leave nothing for the worklist (or the
+/// collapse) to do. Building every edge over still-empty sets forces all
+/// flow through worklist propagation, which is the code path under test.
+pub fn pointer_cycle_stress_app(cycles: usize, cycle_len: usize) -> AndroidApp {
+    assert!(cycle_len >= 2, "a cycle needs at least two locals");
+    let mut app = android_model::AndroidAppBuilder::new("PtrCycleStress");
+    let fw = app.framework().clone();
+    let activity = app.activity("Main").build();
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let all: Vec<Vec<Local>> = (0..cycles)
+        .map(|_| (0..cycle_len).map(|_| mb.fresh_local()).collect())
+        .collect();
+    let seeds: Vec<Local> = (0..cycles).map(|_| mb.fresh_local()).collect();
+    let mut prev: Option<Local> = None;
+    for (locals, &seed) in all.iter().zip(&seeds) {
+        mb.move_(locals[0], seed);
+        if let Some(p) = prev {
+            // Chain the cycles so points-to sets accumulate downstream.
+            mb.move_(locals[0], p);
+        }
+        for w in locals.windows(2) {
+            mb.move_(w[1], w[0]);
+        }
+        mb.move_(locals[0], locals[cycle_len - 1]); // close the cycle
+        prev = Some(locals[0]);
+    }
+    for &seed in &seeds {
+        mb.new_(seed, fw.object);
+    }
+    mb.ret(None);
+    mb.finish();
+    app.finish().expect("valid cycle stress app")
 }
 
 /// Times `f` over `iters` iterations after one untimed warm-up run,

@@ -41,6 +41,10 @@ pub struct AppRow {
     pub eventracer_races: usize,
     /// Pointer-analysis worklist iterations.
     pub pa_worklist_iters: usize,
+    /// Constraint-graph SCCs collapsed online by the pointer solver.
+    pub pa_collapsed_sccs: usize,
+    /// Constraint-graph nodes folded away by cycle collapse.
+    pub pa_collapsed_nodes: usize,
     /// Call-graph edges.
     pub cg_edges: usize,
     /// SHBG rule applications (all rules).
@@ -59,6 +63,12 @@ pub struct AppRow {
     pub t_prefilter: Duration,
     /// Stage time: refutation.
     pub t_refutation: Duration,
+    /// Stage time: the no-AS comparison pass (Table 3's RP-noAS column).
+    pub t_compare: Duration,
+    /// Whether the comparison pass ran overlapped with refutation.
+    pub compare_overlapped: bool,
+    /// Wall-clock saved by overlapping comparison with refutation.
+    pub overlap_saved: Duration,
     /// Total pipeline time.
     pub t_total: Duration,
 }
@@ -121,6 +131,8 @@ pub fn run_app(
         eventracer_eval,
         eventracer_races: er_report.races.len(),
         pa_worklist_iters: m.pointer.worklist_iterations,
+        pa_collapsed_sccs: m.pointer.collapsed_sccs,
+        pa_collapsed_nodes: m.pointer.collapsed_nodes,
         cg_edges: m.pointer.cg_edges,
         shbg_rule_apps: m.shbg.total_applications(),
         refuter_paths: m.refuter.paths,
@@ -130,6 +142,9 @@ pub fn run_app(
         t_hbg: m.timings.hbg,
         t_prefilter: m.timings.prefilter,
         t_refutation: m.timings.refutation,
+        t_compare: m.timings.compare,
+        compare_overlapped: m.compare_overlapped,
+        overlap_saved: m.overlap_saved,
         t_total: m.timings.total,
     }
 }
@@ -278,14 +293,18 @@ pub fn table4(rows: &[AppRow]) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:>10} {:>8} {:>11} {:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}\n",
+        "{:<17} {:>10} {:>8} {:>11} {:>12} {:>11} {:>11} {:>10} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6}\n",
         "App",
         "CG+PA(ms)",
         "HBG(ms)",
         "Prefilt(ms)",
         "Refute(ms)",
+        "Compare(ms)",
+        "OvlSave(ms)",
         "Total(ms)",
         "PAiters",
+        "SCCs",
+        "CollNod",
         "CGedges",
         "HBapps",
         "Paths",
@@ -298,14 +317,18 @@ pub fn table4(rows: &[AppRow]) -> String {
             continue;
         }
         out.push_str(&format!(
-            "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}\n",
+            "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>11.2} {:>11.2} {:>10.2} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6}\n",
             r.name,
             ms(r.t_cg_pa),
             ms(r.t_hbg),
             ms(r.t_prefilter),
             ms(r.t_refutation),
+            ms(r.t_compare),
+            ms(r.overlap_saved),
             ms(r.t_total),
             r.pa_worklist_iters,
+            r.pa_collapsed_sccs,
+            r.pa_collapsed_nodes,
             r.cg_edges,
             r.shbg_rule_apps,
             r.refuter_paths,
@@ -318,14 +341,18 @@ pub fn table4(rows: &[AppRow]) -> String {
         median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     out.push_str(&format!(
-        "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>6.0} {:>6.0}\n",
+        "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>11.2} {:>11.2} {:>10.2} {:>8.0} {:>5.0} {:>7.0} {:>8.0} {:>8.0} {:>6.0} {:>6.0} {:>6.0}\n",
         "MEDIAN",
         med(&|r| ms(r.t_cg_pa)),
         med(&|r| ms(r.t_hbg)),
         med(&|r| ms(r.t_prefilter)),
         med(&|r| ms(r.t_refutation)),
+        med(&|r| ms(r.t_compare)),
+        med(&|r| ms(r.overlap_saved)),
         med(&|r| ms(r.t_total)),
         med(&|r| r.pa_worklist_iters as f64),
+        med(&|r| r.pa_collapsed_sccs as f64),
+        med(&|r| r.pa_collapsed_nodes as f64),
         med(&|r| r.cg_edges as f64),
         med(&|r| r.shbg_rule_apps as f64),
         med(&|r| r.refuter_paths as f64),
@@ -450,6 +477,8 @@ mod tests {
         let t4 = table4(std::slice::from_ref(&row));
         assert!(t4.contains("CG+PA") && t4.contains("PAiters"));
         assert!(t4.contains("Prefilt(ms)") && t4.contains("Pruned") && t4.contains("Infeas"));
+        assert!(t4.contains("Compare(ms)") && t4.contains("OvlSave(ms)"));
+        assert!(t4.contains("SCCs") && t4.contains("CollNod"));
         let t5 = table5(std::slice::from_ref(&row));
         assert!(t5.contains("medians"));
         let cmp = comparison_summary(std::slice::from_ref(&row));

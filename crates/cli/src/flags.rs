@@ -11,6 +11,12 @@
 //!                       0 = all cores                   (default 1)
 //! --no-prefilter        disable the pre-refutation static pruning
 //!                       stage (escape/guard/constprop)
+//! --no-cycle-collapse   disable online cycle collapse in the pointer
+//!                       solver (ablation)
+//! --worklist <POLICY>   pointer solver worklist: topo-lrf | fifo
+//!                       (default topo-lrf)
+//! --no-overlap-compare  run the comparison pass serially instead of
+//!                       overlapped with refutation
 //! ```
 //!
 //! [`CommonFlags::parse`] consumes the recognized flags (and their
@@ -29,9 +35,11 @@ pub struct CommonFlags {
 }
 
 impl CommonFlags {
-    /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`, and
-    /// `--no-prefilter` from `args`, removing each recognized flag (and
-    /// its value, if any). Unknown flags and positionals are untouched.
+    /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`,
+    /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`, and
+    /// `--no-overlap-compare` from `args`, removing each recognized flag
+    /// (and its value, if any). Unknown flags and positionals are
+    /// untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
         let mut builder = SierraConfig::builder();
         let mut jobs = 0usize;
@@ -60,6 +68,16 @@ impl CommonFlags {
         }
         if take_switch(args, "--no-prefilter") {
             builder = builder.no_prefilter(true);
+        }
+        if take_switch(args, "--no-cycle-collapse") {
+            builder = builder.no_cycle_collapse(true);
+        }
+        if let Some(v) = take_flag(args, "--worklist")? {
+            let policy: pointer::WorklistPolicy = v.parse()?;
+            builder = builder.worklist_policy(policy);
+        }
+        if take_switch(args, "--no-overlap-compare") {
+            builder = builder.overlap_compare(false);
         }
         Ok(Self {
             jobs,
@@ -162,12 +180,42 @@ mod tests {
     }
 
     #[test]
+    fn pointer_ablation_flags_are_consumed() {
+        let mut args = argv(&[
+            "table4",
+            "--no-cycle-collapse",
+            "--worklist",
+            "fifo",
+            "--no-overlap-compare",
+        ]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(!flags.config.pointer_options.cycle_collapse);
+        assert_eq!(
+            flags.config.pointer_options.worklist,
+            pointer::WorklistPolicy::Fifo
+        );
+        assert!(!flags.config.overlap_compare);
+        assert_eq!(args, argv(&["table4"]));
+
+        let mut args = argv(&["table4"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(flags.config.pointer_options.cycle_collapse);
+        assert_eq!(
+            flags.config.pointer_options.worklist,
+            pointer::WorklistPolicy::TopoLrf
+        );
+        assert!(flags.config.overlap_compare);
+    }
+
+    #[test]
     fn rejects_bad_values() {
         assert!(CommonFlags::parse(&mut argv(&["x", "--context", "bogus"])).is_err());
         assert!(CommonFlags::parse(&mut argv(&["x", "--jobs", "many"])).is_err());
         assert!(CommonFlags::parse(&mut argv(&["x", "--budget"])).is_err());
         assert!(CommonFlags::parse(&mut argv(&["x", "--refute-jobs", "-1"])).is_err());
         assert!(CommonFlags::parse(&mut argv(&["x", "--refute-jobs"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--worklist", "dfs"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--worklist"])).is_err());
     }
 
     #[test]

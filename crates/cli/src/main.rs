@@ -19,6 +19,9 @@
 //! --jobs <N>           corpus engine worker threads (0 = all cores)
 //! --refute-jobs <N>    per-app refutation worker threads (0 = all cores)
 //! --no-prefilter       disable pre-refutation static pruning
+//! --no-cycle-collapse  disable online cycle collapse in the pointer solver
+//! --worklist <POLICY>  pointer solver worklist: topo-lrf | fifo
+//! --no-overlap-compare run the comparison pass serially, not overlapped
 //! ```
 
 use eventracer::EventRacerConfig;
@@ -27,7 +30,8 @@ use sierra_cli::flags::{take_raw_flag, CommonFlags};
 use sierra_core::Sierra;
 
 const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>>\n\
-                     shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter";
+                     shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter\n\
+                     \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

@@ -13,7 +13,7 @@ use crate::report::RaceReport;
 use crate::session::AnalysisSession;
 use android_model::AndroidApp;
 use harness_gen::HarnessResult;
-use pointer::{Analysis, SelectorKind, SolverStats};
+use pointer::{Analysis, AnalysisOptions, SelectorKind, SolverStats, WorklistPolicy};
 use prefilter::{PrefilterStats, PrunedPair};
 use shbg::{HbRule, Shbg, ShbgStats};
 use std::sync::Arc;
@@ -43,6 +43,16 @@ pub struct SierraConfig {
     /// default `1` = serial). Verdicts are thread-count-independent:
     /// any value produces byte-identical race reports.
     pub refute_jobs: usize,
+    /// Pointer-analysis options for the main pass (cycle collapse,
+    /// worklist policy, index sensitivity). The comparison pass inherits
+    /// them, so an ablation flips both runs together.
+    pub pointer_options: AnalysisOptions,
+    /// Run the comparison pass (`compare_without_as`) concurrently with
+    /// the refutation stage instead of serially after it, hiding its
+    /// full PA+SHBG+candidates latency behind symbolic execution. The
+    /// comparison result is a deterministic count computed from shared
+    /// immutable inputs, so overlapping cannot change any output.
+    pub overlap_compare: bool,
 }
 
 impl Default for SierraConfig {
@@ -54,6 +64,8 @@ impl Default for SierraConfig {
             skip_refutation: false,
             no_prefilter: false,
             refute_jobs: 1,
+            pointer_options: AnalysisOptions::default(),
+            overlap_compare: true,
         }
     }
 }
@@ -114,6 +126,32 @@ impl SierraConfigBuilder {
         self
     }
 
+    /// Replaces the pointer-analysis options wholesale.
+    pub fn pointer_options(mut self, options: AnalysisOptions) -> Self {
+        self.cfg.pointer_options = options;
+        self
+    }
+
+    /// Disables (or re-enables) online cycle collapse in the solver
+    /// (the `--no-cycle-collapse` ablation).
+    pub fn no_cycle_collapse(mut self, yes: bool) -> Self {
+        self.cfg.pointer_options.cycle_collapse = !yes;
+        self
+    }
+
+    /// Sets the solver's worklist scheduling policy.
+    pub fn worklist_policy(mut self, policy: WorklistPolicy) -> Self {
+        self.cfg.pointer_options.worklist = policy;
+        self
+    }
+
+    /// Enables or disables overlapping the comparison pass with
+    /// refutation.
+    pub fn overlap_compare(mut self, yes: bool) -> Self {
+        self.cfg.overlap_compare = yes;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SierraConfig {
         self.cfg
@@ -133,6 +171,9 @@ pub struct StageTimings {
     pub prefilter: Duration,
     /// Symbolic-execution refutation.
     pub refutation: Duration,
+    /// The comparison pass (`racy pairs w/o AS`), whether it ran
+    /// overlapped with refutation or serially after it.
+    pub compare: Duration,
     /// End-to-end.
     pub total: Duration,
 }
@@ -156,6 +197,11 @@ pub struct StageMetrics {
     /// Worker threads the refutation stage actually used (`0` when the
     /// stage was skipped).
     pub refute_jobs_used: usize,
+    /// Whether the comparison pass ran concurrently with refutation.
+    pub compare_overlapped: bool,
+    /// Wall-clock time the overlap hid: the smaller of the comparison
+    /// and refutation stage times when overlapped, zero otherwise.
+    pub overlap_saved: Duration,
 }
 
 /// The result of analyzing one app.
@@ -233,24 +279,33 @@ impl std::fmt::Display for SierraResult {
         let t = &self.metrics.timings;
         writeln!(
             out,
-            "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, prefilter {:.2} ms, refutation {:.2} ms, total {:.2} ms",
+            "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, prefilter {:.2} ms, refutation {:.2} ms, compare {:.2} ms ({}), total {:.2} ms",
             ms(t.harness),
             ms(t.cg_pa),
             ms(t.hbg),
             ms(t.prefilter),
             ms(t.refutation),
+            ms(t.compare),
+            if self.metrics.compare_overlapped {
+                "overlapped"
+            } else {
+                "serial"
+            },
             ms(t.total)
         )?;
         let pa = &self.metrics.pointer;
         writeln!(
             out,
-            "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects, {} pts-set bytes",
+            "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects, {} pts-set bytes, {} SCC(s) collapsed ({} node(s)), {} worklist",
             pa.worklist_iterations,
             pa.propagations,
             pa.cg_edges,
             pa.reachable_contexts,
             pa.abstract_objects,
-            pa.pts_set_bytes
+            pa.pts_set_bytes,
+            pa.collapsed_sccs,
+            pa.collapsed_nodes,
+            pa.worklist_policy
         )?;
         let hb = &self.metrics.shbg;
         write!(out, "shbg: {} rule applications (", hb.total_applications())?;

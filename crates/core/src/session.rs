@@ -32,7 +32,7 @@ use prefilter::PrunedPair;
 use shbg::Shbg;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use symexec::{Outcome, Refuter, RefuterConfig, RefuterStats};
 
 /// A staged run of the pipeline over one app. See the module docs.
@@ -128,7 +128,8 @@ impl AnalysisSession {
             self.harness();
             let harness = self.harness.as_ref().expect("stage 1 ran");
             let t = Instant::now();
-            let analysis = pointer::analyze(harness, self.config.selector);
+            let analysis =
+                pointer::analyze_opts(harness, self.config.selector, self.config.pointer_options);
             self.metrics.timings.cg_pa = t.elapsed();
             self.metrics.pointer = analysis.stats;
             self.analysis = Some(analysis);
@@ -263,29 +264,63 @@ impl AnalysisSession {
 
     /// Runs every remaining stage (plus the comparison pass when
     /// configured) and assembles the [`SierraResult`].
+    ///
+    /// The comparison pass without action sensitivity (Table 3 col 6) is
+    /// a second session over the same generated harness, stopped after
+    /// the candidate stage. Under `overlap_compare` it runs on a scoped
+    /// worker thread *concurrently with refutation*: the two only share
+    /// the immutable `Arc<HarnessResult>`, and the pass returns a single
+    /// deterministic count, so every output is byte-identical to the
+    /// serial schedule.
     pub fn finish(mut self) -> SierraResult {
-        self.refute();
+        // Force everything refutation needs so the overlapped window
+        // contains exactly the refutation stage.
+        self.prefilter();
 
-        // Comparison pass without action sensitivity (Table 3 col 6): a
-        // second session over the same generated harness, stopped after
-        // the candidate stage.
         let harness = self.harness.clone().expect("stages ran");
-        let racy_pairs_without_as = if self.config.compare_without_as {
+        let compare_cfg = self.config.compare_without_as.then(|| {
             let plain = match self.config.selector {
                 SelectorKind::ActionSensitive(k) => SelectorKind::Hybrid(k),
                 other => other,
             };
-            let cfg = SierraConfig {
+            SierraConfig {
                 selector: plain,
                 compare_without_as: false,
                 skip_refutation: true,
                 ..self.config
-            };
-            AnalysisSession::from_harness(cfg, harness.clone())
+            }
+        });
+        let run_compare = |cfg: SierraConfig, harness: Arc<HarnessResult>| {
+            let t = Instant::now();
+            let count = AnalysisSession::from_harness(cfg, harness)
                 .candidates()
-                .len()
+                .len();
+            (count, t.elapsed())
+        };
+
+        let mut compare_overlapped = false;
+        let (racy_pairs_without_as, compare_elapsed) = match compare_cfg {
+            Some(cfg) if self.config.overlap_compare && !self.config.skip_refutation => {
+                compare_overlapped = true;
+                let shared = Arc::clone(&harness);
+                std::thread::scope(|scope| {
+                    let compare = scope.spawn(move || run_compare(cfg, shared));
+                    self.refute();
+                    compare
+                        .join()
+                        .unwrap_or_else(|e| std::panic::resume_unwind(e))
+                })
+            }
+            Some(cfg) => run_compare(cfg, Arc::clone(&harness)),
+            None => (0, Duration::ZERO),
+        };
+        self.refute();
+        self.metrics.timings.compare = compare_elapsed;
+        self.metrics.compare_overlapped = compare_overlapped;
+        self.metrics.overlap_saved = if compare_overlapped {
+            compare_elapsed.min(self.metrics.timings.refutation)
         } else {
-            0
+            Duration::ZERO
         };
 
         let analysis = self.analysis.expect("stages ran");
@@ -418,17 +453,55 @@ fn dedupe(accesses: Vec<Access>) -> Vec<Access> {
         seen.entry((a.action, a.addr))
             .and_modify(|e| {
                 // Merge base points-to across contexts of the same action.
-                for o in &a.base {
-                    if !e.base.contains(o) {
-                        e.base.push(*o);
-                    }
-                }
+                merge_sorted_bases(&mut e.base, &a.base);
             })
             .or_insert(a);
     }
     let mut out: Vec<Access> = seen.into_values().collect();
     out.sort_by_key(|a| (a.addr, a.action));
     out
+}
+
+/// Set union of two sorted object lists into `dst`, as a linear
+/// two-pointer merge. `Access::base` is sorted ascending by
+/// construction (see [`Access::base`]) and this is its only mutation
+/// site, so the invariant is preserved.
+fn merge_sorted_bases(dst: &mut Vec<pointer::ObjId>, src: &[pointer::ObjId]) {
+    debug_assert!(dst.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(src.windows(2).all(|w| w[0] < w[1]));
+    // Common case: nothing new to add — detect with the same linear
+    // walk before allocating a merged vector.
+    let mut i = 0;
+    if src.iter().all(|o| {
+        while i < dst.len() && dst[i] < *o {
+            i += 1;
+        }
+        i < dst.len() && dst[i] == *o
+    }) {
+        return;
+    }
+    let mut merged = Vec::with_capacity(dst.len() + src.len());
+    let (mut i, mut j) = (0, 0);
+    while i < dst.len() && j < src.len() {
+        match dst[i].cmp(&src[j]) {
+            std::cmp::Ordering::Less => {
+                merged.push(dst[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                merged.push(src[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                merged.push(dst[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    merged.extend_from_slice(&dst[i..]);
+    merged.extend_from_slice(&src[j..]);
+    *dst = merged;
 }
 
 /// Candidate racy pairs: same harness, different unordered actions,

@@ -7,7 +7,7 @@ use apir::{
     AllocSiteId, BlockId, CallSiteId, ClassId, ConstValue, FieldId, InvokeKind, Local, MethodId,
     Operand, Origin, Program, ProgramBuilder, Stmt, StmtAddr,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// What a harness call site invokes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -145,19 +145,21 @@ pub fn generate(app: AndroidApp) -> HarnessResult {
     }
 }
 
-/// Maps each activity to the registration sites reachable from it.
+/// Maps each activity to the registration sites reachable from it, in seed
+/// discovery order (the order must be deterministic: it fixes the order in
+/// which harness call sites are minted).
 fn assign_registrations(
     program: &Program,
     fw: &FrameworkClasses,
     app: &AndroidApp,
     seeds: &[(StmtAddr, RegistrationSeed)],
-) -> HashMap<ClassId, HashSet<CallSiteId>> {
+) -> HashMap<ClassId, Vec<CallSiteId>> {
     let mut by_method: HashMap<MethodId, Vec<&RegistrationSeed>> = HashMap::new();
     for (_, seed) in seeds {
         by_method.entry(seed.in_method).or_default().push(seed);
     }
 
-    let mut out: HashMap<ClassId, HashSet<CallSiteId>> = HashMap::new();
+    let mut out: HashMap<ClassId, Vec<CallSiteId>> = HashMap::new();
     for &activity in &app.manifest.activities {
         let mut roots: Vec<MethodId> = Vec::new();
         for ev in LifecycleEvent::ALL {
@@ -194,7 +196,7 @@ fn assign_registrations(
         let cha = ChaReachability::compute(program, roots, |p, m| {
             discovery_targets(p, fw, m, &by_method)
         });
-        let sites: HashSet<CallSiteId> = seeds
+        let sites: Vec<CallSiteId> = seeds
             .iter()
             .filter(|(_, seed)| cha.contains(seed.in_method))
             .map(|(_, seed)| seed.site)
@@ -415,8 +417,12 @@ fn emit_harness(
             }
         }
     }
+    // Mint sub-head blocks in sorted view order so block ids (and the
+    // resulting program) are identical across runs.
     let mut subhead: HashMap<i32, BlockId> = HashMap::new();
-    for &v in children.keys() {
+    let mut parent_views: Vec<i32> = children.keys().copied().collect();
+    parent_views.sort_unstable();
+    for &v in &parent_views {
         subhead.insert(v, mb.new_block());
     }
 
@@ -463,8 +469,9 @@ fn emit_harness(
         mb.goto(ret);
     }
 
-    // Fill sub-heads.
-    for (&v, &head) in &subhead {
+    // Fill sub-heads (sorted order keeps statement emission deterministic).
+    for &v in &parent_views {
+        let head = subhead[&v];
         let mut targets: Vec<BlockId> = children
             .get(&v)
             .map(|cs| cs.iter().map(|&i| case_blocks[i]).collect())

@@ -28,7 +28,9 @@ pub use ctx::{
 };
 pub use ptsset::PtsSet;
 pub use result::{collect_accesses, Access, AccessLoc};
-pub use solver::{analyze, analyze_opts, Analysis, AnalysisOptions, PostRecord, SolverStats};
+pub use solver::{
+    analyze, analyze_opts, Analysis, AnalysisOptions, PostRecord, SolverStats, WorklistPolicy,
+};
 
 #[cfg(test)]
 mod tests;

@@ -31,7 +31,10 @@ pub struct Access {
     pub is_write: bool,
     /// The accessed field.
     pub field: FieldId,
-    /// Points-to set of the base object (empty for statics).
+    /// Points-to set of the base object (empty for statics). Always
+    /// sorted ascending with no duplicates: [`collect_accesses`] fills
+    /// it from a [`crate::PtsSet`]'s ascending iterator, and downstream
+    /// merges (the session's access dedupe) keep it sorted.
     pub base: Vec<ObjId>,
     /// Whether this is a static-field access.
     pub is_static: bool,
@@ -50,7 +53,9 @@ impl Access {
         }
     }
 
-    /// Whether two accesses may touch a common location.
+    /// Whether two accesses may touch a common location. Both base sets
+    /// are sorted (see [`Access::base`]), so the intersection test is a
+    /// linear two-pointer walk instead of a quadratic scan.
     pub fn overlaps(&self, other: &Access) -> bool {
         if self.field != other.field || self.is_static != other.is_static {
             return false;
@@ -58,7 +63,17 @@ impl Access {
         if self.is_static {
             return true;
         }
-        self.base.iter().any(|o| other.base.contains(o))
+        debug_assert!(self.base.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(other.base.windows(2).all(|w| w[0] < w[1]));
+        let (mut i, mut j) = (0, 0);
+        while i < self.base.len() && j < other.base.len() {
+            match self.base[i].cmp(&other.base[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
     }
 }
 

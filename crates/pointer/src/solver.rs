@@ -23,7 +23,54 @@ use apir::{
     Program, Stmt, StmtAddr, Terminator,
 };
 use harness_gen::{HarnessResult, HarnessSiteKind};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+/// Worklist scheduling policy for the propagation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorklistPolicy {
+    /// Plain FIFO queue (the pre-overhaul behavior, kept for ablation).
+    Fifo,
+    /// Least-recently-fired priority order with node-id tie-breaks: a
+    /// node that has not fired yet (or fired longest ago) pops first, so
+    /// deltas flow downstream through the current condensation before
+    /// upstream nodes re-fire. Deterministic: priorities are
+    /// `(last_fired_stamp, node_id)` and both are derived from the
+    /// solver's own (single-threaded, id-ordered) execution.
+    #[default]
+    TopoLrf,
+}
+
+impl WorklistPolicy {
+    /// Stable lowercase name (used by CLI flags and metrics output).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WorklistPolicy::Fifo => "fifo",
+            WorklistPolicy::TopoLrf => "topo-lrf",
+        }
+    }
+}
+
+impl std::str::FromStr for WorklistPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fifo" => Ok(WorklistPolicy::Fifo),
+            "topo-lrf" | "topo" | "lrf" => Ok(WorklistPolicy::TopoLrf),
+            other => Err(format!(
+                "unknown worklist policy `{other}` (expected `fifo` or `topo-lrf`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for WorklistPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Analysis options beyond the context selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,12 +79,24 @@ pub struct AnalysisOptions {
     /// (the §6.5 future-work extension after Dillig et al.). When off,
     /// every indexed access folds onto the summarized `contents` field.
     pub index_sensitive: bool,
+    /// Online cycle detection and collapse (lazy cycle detection after
+    /// Hardekopf–Lin): when propagation along an edge leaves source and
+    /// target with equal points-to sets, the solver runs an SCC pass
+    /// from the source and collapses every multi-node SCC onto its
+    /// smallest `NodeId` via union-find, so cyclic sets propagate once.
+    /// Off restores the PR 3 solver for the `--no-cycle-collapse`
+    /// ablation; results are identical either way.
+    pub cycle_collapse: bool,
+    /// Worklist scheduling policy.
+    pub worklist: WorklistPolicy,
 }
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
         Self {
             index_sensitive: true,
+            cycle_collapse: true,
+            worklist: WorklistPolicy::default(),
         }
     }
 }
@@ -96,6 +155,14 @@ pub struct SolverStats {
     /// Heap bytes held by all points-to sets at the fixpoint (the
     /// footprint of the hybrid [`PtsSet`] representation).
     pub pts_set_bytes: usize,
+    /// Multi-node SCCs collapsed by online cycle detection (0 when the
+    /// `cycle_collapse` option is off or the graph is acyclic).
+    pub collapsed_sccs: usize,
+    /// Constraint-graph nodes retired into a representative by collapse
+    /// (members minus representatives, summed over all collapsed SCCs).
+    pub collapsed_nodes: usize,
+    /// The worklist scheduling policy the solve ran with.
+    pub worklist_policy: WorklistPolicy,
 }
 
 #[derive(Debug, Clone)]
@@ -257,6 +324,39 @@ pub fn analyze_opts(
     Solver::new(harness, selector, options).run()
 }
 
+/// The propagation worklist under either scheduling policy. The
+/// `queued` flags in the solver guarantee at most one live entry per
+/// node, so the heap variant never holds duplicates.
+#[derive(Debug)]
+enum Worklist {
+    Fifo(VecDeque<NodeId>),
+    /// Min-heap on `(last_fired_stamp, node_id)`.
+    Lrf(BinaryHeap<Reverse<(u64, u32)>>),
+}
+
+impl Worklist {
+    fn new(policy: WorklistPolicy) -> Self {
+        match policy {
+            WorklistPolicy::Fifo => Worklist::Fifo(VecDeque::new()),
+            WorklistPolicy::TopoLrf => Worklist::Lrf(BinaryHeap::new()),
+        }
+    }
+
+    fn push(&mut self, n: NodeId, last_fired: &[u64]) {
+        match self {
+            Worklist::Fifo(q) => q.push_back(n),
+            Worklist::Lrf(h) => h.push(Reverse((last_fired[n.0 as usize], n.0))),
+        }
+    }
+
+    fn pop(&mut self) -> Option<NodeId> {
+        match self {
+            Worklist::Fifo(q) => q.pop_front(),
+            Worklist::Lrf(h) => h.pop().map(|Reverse((_, id))| NodeId(id)),
+        }
+    }
+}
+
 struct Solver<'a> {
     program: &'a Program,
     fw: &'a FrameworkClasses,
@@ -271,11 +371,27 @@ struct Solver<'a> {
     pts: Vec<PtsSet>,
     delta: Vec<Vec<ObjId>>,
     /// Successor lists, kept sorted so the worklist loop needs no
-    /// per-pop collect-and-sort.
+    /// per-pop collect-and-sort. Entries may be stale after a collapse;
+    /// readers canonicalize through `find`.
     succ: Vec<Vec<NodeId>>,
     pending: Vec<Vec<Pending>>,
-    worklist: VecDeque<NodeId>,
+    worklist: Worklist,
     queued: Vec<bool>,
+    /// Union-find forest over constraint-graph nodes: `parent[i] == i`
+    /// for a live representative; collapsed members point (possibly
+    /// transitively) at their SCC's smallest `NodeId`.
+    parent: Vec<u32>,
+    /// Monotone stamp of each node's last worklist firing (feeds the
+    /// least-recently-fired priority).
+    last_fired: Vec<u64>,
+    /// Firing clock behind `last_fired`.
+    clock: u64,
+    /// Edges that already triggered lazy cycle detection — each edge
+    /// pays for at most one SCC pass.
+    lcd_seen: HashSet<(u32, u32)>,
+    /// Deferred LCD triggers, drained between worklist iterations so
+    /// collapse never mutates the graph mid-propagation.
+    lcd_queue: Vec<NodeId>,
     reachable: HashSet<(MethodId, CtxId)>,
     cg_edges: HashMap<(MethodId, CtxId, CallSiteId), Vec<(MethodId, CtxId)>>,
     cg_edge_set: HashSet<(MethodId, CtxId, CallSiteId, MethodId, CtxId)>,
@@ -292,6 +408,16 @@ struct Solver<'a> {
 
 /// Sentinel "no object" id for op dedup pairs.
 const NO_OBJ: ObjId = ObjId(u32::MAX);
+
+/// Non-mutating union-find lookup (for contexts where the solver's
+/// path-halving [`Solver::find`] can't borrow mutably).
+fn resolve(parent: &[u32], n: NodeId) -> NodeId {
+    let mut i = n.0;
+    while parent[i as usize] != i {
+        i = parent[i as usize];
+    }
+    NodeId(i)
+}
 
 /// Splits one set out of `v` immutably and another mutably; `a != b`.
 fn pair_mut(v: &mut [PtsSet], a: usize, b: usize) -> (&PtsSet, &mut PtsSet) {
@@ -328,8 +454,13 @@ impl<'a> Solver<'a> {
             delta: Vec::new(),
             succ: Vec::new(),
             pending: Vec::new(),
-            worklist: VecDeque::new(),
+            worklist: Worklist::new(options.worklist),
             queued: Vec::new(),
+            parent: Vec::new(),
+            last_fired: Vec::new(),
+            clock: 0,
+            lcd_seen: HashSet::new(),
+            lcd_queue: Vec::new(),
             reachable: HashSet::new(),
             cg_edges: HashMap::new(),
             cg_edge_set: HashSet::new(),
@@ -346,6 +477,7 @@ impl<'a> Solver<'a> {
     }
 
     fn run(mut self) -> Analysis {
+        self.stats.worklist_policy = self.options.worklist;
         for h in &self.harness.activities {
             let (root, _) = self.actions.obtain(
                 h.activity,
@@ -363,20 +495,44 @@ impl<'a> Solver<'a> {
             });
             self.mark_reachable(h.method, ctx);
         }
-        while let Some(n) = self.worklist.pop_front() {
-            self.queued[n.0 as usize] = false;
-            let delta = std::mem::take(&mut self.delta[n.0 as usize]);
+        while let Some(n) = self.worklist.pop() {
+            let n_idx = n.0 as usize;
+            self.queued[n_idx] = false;
+            let delta = std::mem::take(&mut self.delta[n_idx]);
             if delta.is_empty() {
+                // Spurious entry: a node re-queued with nothing left to
+                // do, or one retired into a representative by collapse
+                // (which clears its delta and re-queues the rep).
                 continue;
             }
             self.stats.worklist_iterations += 1;
+            self.clock += 1;
+            self.last_fired[n_idx] = self.clock;
             // Successor lists are kept sorted, so id-order traversal —
             // required for thread-independent counters and tie-breaks —
-            // is a plain clone, not a collect-and-sort.
-            let succs = self.succ[n.0 as usize].clone();
-            for s in succs {
+            // is an index walk over the stored list. `add_obj` never
+            // mutates successor lists and collapse is deferred to the
+            // drain below, so the length is stable across the loop.
+            let mut i = 0;
+            while i < self.succ[n_idx].len() {
+                let s = self.find(self.succ[n_idx][i]);
+                i += 1;
+                if s == n {
+                    continue;
+                }
                 for &o in &delta {
                     self.add_obj(s, o);
+                }
+                // Lazy cycle detection: equal endpoint sets along an
+                // edge suggest a cycle. Each edge triggers at most one
+                // (deferred) SCC pass.
+                if self.options.cycle_collapse
+                    && self.pts[s.0 as usize].len() == self.pts[n_idx].len()
+                    && !self.lcd_seen.contains(&(n.0, s.0))
+                    && self.pts[s.0 as usize] == self.pts[n_idx]
+                {
+                    self.lcd_seen.insert((n.0, s.0));
+                    self.lcd_queue.push(n);
                 }
             }
             // Drain the pending list instead of cloning it: entries
@@ -384,12 +540,25 @@ impl<'a> Solver<'a> {
             // already self-processed by `add_pending`) accumulate in the
             // emptied slot and are re-appended after the drained list so
             // the order matches what the clone-based loop produced.
-            let taken = std::mem::take(&mut self.pending[n.0 as usize]);
+            let taken = std::mem::take(&mut self.pending[n_idx]);
             for p in &taken {
                 self.process_pending(p, &delta);
             }
-            let added = std::mem::replace(&mut self.pending[n.0 as usize], taken);
-            self.pending[n.0 as usize].extend(added);
+            let added = std::mem::replace(&mut self.pending[n_idx], taken);
+            self.pending[n_idx].extend(added);
+            // Safe point: no propagation is in flight, so collapsing the
+            // SCCs behind the queued triggers cannot invalidate a loop.
+            while let Some(start) = self.lcd_queue.pop() {
+                self.detect_and_collapse(start);
+            }
+        }
+        // Remap every key to its SCC representative so post-solve
+        // lookups (`pts_var`, `pts_field`, `heap_published`) land on the
+        // canonical sets. A no-op when nothing collapsed.
+        if self.stats.collapsed_nodes > 0 {
+            for id in self.nodes.values_mut() {
+                *id = resolve(&self.parent, *id);
+            }
         }
         self.stats.cg_edges = self.cg_edges.values().map(Vec::len).sum();
         self.stats.reachable_contexts = self.reachable.len();
@@ -423,9 +592,20 @@ impl<'a> Solver<'a> {
 
     // ---- node & graph plumbing ----
 
+    /// Canonical representative of `n` (path-halving union-find).
+    fn find(&mut self, n: NodeId) -> NodeId {
+        let mut i = n.0 as usize;
+        while self.parent[i] as usize != i {
+            let gp = self.parent[self.parent[i] as usize];
+            self.parent[i] = gp;
+            i = gp as usize;
+        }
+        NodeId(i as u32)
+    }
+
     fn node(&mut self, key: NodeKey) -> NodeId {
         if let Some(&n) = self.nodes.get(&key) {
-            return n;
+            return self.find(n);
         }
         let n = NodeId(u32::try_from(self.keys.len()).expect("node overflow"));
         self.nodes.insert(key.clone(), n);
@@ -435,6 +615,8 @@ impl<'a> Solver<'a> {
         self.succ.push(Vec::new());
         self.pending.push(Vec::new());
         self.queued.push(false);
+        self.parent.push(n.0);
+        self.last_fired.push(0);
         n
     }
 
@@ -443,17 +625,20 @@ impl<'a> Solver<'a> {
     }
 
     fn add_obj(&mut self, n: NodeId, o: ObjId) {
+        let n = self.find(n);
         if self.pts[n.0 as usize].insert(o) {
             self.stats.propagations += 1;
             self.delta[n.0 as usize].push(o);
             if !self.queued[n.0 as usize] {
                 self.queued[n.0 as usize] = true;
-                self.worklist.push_back(n);
+                self.worklist.push(n, &self.last_fired);
             }
         }
     }
 
     fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        let from = self.find(from);
+        let to = self.find(to);
         if from == to {
             return;
         }
@@ -469,6 +654,7 @@ impl<'a> Solver<'a> {
             stats,
             queued,
             worklist,
+            last_fired,
             ..
         } = self;
         let (src, dst) = pair_mut(pts, f, t);
@@ -487,18 +673,127 @@ impl<'a> Solver<'a> {
             stats.propagations += d.len() - before;
             if !queued[t] {
                 queued[t] = true;
-                worklist.push_back(to);
+                worklist.push(to, last_fired);
             }
         }
     }
 
     fn add_pending(&mut self, n: NodeId, p: Pending) {
+        let n = self.find(n);
         // PtsSet iterates ascending, so no sort is needed.
         let objs: Vec<ObjId> = self.pts[n.0 as usize].iter().collect();
         self.pending[n.0 as usize].push(p.clone());
         if !objs.is_empty() {
             self.process_pending(&p, &objs);
         }
+    }
+
+    // ---- online cycle detection & collapse ----
+
+    /// Runs an iterative Tarjan SCC pass over the canonicalized
+    /// constraint graph reachable from `start` and collapses every
+    /// multi-node SCC found. Called only from the run loop's safe point
+    /// (no propagation in flight). Traversal order is the stored
+    /// successor order, so the discovered SCCs — and therefore the
+    /// collapse — are deterministic.
+    fn detect_and_collapse(&mut self, start: NodeId) {
+        let start = self.find(start).0;
+        let mut index: HashMap<u32, u32> = HashMap::new();
+        let mut low: HashMap<u32, u32> = HashMap::new();
+        let mut on_stack: HashSet<u32> = HashSet::new();
+        let mut stack: Vec<u32> = Vec::new();
+        let mut sccs: Vec<Vec<u32>> = Vec::new();
+        let mut counter = 0u32;
+        let mut frames: Vec<(u32, usize)> = vec![(start, 0)];
+        index.insert(start, counter);
+        low.insert(start, counter);
+        counter += 1;
+        stack.push(start);
+        on_stack.insert(start);
+        while let Some(&(v, i)) = frames.last() {
+            if i < self.succ[v as usize].len() {
+                frames.last_mut().expect("nonempty").1 = i + 1;
+                let w = self.find(self.succ[v as usize][i]).0;
+                if w == v {
+                    continue;
+                }
+                if let Some(&wi) = index.get(&w) {
+                    if on_stack.contains(&w) && wi < low[&v] {
+                        low.insert(v, wi);
+                    }
+                } else {
+                    index.insert(w, counter);
+                    low.insert(w, counter);
+                    counter += 1;
+                    stack.push(w);
+                    on_stack.insert(w);
+                    frames.push((w, 0));
+                }
+            } else {
+                frames.pop();
+                let lv = low[&v];
+                if let Some(&(p, _)) = frames.last() {
+                    if lv < low[&p] {
+                        low.insert(p, lv);
+                    }
+                }
+                if lv == index[&v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack.remove(&w);
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if scc.len() > 1 {
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        for scc in sccs {
+            self.collapse_scc(scc);
+        }
+    }
+
+    /// Collapses one SCC onto its smallest member: points-to sets,
+    /// successor lists, and pending work all merge into the
+    /// representative, whose full set is re-queued as a delta (every
+    /// downstream insertion is idempotent, so over-propagation is safe
+    /// and the member's un-flushed deltas are subsumed).
+    fn collapse_scc(&mut self, mut scc: Vec<u32>) {
+        scc.sort_unstable();
+        let rep = scc[0] as usize;
+        for &m in &scc[1..] {
+            let m = m as usize;
+            self.parent[m] = rep as u32;
+            let member_pts = std::mem::take(&mut self.pts[m]);
+            self.pts[rep].union_in_place(&member_pts);
+            let member_succ = std::mem::take(&mut self.succ[m]);
+            self.succ[rep].extend(member_succ);
+            let member_pending = std::mem::take(&mut self.pending[m]);
+            self.pending[rep].extend(member_pending);
+            self.delta[m].clear();
+            self.queued[m] = false;
+        }
+        let rep_id = NodeId(rep as u32);
+        let mut succs = std::mem::take(&mut self.succ[rep]);
+        for s in &mut succs {
+            *s = self.find(*s);
+        }
+        succs.sort_unstable();
+        succs.dedup();
+        succs.retain(|&s| s != rep_id);
+        self.succ[rep] = succs;
+        self.delta[rep] = self.pts[rep].iter().collect();
+        if !self.delta[rep].is_empty() && !self.queued[rep] {
+            self.queued[rep] = true;
+            self.worklist.push(rep_id, &self.last_fired);
+        }
+        self.stats.collapsed_sccs += 1;
+        self.stats.collapsed_nodes += scc.len() - 1;
     }
 
     fn operand_node(&mut self, method: MethodId, ctx: CtxId, op: Operand) -> Option<NodeId> {
@@ -1065,8 +1360,12 @@ impl<'a> Solver<'a> {
     fn resolve_op(&mut self, info: &OpInfo) {
         use FrameworkOp::*;
         // Both object lists come out of PtsSet iteration already sorted.
+        // Stored node ids may predate a collapse; canonicalize first.
         let recv_objs: Vec<ObjId> = match info.recv_node {
-            Some(n) => self.pts[n.0 as usize].iter().collect(),
+            Some(n) => {
+                let n = self.find(n);
+                self.pts[n.0 as usize].iter().collect()
+            }
             None => vec![NO_OBJ],
         };
         let arg_objs: Vec<ObjId> = match info.op {

@@ -561,6 +561,7 @@ fn index_sensitive_containers_separate_slots() {
         SelectorKind::ActionSensitive(1),
         AnalysisOptions {
             index_sensitive: true,
+            ..AnalysisOptions::default()
         },
     );
     let accesses = collect_accesses(&a, &h.app.program, Some(h.harness_class));
@@ -583,6 +584,7 @@ fn index_sensitive_containers_separate_slots() {
         SelectorKind::ActionSensitive(1),
         AnalysisOptions {
             index_sensitive: false,
+            ..AnalysisOptions::default()
         },
     );
     let accesses = collect_accesses(&a, &h.app.program, Some(h.harness_class));
@@ -816,6 +818,230 @@ fn corpus_plant(
             );
             mb.ret(None);
             mb.finish();
+        }
+    }
+}
+
+// ---- cycle-collapse equivalence (perf overhaul regression suite) ----
+
+mod cycle_collapse {
+    use super::*;
+    use crate::solver::{analyze_opts, Analysis, AnalysisOptions, WorklistPolicy};
+    use apir::{Local, MethodId};
+    use sierra_prng::SplitMix64;
+
+    /// Canonical, run-independent rendering of a points-to set: object
+    /// ids are resolved to their interned [`crate::ObjData`], which is
+    /// content-addressed (alloc site, heap context, class) and therefore
+    /// stable across solver schedules.
+    fn canon_pts(a: &Analysis, m: MethodId, l: Local) -> Vec<String> {
+        let mut out: Vec<String> = a
+            .contexts_of(m)
+            .iter()
+            .flat_map(|&ctx| {
+                a.pts_var(m, ctx, l)
+                    .iter()
+                    .map(|o| format!("{:?}", a.objs.get(o)))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Canonical rendering of every access the analysis extracts.
+    fn canon_accesses(a: &Analysis, h: &harness_gen::HarnessResult) -> Vec<String> {
+        collect_accesses(a, &h.app.program, Some(h.harness_class))
+            .iter()
+            .map(|x| {
+                let mut base: Vec<String> = x
+                    .base
+                    .iter()
+                    .map(|&o| format!("{:?}", a.objs.get(o)))
+                    .collect();
+                base.sort();
+                format!(
+                    "{:?} w={} f={:?} static={} base={base:?}",
+                    x.addr, x.is_write, x.field, x.is_static
+                )
+            })
+            .collect()
+    }
+
+    /// An activity whose `onCreate` contains a pure copy cycle
+    /// `a → b → c → a` seeded from one allocation: the smallest graph on
+    /// which lazy cycle detection must fire and fold a multi-node SCC.
+    fn copy_cycle_harness() -> (harness_gen::HarnessResult, MethodId, Vec<Local>) {
+        let mut app = AndroidAppBuilder::new("Cycle");
+        let fw = app.framework().clone();
+        let activity = app.activity("Main").build();
+        let mut mb = app.method(activity, "onCreate");
+        mb.set_param_count(1);
+        let x = mb.fresh_local();
+        let a = mb.fresh_local();
+        let b = mb.fresh_local();
+        let c = mb.fresh_local();
+        mb.new_(x, fw.object);
+        mb.move_(a, x);
+        mb.move_(b, a);
+        mb.move_(c, b);
+        mb.move_(a, c); // closes the a → b → c → a inclusion cycle
+        mb.ret(None);
+        let m = mb.finish();
+        (generate(app.finish().unwrap()), m, vec![x, a, b, c])
+    }
+
+    #[test]
+    fn copy_cycle_fixture_collapses_one_multi_node_scc() {
+        let (h, m, locals) = copy_cycle_harness();
+        let on = analyze_opts(
+            &h,
+            SelectorKind::ActionSensitive(1),
+            AnalysisOptions::default(),
+        );
+        let off = analyze_opts(
+            &h,
+            SelectorKind::ActionSensitive(1),
+            AnalysisOptions {
+                cycle_collapse: false,
+                ..AnalysisOptions::default()
+            },
+        );
+        assert!(
+            on.stats.collapsed_sccs >= 1,
+            "the a→b→c→a cycle must collapse: {:?}",
+            on.stats
+        );
+        assert!(on.stats.collapsed_nodes >= 2, "{:?}", on.stats);
+        assert_eq!(off.stats.collapsed_sccs, 0);
+        assert_eq!(off.stats.collapsed_nodes, 0);
+        // Identical points-to results, fewer (or equal) propagations.
+        for &l in &locals {
+            assert_eq!(canon_pts(&on, m, l), canon_pts(&off, m, l));
+            assert!(!canon_pts(&on, m, l).is_empty());
+        }
+        assert!(
+            on.stats.propagations <= off.stats.propagations,
+            "collapse must not add work: {} > {}",
+            on.stats.propagations,
+            off.stats.propagations
+        );
+    }
+
+    /// Emits a random, cycle-rich constraint program: ≤512 locals with
+    /// seeded allocations, random copies, guaranteed 3-cycles, and
+    /// random field stores/loads (which exercise the pending complex
+    /// constraints through collapse).
+    fn random_harness(seed: u64) -> (harness_gen::HarnessResult, MethodId, Vec<Local>) {
+        let mut rng = SplitMix64::new(seed);
+        let mut app = AndroidAppBuilder::new("Rand");
+        let fw = app.framework().clone();
+        let mut cb = app.subclass("Box", fw.object);
+        let f = cb.field("f", Type::Ref(fw.object));
+        let g = cb.field("g", Type::Ref(fw.object));
+        let boxc = cb.build();
+        let activity = app.activity("Main").build();
+        let mut mb = app.method(activity, "onCreate");
+        mb.set_param_count(1);
+        let n = 16 + rng.usize(497); // ≤ 512 constraint-graph variables
+        let locals: Vec<Local> = (0..n).map(|_| mb.fresh_local()).collect();
+        // Seed roughly an eighth of the locals with allocations.
+        for &l in locals.iter().take((n / 8).max(2)) {
+            mb.new_(l, boxc);
+        }
+        let pick = |rng: &mut SplitMix64, locals: &[Local]| locals[rng.usize(locals.len())];
+        for _ in 0..(2 * n) {
+            match rng.usize(10) {
+                // Random copy edge.
+                0..=4 => {
+                    let (d, s) = (pick(&mut rng, &locals), pick(&mut rng, &locals));
+                    mb.move_(d, s);
+                }
+                // Guaranteed copy 3-cycle.
+                5..=6 => {
+                    let (a, b, c) = (
+                        pick(&mut rng, &locals),
+                        pick(&mut rng, &locals),
+                        pick(&mut rng, &locals),
+                    );
+                    mb.move_(b, a);
+                    mb.move_(c, b);
+                    mb.move_(a, c);
+                }
+                // Field store: o.f = v.
+                7..=8 => {
+                    let (o, v) = (pick(&mut rng, &locals), pick(&mut rng, &locals));
+                    let fld = if rng.bool() { f } else { g };
+                    mb.store(o, fld, Operand::Local(v));
+                }
+                // Field load: d = o.f.
+                _ => {
+                    let (d, o) = (pick(&mut rng, &locals), pick(&mut rng, &locals));
+                    let fld = if rng.bool() { f } else { g };
+                    mb.load(d, o, fld);
+                }
+            }
+        }
+        mb.ret(None);
+        let m = mb.finish();
+        (generate(app.finish().unwrap()), m, locals)
+    }
+
+    #[test]
+    fn randomized_graphs_solve_identically_with_and_without_collapse() {
+        let mut total_collapsed = 0usize;
+        for seed in 0..6u64 {
+            let (h, m, locals) = random_harness(seed);
+            let on = analyze_opts(&h, SelectorKind::Insensitive, AnalysisOptions::default());
+            let off = analyze_opts(
+                &h,
+                SelectorKind::Insensitive,
+                AnalysisOptions {
+                    cycle_collapse: false,
+                    ..AnalysisOptions::default()
+                },
+            );
+            for &l in &locals {
+                assert_eq!(
+                    canon_pts(&on, m, l),
+                    canon_pts(&off, m, l),
+                    "seed {seed}: pts diverged for {l:?}"
+                );
+            }
+            assert_eq!(
+                canon_accesses(&on, &h),
+                canon_accesses(&off, &h),
+                "seed {seed}"
+            );
+            assert_eq!(on.cg_edge_count(), off.cg_edge_count(), "seed {seed}");
+            total_collapsed += on.stats.collapsed_sccs;
+        }
+        assert!(
+            total_collapsed > 0,
+            "the randomized suite must actually exercise cycle collapse"
+        );
+    }
+
+    #[test]
+    fn randomized_graphs_solve_identically_under_both_worklist_policies() {
+        for seed in 0..4u64 {
+            let (h, m, locals) = random_harness(seed);
+            let lrf = analyze_opts(&h, SelectorKind::Insensitive, AnalysisOptions::default());
+            let fifo = analyze_opts(
+                &h,
+                SelectorKind::Insensitive,
+                AnalysisOptions {
+                    worklist: WorklistPolicy::Fifo,
+                    ..AnalysisOptions::default()
+                },
+            );
+            for &l in &locals {
+                assert_eq!(
+                    canon_pts(&lrf, m, l),
+                    canon_pts(&fifo, m, l),
+                    "seed {seed}: pts diverged for {l:?}"
+                );
+            }
+            assert_eq!(canon_accesses(&lrf, &h), canon_accesses(&fifo, &h));
         }
     }
 }
