@@ -1,0 +1,1131 @@
+//! A generic monotone dataflow framework over `apir` method CFGs.
+//!
+//! The framework factors the fixpoint machinery out of the ad-hoc
+//! worklist walks scattered through the pipeline (the prefilter's SCCP
+//! loop, the triage classifiers): an analysis supplies a join-semilattice
+//! of abstract states plus transfer functions, and [`solve`] iterates a
+//! deterministic block worklist to the least fixed point.
+//!
+//! Three levels of generality are provided:
+//!
+//! - [`DataflowAnalysis`] — the full interface: per-statement transfer,
+//!   per-edge transfer (which may refute an edge outright, giving
+//!   SCCP-style executable-edge semantics), a widening hook for
+//!   infinite-height lattices, and either CFG direction.
+//! - [`GenKillAnalysis`] — the classic bit-vector special case (liveness,
+//!   reaching definitions); adapt with [`GenKill`].
+//! - [`solve_interprocedural`] — a summary-free interprocedural driver:
+//!   callee boundary states are joined over all call sites discovered
+//!   through a client-provided [`CallOracle`] (in practice the pointer
+//!   analysis' call graph), iterating method solves to a global fixpoint.
+//!
+//! Unreached blocks are represented as `None` rather than requiring an
+//! explicit bottom element, so `Option<State>` is the real lattice and
+//! every analysis state is attached to a path from the boundary.
+
+use crate::ids::{BlockId, MethodId, StmtAddr};
+use crate::method::{Method, Terminator};
+use crate::program::Program;
+use crate::stmt::Stmt;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Which way facts flow through the CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry block along CFG edges.
+    Forward,
+    /// Facts flow from the exit blocks against CFG edges.
+    Backward,
+}
+
+/// A join-semilattice of abstract states.
+///
+/// `join` must be commutative, associative, and idempotent; [`solve`]
+/// reaches a fixpoint only when the transfer functions are monotone with
+/// respect to the order induced by `join` (`a ≤ b` iff `a ∨ b = b`).
+pub trait JoinSemiLattice: Clone {
+    /// In-place least upper bound; returns whether `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+
+    /// The partial order induced by `join`: `self ≤ other` iff joining
+    /// `self` into `other` changes nothing.
+    fn le(&self, other: &Self) -> bool {
+        let mut o = other.clone();
+        !o.join(self)
+    }
+}
+
+/// A monotone dataflow analysis: lattice + transfer functions.
+pub trait DataflowAnalysis {
+    /// The abstract state attached to each block boundary.
+    type State: JoinSemiLattice;
+
+    /// Flow direction (default forward).
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    /// The state at the flow boundary: the entry block (forward) or every
+    /// exit block (backward).
+    fn boundary_state(&self, method: &Method) -> Self::State;
+
+    /// Applies one statement to the state. Statements are visited in
+    /// execution order for forward analyses and reverse order backward.
+    fn transfer_stmt(&self, addr: StmtAddr, stmt: &Stmt, state: &mut Self::State);
+
+    /// Applies a block terminator to the state (e.g. liveness of a branch
+    /// condition). Runs after the statements (forward) or before them
+    /// (backward). Default: no effect.
+    fn transfer_terminator(&self, block: BlockId, term: &Terminator, state: &mut Self::State) {
+        let _ = (block, term, state);
+    }
+
+    /// Refines the state along the CFG edge `from → to` (stated in CFG
+    /// orientation for both directions). Returning `None` marks the edge
+    /// statically infeasible under `state` — the SCCP executable-edge
+    /// semantics; such edges transmit nothing and never become
+    /// executable. Default: every edge is feasible and unrefined.
+    fn transfer_edge(
+        &self,
+        method: &Method,
+        from: BlockId,
+        term: &Terminator,
+        to: BlockId,
+        state: &Self::State,
+    ) -> Option<Self::State> {
+        let _ = (method, from, term, to);
+        Some(state.clone())
+    }
+
+    /// Widening hook: once a block's input has been re-joined more than
+    /// [`DataflowAnalysis::widen_after`] times, the freshly joined state
+    /// is passed here together with the previous one so the analysis can
+    /// force ascent to a fixpoint (infinite-height lattices). Default:
+    /// identity.
+    fn widen(&self, block: BlockId, previous: &Self::State, joined: &mut Self::State) {
+        let _ = (block, previous, joined);
+    }
+
+    /// Number of input re-joins a block tolerates before [`widen`]
+    /// (Self::widen) kicks in. The default never widens, which is correct
+    /// for all finite-height lattices used in this codebase.
+    fn widen_after(&self) -> usize {
+        usize::MAX
+    }
+}
+
+/// The fixpoint of one method solve.
+#[derive(Debug, Clone)]
+pub struct DataflowResults<S> {
+    direction: Direction,
+    /// Per-block input state: at block entry (forward) or block exit
+    /// (backward). `None` = the block is unreached from the boundary.
+    inputs: Vec<Option<S>>,
+    /// Executable CFG edges `(from, to)`, sorted. In forward mode an edge
+    /// missing here while `from` is reached is statically infeasible.
+    exec_edges: Vec<(BlockId, BlockId)>,
+    /// Worklist iterations (block visits) the solve took.
+    pub iterations: usize,
+}
+
+impl<S> DataflowResults<S> {
+    /// The direction the analysis ran in.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// The input state of `block` (entry state forward, exit state
+    /// backward); `None` when the block is unreached.
+    pub fn block_input(&self, block: BlockId) -> Option<&S> {
+        self.inputs[block.index()].as_ref()
+    }
+
+    /// Whether `block` is reached from the flow boundary.
+    pub fn reached(&self, block: BlockId) -> bool {
+        self.inputs[block.index()].is_some()
+    }
+
+    /// Whether the CFG edge `(from, to)` became executable.
+    pub fn edge_executable(&self, from: BlockId, to: BlockId) -> bool {
+        self.exec_edges.binary_search(&(from, to)).is_ok()
+    }
+
+    /// All executable edges, sorted by `(from, to)`.
+    pub fn executable_edges(&self) -> &[(BlockId, BlockId)] {
+        &self.exec_edges
+    }
+}
+
+/// A program point paired with its abstract state during a results walk.
+#[derive(Debug, Clone, Copy)]
+pub enum ProgramPoint<'a> {
+    /// A statement.
+    Stmt(StmtAddr, &'a Stmt),
+    /// A block terminator.
+    Terminator(BlockId, &'a Terminator),
+}
+
+/// Replays a forward analysis over its fixpoint, calling `visit` with the
+/// state *before* each program point of every reached block, in block
+/// order. This is how clients read out per-statement facts without the
+/// solver having to store a state per statement.
+pub fn visit_forward<A: DataflowAnalysis>(
+    method: &Method,
+    analysis: &A,
+    results: &DataflowResults<A::State>,
+    mut visit: impl FnMut(ProgramPoint<'_>, &A::State),
+) {
+    debug_assert_eq!(results.direction, Direction::Forward);
+    for (bid, block) in method.iter_blocks() {
+        let Some(input) = results.block_input(bid) else {
+            continue;
+        };
+        let mut state = input.clone();
+        for (i, stmt) in block.stmts.iter().enumerate() {
+            let addr = StmtAddr::new(method.id, bid, i as u32);
+            visit(ProgramPoint::Stmt(addr, stmt), &state);
+            analysis.transfer_stmt(addr, stmt, &mut state);
+        }
+        visit(ProgramPoint::Terminator(bid, &block.terminator), &state);
+    }
+}
+
+/// Solves `analysis` over `method` from the analysis' own boundary state.
+pub fn solve<A: DataflowAnalysis>(method: &Method, analysis: &A) -> DataflowResults<A::State> {
+    solve_with_boundary(method, analysis, analysis.boundary_state(method))
+}
+
+/// Solves `analysis` over `method` from an explicit boundary state (used
+/// by the interprocedural driver, which joins boundary states over call
+/// sites).
+pub fn solve_with_boundary<A: DataflowAnalysis>(
+    method: &Method,
+    analysis: &A,
+    boundary: A::State,
+) -> DataflowResults<A::State> {
+    let n = method.blocks.len();
+    let mut inputs: Vec<Option<A::State>> = vec![None; n];
+    let mut joins: Vec<usize> = vec![0; n];
+    let mut exec: Vec<(BlockId, BlockId)> = Vec::new();
+    let mut worklist: VecDeque<BlockId> = VecDeque::new();
+    let direction = analysis.direction();
+    let preds = match direction {
+        Direction::Forward => Vec::new(),
+        Direction::Backward => method.predecessors(),
+    };
+
+    match direction {
+        Direction::Forward => {
+            inputs[method.entry().index()] = Some(boundary);
+            worklist.push_back(method.entry());
+        }
+        Direction::Backward => {
+            for (bid, block) in method.iter_blocks() {
+                if block.terminator.successors().is_empty() {
+                    inputs[bid.index()] = Some(boundary.clone());
+                    worklist.push_back(bid);
+                }
+            }
+        }
+    }
+
+    let mut iterations = 0usize;
+    while let Some(b) = worklist.pop_front() {
+        iterations += 1;
+        let mut state = match &inputs[b.index()] {
+            Some(s) => s.clone(),
+            None => continue,
+        };
+        let block = method.block(b);
+        match direction {
+            Direction::Forward => {
+                for (i, stmt) in block.stmts.iter().enumerate() {
+                    let addr = StmtAddr::new(method.id, b, i as u32);
+                    analysis.transfer_stmt(addr, stmt, &mut state);
+                }
+                analysis.transfer_terminator(b, &block.terminator, &mut state);
+                for succ in block.terminator.successors() {
+                    let Some(es) =
+                        analysis.transfer_edge(method, b, &block.terminator, succ, &state)
+                    else {
+                        continue;
+                    };
+                    if propagate(
+                        analysis,
+                        &mut inputs,
+                        &mut joins,
+                        &mut exec,
+                        (b, succ),
+                        succ,
+                        es,
+                    ) {
+                        worklist.push_back(succ);
+                    }
+                }
+            }
+            Direction::Backward => {
+                analysis.transfer_terminator(b, &block.terminator, &mut state);
+                for (i, stmt) in block.stmts.iter().enumerate().rev() {
+                    let addr = StmtAddr::new(method.id, b, i as u32);
+                    analysis.transfer_stmt(addr, stmt, &mut state);
+                }
+                for &p in &preds[b.index()] {
+                    let term = &method.block(p).terminator;
+                    let Some(es) = analysis.transfer_edge(method, p, term, b, &state) else {
+                        continue;
+                    };
+                    if propagate(analysis, &mut inputs, &mut joins, &mut exec, (p, b), p, es) {
+                        worklist.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+
+    exec.sort_unstable();
+    exec.dedup();
+    DataflowResults {
+        direction,
+        inputs,
+        exec_edges: exec,
+        iterations,
+    }
+}
+
+/// Joins `incoming` into the input of `target`, applying widening once
+/// the block has been re-joined too often. Returns whether `target` needs
+/// re-processing (first arrival over this edge, or a state change).
+fn propagate<A: DataflowAnalysis>(
+    analysis: &A,
+    inputs: &mut [Option<A::State>],
+    joins: &mut [usize],
+    exec: &mut Vec<(BlockId, BlockId)>,
+    edge: (BlockId, BlockId),
+    target: BlockId,
+    incoming: A::State,
+) -> bool {
+    let newly_exec = !exec.contains(&edge);
+    if newly_exec {
+        exec.push(edge);
+    }
+    let slot = &mut inputs[target.index()];
+    let changed = match slot {
+        None => {
+            *slot = Some(incoming);
+            true
+        }
+        Some(cur) => {
+            joins[target.index()] += 1;
+            let previous = cur.clone();
+            let mut changed = cur.join(&incoming);
+            if changed && joins[target.index()] > analysis.widen_after() {
+                analysis.widen(target, &previous, cur);
+                changed = !cur.le(&previous);
+            }
+            changed
+        }
+    };
+    newly_exec || changed
+}
+
+// ---------------------------------------------------------------------------
+// Gen/kill bit-vector analyses
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity bit set; the lattice of the gen/kill analyses
+/// (union join).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set able to hold elements `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            words: vec![0; capacity.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`; returns whether it was new.
+    pub fn insert(&mut self, i: usize) -> bool {
+        let (w, b) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[w] & b == 0;
+        self.words[w] |= b;
+        fresh
+    }
+
+    /// Removes `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether `i` is present.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// `self -= other` (set difference).
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (d, s) in self.words.iter_mut().zip(&other.words) {
+            *d &= !s;
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+}
+
+impl JoinSemiLattice for BitSet {
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (d, s) in self.words.iter_mut().zip(&other.words) {
+            let nv = *d | s;
+            if nv != *d {
+                *d = nv;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// The classic bit-vector special case: each program point generates and
+/// kills set members; the transfer is `(state − kill) ∪ gen`.
+pub trait GenKillAnalysis {
+    /// Flow direction.
+    fn direction(&self) -> Direction;
+
+    /// Size of the bit domain for this method (e.g. its local count).
+    fn domain_size(&self, method: &Method) -> usize;
+
+    /// Boundary state (default: empty set).
+    fn boundary(&self, method: &Method) -> BitSet {
+        BitSet::with_capacity(self.domain_size(method))
+    }
+
+    /// Gen/kill sets of one statement.
+    fn transfer(&self, addr: StmtAddr, stmt: &Stmt, gen: &mut BitSet, kill: &mut BitSet);
+
+    /// Gen/kill sets of a terminator (default: none).
+    fn transfer_terminator(
+        &self,
+        block: BlockId,
+        term: &Terminator,
+        gen: &mut BitSet,
+        kill: &mut BitSet,
+    ) {
+        let _ = (block, term, gen, kill);
+    }
+}
+
+/// Adapter running a [`GenKillAnalysis`] on the full framework.
+pub struct GenKill<A>(pub A);
+
+impl<A: GenKillAnalysis> GenKill<A> {
+    fn apply(&self, state: &mut BitSet, mut fill: impl FnMut(&A, &mut BitSet, &mut BitSet)) {
+        let cap = state.words.len() * 64;
+        let mut gen = BitSet::with_capacity(cap);
+        let mut kill = BitSet::with_capacity(cap);
+        fill(&self.0, &mut gen, &mut kill);
+        state.subtract(&kill);
+        state.join(&gen);
+    }
+}
+
+impl<A: GenKillAnalysis> DataflowAnalysis for GenKill<A> {
+    type State = BitSet;
+
+    fn direction(&self) -> Direction {
+        self.0.direction()
+    }
+
+    fn boundary_state(&self, method: &Method) -> BitSet {
+        self.0.boundary(method)
+    }
+
+    fn transfer_stmt(&self, addr: StmtAddr, stmt: &Stmt, state: &mut BitSet) {
+        self.apply(state, |a, gen, kill| a.transfer(addr, stmt, gen, kill));
+    }
+
+    fn transfer_terminator(&self, block: BlockId, term: &Terminator, state: &mut BitSet) {
+        self.apply(state, |a, gen, kill| {
+            a.transfer_terminator(block, term, gen, kill);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural driver
+// ---------------------------------------------------------------------------
+
+/// Client-provided call-graph view: which method bodies the call at
+/// `addr` may reach. `apir` knows nothing about dispatch or contexts —
+/// the oracle is implemented above it (over the pointer analysis' call
+/// graph), which keeps unsound name-only resolution out of the framework.
+/// Callee lists must be deterministic for a given input.
+pub trait CallOracle {
+    /// Possible callees with bodies; empty = opaque call.
+    fn callees(&self, addr: StmtAddr, stmt: &Stmt) -> Vec<MethodId>;
+}
+
+/// A forward [`DataflowAnalysis`] that can carry its state across call
+/// edges.
+pub trait InterproceduralAnalysis: DataflowAnalysis {
+    /// Maps the caller's state at a call site into the callee's boundary
+    /// (entry) state — typically argument facts onto parameter locals.
+    fn enter_call(&self, call: &Stmt, caller: &Self::State, callee: &Method) -> Self::State;
+}
+
+/// The global fixpoint of an interprocedural solve.
+#[derive(Debug)]
+pub struct InterResults<S> {
+    /// Per-method fixpoints, for every method reached from the roots.
+    pub per_method: BTreeMap<MethodId, DataflowResults<S>>,
+    /// Total method (re-)solves the driver performed.
+    pub solves: usize,
+}
+
+/// Runs a forward analysis across method boundaries: each root starts
+/// from the analysis' boundary state; every discovered call site joins an
+/// [`InterproceduralAnalysis::enter_call`] state into its callees'
+/// boundaries, and methods re-solve until no boundary grows. Contexts are
+/// merged per method (a context-insensitive summary of the boundary),
+/// which is sound for the triage classifiers this drives: joins only lose
+/// precision, never soundness, for a monotone analysis.
+pub fn solve_interprocedural<A: InterproceduralAnalysis>(
+    program: &Program,
+    oracle: &impl CallOracle,
+    roots: &[MethodId],
+    analysis: &A,
+) -> InterResults<A::State> {
+    debug_assert!(matches!(analysis.direction(), Direction::Forward));
+    let mut boundaries: BTreeMap<MethodId, A::State> = BTreeMap::new();
+    let mut results: BTreeMap<MethodId, DataflowResults<A::State>> = BTreeMap::new();
+    let mut worklist: VecDeque<MethodId> = VecDeque::new();
+    let mut queued: Vec<MethodId> = Vec::new();
+
+    for &root in roots {
+        let method = program.method(root);
+        if !method.has_body() {
+            continue;
+        }
+        let entry = analysis.boundary_state(method);
+        join_boundary::<A>(&mut boundaries, root, entry);
+        if !queued.contains(&root) {
+            queued.push(root);
+            worklist.push_back(root);
+        }
+    }
+
+    let mut solves = 0usize;
+    while let Some(m) = worklist.pop_front() {
+        queued.retain(|&q| q != m);
+        let method = program.method(m);
+        let boundary = boundaries.get(&m).expect("queued methods have a boundary");
+        let fixed = solve_with_boundary(method, analysis, boundary.clone());
+        solves += 1;
+        // Propagate call-site states into callee boundaries.
+        let mut grew: Vec<MethodId> = Vec::new();
+        visit_forward(method, analysis, &fixed, |point, state| {
+            let ProgramPoint::Stmt(addr, stmt) = point else {
+                return;
+            };
+            if !matches!(stmt, Stmt::Call { .. }) {
+                return;
+            }
+            for callee in oracle.callees(addr, stmt) {
+                let callee_method = program.method(callee);
+                if !callee_method.has_body() {
+                    continue;
+                }
+                let entry = analysis.enter_call(stmt, state, callee_method);
+                if join_boundary::<A>(&mut boundaries, callee, entry) {
+                    grew.push(callee);
+                }
+            }
+        });
+        results.insert(m, fixed);
+        for callee in grew {
+            if !queued.contains(&callee) {
+                queued.push(callee);
+                worklist.push_back(callee);
+            }
+        }
+    }
+
+    InterResults {
+        per_method: results,
+        solves,
+    }
+}
+
+/// Joins `incoming` into `boundaries[m]`; returns whether it changed (or
+/// was new).
+fn join_boundary<A: DataflowAnalysis>(
+    boundaries: &mut BTreeMap<MethodId, A::State>,
+    m: MethodId,
+    incoming: A::State,
+) -> bool {
+    match boundaries.get_mut(&m) {
+        None => {
+            boundaries.insert(m, incoming);
+            true
+        }
+        Some(cur) => cur.join(&incoming),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Local;
+    use crate::method::BasicBlock;
+    use crate::stmt::{BinOp, ConstValue, Operand};
+    use crate::ty::Type;
+    use crate::{InvokeKind, Origin, ProgramBuilder};
+
+    /// Flat constant environment used by the framework tests: locals
+    /// mapped to a known constant (absent = unknown), intersection join.
+    #[derive(Debug, Clone, PartialEq, Default)]
+    struct Consts(std::collections::HashMap<Local, ConstValue>);
+
+    impl JoinSemiLattice for Consts {
+        fn join(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.retain(|l, v| other.0.get(l) == Some(v));
+            self.0.len() != before
+        }
+    }
+
+    struct ConstAnalysis;
+
+    impl DataflowAnalysis for ConstAnalysis {
+        type State = Consts;
+
+        fn boundary_state(&self, _method: &Method) -> Consts {
+            Consts::default()
+        }
+
+        fn transfer_stmt(&self, _addr: StmtAddr, stmt: &Stmt, state: &mut Consts) {
+            match stmt {
+                Stmt::Const { dst, value } => {
+                    state.0.insert(*dst, *value);
+                }
+                other => {
+                    if let Some(d) = other.def() {
+                        state.0.remove(&d);
+                    }
+                }
+            }
+        }
+
+        fn transfer_edge(
+            &self,
+            _method: &Method,
+            _from: BlockId,
+            term: &Terminator,
+            to: BlockId,
+            state: &Consts,
+        ) -> Option<Consts> {
+            if let Terminator::If {
+                cond,
+                then_bb,
+                else_bb,
+            } = term
+            {
+                if then_bb != else_bb {
+                    let known = match cond {
+                        Operand::Const(c) => Some(*c),
+                        Operand::Local(l) => state.0.get(l).copied(),
+                    };
+                    if let Some(ConstValue::Bool(v)) = known {
+                        let taken = if v { *then_bb } else { *else_bb };
+                        if to != taken {
+                            return None;
+                        }
+                    }
+                }
+            }
+            Some(state.clone())
+        }
+    }
+
+    fn diamond(cond: Operand) -> Method {
+        // b0: x = 1; if cond -> b1 else b2; b1: goto b3; b2: x = 2, goto b3; b3: ret
+        let mut b0 = BasicBlock::new();
+        b0.stmts.push(Stmt::Const {
+            dst: Local(0),
+            value: ConstValue::Int(1),
+        });
+        b0.terminator = Terminator::If {
+            cond,
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        let mut b1 = BasicBlock::new();
+        b1.terminator = Terminator::Goto(BlockId(3));
+        let mut b2 = BasicBlock::new();
+        b2.stmts.push(Stmt::Const {
+            dst: Local(0),
+            value: ConstValue::Int(2),
+        });
+        b2.terminator = Terminator::Goto(BlockId(3));
+        let b3 = BasicBlock::new();
+        Method {
+            id: MethodId(0),
+            class: crate::ClassId(0),
+            name: crate::Symbol(0),
+            param_count: 0,
+            ret: None,
+            is_static: true,
+            is_abstract: false,
+            local_count: 1,
+            blocks: vec![b0, b1, b2, b3],
+        }
+    }
+
+    #[test]
+    fn forward_join_loses_conflicting_constants() {
+        let m = diamond(Operand::Local(Local(0)));
+        let r = solve(&m, &ConstAnalysis);
+        // Join point: x is 1 on one edge, 2 on the other → unknown.
+        assert!(r.block_input(BlockId(3)).unwrap().0.is_empty());
+        assert!(r.reached(BlockId(1)) && r.reached(BlockId(2)));
+        assert_eq!(r.executable_edges().len(), 4);
+    }
+
+    #[test]
+    fn infeasible_edge_keeps_constant_and_dead_block() {
+        let m = diamond(Operand::Const(ConstValue::Bool(false)));
+        let r = solve(&m, &ConstAnalysis);
+        assert!(!r.reached(BlockId(1)), "then-branch is dead");
+        assert!(!r.edge_executable(BlockId(0), BlockId(1)));
+        assert!(r.edge_executable(BlockId(0), BlockId(2)));
+        // Only the else path reaches the join: x = 2 survives.
+        assert_eq!(
+            r.block_input(BlockId(3)).unwrap().0.get(&Local(0)),
+            Some(&ConstValue::Int(2))
+        );
+    }
+
+    #[test]
+    fn visit_forward_exposes_per_statement_states() {
+        let m = diamond(Operand::Const(ConstValue::Bool(true)));
+        let r = solve(&m, &ConstAnalysis);
+        let mut terminator_states = Vec::new();
+        visit_forward(&m, &ConstAnalysis, &r, |point, state| {
+            if let ProgramPoint::Terminator(b, _) = point {
+                terminator_states.push((b, state.0.get(&Local(0)).copied()));
+            }
+        });
+        // Unreached b2 is skipped; every other terminator sees x = 1.
+        assert_eq!(
+            terminator_states,
+            vec![
+                (BlockId(0), Some(ConstValue::Int(1))),
+                (BlockId(1), Some(ConstValue::Int(1))),
+                (BlockId(3), Some(ConstValue::Int(1))),
+            ]
+        );
+    }
+
+    /// Liveness as the canonical backward gen/kill instance.
+    struct Liveness;
+
+    impl GenKillAnalysis for Liveness {
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+
+        fn domain_size(&self, method: &Method) -> usize {
+            method.local_count as usize
+        }
+
+        fn transfer(&self, _addr: StmtAddr, stmt: &Stmt, gen: &mut BitSet, kill: &mut BitSet) {
+            // Backward order: uses are generated, the def is killed; a
+            // statement both using and defining a local keeps it live
+            // because gen is applied after kill.
+            if let Some(d) = stmt.def() {
+                kill.insert(d.index());
+            }
+            for u in stmt.uses() {
+                gen.insert(u.index());
+            }
+        }
+
+        fn transfer_terminator(
+            &self,
+            _block: BlockId,
+            term: &Terminator,
+            gen: &mut BitSet,
+            _kill: &mut BitSet,
+        ) {
+            let used = match term {
+                Terminator::If { cond, .. } => cond.as_local(),
+                Terminator::Return(Some(op)) => op.as_local(),
+                _ => None,
+            };
+            if let Some(l) = used {
+                gen.insert(l.index());
+            }
+        }
+    }
+
+    #[test]
+    fn backward_liveness_over_a_branch() {
+        // b0: l1 = l0 + 1; if l1 -> b1 else b2
+        // b1: ret l1    b2: ret l2
+        let mut b0 = BasicBlock::new();
+        b0.stmts.push(Stmt::BinOp {
+            dst: Local(1),
+            op: BinOp::Add,
+            lhs: Operand::Local(Local(0)),
+            rhs: Operand::Const(ConstValue::Int(1)),
+        });
+        b0.terminator = Terminator::If {
+            cond: Operand::Local(Local(1)),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        let mut b1 = BasicBlock::new();
+        b1.terminator = Terminator::Return(Some(Operand::Local(Local(1))));
+        let mut b2 = BasicBlock::new();
+        b2.terminator = Terminator::Return(Some(Operand::Local(Local(2))));
+        let m = Method {
+            id: MethodId(0),
+            class: crate::ClassId(0),
+            name: crate::Symbol(0),
+            param_count: 1,
+            ret: Some(Type::Int),
+            is_static: true,
+            is_abstract: false,
+            local_count: 3,
+            blocks: vec![b0, b1, b2],
+        };
+        let r = solve(&m, &GenKill(Liveness));
+        // Exit state of b0 = live-in of its successors: l1 (b1) ∪ l2 (b2).
+        let live_out_b0: Vec<usize> = r.block_input(BlockId(0)).unwrap().iter().collect();
+        assert_eq!(live_out_b0, vec![1, 2]);
+    }
+
+    /// A saturating counter lattice with genuinely infinite ascent unless
+    /// widened: the widening hook jumps straight to ⊤.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Counter {
+        Exactly(i64),
+        Top,
+    }
+
+    impl JoinSemiLattice for Counter {
+        fn join(&mut self, other: &Self) -> bool {
+            match (&*self, other) {
+                (Counter::Top, _) => false,
+                (Counter::Exactly(a), Counter::Exactly(b)) if a == b => false,
+                _ => {
+                    *self = Counter::Top;
+                    true
+                }
+            }
+        }
+    }
+
+    struct CountLoop;
+
+    impl DataflowAnalysis for CountLoop {
+        type State = Counter;
+
+        fn boundary_state(&self, _method: &Method) -> Counter {
+            Counter::Exactly(0)
+        }
+
+        fn transfer_stmt(&self, _addr: StmtAddr, _stmt: &Stmt, state: &mut Counter) {
+            if let Counter::Exactly(v) = state {
+                *v += 1;
+            }
+        }
+
+        fn widen(&self, _block: BlockId, _previous: &Counter, joined: &mut Counter) {
+            *joined = Counter::Top;
+        }
+
+        fn widen_after(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn widening_forces_a_fixpoint() {
+        // b0: (one stmt); NonDet -> {b0, b1}; b1: ret. Without the Top
+        // jump the Exactly counter would never stabilize — joining 0 and
+        // 1 already goes to Top under this lattice, but widen_after = 0
+        // exercises the hook path.
+        let mut b0 = BasicBlock::new();
+        b0.stmts.push(Stmt::Const {
+            dst: Local(0),
+            value: ConstValue::Int(0),
+        });
+        b0.terminator = Terminator::NonDet(vec![BlockId(0), BlockId(1)]);
+        let b1 = BasicBlock::new();
+        let m = Method {
+            id: MethodId(0),
+            class: crate::ClassId(0),
+            name: crate::Symbol(0),
+            param_count: 0,
+            ret: None,
+            is_static: true,
+            is_abstract: false,
+            local_count: 1,
+            blocks: vec![b0, b1],
+        };
+        let r = solve(&m, &CountLoop);
+        assert_eq!(r.block_input(BlockId(0)), Some(&Counter::Top));
+        assert_eq!(r.block_input(BlockId(1)), Some(&Counter::Top));
+        assert!(r.iterations < 20, "widening must terminate the ascent");
+    }
+
+    /// Interprocedural constant flow: `main` passes a constant to
+    /// `callee`, whose parameter should pick it up through `enter_call`.
+    struct InterConsts;
+
+    impl DataflowAnalysis for InterConsts {
+        type State = Consts;
+
+        fn boundary_state(&self, _method: &Method) -> Consts {
+            Consts::default()
+        }
+
+        fn transfer_stmt(&self, addr: StmtAddr, stmt: &Stmt, state: &mut Consts) {
+            ConstAnalysis.transfer_stmt(addr, stmt, state);
+        }
+    }
+
+    impl InterproceduralAnalysis for InterConsts {
+        fn enter_call(&self, call: &Stmt, caller: &Consts, callee: &Method) -> Consts {
+            let mut entry = Consts::default();
+            if let Stmt::Call { args, .. } = call {
+                // Static call: parameter i receives argument i.
+                for (i, arg) in args.iter().enumerate() {
+                    if i >= callee.param_count as usize {
+                        break;
+                    }
+                    let known = match arg {
+                        Operand::Const(c) => Some(*c),
+                        Operand::Local(l) => caller.0.get(l).copied(),
+                    };
+                    if let Some(c) = known {
+                        entry.0.insert(Local(i as u32), c);
+                    }
+                }
+            }
+            entry
+        }
+    }
+
+    struct StaticCalls;
+
+    impl CallOracle for StaticCalls {
+        fn callees(&self, _addr: StmtAddr, stmt: &Stmt) -> Vec<MethodId> {
+            match stmt {
+                Stmt::Call { callee, .. } => vec![*callee],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn interprocedural_boundary_joins_over_call_sites() {
+        let mut pb = ProgramBuilder::new();
+        let class = pb.class("T", Origin::App).build();
+
+        let mut mb = pb.method(class, "callee");
+        mb.set_param_count(1);
+        let p = mb.param(0);
+        let echo = mb.fresh_local();
+        mb.move_(echo, p);
+        mb.ret(None);
+        let callee = mb.finish();
+
+        let mut mb = pb.method(class, "main");
+        mb.set_param_count(0);
+        let x = mb.fresh_local();
+        mb.const_(x, ConstValue::Int(7));
+        mb.call(
+            None,
+            InvokeKind::Static,
+            callee,
+            None,
+            vec![Operand::Local(x)],
+        );
+        mb.call(
+            None,
+            InvokeKind::Static,
+            callee,
+            None,
+            vec![Operand::Const(ConstValue::Int(7))],
+        );
+        mb.ret(None);
+        let main = mb.finish();
+        let program = pb.finish();
+
+        let r = solve_interprocedural(&program, &StaticCalls, &[main], &InterConsts);
+        // Both call sites pass 7, so the joined boundary keeps it.
+        let callee_entry = r.per_method[&callee]
+            .block_input(BlockId(0))
+            .expect("callee reached");
+        assert_eq!(callee_entry.0.get(&Local(0)), Some(&ConstValue::Int(7)));
+        assert!(r.solves >= 2);
+
+        // A third site with a different constant would demote it to ⊤ —
+        // simulate by re-entering with 8.
+        let callee_m = program.method(callee);
+        let call = Stmt::Call {
+            site: crate::CallSiteId(999),
+            dst: None,
+            kind: InvokeKind::Static,
+            callee,
+            receiver: None,
+            args: vec![Operand::Const(ConstValue::Int(8))],
+        };
+        let mut joined = callee_entry.clone();
+        let other = InterConsts.enter_call(&call, &Consts::default(), callee_m);
+        assert!(joined.join(&other));
+        assert!(joined.0.is_empty());
+    }
+
+    #[test]
+    fn bitset_operations() {
+        let mut s = BitSet::with_capacity(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(129) && !s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        s.remove(0);
+        assert!(!s.contains(0));
+        let mut t = BitSet::with_capacity(130);
+        t.insert(5);
+        assert!(t.join(&s));
+        assert!(!t.join(&s), "join is idempotent");
+        assert_eq!(t.iter().collect::<Vec<_>>(), vec![5, 129]);
+        let mut u = t.clone();
+        u.subtract(&s);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![5]);
+        assert!(!s.le(&t) || t.le(&t));
+        assert!(t.le(&t), "le is reflexive");
+    }
+
+    mod lattice_laws {
+        use super::*;
+        use sierra_prng::SplitMix64;
+
+        fn random_bitset(rng: &mut SplitMix64, cap: usize) -> BitSet {
+            let mut s = BitSet::with_capacity(cap);
+            for _ in 0..rng.usize(cap) {
+                s.insert(rng.usize(cap));
+            }
+            s
+        }
+
+        /// Join must be commutative, associative, idempotent, and induce
+        /// a consistent partial order — on 256 random set triples.
+        #[test]
+        fn bitset_join_laws_hold() {
+            let mut rng = SplitMix64::new(0xDA7AF10);
+            for _ in 0..256 {
+                let cap = 1 + rng.usize(100);
+                let a = random_bitset(&mut rng, cap);
+                let b = random_bitset(&mut rng, cap);
+                let c = random_bitset(&mut rng, cap);
+
+                let mut ab = a.clone();
+                ab.join(&b);
+                let mut ba = b.clone();
+                ba.join(&a);
+                assert_eq!(ab, ba, "commutative");
+
+                let mut ab_c = ab.clone();
+                ab_c.join(&c);
+                let mut bc = b.clone();
+                bc.join(&c);
+                let mut a_bc = a.clone();
+                a_bc.join(&bc);
+                assert_eq!(ab_c, a_bc, "associative");
+
+                let mut aa = a.clone();
+                assert!(!aa.join(&a), "idempotent");
+
+                assert!(a.le(&ab) && b.le(&ab), "join is an upper bound");
+                assert!(a.le(&a), "reflexive");
+            }
+        }
+
+        /// Gen/kill transfers are monotone: s1 ≤ s2 ⇒ f(s1) ≤ f(s2),
+        /// on randomized states and random statement shapes.
+        #[test]
+        fn gen_kill_transfer_is_monotone() {
+            let mut rng = SplitMix64::new(0x90709);
+            let lv = GenKill(Liveness);
+            for _ in 0..256 {
+                let cap = 8;
+                let s1 = random_bitset(&mut rng, cap);
+                let mut s2 = s1.clone();
+                s2.join(&random_bitset(&mut rng, cap));
+                let stmt = match rng.usize(4) {
+                    0 => Stmt::Const {
+                        dst: Local(rng.usize(cap) as u32),
+                        value: ConstValue::Int(rng.range_i64(0, 9)),
+                    },
+                    1 => Stmt::Move {
+                        dst: Local(rng.usize(cap) as u32),
+                        src: Local(rng.usize(cap) as u32),
+                    },
+                    2 => Stmt::BinOp {
+                        dst: Local(rng.usize(cap) as u32),
+                        op: BinOp::Add,
+                        lhs: Operand::Local(Local(rng.usize(cap) as u32)),
+                        rhs: Operand::Local(Local(rng.usize(cap) as u32)),
+                    },
+                    _ => Stmt::Load {
+                        dst: Local(rng.usize(cap) as u32),
+                        obj: Local(rng.usize(cap) as u32),
+                        field: crate::FieldId(0),
+                    },
+                };
+                let addr = StmtAddr::new(MethodId(0), BlockId(0), 0);
+                let mut t1 = s1.clone();
+                let mut t2 = s2.clone();
+                lv.transfer_stmt(addr, &stmt, &mut t1);
+                lv.transfer_stmt(addr, &stmt, &mut t2);
+                assert!(s1.le(&s2), "precondition");
+                assert!(t1.le(&t2), "monotone transfer: {stmt:?}");
+            }
+        }
+    }
+}

@@ -38,6 +38,7 @@
 
 mod builder;
 mod class;
+pub mod dataflow;
 mod dom;
 mod edges;
 mod ids;

@@ -283,6 +283,71 @@ fn main() {
         t_overlap_off.as_secs_f64() / t_overlap_on.as_secs_f64().max(1e-9)
     );
 
+    // Triage ablation: the harm classifier's work counters and crash
+    // precision/recall over the whole 20-app corpus, plus the end-to-end
+    // cost of the stage on the medium app (on vs `--no-triage`).
+    group("triage_ablation");
+    let crash_verdicts = |result: &sierra_core::SierraResult| {
+        let p = &result.harness.app.program;
+        let mut crash: std::collections::BTreeMap<(String, String), bool> =
+            std::collections::BTreeMap::new();
+        for r in &result.races {
+            if let Some(t) = &r.triage {
+                let f = p.field(r.field);
+                *crash
+                    .entry((p.class_name(f.class).to_owned(), p.name(f.name).to_owned()))
+                    .or_insert(false) |= t.harm.is_crash();
+            }
+        }
+        crash
+    };
+    let mut triage_stats = sierra_core::TriageStats::default();
+    let mut harm_eval = corpus::HarmEval::default();
+    // The twenty apps plus the triage fixture: the fixture carries the
+    // crash-capable labels, the corpus the guard-derived benign ones.
+    let harm_corpus = corpus::TWENTY
+        .iter()
+        .map(|spec| corpus::twenty::build_app(*spec))
+        .chain(std::iter::once(corpus::triage_idioms::triage_idioms_app()));
+    for (corpus_app, truth) in harm_corpus {
+        let result = Sierra::new().analyze_app(corpus_app);
+        triage_stats.merge(&result.metrics.triage);
+        let verdicts = crash_verdicts(&result);
+        harm_eval.merge(
+            truth.evaluate_harm(
+                verdicts
+                    .iter()
+                    .map(|((c, f), x)| (c.as_str(), f.as_str(), *x)),
+            ),
+        );
+    }
+    println!(
+        "triage over the corpus + fixture: {} race(s) classified ({} null-deref, {} use-before-init, {} value-inconsistency, {} likely-benign), {} dataflow iterations over {} method(s)",
+        triage_stats.classified,
+        triage_stats.null_deref,
+        triage_stats.use_before_init,
+        triage_stats.value_inconsistency,
+        triage_stats.likely_benign,
+        triage_stats.dataflow_iterations,
+        triage_stats.methods_analyzed,
+    );
+    println!(
+        "crash-precision {:.2}, crash-recall {:.2} over {} harm-scored site(s)",
+        harm_eval.precision(),
+        harm_eval.recall(),
+        harm_eval.scored
+    );
+    let triage_run = |no_triage: bool| {
+        let cfg = SierraConfig::builder().no_triage(no_triage).build();
+        Sierra::with_config(cfg).analyze_app(app.clone())
+    };
+    let t_triage_on = time("pipeline_triage_on", 10, || triage_run(false).races.len());
+    let t_triage_off = time("pipeline_triage_off", 10, || triage_run(true).races.len());
+    println!(
+        "end-to-end with triage {t_triage_on:.3?} vs without {t_triage_off:.3?} ({:.1}% overhead)",
+        (t_triage_on.as_secs_f64() / t_triage_off.as_secs_f64().max(1e-9) - 1.0) * 100.0
+    );
+
     // Machine-readable record for the CI artifact (no serde in-tree, so
     // the JSON is assembled by hand).
     let us = |d: Duration| d.as_secs_f64() * 1e6;
@@ -338,6 +403,20 @@ fn main() {
             "    \"overlap_saved_us\": {:.3},\n",
             "    \"pipeline_overlap_on_us\": {:.3},\n",
             "    \"pipeline_overlap_off_us\": {:.3}\n",
+            "  }},\n",
+            "  \"triage_ablation\": {{\n",
+            "    \"triage_classified\": {},\n",
+            "    \"triage_null_deref\": {},\n",
+            "    \"triage_use_before_init\": {},\n",
+            "    \"triage_value_inconsistency\": {},\n",
+            "    \"triage_likely_benign\": {},\n",
+            "    \"triage_dataflow_iterations\": {},\n",
+            "    \"triage_methods_analyzed\": {},\n",
+            "    \"triage_crash_precision_pct\": {:.1},\n",
+            "    \"triage_crash_recall_pct\": {:.1},\n",
+            "    \"triage_harm_scored_sites\": {},\n",
+            "    \"pipeline_triage_on_us\": {:.3},\n",
+            "    \"pipeline_triage_off_us\": {:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -379,6 +458,18 @@ fn main() {
         us(overlap_saved),
         us(t_overlap_on),
         us(t_overlap_off),
+        triage_stats.classified,
+        triage_stats.null_deref,
+        triage_stats.use_before_init,
+        triage_stats.value_inconsistency,
+        triage_stats.likely_benign,
+        triage_stats.dataflow_iterations,
+        triage_stats.methods_analyzed,
+        harm_eval.precision() * 100.0,
+        harm_eval.recall() * 100.0,
+        harm_eval.scored,
+        us(t_triage_on),
+        us(t_triage_off),
     );
     std::fs::write("BENCH_table4.json", &json).expect("write BENCH_table4.json");
     println!("wrote BENCH_table4.json");

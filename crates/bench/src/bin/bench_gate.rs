@@ -7,10 +7,11 @@
 //! propagations, rule applications, prune tallies, and the cycle-collapse
 //! ablation deltas. Wall-clock keys (`*_us`, `stage_mean_us`) are never
 //! compared: they depend on the host and would make the gate flaky. On
-//! top of the per-counter band the gate checks the two structural
-//! invariants the pointer overhaul exists to provide: collapse must
-//! reduce both worklist iterations and propagations on the cycle
-//! fixture.
+//! top of the per-counter band the gate checks the structural
+//! invariants the pipeline exists to provide: collapse must reduce both
+//! worklist iterations and propagations on the cycle fixture, and the
+//! harm classifier's crash precision must stay at or above the 90%
+//! floor on the labelled corpus.
 //!
 //! When an intentional change shifts a counter past the band, rerun
 //! `cargo bench -p sierra-bench --bench table4_efficiency` and refresh
@@ -56,7 +57,20 @@ const GATED: &[&str] = &[
     "worklist_iterations_collapse_off",
     "propagations_collapse_on",
     "propagations_collapse_off",
+    // triage ablation (corpus-wide harm classifier counters)
+    "triage_classified",
+    "triage_null_deref",
+    "triage_use_before_init",
+    "triage_value_inconsistency",
+    "triage_likely_benign",
+    "triage_dataflow_iterations",
 ];
+
+/// Crash-capable precision the harm classifier must hold on the labelled
+/// corpus, in percent. A triage stage that cries "crash" on benign races
+/// is worse than no triage at all, so this floor is absolute rather than
+/// baseline-relative.
+const CRASH_PRECISION_FLOOR_PCT: f64 = 90.0;
 
 /// Extracts the numeric value of `"key": <number>` from `json`. No serde
 /// in-tree, and the bench JSON is flat and machine-written, so a quoted
@@ -117,6 +131,13 @@ fn run(current: &str, baseline: &str) -> Result<(), Vec<String>> {
     if let Some(sccs) = counter(current, "collapsed_sccs") {
         if sccs < 1.0 {
             violations.push("collapsed_sccs: cycle fixture no longer collapses anything".into());
+        }
+    }
+    if let Some(precision) = counter(current, "triage_crash_precision_pct") {
+        if precision < CRASH_PRECISION_FLOOR_PCT {
+            violations.push(format!(
+                "triage_crash_precision_pct: {precision} is below the {CRASH_PRECISION_FLOOR_PCT}% floor on crash-capable labels"
+            ));
         }
     }
     if violations.is_empty() {
@@ -218,6 +239,24 @@ mod tests {
         );
         let err = run(&broken, BASE).unwrap_err();
         assert!(err.iter().any(|v| v.contains("stopped paying")), "{err:?}");
+    }
+
+    #[test]
+    fn crash_precision_floor_is_enforced() {
+        let with_precision = |pct: &str| {
+            BASE.replace(
+                "\"collapsed_sccs\": 4,",
+                &format!("\"collapsed_sccs\": 4, \"triage_crash_precision_pct\": {pct},"),
+            )
+        };
+        let good = with_precision("92.5");
+        assert!(run(&good, BASE).is_ok());
+        let bad = with_precision("88.0");
+        let err = run(&bad, BASE).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("below the 90% floor")),
+            "{err:?}"
+        );
     }
 
     #[test]

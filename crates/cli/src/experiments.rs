@@ -6,7 +6,7 @@
 //! regardless of scheduling, and an app whose analysis panics becomes an
 //! error row instead of killing the run.
 
-use corpus::{fdroid, twenty, EvalCounts, GroundTruth};
+use corpus::{fdroid, twenty, EvalCounts, GroundTruth, HarmEval};
 use eventracer::EventRacerConfig;
 use sierra_core::{run_jobs, EngineError, Sierra, SierraConfig, SierraResult};
 use std::time::Duration;
@@ -35,6 +35,18 @@ pub struct AppRow {
     pub after_refutation: usize,
     /// Ground-truth evaluation of SIERRA's reports.
     pub sierra_eval: EvalCounts,
+    /// Reports triaged crash-capable (null-deref + use-before-init).
+    pub triage_crash: usize,
+    /// Reports triaged value-inconsistency.
+    pub triage_value: usize,
+    /// Reports triaged likely-benign.
+    pub triage_benign: usize,
+    /// Ground-truth scoring of the crash-capable verdicts.
+    pub harm_eval: HarmEval,
+    /// Dataflow worklist iterations spent by the triage stage.
+    pub triage_iters: usize,
+    /// Stage time: harm triage.
+    pub t_triage: Duration,
     /// Ground-truth evaluation of EventRacer's reports.
     pub eventracer_eval: EvalCounts,
     /// Races EventRacer reported.
@@ -84,6 +96,22 @@ impl AppRow {
     }
 }
 
+/// Per-`(class, field)` harm verdicts of a SIERRA result: the flag is
+/// whether *any* race on the field was triaged crash-capable. Empty when
+/// the triage stage did not run.
+pub fn sierra_harm_verdicts(result: &SierraResult) -> Vec<(String, String, bool)> {
+    let p = &result.harness.app.program;
+    let mut crash: std::collections::BTreeMap<(String, String), bool> =
+        std::collections::BTreeMap::new();
+    for r in &result.races {
+        let Some(t) = &r.triage else { continue };
+        let f = p.field(r.field);
+        let key = (p.class_name(f.class).to_owned(), p.name(f.name).to_owned());
+        *crash.entry(key).or_insert(false) |= t.harm.is_crash();
+    }
+    crash.into_iter().map(|((c, f), x)| (c, f, x)).collect()
+}
+
 /// Reported `(class, field)` groups of a SIERRA result.
 pub fn sierra_groups(result: &SierraResult) -> Vec<(String, String)> {
     let p = &result.harness.app.program;
@@ -116,6 +144,13 @@ pub fn run_app(
     let e_groups = er_report.race_groups();
     let eventracer_eval = truth.evaluate(e_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
 
+    let harm_verdicts = sierra_harm_verdicts(&result);
+    let harm_eval = truth.evaluate_harm(
+        harm_verdicts
+            .iter()
+            .map(|(c, f, x)| (c.as_str(), f.as_str(), *x)),
+    );
+
     let m = &result.metrics;
     AppRow {
         name: name.to_owned(),
@@ -128,6 +163,12 @@ pub fn run_app(
         racy_with_as: result.racy_pairs_with_as,
         after_refutation: result.races.len(),
         sierra_eval,
+        triage_crash: m.triage.null_deref + m.triage.use_before_init,
+        triage_value: m.triage.value_inconsistency,
+        triage_benign: m.triage.likely_benign,
+        harm_eval,
+        triage_iters: m.triage.dataflow_iterations,
+        t_triage: m.timings.triage,
         eventracer_eval,
         eventracer_races: er_report.races.len(),
         pa_worklist_iters: m.pointer.worklist_iterations,
@@ -222,11 +263,13 @@ pub fn table2() -> String {
     out
 }
 
-/// Renders Table 3 (effectiveness on the 20-app dataset).
+/// Renders Table 3 (effectiveness on the 20-app dataset), extended with
+/// the triage verdict histogram (Crash / ValI / Benign columns) and a
+/// corpus-wide crash-precision/recall summary line.
 pub fn table3(rows: &[AppRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:>4} {:>7} {:>8} {:>5} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
+        "{:<17} {:>4} {:>7} {:>8} {:>5} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5} {:>5} {:>4} {:>6}\n",
         "App",
         "Harn",
         "Actions",
@@ -238,7 +281,10 @@ pub fn table3(rows: &[AppRow]) -> String {
         "True",
         "FP",
         "Miss",
-        "EvRac"
+        "EvRac",
+        "Crash",
+        "ValI",
+        "Benign"
     ));
     for r in rows {
         if let Some(err) = &r.error {
@@ -246,7 +292,7 @@ pub fn table3(rows: &[AppRow]) -> String {
             continue;
         }
         out.push_str(&format!(
-            "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
+            "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5} {:>5} {:>4} {:>6}\n",
             r.name,
             r.harnesses,
             r.actions,
@@ -259,10 +305,42 @@ pub fn table3(rows: &[AppRow]) -> String {
             r.sierra_eval.false_positives + r.sierra_eval.unplanted,
             r.sierra_eval.missed,
             r.eventracer_eval.true_races,
+            r.triage_crash,
+            r.triage_value,
+            r.triage_benign,
         ));
     }
     out.push_str(&median_row(rows));
+    out.push_str(&triage_summary(rows));
     out
+}
+
+/// Corpus-wide triage score: crash-capable precision/recall over every
+/// harm-labelled site of the successfully analyzed rows, plus the
+/// `triage_idioms` fixture — the twenty apps only carry guard-derived
+/// benign labels, so the fixture supplies the crash-capable half of the
+/// measurement.
+pub fn triage_summary(rows: &[AppRow]) -> String {
+    let mut total = HarmEval::default();
+    for r in ok_rows(rows) {
+        total.merge(r.harm_eval);
+    }
+    let (app, truth) = corpus::triage_idioms::triage_idioms_app();
+    let result = Sierra::new().analyze_app(app);
+    let verdicts = sierra_harm_verdicts(&result);
+    total.merge(
+        truth.evaluate_harm(
+            verdicts
+                .iter()
+                .map(|(c, f, x)| (c.as_str(), f.as_str(), *x)),
+        ),
+    );
+    format!(
+        "triage: crash-precision {:.2}, crash-recall {:.2} over {} harm-scored site(s) (corpus + triage-idioms fixture)\n",
+        total.precision(),
+        total.recall(),
+        total.scored
+    )
 }
 
 /// Renders the Table 3/5 median summary line.
@@ -272,7 +350,7 @@ pub fn median_row(rows: &[AppRow]) -> String {
         median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     format!(
-        "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5}\n",
+        "{:<17} {:>4} {:>7} {:>8} {:>5.1} {:>7} {:>7} {:>6} {:>5} {:>4} {:>5} {:>5} {:>5} {:>4} {:>6}\n",
         "MEDIAN",
         m(&|r| r.harnesses as f64),
         m(&|r| r.actions as f64),
@@ -285,6 +363,9 @@ pub fn median_row(rows: &[AppRow]) -> String {
         m(&|r| (r.sierra_eval.false_positives + r.sierra_eval.unplanted) as f64),
         m(&|r| r.sierra_eval.missed as f64),
         m(&|r| r.eventracer_eval.true_races as f64),
+        m(&|r| r.triage_crash as f64),
+        m(&|r| r.triage_value as f64),
+        m(&|r| r.triage_benign as f64),
     )
 }
 
@@ -293,12 +374,13 @@ pub fn table4(rows: &[AppRow]) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:>10} {:>8} {:>11} {:>12} {:>11} {:>11} {:>10} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6}\n",
+        "{:<17} {:>10} {:>8} {:>11} {:>12} {:>10} {:>11} {:>11} {:>10} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7}\n",
         "App",
         "CG+PA(ms)",
         "HBG(ms)",
         "Prefilt(ms)",
         "Refute(ms)",
+        "Triage(ms)",
         "Compare(ms)",
         "OvlSave(ms)",
         "Total(ms)",
@@ -309,7 +391,8 @@ pub fn table4(rows: &[AppRow]) -> String {
         "HBapps",
         "Paths",
         "Pruned",
-        "Infeas"
+        "Infeas",
+        "DFiters"
     ));
     for r in rows {
         if let Some(err) = &r.error {
@@ -317,12 +400,13 @@ pub fn table4(rows: &[AppRow]) -> String {
             continue;
         }
         out.push_str(&format!(
-            "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>11.2} {:>11.2} {:>10.2} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6}\n",
+            "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>11.2} {:>11.2} {:>10.2} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7}\n",
             r.name,
             ms(r.t_cg_pa),
             ms(r.t_hbg),
             ms(r.t_prefilter),
             ms(r.t_refutation),
+            ms(r.t_triage),
             ms(r.t_compare),
             ms(r.overlap_saved),
             ms(r.t_total),
@@ -334,6 +418,7 @@ pub fn table4(rows: &[AppRow]) -> String {
             r.refuter_paths,
             r.pruned_pairs,
             r.infeasible_edges,
+            r.triage_iters,
         ));
     }
     let ok = ok_rows(rows);
@@ -341,12 +426,13 @@ pub fn table4(rows: &[AppRow]) -> String {
         median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     out.push_str(&format!(
-        "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>11.2} {:>11.2} {:>10.2} {:>8.0} {:>5.0} {:>7.0} {:>8.0} {:>8.0} {:>6.0} {:>6.0} {:>6.0}\n",
+        "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>11.2} {:>11.2} {:>10.2} {:>8.0} {:>5.0} {:>7.0} {:>8.0} {:>8.0} {:>6.0} {:>6.0} {:>6.0} {:>7.0}\n",
         "MEDIAN",
         med(&|r| ms(r.t_cg_pa)),
         med(&|r| ms(r.t_hbg)),
         med(&|r| ms(r.t_prefilter)),
         med(&|r| ms(r.t_refutation)),
+        med(&|r| ms(r.t_triage)),
         med(&|r| ms(r.t_compare)),
         med(&|r| ms(r.overlap_saved)),
         med(&|r| ms(r.t_total)),
@@ -358,6 +444,7 @@ pub fn table4(rows: &[AppRow]) -> String {
         med(&|r| r.refuter_paths as f64),
         med(&|r| r.pruned_pairs as f64),
         med(&|r| r.infeasible_edges as f64),
+        med(&|r| r.triage_iters as f64),
     ));
     out
 }

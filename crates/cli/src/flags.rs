@@ -17,6 +17,10 @@
 //!                       (default topo-lrf)
 //! --no-overlap-compare  run the comparison pass serially instead of
 //!                       overlapped with refutation
+//! --no-triage           disable the post-refutation harm-triage stage
+//!                       (reports then carry no harm annotation)
+//! --min-harm <LEVEL>    drop reports triaged below LEVEL: benign |
+//!                       value | use-before-init | null-deref
 //! ```
 //!
 //! [`CommonFlags::parse`] consumes the recognized flags (and their
@@ -36,10 +40,10 @@ pub struct CommonFlags {
 
 impl CommonFlags {
     /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`,
-    /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`, and
-    /// `--no-overlap-compare` from `args`, removing each recognized flag
-    /// (and its value, if any). Unknown flags and positionals are
-    /// untouched.
+    /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`,
+    /// `--no-overlap-compare`, `--no-triage`, and `--min-harm` from
+    /// `args`, removing each recognized flag (and its value, if any).
+    /// Unknown flags and positionals are untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
         let mut builder = SierraConfig::builder();
         let mut jobs = 0usize;
@@ -78,6 +82,13 @@ impl CommonFlags {
         }
         if take_switch(args, "--no-overlap-compare") {
             builder = builder.overlap_compare(false);
+        }
+        if take_switch(args, "--no-triage") {
+            builder = builder.no_triage(true);
+        }
+        if let Some(v) = take_flag(args, "--min-harm")? {
+            let level: sierra_core::Harm = v.parse().map_err(|e| format!("{e}"))?;
+            builder = builder.min_harm(level);
         }
         Ok(Self {
             jobs,
@@ -205,6 +216,27 @@ mod tests {
             pointer::WorklistPolicy::TopoLrf
         );
         assert!(flags.config.overlap_compare);
+    }
+
+    #[test]
+    fn triage_flags_are_consumed() {
+        let mut args = argv(&["analyze", "fig1", "--no-triage"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(flags.config.no_triage);
+        assert_eq!(flags.config.min_harm, None);
+        assert_eq!(args, argv(&["analyze", "fig1"]));
+
+        let mut args = argv(&["analyze", "fig1", "--min-harm", "use-before-init"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(!flags.config.no_triage);
+        assert_eq!(
+            flags.config.min_harm,
+            Some(sierra_core::Harm::UseBeforeInit)
+        );
+        assert_eq!(args, argv(&["analyze", "fig1"]));
+
+        assert!(CommonFlags::parse(&mut argv(&["x", "--min-harm", "fatal"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--min-harm"])).is_err());
     }
 
     #[test]

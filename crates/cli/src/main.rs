@@ -22,6 +22,9 @@
 //! --no-cycle-collapse  disable online cycle collapse in the pointer solver
 //! --worklist <POLICY>  pointer solver worklist: topo-lrf | fifo
 //! --no-overlap-compare run the comparison pass serially, not overlapped
+//! --no-triage          disable post-refutation harm triage
+//! --min-harm <LEVEL>   drop reports below LEVEL: benign | value |
+//!                      use-before-init | null-deref
 //! ```
 
 use eventracer::EventRacerConfig;
@@ -31,7 +34,8 @@ use sierra_core::Sierra;
 
 const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>>\n\
                      shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter\n\
-                     \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare";
+                     \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare\n\
+                     \x20             --no-triage --min-harm <benign|value|use-before-init|null-deref>";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,14 +76,23 @@ fn main() {
                 eprintln!("usage: sierra-cli analyze <AppName>");
                 std::process::exit(2);
             };
-            let Some(spec) = corpus::TWENTY
-                .iter()
-                .find(|s| s.name.eq_ignore_ascii_case(name))
-            else {
-                eprintln!("unknown app {name:?}; see `sierra-cli table2` for names");
-                std::process::exit(2);
+            // The triage fixture is analyzable by name alongside the
+            // Table-2 apps: it is the corpus entry carrying
+            // crash-capable harm labels.
+            let (app, truth) = if name.eq_ignore_ascii_case("TriageIdioms") {
+                corpus::triage_idioms::triage_idioms_app()
+            } else {
+                let Some(spec) = corpus::TWENTY
+                    .iter()
+                    .find(|s| s.name.eq_ignore_ascii_case(name))
+                else {
+                    eprintln!(
+                        "unknown app {name:?}; see `sierra-cli table2` for names (or TriageIdioms)"
+                    );
+                    std::process::exit(2);
+                };
+                corpus::twenty::build_app(*spec)
             };
-            let (app, truth) = corpus::twenty::build_app(*spec);
             let result = Sierra::with_config(sierra_cfg).analyze_app(app);
             print!("{result}");
             let groups = experiments::sierra_groups(&result);
@@ -90,6 +103,20 @@ fn main() {
                 eval.false_positives + eval.unplanted,
                 eval.missed
             );
+            if result.triage_ran {
+                let verdicts = experiments::sierra_harm_verdicts(&result);
+                let harm = truth.evaluate_harm(
+                    verdicts
+                        .iter()
+                        .map(|(c, f, x)| (c.as_str(), f.as_str(), *x)),
+                );
+                println!(
+                    "harm triage: crash-precision {:.2}, crash-recall {:.2} over {} harm-scored site(s)",
+                    harm.precision(),
+                    harm.recall(),
+                    harm.scored
+                );
+            }
         }
         "verify" => {
             let Some(name) = args.get(1) else {

@@ -43,6 +43,7 @@ pub use pipeline::{
 pub use prefilter::{PrefilterStats, PrunedPair, Verdict};
 pub use report::{describe_action, describe_pair, priority_of, Priority, RaceReport};
 pub use session::{refute_candidates, AnalysisSession, PrefilterOutcome, RefutationRun};
+pub use triage::{Harm, TriageStats, TriageVerdict, Witness};
 
 #[cfg(test)]
 mod tests;

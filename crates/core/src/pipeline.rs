@@ -53,6 +53,14 @@ pub struct SierraConfig {
     /// comparison result is a deterministic count computed from shared
     /// immutable inputs, so overlapping cannot change any output.
     pub overlap_compare: bool,
+    /// Disable the post-refutation harm-triage stage (the `--no-triage`
+    /// ablation). Race reports then carry no harm annotation and every
+    /// output is byte-identical to the pre-triage pipeline.
+    pub no_triage: bool,
+    /// Drop reports classified below this harm level (`--min-harm`).
+    /// `None` keeps everything. Ignored under `no_triage`, which never
+    /// classifies.
+    pub min_harm: Option<triage::Harm>,
 }
 
 impl Default for SierraConfig {
@@ -66,6 +74,8 @@ impl Default for SierraConfig {
             refute_jobs: 1,
             pointer_options: AnalysisOptions::default(),
             overlap_compare: true,
+            no_triage: false,
+            min_harm: None,
         }
     }
 }
@@ -152,6 +162,18 @@ impl SierraConfigBuilder {
         self
     }
 
+    /// Disables (or re-enables) the post-refutation harm-triage stage.
+    pub fn no_triage(mut self, yes: bool) -> Self {
+        self.cfg.no_triage = yes;
+        self
+    }
+
+    /// Drops reports triaged below `level` (no-op under `no_triage`).
+    pub fn min_harm(mut self, level: triage::Harm) -> Self {
+        self.cfg.min_harm = Some(level);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SierraConfig {
         self.cfg
@@ -171,6 +193,8 @@ pub struct StageTimings {
     pub prefilter: Duration,
     /// Symbolic-execution refutation.
     pub refutation: Duration,
+    /// Post-refutation harm triage.
+    pub triage: Duration,
     /// The comparison pass (`racy pairs w/o AS`), whether it ran
     /// overlapped with refutation or serially after it.
     pub compare: Duration,
@@ -194,6 +218,8 @@ pub struct StageMetrics {
     pub prefilter: PrefilterStats,
     /// Refutation counters.
     pub refuter: RefuterStats,
+    /// Harm-triage counters (all zero under `no_triage`).
+    pub triage: triage::TriageStats,
     /// Worker threads the refutation stage actually used (`0` when the
     /// stage was skipped).
     pub refute_jobs_used: usize,
@@ -222,8 +248,12 @@ pub struct SierraResult {
     pub racy_pairs_without_as: usize,
     /// Candidate racy pairs with action sensitivity.
     pub racy_pairs_with_as: usize,
-    /// Races surviving refutation, ranked by priority.
+    /// Races surviving refutation, ranked by priority. When the triage
+    /// stage ran, each carries a [`triage::TriageVerdict`] and reports
+    /// below `min_harm` have been dropped.
     pub races: Vec<RaceReport>,
+    /// Whether the harm-triage stage ran (false under `no_triage`).
+    pub triage_ran: bool,
     /// Candidate pairs the prefilter removed before refutation, each
     /// with its machine-checkable reason (empty under `no_prefilter`).
     pub pruned: Vec<PrunedPair>,
@@ -348,6 +378,23 @@ impl std::fmt::Display for SierraResult {
             rf.cache_hits,
             self.metrics.refute_jobs_used
         )?;
+        // Only emitted when the stage ran, so `--no-triage` output stays
+        // byte-identical to the pre-triage pipeline.
+        if self.triage_ran {
+            let tg = &self.metrics.triage;
+            writeln!(
+                out,
+                "triage: {} race(s) classified ({} null-deref, {} use-before-init, {} value-inconsistency, {} likely-benign), {} dataflow iterations over {} method(s), {:.2} ms",
+                tg.classified,
+                tg.null_deref,
+                tg.use_before_init,
+                tg.value_inconsistency,
+                tg.likely_benign,
+                tg.dataflow_iterations,
+                tg.methods_analyzed,
+                ms(self.metrics.timings.triage)
+            )?;
+        }
         let program = &self.harness.app.program;
         for (i, race) in self.races.iter().enumerate() {
             writeln!(

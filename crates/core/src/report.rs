@@ -35,23 +35,50 @@ pub struct RaceReport {
     /// Whether the field is reference-typed (ranked higher: such races can
     /// manifest as `NullPointerException`s).
     pub pointer_field: bool,
+    /// Harm classification from the triage stage (`None` until the stage
+    /// runs, or always under `--no-triage`).
+    pub triage: Option<triage::TriageVerdict>,
 }
 
 impl RaceReport {
     /// Sort key: higher priority first, pointer fields first within a
-    /// bucket, refutation-budget reports last within those.
-    pub fn rank_key(&self) -> (std::cmp::Reverse<Priority>, bool, bool) {
+    /// bucket, refutation-budget reports last within those — then a
+    /// *total* content order (field, action pair, statement addresses)
+    /// so report order never depends on discovery order. Without the
+    /// tail, equal-ranked races surfaced in worklist order, and triage
+    /// annotations would diff across `--jobs` settings.
+    #[allow(clippy::type_complexity)]
+    pub fn rank_key(
+        &self,
+    ) -> (
+        std::cmp::Reverse<Priority>,
+        bool,
+        bool,
+        FieldId,
+        android_model::ActionId,
+        android_model::ActionId,
+        apir::StmtAddr,
+        apir::StmtAddr,
+    ) {
         (
             std::cmp::Reverse(self.priority),
             !self.pointer_field,
             self.outcome == Outcome::Budget,
+            self.field,
+            self.a.action,
+            self.b.action,
+            self.a.addr,
+            self.b.addr,
         )
     }
 
-    /// Human-readable one-line description.
+    /// Human-readable one-line description. When the triage stage has
+    /// attached a verdict, the harm class and its witness are appended;
+    /// under `--no-triage` the line is byte-identical to the pre-triage
+    /// format.
     pub fn describe(&self, program: &Program, actions: &ActionRegistry) -> String {
         let f = program.field(self.field);
-        format!(
+        let mut line = format!(
             "race on {}.{} between {} ({}) and {} ({}) [{:?}, {:?}]",
             program.class_name(f.class),
             program.name(f.name),
@@ -61,7 +88,11 @@ impl RaceReport {
             if self.b.is_write { "write" } else { "read" },
             self.priority,
             self.outcome,
-        )
+        );
+        if let Some(t) = &self.triage {
+            line.push_str(&format!(" harm={} ({})", t.harm, t.witness.summary));
+        }
+        line
     }
 }
 

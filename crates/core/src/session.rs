@@ -51,6 +51,7 @@ pub struct AnalysisSession {
     candidates: Option<Vec<(Access, Access)>>,
     prefilter: Option<PrefilterOutcome>,
     races: Option<Vec<RaceReport>>,
+    triaged: bool,
 }
 
 /// Cached output of the prefilter stage.
@@ -79,6 +80,7 @@ impl AnalysisSession {
             candidates: None,
             prefilter: None,
             races: None,
+            triaged: false,
         }
     }
 
@@ -97,6 +99,7 @@ impl AnalysisSession {
             candidates: None,
             prefilter: None,
             races: None,
+            triaged: false,
         }
     }
 
@@ -251,6 +254,7 @@ impl AnalysisSession {
                     outcome,
                     priority,
                     pointer_field,
+                    triage: None,
                 });
             }
             races.sort_by_key(|r| r.rank_key());
@@ -260,6 +264,45 @@ impl AnalysisSession {
             self.races = Some(races);
         }
         self.races.as_ref().expect("just refuted")
+    }
+
+    /// Stage 7: harm triage — classifies every surviving race with a
+    /// [`triage::Harm`] verdict (nullness/taint dataflow on the read
+    /// side, constant comparison on write/write pairs) and drops reports
+    /// below `min_harm`. A no-op under `no_triage`, leaving every report
+    /// annotation-free.
+    pub fn triage(&mut self) -> &[RaceReport] {
+        self.refute();
+        if !self.triaged {
+            self.triaged = true;
+            if !self.config.no_triage {
+                let harness = self.harness.as_ref().expect("stage 1 ran");
+                let analysis = self.analysis.as_ref().expect("stage 2 ran");
+                let graph = self.shbg.as_ref().expect("stage 3 ran");
+                let races = self.races.as_mut().expect("stage 6 ran");
+                let t = Instant::now();
+                let pairs: Vec<(Access, Access)> =
+                    races.iter().map(|r| (r.a.clone(), r.b.clone())).collect();
+                let (verdicts, mut stats) = triage::classify_races(
+                    &harness.app.program,
+                    analysis,
+                    graph,
+                    Some(harness.harness_class),
+                    &pairs,
+                );
+                for (race, verdict) in races.iter_mut().zip(verdicts) {
+                    race.triage = Some(verdict);
+                }
+                if let Some(min) = self.config.min_harm {
+                    races.retain(|r| r.triage.as_ref().is_some_and(|t| t.harm >= min));
+                }
+                let elapsed = t.elapsed();
+                stats.triage_ns = elapsed.as_nanos() as u64;
+                self.metrics.timings.triage = elapsed;
+                self.metrics.triage = stats;
+            }
+        }
+        self.races.as_ref().expect("stage 6 ran")
     }
 
     /// Runs every remaining stage (plus the comparison pass when
@@ -315,6 +358,7 @@ impl AnalysisSession {
             None => (0, Duration::ZERO),
         };
         self.refute();
+        self.triage();
         self.metrics.timings.compare = compare_elapsed;
         self.metrics.compare_overlapped = compare_overlapped;
         self.metrics.overlap_saved = if compare_overlapped {
@@ -347,6 +391,7 @@ impl AnalysisSession {
             racy_pairs_without_as,
             racy_pairs_with_as: candidates.len(),
             races,
+            triage_ran: !self.config.no_triage,
             pruned,
             metrics,
             analysis,

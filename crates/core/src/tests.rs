@@ -271,6 +271,128 @@ fn refutation_verdicts_are_thread_count_independent() {
 }
 
 #[test]
+fn triage_fixture_classifies_each_harm_variant() {
+    let (app, truth) = corpus::triage_idioms::triage_idioms_app();
+    let result = Sierra::new().analyze_app(app);
+    assert!(result.triage_ran);
+    let p = &result.harness.app.program;
+    // Highest harm reported per field.
+    let mut by_field: std::collections::BTreeMap<String, crate::Harm> =
+        std::collections::BTreeMap::new();
+    for r in &result.races {
+        let harm = r.triage.as_ref().expect("triage ran").harm;
+        let name = p.field_name(r.field).to_owned();
+        by_field
+            .entry(name)
+            .and_modify(|h| *h = (*h).max(harm))
+            .or_insert(harm);
+    }
+    assert_eq!(
+        by_field.get("conn"),
+        Some(&crate::Harm::NullDeref),
+        "{by_field:?}"
+    );
+    assert_eq!(
+        by_field.get("title"),
+        Some(&crate::Harm::UseBeforeInit),
+        "{by_field:?}"
+    );
+    assert_eq!(
+        by_field.get("count"),
+        Some(&crate::Harm::ValueInconsistency),
+        "{by_field:?}"
+    );
+    assert_eq!(
+        by_field.get("done"),
+        Some(&crate::Harm::LikelyBenign),
+        "{by_field:?}"
+    );
+    // Ground-truth harm scoring: everything crash-labeled is flagged,
+    // nothing else is.
+    let verdicts: Vec<(String, String, bool)> = result
+        .races
+        .iter()
+        .map(|r| {
+            let f = p.field(r.field);
+            (
+                p.class_name(f.class).to_owned(),
+                p.name(f.name).to_owned(),
+                r.triage.as_ref().expect("triage ran").harm.is_crash(),
+            )
+        })
+        .collect();
+    let eval = truth.evaluate_harm(
+        verdicts
+            .iter()
+            .map(|(c, f, x)| (c.as_str(), f.as_str(), *x)),
+    );
+    assert_eq!(eval.precision(), 1.0, "{eval:?}");
+    assert_eq!(eval.recall(), 1.0, "{eval:?}");
+    // Witnesses carry the reading action and a usable summary.
+    for r in &result.races {
+        let t = r.triage.as_ref().expect("triage ran");
+        assert_eq!(t.witness.field, r.field);
+        assert!(!t.witness.summary.is_empty());
+    }
+}
+
+#[test]
+fn min_harm_filters_reports_below_the_threshold() {
+    let (app, _) = corpus::triage_idioms::triage_idioms_app();
+    let cfg = SierraConfig::builder()
+        .min_harm(crate::Harm::UseBeforeInit)
+        .build();
+    let result = Sierra::with_config(cfg).analyze_app(app);
+    assert!(!result.races.is_empty());
+    let p = &result.harness.app.program;
+    for r in &result.races {
+        let harm = r.triage.as_ref().expect("triage ran").harm;
+        assert!(
+            harm >= crate::Harm::UseBeforeInit,
+            "{} classified {harm} must be filtered",
+            p.field_name(r.field)
+        );
+    }
+    let fields: Vec<&str> = result.races.iter().map(|r| p.field_name(r.field)).collect();
+    assert!(
+        fields.contains(&"conn") && fields.contains(&"title"),
+        "{fields:?}"
+    );
+    assert!(
+        !fields.contains(&"count") && !fields.contains(&"done"),
+        "{fields:?}"
+    );
+}
+
+#[test]
+fn no_triage_restores_unannotated_reports() {
+    let (app, _) = corpus::triage_idioms::triage_idioms_app();
+    let plain = Sierra::with_config(SierraConfig::builder().no_triage(true).build())
+        .analyze_app(app.clone());
+    let triaged = Sierra::new().analyze_app(app);
+    assert!(!plain.triage_ran);
+    let text = plain.to_string();
+    assert!(!text.contains("triage:"), "{text}");
+    assert!(!text.contains("harm="), "{text}");
+    assert_eq!(plain.metrics.triage, crate::TriageStats::default());
+    // Modulo the appended annotation, the ranked reports are identical.
+    let lines = |r: &crate::SierraResult| {
+        let p = &r.harness.app.program;
+        r.races
+            .iter()
+            .map(|race| {
+                let d = race.describe(p, &r.analysis.actions);
+                d.split(" harm=").next().expect("non-empty").to_owned()
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(lines(&plain), lines(&triaged));
+    let annotated = triaged.to_string();
+    assert!(annotated.contains("triage:"), "{annotated}");
+    assert!(annotated.contains("harm=null-deref"), "{annotated}");
+}
+
+#[test]
 fn indexed_buffer_idiom_detects_same_slot_race_only() {
     let mut app = android_model::AndroidAppBuilder::new("Idx");
     let mut truth = corpus::GroundTruth::new();

@@ -43,6 +43,22 @@ impl RaceLabel {
     }
 }
 
+/// The expected *harm* of a planted race — the manual-inspection severity
+/// taxonomy of Table 2 (§6.1), which the triage classifier reproduces
+/// automatically. Coarser than `triage::Harm`: ground truth only pins
+/// down what the classifier is scored on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HarmLabel {
+    /// Crash-capable: a null dereference or use-before-init is reachable
+    /// (the classifier must say `NullDeref` or `UseBeforeInit`).
+    Crash,
+    /// The racy value feeds a branch or sink in another action; wrong
+    /// ordering yields inconsistent behavior but no crash.
+    Value,
+    /// Idempotent or guard-style store; the race is real but harmless.
+    Benign,
+}
+
 /// One planted race site.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct PlantedRace {
@@ -52,6 +68,9 @@ pub struct PlantedRace {
     pub field: String,
     /// Expected verdict.
     pub label: RaceLabel,
+    /// Expected harm class, where the idiom determines it by
+    /// construction; `None` leaves the site unscored for triage.
+    pub harm: Option<HarmLabel>,
 }
 
 /// All planted races of one app.
@@ -70,6 +89,21 @@ impl GroundTruth {
     /// Records a planted race (duplicate `(class, field)` keys are merged;
     /// shared substrate classes can be planted by several activities).
     pub fn plant(&mut self, class: &str, field: &str, label: RaceLabel) {
+        self.plant_with_harm(class, field, label, None);
+    }
+
+    /// Records a planted race together with its expected harm class.
+    pub fn plant_harm(&mut self, class: &str, field: &str, label: RaceLabel, harm: HarmLabel) {
+        self.plant_with_harm(class, field, label, Some(harm));
+    }
+
+    fn plant_with_harm(
+        &mut self,
+        class: &str,
+        field: &str,
+        label: RaceLabel,
+        harm: Option<HarmLabel>,
+    ) {
         if self
             .planted
             .iter()
@@ -81,6 +115,7 @@ impl GroundTruth {
             class: class.to_owned(),
             field: field.to_owned(),
             label,
+            harm,
         });
     }
 
@@ -95,6 +130,21 @@ impl GroundTruth {
             .iter()
             .find(|p| p.class == class && p.field == field)
             .map(|p| p.label)
+    }
+
+    /// The expected harm of `(class, field)`, if scored. Explicit
+    /// [`plant_harm`](Self::plant_harm) labels win; absent one, a
+    /// `BenignGuard` race derives `Benign` (a guard store is harmless by
+    /// definition), and every other site stays unscored.
+    pub fn expected_harm(&self, class: &str, field: &str) -> Option<HarmLabel> {
+        let p = self
+            .planted
+            .iter()
+            .find(|p| p.class == class && p.field == field)?;
+        p.harm.or(match p.label {
+            RaceLabel::BenignGuard => Some(HarmLabel::Benign),
+            _ => None,
+        })
     }
 
     /// Number of planted sites SIERRA is expected to report.
@@ -135,6 +185,36 @@ impl GroundTruth {
         }
         counts
     }
+
+    /// Scores triage verdicts against the harm ground truth. Each input is
+    /// a reported `(class, field, is_crash_verdict)` triple, where
+    /// `is_crash_verdict` says the classifier flagged the race as
+    /// crash-capable (`NullDeref`/`UseBeforeInit`). Only sites with an
+    /// expected harm participate; unscored sites are skipped, so synthetic
+    /// noise cannot dilute precision.
+    pub fn evaluate_harm<'a>(
+        &self,
+        verdicts: impl IntoIterator<Item = (&'a str, &'a str, bool)>,
+    ) -> HarmEval {
+        let mut eval = HarmEval::default();
+        let mut seen: HashSet<(String, String)> = HashSet::new();
+        for (c, f, is_crash) in verdicts {
+            let Some(expected) = self.expected_harm(c, f) else {
+                continue;
+            };
+            if !seen.insert((c.to_owned(), f.to_owned())) {
+                continue;
+            }
+            eval.scored += 1;
+            match (expected, is_crash) {
+                (HarmLabel::Crash, true) => eval.crash_tp += 1,
+                (HarmLabel::Crash, false) => eval.crash_fn += 1,
+                (_, true) => eval.crash_fp += 1,
+                (_, false) => {}
+            }
+        }
+        eval
+    }
 }
 
 /// Evaluation counters over one app's reports.
@@ -150,6 +230,50 @@ pub struct EvalCounts {
     pub unplanted: usize,
     /// Planted true races that went unreported (false negatives).
     pub missed: usize,
+}
+
+/// Triage-classifier score over harm-labelled sites: precision/recall of
+/// the crash-capable verdicts (the acceptance bar the bench gate holds).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HarmEval {
+    /// Crash-labelled sites the classifier flagged crash-capable.
+    pub crash_tp: usize,
+    /// Non-crash sites wrongly flagged crash-capable.
+    pub crash_fp: usize,
+    /// Crash-labelled sites the classifier missed.
+    pub crash_fn: usize,
+    /// Harm-scored sites that were reported at all.
+    pub scored: usize,
+}
+
+impl HarmEval {
+    /// Precision of crash-capable verdicts (1.0 when none were emitted).
+    pub fn precision(&self) -> f64 {
+        let flagged = self.crash_tp + self.crash_fp;
+        if flagged == 0 {
+            1.0
+        } else {
+            self.crash_tp as f64 / flagged as f64
+        }
+    }
+
+    /// Recall of crash-capable verdicts (1.0 when none were expected).
+    pub fn recall(&self) -> f64 {
+        let expected = self.crash_tp + self.crash_fn;
+        if expected == 0 {
+            1.0
+        } else {
+            self.crash_tp as f64 / expected as f64
+        }
+    }
+
+    /// Merges another app's score into this one.
+    pub fn merge(&mut self, other: HarmEval) {
+        self.crash_tp += other.crash_tp;
+        self.crash_fp += other.crash_fp;
+        self.crash_fn += other.crash_fn;
+        self.scored += other.scored;
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +307,48 @@ mod tests {
         let c = t.evaluate(vec![("A", "x")]);
         assert_eq!(c.true_races, 1);
         assert_eq!(c.missed, 1);
+    }
+
+    #[test]
+    fn harm_labels_derive_and_score() {
+        let mut t = GroundTruth::new();
+        t.plant_harm("A", "conn", RaceLabel::TrueRace, HarmLabel::Crash);
+        t.plant_harm("A", "count", RaceLabel::TrueRace, HarmLabel::Value);
+        t.plant("A", "flag", RaceLabel::BenignGuard);
+        t.plant("A", "x", RaceLabel::TrueRace);
+        assert_eq!(t.expected_harm("A", "conn"), Some(HarmLabel::Crash));
+        assert_eq!(
+            t.expected_harm("A", "flag"),
+            Some(HarmLabel::Benign),
+            "benign guards derive Benign"
+        );
+        assert_eq!(t.expected_harm("A", "x"), None, "unscored without a label");
+
+        let eval = t.evaluate_harm(vec![
+            ("A", "conn", true),
+            ("A", "conn", true), // duplicate report is scored once
+            ("A", "count", false),
+            ("A", "flag", true), // false crash alarm
+            ("A", "x", true),    // unscored: skipped entirely
+        ]);
+        assert_eq!(eval.scored, 3);
+        assert_eq!(eval.crash_tp, 1);
+        assert_eq!(eval.crash_fp, 1);
+        assert_eq!(eval.crash_fn, 0);
+        assert!((eval.precision() - 0.5).abs() < 1e-9);
+        assert!((eval.recall() - 1.0).abs() < 1e-9);
+
+        let mut total = HarmEval::default();
+        total.merge(eval);
+        total.merge(HarmEval {
+            crash_tp: 1,
+            crash_fp: 0,
+            crash_fn: 1,
+            scored: 2,
+        });
+        assert_eq!(total.crash_tp, 2);
+        assert!((total.recall() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(HarmEval::default().precision(), 1.0);
     }
 
     #[test]

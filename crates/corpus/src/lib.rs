@@ -24,8 +24,9 @@ pub mod figures;
 mod ground_truth;
 pub mod idioms;
 pub mod prefilter_idioms;
+pub mod triage_idioms;
 pub mod twenty;
 
-pub use ground_truth::{EvalCounts, GroundTruth, PlantedRace, RaceLabel};
+pub use ground_truth::{EvalCounts, GroundTruth, HarmEval, HarmLabel, PlantedRace, RaceLabel};
 pub use idioms::Idiom;
 pub use twenty::{AppSpec, TWENTY};

@@ -1,0 +1,171 @@
+//! Fixture app planting one race per `triage::Harm` variant.
+//!
+//! Four unordered GUI handlers (click / long-click / scroll / item-click,
+//! registered on distinct views in `onCreate`) manifest four races whose
+//! harm class is determined by construction:
+//!
+//! - **null-deref** (`conn`): `onClick` stores a fresh `Conn` into the
+//!   reference field; `onLongClick` loads it and *dereferences* the
+//!   result (`x.val`). No happens-before-earlier write initializes the
+//!   field, so the read side can observe the type default `null` and the
+//!   dereference crashes — `Harm::NullDeref`.
+//! - **use-before-init** (`title`): `onScroll` stores a fresh object;
+//!   `onItemClick` loads the field and hands the possibly-default value
+//!   straight to the framework (`TextView.setText`) without dereferencing
+//!   it locally — `Harm::UseBeforeInit`.
+//! - **value flow into a branch** (`count`): `onScroll` increments the
+//!   counter (a non-constant store); `onItemClick` branches on
+//!   `count == 5`. The racy value steers control flow in another action —
+//!   `Harm::ValueInconsistency`.
+//! - **idempotent boolean store** (`done`): `onClick` and `onLongClick`
+//!   both store the constant `true`. A real write-write race, but any
+//!   interleaving leaves the same state — `Harm::LikelyBenign`.
+
+use crate::ground_truth::{GroundTruth, HarmLabel, RaceLabel};
+use android_model::{AndroidApp, AndroidAppBuilder};
+use apir::{BinOp, CmpOp, ConstValue, InvokeKind, Operand, Type};
+
+/// The activity name the fixture plants everything under.
+pub const ACTIVITY: &str = "com.triage.Main";
+
+/// Builds the triage-idiom fixture app and its ground truth.
+pub fn triage_idioms_app() -> (AndroidApp, GroundTruth) {
+    let mut app = AndroidAppBuilder::new("TriageIdioms");
+    let mut truth = GroundTruth::new();
+    let fw = app.framework().clone();
+
+    let conn_name = format!("{ACTIVITY}$Conn");
+    let mut cb = app.subclass(&conn_name, fw.object);
+    let val = cb.field("val", Type::Int);
+    let conn_class = cb.build();
+
+    let mut cb = app.activity(ACTIVITY);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_long_click_listener);
+    cb.add_interface(fw.on_scroll_listener);
+    cb.add_interface(fw.on_item_click_listener);
+    let conn = cb.field("conn", Type::Ref(conn_class));
+    let title = cb.field("title", Type::Ref(fw.object));
+    let count = cb.field("count", Type::Int);
+    let done = cb.field("done", Type::Bool);
+    let activity = cb.build();
+
+    // onClick: conn = new Conn(); done = true.
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let c = mb.fresh_local();
+    mb.new_(c, conn_class);
+    mb.store(this, conn, Operand::Local(c));
+    mb.store(this, done, Operand::Const(ConstValue::Bool(true)));
+    mb.ret(None);
+    mb.finish();
+
+    // onLongClick: x = conn; y = x.val (the crashing dereference);
+    // done = true (second idempotent store).
+    let mut mb = app.method(activity, "onLongClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let (x, y) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(x, this, conn);
+    mb.load(y, x, val);
+    mb.store(this, done, Operand::Const(ConstValue::Bool(true)));
+    mb.ret(None);
+    mb.finish();
+
+    // onScroll: title = new Object(); count = count + 1.
+    let obj = fw.object;
+    let mut mb = app.method(activity, "onScroll");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let t = mb.fresh_local();
+    mb.new_(t, obj);
+    mb.store(this, title, Operand::Local(t));
+    let (cv, cv2) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(cv, this, count);
+    mb.bin_op(
+        cv2,
+        BinOp::Add,
+        Operand::Local(cv),
+        Operand::Const(ConstValue::Int(1)),
+    );
+    mb.store(this, count, Operand::Local(cv2));
+    mb.ret(None);
+    mb.finish();
+
+    // onItemClick: setText(findViewById(5), title); if (count == 5) {...}.
+    let mut mb = app.method(activity, "onItemClick");
+    mb.set_param_count(3);
+    let this = mb.param(0);
+    let (v, s) = (mb.fresh_local(), mb.fresh_local());
+    mb.call(
+        Some(v),
+        InvokeKind::Virtual,
+        fw.find_view_by_id,
+        Some(this),
+        vec![Operand::Const(ConstValue::Int(5))],
+    );
+    mb.load(s, this, title);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.set_text,
+        Some(v),
+        vec![Operand::Local(s)],
+    );
+    let (cr, cond) = (mb.fresh_local(), mb.fresh_local());
+    mb.load(cr, this, count);
+    mb.bin_op(
+        cond,
+        BinOp::Cmp(CmpOp::Eq),
+        Operand::Local(cr),
+        Operand::Const(ConstValue::Int(5)),
+    );
+    let b_then = mb.new_block();
+    let b_exit = mb.new_block();
+    mb.if_(Operand::Local(cond), b_then, b_exit);
+    mb.switch_to(b_then);
+    let z = mb.fresh_local();
+    mb.const_(z, ConstValue::Int(0));
+    mb.goto(b_exit);
+    mb.switch_to(b_exit);
+    mb.ret(None);
+    mb.finish();
+
+    // onCreate registers all four handlers on distinct views; it writes
+    // none of the racy fields, so every reader can observe the defaults.
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    for (id, register) in [
+        (1i64, fw.set_on_click_listener),
+        (2, fw.set_on_long_click_listener),
+        (3, fw.set_on_scroll_listener),
+        (4, fw.set_on_item_click_listener),
+    ] {
+        let view = mb.fresh_local();
+        mb.call(
+            Some(view),
+            InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![Operand::Const(ConstValue::Int(id))],
+        );
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            register,
+            Some(view),
+            vec![Operand::Local(this)],
+        );
+    }
+    mb.ret(None);
+    mb.finish();
+
+    truth.plant_harm(ACTIVITY, "conn", RaceLabel::TrueRace, HarmLabel::Crash);
+    truth.plant_harm(ACTIVITY, "title", RaceLabel::TrueRace, HarmLabel::Crash);
+    truth.plant_harm(ACTIVITY, "count", RaceLabel::TrueRace, HarmLabel::Value);
+    truth.plant_harm(ACTIVITY, "done", RaceLabel::TrueRace, HarmLabel::Benign);
+
+    (app.finish().expect("valid triage fixture"), truth)
+}

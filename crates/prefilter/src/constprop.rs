@@ -1,23 +1,26 @@
 //! Sparse conditional constant propagation over `apir` locals.
 //!
-//! A small SCCP-style analysis per method: block entry states map locals
-//! to known constants (absent = unknown), edges become *executable* only
-//! when their source block runs and the branch condition permits them.
-//! At the fixpoint, an `If` edge of an executable block that was never
-//! taken is statically infeasible, and a block with no executable
-//! in-edge is dead.
+//! A small SCCP-style analysis per method, expressed as an instance of
+//! the generic monotone framework in [`apir::dataflow`]: block entry
+//! states map locals to known constants (absent = unknown, intersection
+//! join), and the edge transfer refutes the untaken side of an `If`
+//! whose condition folds to a constant — the framework's executable-edge
+//! semantics. At the fixpoint, an `If` edge of an executable block that
+//! was never taken is statically infeasible, and a block with no
+//! executable in-edge is dead.
 //!
 //! Both facts are consumed twice: the prefilter drops candidate accesses
 //! in dead blocks ([`crate::Verdict::ConstProp`]), and the infeasible
 //! edges are exported to the symbolic refuter so backward path search
 //! never crosses them.
 
+use apir::dataflow::{self, DataflowAnalysis, JoinSemiLattice};
 use apir::{
-    BinOp, BlockId, CmpOp, ConstValue, Local, Method, MethodId, Operand, Program, Stmt, Terminator,
-    UnOp,
+    BinOp, BlockId, CmpOp, ConstValue, Local, Method, MethodId, Operand, Program, Stmt, StmtAddr,
+    Terminator, UnOp,
 };
 use pointer::Analysis;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 /// Per-method constant-propagation facts.
 #[derive(Debug, Clone, Default)]
@@ -35,8 +38,60 @@ impl ConstFacts {
     }
 }
 
-/// Known-constant environment at a program point (absent local = unknown).
-type State = HashMap<Local, ConstValue>;
+/// Known-constant environment at a program point (absent local =
+/// unknown). The lattice order is pointwise: a state is *lower* the more
+/// constants it pins down, and the join intersects agreeing bindings.
+#[derive(Debug, Clone, Default)]
+struct ConstState(HashMap<Local, ConstValue>);
+
+impl JoinSemiLattice for ConstState {
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.retain(|l, v| other.0.get(l) == Some(v));
+        self.0.len() != before
+    }
+}
+
+/// The SCCP instance: forward constant folding with branch refutation.
+struct Sccp;
+
+impl DataflowAnalysis for Sccp {
+    type State = ConstState;
+
+    fn boundary_state(&self, _method: &Method) -> ConstState {
+        ConstState::default()
+    }
+
+    fn transfer_stmt(&self, _addr: StmtAddr, stmt: &Stmt, state: &mut ConstState) {
+        transfer(stmt, &mut state.0);
+    }
+
+    fn transfer_edge(
+        &self,
+        _method: &Method,
+        _from: BlockId,
+        term: &Terminator,
+        to: BlockId,
+        state: &ConstState,
+    ) -> Option<ConstState> {
+        if let Terminator::If {
+            cond,
+            then_bb,
+            else_bb,
+        } = *term
+        {
+            if then_bb != else_bb {
+                if let Some(ConstValue::Bool(v)) = eval(cond, &state.0) {
+                    let taken = if v { then_bb } else { else_bb };
+                    if to != taken {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(state.clone())
+    }
+}
 
 /// Runs the analysis over every reachable method body of `analysis`, in
 /// deterministic (method-id) order.
@@ -65,47 +120,10 @@ pub fn analyze_reachable(program: &Program, analysis: &Analysis) -> HashMap<Meth
 
 /// Analyzes one method body.
 pub fn analyze_method(method: &Method) -> ConstFacts {
-    let n = method.blocks.len();
-    let mut in_states: Vec<Option<State>> = vec![None; n];
-    let mut exec_edges: HashSet<(BlockId, BlockId)> = HashSet::new();
-    let mut worklist: VecDeque<BlockId> = VecDeque::new();
-
-    in_states[method.entry().index()] = Some(State::new());
-    worklist.push_back(method.entry());
-
-    while let Some(b) = worklist.pop_front() {
-        let mut state = match &in_states[b.index()] {
-            Some(s) => s.clone(),
-            None => continue,
-        };
-        let block = method.block(b);
-        for stmt in &block.stmts {
-            transfer(stmt, &mut state);
-        }
-        let succs: Vec<BlockId> = match block.terminator {
-            Terminator::If {
-                cond,
-                then_bb,
-                else_bb,
-            } if then_bb != else_bb => match eval(cond, &state) {
-                Some(ConstValue::Bool(true)) => vec![then_bb],
-                Some(ConstValue::Bool(false)) => vec![else_bb],
-                _ => vec![then_bb, else_bb],
-            },
-            ref t => t.successors(),
-        };
-        for succ in succs {
-            let newly_exec = exec_edges.insert((b, succ));
-            let changed = merge_into(&mut in_states[succ.index()], &state);
-            if newly_exec || changed {
-                worklist.push_back(succ);
-            }
-        }
-    }
-
+    let results = dataflow::solve(method, &Sccp);
     let mut facts = ConstFacts::default();
     for (b, block) in method.iter_blocks() {
-        if in_states[b.index()].is_none() {
+        if !results.reached(b) {
             facts.dead_blocks.push(b);
             continue;
         }
@@ -115,7 +133,7 @@ pub fn analyze_method(method: &Method) -> ConstFacts {
         {
             if then_bb != else_bb {
                 for succ in [then_bb, else_bb] {
-                    if !exec_edges.contains(&(b, succ)) {
+                    if !results.edge_executable(b, succ) {
                         facts.infeasible.push((b, succ));
                     }
                 }
@@ -125,30 +143,14 @@ pub fn analyze_method(method: &Method) -> ConstFacts {
     facts
 }
 
-/// Joins `from` into the entry state at `into`; keys must agree on the
-/// same constant to survive. Returns whether `into` changed.
-fn merge_into(into: &mut Option<State>, from: &State) -> bool {
-    match into {
-        None => {
-            *into = Some(from.clone());
-            true
-        }
-        Some(cur) => {
-            let before = cur.len();
-            cur.retain(|l, v| from.get(l) == Some(v));
-            cur.len() != before
-        }
-    }
-}
-
-fn eval(op: Operand, state: &State) -> Option<ConstValue> {
+fn eval(op: Operand, state: &HashMap<Local, ConstValue>) -> Option<ConstValue> {
     match op {
         Operand::Const(c) => Some(c),
         Operand::Local(l) => state.get(&l).copied(),
     }
 }
 
-fn transfer(stmt: &Stmt, state: &mut State) {
+fn transfer(stmt: &Stmt, state: &mut HashMap<Local, ConstValue>) {
     match stmt {
         Stmt::Const { dst, value } => {
             state.insert(*dst, *value);
@@ -185,7 +187,7 @@ fn transfer(stmt: &Stmt, state: &mut State) {
     }
 }
 
-fn set_or_clear(state: &mut State, dst: Local, v: Option<ConstValue>) {
+fn set_or_clear(state: &mut HashMap<Local, ConstValue>, dst: Local, v: Option<ConstValue>) {
     match v {
         Some(v) => {
             state.insert(dst, v);

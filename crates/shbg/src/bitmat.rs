@@ -93,13 +93,58 @@ impl BitMatrix {
 
     /// Iterates over the set bits of row `a`, ascending, without
     /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range (same contract as [`get`](Self::get);
+    /// previously this surfaced only as an opaque slice-index panic).
     pub fn row_bits(&self, a: usize) -> RowBits<'_> {
+        assert!(
+            a < self.n,
+            "BitMatrix::row_bits({a}) out of range for n={}",
+            self.n
+        );
         RowBits {
             words: &self.rows[a * self.words..(a + 1) * self.words],
             next_word: 0,
             base: 0,
             cur: 0,
         }
+    }
+
+    /// Validates row `a` once and returns an opaque handle for repeated
+    /// [`get_in_row`](Self::get_in_row) probes. Hot loops probing many
+    /// columns of one row (SHBG rules 6/7) hoist the row bounds check and
+    /// offset multiply here instead of paying them per [`get`](Self::get).
+    /// The handle is a plain offset, not a borrow, so the matrix can
+    /// still be mutated between probes (bit sets never move the rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of range.
+    pub fn checked_row(&self, a: usize) -> usize {
+        assert!(
+            a < self.n,
+            "BitMatrix::checked_row({a}) out of range for n={}",
+            self.n
+        );
+        a * self.words
+    }
+
+    /// Reads column `b` of a row validated by
+    /// [`checked_row`](Self::checked_row); only the column index is
+    /// re-checked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn get_in_row(&self, row: usize, b: usize) -> bool {
+        assert!(
+            b < self.n,
+            "BitMatrix::get_in_row(.., {b}) out of range for n={}",
+            self.n
+        );
+        self.rows[row + b / 64] & (1 << (b % 64)) != 0
     }
 
     /// Number of set bits in the whole matrix.
@@ -347,6 +392,39 @@ mod tests {
         assert_eq!(sccs, 2);
         assert!(m.get(0, 0));
         assert!(!m.get(1, 1), "no edge, not self-reachable");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn row_bits_panics_out_of_range() {
+        let m = BitMatrix::new(130);
+        let _ = m.row_bits(130);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn checked_row_panics_out_of_range() {
+        let m = BitMatrix::new(130);
+        let _ = m.checked_row(200);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_in_row_panics_on_bad_column() {
+        let m = BitMatrix::new(130);
+        let row = m.checked_row(3);
+        let _ = m.get_in_row(row, 130);
+    }
+
+    #[test]
+    fn get_in_row_agrees_with_get() {
+        let mut m = BitMatrix::new(70);
+        m.set(3, 1);
+        m.set(3, 65);
+        let row = m.checked_row(3);
+        for b in 0..70 {
+            assert_eq!(m.get_in_row(row, b), m.get(3, b), "column {b}");
+        }
     }
 
     #[test]

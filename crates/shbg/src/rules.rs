@@ -369,6 +369,10 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                     continue;
                 };
                 for &(_, a3) in posts1 {
+                    // Hoist the row bounds check: a3 is fixed across the
+                    // whole a4 sweep, so validate its row once instead of
+                    // re-checking both indices on every probe.
+                    let row3 = closure.checked_row(a3.index());
                     for &(_, a4) in posts2 {
                         if a3 == a4 {
                             continue;
@@ -378,7 +382,7 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                         if !t3.same_looper(t4) {
                             continue;
                         }
-                        if !closure.get(a3.index(), a4.index()) {
+                        if !closure.get_in_row(row3, a4.index()) {
                             add(
                                 &mut edges,
                                 &mut stats,

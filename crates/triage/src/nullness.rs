@@ -1,0 +1,449 @@
+//! The nullness × racy-provenance lattice driving crash-capable triage.
+//!
+//! Each local is tracked as a product of a four-point nullness lattice
+//! (⊥ < {Null, NonNull} < ⊤) and a may-taint bit recording whether the
+//! value derives from the racy field read. Absent map entries mean
+//! "⊤ and untainted" — the common case for untracked locals — which
+//! keeps states tiny and, unlike an absent-means-⊥ encoding, makes every
+//! transfer monotone (looking up an absent local yields the same
+//! [`ValState::UNTRACKED`] the join treats it as).
+//!
+//! The analysis is a forward instance of [`apir::dataflow`]: statements
+//! transfer values, `== null` / `!= null` comparisons refine the branch
+//! edges, and [`apir::dataflow::solve_interprocedural`] carries taint
+//! into app-local callees through argument binding.
+
+use apir::dataflow::{DataflowAnalysis, InterproceduralAnalysis, JoinSemiLattice};
+use apir::{
+    BinOp, BlockId, CmpOp, ConstValue, FieldId, Local, Method, Operand, Stmt, StmtAddr, Terminator,
+};
+use std::collections::BTreeMap;
+
+/// The four-point nullness lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Nullness {
+    /// Unreachable / no value yet.
+    Bottom,
+    /// Definitely the null reference.
+    Null,
+    /// Definitely not null (fresh allocation, non-null constant,
+    /// primitive).
+    NonNull,
+    /// Unknown: may or may not be null.
+    Top,
+}
+
+impl Nullness {
+    /// Least upper bound.
+    pub fn join(self, other: Nullness) -> Nullness {
+        use Nullness::*;
+        match (self, other) {
+            (Bottom, x) | (x, Bottom) => x,
+            (Top, _) | (_, Top) => Top,
+            (a, b) if a == b => a,
+            _ => Top, // Null ∨ NonNull
+        }
+    }
+
+    /// The partial order induced by [`join`](Self::join).
+    pub fn le(self, other: Nullness) -> bool {
+        self.join(other) == other
+    }
+
+    /// Whether a value of this abstract state can be the null reference.
+    pub fn may_be_null(self) -> bool {
+        matches!(self, Nullness::Null | Nullness::Top)
+    }
+}
+
+/// One local's abstract value: nullness × racy provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValState {
+    /// Nullness component.
+    pub nullness: Nullness,
+    /// Whether the value (may) derive from the racy field read.
+    pub racy: bool,
+}
+
+impl ValState {
+    /// The implicit state of every untracked local: unknown, untainted.
+    pub const UNTRACKED: ValState = ValState {
+        nullness: Nullness::Top,
+        racy: false,
+    };
+
+    /// Pointwise least upper bound.
+    pub fn join(self, other: ValState) -> ValState {
+        ValState {
+            nullness: self.nullness.join(other.nullness),
+            racy: self.racy || other.racy,
+        }
+    }
+
+    /// Pointwise partial order.
+    pub fn le(self, other: ValState) -> bool {
+        self.nullness.le(other.nullness) && (!self.racy || other.racy)
+    }
+
+    fn of(nullness: Nullness, racy: bool) -> ValState {
+        ValState { nullness, racy }
+    }
+}
+
+/// Block-entry state: locals with a tracked value. Absent locals read as
+/// [`ValState::UNTRACKED`], and entries that join up to exactly that are
+/// dropped so structurally different maps never encode the same state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NullState(BTreeMap<Local, ValState>);
+
+impl NullState {
+    /// The abstract value of `local`.
+    pub fn get(&self, local: Local) -> ValState {
+        self.0.get(&local).copied().unwrap_or(ValState::UNTRACKED)
+    }
+
+    /// The abstract value of an operand (constants fold immediately).
+    pub fn eval(&self, op: Operand) -> ValState {
+        match op {
+            Operand::Local(l) => self.get(l),
+            Operand::Const(ConstValue::Null) => ValState::of(Nullness::Null, false),
+            Operand::Const(_) => ValState::of(Nullness::NonNull, false),
+        }
+    }
+
+    /// Sets `local` (normalizing UNTRACKED to absence).
+    pub fn set(&mut self, local: Local, v: ValState) {
+        if v == ValState::UNTRACKED {
+            self.0.remove(&local);
+        } else {
+            self.0.insert(local, v);
+        }
+    }
+}
+
+impl JoinSemiLattice for NullState {
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        // Keys tracked on either side; everything else joins trivially
+        // (UNTRACKED ∨ UNTRACKED).
+        let keys: Vec<Local> = self.0.keys().chain(other.0.keys()).copied().collect();
+        for k in keys {
+            let cur = self.get(k);
+            let joined = cur.join(other.get(k));
+            if joined != cur {
+                changed = true;
+            }
+            self.set(k, joined);
+        }
+        changed
+    }
+}
+
+/// The forward taint/nullness analysis for one racy field.
+pub struct NullnessAnalysis {
+    /// The field whose reads are the taint source.
+    pub racy_field: FieldId,
+}
+
+impl NullnessAnalysis {
+    /// Refinement from a `x == null` / `x != null` branch: finds the
+    /// comparison defining `cond` in `from` (scanning backwards, giving
+    /// up at any later redefinition of the compared local) and returns
+    /// the local plus its nullness on the `taken_then` edge.
+    fn null_test(&self, method: &Method, from: BlockId, cond: Local) -> Option<(Local, CmpOp)> {
+        let mut clobbered: Vec<Local> = Vec::new();
+        for stmt in method.block(from).stmts.iter().rev() {
+            if let Stmt::BinOp {
+                dst,
+                op: BinOp::Cmp(op @ (CmpOp::Eq | CmpOp::Ne)),
+                lhs,
+                rhs,
+            } = stmt
+            {
+                if *dst == cond {
+                    let tested = match (lhs, rhs) {
+                        (Operand::Local(x), Operand::Const(ConstValue::Null))
+                        | (Operand::Const(ConstValue::Null), Operand::Local(x)) => *x,
+                        _ => return None,
+                    };
+                    if clobbered.contains(&tested) {
+                        return None; // redefined after the test
+                    }
+                    return Some((tested, *op));
+                }
+            }
+            if let Some(d) = stmt.def() {
+                if d == cond {
+                    return None; // cond defined by something else
+                }
+                clobbered.push(d);
+            }
+        }
+        None
+    }
+}
+
+impl DataflowAnalysis for NullnessAnalysis {
+    type State = NullState;
+
+    fn boundary_state(&self, _method: &Method) -> NullState {
+        NullState::default()
+    }
+
+    fn transfer_stmt(&self, _addr: StmtAddr, stmt: &Stmt, state: &mut NullState) {
+        match stmt {
+            Stmt::Const { dst, value } => {
+                let n = if *value == ConstValue::Null {
+                    Nullness::Null
+                } else {
+                    Nullness::NonNull
+                };
+                state.set(*dst, ValState::of(n, false));
+            }
+            Stmt::Move { dst, src } => {
+                let v = state.get(*src);
+                state.set(*dst, v);
+            }
+            Stmt::New { dst, .. } => {
+                state.set(*dst, ValState::of(Nullness::NonNull, false));
+            }
+            // Arithmetic and comparisons yield primitives (never null);
+            // taint flows through so branch conditions computed from the
+            // racy value stay attributed.
+            Stmt::UnOp { dst, src, .. } => {
+                let racy = state.eval(*src).racy;
+                state.set(*dst, ValState::of(Nullness::NonNull, racy));
+            }
+            Stmt::BinOp { dst, lhs, rhs, .. } => {
+                let racy = state.eval(*lhs).racy || state.eval(*rhs).racy;
+                state.set(*dst, ValState::of(Nullness::NonNull, racy));
+            }
+            Stmt::Load { dst, field, .. } | Stmt::StaticLoad { dst, field } => {
+                if *field == self.racy_field {
+                    // The taint source: the value racing with the write.
+                    // ⊤ nullness — the read may observe the type default.
+                    state.set(*dst, ValState::of(Nullness::Top, true));
+                } else {
+                    state.set(*dst, ValState::UNTRACKED);
+                }
+            }
+            Stmt::Call { dst, .. } => {
+                if let Some(d) = dst {
+                    state.set(*d, ValState::UNTRACKED);
+                }
+            }
+            Stmt::Store { .. } | Stmt::StaticStore { .. } => {}
+        }
+    }
+
+    fn transfer_edge(
+        &self,
+        method: &Method,
+        from: BlockId,
+        term: &Terminator,
+        to: BlockId,
+        state: &NullState,
+    ) -> Option<NullState> {
+        let mut out = state.clone();
+        if let Terminator::If {
+            cond: Operand::Local(c),
+            then_bb,
+            else_bb,
+        } = term
+        {
+            if then_bb != else_bb {
+                if let Some((tested, op)) = self.null_test(method, from, *c) {
+                    let on_then = to == *then_bb;
+                    // `x == null`: then ⇒ Null, else ⇒ NonNull. `!=` flips.
+                    let refined = match (op, on_then) {
+                        (CmpOp::Eq, true) | (CmpOp::Ne, false) => Nullness::Null,
+                        _ => Nullness::NonNull,
+                    };
+                    let cur = out.get(tested);
+                    out.set(tested, ValState::of(refined, cur.racy));
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+impl InterproceduralAnalysis for NullnessAnalysis {
+    fn enter_call(&self, call: &Stmt, caller: &NullState, callee: &Method) -> NullState {
+        let mut entry = NullState::default();
+        if let Stmt::Call { receiver, args, .. } = call {
+            let mut params = Vec::new();
+            if let Some(r) = receiver {
+                params.push(caller.get(*r));
+            }
+            params.extend(args.iter().map(|a| caller.eval(*a)));
+            for (i, v) in params.into_iter().enumerate() {
+                if i >= callee.param_count as usize {
+                    break;
+                }
+                entry.set(Local(i as u32), v);
+            }
+        }
+        entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sierra_prng::SplitMix64;
+
+    const POINTS: [Nullness; 4] = [
+        Nullness::Bottom,
+        Nullness::Null,
+        Nullness::NonNull,
+        Nullness::Top,
+    ];
+
+    #[test]
+    fn nullness_join_laws_hold() {
+        for &a in &POINTS {
+            assert_eq!(a.join(a), a, "idempotent");
+            assert!(Nullness::Bottom.le(a), "⊥ is bottom");
+            assert!(a.le(Nullness::Top), "⊤ is top");
+            for &b in &POINTS {
+                assert_eq!(a.join(b), b.join(a), "commutative");
+                assert!(a.le(a.join(b)), "upper bound");
+                for &c in &POINTS {
+                    assert_eq!(a.join(b).join(c), a.join(b.join(c)), "associative");
+                }
+            }
+        }
+        assert_eq!(Nullness::Null.join(Nullness::NonNull), Nullness::Top);
+        assert!(!Nullness::Null.le(Nullness::NonNull));
+        assert!(!Nullness::NonNull.le(Nullness::Null));
+        assert!(!Nullness::NonNull.may_be_null());
+        assert!(Nullness::Top.may_be_null() && Nullness::Null.may_be_null());
+    }
+
+    fn random_val(rng: &mut SplitMix64) -> ValState {
+        ValState {
+            nullness: *rng.pick(&POINTS),
+            racy: rng.bool(),
+        }
+    }
+
+    fn random_state(rng: &mut SplitMix64, locals: u32) -> NullState {
+        let mut s = NullState::default();
+        for _ in 0..rng.usize(locals as usize + 1) {
+            s.set(Local(rng.usize(locals as usize) as u32), random_val(rng));
+        }
+        s
+    }
+
+    #[test]
+    fn state_join_laws_hold_on_random_states() {
+        let mut rng = SplitMix64::new(0x7124_6E55);
+        for _ in 0..512 {
+            let a = random_state(&mut rng, 6);
+            let b = random_state(&mut rng, 6);
+            let c = random_state(&mut rng, 6);
+
+            let mut ab = a.clone();
+            ab.join(&b);
+            let mut ba = b.clone();
+            ba.join(&a);
+            assert_eq!(ab, ba, "commutative");
+
+            let mut ab_c = ab.clone();
+            ab_c.join(&c);
+            let mut bc = b.clone();
+            bc.join(&c);
+            let mut a_bc = a.clone();
+            a_bc.join(&bc);
+            assert_eq!(ab_c, a_bc, "associative");
+
+            let mut aa = a.clone();
+            assert!(!aa.join(&a), "idempotent join reports no change");
+            assert!(a.le(&ab) && b.le(&ab), "join is an upper bound");
+            assert!(a.le(&a), "reflexive");
+        }
+    }
+
+    /// Transfers must be monotone: s1 ≤ s2 ⇒ f(s1) ≤ f(s2), over random
+    /// statement shapes and random comparable state pairs.
+    #[test]
+    fn transfer_is_monotone_on_random_programs() {
+        let mut rng = SplitMix64::new(0x7124_3357);
+        let racy_field = FieldId(0);
+        let analysis = NullnessAnalysis { racy_field };
+        let locals = 6u32;
+        for _ in 0..512 {
+            let s1 = random_state(&mut rng, locals);
+            let mut s2 = s1.clone();
+            s2.join(&random_state(&mut rng, locals));
+            let l = |rng: &mut SplitMix64| Local(rng.usize(locals as usize) as u32);
+            let stmt = match rng.usize(7) {
+                0 => Stmt::Const {
+                    dst: l(&mut rng),
+                    value: if rng.bool() {
+                        ConstValue::Null
+                    } else {
+                        ConstValue::Int(3)
+                    },
+                },
+                1 => Stmt::Move {
+                    dst: l(&mut rng),
+                    src: l(&mut rng),
+                },
+                2 => Stmt::BinOp {
+                    dst: l(&mut rng),
+                    op: BinOp::Add,
+                    lhs: Operand::Local(l(&mut rng)),
+                    rhs: Operand::Local(l(&mut rng)),
+                },
+                3 => Stmt::Load {
+                    dst: l(&mut rng),
+                    obj: l(&mut rng),
+                    field: FieldId(rng.usize(2) as u32), // racy or not
+                },
+                4 => Stmt::New {
+                    dst: l(&mut rng),
+                    class: apir::ClassId(0),
+                    site: apir::AllocSiteId(0),
+                },
+                5 => Stmt::UnOp {
+                    dst: l(&mut rng),
+                    op: apir::UnOp::Not,
+                    src: Operand::Local(l(&mut rng)),
+                },
+                _ => Stmt::Call {
+                    site: apir::CallSiteId(0),
+                    dst: Some(l(&mut rng)),
+                    kind: apir::InvokeKind::Static,
+                    callee: apir::MethodId(0),
+                    receiver: None,
+                    args: vec![],
+                },
+            };
+            let addr = StmtAddr::new(apir::MethodId(0), BlockId(0), 0);
+            let (mut t1, mut t2) = (s1.clone(), s2.clone());
+            analysis.transfer_stmt(addr, &stmt, &mut t1);
+            analysis.transfer_stmt(addr, &stmt, &mut t2);
+            assert!(s1.le(&s2), "precondition");
+            assert!(t1.le(&t2), "monotone transfer of {stmt:?}");
+        }
+    }
+
+    #[test]
+    fn lookup_of_untracked_locals_is_top_untainted() {
+        let s = NullState::default();
+        assert_eq!(s.get(Local(3)), ValState::UNTRACKED);
+        assert_eq!(
+            s.eval(Operand::Const(ConstValue::Null)).nullness,
+            Nullness::Null
+        );
+        assert_eq!(
+            s.eval(Operand::Const(ConstValue::Int(1))).nullness,
+            Nullness::NonNull
+        );
+        let mut s2 = s.clone();
+        s2.set(Local(3), ValState::UNTRACKED);
+        assert_eq!(s, s2, "UNTRACKED normalizes to absence");
+    }
+}
