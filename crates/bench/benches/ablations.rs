@@ -13,7 +13,7 @@
 
 use pointer::SelectorKind;
 use sierra_bench::{group, time};
-use sierra_core::{AnalysisSession, Sierra, SierraConfig};
+use sierra_core::{SessionBuilder, Sierra, SierraConfig};
 use std::sync::Arc;
 use symexec::RefuterConfig;
 
@@ -38,8 +38,11 @@ fn context_ablation() {
             .skip_refutation()
             .build();
         time(&format!("analysis/{sel}"), 15, || {
-            let mut session = AnalysisSession::from_harness(cfg, harness.clone());
-            let candidates = session.candidates().len();
+            let mut session = SessionBuilder::new(cfg)
+                .harness(harness.clone())
+                .build()
+                .expect("harness input is valid");
+            let candidates = session.candidates().expect("pipeline runs").len();
             (session.metrics().pointer.cg_edges, candidates)
         });
     }

@@ -15,7 +15,11 @@
 
 use pointer::{Access, SelectorKind};
 use sierra_bench::{group, time};
-use sierra_core::{refute_candidates, Sierra, SierraConfig};
+use sierra_core::json::{num, obj};
+use sierra_core::{
+    refute_candidates, Json, MemoryStore, SessionBuilder, Sierra, SierraConfig, SummaryStore,
+};
+use std::sync::Arc;
 use std::time::Duration;
 use symexec::{Refuter, RefuterConfig};
 
@@ -348,129 +352,179 @@ fn main() {
         (t_triage_on.as_secs_f64() / t_triage_off.as_secs_f64().max(1e-9) - 1.0) * 100.0
     );
 
-    // Machine-readable record for the CI artifact (no serde in-tree, so
-    // the JSON is assembled by hand).
-    let us = |d: Duration| d.as_secs_f64() * 1e6;
-    let json = format!(
-        concat!(
-            "{{\n",
-            "  \"bench\": \"table4_efficiency\",\n",
-            "  \"app\": \"NPR News\",\n",
-            "  \"stage_mean_us\": {{\n",
-            "    \"harness\": {:.3},\n",
-            "    \"cg_pa\": {:.3},\n",
-            "    \"hbg\": {:.3},\n",
-            "    \"refutation\": {:.3}\n",
-            "  }},\n",
-            "  \"counters\": {{\n",
-            "    \"worklist_iterations\": {},\n",
-            "    \"propagations\": {},\n",
-            "    \"cg_edges\": {},\n",
-            "    \"pts_set_bytes\": {},\n",
-            "    \"rule_applications\": {},\n",
-            "    \"fixpoint_rounds\": {},\n",
-            "    \"closure_sccs\": {},\n",
-            "    \"refuter_paths\": {},\n",
-            "    \"refuter_queries\": {}\n",
-            "  }},\n",
-            "  \"refutation_parallel\": {{\n",
-            "    \"candidate_pairs\": {},\n",
-            "    \"cores_available\": {},\n",
-            "    \"jobs1_mean_us\": {:.3},\n",
-            "    \"jobs4_mean_us\": {:.3},\n",
-            "    \"speedup\": {:.3}\n",
-            "  }},\n",
-            "  \"prefilter\": {{\n",
-            "    \"stress_candidates\": {},\n",
-            "    \"pruned_pairs\": {},\n",
-            "    \"reduction_ratio\": {:.3},\n",
-            "    \"pruned_escape\": {},\n",
-            "    \"pruned_guarded\": {},\n",
-            "    \"pruned_constprop\": {},\n",
-            "    \"infeasible_edges\": {},\n",
-            "    \"refute_with_prefilter_us\": {:.3},\n",
-            "    \"refute_without_prefilter_us\": {:.3}\n",
-            "  }},\n",
-            "  \"pointer_ablation\": {{\n",
-            "    \"collapsed_sccs\": {},\n",
-            "    \"collapsed_nodes\": {},\n",
-            "    \"worklist_iterations_collapse_on\": {},\n",
-            "    \"worklist_iterations_collapse_off\": {},\n",
-            "    \"propagations_collapse_on\": {},\n",
-            "    \"propagations_collapse_off\": {},\n",
-            "    \"cg_pa_collapse_on_us\": {:.3},\n",
-            "    \"cg_pa_collapse_off_us\": {:.3},\n",
-            "    \"overlap_saved_us\": {:.3},\n",
-            "    \"pipeline_overlap_on_us\": {:.3},\n",
-            "    \"pipeline_overlap_off_us\": {:.3}\n",
-            "  }},\n",
-            "  \"triage_ablation\": {{\n",
-            "    \"triage_classified\": {},\n",
-            "    \"triage_null_deref\": {},\n",
-            "    \"triage_use_before_init\": {},\n",
-            "    \"triage_value_inconsistency\": {},\n",
-            "    \"triage_likely_benign\": {},\n",
-            "    \"triage_dataflow_iterations\": {},\n",
-            "    \"triage_methods_analyzed\": {},\n",
-            "    \"triage_crash_precision_pct\": {:.1},\n",
-            "    \"triage_crash_recall_pct\": {:.1},\n",
-            "    \"triage_harm_scored_sites\": {},\n",
-            "    \"pipeline_triage_on_us\": {:.3},\n",
-            "    \"pipeline_triage_off_us\": {:.3}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        us(t_harness),
-        us(t_cg_pa),
-        us(t_hbg),
-        us(t_refutation),
-        m.pointer.worklist_iterations,
-        m.pointer.propagations,
-        m.pointer.cg_edges,
-        m.pointer.pts_set_bytes,
-        m.shbg.total_applications(),
-        m.shbg.fixpoint_rounds,
-        m.shbg.closure_sccs,
-        m.refuter.paths,
-        m.refuter.queries,
-        stress_pairs.len(),
-        cores,
-        us(t_jobs1),
-        us(t_jobs4),
-        speedup,
-        stress_candidates,
-        pruned_pairs,
-        reduction,
-        ps.pruned_escape,
-        ps.pruned_guarded,
-        ps.pruned_constprop,
-        ps.infeasible_edges,
-        us(t_refute_pf),
-        us(t_refute_nopf),
-        pa_on.stats.collapsed_sccs,
-        pa_on.stats.collapsed_nodes,
-        pa_on.stats.worklist_iterations,
-        pa_off.stats.worklist_iterations,
-        pa_on.stats.propagations,
-        pa_off.stats.propagations,
-        us(t_collapse_on),
-        us(t_collapse_off),
-        us(overlap_saved),
-        us(t_overlap_on),
-        us(t_overlap_off),
-        triage_stats.classified,
-        triage_stats.null_deref,
-        triage_stats.use_before_init,
-        triage_stats.value_inconsistency,
-        triage_stats.likely_benign,
-        triage_stats.dataflow_iterations,
-        triage_stats.methods_analyzed,
-        harm_eval.precision() * 100.0,
-        harm_eval.recall() * 100.0,
-        harm_eval.scored,
-        us(t_triage_on),
-        us(t_triage_off),
+    // Summary-store reuse: the edit-pair fixture's two versions differ by
+    // one method body whose edit is a points-to no-op, so a warm run over
+    // a store primed with the base version recomputes exactly one summary
+    // and reuses the whole points-to analysis (zero solver iterations).
+    // The gated counters prove the incrementality claim; the timings show
+    // what it buys.
+    group("summary_reuse");
+    let run_edit = |app: android_model::AndroidApp, store: Arc<dyn SummaryStore>| {
+        SessionBuilder::new(SierraConfig::default())
+            .app(app)
+            .store(store)
+            .build()
+            .expect("edit-pair fixture is valid")
+            .finish()
+            .expect("pipeline runs")
+    };
+    let edit_store: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+    let reuse_cold = run_edit(corpus::edit_pairs::base_app(), Arc::clone(&edit_store));
+    let reuse_warm = run_edit(corpus::edit_pairs::edited_app(), Arc::clone(&edit_store));
+    let (cold_link, warm_link) = (reuse_cold.metrics.link, reuse_warm.metrics.link);
+    assert!(
+        warm_link.pointer_iterations_run * 2 < cold_link.pointer_iterations_run,
+        "warm solver work must stay under half of cold ({} vs {})",
+        warm_link.pointer_iterations_run,
+        cold_link.pointer_iterations_run
     );
-    std::fs::write("BENCH_table4.json", &json).expect("write BENCH_table4.json");
+    println!(
+        "edit-pair warm run: {} summaries reused, {} recomputed, analysis reused: {}; \
+         pointer iterations {} cold vs {} warm",
+        warm_link.summaries_reused,
+        warm_link.summaries_recomputed,
+        warm_link.analysis_reused,
+        cold_link.pointer_iterations_run,
+        warm_link.pointer_iterations_run,
+    );
+    let t_reuse_cold = time("analysis_cold_store", 20, || {
+        let fresh: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+        run_edit(corpus::edit_pairs::base_app(), fresh).races.len()
+    });
+    let t_reuse_warm = time("analysis_warm_store", 20, || {
+        run_edit(corpus::edit_pairs::edited_app(), Arc::clone(&edit_store))
+            .races
+            .len()
+    });
+
+    // Machine-readable record for the CI artifact, rendered through the
+    // shared `Json` type (no serde in-tree).
+    let us = |d: Duration| Json::Num(d.as_secs_f64() * 1e6);
+    let json = obj(vec![
+        ("bench", Json::Str("table4_efficiency".to_owned())),
+        ("app", Json::Str("NPR News".to_owned())),
+        (
+            "stage_mean_us",
+            obj(vec![
+                ("harness", us(t_harness)),
+                ("cg_pa", us(t_cg_pa)),
+                ("hbg", us(t_hbg)),
+                ("refutation", us(t_refutation)),
+            ]),
+        ),
+        (
+            "counters",
+            obj(vec![
+                ("worklist_iterations", num(m.pointer.worklist_iterations)),
+                ("propagations", num(m.pointer.propagations)),
+                ("cg_edges", num(m.pointer.cg_edges)),
+                ("pts_set_bytes", num(m.pointer.pts_set_bytes)),
+                ("rule_applications", num(m.shbg.total_applications())),
+                ("fixpoint_rounds", num(m.shbg.fixpoint_rounds)),
+                ("closure_sccs", num(m.shbg.closure_sccs)),
+                ("refuter_paths", num(m.refuter.paths)),
+                ("refuter_queries", num(m.refuter.queries)),
+            ]),
+        ),
+        (
+            "refutation_parallel",
+            obj(vec![
+                ("candidate_pairs", num(stress_pairs.len())),
+                ("cores_available", num(cores)),
+                ("jobs1_mean_us", us(t_jobs1)),
+                ("jobs4_mean_us", us(t_jobs4)),
+                ("speedup", Json::Num(speedup)),
+            ]),
+        ),
+        (
+            "prefilter",
+            obj(vec![
+                ("stress_candidates", num(stress_candidates)),
+                ("pruned_pairs", num(pruned_pairs)),
+                ("reduction_ratio", Json::Num(reduction)),
+                ("pruned_escape", num(ps.pruned_escape)),
+                ("pruned_guarded", num(ps.pruned_guarded)),
+                ("pruned_constprop", num(ps.pruned_constprop)),
+                ("infeasible_edges", num(ps.infeasible_edges)),
+                ("refute_with_prefilter_us", us(t_refute_pf)),
+                ("refute_without_prefilter_us", us(t_refute_nopf)),
+            ]),
+        ),
+        (
+            "pointer_ablation",
+            obj(vec![
+                ("collapsed_sccs", num(pa_on.stats.collapsed_sccs)),
+                ("collapsed_nodes", num(pa_on.stats.collapsed_nodes)),
+                (
+                    "worklist_iterations_collapse_on",
+                    num(pa_on.stats.worklist_iterations),
+                ),
+                (
+                    "worklist_iterations_collapse_off",
+                    num(pa_off.stats.worklist_iterations),
+                ),
+                ("propagations_collapse_on", num(pa_on.stats.propagations)),
+                ("propagations_collapse_off", num(pa_off.stats.propagations)),
+                ("cg_pa_collapse_on_us", us(t_collapse_on)),
+                ("cg_pa_collapse_off_us", us(t_collapse_off)),
+                ("overlap_saved_us", us(overlap_saved)),
+                ("pipeline_overlap_on_us", us(t_overlap_on)),
+                ("pipeline_overlap_off_us", us(t_overlap_off)),
+            ]),
+        ),
+        (
+            "triage_ablation",
+            obj(vec![
+                ("triage_classified", num(triage_stats.classified)),
+                ("triage_null_deref", num(triage_stats.null_deref)),
+                ("triage_use_before_init", num(triage_stats.use_before_init)),
+                (
+                    "triage_value_inconsistency",
+                    num(triage_stats.value_inconsistency),
+                ),
+                ("triage_likely_benign", num(triage_stats.likely_benign)),
+                (
+                    "triage_dataflow_iterations",
+                    num(triage_stats.dataflow_iterations),
+                ),
+                (
+                    "triage_methods_analyzed",
+                    num(triage_stats.methods_analyzed),
+                ),
+                (
+                    "triage_crash_precision_pct",
+                    Json::Num(harm_eval.precision() * 100.0),
+                ),
+                (
+                    "triage_crash_recall_pct",
+                    Json::Num(harm_eval.recall() * 100.0),
+                ),
+                ("triage_harm_scored_sites", num(harm_eval.scored)),
+                ("pipeline_triage_on_us", us(t_triage_on)),
+                ("pipeline_triage_off_us", us(t_triage_off)),
+            ]),
+        ),
+        (
+            "summary_reuse",
+            obj(vec![
+                (
+                    "cold_pointer_iterations",
+                    num(cold_link.pointer_iterations_run),
+                ),
+                (
+                    "warm_pointer_iterations",
+                    num(warm_link.pointer_iterations_run),
+                ),
+                ("summaries_reused", num(warm_link.summaries_reused)),
+                ("summaries_recomputed", num(warm_link.summaries_recomputed)),
+                ("analysis_reused", Json::Bool(warm_link.analysis_reused)),
+                ("analysis_cold_store_us", us(t_reuse_cold)),
+                ("analysis_warm_store_us", us(t_reuse_warm)),
+            ]),
+        ),
+    ]);
+    let mut rendered = json.render();
+    rendered.push('\n');
+    std::fs::write("BENCH_table4.json", &rendered).expect("write BENCH_table4.json");
     println!("wrote BENCH_table4.json");
 }

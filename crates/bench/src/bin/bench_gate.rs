@@ -64,6 +64,11 @@ const GATED: &[&str] = &[
     "triage_value_inconsistency",
     "triage_likely_benign",
     "triage_dataflow_iterations",
+    // summary reuse (edit-pair fixture; warm run over a primed store)
+    "cold_pointer_iterations",
+    "warm_pointer_iterations",
+    "summaries_reused",
+    "summaries_recomputed",
 ];
 
 /// Crash-capable precision the harm classifier must hold on the labelled
@@ -140,6 +145,24 @@ fn run(current: &str, baseline: &str) -> Result<(), Vec<String>> {
             ));
         }
     }
+    // Structural invariants of the summary-reuse group: a warm run over
+    // a primed store must actually reuse summaries and must spend under
+    // half the cold run's solver iterations, independent of baseline.
+    if let (Some(cold), Some(warm)) = (
+        counter(current, "cold_pointer_iterations"),
+        counter(current, "warm_pointer_iterations"),
+    ) {
+        if warm >= 0.5 * cold {
+            violations.push(format!(
+                "warm_pointer_iterations ({warm}) must be below half of cold_pointer_iterations ({cold}): the summary store stopped paying for itself"
+            ));
+        }
+    }
+    if let Some(reused) = counter(current, "summaries_reused") {
+        if reused < 1.0 {
+            violations.push("summaries_reused: warm run reused nothing from the store".into());
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -199,6 +222,12 @@ mod tests {
         "worklist_iterations_collapse_off": 40,
         "propagations_collapse_on": 50,
         "propagations_collapse_off": 90
+      },
+      "summary_reuse": {
+        "cold_pointer_iterations": 30,
+        "warm_pointer_iterations": 0,
+        "summaries_reused": 6,
+        "summaries_recomputed": 1
       }
     }"#;
 
@@ -257,6 +286,25 @@ mod tests {
             err.iter().any(|v| v.contains("below the 90% floor")),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn summary_reuse_invariants_are_enforced() {
+        // Warm solver work creeping past half of cold is a violation
+        // even when it stays within the per-counter drift band.
+        let lazy = BASE.replace(
+            "\"warm_pointer_iterations\": 0",
+            "\"warm_pointer_iterations\": 15",
+        );
+        let err = run(&lazy, &lazy).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("stopped paying for itself")),
+            "{err:?}"
+        );
+
+        let cold_store = BASE.replace("\"summaries_reused\": 6", "\"summaries_reused\": 0");
+        let err = run(&cold_store, &cold_store).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("reused nothing")), "{err:?}");
     }
 
     #[test]

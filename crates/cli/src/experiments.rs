@@ -8,7 +8,7 @@
 
 use corpus::{fdroid, twenty, EvalCounts, GroundTruth, HarmEval};
 use eventracer::EventRacerConfig;
-use sierra_core::{run_jobs, EngineError, Sierra, SierraConfig, SierraResult};
+use sierra_core::{run_jobs, EngineError, Report, Sierra, SierraConfig, SierraResult};
 use std::time::Duration;
 
 /// Everything measured for one app (one row of Tables 3 and 4).
@@ -94,6 +94,48 @@ impl AppRow {
             ..Self::default()
         }
     }
+
+    /// Every field of a row the unified [`Report`] carries — the Table
+    /// 3/4 printers render these, so table numbers, `Display` output,
+    /// and the serve protocol's JSON all come from one value. The
+    /// ground-truth and EventRacer columns are not analysis output;
+    /// [`run_app`] fills them afterwards.
+    pub fn from_report(name: &str, report: &Report) -> Self {
+        let m = &report.metrics;
+        Self {
+            name: name.to_owned(),
+            error: None,
+            harnesses: report.harness_count,
+            actions: report.action_count,
+            hb_edges: report.hb_edges,
+            ordered_pct: report.hb_percent(),
+            racy_without_as: report.racy_pairs_without_as,
+            racy_with_as: report.racy_pairs_with_as,
+            after_refutation: report.race_lines.len(),
+            triage_crash: m.triage.null_deref + m.triage.use_before_init,
+            triage_value: m.triage.value_inconsistency,
+            triage_benign: m.triage.likely_benign,
+            triage_iters: m.triage.dataflow_iterations,
+            t_triage: m.timings.triage,
+            pa_worklist_iters: m.pointer.worklist_iterations,
+            pa_collapsed_sccs: m.pointer.collapsed_sccs,
+            pa_collapsed_nodes: m.pointer.collapsed_nodes,
+            cg_edges: m.pointer.cg_edges,
+            shbg_rule_apps: m.shbg.total_applications(),
+            refuter_paths: m.refuter.paths,
+            pruned_pairs: m.prefilter.pruned_total(),
+            infeasible_edges: m.prefilter.infeasible_edges,
+            t_cg_pa: m.timings.cg_pa,
+            t_hbg: m.timings.hbg,
+            t_prefilter: m.timings.prefilter,
+            t_refutation: m.timings.refutation,
+            t_compare: m.timings.compare,
+            compare_overlapped: m.compare_overlapped,
+            overlap_saved: m.overlap_saved,
+            t_total: m.timings.total,
+            ..Self::default()
+        }
+    }
 }
 
 /// Per-`(class, field)` harm verdicts of a SIERRA result: the flag is
@@ -151,43 +193,12 @@ pub fn run_app(
             .map(|(c, f, x)| (c.as_str(), f.as_str(), *x)),
     );
 
-    let m = &result.metrics;
-    AppRow {
-        name: name.to_owned(),
-        error: None,
-        harnesses: result.harness_count,
-        actions: result.action_count,
-        hb_edges: result.hb_edges,
-        ordered_pct: result.hb_percent(),
-        racy_without_as: result.racy_pairs_without_as,
-        racy_with_as: result.racy_pairs_with_as,
-        after_refutation: result.races.len(),
-        sierra_eval,
-        triage_crash: m.triage.null_deref + m.triage.use_before_init,
-        triage_value: m.triage.value_inconsistency,
-        triage_benign: m.triage.likely_benign,
-        harm_eval,
-        triage_iters: m.triage.dataflow_iterations,
-        t_triage: m.timings.triage,
-        eventracer_eval,
-        eventracer_races: er_report.races.len(),
-        pa_worklist_iters: m.pointer.worklist_iterations,
-        pa_collapsed_sccs: m.pointer.collapsed_sccs,
-        pa_collapsed_nodes: m.pointer.collapsed_nodes,
-        cg_edges: m.pointer.cg_edges,
-        shbg_rule_apps: m.shbg.total_applications(),
-        refuter_paths: m.refuter.paths,
-        pruned_pairs: m.prefilter.pruned_total(),
-        infeasible_edges: m.prefilter.infeasible_edges,
-        t_cg_pa: m.timings.cg_pa,
-        t_hbg: m.timings.hbg,
-        t_prefilter: m.timings.prefilter,
-        t_refutation: m.timings.refutation,
-        t_compare: m.timings.compare,
-        compare_overlapped: m.compare_overlapped,
-        overlap_saved: m.overlap_saved,
-        t_total: m.timings.total,
-    }
+    let mut row = AppRow::from_report(name, &Report::from_result(&result));
+    row.sierra_eval = sierra_eval;
+    row.harm_eval = harm_eval;
+    row.eventracer_eval = eventracer_eval;
+    row.eventracer_races = er_report.races.len();
+    row
 }
 
 fn row_or_error(outcome: Result<AppRow, EngineError>) -> AppRow {
@@ -570,6 +581,27 @@ mod tests {
         assert!(t5.contains("medians"));
         let cmp = comparison_summary(std::slice::from_ref(&row));
         assert!(cmp.contains("SIERRA"));
+    }
+
+    #[test]
+    fn rows_derive_from_the_unified_report() {
+        // The table printers and the `Display`/JSON renderers must agree
+        // because they read the same `Report` value.
+        let (app, _) = corpus::figures::intra_component();
+        let result = Sierra::new().analyze_app(app);
+        let report = Report::from_result(&result);
+        let row = AppRow::from_report("fig1", &report);
+        assert_eq!(row.harnesses, result.harness_count);
+        assert_eq!(row.actions, result.action_count);
+        assert_eq!(row.after_refutation, result.races.len());
+        assert_eq!(
+            row.pa_worklist_iters,
+            result.metrics.pointer.worklist_iterations
+        );
+        assert_eq!(row.pruned_pairs, result.metrics.prefilter.pruned_total());
+        // Evals stay zeroed until run_app fills them.
+        assert_eq!(row.sierra_eval.true_races, 0);
+        assert!(row.error.is_none());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!                       (reports then carry no harm annotation)
 //! --min-harm <LEVEL>    drop reports triaged below LEVEL: benign |
 //!                       value | use-before-init | null-deref
+//! --cache-dir <PATH>    persist per-method summaries to PATH (the
+//!                       `serve` subcommand's warm store; created if
+//!                       absent)
 //! ```
 //!
 //! [`CommonFlags::parse`] consumes the recognized flags (and their
@@ -30,10 +33,12 @@
 use sierra_core::SierraConfig;
 
 /// Parsed values of the shared flags.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct CommonFlags {
     /// `--jobs N`: engine worker threads (0 = available parallelism).
     pub jobs: usize,
+    /// `--cache-dir PATH`: on-disk summary store directory, if any.
+    pub cache_dir: Option<String>,
     /// The pipeline configuration assembled from `--context`/`--budget`.
     pub config: SierraConfig,
 }
@@ -41,12 +46,13 @@ pub struct CommonFlags {
 impl CommonFlags {
     /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`,
     /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`,
-    /// `--no-overlap-compare`, `--no-triage`, and `--min-harm` from
-    /// `args`, removing each recognized flag (and its value, if any).
-    /// Unknown flags and positionals are untouched.
+    /// `--no-overlap-compare`, `--no-triage`, `--min-harm`, and
+    /// `--cache-dir` from `args`, removing each recognized flag (and
+    /// its value, if any). Unknown flags and positionals are untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
         let mut builder = SierraConfig::builder();
         let mut jobs = 0usize;
+        let cache_dir = take_flag(args, "--cache-dir")?;
         if let Some(spec) = take_flag(args, "--context")? {
             let selector = spec
                 .parse()
@@ -92,6 +98,7 @@ impl CommonFlags {
         }
         Ok(Self {
             jobs,
+            cache_dir,
             config: builder.build(),
         })
     }
@@ -237,6 +244,20 @@ mod tests {
 
         assert!(CommonFlags::parse(&mut argv(&["x", "--min-harm", "fatal"])).is_err());
         assert!(CommonFlags::parse(&mut argv(&["x", "--min-harm"])).is_err());
+    }
+
+    #[test]
+    fn cache_dir_flag_is_consumed() {
+        let mut args = argv(&["serve", "--cache-dir", "/tmp/sierra-cache"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(flags.cache_dir.as_deref(), Some("/tmp/sierra-cache"));
+        assert_eq!(args, argv(&["serve"]));
+
+        let mut args = argv(&["serve"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(flags.cache_dir, None);
+
+        assert!(CommonFlags::parse(&mut argv(&["serve", "--cache-dir"])).is_err());
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! evaluation; the `sierra-cli` binary prints them. The timing benches
 //! reuse the same runners so benchmark numbers and table numbers come
 //! from one code path. [`flags`] holds the `--context`/`--budget`/
-//! `--jobs` parser shared by every subcommand.
+//! `--jobs` parser shared by every subcommand, and [`serve`] implements
+//! the long-lived `sierra serve` analysis server over a warm summary
+//! store.
 
 pub mod experiments;
 pub mod flags;
+pub mod serve;

@@ -9,6 +9,7 @@
 //! sierra-cli analyze <AppName>      # one Table-2 app, with race reports
 //! sierra-cli figures                # run the Figure 1/2/8 apps
 //! sierra-cli verify <AppName>       # dynamically verify static reports
+//! sierra-cli serve [--socket PATH]  # line-delimited JSON analysis server
 //! ```
 //!
 //! Every subcommand also accepts the shared analysis flags:
@@ -25,6 +26,7 @@
 //! --no-triage          disable post-refutation harm triage
 //! --min-harm <LEVEL>   drop reports below LEVEL: benign | value |
 //!                      use-before-init | null-deref
+//! --cache-dir <PATH>   persist per-method summaries across runs
 //! ```
 
 use eventracer::EventRacerConfig;
@@ -32,10 +34,11 @@ use sierra_cli::experiments;
 use sierra_cli::flags::{take_raw_flag, CommonFlags};
 use sierra_core::Sierra;
 
-const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>>\n\
+const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>|serve [--socket PATH]>\n\
                      shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter\n\
                      \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare\n\
-                     \x20             --no-triage --min-harm <benign|value|use-before-init|null-deref>";
+                     \x20             --no-triage --min-harm <benign|value|use-before-init|null-deref>\n\
+                     \x20             --cache-dir <PATH>";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -185,6 +188,13 @@ fn main() {
                     eval.false_positives + eval.unplanted,
                     eval.missed
                 );
+            }
+        }
+        "serve" => {
+            let socket = take_raw_flag(&mut args, "--socket");
+            if let Err(e) = sierra_cli::serve::run(&common, socket) {
+                eprintln!("{e}");
+                std::process::exit(2);
             }
         }
         "help" | "--help" | "-h" => println!("{USAGE}"),

@@ -1,0 +1,553 @@
+//! `sierra serve` — a long-lived analysis server over a warm summary
+//! store.
+//!
+//! The server reads **line-delimited JSON** requests from stdin (or a
+//! Unix socket with `--socket PATH`) and streams events back, one JSON
+//! object per line. Requests are fanned across the same `--jobs` worker
+//! pool the corpus engine uses; every session shares one
+//! [`SummaryStore`], so repeated analyses of the same (or slightly
+//! edited) app reuse per-method summaries and — when no solver-relevant
+//! statement changed — the whole points-to analysis. With `--cache-dir`
+//! the store persists to disk and survives server restarts.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id": 1, "op": "analyze", "path": "fixtures/fig1_intra_component.sierra"}
+//! {"id": 2, "op": "analyze", "name": "MyApp", "source": "class ... { ... }"}
+//! {"op": "shutdown"}
+//! ```
+//!
+//! ## Events
+//!
+//! Each analyze request produces a stream of `stage` events (wall-clock
+//! milliseconds plus that stage's work counters), then a `report` event
+//! carrying the full [`Report`] JSON, then a `done` event with the
+//! store-reuse counters:
+//!
+//! ```json
+//! {"id":1,"event":"stage","stage":"pointer","ms":1.2,"counters":{...}}
+//! {"id":1,"event":"report","report":{...}}
+//! {"id":1,"event":"done","races":2,"summaries_reused":0,"summaries_recomputed":9,"analysis_reused":false}
+//! {"id":1,"event":"error","message":"..."}
+//! ```
+//!
+//! Reuse never changes results: a warm `report` payload is
+//! byte-identical to the cold one (the `timings_ms` group excepted).
+
+use crate::flags::CommonFlags;
+use sierra_core::engine::effective_jobs;
+use sierra_core::{
+    json::{num, obj},
+    AnalysisSession, DiskStore, Json, MemoryStore, Report, SessionBuilder, SierraConfig,
+    SummaryStore,
+};
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+use std::sync::{mpsc, Arc, Mutex};
+
+/// The line-oriented response sink, shared by the worker pool. Each
+/// event is rendered to one line and written under the lock, so lines
+/// from concurrent requests interleave but never tear.
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// One analyze request, resolved to inline source.
+struct Request {
+    id: Option<u64>,
+    name: String,
+    text: String,
+}
+
+/// A parsed input line.
+enum ParsedLine {
+    Analyze(Request),
+    Shutdown,
+}
+
+/// Opens the summary store the server sessions share: on-disk under
+/// `cache_dir` when given (created if absent), in-memory otherwise.
+pub fn open_store(cache_dir: Option<&str>) -> Result<Arc<dyn SummaryStore>, String> {
+    match cache_dir {
+        Some(dir) => {
+            let store =
+                DiskStore::new(dir).map_err(|e| format!("cannot open cache dir {dir:?}: {e}"))?;
+            Ok(Arc::new(store))
+        }
+        None => Ok(Arc::new(MemoryStore::new())),
+    }
+}
+
+/// Runs the server until a `shutdown` request (or end of input).
+pub fn run(flags: &CommonFlags, socket: Option<String>) -> Result<(), String> {
+    let store = open_store(flags.cache_dir.as_deref())?;
+    match socket {
+        Some(path) => serve_socket(&path, flags.config, flags.jobs, store),
+        None => {
+            let reader = BufReader::new(std::io::stdin());
+            let writer: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+            serve_connection(reader, &writer, flags.config, flags.jobs, store);
+            Ok(())
+        }
+    }
+}
+
+/// Accepts connections on a Unix socket, serving each with the shared
+/// store until one sends `shutdown`. The socket file is replaced on
+/// bind and removed on exit.
+#[cfg(unix)]
+fn serve_socket(
+    path: &str,
+    config: SierraConfig,
+    jobs: usize,
+    store: Arc<dyn SummaryStore>,
+) -> Result<(), String> {
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)
+        .map_err(|e| format!("cannot bind socket {path:?}: {e}"))?;
+    eprintln!("sierra serve: listening on {path}");
+    for conn in listener.incoming() {
+        let stream = conn.map_err(|e| format!("accept failed: {e}"))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| format!("cannot clone socket stream: {e}"))?,
+        );
+        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
+        if serve_connection(reader, &writer, config, jobs, Arc::clone(&store)) {
+            break;
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn serve_socket(
+    _path: &str,
+    _config: SierraConfig,
+    _jobs: usize,
+    _store: Arc<dyn SummaryStore>,
+) -> Result<(), String> {
+    Err("--socket requires a Unix platform; use stdin mode instead".to_owned())
+}
+
+/// Serves one connection: parses request lines, fans analyze jobs across
+/// `jobs` workers (0 = all cores), and returns whether `shutdown` was
+/// requested. Already-queued requests are drained before returning.
+fn serve_connection<R: BufRead>(
+    reader: R,
+    writer: &SharedWriter,
+    config: SierraConfig,
+    jobs: usize,
+    store: Arc<dyn SummaryStore>,
+) -> bool {
+    let workers = effective_jobs(jobs, usize::MAX);
+    let mut shutdown = false;
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<Request>();
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let writer = Arc::clone(writer);
+            let store = Arc::clone(&store);
+            scope.spawn(move || loop {
+                // Receive under the lock, release before analyzing so the
+                // other workers can pick up queued requests.
+                let next = {
+                    let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.recv()
+                };
+                match next {
+                    Ok(req) => handle_request(req, config, &store, &writer),
+                    Err(_) => break, // sender dropped: input finished
+                }
+            });
+        }
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(&line) {
+                Ok(ParsedLine::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Ok(ParsedLine::Analyze(req)) => {
+                    let _ = tx.send(req);
+                }
+                Err((id, message)) => emit(writer, error_event(id, &message)),
+            }
+        }
+        drop(tx); // workers drain the queue, then exit
+    });
+    shutdown
+}
+
+/// Parses one request line. Errors carry the request id when one was
+/// readable, so the client can correlate the error event.
+fn parse_request(line: &str) -> Result<ParsedLine, (Option<u64>, String)> {
+    let value = Json::parse(line).map_err(|e| (None, format!("malformed request: {e}")))?;
+    let id = value.get("id").and_then(Json::as_u64);
+    let fail = |message: String| Err((id, message));
+    match value.get("op").and_then(Json::as_str) {
+        Some("shutdown") => Ok(ParsedLine::Shutdown),
+        Some("analyze") => {
+            if let Some(path) = value.get("path").and_then(Json::as_str) {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => return fail(format!("cannot read {path:?}: {e}")),
+                };
+                let name = Path::new(path)
+                    .file_stem()
+                    .map_or_else(|| path.to_owned(), |s| s.to_string_lossy().into_owned());
+                Ok(ParsedLine::Analyze(Request { id, name, text }))
+            } else {
+                match (
+                    value.get("name").and_then(Json::as_str),
+                    value.get("source").and_then(Json::as_str),
+                ) {
+                    (Some(name), Some(source)) => Ok(ParsedLine::Analyze(Request {
+                        id,
+                        name: name.to_owned(),
+                        text: source.to_owned(),
+                    })),
+                    _ => fail("analyze needs \"path\" or \"name\"+\"source\"".to_owned()),
+                }
+            }
+        }
+        Some(op) => fail(format!("unknown op {op:?}")),
+        None => fail("missing \"op\"".to_owned()),
+    }
+}
+
+fn handle_request(
+    req: Request,
+    config: SierraConfig,
+    store: &Arc<dyn SummaryStore>,
+    out: &SharedWriter,
+) {
+    if let Err(e) = analyze(&req, config, store, out) {
+        emit(out, error_event(req.id, &e.to_string()));
+    }
+}
+
+/// Drives one session stage by stage, streaming a `stage` event after
+/// each, then the `report` and `done` events.
+fn analyze(
+    req: &Request,
+    config: SierraConfig,
+    store: &Arc<dyn SummaryStore>,
+    out: &SharedWriter,
+) -> Result<(), sierra_core::SessionError> {
+    let mut session = SessionBuilder::new(config)
+        .source(req.name.clone(), req.text.clone())
+        .store(Arc::clone(store))
+        .build()?;
+    let id = req.id;
+
+    let harnesses = session.harness()?.harness_count();
+    emit_stage(out, id, &session, "harness", |m| {
+        (ms(m.timings.harness), vec![("harnesses", num(harnesses))])
+    });
+    session.pointer()?;
+    emit_stage(out, id, &session, "pointer", |m| {
+        (
+            ms(m.timings.cg_pa),
+            vec![
+                ("worklist_iterations", num(m.pointer.worklist_iterations)),
+                ("cg_edges", num(m.pointer.cg_edges)),
+                ("summaries_reused", num(m.link.summaries_reused)),
+                ("summaries_recomputed", num(m.link.summaries_recomputed)),
+                ("analysis_reused", Json::Bool(m.link.analysis_reused)),
+            ],
+        )
+    });
+    session.shbg()?;
+    emit_stage(out, id, &session, "shbg", |m| {
+        (
+            ms(m.timings.hbg),
+            vec![
+                ("rule_applications", num(m.shbg.total_applications())),
+                ("fixpoint_rounds", num(m.shbg.fixpoint_rounds)),
+            ],
+        )
+    });
+    let pairs = session.candidates()?.len();
+    emit_stage(out, id, &session, "candidates", |_| {
+        (0.0, vec![("pairs", num(pairs))])
+    });
+    let pruned = session.prefilter()?.pruned.len();
+    emit_stage(out, id, &session, "prefilter", |m| {
+        (ms(m.timings.prefilter), vec![("pruned", num(pruned))])
+    });
+    let races = session.refute()?.len();
+    emit_stage(out, id, &session, "refute", |m| {
+        (
+            ms(m.timings.refutation),
+            vec![
+                ("races", num(races)),
+                ("paths", num(m.refuter.paths)),
+                ("refuted", num(m.refuter.refuted)),
+            ],
+        )
+    });
+
+    let result = session.finish()?;
+    let report = Report::from_result(&result);
+    emit(
+        out,
+        obj(vec![
+            ("id", id_json(id)),
+            ("event", Json::Str("report".to_owned())),
+            ("report", report.render_json()),
+        ]),
+    );
+    let link = result.metrics.link;
+    emit(
+        out,
+        obj(vec![
+            ("id", id_json(id)),
+            ("event", Json::Str("done".to_owned())),
+            ("races", num(result.races.len())),
+            ("summaries_reused", num(link.summaries_reused)),
+            ("summaries_recomputed", num(link.summaries_recomputed)),
+            ("analysis_reused", Json::Bool(link.analysis_reused)),
+        ]),
+    );
+    Ok(())
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn id_json(id: Option<u64>) -> Json {
+    id.map_or(Json::Null, |n| Json::Num(n as f64))
+}
+
+fn error_event(id: Option<u64>, message: &str) -> Json {
+    obj(vec![
+        ("id", id_json(id)),
+        ("event", Json::Str("error".to_owned())),
+        ("message", Json::Str(message.to_owned())),
+    ])
+}
+
+fn emit_stage(
+    out: &SharedWriter,
+    id: Option<u64>,
+    session: &AnalysisSession,
+    stage: &str,
+    payload: impl FnOnce(&sierra_core::StageMetrics) -> (f64, Vec<(&'static str, Json)>),
+) {
+    let (elapsed_ms, counters) = payload(session.metrics());
+    emit(
+        out,
+        obj(vec![
+            ("id", id_json(id)),
+            ("event", Json::Str("stage".to_owned())),
+            ("stage", Json::Str(stage.to_owned())),
+            ("ms", Json::Num(elapsed_ms)),
+            ("counters", obj(counters)),
+        ]),
+    );
+}
+
+/// Writes one event as a single line and flushes, so clients see the
+/// stream as it happens.
+fn emit(out: &SharedWriter, event: Json) {
+    let mut line = event.render();
+    line.push('\n');
+    let mut w = out.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const FIG1: &str = include_str!("../../../fixtures/fig1_intra_component.sierra");
+
+    /// A writer that shares its buffer with the test, since the
+    /// connection writer is type-erased.
+    #[derive(Clone)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buffer lock").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn drive(input: &str, store: Arc<dyn SummaryStore>) -> (bool, Vec<Json>) {
+        let buffer = Arc::new(Mutex::new(Vec::new()));
+        let writer: SharedWriter = Arc::new(Mutex::new(Box::new(Shared(Arc::clone(&buffer)))));
+        let shutdown = serve_connection(
+            Cursor::new(input.to_owned()),
+            &writer,
+            SierraConfig::default(),
+            1,
+            store,
+        );
+        let bytes = buffer.lock().expect("buffer lock").clone();
+        let text = String::from_utf8(bytes).expect("utf-8 output");
+        let events = text
+            .lines()
+            .map(|l| Json::parse(l).expect("every output line is JSON"))
+            .collect();
+        (shutdown, events)
+    }
+
+    fn analyze_request(id: u64) -> String {
+        obj(vec![
+            ("id", num(id as usize)),
+            ("op", Json::Str("analyze".to_owned())),
+            ("name", Json::Str("Fig1".to_owned())),
+            ("source", Json::Str(FIG1.to_owned())),
+        ])
+        .render()
+    }
+
+    fn events_for<'a>(events: &'a [Json], id: u64, kind: &str) -> Vec<&'a Json> {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("id").and_then(Json::as_u64) == Some(id)
+                    && e.get("event").and_then(Json::as_str) == Some(kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_requests_stream_identical_reports_and_reuse_summaries() {
+        let input = format!(
+            "{}\n{}\n{}\n",
+            analyze_request(1),
+            analyze_request(2),
+            r#"{"op":"shutdown"}"#
+        );
+        let (shutdown, events) = drive(&input, Arc::new(MemoryStore::new()));
+        assert!(shutdown, "shutdown request ends the connection");
+
+        // Both requests stream the full stage sequence.
+        for id in [1, 2] {
+            let stages: Vec<&str> = events_for(&events, id, "stage")
+                .iter()
+                .map(|e| e.get("stage").and_then(Json::as_str).expect("stage name"))
+                .collect();
+            assert_eq!(
+                stages,
+                [
+                    "harness",
+                    "pointer",
+                    "shbg",
+                    "candidates",
+                    "prefilter",
+                    "refute"
+                ],
+                "request {id}"
+            );
+        }
+
+        // The reports are identical up to the run-dependent groups (wall
+        // clock and reuse telemetry): strip those and compare the
+        // rendered JSON byte for byte.
+        let strip = |e: &Json| {
+            let mut report = e.get("report").expect("report payload").clone();
+            if let Json::Obj(members) = &mut report {
+                members.retain(|(k, _)| k != "timings_ms" && k != "link");
+            }
+            report.render()
+        };
+        let r1 = events_for(&events, 1, "report");
+        let r2 = events_for(&events, 2, "report");
+        assert_eq!(r1.len(), 1);
+        assert_eq!(r2.len(), 1);
+        assert_eq!(strip(r1[0]), strip(r2[0]), "warm report must match cold");
+
+        // The first request is cold, the second fully warm.
+        let done1 = events_for(&events, 1, "done")[0];
+        let done2 = events_for(&events, 2, "done")[0];
+        assert_eq!(
+            done1.get("summaries_reused").and_then(Json::as_u64),
+            Some(0)
+        );
+        let recomputed = done1
+            .get("summaries_recomputed")
+            .and_then(Json::as_u64)
+            .expect("cold run recomputes");
+        assert!(recomputed > 0);
+        assert_eq!(
+            done2.get("summaries_reused").and_then(Json::as_u64),
+            Some(recomputed)
+        );
+        assert_eq!(
+            done2.get("summaries_recomputed").and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            done2.get("analysis_reused").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn bad_requests_become_error_events() {
+        let input = concat!(
+            "this is not json\n",
+            "{\"id\":7,\"op\":\"frobnicate\"}\n",
+            "{\"id\":8,\"op\":\"analyze\"}\n",
+            "{\"id\":9,\"op\":\"analyze\",\"path\":\"/nonexistent/x.sierra\"}\n",
+            "{\"id\":10,\"op\":\"analyze\",\"name\":\"Bad\",\"source\":\"class {\"}\n",
+        );
+        let (shutdown, events) = drive(input, Arc::new(MemoryStore::new()));
+        assert!(!shutdown, "input ended without a shutdown request");
+        assert_eq!(events.len(), 5, "{events:?}");
+        assert!(events
+            .iter()
+            .all(|e| e.get("event").and_then(Json::as_str) == Some("error")));
+        // Errors past parsing echo the request id.
+        for id in [7u64, 8, 9, 10] {
+            assert_eq!(events_for(&events, id, "error").len(), 1, "id {id}");
+        }
+        let invalid = events_for(&events, 10, "error")[0];
+        let message = invalid
+            .get("message")
+            .and_then(Json::as_str)
+            .expect("message");
+        assert!(message.contains("invalid app"), "{message}");
+    }
+
+    #[test]
+    fn path_requests_resolve_the_app_name_from_the_file_stem() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../fixtures/fig1_intra_component.sierra"
+        );
+        let input = format!(
+            "{}\n",
+            obj(vec![
+                ("id", num(1)),
+                ("op", Json::Str("analyze".to_owned())),
+                ("path", Json::Str(path.to_owned())),
+            ])
+            .render()
+        );
+        let (_, events) = drive(&input, Arc::new(MemoryStore::new()));
+        let report = events_for(&events, 1, "report")[0]
+            .get("report")
+            .expect("report payload")
+            .clone();
+        assert_eq!(
+            report.get("app").and_then(Json::as_str),
+            Some("fig1_intra_component")
+        );
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end `sierra serve` protocol tests against the real binary:
+//! warm re-analysis must stream a byte-identical report (timings aside)
+//! while the `done` counters prove the store was actually reused.
+
+use sierra_core::Json;
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const FIXTURE: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../fixtures/fig2_inter_component.sierra"
+);
+
+/// Runs `sierra-cli serve` with the given extra flags, feeds it `input`,
+/// and returns every output line parsed as JSON.
+fn run_serve(extra_flags: &[&str], input: &str) -> Vec<Json> {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sierra-cli"))
+        .arg("serve")
+        .args(["--jobs", "1"])
+        .args(extra_flags)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve starts");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("request written");
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(output.status.success(), "serve exits cleanly");
+    String::from_utf8(output.stdout)
+        .expect("utf-8 output")
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad output line {l:?}: {e}")))
+        .collect()
+}
+
+fn analyze_line(id: usize) -> String {
+    format!(
+        "{{\"id\":{id},\"op\":\"analyze\",\"path\":{}}}",
+        Json::Str(FIXTURE.to_owned()).render()
+    )
+}
+
+fn event<'a>(events: &'a [Json], id: u64, kind: &str) -> &'a Json {
+    events
+        .iter()
+        .find(|e| {
+            e.get("id").and_then(Json::as_u64) == Some(id)
+                && e.get("event").and_then(Json::as_str) == Some(kind)
+        })
+        .unwrap_or_else(|| panic!("no {kind} event for id {id}: {events:?}"))
+}
+
+/// The report payload with the run-dependent groups removed: wall clock
+/// (`timings_ms`) and store-reuse telemetry (`link`) describe the run,
+/// not the analysis result.
+fn stable_report(e: &Json) -> String {
+    let mut report = e.get("report").expect("report payload").clone();
+    if let Json::Obj(members) = &mut report {
+        members.retain(|(k, _)| k != "timings_ms" && k != "link");
+    }
+    report.render()
+}
+
+#[test]
+fn serve_answers_two_requests_with_identical_reports_and_warm_reuse() {
+    let input = format!(
+        "{}\n{}\n{{\"op\":\"shutdown\"}}\n",
+        analyze_line(1),
+        analyze_line(2)
+    );
+    let events = run_serve(&[], &input);
+
+    assert_eq!(
+        stable_report(event(&events, 1, "report")),
+        stable_report(event(&events, 2, "report")),
+        "warm report must be byte-identical to the cold one"
+    );
+
+    let cold = event(&events, 1, "done");
+    let warm = event(&events, 2, "done");
+    assert_eq!(cold.get("summaries_reused").and_then(Json::as_u64), Some(0));
+    let recomputed = cold
+        .get("summaries_recomputed")
+        .and_then(Json::as_u64)
+        .expect("cold run fills the store");
+    assert!(recomputed > 0);
+    assert!(
+        warm.get("summaries_reused").and_then(Json::as_u64) > Some(0),
+        "second request must reuse summaries: {warm:?}"
+    );
+    assert_eq!(
+        warm.get("summaries_recomputed").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        warm.get("analysis_reused").and_then(Json::as_bool),
+        Some(true)
+    );
+}
+
+#[test]
+fn cache_dir_persists_summaries_across_server_restarts() {
+    let dir = std::env::temp_dir().join(format!("sierra-serve-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let flags = ["--cache-dir", dir.to_str().expect("utf-8 temp path")];
+    let input = format!("{}\n{{\"op\":\"shutdown\"}}\n", analyze_line(1));
+
+    let first = run_serve(&flags, &input);
+    let second = run_serve(&flags, &input);
+
+    let cold = event(&first, 1, "done");
+    let warm = event(&second, 1, "done");
+    let recomputed = cold
+        .get("summaries_recomputed")
+        .and_then(Json::as_u64)
+        .expect("cold run fills the disk store");
+    assert!(recomputed > 0);
+    assert_eq!(
+        warm.get("summaries_reused").and_then(Json::as_u64),
+        Some(recomputed),
+        "a fresh server process must reload the disk store"
+    );
+    assert_eq!(
+        warm.get("summaries_recomputed").and_then(Json::as_u64),
+        Some(0)
+    );
+    // Reuse must not change the result.
+    assert_eq!(
+        stable_report(event(&first, 1, "report")),
+        stable_report(event(&second, 1, "report"))
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -32,17 +32,31 @@
 //! ```
 
 pub mod engine;
+pub mod json;
+mod link;
 mod pipeline;
+mod render;
 mod report;
 mod session;
+mod summary;
 
 pub use engine::{run_jobs, EngineError};
+pub use json::Json;
+pub use link::{LinkStats, LinkedSummaries};
 pub use pipeline::{
     Sierra, SierraConfig, SierraConfigBuilder, SierraResult, StageMetrics, StageTimings,
 };
 pub use prefilter::{PrefilterStats, PrunedPair, Verdict};
+pub use render::Report;
 pub use report::{describe_action, describe_pair, priority_of, Priority, RaceReport};
-pub use session::{refute_candidates, AnalysisSession, PrefilterOutcome, RefutationRun};
+pub use session::{
+    refute_candidates, AnalysisSession, PrefilterOutcome, RefutationRun, SessionBuilder,
+    SessionError, Stage,
+};
+pub use summary::{
+    config_fingerprint, structural_fingerprint, summary_key, DiskStore, MemoryStore, MethodSummary,
+    SummaryStore,
+};
 pub use triage::{Harm, TriageStats, TriageVerdict, Witness};
 
 #[cfg(test)]

@@ -9,13 +9,14 @@
 //! [`StageMetrics`]. [`Sierra::analyze_app`] remains the one-shot
 //! entry point and is a thin wrapper over a session.
 
+use crate::link::LinkStats;
 use crate::report::RaceReport;
-use crate::session::AnalysisSession;
+use crate::session::{AnalysisSession, Stage};
 use android_model::AndroidApp;
 use harness_gen::HarnessResult;
 use pointer::{Analysis, AnalysisOptions, SelectorKind, SolverStats, WorklistPolicy};
 use prefilter::{PrefilterStats, PrunedPair};
-use shbg::{HbRule, Shbg, ShbgStats};
+use shbg::{Shbg, ShbgStats};
 use std::sync::Arc;
 use std::time::Duration;
 use symexec::{RefuterConfig, RefuterStats};
@@ -228,6 +229,15 @@ pub struct StageMetrics {
     /// Wall-clock time the overlap hid: the smaller of the comparison
     /// and refutation stage times when overlapped, zero otherwise.
     pub overlap_saved: Duration,
+    /// Summary-store counters from the linking pass: how many per-method
+    /// summaries were served from the store vs. recomputed, and whether
+    /// the whole points-to `Analysis` artifact was reused. Never affects
+    /// results — reuse changes work done, not answers — so it is excluded
+    /// from the stable report rendering.
+    pub link: LinkStats,
+    /// The last pipeline stage that ran (for progress reporting and
+    /// typed errors; `None` before the first stage).
+    pub last_stage: Option<Stage>,
 }
 
 /// The result of analyzing one app.
@@ -260,7 +270,9 @@ pub struct SierraResult {
     /// Per-stage timings and counters.
     pub metrics: StageMetrics,
     /// The main (action-sensitive) analysis, for downstream inspection.
-    pub analysis: Analysis,
+    /// Shared: the session's summary store may also hold a reference for
+    /// warm re-analysis.
+    pub analysis: Arc<Analysis>,
     /// The SHBG.
     pub shbg: Shbg,
     /// The harnessed app (shared with any comparison pass).
@@ -287,132 +299,10 @@ impl SierraResult {
 impl std::fmt::Display for SierraResult {
     /// The complete human-readable report: summary line, stage timings,
     /// per-stage counters, and the ranked race list (the CLI's `analyze`
-    /// output format).
+    /// output format). Delegates to [`crate::Report::render_text`] so
+    /// every result surface shares one renderer.
     fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            out,
-            "{}: {} harnesses, {} actions, {} HB edges ({:.1}% of max)",
-            self.app_name,
-            self.harness_count,
-            self.action_count,
-            self.hb_edges,
-            self.hb_percent()
-        )?;
-        writeln!(
-            out,
-            "racy pairs: {} (without action-sensitivity: {}); {} race(s) after refutation",
-            self.racy_pairs_with_as,
-            self.racy_pairs_without_as,
-            self.races.len()
-        )?;
-        let ms = |d: Duration| d.as_secs_f64() * 1e3;
-        let t = &self.metrics.timings;
-        writeln!(
-            out,
-            "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, prefilter {:.2} ms, refutation {:.2} ms, compare {:.2} ms ({}), total {:.2} ms",
-            ms(t.harness),
-            ms(t.cg_pa),
-            ms(t.hbg),
-            ms(t.prefilter),
-            ms(t.refutation),
-            ms(t.compare),
-            if self.metrics.compare_overlapped {
-                "overlapped"
-            } else {
-                "serial"
-            },
-            ms(t.total)
-        )?;
-        let pa = &self.metrics.pointer;
-        writeln!(
-            out,
-            "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects, {} pts-set bytes, {} SCC(s) collapsed ({} node(s)), {} worklist",
-            pa.worklist_iterations,
-            pa.propagations,
-            pa.cg_edges,
-            pa.reachable_contexts,
-            pa.abstract_objects,
-            pa.pts_set_bytes,
-            pa.collapsed_sccs,
-            pa.collapsed_nodes,
-            pa.worklist_policy
-        )?;
-        let hb = &self.metrics.shbg;
-        write!(out, "shbg: {} rule applications (", hb.total_applications())?;
-        for (i, rule) in HbRule::ALL.iter().enumerate() {
-            if i > 0 {
-                write!(out, ", ")?;
-            }
-            write!(
-                out,
-                "{} {}",
-                rule.short_name(),
-                hb.applications[rule.index()]
-            )?;
-        }
-        writeln!(
-            out,
-            "), {} fixpoint rounds, {} closure SCCs",
-            hb.fixpoint_rounds, hb.closure_sccs
-        )?;
-        let pf = &self.metrics.prefilter;
-        writeln!(
-            out,
-            "prefilter: {} of {} candidate pairs pruned (escape {}, guarded {}, constprop {}), {} infeasible branch edges",
-            pf.pruned_total(),
-            self.racy_pairs_with_as,
-            pf.pruned_escape,
-            pf.pruned_guarded,
-            pf.pruned_constprop,
-            pf.infeasible_edges
-        )?;
-        let rf = &self.metrics.refuter;
-        writeln!(
-            out,
-            "refuter: {} paths over {} queries ({} refuted, {} witnessed, {} budget-exhausted, {} cache hits, {} worker(s))",
-            rf.paths,
-            rf.queries,
-            rf.refuted,
-            rf.witnessed,
-            rf.budget_exhausted,
-            rf.cache_hits,
-            self.metrics.refute_jobs_used
-        )?;
-        // Only emitted when the stage ran, so `--no-triage` output stays
-        // byte-identical to the pre-triage pipeline.
-        if self.triage_ran {
-            let tg = &self.metrics.triage;
-            writeln!(
-                out,
-                "triage: {} race(s) classified ({} null-deref, {} use-before-init, {} value-inconsistency, {} likely-benign), {} dataflow iterations over {} method(s), {:.2} ms",
-                tg.classified,
-                tg.null_deref,
-                tg.use_before_init,
-                tg.value_inconsistency,
-                tg.likely_benign,
-                tg.dataflow_iterations,
-                tg.methods_analyzed,
-                ms(self.metrics.timings.triage)
-            )?;
-        }
-        let program = &self.harness.app.program;
-        for (i, race) in self.races.iter().enumerate() {
-            writeln!(
-                out,
-                "{:>3}. {}",
-                i + 1,
-                race.describe(program, &self.analysis.actions)
-            )?;
-        }
-        for p in &self.pruned {
-            writeln!(
-                out,
-                "  – pruned: {} [{}]",
-                crate::report::describe_pair(program, &self.analysis.actions, &p.a, &p.b),
-                p.verdict.describe(program)
-            )?;
-        }
-        Ok(())
+        out.write_str(&crate::render::Report::from_result(self).render_text())
     }
 }
 
@@ -439,8 +329,12 @@ impl Sierra {
         AnalysisSession::new(self.config, app)
     }
 
-    /// Runs the full pipeline on an app.
+    /// Runs the full pipeline on an app. Panics on an internal stage
+    /// failure (an app input never yields `InvalidApp`/`MissingInput`);
+    /// use [`crate::SessionBuilder`] + `finish()` for typed errors.
     pub fn analyze_app(&self, app: AndroidApp) -> SierraResult {
-        AnalysisSession::new(self.config, app).finish()
+        AnalysisSession::new(self.config, app)
+            .finish()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 }

@@ -1,0 +1,344 @@
+//! The unified, serializable analysis report.
+//!
+//! One [`Report`] value backs every result surface: the CLI's text
+//! output ([`Report::render_text`], which `SierraResult`'s `Display`
+//! delegates to), the timing-free form the determinism tests compare
+//! ([`Report::render_stable`]), and the JSON object the server streams
+//! ([`Report::render_json`]). Rendering a report needs no `Program` or
+//! `Analysis` — descriptions are resolved when the report is built — so
+//! it can cross threads and sockets freely.
+
+use crate::json::{num, obj, Json};
+use crate::pipeline::{SierraResult, StageMetrics};
+use shbg::HbRule;
+use std::time::Duration;
+
+/// A fully-resolved analysis report: every number and description the
+/// result surfaces print, independent of the analysis artifacts.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// The analyzed app's name.
+    pub app_name: String,
+    /// Number of generated harnesses (activities).
+    pub harness_count: usize,
+    /// Number of actions (SHBG nodes).
+    pub action_count: usize,
+    /// Ordered pairs in the transitively-closed SHBG.
+    pub hb_edges: usize,
+    /// Theoretical maximum ordered pairs.
+    pub hb_max: usize,
+    /// Candidate racy pairs without action sensitivity.
+    pub racy_pairs_without_as: usize,
+    /// Candidate racy pairs with action sensitivity.
+    pub racy_pairs_with_as: usize,
+    /// Ranked race descriptions (one line per surviving race).
+    pub race_lines: Vec<String>,
+    /// Pruned pairs as `(pair description, verdict description)`.
+    pub pruned_lines: Vec<(String, String)>,
+    /// Whether the harm-triage stage ran.
+    pub triage_ran: bool,
+    /// Per-stage timings and counters.
+    pub metrics: StageMetrics,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl Report {
+    /// Builds the report from a finished result, resolving every race
+    /// and pruned-pair description against the result's program.
+    pub fn from_result(result: &SierraResult) -> Report {
+        let program = &result.harness.app.program;
+        let actions = &result.analysis.actions;
+        Report {
+            app_name: result.app_name.clone(),
+            harness_count: result.harness_count,
+            action_count: result.action_count,
+            hb_edges: result.hb_edges,
+            hb_max: result.hb_max,
+            racy_pairs_without_as: result.racy_pairs_without_as,
+            racy_pairs_with_as: result.racy_pairs_with_as,
+            race_lines: result
+                .races
+                .iter()
+                .map(|race| race.describe(program, actions))
+                .collect(),
+            pruned_lines: result
+                .pruned
+                .iter()
+                .map(|p| {
+                    (
+                        crate::report::describe_pair(program, actions, &p.a, &p.b),
+                        p.verdict.describe(program),
+                    )
+                })
+                .collect(),
+            triage_ran: result.triage_ran,
+            metrics: result.metrics,
+        }
+    }
+
+    /// Fraction of the theoretical maximum HB edges found.
+    pub fn hb_percent(&self) -> f64 {
+        if self.hb_max == 0 {
+            0.0
+        } else {
+            100.0 * self.hb_edges as f64 / self.hb_max as f64
+        }
+    }
+
+    /// The complete human-readable report (the CLI's `analyze` format).
+    pub fn render_text(&self) -> String {
+        self.render(true)
+    }
+
+    /// The report with every wall-clock-dependent part removed (no
+    /// `stages:` line, no triage milliseconds): byte-identical across
+    /// runs of identical inputs, so cold-vs-warm and determinism tests
+    /// compare this form.
+    pub fn render_stable(&self) -> String {
+        self.render(false)
+    }
+
+    fn render(&self, with_timings: bool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} harnesses, {} actions, {} HB edges ({:.1}% of max)",
+            self.app_name,
+            self.harness_count,
+            self.action_count,
+            self.hb_edges,
+            self.hb_percent()
+        );
+        let _ = writeln!(
+            out,
+            "racy pairs: {} (without action-sensitivity: {}); {} race(s) after refutation",
+            self.racy_pairs_with_as,
+            self.racy_pairs_without_as,
+            self.race_lines.len()
+        );
+        let t = &self.metrics.timings;
+        if with_timings {
+            let _ = writeln!(
+                out,
+                "stages: harness {:.2} ms, CG+PA {:.2} ms, HBG {:.2} ms, prefilter {:.2} ms, refutation {:.2} ms, compare {:.2} ms ({}), total {:.2} ms",
+                ms(t.harness),
+                ms(t.cg_pa),
+                ms(t.hbg),
+                ms(t.prefilter),
+                ms(t.refutation),
+                ms(t.compare),
+                if self.metrics.compare_overlapped {
+                    "overlapped"
+                } else {
+                    "serial"
+                },
+                ms(t.total)
+            );
+        }
+        let pa = &self.metrics.pointer;
+        let _ = writeln!(
+            out,
+            "pointer: {} worklist iterations, {} propagations, {} CG edges, {} contexts, {} objects, {} pts-set bytes, {} SCC(s) collapsed ({} node(s)), {} worklist",
+            pa.worklist_iterations,
+            pa.propagations,
+            pa.cg_edges,
+            pa.reachable_contexts,
+            pa.abstract_objects,
+            pa.pts_set_bytes,
+            pa.collapsed_sccs,
+            pa.collapsed_nodes,
+            pa.worklist_policy
+        );
+        let hb = &self.metrics.shbg;
+        let _ = write!(out, "shbg: {} rule applications (", hb.total_applications());
+        for (i, rule) in HbRule::ALL.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, ", ");
+            }
+            let _ = write!(
+                out,
+                "{} {}",
+                rule.short_name(),
+                hb.applications[rule.index()]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "), {} fixpoint rounds, {} closure SCCs",
+            hb.fixpoint_rounds, hb.closure_sccs
+        );
+        let pf = &self.metrics.prefilter;
+        let _ = writeln!(
+            out,
+            "prefilter: {} of {} candidate pairs pruned (escape {}, guarded {}, constprop {}), {} infeasible branch edges",
+            pf.pruned_total(),
+            self.racy_pairs_with_as,
+            pf.pruned_escape,
+            pf.pruned_guarded,
+            pf.pruned_constprop,
+            pf.infeasible_edges
+        );
+        let rf = &self.metrics.refuter;
+        let _ = writeln!(
+            out,
+            "refuter: {} paths over {} queries ({} refuted, {} witnessed, {} budget-exhausted, {} cache hits, {} worker(s))",
+            rf.paths,
+            rf.queries,
+            rf.refuted,
+            rf.witnessed,
+            rf.budget_exhausted,
+            rf.cache_hits,
+            self.metrics.refute_jobs_used
+        );
+        // Only emitted when the stage ran, so `--no-triage` output stays
+        // byte-identical to the pre-triage pipeline.
+        if self.triage_ran {
+            let tg = &self.metrics.triage;
+            let _ = write!(
+                out,
+                "triage: {} race(s) classified ({} null-deref, {} use-before-init, {} value-inconsistency, {} likely-benign), {} dataflow iterations over {} method(s)",
+                tg.classified,
+                tg.null_deref,
+                tg.use_before_init,
+                tg.value_inconsistency,
+                tg.likely_benign,
+                tg.dataflow_iterations,
+                tg.methods_analyzed,
+            );
+            if with_timings {
+                let _ = write!(out, ", {:.2} ms", ms(self.metrics.timings.triage));
+            }
+            out.push('\n');
+        }
+        for (i, line) in self.race_lines.iter().enumerate() {
+            let _ = writeln!(out, "{:>3}. {}", i + 1, line);
+        }
+        for (pair, reason) in &self.pruned_lines {
+            let _ = writeln!(out, "  – pruned: {pair} [{reason}]");
+        }
+        out
+    }
+
+    /// The report as a structured JSON object (the serve protocol's
+    /// `report` payload; also the bench/tables serialization base).
+    ///
+    /// Two groups describe the *run* rather than the result and so
+    /// legitimately differ between a cold and a warm analysis:
+    /// `timings_ms` (wall clock) and `link` (store-reuse telemetry).
+    /// Clients comparing reports for identity should drop both.
+    pub fn render_json(&self) -> Json {
+        let t = &self.metrics.timings;
+        let pa = &self.metrics.pointer;
+        let hb = &self.metrics.shbg;
+        let pf = &self.metrics.prefilter;
+        let rf = &self.metrics.refuter;
+        let tg = &self.metrics.triage;
+        let link = &self.metrics.link;
+        obj(vec![
+            ("app", Json::Str(self.app_name.clone())),
+            ("harnesses", num(self.harness_count)),
+            ("actions", num(self.action_count)),
+            ("hb_edges", num(self.hb_edges)),
+            ("hb_max", num(self.hb_max)),
+            ("hb_percent", Json::Num(self.hb_percent())),
+            ("racy_pairs_with_as", num(self.racy_pairs_with_as)),
+            ("racy_pairs_without_as", num(self.racy_pairs_without_as)),
+            (
+                "races",
+                Json::Arr(self.race_lines.iter().cloned().map(Json::Str).collect()),
+            ),
+            (
+                "pruned",
+                Json::Arr(
+                    self.pruned_lines
+                        .iter()
+                        .map(|(pair, reason)| {
+                            obj(vec![
+                                ("pair", Json::Str(pair.clone())),
+                                ("reason", Json::Str(reason.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("triage_ran", Json::Bool(self.triage_ran)),
+            (
+                "pointer",
+                obj(vec![
+                    ("worklist_iterations", num(pa.worklist_iterations)),
+                    ("propagations", num(pa.propagations)),
+                    ("cg_edges", num(pa.cg_edges)),
+                    ("contexts", num(pa.reachable_contexts)),
+                    ("objects", num(pa.abstract_objects)),
+                    ("pts_set_bytes", num(pa.pts_set_bytes)),
+                ]),
+            ),
+            (
+                "shbg",
+                obj(vec![
+                    ("rule_applications", num(hb.total_applications())),
+                    ("accepted", num(hb.total_accepted())),
+                    ("fixpoint_rounds", num(hb.fixpoint_rounds)),
+                    ("closure_sccs", num(hb.closure_sccs)),
+                ]),
+            ),
+            (
+                "prefilter",
+                obj(vec![
+                    ("pruned_escape", num(pf.pruned_escape)),
+                    ("pruned_guarded", num(pf.pruned_guarded)),
+                    ("pruned_constprop", num(pf.pruned_constprop)),
+                    ("infeasible_edges", num(pf.infeasible_edges)),
+                ]),
+            ),
+            (
+                "refuter",
+                obj(vec![
+                    ("paths", num(rf.paths)),
+                    ("queries", num(rf.queries)),
+                    ("refuted", num(rf.refuted)),
+                    ("witnessed", num(rf.witnessed)),
+                    ("budget_exhausted", num(rf.budget_exhausted)),
+                    ("cache_hits", num(rf.cache_hits)),
+                    ("workers", num(self.metrics.refute_jobs_used)),
+                ]),
+            ),
+            (
+                "triage",
+                obj(vec![
+                    ("classified", num(tg.classified)),
+                    ("null_deref", num(tg.null_deref)),
+                    ("use_before_init", num(tg.use_before_init)),
+                    ("value_inconsistency", num(tg.value_inconsistency)),
+                    ("likely_benign", num(tg.likely_benign)),
+                ]),
+            ),
+            (
+                "link",
+                obj(vec![
+                    ("summaries_reused", num(link.summaries_reused)),
+                    ("summaries_recomputed", num(link.summaries_recomputed)),
+                    ("analysis_reused", Json::Bool(link.analysis_reused)),
+                    ("pointer_iterations_run", num(link.pointer_iterations_run)),
+                ]),
+            ),
+            (
+                "timings_ms",
+                obj(vec![
+                    ("harness", Json::Num(ms(t.harness))),
+                    ("cg_pa", Json::Num(ms(t.cg_pa))),
+                    ("hbg", Json::Num(ms(t.hbg))),
+                    ("prefilter", Json::Num(ms(t.prefilter))),
+                    ("refutation", Json::Num(ms(t.refutation))),
+                    ("triage", Json::Num(ms(t.triage))),
+                    ("compare", Json::Num(ms(t.compare))),
+                    ("total", Json::Num(ms(t.total))),
+                ]),
+            ),
+        ])
+    }
+}

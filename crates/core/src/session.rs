@@ -1,6 +1,6 @@
-//! The staged analysis session.
+//! The staged analysis session over a content-addressed summary store.
 //!
-//! [`AnalysisSession`] splits the pipeline into six explicitly-driven
+//! [`AnalysisSession`] splits the pipeline into explicitly-driven
 //! stages, each computed once on first request and cached:
 //!
 //! ```text
@@ -8,32 +8,252 @@
 //! ```
 //!
 //! Calling a later stage forces the earlier ones, so `finish()` alone
-//! reproduces the one-shot [`crate::Sierra::analyze_app`] behaviour. The
-//! staging exists for three drivers:
+//! reproduces the one-shot [`crate::Sierra::analyze_app`] behaviour —
+//! but the forcing is explicit now: every getter returns
+//! `Result<_, SessionError>` and records the [`Stage`] it ran, so
+//! out-of-band drivers (the `sierra serve` worker pool) get typed
+//! errors instead of panics.
 //!
-//! - the corpus **engine** runs whole sessions on worker threads;
-//! - **ablations** stop after `candidates()` and never pay for
-//!   refutation;
-//! - the **comparison pass** (`racy pairs w/o AS`, Table 3) is a second
-//!   session over the *same* generated harness — [`Self::from_harness`]
-//!   shares it through an [`Arc`] instead of re-generating.
+//! Sessions are constructed with [`SessionBuilder`] (mirroring
+//! [`SierraConfig::builder`]) from an app, a pre-generated harness, or
+//! inline `.sierra` source, optionally over a shared
+//! [`SummaryStore`]. The pointer stage runs the **linking pass**: every
+//! method's facts are pulled from the store by content hash (or
+//! recomputed and stored on miss), and the whole points-to `Analysis`
+//! is reused outright when no method's solver-relevant statements
+//! changed. Downstream stages consume the linked facts — dominance
+//! pairs, access sites, const-prop facts — instead of re-deriving them,
+//! so a warm session re-analyzes only what an edit actually touched
+//! while producing byte-identical reports. Reuse is observable in
+//! [`StageMetrics::link`].
 //!
 //! Each stage records its wall-clock time and work counters into
 //! [`StageMetrics`].
 
 use crate::engine::{effective_jobs, run_jobs};
+use crate::link::LinkedSummaries;
 use crate::pipeline::{SierraConfig, SierraResult, StageMetrics};
 use crate::report::{priority_of, RaceReport};
+use crate::summary::{
+    config_fingerprint, load_or_summarize, structural_fingerprint, MemoryStore, SummaryStore,
+};
 use android_model::AndroidApp;
 use apir::{FieldId, InfeasibleEdges, Program};
 use harness_gen::HarnessResult;
-use pointer::{collect_accesses, Access, Analysis, SelectorKind};
+use pointer::{collect_accesses_from_sites, Access, Analysis, SelectorKind};
 use prefilter::PrunedPair;
 use shbg::Shbg;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use symexec::{Outcome, Refuter, RefuterConfig, RefuterStats};
+
+/// A pipeline stage, for error reporting and progress metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Harness generation (§3.2).
+    Harness,
+    /// Summary linking (store lookups + recomputation of changed
+    /// methods).
+    Link,
+    /// Call graph + pointer analysis (§3.3).
+    Pointer,
+    /// SHBG construction (§4).
+    Shbg,
+    /// Candidate racy-pair generation (§4.1).
+    Candidates,
+    /// Pre-refutation static pruning.
+    Prefilter,
+    /// Symbolic refutation (§5).
+    Refute,
+    /// Harm triage.
+    Triage,
+    /// The comparison pass without action sensitivity.
+    Compare,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Stage::Harness => "harness",
+            Stage::Link => "link",
+            Stage::Pointer => "pointer",
+            Stage::Shbg => "shbg",
+            Stage::Candidates => "candidates",
+            Stage::Prefilter => "prefilter",
+            Stage::Refute => "refute",
+            Stage::Triage => "triage",
+            Stage::Compare => "compare",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Why a session could not run (or be built).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The input app was invalid (e.g. inline `.sierra` source failed
+    /// to parse or validate).
+    InvalidApp {
+        /// Parser/validator diagnostic.
+        message: String,
+    },
+    /// A stage was requested but its input is absent (e.g. a builder
+    /// finished without an app, harness, or source).
+    MissingInput {
+        /// The stage that could not start.
+        stage: Stage,
+    },
+    /// A stage failed.
+    StageFailed {
+        /// The failing stage.
+        stage: Stage,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::InvalidApp { message } => write!(f, "invalid app: {message}"),
+            SessionError::MissingInput { stage } => {
+                write!(
+                    f,
+                    "stage {stage} has no input: session built without an app"
+                )
+            }
+            SessionError::StageFailed { stage, message } => {
+                write!(f, "stage {stage} failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What a session analyzes.
+#[derive(Debug)]
+enum SessionInput {
+    /// A built app (harness generation still to run). Boxed: an
+    /// `AndroidApp` is hundreds of bytes and would dominate the enum.
+    App(Box<AndroidApp>),
+    /// An already-generated harness (its generation time is *not*
+    /// charged to the session) — the comparison pass and the corpus
+    /// engine share one harness across sessions this way.
+    Harness(Arc<HarnessResult>),
+    /// Inline `.sierra` source, parsed at `build()`.
+    Source {
+        /// App name for the report.
+        name: String,
+        /// The `.sierra` text.
+        text: String,
+    },
+}
+
+/// Builder for [`AnalysisSession`], mirroring [`SierraConfig::builder`].
+///
+/// ```no_run
+/// use sierra_core::{SessionBuilder, SierraConfig};
+/// # let app = android_model::AndroidAppBuilder::new("Demo").finish().unwrap();
+/// let mut session = SessionBuilder::new(SierraConfig::default())
+///     .app(app)
+///     .build()
+///     .expect("valid input");
+/// let races = session.refute().expect("pipeline runs");
+/// ```
+#[derive(Debug)]
+pub struct SessionBuilder {
+    config: SierraConfig,
+    store: Option<Arc<dyn SummaryStore>>,
+    input: Option<SessionInput>,
+}
+
+impl SessionBuilder {
+    /// Starts a builder with the given pipeline configuration.
+    pub fn new(config: SierraConfig) -> Self {
+        Self {
+            config,
+            store: None,
+            input: None,
+        }
+    }
+
+    /// Analyzes a built app.
+    pub fn app(mut self, app: AndroidApp) -> Self {
+        self.input = Some(SessionInput::App(Box::new(app)));
+        self
+    }
+
+    /// Analyzes an already-generated harness (shared, not re-generated).
+    pub fn harness(mut self, harness: Arc<HarnessResult>) -> Self {
+        self.input = Some(SessionInput::Harness(harness));
+        self
+    }
+
+    /// Analyzes inline `.sierra` source (parsed at [`Self::build`]).
+    pub fn source(mut self, name: impl Into<String>, text: impl Into<String>) -> Self {
+        self.input = Some(SessionInput::Source {
+            name: name.into(),
+            text: text.into(),
+        });
+        self
+    }
+
+    /// Uses a shared summary store (warm-cache re-analysis). Without
+    /// this the session gets a private in-memory store.
+    pub fn store(mut self, store: Arc<dyn SummaryStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Finishes the builder. Fails with [`SessionError::InvalidApp`] if
+    /// inline source does not parse, or [`SessionError::MissingInput`]
+    /// if no input was supplied.
+    pub fn build(self) -> Result<AnalysisSession, SessionError> {
+        let store = self
+            .store
+            .unwrap_or_else(|| Arc::new(MemoryStore::new()) as Arc<dyn SummaryStore>);
+        let (app, harness) = match self.input {
+            Some(SessionInput::App(app)) => (Some(*app), None),
+            Some(SessionInput::Harness(h)) => (None, Some(h)),
+            Some(SessionInput::Source { name, text }) => {
+                let app = android_model::asm::parse_app(&name, &text).map_err(|e| {
+                    SessionError::InvalidApp {
+                        message: e.to_string(),
+                    }
+                })?;
+                (Some(app), None)
+            }
+            None => {
+                return Err(SessionError::MissingInput {
+                    stage: Stage::Harness,
+                })
+            }
+        };
+        let app_name = app
+            .as_ref()
+            .map(|a| a.name.clone())
+            .or_else(|| harness.as_ref().map(|h| h.app.name.clone()))
+            .expect("input resolved above");
+        Ok(AnalysisSession {
+            config: self.config,
+            app_name,
+            started: Instant::now(),
+            metrics: StageMetrics::default(),
+            store,
+            app,
+            harness,
+            linked: None,
+            analysis: None,
+            shbg: None,
+            candidates: None,
+            prefilter: None,
+            races: None,
+            triaged: false,
+        })
+    }
+}
 
 /// A staged run of the pipeline over one app. See the module docs.
 #[derive(Debug)]
@@ -42,11 +262,13 @@ pub struct AnalysisSession {
     app_name: String,
     started: Instant,
     metrics: StageMetrics,
+    store: Arc<dyn SummaryStore>,
     /// Present until the harness stage consumes it (absent for
-    /// [`AnalysisSession::from_harness`] sessions).
+    /// harness-input sessions).
     app: Option<AndroidApp>,
     harness: Option<Arc<HarnessResult>>,
-    analysis: Option<Analysis>,
+    linked: Option<LinkedSummaries>,
+    analysis: Option<Arc<Analysis>>,
     shbg: Option<Shbg>,
     candidates: Option<Vec<(Access, Access)>>,
     prefilter: Option<PrefilterOutcome>,
@@ -66,41 +288,21 @@ pub struct PrefilterOutcome {
 }
 
 impl AnalysisSession {
-    /// Starts a session on an app.
+    /// Starts a session on an app with a private in-memory store.
     pub fn new(config: SierraConfig, app: AndroidApp) -> Self {
-        Self {
-            config,
-            app_name: app.name.clone(),
-            started: Instant::now(),
-            metrics: StageMetrics::default(),
-            app: Some(app),
-            harness: None,
-            analysis: None,
-            shbg: None,
-            candidates: None,
-            prefilter: None,
-            races: None,
-            triaged: false,
-        }
+        SessionBuilder::new(config)
+            .app(app)
+            .build()
+            .expect("app input is always valid")
     }
 
-    /// Starts a session over an already-generated harness (its generation
-    /// time is *not* charged to this session).
+    /// Starts a session over an already-generated harness.
+    #[deprecated(note = "use SessionBuilder::new(config).harness(h).build()")]
     pub fn from_harness(config: SierraConfig, harness: Arc<HarnessResult>) -> Self {
-        Self {
-            config,
-            app_name: harness.app.name.clone(),
-            started: Instant::now(),
-            metrics: StageMetrics::default(),
-            app: None,
-            harness: Some(harness),
-            analysis: None,
-            shbg: None,
-            candidates: None,
-            prefilter: None,
-            races: None,
-            triaged: false,
-        }
+        SessionBuilder::new(config)
+            .harness(harness)
+            .build()
+            .expect("harness input is always valid")
     }
 
     /// The configuration the session runs with.
@@ -114,76 +316,139 @@ impl AnalysisSession {
     }
 
     /// Stage 1: harness generation (§3.2).
-    pub fn harness(&mut self) -> &Arc<HarnessResult> {
+    pub fn harness(&mut self) -> Result<&Arc<HarnessResult>, SessionError> {
         if self.harness.is_none() {
-            let app = self.app.take().expect("session constructed with an app");
+            let Some(app) = self.app.take() else {
+                return Err(SessionError::MissingInput {
+                    stage: Stage::Harness,
+                });
+            };
             let t = Instant::now();
             let harness = harness_gen::generate(app);
             self.metrics.timings.harness = t.elapsed();
+            self.metrics.last_stage = Some(Stage::Harness);
             self.harness = Some(Arc::new(harness));
         }
-        self.harness.as_ref().expect("just generated")
+        Ok(self.harness.as_ref().expect("just generated"))
     }
 
-    /// Stage 2: call graph + pointer analysis (§3.3).
-    pub fn pointer(&mut self) -> &Analysis {
+    /// Stage 2: summary linking + call graph + pointer analysis (§3.3).
+    ///
+    /// Links per-method summaries through the store (recomputing only
+    /// methods whose content key misses), then either reuses the cached
+    /// whole-program `Analysis` — when every method's pointer digest is
+    /// unchanged — or runs the solver and caches the artifact. Both the
+    /// link work and the solve are charged to the CG+PA timing.
+    pub fn pointer(&mut self) -> Result<&Arc<Analysis>, SessionError> {
         if self.analysis.is_none() {
-            self.harness();
-            let harness = self.harness.as_ref().expect("stage 1 ran");
+            self.harness()?;
+            let harness = Arc::clone(self.harness.as_ref().expect("stage 1 ran"));
             let t = Instant::now();
-            let analysis =
-                pointer::analyze_opts(harness, self.config.selector, self.config.pointer_options);
+            let program = &harness.app.program;
+            let structural_fp = structural_fingerprint(program);
+            let config_fp = config_fingerprint(self.config.selector, self.config.pointer_options);
+            let (methods, reused, recomputed) = load_or_summarize(
+                program,
+                &harness.app.framework,
+                self.config.pointer_options.index_sensitive,
+                structural_fp,
+                config_fp,
+                self.store.as_ref(),
+            );
+            let linked = LinkedSummaries {
+                methods,
+                structural_fp,
+                config_fp,
+            };
+            self.metrics.link.summaries_reused = reused;
+            self.metrics.link.summaries_recomputed = recomputed;
+            self.metrics.last_stage = Some(Stage::Link);
+
+            let analysis_key = linked.analysis_key();
+            let analysis = match self.store.get_analysis(analysis_key) {
+                Some(cached) => {
+                    // The cached artifact carries the stats of the run
+                    // that produced it, so reports stay byte-identical;
+                    // the work done *this* session is in `link`.
+                    self.metrics.link.analysis_reused = true;
+                    self.metrics.link.pointer_iterations_run = 0;
+                    cached
+                }
+                None => {
+                    let analysis = Arc::new(pointer::analyze_opts(
+                        &harness,
+                        self.config.selector,
+                        self.config.pointer_options,
+                    ));
+                    self.metrics.link.pointer_iterations_run = analysis.stats.worklist_iterations;
+                    self.store.put_analysis(analysis_key, Arc::clone(&analysis));
+                    analysis
+                }
+            };
             self.metrics.timings.cg_pa = t.elapsed();
             self.metrics.pointer = analysis.stats;
+            self.metrics.last_stage = Some(Stage::Pointer);
+            self.linked = Some(linked);
             self.analysis = Some(analysis);
         }
-        self.analysis.as_ref().expect("just analyzed")
+        Ok(self.analysis.as_ref().expect("just analyzed"))
     }
 
-    /// Stage 3: SHBG construction (§4).
-    pub fn shbg(&mut self) -> &Shbg {
+    /// Stage 3: SHBG construction (§4), over the linked dominance facts.
+    pub fn shbg(&mut self) -> Result<&Shbg, SessionError> {
         if self.shbg.is_none() {
-            self.pointer();
+            self.pointer()?;
             let harness = self.harness.as_ref().expect("stage 1 ran");
             let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let linked = self.linked.as_ref().expect("stage 2 linked");
             let t = Instant::now();
-            let graph = shbg::build(analysis, harness);
+            let graph = shbg::build_with_dominance(analysis, harness, &linked.dominance_map());
             self.metrics.timings.hbg = t.elapsed();
             self.metrics.shbg = graph.stats;
+            self.metrics.last_stage = Some(Stage::Shbg);
             self.shbg = Some(graph);
         }
-        self.shbg.as_ref().expect("just built")
+        Ok(self.shbg.as_ref().expect("just built"))
     }
 
     /// Stage 4: candidate racy pairs — same harness, different unordered
-    /// actions, overlapping locations, at least one write (§4.1).
-    pub fn candidates(&mut self) -> &[(Access, Access)] {
+    /// actions, overlapping locations, at least one write (§4.1). Access
+    /// sites come from the linked summaries; only their points-to
+    /// instantiation runs here.
+    pub fn candidates(&mut self) -> Result<&[(Access, Access)], SessionError> {
         if self.candidates.is_none() {
-            self.shbg();
+            self.shbg()?;
             let harness = self.harness.as_ref().expect("stage 1 ran");
             let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let linked = self.linked.as_ref().expect("stage 2 linked");
             let graph = self.shbg.as_ref().expect("stage 3 ran");
-            let accesses =
-                collect_accesses(analysis, &harness.app.program, Some(harness.harness_class));
+            let accesses = collect_accesses_from_sites(
+                analysis,
+                &harness.app.program,
+                Some(harness.harness_class),
+                &linked.sites_map(),
+            );
             let deduped = dedupe(accesses);
             let pairs = racy_pairs(&deduped, analysis, graph)
                 .into_iter()
                 .map(|(a, b)| (a.clone(), b.clone()))
                 .collect();
+            self.metrics.last_stage = Some(Stage::Candidates);
             self.candidates = Some(pairs);
         }
-        self.candidates.as_ref().expect("just computed")
+        Ok(self.candidates.as_ref().expect("just computed"))
     }
 
     /// Stage 5: pre-refutation static pruning (escape analysis, guard
-    /// detection, constant/branch pruning). A passthrough under
-    /// `no_prefilter` — and under `skip_refutation`, whose ablations
-    /// count raw candidate pairs.
-    pub fn prefilter(&mut self) -> &PrefilterOutcome {
+    /// detection, constant/branch pruning) over the linked const-prop
+    /// facts. A passthrough under `no_prefilter` — and under
+    /// `skip_refutation`, whose ablations count raw candidate pairs.
+    pub fn prefilter(&mut self) -> Result<&PrefilterOutcome, SessionError> {
         if self.prefilter.is_none() {
-            self.candidates();
+            self.candidates()?;
             let harness = self.harness.as_ref().expect("stage 1 ran");
             let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let linked = self.linked.as_ref().expect("stage 2 linked");
             let graph = self.shbg.as_ref().expect("stage 3 ran");
             let candidates = self.candidates.as_ref().expect("stage 4 ran");
             let t = Instant::now();
@@ -194,7 +459,13 @@ impl AnalysisSession {
                     infeasible: Arc::new(InfeasibleEdges::new()),
                 }
             } else {
-                let run = prefilter::run(&harness.app.program, analysis, graph, candidates);
+                let run = prefilter::run_with_const_facts(
+                    &harness.app.program,
+                    analysis,
+                    graph,
+                    candidates,
+                    &linked.const_facts_for(analysis),
+                );
                 self.metrics.prefilter = run.stats;
                 PrefilterOutcome {
                     kept: run.kept,
@@ -205,16 +476,17 @@ impl AnalysisSession {
             let elapsed = t.elapsed();
             self.metrics.timings.prefilter = elapsed;
             self.metrics.prefilter.prefilter_ns = elapsed.as_nanos() as u64;
+            self.metrics.last_stage = Some(Stage::Prefilter);
             self.prefilter = Some(outcome);
         }
-        self.prefilter.as_ref().expect("just prefiltered")
+        Ok(self.prefilter.as_ref().expect("just prefiltered"))
     }
 
     /// Stage 6: refutation (§5) + prioritization (§3.1). With
     /// `skip_refutation` every candidate survives.
-    pub fn refute(&mut self) -> &[RaceReport] {
+    pub fn refute(&mut self) -> Result<&[RaceReport], SessionError> {
         if self.races.is_none() {
-            self.prefilter();
+            self.prefilter()?;
             let harness = self.harness.as_ref().expect("stage 1 ran");
             let analysis = self.analysis.as_ref().expect("stage 2 ran");
             let prefilter = self.prefilter.as_ref().expect("stage 5 ran");
@@ -261,9 +533,10 @@ impl AnalysisSession {
             self.metrics.refuter = refuter_stats;
             self.metrics.refute_jobs_used = jobs_used;
             self.metrics.timings.refutation = t.elapsed();
+            self.metrics.last_stage = Some(Stage::Refute);
             self.races = Some(races);
         }
-        self.races.as_ref().expect("just refuted")
+        Ok(self.races.as_ref().expect("just refuted"))
     }
 
     /// Stage 7: harm triage — classifies every surviving race with a
@@ -271,8 +544,8 @@ impl AnalysisSession {
     /// side, constant comparison on write/write pairs) and drops reports
     /// below `min_harm`. A no-op under `no_triage`, leaving every report
     /// annotation-free.
-    pub fn triage(&mut self) -> &[RaceReport] {
-        self.refute();
+    pub fn triage(&mut self) -> Result<&[RaceReport], SessionError> {
+        self.refute()?;
         if !self.triaged {
             self.triaged = true;
             if !self.config.no_triage {
@@ -300,25 +573,28 @@ impl AnalysisSession {
                 stats.triage_ns = elapsed.as_nanos() as u64;
                 self.metrics.timings.triage = elapsed;
                 self.metrics.triage = stats;
+                self.metrics.last_stage = Some(Stage::Triage);
             }
         }
-        self.races.as_ref().expect("stage 6 ran")
+        Ok(self.races.as_ref().expect("stage 6 ran"))
     }
 
     /// Runs every remaining stage (plus the comparison pass when
     /// configured) and assembles the [`SierraResult`].
     ///
     /// The comparison pass without action sensitivity (Table 3 col 6) is
-    /// a second session over the same generated harness, stopped after
-    /// the candidate stage. Under `overlap_compare` it runs on a scoped
-    /// worker thread *concurrently with refutation*: the two only share
-    /// the immutable `Arc<HarnessResult>`, and the pass returns a single
-    /// deterministic count, so every output is byte-identical to the
-    /// serial schedule.
-    pub fn finish(mut self) -> SierraResult {
+    /// a second session over the same generated harness — and the same
+    /// summary store (its different config fingerprint keeps the keys
+    /// disjoint) — stopped after the candidate stage. Under
+    /// `overlap_compare` it runs on a scoped worker thread *concurrently
+    /// with refutation*: the two only share the immutable
+    /// `Arc<HarnessResult>` and the thread-safe store, and the pass
+    /// returns a single deterministic count, so every output is
+    /// byte-identical to the serial schedule.
+    pub fn finish(mut self) -> Result<SierraResult, SessionError> {
         // Force everything refutation needs so the overlapped window
         // contains exactly the refutation stage.
-        self.prefilter();
+        self.prefilter()?;
 
         let harness = self.harness.clone().expect("stages ran");
         let compare_cfg = self.config.compare_without_as.then(|| {
@@ -333,12 +609,18 @@ impl AnalysisSession {
                 ..self.config
             }
         });
-        let run_compare = |cfg: SierraConfig, harness: Arc<HarnessResult>| {
+        let run_compare = |cfg: SierraConfig,
+                           harness: Arc<HarnessResult>,
+                           store: Arc<dyn SummaryStore>|
+         -> Result<(usize, Duration), SessionError> {
             let t = Instant::now();
-            let count = AnalysisSession::from_harness(cfg, harness)
-                .candidates()
+            let count = SessionBuilder::new(cfg)
+                .harness(harness)
+                .store(store)
+                .build()?
+                .candidates()?
                 .len();
-            (count, t.elapsed())
+            Ok((count, t.elapsed()))
         };
 
         let mut compare_overlapped = false;
@@ -346,21 +628,26 @@ impl AnalysisSession {
             Some(cfg) if self.config.overlap_compare && !self.config.skip_refutation => {
                 compare_overlapped = true;
                 let shared = Arc::clone(&harness);
+                let shared_store = Arc::clone(&self.store);
                 std::thread::scope(|scope| {
-                    let compare = scope.spawn(move || run_compare(cfg, shared));
-                    self.refute();
-                    compare
+                    let compare = scope.spawn(move || run_compare(cfg, shared, shared_store));
+                    let refuted = self.refute().map(|_| ());
+                    let compared = compare
                         .join()
-                        .unwrap_or_else(|e| std::panic::resume_unwind(e))
-                })
+                        .unwrap_or_else(|e| std::panic::resume_unwind(e));
+                    refuted.and(compared)
+                })?
             }
-            Some(cfg) => run_compare(cfg, Arc::clone(&harness)),
+            Some(cfg) => run_compare(cfg, Arc::clone(&harness), Arc::clone(&self.store))?,
             None => (0, Duration::ZERO),
         };
-        self.refute();
-        self.triage();
+        self.refute()?;
+        self.triage()?;
         self.metrics.timings.compare = compare_elapsed;
         self.metrics.compare_overlapped = compare_overlapped;
+        if compare_cfg.is_some() {
+            self.metrics.last_stage = Some(Stage::Compare);
+        }
         self.metrics.overlap_saved = if compare_overlapped {
             compare_elapsed.min(self.metrics.timings.refutation)
         } else {
@@ -382,7 +669,7 @@ impl AnalysisSession {
         let mut metrics = self.metrics;
         metrics.timings.total = self.started.elapsed();
 
-        SierraResult {
+        Ok(SierraResult {
             app_name: self.app_name,
             harness_count: harness.harness_count(),
             action_count: n,
@@ -397,7 +684,7 @@ impl AnalysisSession {
             analysis,
             shbg: graph,
             harness,
-        }
+        })
     }
 }
 

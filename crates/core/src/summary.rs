@@ -1,0 +1,455 @@
+//! Content-addressed per-method summaries and their stores.
+//!
+//! The compositional layer (after RacerD's per-method summaries) splits
+//! each pipeline stage's per-method work into a [`MethodSummary`]:
+//!
+//! - the **pointer digest** — a content hash of the statements the
+//!   Andersen solver reacts to (keys whole-`Analysis` artifact reuse);
+//! - **call dominance** ([`shbg::CallDominance`]) — the dominance pairs
+//!   HB rules 2–4 query;
+//! - **constant-propagation facts** ([`prefilter::constprop::ConstFacts`])
+//!   — infeasible branch edges and dead blocks for the prefilter and
+//!   refuter;
+//! - **access sites** ([`pointer::AccessSite`]) — the field accesses the
+//!   candidate stage instantiates per context.
+//!
+//! Every fact is a pure function of one method body (plus the config),
+//! so summaries are keyed by `fnv64(structural fingerprint ‖ printed
+//! method body ‖ config fingerprint)`:
+//!
+//! - the **structural fingerprint** covers the class/field/method tables
+//!   *excluding bodies* — renames, signature changes, or hierarchy edits
+//!   shift ids and invalidate every summary (conservative but sound);
+//! - the printed body makes the key content-addressed: editing one
+//!   method changes only that method's key;
+//! - the **config fingerprint** (selector + pointer options) makes
+//!   stores safely shareable across configurations — a flag flip misses
+//!   the whole store rather than mixing incompatible facts.
+//!
+//! Whole-`Analysis` artifacts are additionally cached under
+//! `fnv64(structural fp ‖ config fp ‖ every method's pointer digest)`:
+//! if no solver-relevant statement changed anywhere, the previous
+//! points-to result is reused outright and the warm run performs zero
+//! worklist iterations. Analysis artifacts live in memory only (they
+//! hold interned tables that don't serialize); the on-disk backend
+//! persists method summaries across processes and keeps artifacts
+//! per-process.
+
+use apir::{BlockId, FieldId, Local, MethodId, Program, ProgramPrinter, StmtAddr};
+use pointer::{
+    extract_pointer_facts, fnv64, method_access_sites, pointer_digest, AccessSite, Analysis,
+    AnalysisOptions, Fnv64, SelectorKind,
+};
+use prefilter::constprop::{self, ConstFacts};
+use shbg::CallDominance;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Every per-method fact the pipeline's stages need, cached by content
+/// hash of the method body plus the config fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSummary {
+    /// Hash over the solver-relevant statements (see
+    /// [`pointer::pointer_digest`]).
+    pub pointer_digest: u64,
+    /// Call-statement dominance pairs for HB rules 2–4.
+    pub dominance: CallDominance,
+    /// Constant-propagation facts for the prefilter and refuter.
+    pub consts: ConstFacts,
+    /// Field-access sites for candidate generation.
+    pub sites: Vec<AccessSite>,
+}
+
+/// Computes the full summary of one method body.
+pub fn summarize_method(
+    program: &Program,
+    fw: &android_model::FrameworkClasses,
+    method: MethodId,
+    index_sensitive: bool,
+) -> MethodSummary {
+    let m = program.method(method);
+    MethodSummary {
+        pointer_digest: pointer_digest(&extract_pointer_facts(m)),
+        dominance: CallDominance::compute(m),
+        consts: constprop::analyze_method(m),
+        sites: method_access_sites(program, fw, method, index_sensitive),
+    }
+}
+
+/// Fingerprint of the program structure *excluding method bodies*:
+/// class names, hierarchy, interfaces, field names/types/staticness, and
+/// method signatures. Summaries are only valid while ids are stable, and
+/// ids are assigned by table position, so any structural change
+/// conservatively invalidates every summary of the program.
+pub fn structural_fingerprint(program: &Program) -> u64 {
+    let mut h = Fnv64::new();
+    for c in program.classes() {
+        h.write(
+            format!(
+                "c{}:{};super={:?};if={:?};int={};origin={:?};",
+                c.id.0,
+                program.name(c.name),
+                c.super_class,
+                c.interfaces,
+                c.is_interface,
+                c.origin
+            )
+            .as_bytes(),
+        );
+    }
+    for f in program.fields() {
+        h.write(
+            format!(
+                "f{}:{}.{};ty={:?};st={};",
+                f.id.0,
+                f.class.0,
+                program.name(f.name),
+                f.ty,
+                f.is_static
+            )
+            .as_bytes(),
+        );
+    }
+    for m in program.methods() {
+        h.write(
+            format!(
+                "m{}:{}.{};p={};ret={:?};st={};abs={};",
+                m.id.0,
+                m.class.0,
+                program.name(m.name),
+                m.param_count,
+                m.ret,
+                m.is_static,
+                m.is_abstract
+            )
+            .as_bytes(),
+        );
+    }
+    h.finish()
+}
+
+/// Fingerprint of the configuration axes that change per-method facts:
+/// the context selector and the pointer-analysis options. Any change
+/// misses the whole store.
+pub fn config_fingerprint(selector: SelectorKind, options: AnalysisOptions) -> u64 {
+    fnv64(format!("{selector:?};{options:?}").as_bytes())
+}
+
+/// The content-addressed summary key of one method.
+pub fn summary_key(structural_fp: u64, printed_body: &str, config_fp: u64) -> u64 {
+    Fnv64::new()
+        .write_u64(structural_fp)
+        .write(printed_body.as_bytes())
+        .write_u64(config_fp)
+        .finish()
+}
+
+/// A content-addressed store of per-method summaries and (in-memory)
+/// whole-`Analysis` artifacts. Keys are content hashes, so a store never
+/// needs invalidation logic: stale entries are simply never looked up
+/// again. Implementations must be shareable across the serve worker pool
+/// and the overlapped comparison pass (`Send + Sync`).
+pub trait SummaryStore: Send + Sync + std::fmt::Debug {
+    /// Looks up a method summary by key.
+    fn get(&self, key: u64) -> Option<Arc<MethodSummary>>;
+
+    /// Stores a method summary under its key.
+    fn put(&self, key: u64, summary: Arc<MethodSummary>);
+
+    /// Looks up a cached points-to `Analysis` artifact (memory-only;
+    /// backends without artifact caching return `None`).
+    fn get_analysis(&self, _key: u64) -> Option<Arc<Analysis>> {
+        None
+    }
+
+    /// Caches a points-to `Analysis` artifact.
+    fn put_analysis(&self, _key: u64, _analysis: Arc<Analysis>) {}
+}
+
+/// An in-memory [`SummaryStore`] — the default backend, also used by the
+/// server without `--cache-dir`.
+#[derive(Debug, Default)]
+pub struct MemoryStore {
+    summaries: Mutex<HashMap<u64, Arc<MethodSummary>>>,
+    analyses: Mutex<HashMap<u64, Arc<Analysis>>>,
+}
+
+impl MemoryStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SummaryStore for MemoryStore {
+    fn get(&self, key: u64) -> Option<Arc<MethodSummary>> {
+        self.summaries
+            .lock()
+            .expect("store lock")
+            .get(&key)
+            .cloned()
+    }
+
+    fn put(&self, key: u64, summary: Arc<MethodSummary>) {
+        self.summaries
+            .lock()
+            .expect("store lock")
+            .insert(key, summary);
+    }
+
+    fn get_analysis(&self, key: u64) -> Option<Arc<Analysis>> {
+        self.analyses.lock().expect("store lock").get(&key).cloned()
+    }
+
+    fn put_analysis(&self, key: u64, analysis: Arc<Analysis>) {
+        self.analyses
+            .lock()
+            .expect("store lock")
+            .insert(key, analysis);
+    }
+}
+
+/// An on-disk [`SummaryStore`]: each summary is one plain-text file
+/// `<key>.sum` under the cache directory, so summaries persist across
+/// processes (the `--cache-dir` backend). `Analysis` artifacts stay
+/// in-memory (their interned tables are not serialized). Unreadable or
+/// version-mismatched files are treated as misses — a corrupt cache can
+/// cost recomputation, never correctness.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    analyses: Mutex<HashMap<u64, Arc<Analysis>>>,
+}
+
+/// Version header of the on-disk summary format; bump on layout change
+/// so stale caches miss instead of misparse.
+const DISK_FORMAT: &str = "sierra-summary v1";
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            analyses: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.sum"))
+    }
+}
+
+impl SummaryStore for DiskStore {
+    fn get(&self, key: u64) -> Option<Arc<MethodSummary>> {
+        let text = std::fs::read_to_string(self.path(key)).ok()?;
+        parse_summary(&text).map(Arc::new)
+    }
+
+    fn put(&self, key: u64, summary: Arc<MethodSummary>) {
+        let path = self.path(key);
+        let tmp = self.dir.join(format!("{key:016x}.tmp"));
+        // Write-then-rename so concurrent readers never see a torn file.
+        if std::fs::write(&tmp, render_summary(&summary)).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    fn get_analysis(&self, key: u64) -> Option<Arc<Analysis>> {
+        self.analyses.lock().expect("store lock").get(&key).cloned()
+    }
+
+    fn put_analysis(&self, key: u64, analysis: Arc<Analysis>) {
+        self.analyses
+            .lock()
+            .expect("store lock")
+            .insert(key, analysis);
+    }
+}
+
+/// Renders a summary in the line-oriented on-disk format.
+fn render_summary(s: &MethodSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{DISK_FORMAT}");
+    let _ = writeln!(out, "digest {}", s.pointer_digest);
+    for &(a_bb, a_st, b_bb, b_st) in &s.dominance.pairs {
+        let _ = writeln!(out, "dom {a_bb} {a_st} {b_bb} {b_st}");
+    }
+    for &(from, to) in &s.consts.infeasible {
+        let _ = writeln!(out, "inf {} {}", from.0, to.0);
+    }
+    for &bb in &s.consts.dead_blocks {
+        let _ = writeln!(out, "dead {}", bb.0);
+    }
+    for site in &s.sites {
+        let _ = writeln!(
+            out,
+            "site {} {} {} {} {} {} {}",
+            site.addr.method.0,
+            site.addr.block.0,
+            site.addr.stmt,
+            site.field.0,
+            site.base.map_or(-1, |l| l.0 as i64),
+            if site.is_write { 'w' } else { 'r' },
+            if site.is_static { 's' } else { 'i' },
+        );
+    }
+    out
+}
+
+/// Parses the on-disk format; any deviation is a miss (`None`).
+fn parse_summary(text: &str) -> Option<MethodSummary> {
+    let mut lines = text.lines();
+    if lines.next()? != DISK_FORMAT {
+        return None;
+    }
+    let digest_line = lines.next()?;
+    let pointer_digest = digest_line.strip_prefix("digest ")?.parse().ok()?;
+    let mut dominance = CallDominance::default();
+    let mut consts = ConstFacts::default();
+    let mut sites = Vec::new();
+    for line in lines {
+        let mut parts = line.split(' ');
+        let tag = parts.next()?;
+        let mut next_u32 = || -> Option<u32> { parts.next()?.parse().ok() };
+        match tag {
+            "dom" => dominance
+                .pairs
+                .push((next_u32()?, next_u32()?, next_u32()?, next_u32()?)),
+            "inf" => consts
+                .infeasible
+                .push((BlockId(next_u32()?), BlockId(next_u32()?))),
+            "dead" => consts.dead_blocks.push(BlockId(next_u32()?)),
+            "site" => {
+                let addr = StmtAddr::new(MethodId(next_u32()?), BlockId(next_u32()?), next_u32()?);
+                let field = FieldId(next_u32()?);
+                let base: i64 = parts.next()?.parse().ok()?;
+                let is_write = match parts.next()? {
+                    "w" => true,
+                    "r" => false,
+                    _ => return None,
+                };
+                let is_static = match parts.next()? {
+                    "s" => true,
+                    "i" => false,
+                    _ => return None,
+                };
+                sites.push(AccessSite {
+                    addr,
+                    field,
+                    base: (base >= 0).then_some(Local(base as u32)),
+                    is_write,
+                    is_static,
+                });
+            }
+            _ => return None,
+        }
+    }
+    Some(MethodSummary {
+        pointer_digest,
+        dominance,
+        consts,
+        sites,
+    })
+}
+
+/// Computes (or retrieves) summaries for every method with a body, in
+/// method-id order, consulting `store` by content key. Returns the
+/// summary list plus `(reused, recomputed)` counts.
+#[allow(clippy::type_complexity)]
+pub fn load_or_summarize(
+    program: &Program,
+    fw: &android_model::FrameworkClasses,
+    index_sensitive: bool,
+    structural_fp: u64,
+    config_fp: u64,
+    store: &dyn SummaryStore,
+) -> (Vec<(MethodId, Arc<MethodSummary>)>, usize, usize) {
+    let printer = ProgramPrinter::new(program);
+    let mut methods = Vec::new();
+    let (mut reused, mut recomputed) = (0, 0);
+    for m in program.methods() {
+        if !m.has_body() {
+            continue;
+        }
+        let key = summary_key(structural_fp, &printer.print_method(m.id), config_fp);
+        let summary = match store.get(key) {
+            Some(s) => {
+                reused += 1;
+                s
+            }
+            None => {
+                recomputed += 1;
+                let s = Arc::new(summarize_method(program, fw, m.id, index_sensitive));
+                store.put(key, Arc::clone(&s));
+                s
+            }
+        };
+        methods.push((m.id, summary));
+    }
+    (methods, reused, recomputed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_summary() -> MethodSummary {
+        MethodSummary {
+            pointer_digest: 0xdead_beef_0123,
+            dominance: CallDominance {
+                pairs: vec![(0, 1, 2, 0), (1, 0, 3, 2)],
+            },
+            consts: ConstFacts {
+                infeasible: vec![(BlockId(0), BlockId(2))],
+                dead_blocks: vec![BlockId(2)],
+            },
+            sites: vec![
+                AccessSite {
+                    addr: StmtAddr::new(MethodId(7), BlockId(1), 3),
+                    field: FieldId(4),
+                    base: Some(Local(2)),
+                    is_write: true,
+                    is_static: false,
+                },
+                AccessSite {
+                    addr: StmtAddr::new(MethodId(7), BlockId(0), 0),
+                    field: FieldId(9),
+                    base: None,
+                    is_write: false,
+                    is_static: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn disk_format_round_trips() {
+        let s = sample_summary();
+        let parsed = parse_summary(&render_summary(&s)).expect("parses");
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_and_versioned_input() {
+        assert!(parse_summary("").is_none());
+        assert!(parse_summary("sierra-summary v0\ndigest 1\n").is_none());
+        let mut text = render_summary(&sample_summary());
+        text.push_str("junk line\n");
+        assert!(parse_summary(&text).is_none());
+    }
+
+    #[test]
+    fn disk_store_round_trips_and_misses_unknown_keys() {
+        let dir = std::env::temp_dir().join(format!("sierra-store-test-{}", std::process::id()));
+        let store = DiskStore::new(&dir).expect("store dir");
+        let s = Arc::new(sample_summary());
+        store.put(42, Arc::clone(&s));
+        assert_eq!(store.get(42).as_deref(), Some(&*s));
+        assert!(store.get(43).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -152,15 +152,23 @@ fn staged_session_matches_one_shot_run() {
     let (app, _) = figures::inter_component();
     let one_shot = Sierra::new().analyze_app(app.clone());
     let mut session = Sierra::new().session(app);
-    session.harness();
-    session.pointer();
-    session.shbg();
-    let n_candidates = session.candidates().len();
-    let n_kept = session.prefilter().kept.len();
-    let n_pruned = session.prefilter().pruned.len();
+    session.harness().expect("harness stage runs");
+    session.pointer().expect("pointer stage runs");
+    session.shbg().expect("shbg stage runs");
+    let n_candidates = session.candidates().expect("candidate stage runs").len();
+    let n_kept = session
+        .prefilter()
+        .expect("prefilter stage runs")
+        .kept
+        .len();
+    let n_pruned = session
+        .prefilter()
+        .expect("prefilter stage runs")
+        .pruned
+        .len();
     assert_eq!(n_kept + n_pruned, n_candidates);
-    let n_races = session.refute().len();
-    let staged = session.finish();
+    let n_races = session.refute().expect("refute stage runs").len();
+    let staged = session.finish().expect("session finishes");
     assert_eq!(staged.racy_pairs_with_as, n_candidates);
     assert_eq!(staged.pruned.len(), n_pruned);
     assert_eq!(staged.races.len(), n_races);

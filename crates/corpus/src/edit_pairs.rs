@@ -1,0 +1,125 @@
+//! Edit-pair fixture: one app in two versions differing by a single
+//! method body, for summary-reuse tests and the `summary_reuse` bench.
+//!
+//! [`base_app`] and [`edited_app`] declare the *same* classes, fields,
+//! and method signatures — only the body of the static helper
+//! `Main.helper` differs: the edited version appends one extra
+//! statement, `extra = 7`, at the end. That makes the pair exercise
+//! every summary-store invalidation rule precisely:
+//!
+//! - the structural fingerprints are identical (declarations unchanged),
+//! - exactly one method's summary key changes (its body text changed),
+//! - the appended statement is a constant static store — a points-to
+//!   no-op — so every **pointer digest** is unchanged and a warm
+//!   re-analysis of the edited app over a store primed with the base
+//!   app reuses the whole points-to `Analysis` (zero solver
+//!   iterations), while
+//! - the race results *do* change: the edited helper's write races with
+//!   the `onResume` read of `extra`, so the edit adds one report.
+
+use android_model::{AndroidApp, AndroidAppBuilder};
+use apir::{ConstValue, InvokeKind, Operand, Type};
+
+/// The unedited version: `helper` only reads `counter`.
+pub fn base_app() -> AndroidApp {
+    build(false)
+}
+
+/// The edited version: `helper` additionally writes `extra = 7` (a
+/// pointer-analysis no-op) at the end of its body.
+pub fn edited_app() -> AndroidApp {
+    build(true)
+}
+
+fn build(edited: bool) -> AndroidApp {
+    let mut app = AndroidAppBuilder::new("EditPair");
+    let fw = app.framework().clone();
+
+    let mut cb = app.activity("com.edit.Main");
+    let counter = cb.static_field("counter", Type::Int);
+    let extra = cb.static_field("extra", Type::Int);
+    let activity = cb.build();
+
+    // static helper(): x = counter; [edited: extra = 7;] return
+    let mut mb = app.method(activity, "helper");
+    mb.set_static();
+    mb.set_param_count(0);
+    let x = mb.fresh_local();
+    mb.static_load(x, counter);
+    if edited {
+        mb.static_store(extra, Operand::Const(ConstValue::Int(7)));
+    }
+    mb.ret(None);
+    let helper = mb.finish();
+
+    // Worker.run: counter = 1; Main.helper()
+    let mut cb = app.subclass("com.edit.Main$Worker", fw.object);
+    cb.add_interface(fw.runnable);
+    let worker = cb.build();
+    let mut mb = app.method(worker, "<init>");
+    mb.set_param_count(1);
+    mb.ret(None);
+    let worker_init = mb.finish();
+    let mut mb = app.method(worker, "run");
+    mb.set_param_count(1);
+    mb.static_store(counter, Operand::Const(ConstValue::Int(1)));
+    mb.call(None, InvokeKind::Static, helper, None, vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    // onCreate: new Thread(new Worker()).start()
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let (w, t) = (mb.fresh_local(), mb.fresh_local());
+    mb.new_(w, worker);
+    mb.call(None, InvokeKind::Special, worker_init, Some(w), vec![]);
+    mb.new_(t, fw.thread);
+    mb.call(
+        None,
+        InvokeKind::Special,
+        fw.thread_init,
+        Some(t),
+        vec![Operand::Local(w)],
+    );
+    mb.call(None, InvokeKind::Virtual, fw.thread_start, Some(t), vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    // onResume: reads both statics on the UI thread.
+    let mut mb = app.method(activity, "onResume");
+    mb.set_param_count(1);
+    let (a, b) = (mb.fresh_local(), mb.fresh_local());
+    mb.static_load(a, counter);
+    mb.static_load(b, extra);
+    mb.ret(None);
+    mb.finish();
+
+    app.finish().expect("edit-pair fixture is a valid app")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_differ_only_in_the_helper_body() {
+        let base = base_app();
+        let edited = edited_app();
+        let printer = |app: &AndroidApp| {
+            let p = &app.program;
+            p.methods()
+                .iter()
+                .map(|m| (p.method_name(m.id).to_owned(), format!("{:?}", m.blocks)))
+                .collect::<Vec<_>>()
+        };
+        let (b, e) = (printer(&base), printer(&edited));
+        assert_eq!(b.len(), e.len());
+        let diffs: Vec<&str> = b
+            .iter()
+            .zip(&e)
+            .filter(|(x, y)| x != y)
+            .map(|(x, _)| x.0.as_str())
+            .collect();
+        assert_eq!(diffs, ["com.edit.Main.helper"]);
+    }
+}

@@ -19,6 +19,7 @@
 //! is labeled ([`RaceLabel`]) and [`GroundTruth::evaluate`] scores a
 //! detector's reports into true races / false positives / misses.
 
+pub mod edit_pairs;
 pub mod fdroid;
 pub mod figures;
 mod ground_truth;

@@ -22,14 +22,19 @@ mod ctx;
 mod ptsset;
 mod result;
 mod solver;
+mod summary;
 
 pub use ctx::{
     CtxData, CtxElem, CtxId, CtxTable, ObjData, ObjId, ObjTable, ParseSelectorError, SelectorKind,
 };
 pub use ptsset::PtsSet;
-pub use result::{collect_accesses, Access, AccessLoc};
+pub use result::{collect_accesses, collect_accesses_from_sites, Access, AccessLoc};
 pub use solver::{
     analyze, analyze_opts, Analysis, AnalysisOptions, PostRecord, SolverStats, WorklistPolicy,
+};
+pub use summary::{
+    extract_pointer_facts, fnv64, method_access_sites, pointer_digest, reachable_access_sites,
+    AccessSite, Fnv64, MethodPointerFacts,
 };
 
 #[cfg(test)]

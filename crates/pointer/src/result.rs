@@ -2,10 +2,10 @@
 
 use crate::ctx::{CtxId, ObjId};
 use crate::solver::Analysis;
-use android_model::{ActionId, FrameworkOp};
-use apir::{
-    local_defs, ClassId, ConstValue, FieldId, Method, MethodId, Operand, Program, Stmt, StmtAddr,
-};
+use crate::summary::{reachable_access_sites, AccessSite};
+use android_model::ActionId;
+use apir::{ClassId, FieldId, MethodId, Program, StmtAddr};
+use std::collections::HashMap;
 
 /// An abstract memory location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -86,84 +86,55 @@ pub fn collect_accesses(
     program: &Program,
     exclude_class: Option<ClassId>,
 ) -> Vec<Access> {
+    let sites = reachable_access_sites(analysis, program);
+    collect_accesses_from_sites(analysis, program, exclude_class, &sites)
+}
+
+/// Instantiates per-method [`AccessSite`]s against the points-to result:
+/// one [`Access`] per reachable `(method, ctx)` per site, with the base
+/// local resolved to its abstract objects. This is the linking half of
+/// [`collect_accesses`]; the summary layer feeds it cached sites.
+pub fn collect_accesses_from_sites(
+    analysis: &Analysis,
+    program: &Program,
+    exclude_class: Option<ClassId>,
+    sites: &HashMap<MethodId, Vec<AccessSite>>,
+) -> Vec<Access> {
     let mut out = Vec::new();
     for &(method, ctx) in &analysis.reachable {
-        let m = program.method(method);
-        if !m.has_body() {
-            continue;
-        }
-        if Some(m.class) == exclude_class {
+        let Some(method_sites) = sites.get(&method) else {
+            continue; // bodyless
+        };
+        if Some(program.method(method).class) == exclude_class {
             continue; // harness body itself
         }
         let action = analysis.action_of(ctx);
-        for (addr, stmt) in m.iter_stmts() {
-            let (is_write, field, base_local, is_static) = match stmt {
-                Stmt::Load { obj, field, .. } => (false, *field, Some(*obj), false),
-                Stmt::Store { obj, field, .. } => (true, *field, Some(*obj), false),
-                Stmt::StaticLoad { field, .. } => (false, *field, None, true),
-                Stmt::StaticStore { field, .. } => (true, *field, None, true),
-                Stmt::Call {
-                    callee,
-                    receiver,
-                    args,
-                    ..
-                } => {
-                    // Container ops are heap accesses in disguise.
-                    let fwc = analysis.framework();
-                    let (w, idx_op) = match FrameworkOp::classify(fwc, *callee) {
-                        Some(FrameworkOp::ArrayListSetAt) => (true, args.first().copied()),
-                        Some(FrameworkOp::ArrayListGetAt) => (false, args.first().copied()),
-                        _ => continue,
-                    };
-                    let Some(base) = receiver else { continue };
-                    let field = resolve_index_field(analysis, m, addr, idx_op);
-                    (w, field, Some(*base), false)
-                }
-                _ => continue,
-            };
-            if Some(program.field(field).class) == exclude_class {
+        for site in method_sites {
+            if Some(program.field(site.field).class) == exclude_class {
                 continue; // synthetic registration fields
             }
-            let base = match base_local {
+            let base = match site.base {
                 // PtsSet iterates in ascending id order already.
                 Some(l) => analysis.pts_var(method, ctx, l).iter().collect(),
                 None => Vec::new(),
             };
-            if !is_static && base.is_empty() {
+            if !site.is_static && base.is_empty() {
                 continue; // no resolvable target — cannot race
             }
             out.push(Access {
                 action,
                 method,
                 ctx,
-                addr,
-                is_write,
-                field,
+                addr: site.addr,
+                is_write: site.is_write,
+                field: site.field,
                 base,
-                is_static,
+                is_static: site.is_static,
             });
         }
     }
     out.sort_by_key(|a| (a.addr, a.ctx, a.is_write));
     out
-}
-
-/// The slot field an indexed container access touches, mirroring the
-/// solver's resolution exactly.
-fn resolve_index_field(
-    analysis: &Analysis,
-    method: &Method,
-    addr: StmtAddr,
-    idx: Option<Operand>,
-) -> FieldId {
-    let fw = analysis.framework();
-    if !analysis.options.index_sensitive {
-        return fw.array_list_contents;
-    }
-    match idx.and_then(|op| local_defs::resolve_const_operand(method, addr, op)) {
-        Some(ConstValue::Int(k)) if (0..8).contains(&k) => fw.index_slots[k as usize],
-        _ => fw.array_list_contents,
-    }
 }
 
 #[cfg(test)]

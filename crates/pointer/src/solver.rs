@@ -15,16 +15,18 @@
 
 use crate::ctx::{CtxData, CtxId, CtxTable, ObjData, ObjId, ObjTable, SelectorKind};
 use crate::ptsset::PtsSet;
+use crate::summary::{extract_pointer_facts, MethodPointerFacts};
 use android_model::{
     ActionId, ActionKind, ActionRegistry, FrameworkClasses, FrameworkOp, ThreadKind,
 };
 use apir::{
     local_defs, CallSiteId, ClassId, ConstValue, FieldId, InvokeKind, Local, MethodId, Operand,
-    Program, Stmt, StmtAddr, Terminator,
+    Program, Stmt, StmtAddr,
 };
 use harness_gen::{HarnessResult, HarnessSiteKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 /// Worklist scheduling policy for the propagation loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -403,6 +405,9 @@ struct Solver<'a> {
     resolved: HashSet<(CallSiteId, CtxId, ObjId)>,
     op_resolved: HashSet<(CallSiteId, CtxId, ObjId, ObjId)>,
     root_actions: Vec<(ClassId, ActionId)>,
+    /// Per-method body facts, extracted once and shared across contexts
+    /// (the statement list is context-independent).
+    facts: HashMap<MethodId, Rc<MethodPointerFacts>>,
     stats: SolverStats,
 }
 
@@ -472,6 +477,7 @@ impl<'a> Solver<'a> {
             resolved: HashSet::new(),
             op_resolved: HashSet::new(),
             root_actions: Vec::new(),
+            facts: HashMap::new(),
             stats: SolverStats::default(),
         }
     }
@@ -813,23 +819,24 @@ impl<'a> Solver<'a> {
     }
 
     fn process_body(&mut self, method: MethodId, ctx: CtxId) {
-        let m = self.program.method(method);
-        let stmts: Vec<(StmtAddr, Stmt)> = m.iter_stmts().map(|(a, s)| (a, s.clone())).collect();
-        let rets: Vec<Operand> = m
-            .iter_blocks()
-            .filter_map(|(_, b)| match &b.terminator {
-                Terminator::Return(Some(op)) => Some(*op),
-                _ => None,
-            })
-            .collect();
-        for r in rets {
+        // Body facts are context-independent: extract once per method,
+        // share the `Rc` across every context that reaches it.
+        let facts = match self.facts.get(&method) {
+            Some(f) => Rc::clone(f),
+            None => {
+                let f = Rc::new(extract_pointer_facts(self.program.method(method)));
+                self.facts.insert(method, Rc::clone(&f));
+                f
+            }
+        };
+        for &r in &facts.rets {
             if let Some(src) = self.operand_node(method, ctx, r) {
                 let ret = self.node(NodeKey::Ret { method, ctx });
                 self.add_edge(src, ret);
             }
         }
-        for (addr, stmt) in stmts {
-            match stmt {
+        for &(addr, ref stmt) in &facts.stmts {
+            match *stmt {
                 Stmt::Move { dst, src } => {
                     let s = self.var(method, ctx, src);
                     let d = self.var(method, ctx, dst);
@@ -878,8 +885,9 @@ impl<'a> Solver<'a> {
                     kind,
                     callee,
                     receiver,
-                    args,
+                    ref args,
                 } => {
+                    let args = args.clone();
                     self.process_call(method, ctx, addr, site, dst, kind, callee, receiver, args);
                 }
                 Stmt::Const { .. } | Stmt::UnOp { .. } | Stmt::BinOp { .. } => {}

@@ -1,0 +1,244 @@
+//! Per-method facts for the compositional summary layer.
+//!
+//! The solver walks every method body once per reachable `(method, ctx)`
+//! pair. All the body-derived inputs it consumes — the return operands
+//! and the statement list — are context-independent, so they are
+//! extracted once per method as [`MethodPointerFacts`] and shared across
+//! contexts. The same extraction feeds the **pointer digest**: a content
+//! hash over exactly the statements the solver reacts to, which the
+//! summary store uses to key whole-`Analysis` artifact reuse. Two method
+//! bodies with equal digests produce identical constraint graphs, so a
+//! program whose every digest is unchanged re-solves to the identical
+//! `Analysis`.
+//!
+//! [`AccessSite`] is the per-method half of access collection
+//! (`collect_accesses`): the field-access statements of one body with
+//! their base locals, before any context/points-to instantiation. Access
+//! sites are pure functions of the body (given the framework table and
+//! the `index_sensitive` option), so they are cacheable per method hash.
+
+use crate::solver::Analysis;
+use android_model::{FrameworkClasses, FrameworkOp};
+use apir::{
+    local_defs, ConstValue, FieldId, Local, Method, MethodId, Operand, Program, Stmt, StmtAddr,
+    Terminator,
+};
+
+/// 64-bit FNV-1a, the repo-wide content-hash primitive for summary keys.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv64 {
+    /// The FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Absorbs raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    /// Absorbs a `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        self.write(&v.to_le_bytes())
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a over a byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    Fnv64::new().write(bytes).finish()
+}
+
+/// The context-independent inputs the solver reads from one method body:
+/// return operands (in block order) and the statement list (in
+/// [`Method::iter_stmts`] order) — exactly what `process_body` consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodPointerFacts {
+    /// Operands of every `Return(Some(op))` terminator, in block order.
+    pub rets: Vec<Operand>,
+    /// Every statement with its address, in iteration order.
+    pub stmts: Vec<(StmtAddr, Stmt)>,
+}
+
+/// Extracts the solver-consumed facts of one method body, in the exact
+/// order the solver processes them.
+pub fn extract_pointer_facts(method: &Method) -> MethodPointerFacts {
+    let rets: Vec<Operand> = method
+        .iter_blocks()
+        .filter_map(|(_, b)| match &b.terminator {
+            Terminator::Return(Some(op)) => Some(*op),
+            _ => None,
+        })
+        .collect();
+    let stmts: Vec<(StmtAddr, Stmt)> = method.iter_stmts().map(|(a, s)| (a, s.clone())).collect();
+    MethodPointerFacts { rets, stmts }
+}
+
+/// Whether the solver ignores `stmt` entirely. A `StaticStore` of a
+/// constant creates no node and no edge (`operand_node` of a constant is
+/// `None`), so it cannot perturb the constraint graph — it is the one
+/// statement class excluded from the pointer digest. `Const`/`UnOp`/
+/// `BinOp` statements *are* digested: the solver's container-index and
+/// `findViewById`/`sendMessage` resolution reads them through
+/// [`local_defs::resolve_const_operand`].
+fn solver_noop(stmt: &Stmt) -> bool {
+    matches!(
+        stmt,
+        Stmt::StaticStore {
+            value: Operand::Const(_),
+            ..
+        }
+    )
+}
+
+/// Content hash over the solver-relevant part of a method body.
+///
+/// Equal digests guarantee the solver builds the same constraints for
+/// the method; the summary linker keys whole-`Analysis` reuse on the
+/// concatenation of all digests (plus the structural and config
+/// fingerprints).
+pub fn pointer_digest(facts: &MethodPointerFacts) -> u64 {
+    let mut h = Fnv64::new();
+    for r in &facts.rets {
+        h.write(format!("r{r:?};").as_bytes());
+    }
+    for (addr, stmt) in &facts.stmts {
+        if solver_noop(stmt) {
+            continue;
+        }
+        h.write(format!("{addr:?}={stmt:?};").as_bytes());
+    }
+    h.finish()
+}
+
+/// One field-access statement of a method body, before context
+/// instantiation: the per-method half of `collect_accesses`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSite {
+    /// The accessing statement.
+    pub addr: StmtAddr,
+    /// The accessed field (container ops resolve to their slot field).
+    pub field: FieldId,
+    /// Base local for instance accesses, `None` for statics.
+    pub base: Option<Local>,
+    /// `true` for stores.
+    pub is_write: bool,
+    /// Whether this is a static-field access.
+    pub is_static: bool,
+}
+
+/// Extracts the field-access sites of one method body, in statement
+/// order. Pure in the body given the framework table and the
+/// `index_sensitive` option, so cacheable by body hash.
+pub fn method_access_sites(
+    program: &Program,
+    fw: &FrameworkClasses,
+    method: MethodId,
+    index_sensitive: bool,
+) -> Vec<AccessSite> {
+    let m = program.method(method);
+    if !m.has_body() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (addr, stmt) in m.iter_stmts() {
+        let (is_write, field, base, is_static) = match stmt {
+            Stmt::Load { obj, field, .. } => (false, *field, Some(*obj), false),
+            Stmt::Store { obj, field, .. } => (true, *field, Some(*obj), false),
+            Stmt::StaticLoad { field, .. } => (false, *field, None, true),
+            Stmt::StaticStore { field, .. } => (true, *field, None, true),
+            Stmt::Call {
+                callee,
+                receiver,
+                args,
+                ..
+            } => {
+                // Container ops are heap accesses in disguise.
+                let (w, idx_op) = match FrameworkOp::classify(fw, *callee) {
+                    Some(FrameworkOp::ArrayListSetAt) => (true, args.first().copied()),
+                    Some(FrameworkOp::ArrayListGetAt) => (false, args.first().copied()),
+                    _ => continue,
+                };
+                let Some(base) = receiver else { continue };
+                let field = resolve_index_field(fw, index_sensitive, m, addr, idx_op);
+                (w, field, Some(*base), false)
+            }
+            _ => continue,
+        };
+        out.push(AccessSite {
+            addr,
+            field,
+            base,
+            is_write,
+            is_static,
+        });
+    }
+    out
+}
+
+/// The slot field an indexed container access touches, mirroring the
+/// solver's resolution exactly.
+pub(crate) fn resolve_index_field(
+    fw: &FrameworkClasses,
+    index_sensitive: bool,
+    method: &Method,
+    addr: StmtAddr,
+    idx: Option<Operand>,
+) -> FieldId {
+    if !index_sensitive {
+        return fw.array_list_contents;
+    }
+    match idx.and_then(|op| local_defs::resolve_const_operand(method, addr, op)) {
+        Some(ConstValue::Int(k)) if (0..8).contains(&k) => fw.index_slots[k as usize],
+        _ => fw.array_list_contents,
+    }
+}
+
+/// Per-method access sites for every method with a body that is
+/// reachable in `analysis`, keyed by method id.
+pub fn reachable_access_sites(
+    analysis: &Analysis,
+    program: &Program,
+) -> std::collections::HashMap<MethodId, Vec<AccessSite>> {
+    let fw = analysis.framework();
+    let mut sites = std::collections::HashMap::new();
+    for &(m, _) in &analysis.reachable {
+        if program.method(m).has_body() {
+            sites.entry(m).or_insert_with(|| {
+                method_access_sites(program, fw, m, analysis.options.index_sensitive)
+            });
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_deterministic_and_input_sensitive() {
+        assert_eq!(fnv64(b"abc"), fnv64(b"abc"));
+        assert_ne!(fnv64(b"abc"), fnv64(b"abd"));
+        assert_ne!(
+            Fnv64::new().write_u64(1).finish(),
+            Fnv64::new().write_u64(2).finish()
+        );
+    }
+}

@@ -23,7 +23,7 @@ use pointer::Analysis;
 use std::collections::{HashMap, HashSet};
 
 /// Per-method constant-propagation facts.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ConstFacts {
     /// `If` edges that can never be taken, in `(from, to)` block order.
     pub infeasible: Vec<(BlockId, BlockId)>,

@@ -160,12 +160,26 @@ pub fn run(
     graph: &Shbg,
     candidates: &[(Access, Access)],
 ) -> PrefilterResult {
-    let confined = escape::non_escaping_objects(program, analysis);
     let const_facts = constprop::analyze_reachable(program, analysis);
+    run_with_const_facts(program, analysis, graph, candidates, &const_facts)
+}
+
+/// [`run`] with per-method constant-propagation facts supplied by the
+/// summary layer instead of recomputed. The map must match what
+/// [`constprop::analyze_reachable`] would produce (reachable methods
+/// with bodies, empty fact sets omitted) for results to be identical.
+pub fn run_with_const_facts(
+    program: &Program,
+    analysis: &Analysis,
+    graph: &Shbg,
+    candidates: &[(Access, Access)],
+    const_facts: &HashMap<MethodId, constprop::ConstFacts>,
+) -> PrefilterResult {
+    let confined = escape::non_escaping_objects(program, analysis);
     let mut guards = guard::GuardAnalysis::new(program, analysis, graph);
 
     let mut infeasible = InfeasibleEdges::new();
-    for (&m, facts) in &const_facts {
+    for (&m, facts) in const_facts {
         for &(from, to) in &facts.infeasible {
             infeasible.insert(m, from, to);
         }
@@ -180,7 +194,7 @@ pub fn run(
     for (a, b) in candidates {
         let verdict = escape_verdict(&confined, a, b)
             .or_else(|| guards.pair_verdict(a, b))
-            .or_else(|| constprop_verdict(&const_facts, a, b));
+            .or_else(|| constprop_verdict(const_facts, a, b));
         match verdict {
             Some(verdict) => {
                 match verdict {

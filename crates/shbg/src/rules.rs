@@ -2,10 +2,63 @@
 
 use crate::bitmat::BitMatrix;
 use android_model::{ActionId, ActionKind};
-use apir::{BlockId, CallSiteId, Dominators, MethodId, Stmt, StmtAddr};
+use apir::{BlockId, CallSiteId, Dominators, Method, MethodId, Stmt, StmtAddr};
 use harness_gen::HarnessResult;
 use pointer::{Analysis, CtxId};
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The per-method dominance fact the HB rules consume: which call
+/// statements of one method dominate which others. Rules 2–4 only ever
+/// query dominance between pairs of `Call` statements (harness callback
+/// invocation sites and posting sites), so the full dominator tree
+/// compresses to this pair list — a pure function of the method body,
+/// cacheable by content hash in the summary store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallDominance {
+    /// Sorted `(dominator block, dominator stmt, dominated block,
+    /// dominated stmt)` tuples over distinct call-statement pairs.
+    pub pairs: Vec<(u32, u32, u32, u32)>,
+}
+
+impl CallDominance {
+    /// Computes the call-pair dominance fact of one method body.
+    pub fn compute(method: &Method) -> Self {
+        if !method.has_body() {
+            return Self::default();
+        }
+        let calls: Vec<StmtAddr> = method
+            .iter_stmts()
+            .filter(|(_, s)| matches!(s, Stmt::Call { .. }))
+            .map(|(a, _)| a)
+            .collect();
+        let dom = Dominators::compute(method);
+        let mut pairs = Vec::new();
+        for &a in &calls {
+            for &b in &calls {
+                if a != b && dom.dominates_stmt(a, b) {
+                    pairs.push(Self::key(a, b));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        Self { pairs }
+    }
+
+    fn key(a: StmtAddr, b: StmtAddr) -> (u32, u32, u32, u32) {
+        (
+            a.block.index() as u32,
+            a.stmt,
+            b.block.index() as u32,
+            b.stmt,
+        )
+    }
+
+    /// Whether call statement `a` dominates call statement `b` (both must
+    /// be `Call` statements of the method this fact was computed for).
+    pub fn dominates(&self, a: StmtAddr, b: StmtAddr) -> bool {
+        self.pairs.binary_search(&Self::key(a, b)).is_ok()
+    }
+}
 
 /// Which rule introduced an HB edge (for reports and tests).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -175,6 +228,36 @@ impl Shbg {
 
 /// Builds the SHBG from a points-to analysis over a harnessed app.
 pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
+    build_with_dominance(analysis, harness, &HashMap::new())
+}
+
+/// Looks up a method's [`CallDominance`] in the summary-provided map,
+/// falling back to a locally-computed (and cached) fact for methods the
+/// caller did not supply — e.g. the generated harness method when the
+/// summary layer only covers app methods.
+fn dom_of<'a>(
+    provided: &'a HashMap<MethodId, CallDominance>,
+    cache: &'a mut HashMap<MethodId, CallDominance>,
+    program: &apir::Program,
+    m: MethodId,
+) -> &'a CallDominance {
+    if let Some(d) = provided.get(&m) {
+        return d;
+    }
+    cache
+        .entry(m)
+        .or_insert_with(|| CallDominance::compute(program.method(m)))
+}
+
+/// [`build`] with per-method dominance facts supplied by the summary
+/// layer. Methods absent from `dominance` get their fact computed
+/// locally, so any partial map is sound; results are identical to
+/// [`build`] by construction.
+pub fn build_with_dominance(
+    analysis: &Analysis,
+    harness: &HarnessResult,
+    dominance: &HashMap<MethodId, CallDominance>,
+) -> Shbg {
     let n = analysis.actions.len();
     let mut closure = BitMatrix::new(n);
     let mut edges: Vec<HbEdge> = Vec::new();
@@ -250,9 +333,9 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
     }
 
     // --- Rules 2 & 3: harness-CFG dominance orders lifecycle/GUI actions. ---
+    let mut dom_cache: HashMap<MethodId, CallDominance> = HashMap::new();
     for h in &harness.activities {
-        let method = program.method(h.method);
-        let dom = Dominators::compute(method);
+        let dom = dom_of(dominance, &mut dom_cache, program, h.method);
         let site_actions: Vec<(CallSiteId, ActionId, bool)> = h
             .sites
             .iter()
@@ -269,7 +352,7 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                 }
                 let addr1 = program.call_site_addr(s1);
                 let addr2 = program.call_site_addr(s2);
-                if dom.dominates_stmt(addr1, addr2) {
+                if dom.dominates(addr1, addr2) {
                     let rule = if l1 && l2 {
                         HbRule::Lifecycle
                     } else {
@@ -292,7 +375,6 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
             .or_default()
             .push((p.site, p.posted));
     }
-    let mut dom_cache: HashMap<MethodId, Dominators> = HashMap::new();
     for (&poster, posts) in &posts_by_poster {
         for i in 0..posts.len() {
             for j in 0..posts.len() {
@@ -313,10 +395,8 @@ pub fn build(analysis: &Analysis, harness: &HarnessResult) -> Shbg {
                 let addr2 = program.call_site_addr(s2);
                 if addr1.method == addr2.method {
                     // Rule 4: plain intra-procedural dominance.
-                    let dom = dom_cache
-                        .entry(addr1.method)
-                        .or_insert_with(|| Dominators::compute(program.method(addr1.method)));
-                    if dom.dominates_stmt(addr1, addr2) {
+                    let dom = dom_of(dominance, &mut dom_cache, program, addr1.method);
+                    if dom.dominates(addr1, addr2) {
                         add(
                             &mut edges,
                             &mut stats,

@@ -1,0 +1,211 @@
+//! Summary-store invariants on the edit-pair fixture.
+//!
+//! The hard invariant of the compositional-summary redesign: an
+//! analysis over a warm store is **byte-identical** to a cold one —
+//! reuse changes work done, never results. These tests drive the
+//! edit-pair fixture (two app versions differing by one method body)
+//! through shared stores and assert both the identity and the reuse
+//! counters the bench gate relies on.
+
+use corpus::edit_pairs;
+use sierra_core::{
+    DiskStore, MemoryStore, Report, SessionBuilder, SierraConfig, SierraResult, SummaryStore,
+};
+use std::sync::Arc;
+
+fn run_with_store(
+    app: android_model::AndroidApp,
+    config: SierraConfig,
+    store: Arc<dyn SummaryStore>,
+) -> SierraResult {
+    SessionBuilder::new(config)
+        .app(app)
+        .store(store)
+        .build()
+        .expect("valid app")
+        .finish()
+        .expect("pipeline runs")
+}
+
+fn stable(result: &SierraResult) -> String {
+    Report::from_result(result).render_stable()
+}
+
+#[test]
+fn warm_rerun_is_byte_identical_and_reuses_everything() {
+    let store: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+    let cfg = SierraConfig::default();
+
+    let cold = run_with_store(edit_pairs::base_app(), cfg, Arc::clone(&store));
+    let warm = run_with_store(edit_pairs::base_app(), cfg, Arc::clone(&store));
+
+    assert_eq!(
+        stable(&cold),
+        stable(&warm),
+        "cold vs. warm must be byte-identical"
+    );
+
+    let c = cold.metrics.link;
+    let w = warm.metrics.link;
+    assert_eq!(c.summaries_reused, 0, "cold run sees an empty store");
+    assert!(c.summaries_recomputed > 0);
+    assert!(!c.analysis_reused);
+    assert!(c.pointer_iterations_run > 0);
+
+    assert_eq!(w.summaries_recomputed, 0, "warm run recomputes nothing");
+    assert_eq!(w.summaries_reused, c.summaries_recomputed);
+    assert!(
+        w.analysis_reused,
+        "unchanged digests reuse the whole analysis"
+    );
+    assert_eq!(w.pointer_iterations_run, 0, "no solver work on a full hit");
+    // The reported solver stats still describe the (reused) analysis.
+    assert_eq!(
+        warm.metrics.pointer.worklist_iterations,
+        cold.metrics.pointer.worklist_iterations
+    );
+}
+
+#[test]
+fn one_method_edit_recomputes_only_the_changed_method() {
+    let store: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+    let cfg = SierraConfig::default();
+
+    let base = run_with_store(edit_pairs::base_app(), cfg, Arc::clone(&store));
+    let warm_edited = run_with_store(edit_pairs::edited_app(), cfg, Arc::clone(&store));
+    let cold_edited = run_with_store(
+        edit_pairs::edited_app(),
+        cfg,
+        Arc::new(MemoryStore::new()) as Arc<dyn SummaryStore>,
+    );
+
+    // Byte-identity: warm-over-base-store == cold, on the edited app.
+    assert_eq!(stable(&cold_edited), stable(&warm_edited));
+
+    // Exactly the edited helper method is recomputed.
+    let w = warm_edited.metrics.link;
+    assert_eq!(w.summaries_recomputed, 1, "one body changed");
+    assert_eq!(
+        w.summaries_reused,
+        base.metrics.link.summaries_recomputed - 1,
+        "every other method is served from the store"
+    );
+    // The edit is a points-to no-op, so the analysis artifact is shared
+    // and the solver never runs.
+    assert!(w.analysis_reused);
+    assert_eq!(w.pointer_iterations_run, 0);
+
+    // The edit still changes results: the new write races with the
+    // onResume read of `extra`.
+    assert!(
+        warm_edited.races.len() > base.races.len(),
+        "edited version must report the extra race ({} vs {})",
+        warm_edited.races.len(),
+        base.races.len()
+    );
+}
+
+#[test]
+fn config_change_invalidates_the_whole_store() {
+    let store: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+    let cfg = SierraConfig::default();
+    let changed = SierraConfig::builder().no_cycle_collapse(true).build();
+
+    let first = run_with_store(edit_pairs::base_app(), cfg, Arc::clone(&store));
+    let second = run_with_store(edit_pairs::base_app(), changed, Arc::clone(&store));
+
+    let s = second.metrics.link;
+    assert_eq!(
+        s.summaries_reused, 0,
+        "config fingerprint keys every summary"
+    );
+    assert_eq!(
+        s.summaries_recomputed,
+        first.metrics.link.summaries_recomputed
+    );
+    assert!(!s.analysis_reused);
+    assert!(s.pointer_iterations_run > 0);
+}
+
+#[test]
+fn refute_before_prefilter_on_a_warm_session_reuses_summaries() {
+    // Regression: stage getters must consume the linked summaries no
+    // matter which getter is called first — `refute()` used to force a
+    // from-scratch `PrefilterOutcome` when called before `prefilter()`.
+    let store: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+    let cfg = SierraConfig::default();
+    let cold = run_with_store(edit_pairs::base_app(), cfg, Arc::clone(&store));
+
+    let mut session = SessionBuilder::new(cfg)
+        .app(edit_pairs::base_app())
+        .store(Arc::clone(&store))
+        .build()
+        .expect("valid app");
+    // Out-of-order drive: refutation first.
+    let n_races = session.refute().expect("refute runs").len();
+    assert_eq!(n_races, cold.races.len());
+    let outcome = session.prefilter().expect("prefilter cached");
+    assert_eq!(
+        outcome.kept.len() + outcome.pruned.len(),
+        cold.racy_pairs_with_as
+    );
+    let link = session.metrics().link;
+    assert!(link.analysis_reused);
+    assert_eq!(link.summaries_recomputed, 0);
+    assert!(link.summaries_reused > 0);
+    assert_eq!(
+        session.metrics().prefilter.pruned_total(),
+        cold.metrics.prefilter.pruned_total()
+    );
+}
+
+#[test]
+fn disk_store_round_trips_across_processes() {
+    let dir = std::env::temp_dir().join(format!("sierra-summary-reuse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = SierraConfig::default();
+
+    // First "process": cold run over the disk store.
+    let cold = {
+        let store: Arc<dyn SummaryStore> = Arc::new(DiskStore::new(&dir).expect("cache dir"));
+        run_with_store(edit_pairs::base_app(), cfg, store)
+    };
+    // Second "process": fresh DiskStore instance over the same directory.
+    // The analysis artifact is memory-only, so summaries reload from disk
+    // but the solver re-runs.
+    let warm = {
+        let store: Arc<dyn SummaryStore> = Arc::new(DiskStore::new(&dir).expect("cache dir"));
+        run_with_store(edit_pairs::base_app(), cfg, store)
+    };
+    assert_eq!(stable(&cold), stable(&warm));
+    let w = warm.metrics.link;
+    assert_eq!(w.summaries_recomputed, 0, "summaries persisted to disk");
+    assert_eq!(w.summaries_reused, cold.metrics.link.summaries_recomputed);
+    assert!(!w.analysis_reused, "analysis artifacts are per-process");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn figure_apps_are_warm_stable_too() {
+    // The invariant holds beyond the purpose-built fixture.
+    for (app_fn, name) in [
+        (corpus::figures::intra_component as fn() -> _, "fig1"),
+        (corpus::figures::inter_component as fn() -> _, "fig2"),
+        (corpus::figures::open_sudoku_guard as fn() -> _, "fig8"),
+    ] {
+        let store: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+        let cfg = SierraConfig::default();
+        let (app, _) = app_fn();
+        let cold = run_with_store(app, cfg, Arc::clone(&store));
+        let (app, _) = app_fn();
+        let warm = run_with_store(app, cfg, Arc::clone(&store));
+        assert_eq!(
+            stable(&cold),
+            stable(&warm),
+            "{name}: warm run must not drift"
+        );
+        assert!(warm.metrics.link.analysis_reused, "{name}");
+        assert_eq!(warm.metrics.link.pointer_iterations_run, 0, "{name}");
+    }
+}
