@@ -2,7 +2,10 @@
 
 use crate::framework::FrameworkClasses;
 use crate::gui::Layout;
-use apir::{ClassBuilder, ClassId, MethodBuilder, Program, ProgramBuilder, ValidateError};
+use apir::{
+    ClassBuilder, ClassId, MethodBuilder, Program, ProgramBuilder, SymbolArena, ValidateError,
+};
+use std::sync::Arc;
 
 /// The app manifest: declared components.
 #[derive(Debug, Clone, Default)]
@@ -82,7 +85,18 @@ pub struct AndroidAppBuilder {
 impl AndroidAppBuilder {
     /// Creates a builder with the framework pre-installed.
     pub fn new(name: &str) -> Self {
-        let mut pb = ProgramBuilder::new();
+        Self::from_program_builder(name, ProgramBuilder::new())
+    }
+
+    /// Creates a builder whose strings are interned in a shared
+    /// [`SymbolArena`], so framework names are stored once per process
+    /// across every app built over the same arena (corpus runs, the
+    /// serve loop).
+    pub fn with_arena(name: &str, arena: Arc<SymbolArena>) -> Self {
+        Self::from_program_builder(name, ProgramBuilder::with_arena(arena))
+    }
+
+    fn from_program_builder(name: &str, mut pb: ProgramBuilder) -> Self {
         let fw = FrameworkClasses::install(&mut pb);
         Self {
             name: name.to_owned(),

@@ -121,8 +121,26 @@ struct LayoutSrc {
 /// Returns an [`AsmError`] naming the offending line for syntax errors,
 /// unknown names, type-inference failures, or IR validation failures.
 pub fn parse_app(app_name: &str, source: &str) -> Result<AndroidApp, AsmError> {
+    parse_app_with(app_name, source, None)
+}
+
+/// [`parse_app`], optionally interning strings in a shared
+/// [`apir::SymbolArena`] so repeated parses (corpus runs, the serve
+/// loop) store each distinct name once per process.
+///
+/// # Errors
+///
+/// Same as [`parse_app`].
+pub fn parse_app_with(
+    app_name: &str,
+    source: &str,
+    arena: Option<std::sync::Arc<apir::SymbolArena>>,
+) -> Result<AndroidApp, AsmError> {
     let (classes, layouts) = parse_structure(source)?;
-    let mut builder = AndroidAppBuilder::new(app_name);
+    let mut builder = match arena {
+        Some(arena) => AndroidAppBuilder::with_arena(app_name, arena),
+        None => AndroidAppBuilder::new(app_name),
+    };
 
     // Declare every class first (supers wired after) so order is free.
     let mut class_ids: HashMap<String, ClassId> = HashMap::new();

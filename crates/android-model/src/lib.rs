@@ -31,7 +31,7 @@ pub mod ops;
 
 pub use actions::{Action, ActionId, ActionKind, ActionRegistry, ThreadKind};
 pub use app::{AndroidApp, AndroidAppBuilder, Manifest};
-pub use asm::{parse_app, render_app, AsmError};
+pub use asm::{parse_app, parse_app_with, render_app, AsmError};
 pub use callbacks::{CallbackKind, GuiEventKind, SystemEventKind, TaskEventKind};
 pub use framework::FrameworkClasses;
 pub use gui::{Layout, ViewDecl};

@@ -1,0 +1,214 @@
+//! A sharded, append-only symbol arena shared across analysis jobs.
+//!
+//! Corpus runs (`engine::run_jobs`) and the long-lived `sierra serve`
+//! loop intern the same framework class/method/field names once per app;
+//! a [`SymbolArena`] stores each distinct string exactly once for the
+//! whole process and hands out stable [`Symbol`]s, so per-app interners
+//! degrade to cheap pointer mirrors (see [`Interner::with_arena`]).
+//!
+//! The arena is append-only: symbols are never removed or renumbered, so
+//! a `Symbol` minted by any job stays valid for the lifetime of the
+//! arena. Reads take a per-shard `RwLock` in read mode (uncontended in
+//! the steady state, where every lookup hits); writes lock only the one
+//! shard owning the string's hash. A `Symbol` encodes its shard in the
+//! low bits — `(index << SHARD_BITS) | shard` — so resolution never
+//! searches.
+//!
+//! [`Interner::with_arena`]: crate::Interner::with_arena
+
+use crate::interner::{fnv64_str, Symbol};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// log2 of the shard count; shards are picked from the string hash.
+const SHARD_BITS: u32 = 4;
+/// Number of independently locked shards.
+const SHARD_COUNT: usize = 1 << SHARD_BITS;
+
+/// One lock domain of the arena.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Interned strings, indexed by the symbol's local index.
+    strings: Vec<Arc<str>>,
+    /// Hash of the string → local indices of candidates with that hash.
+    lookup: HashMap<u64, Vec<u32>>,
+    /// Total text bytes resident in this shard.
+    bytes: usize,
+}
+
+impl Shard {
+    fn find(&self, hash: u64, text: &str) -> Option<u32> {
+        self.lookup
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&i| &*self.strings[i as usize] == text)
+    }
+}
+
+/// A process-wide, append-only string interner safe for concurrent use.
+///
+/// See the [module docs](self) for the sharding and encoding scheme.
+#[derive(Default)]
+pub struct SymbolArena {
+    shards: [RwLock<Shard>; SHARD_COUNT],
+}
+
+impl SymbolArena {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(hash: u64) -> usize {
+        (hash as usize) & (SHARD_COUNT - 1)
+    }
+
+    fn encode(shard: usize, index: u32) -> Symbol {
+        debug_assert!(index < (1 << (32 - SHARD_BITS)), "arena shard overflow");
+        Symbol((index << SHARD_BITS) | shard as u32)
+    }
+
+    fn decode(sym: Symbol) -> (usize, u32) {
+        ((sym.0 as usize) & (SHARD_COUNT - 1), sym.0 >> SHARD_BITS)
+    }
+
+    /// Interns `text`, returning its stable symbol. Idempotent and safe
+    /// to call from any number of threads: all callers racing on the
+    /// same new string agree on one symbol.
+    pub fn intern(&self, text: &str) -> Symbol {
+        let hash = fnv64_str(text);
+        let shard_i = Self::shard_of(hash);
+        {
+            let shard = self.shards[shard_i].read().expect("arena shard lock");
+            if let Some(i) = shard.find(hash, text) {
+                return Self::encode(shard_i, i);
+            }
+        }
+        let mut shard = self.shards[shard_i].write().expect("arena shard lock");
+        // Double-check under the write lock: another thread may have
+        // interned the string between our read probe and here.
+        if let Some(i) = shard.find(hash, text) {
+            return Self::encode(shard_i, i);
+        }
+        let index = u32::try_from(shard.strings.len()).expect("shard symbol space");
+        shard.strings.push(Arc::from(text));
+        shard.bytes += text.len();
+        shard.lookup.entry(hash).or_default().push(index);
+        Self::encode(shard_i, index)
+    }
+
+    /// Looks `text` up without interning it.
+    #[must_use]
+    pub fn get(&self, text: &str) -> Option<Symbol> {
+        let hash = fnv64_str(text);
+        let shard_i = Self::shard_of(hash);
+        let shard = self.shards[shard_i].read().expect("arena shard lock");
+        shard.find(hash, text).map(|i| Self::encode(shard_i, i))
+    }
+
+    /// Resolves a symbol minted by this arena to its shared text.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this arena.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> Arc<str> {
+        let (shard_i, index) = Self::decode(sym);
+        let shard = self.shards[shard_i].read().expect("arena shard lock");
+        Arc::clone(&shard.strings[index as usize])
+    }
+
+    /// Number of distinct strings interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("arena shard lock").strings.len())
+            .sum()
+    }
+
+    /// Whether the arena holds no strings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total text bytes resident across all shards — the storage every
+    /// arena-backed interner shares instead of duplicating.
+    #[must_use]
+    pub fn bytes_resident(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("arena shard lock").bytes)
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for SymbolArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolArena")
+            .field("symbols", &self.len())
+            .field("bytes", &self.bytes_resident())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_and_round_trips() {
+        let arena = SymbolArena::new();
+        let a = arena.intern("android.app.Activity");
+        let b = arena.intern("onCreate");
+        let a2 = arena.intern("android.app.Activity");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(&*arena.resolve(a), "android.app.Activity");
+        assert_eq!(&*arena.resolve(b), "onCreate");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(
+            arena.bytes_resident(),
+            "android.app.Activity".len() + "onCreate".len()
+        );
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let arena = SymbolArena::new();
+        assert_eq!(arena.get("x"), None);
+        let s = arena.intern("x");
+        assert_eq!(arena.get("x"), Some(s));
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn symbols_encode_their_shard() {
+        let arena = SymbolArena::new();
+        for i in 0..256 {
+            let text = format!("sym{i}");
+            let s = arena.intern(&text);
+            assert_eq!(&*arena.resolve(s), text.as_str());
+        }
+        assert_eq!(arena.len(), 256);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_symbols() {
+        let arena = SymbolArena::new();
+        let names: Vec<String> = (0..128).map(|i| format!("com.app.Class{i}")).collect();
+        let per_thread: Vec<Vec<Symbol>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| names.iter().map(|n| arena.intern(n)).collect()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for syms in &per_thread[1..] {
+            assert_eq!(syms, &per_thread[0], "all threads must agree");
+        }
+        assert_eq!(arena.len(), names.len(), "no duplicate symbols");
+    }
+}

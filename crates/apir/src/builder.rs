@@ -5,10 +5,11 @@
 //! eagerly (so hierarchies and call targets can be wired up incrementally),
 //! and write their finished entity back on `build`/`finish`.
 
+use crate::arena::SymbolArena;
 use crate::class::{Class, Field, Origin};
 use crate::ids::{AllocSiteId, BlockId, CallSiteId, ClassId, FieldId, Local, MethodId, StmtAddr};
 use crate::interner::{Interner, Symbol};
-use crate::method::{BasicBlock, Method, Terminator};
+use crate::method::{BasicBlock, Cfg, Method, Terminator};
 use crate::program::Program;
 use crate::stmt::{BinOp, ConstValue, InvokeKind, Operand, Stmt, UnOp};
 use crate::ty::Type;
@@ -41,6 +42,17 @@ impl ProgramBuilder {
     /// Creates an empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty builder whose interner is backed by a shared
+    /// [`SymbolArena`], so class/method/field symbols are stable across
+    /// every program built over the same arena (corpus runs, the serve
+    /// loop).
+    pub fn with_arena(arena: std::sync::Arc<SymbolArena>) -> Self {
+        Self {
+            interner: Interner::with_arena(arena),
+            ..Self::default()
+        }
     }
 
     /// Interns a string.
@@ -185,6 +197,7 @@ impl ProgramBuilder {
             is_abstract,
             local_count: param_count,
             blocks: Vec::new(),
+            cfg: Cfg::default(),
         });
         self.classes[class.index()].methods.push(id);
         id
@@ -614,6 +627,9 @@ impl<'a> MethodBuilder<'a> {
         m.ret = self.ret;
         m.is_static = self.is_static;
         m.is_abstract = false;
+        // Terminators are final once a body is finished (the reopen path
+        // only inserts statements), so the flat CFG is built exactly once.
+        m.cfg = Cfg::build(&self.blocks);
         m.blocks = self.blocks;
         self.id
     }

@@ -209,10 +209,6 @@ pub fn solve_with_boundary<A: DataflowAnalysis>(
     let mut exec: Vec<(BlockId, BlockId)> = Vec::new();
     let mut worklist: VecDeque<BlockId> = VecDeque::new();
     let direction = analysis.direction();
-    let preds = match direction {
-        Direction::Forward => Vec::new(),
-        Direction::Backward => method.predecessors(),
-    };
 
     match direction {
         Direction::Forward => {
@@ -220,8 +216,8 @@ pub fn solve_with_boundary<A: DataflowAnalysis>(
             worklist.push_back(method.entry());
         }
         Direction::Backward => {
-            for (bid, block) in method.iter_blocks() {
-                if block.terminator.successors().is_empty() {
+            for (bid, _block) in method.iter_blocks() {
+                if method.succs(bid).is_empty() {
                     inputs[bid.index()] = Some(boundary.clone());
                     worklist.push_back(bid);
                 }
@@ -244,7 +240,7 @@ pub fn solve_with_boundary<A: DataflowAnalysis>(
                     analysis.transfer_stmt(addr, stmt, &mut state);
                 }
                 analysis.transfer_terminator(b, &block.terminator, &mut state);
-                for succ in block.terminator.successors() {
+                for &succ in method.succs(b) {
                     let Some(es) =
                         analysis.transfer_edge(method, b, &block.terminator, succ, &state)
                     else {
@@ -269,7 +265,7 @@ pub fn solve_with_boundary<A: DataflowAnalysis>(
                     let addr = StmtAddr::new(method.id, b, i as u32);
                     analysis.transfer_stmt(addr, stmt, &mut state);
                 }
-                for &p in &preds[b.index()] {
+                for &p in method.preds(b) {
                     let term = &method.block(p).terminator;
                     let Some(es) = analysis.transfer_edge(method, p, term, b, &state) else {
                         continue;
@@ -696,6 +692,7 @@ mod tests {
         });
         b2.terminator = Terminator::Goto(BlockId(3));
         let b3 = BasicBlock::new();
+        let blocks = vec![b0, b1, b2, b3];
         Method {
             id: MethodId(0),
             class: crate::ClassId(0),
@@ -705,7 +702,8 @@ mod tests {
             is_static: true,
             is_abstract: false,
             local_count: 1,
-            blocks: vec![b0, b1, b2, b3],
+            cfg: crate::Cfg::build(&blocks),
+            blocks,
         }
     }
 
@@ -816,6 +814,7 @@ mod tests {
         b1.terminator = Terminator::Return(Some(Operand::Local(Local(1))));
         let mut b2 = BasicBlock::new();
         b2.terminator = Terminator::Return(Some(Operand::Local(Local(2))));
+        let blocks = vec![b0, b1, b2];
         let m = Method {
             id: MethodId(0),
             class: crate::ClassId(0),
@@ -825,7 +824,8 @@ mod tests {
             is_static: true,
             is_abstract: false,
             local_count: 3,
-            blocks: vec![b0, b1, b2],
+            cfg: crate::Cfg::build(&blocks),
+            blocks,
         };
         let r = solve(&m, &GenKill(Liveness));
         // Exit state of b0 = live-in of its successors: l1 (b1) ∪ l2 (b2).
@@ -891,6 +891,7 @@ mod tests {
         });
         b0.terminator = Terminator::NonDet(vec![BlockId(0), BlockId(1)]);
         let b1 = BasicBlock::new();
+        let blocks = vec![b0, b1];
         let m = Method {
             id: MethodId(0),
             class: crate::ClassId(0),
@@ -900,7 +901,8 @@ mod tests {
             is_static: true,
             is_abstract: false,
             local_count: 1,
-            blocks: vec![b0, b1],
+            cfg: crate::Cfg::build(&blocks),
+            blocks,
         };
         let r = solve(&m, &CountLoop);
         assert_eq!(r.block_input(BlockId(0)), Some(&Counter::Top));

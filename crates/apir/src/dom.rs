@@ -35,14 +35,10 @@ impl Dominators {
         let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
         let mut stack = vec![(BlockId(0), 0usize)];
         state[0] = 1;
-        let succs: Vec<Vec<BlockId>> = method
-            .blocks
-            .iter()
-            .map(|b| b.terminator.successors())
-            .collect();
         while let Some(&mut (b, ref mut i)) = stack.last_mut() {
-            if *i < succs[b.index()].len() {
-                let s = succs[b.index()][*i];
+            let succs = method.succs(b);
+            if *i < succs.len() {
+                let s = succs[*i];
                 *i += 1;
                 if state[s.index()] == 0 {
                     state[s.index()] = 1;
@@ -62,7 +58,6 @@ impl Dominators {
         }
         let reachable: Vec<bool> = rpo_num.iter().map(|&i| i != usize::MAX).collect();
 
-        let preds = method.predecessors();
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[0] = Some(BlockId(0));
 
@@ -83,7 +78,7 @@ impl Dominators {
             changed = false;
             for &b in order.iter().skip(1) {
                 let mut new_idom: Option<BlockId> = None;
-                for &p in &preds[b.index()] {
+                for &p in method.preds(b) {
                     if !reachable[p.index()] || idom[p.index()].is_none() {
                         continue;
                     }

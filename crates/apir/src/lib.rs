@@ -36,6 +36,7 @@
 //! assert!(program.validate().is_ok());
 //! ```
 
+mod arena;
 mod builder;
 mod class;
 pub mod dataflow;
@@ -53,13 +54,14 @@ mod stmt;
 mod ty;
 mod validate;
 
+pub use arena::SymbolArena;
 pub use builder::{ClassBuilder, MethodBuilder, ProgramBuilder};
 pub use class::{Class, Field, Origin};
 pub use dom::Dominators;
 pub use edges::{BranchEdge, InfeasibleEdges};
 pub use ids::{AllocSiteId, BlockId, CallSiteId, ClassId, FieldId, Local, MethodId, StmtAddr};
 pub use interner::{Interner, Symbol};
-pub use method::{BasicBlock, Method, Terminator};
+pub use method::{BasicBlock, Cfg, Method, Terminator};
 pub use print::ProgramPrinter;
 pub use program::Program;
 pub use stmt::{BinOp, CmpOp, ConstValue, InvokeKind, Operand, Stmt, UnOp};

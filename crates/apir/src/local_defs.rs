@@ -43,7 +43,6 @@ pub fn resolve_const_operand(
 /// Returns the defining statement and its address, or `None` if the search
 /// reaches a join point, the method entry, or the scan budget first.
 pub fn find_def(method: &Method, addr: StmtAddr, local: Local) -> Option<(StmtAddr, &Stmt)> {
-    let preds = method.predecessors();
     let mut budget = SCAN_BUDGET;
     let mut block = addr.block;
     let mut upto = addr.stmt as usize; // exclusive
@@ -55,7 +54,7 @@ pub fn find_def(method: &Method, addr: StmtAddr, local: Local) -> Option<(StmtAd
                 return Some((StmtAddr::new(method.id, block, i as u32), &stmts[i]));
             }
         }
-        let p = &preds[block.index()];
+        let p = method.preds(block);
         if p.len() != 1 {
             return None;
         }

@@ -68,6 +68,115 @@ impl Default for BasicBlock {
     }
 }
 
+/// Flat (CSR-style) successor/predecessor storage for one method's CFG.
+///
+/// Instead of one heap-allocated `Vec<BlockId>` per block per query
+/// (what [`Terminator::successors`] and the old predecessor map cost),
+/// both adjacency directions live in two flat arrays indexed by an
+/// offset table, so dominator computation, dataflow solving, and
+/// `local_defs` walks traverse cache-linear memory and never allocate.
+///
+/// A `Cfg` is built once when a method body is finished
+/// ([`crate::MethodBuilder::finish`]); terminators are never rewritten
+/// afterwards (statement insertion via the builder's reopen path leaves
+/// block structure intact), so the arrays stay valid for the method's
+/// lifetime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cfg {
+    /// Concatenated successor lists, in terminator order per block.
+    succ: Vec<BlockId>,
+    /// `succ_off[b]..succ_off[b+1]` indexes block `b`'s successors.
+    succ_off: Vec<u32>,
+    /// Concatenated predecessor lists, ordered by source block id.
+    pred: Vec<BlockId>,
+    /// `pred_off[b]..pred_off[b+1]` indexes block `b`'s predecessors.
+    pred_off: Vec<u32>,
+}
+
+/// Calls `f` for each successor of `term` in terminator order, without
+/// allocating.
+fn for_each_successor(term: &Terminator, mut f: impl FnMut(BlockId)) {
+    match term {
+        Terminator::Goto(b) => f(*b),
+        Terminator::If {
+            then_bb, else_bb, ..
+        } => {
+            f(*then_bb);
+            f(*else_bb);
+        }
+        Terminator::NonDet(bs) => bs.iter().copied().for_each(f),
+        Terminator::Return(_) => {}
+    }
+}
+
+impl Cfg {
+    /// Builds the flat adjacency arrays from finished blocks.
+    ///
+    /// Successors keep terminator order (so reverse-post-order walks
+    /// match a per-terminator traversal exactly); predecessors are
+    /// ordered by source block id, the same order the old per-block
+    /// `Vec` map produced. Parallel edges (an `If` with equal targets)
+    /// are kept, matching [`Terminator::successors`]. Edges to
+    /// out-of-range blocks are dropped — [`crate::Program::validate`]
+    /// reports those from the terminators themselves.
+    pub fn build(blocks: &[BasicBlock]) -> Self {
+        let n = blocks.len();
+        let mut succ_off = vec![0u32; n + 1];
+        let mut pred_off = vec![0u32; n + 1];
+        for (i, block) in blocks.iter().enumerate() {
+            for_each_successor(&block.terminator, |s| {
+                if s.index() < n {
+                    succ_off[i + 1] += 1;
+                    pred_off[s.index() + 1] += 1;
+                }
+            });
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+            pred_off[i + 1] += pred_off[i];
+        }
+        let total = succ_off[n] as usize;
+        let mut succ = vec![BlockId(0); total];
+        let mut pred = vec![BlockId(0); total];
+        let mut succ_cur: Vec<u32> = succ_off[..n].to_vec();
+        let mut pred_cur: Vec<u32> = pred_off[..n].to_vec();
+        for (i, block) in blocks.iter().enumerate() {
+            for_each_successor(&block.terminator, |s| {
+                if s.index() < n {
+                    succ[succ_cur[i] as usize] = s;
+                    succ_cur[i] += 1;
+                    pred[pred_cur[s.index()] as usize] = BlockId::from_index(i);
+                    pred_cur[s.index()] += 1;
+                }
+            });
+        }
+        Self {
+            succ,
+            succ_off,
+            pred,
+            pred_off,
+        }
+    }
+
+    /// The successors of `b`, in terminator order.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        let (lo, hi) = (
+            self.succ_off[b.index()] as usize,
+            self.succ_off[b.index() + 1] as usize,
+        );
+        &self.succ[lo..hi]
+    }
+
+    /// The predecessors of `b`, ordered by source block id.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        let (lo, hi) = (
+            self.pred_off[b.index()] as usize,
+            self.pred_off[b.index() + 1] as usize,
+        );
+        &self.pred[lo..hi]
+    }
+}
+
 /// A method: signature plus (unless abstract) a CFG of basic blocks.
 #[derive(Debug, Clone)]
 pub struct Method {
@@ -89,6 +198,9 @@ pub struct Method {
     pub local_count: u32,
     /// Basic blocks; block 0 is the entry.
     pub blocks: Vec<BasicBlock>,
+    /// Flat successor/predecessor arrays over `blocks`, built when the
+    /// body is finished (empty for abstract methods).
+    pub cfg: Cfg,
 }
 
 impl Method {
@@ -136,15 +248,27 @@ impl Method {
             .get(addr.stmt as usize)
     }
 
+    /// The successors of `b` as a borrowed slice of the method's
+    /// [`Cfg`] — the allocation-free form of
+    /// `self.block(b).terminator.successors()`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        self.cfg.succs(b)
+    }
+
+    /// The predecessors of `b`, ordered by source block id, as a
+    /// borrowed slice of the method's [`Cfg`].
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        self.cfg.preds(b)
+    }
+
     /// Predecessor map: `preds[b]` lists blocks with an edge into `b`.
+    ///
+    /// Allocates one `Vec` per block; prefer [`Method::preds`] on hot
+    /// paths.
     pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
-        let mut preds = vec![Vec::new(); self.blocks.len()];
-        for (bid, block) in self.iter_blocks() {
-            for succ in block.terminator.successors() {
-                preds[succ.index()].push(bid);
-            }
-        }
-        preds
+        (0..self.blocks.len())
+            .map(|i| self.preds(BlockId::from_index(i)).to_vec())
+            .collect()
     }
 
     /// Whether the method has any body to analyze.
@@ -180,6 +304,7 @@ mod tests {
         let mut b1 = BasicBlock::new();
         b1.terminator = Terminator::Goto(BlockId(2));
         let b2 = BasicBlock::new();
+        let blocks = vec![b0, b1, b2];
         Method {
             id: MethodId(0),
             class: ClassId(0),
@@ -189,7 +314,8 @@ mod tests {
             is_static: false,
             is_abstract: false,
             local_count: 2,
-            blocks: vec![b0, b1, b2],
+            cfg: Cfg::build(&blocks),
+            blocks,
         }
     }
 
@@ -200,6 +326,26 @@ mod tests {
         assert_eq!(preds[0], vec![]);
         assert_eq!(preds[1], vec![BlockId(0)]);
         assert_eq!(preds[2], vec![BlockId(0), BlockId(1)]);
+    }
+
+    #[test]
+    fn csr_slices_match_terminator_successors() {
+        let m = sample();
+        for (bid, block) in m.iter_blocks() {
+            assert_eq!(m.succs(bid), block.terminator.successors().as_slice());
+        }
+        assert_eq!(m.preds(BlockId(0)), &[] as &[BlockId]);
+        assert_eq!(m.preds(BlockId(2)), &[BlockId(0), BlockId(1)]);
+        // Parallel edges (an `If` with equal arms) are preserved.
+        let mut b0 = BasicBlock::new();
+        b0.terminator = Terminator::If {
+            cond: Operand::Local(Local(0)),
+            then_bb: BlockId(1),
+            else_bb: BlockId(1),
+        };
+        let cfg = Cfg::build(&[b0, BasicBlock::new()]);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(1)]);
+        assert_eq!(cfg.preds(BlockId(1)), &[BlockId(0), BlockId(0)]);
     }
 
     #[test]

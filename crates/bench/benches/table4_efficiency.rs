@@ -397,6 +397,44 @@ fn main() {
             .len()
     });
 
+    // Corpus throughput: the whole 20-app dataset built over one shared
+    // symbol arena and analyzed back to back, recording the per-app
+    // latency distribution. The p50/p99 latencies and the process peak
+    // RSS are the SLO numbers `bench_gate` holds within band.
+    group("corpus_throughput");
+    let corpus_arena = Arc::new(apir::SymbolArena::new());
+    let corpus_apps = corpus::twenty::build_all_with(Some(Arc::clone(&corpus_arena)));
+    let (scratch_reused_before, _) = pointer::scratch_pool_stats();
+    let mut latencies: Vec<Duration> = corpus_apps
+        .into_iter()
+        .map(|(_, corpus_app, _)| {
+            let start = std::time::Instant::now();
+            let result = Sierra::new().analyze_app(corpus_app);
+            std::hint::black_box(result.races.len());
+            start.elapsed()
+        })
+        .collect();
+    latencies.sort_unstable();
+    let corpus_p50 = latencies[latencies.len() / 2];
+    let corpus_p99 = latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)];
+    let (scratch_reused_after, scratch_fresh) = pointer::scratch_pool_stats();
+    let scratch_reused = scratch_reused_after.saturating_sub(scratch_reused_before);
+    assert!(
+        scratch_reused > 0,
+        "a multi-app corpus run must reuse pooled solver scratch"
+    );
+    let corpus_peak_rss_kb = peak_rss_kb().unwrap_or(0);
+    println!(
+        "corpus latency over {} apps: p50 {corpus_p50:.3?}, p99 {corpus_p99:.3?}; \
+         peak RSS {corpus_peak_rss_kb} KB",
+        latencies.len()
+    );
+    println!(
+        "shared arena: {} symbols, {} bytes resident; solver scratch reused {scratch_reused} time(s) ({scratch_fresh} fresh allocations process-wide)",
+        corpus_arena.len(),
+        corpus_arena.bytes_resident()
+    );
+
     // Machine-readable record for the CI artifact, rendered through the
     // shared `Json` type (no serde in-tree).
     let us = |d: Duration| Json::Num(d.as_secs_f64() * 1e6);
@@ -522,9 +560,47 @@ fn main() {
                 ("analysis_warm_store_us", us(t_reuse_warm)),
             ]),
         ),
+        (
+            "corpus_throughput",
+            obj(vec![
+                ("corpus_apps", num(corpus::TWENTY.len())),
+                ("corpus_p50_latency_us", us(corpus_p50)),
+                ("corpus_p99_latency_us", us(corpus_p99)),
+                ("corpus_peak_rss_kb", num(corpus_peak_rss_kb as usize)),
+                ("scratch_reused", num(scratch_reused as usize)),
+                ("arena_symbols", num(corpus_arena.len())),
+                ("arena_bytes", num(corpus_arena.bytes_resident())),
+            ]),
+        ),
     ]);
     let mut rendered = json.render();
     rendered.push('\n');
     std::fs::write("BENCH_table4.json", &rendered).expect("write BENCH_table4.json");
     println!("wrote BENCH_table4.json");
+
+    // Human-readable throughput summary, uploaded as a CI artifact.
+    let throughput = format!(
+        "corpus_throughput (20-app dataset, shared symbol arena)\n\
+         p50 per-app latency: {:.3} ms\n\
+         p99 per-app latency: {:.3} ms\n\
+         peak RSS:            {corpus_peak_rss_kb} KB\n\
+         scratch reused:      {scratch_reused}\n\
+         arena symbols:       {}\n\
+         arena bytes:         {}\n",
+        corpus_p50.as_secs_f64() * 1e3,
+        corpus_p99.as_secs_f64() * 1e3,
+        corpus_arena.len(),
+        corpus_arena.bytes_resident()
+    );
+    std::fs::write("THROUGHPUT.txt", throughput).expect("write THROUGHPUT.txt");
+    println!("wrote THROUGHPUT.txt");
+}
+
+/// The process's peak resident set size in KB, from `/proc/self/status`
+/// (`VmHWM`). Returns `None` off Linux or if the field is absent; the
+/// RSS SLO gate skips silently-zero values via the baseline band.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }

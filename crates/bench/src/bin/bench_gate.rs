@@ -13,6 +13,13 @@
 //! harm classifier's crash precision must stay at or above the 90%
 //! floor on the labelled corpus.
 //!
+//! The one exception to the no-wall-clock rule is the **latency SLO**
+//! band over the `corpus_throughput` group: p99 per-app latency and
+//! peak RSS may regress by at most 10% against the baseline
+//! (improvements always pass — the check is one-sided). The SLO gates
+//! only fire when the baseline records those keys, and `BENCH_GATE_SLO=0`
+//! disables them for noisy or throttled hosts.
+//!
 //! When an intentional change shifts a counter past the band, rerun
 //! `cargo bench -p sierra-bench --bench table4_efficiency` and refresh
 //! the gated keys in `crates/bench/BENCH_baseline.json` in the same
@@ -69,7 +76,16 @@ const GATED: &[&str] = &[
     "warm_pointer_iterations",
     "summaries_reused",
     "summaries_recomputed",
+    // corpus throughput (shared-arena occupancy is deterministic;
+    // scratch_reused is scheduling-dependent and only checked > 0)
+    "arena_symbols",
+    "arena_bytes",
 ];
+
+/// Latency-SLO keys from the `corpus_throughput` group: gated
+/// one-sided (only regressions beyond the band fail), and only when the
+/// baseline records them. `BENCH_GATE_SLO=0` disables the check.
+const SLO_GATED: &[&str] = &["corpus_p99_latency_us", "corpus_peak_rss_kb"];
 
 /// Crash-capable precision the harm classifier must hold on the labelled
 /// corpus, in percent. A triage stage that cries "crash" on benign races
@@ -94,7 +110,7 @@ fn within_band(current: f64, baseline: f64) -> bool {
     (current - baseline).abs() <= TOLERANCE * baseline.abs()
 }
 
-fn run(current: &str, baseline: &str) -> Result<(), Vec<String>> {
+fn run(current: &str, baseline: &str, slo_enabled: bool) -> Result<(), Vec<String>> {
     let mut violations = Vec::new();
     for key in GATED {
         let base = counter(baseline, key);
@@ -163,6 +179,32 @@ fn run(current: &str, baseline: &str) -> Result<(), Vec<String>> {
             violations.push("summaries_reused: warm run reused nothing from the store".into());
         }
     }
+    // Corpus-throughput invariant: a multi-app run must reuse pooled
+    // solver scratch (allocation churn crept back in otherwise).
+    if let Some(reused) = counter(current, "scratch_reused") {
+        if reused < 1.0 {
+            violations.push("scratch_reused: corpus run reused no pooled solver scratch".into());
+        }
+    }
+    // Latency SLO: one-sided band on p99 latency and peak RSS, active
+    // only when the baseline records the keys.
+    if slo_enabled {
+        for key in SLO_GATED {
+            match (counter(baseline, key), counter(current, key)) {
+                (Some(b), Some(c)) => {
+                    if c > b * (1.0 + TOLERANCE) {
+                        violations.push(format!(
+                            "{key}: {c} regresses more than {:.0}% over baseline {b} (SLO; set BENCH_GATE_SLO=0 to skip on noisy hosts)",
+                            TOLERANCE * 100.0
+                        ));
+                    }
+                }
+                (Some(_), None) => violations.push(format!("{key}: missing from current run")),
+                // No baseline SLO recorded: the gate has no opinion.
+                (None, _) => {}
+            }
+        }
+    }
     if violations.is_empty() {
         Ok(())
     } else {
@@ -188,7 +230,8 @@ fn main() -> ExitCode {
     let (Some(current), Some(baseline)) = (read(&current_path), read(&baseline_path)) else {
         return ExitCode::FAILURE;
     };
-    match run(&current, &baseline) {
+    let slo_enabled = std::env::var("BENCH_GATE_SLO").map_or(true, |v| v != "0");
+    match run(&current, &baseline, slo_enabled) {
         Ok(()) => {
             println!(
                 "bench_gate: {} counters within ±{:.0}% of baseline, invariants hold",
@@ -228,6 +271,11 @@ mod tests {
         "warm_pointer_iterations": 0,
         "summaries_reused": 6,
         "summaries_recomputed": 1
+      },
+      "corpus_throughput": {
+        "corpus_p99_latency_us": 1000.0,
+        "corpus_peak_rss_kb": 50000,
+        "scratch_reused": 19
       }
     }"#;
 
@@ -241,13 +289,13 @@ mod tests {
 
     #[test]
     fn identical_runs_pass() {
-        assert!(run(BASE, BASE).is_ok());
+        assert!(run(BASE, BASE, true).is_ok());
     }
 
     #[test]
     fn drift_beyond_band_fails() {
         let drifted = BASE.replace("\"propagations\": 200", "\"propagations\": 260");
-        let err = run(&drifted, BASE).unwrap_err();
+        let err = run(&drifted, BASE, true).unwrap_err();
         assert!(
             err.iter().any(|v| v.starts_with("propagations:")),
             "{err:?}"
@@ -257,7 +305,7 @@ mod tests {
     #[test]
     fn drift_within_band_passes() {
         let drifted = BASE.replace("\"propagations\": 200", "\"propagations\": 210");
-        assert!(run(&drifted, BASE).is_ok());
+        assert!(run(&drifted, BASE, true).is_ok());
     }
 
     #[test]
@@ -266,7 +314,7 @@ mod tests {
             "\"worklist_iterations_collapse_on\": 10",
             "\"worklist_iterations_collapse_on\": 40",
         );
-        let err = run(&broken, BASE).unwrap_err();
+        let err = run(&broken, BASE, true).unwrap_err();
         assert!(err.iter().any(|v| v.contains("stopped paying")), "{err:?}");
     }
 
@@ -279,9 +327,9 @@ mod tests {
             )
         };
         let good = with_precision("92.5");
-        assert!(run(&good, BASE).is_ok());
+        assert!(run(&good, BASE, true).is_ok());
         let bad = with_precision("88.0");
-        let err = run(&bad, BASE).unwrap_err();
+        let err = run(&bad, BASE, true).unwrap_err();
         assert!(
             err.iter().any(|v| v.contains("below the 90% floor")),
             "{err:?}"
@@ -296,23 +344,87 @@ mod tests {
             "\"warm_pointer_iterations\": 0",
             "\"warm_pointer_iterations\": 15",
         );
-        let err = run(&lazy, &lazy).unwrap_err();
+        let err = run(&lazy, &lazy, true).unwrap_err();
         assert!(
             err.iter().any(|v| v.contains("stopped paying for itself")),
             "{err:?}"
         );
 
         let cold_store = BASE.replace("\"summaries_reused\": 6", "\"summaries_reused\": 0");
-        let err = run(&cold_store, &cold_store).unwrap_err();
+        let err = run(&cold_store, &cold_store, true).unwrap_err();
         assert!(err.iter().any(|v| v.contains("reused nothing")), "{err:?}");
     }
 
     #[test]
     fn missing_counter_fails() {
         let gutted = BASE.replace(", \"propagations\": 200", "");
-        let err = run(&gutted, BASE).unwrap_err();
+        let err = run(&gutted, BASE, true).unwrap_err();
         assert!(
             err.iter().any(|v| v.contains("missing from current run")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn slo_regression_beyond_band_fails() {
+        let slow = BASE.replace(
+            "\"corpus_p99_latency_us\": 1000.0",
+            "\"corpus_p99_latency_us\": 1200.0",
+        );
+        let err = run(&slow, BASE, true).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|v| v.starts_with("corpus_p99_latency_us:") && v.contains("SLO")),
+            "{err:?}"
+        );
+
+        let fat = BASE.replace(
+            "\"corpus_peak_rss_kb\": 50000",
+            "\"corpus_peak_rss_kb\": 60000",
+        );
+        let err = run(&fat, BASE, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.starts_with("corpus_peak_rss_kb:")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn slo_is_one_sided_and_tolerates_small_drift() {
+        // Improvements pass no matter how large.
+        let fast = BASE.replace(
+            "\"corpus_p99_latency_us\": 1000.0",
+            "\"corpus_p99_latency_us\": 100.0",
+        );
+        assert!(run(&fast, BASE, true).is_ok());
+        // Regressions inside the band pass.
+        let wobble = BASE.replace(
+            "\"corpus_p99_latency_us\": 1000.0",
+            "\"corpus_p99_latency_us\": 1090.0",
+        );
+        assert!(run(&wobble, BASE, true).is_ok());
+    }
+
+    #[test]
+    fn slo_can_be_disabled_and_skips_bare_baselines() {
+        // BENCH_GATE_SLO=0 waves through any regression.
+        let slow = BASE.replace(
+            "\"corpus_p99_latency_us\": 1000.0",
+            "\"corpus_p99_latency_us\": 9000.0",
+        );
+        assert!(run(&slow, BASE, false).is_ok());
+        // A baseline without SLO keys leaves the gate without an opinion
+        // (the scratch_reused structural check still applies to current).
+        let bare = BASE.replace("\"corpus_p99_latency_us\": 1000.0,", "");
+        assert!(run(&slow, &bare, true).is_ok());
+    }
+
+    #[test]
+    fn scratch_reuse_invariant_is_enforced() {
+        let churning = BASE.replace("\"scratch_reused\": 19", "\"scratch_reused\": 0");
+        let err = run(&churning, &churning, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("no pooled solver scratch")),
             "{err:?}"
         );
     }

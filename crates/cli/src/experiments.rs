@@ -9,6 +9,7 @@
 use corpus::{fdroid, twenty, EvalCounts, GroundTruth, HarmEval};
 use eventracer::EventRacerConfig;
 use sierra_core::{run_jobs, EngineError, Report, Sierra, SierraConfig, SierraResult};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Everything measured for one app (one row of Tables 3 and 4).
@@ -208,9 +209,28 @@ fn row_or_error(outcome: Result<AppRow, EngineError>) -> AppRow {
     }
 }
 
+/// The corpus-wide symbol arena for one run, or `None` under
+/// `--no-shared-intern` (every app then gets a private interner).
+fn corpus_arena(shared_intern: bool) -> Option<Arc<apir::SymbolArena>> {
+    shared_intern.then(|| Arc::new(apir::SymbolArena::new()))
+}
+
 /// Runs the 20-app dataset (Tables 3 and 4) on `jobs` workers.
 pub fn run_twenty(sierra_cfg: SierraConfig, er_cfg: &EventRacerConfig, jobs: usize) -> Vec<AppRow> {
-    let items: Vec<(String, _)> = twenty::build_all()
+    run_twenty_with(sierra_cfg, er_cfg, jobs, true)
+}
+
+/// [`run_twenty`] with explicit control over shared interning. Apps are
+/// built on the caller's thread over one corpus-wide arena (when
+/// `shared_intern`), then analyzed on `jobs` workers; reports are
+/// byte-identical either way and at any job count.
+pub fn run_twenty_with(
+    sierra_cfg: SierraConfig,
+    er_cfg: &EventRacerConfig,
+    jobs: usize,
+    shared_intern: bool,
+) -> Vec<AppRow> {
+    let items: Vec<(String, _)> = twenty::build_all_with(corpus_arena(shared_intern))
         .into_iter()
         .map(|(spec, app, truth)| (spec.name.to_owned(), (app, truth)))
         .collect();
@@ -225,8 +245,19 @@ pub fn run_twenty(sierra_cfg: SierraConfig, er_cfg: &EventRacerConfig, jobs: usi
 /// Runs the first `count` apps of the 174-app dataset (Table 5) on
 /// `jobs` workers.
 pub fn run_fdroid(count: usize, sierra_cfg: SierraConfig, jobs: usize) -> Vec<AppRow> {
+    run_fdroid_with(count, sierra_cfg, jobs, true)
+}
+
+/// [`run_fdroid`] with explicit control over shared interning (see
+/// [`run_twenty_with`]).
+pub fn run_fdroid_with(
+    count: usize,
+    sierra_cfg: SierraConfig,
+    jobs: usize,
+    shared_intern: bool,
+) -> Vec<AppRow> {
     let er_cfg = EventRacerConfig::default();
-    let items: Vec<(String, _)> = fdroid::iter_apps()
+    let items: Vec<(String, _)> = fdroid::iter_apps_with(corpus_arena(shared_intern))
         .take(count)
         .map(|(i, app, truth)| (format!("app{i:03}"), (app, truth)))
         .collect();

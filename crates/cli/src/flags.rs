@@ -24,6 +24,10 @@
 //! --cache-dir <PATH>    persist per-method summaries to PATH (the
 //!                       `serve` subcommand's warm store; created if
 //!                       absent)
+//! --no-shared-intern    give every app/request its own private string
+//!                       interner instead of the process-wide shared
+//!                       symbol arena (ablation; reports are identical
+//!                       either way)
 //! ```
 //!
 //! [`CommonFlags::parse`] consumes the recognized flags (and their
@@ -33,26 +37,42 @@
 use sierra_core::SierraConfig;
 
 /// Parsed values of the shared flags.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CommonFlags {
     /// `--jobs N`: engine worker threads (0 = available parallelism).
     pub jobs: usize,
     /// `--cache-dir PATH`: on-disk summary store directory, if any.
     pub cache_dir: Option<String>,
+    /// Intern names into one process-wide [`apir::SymbolArena`] shared
+    /// across apps/requests (`true` unless `--no-shared-intern`).
+    pub shared_intern: bool,
     /// The pipeline configuration assembled from `--context`/`--budget`.
     pub config: SierraConfig,
+}
+
+impl Default for CommonFlags {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            cache_dir: None,
+            shared_intern: true,
+            config: SierraConfig::default(),
+        }
+    }
 }
 
 impl CommonFlags {
     /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`,
     /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`,
-    /// `--no-overlap-compare`, `--no-triage`, `--min-harm`, and
-    /// `--cache-dir` from `args`, removing each recognized flag (and
-    /// its value, if any). Unknown flags and positionals are untouched.
+    /// `--no-overlap-compare`, `--no-triage`, `--min-harm`,
+    /// `--cache-dir`, and `--no-shared-intern` from `args`, removing
+    /// each recognized flag (and its value, if any). Unknown flags and
+    /// positionals are untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
         let mut builder = SierraConfig::builder();
         let mut jobs = 0usize;
         let cache_dir = take_flag(args, "--cache-dir")?;
+        let shared_intern = !take_switch(args, "--no-shared-intern");
         if let Some(spec) = take_flag(args, "--context")? {
             let selector = spec
                 .parse()
@@ -99,6 +119,7 @@ impl CommonFlags {
         Ok(Self {
             jobs,
             cache_dir,
+            shared_intern,
             config: builder.build(),
         })
     }
@@ -258,6 +279,19 @@ mod tests {
         assert_eq!(flags.cache_dir, None);
 
         assert!(CommonFlags::parse(&mut argv(&["serve", "--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn shared_intern_switch_is_consumed() {
+        let mut args = argv(&["table3", "--no-shared-intern"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(!flags.shared_intern);
+        assert_eq!(args, argv(&["table3"]));
+
+        let mut args = argv(&["table3"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(flags.shared_intern);
+        assert!(CommonFlags::default().shared_intern);
     }
 
     #[test]

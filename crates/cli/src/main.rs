@@ -27,6 +27,8 @@
 //! --min-harm <LEVEL>   drop reports below LEVEL: benign | value |
 //!                      use-before-init | null-deref
 //! --cache-dir <PATH>   persist per-method summaries across runs
+//! --no-shared-intern   private per-app interners instead of the shared
+//!                      symbol arena (ablation)
 //! ```
 
 use eventracer::EventRacerConfig;
@@ -38,7 +40,7 @@ const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|c
                      shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter\n\
                      \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare\n\
                      \x20             --no-triage --min-harm <benign|value|use-before-init|null-deref>\n\
-                     \x20             --cache-dir <PATH>";
+                     \x20             --cache-dir <PATH> --no-shared-intern";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,22 +58,25 @@ fn main() {
     match cmd.as_str() {
         "table2" => print!("{}", experiments::table2()),
         "table3" => {
-            let rows = experiments::run_twenty(sierra_cfg, &er_cfg, jobs);
+            let rows =
+                experiments::run_twenty_with(sierra_cfg, &er_cfg, jobs, common.shared_intern);
             print!("{}", experiments::table3(&rows));
         }
         "table4" => {
-            let rows = experiments::run_twenty(sierra_cfg, &er_cfg, jobs);
+            let rows =
+                experiments::run_twenty_with(sierra_cfg, &er_cfg, jobs, common.shared_intern);
             print!("{}", experiments::table4(&rows));
         }
         "table5" => {
             let count = take_raw_flag(&mut args, "--apps")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(corpus::fdroid::APP_COUNT);
-            let rows = experiments::run_fdroid(count, sierra_cfg, jobs);
+            let rows = experiments::run_fdroid_with(count, sierra_cfg, jobs, common.shared_intern);
             print!("{}", experiments::table5(&rows));
         }
         "compare" => {
-            let rows = experiments::run_twenty(sierra_cfg, &er_cfg, jobs);
+            let rows =
+                experiments::run_twenty_with(sierra_cfg, &er_cfg, jobs, common.shared_intern);
             print!("{}", experiments::comparison_summary(&rows));
         }
         "analyze" => {

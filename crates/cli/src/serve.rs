@@ -8,7 +8,11 @@
 //! [`SummaryStore`], so repeated analyses of the same (or slightly
 //! edited) app reuse per-method summaries and — when no solver-relevant
 //! statement changed — the whole points-to analysis. With `--cache-dir`
-//! the store persists to disk and survives server restarts.
+//! the store persists to disk and survives server restarts. Sessions
+//! also share one [`apir::SymbolArena`] (unless `--no-shared-intern`),
+//! so the framework's class/method/field names are interned once per
+//! server process rather than once per request; summary keys and
+//! reports are identical either way.
 //!
 //! ## Requests
 //!
@@ -36,6 +40,7 @@
 //! byte-identical to the cold one (the `timings_ms` group excepted).
 
 use crate::flags::CommonFlags;
+use apir::SymbolArena;
 use sierra_core::engine::effective_jobs;
 use sierra_core::{
     json::{num, obj},
@@ -80,12 +85,16 @@ pub fn open_store(cache_dir: Option<&str>) -> Result<Arc<dyn SummaryStore>, Stri
 /// Runs the server until a `shutdown` request (or end of input).
 pub fn run(flags: &CommonFlags, socket: Option<String>) -> Result<(), String> {
     let store = open_store(flags.cache_dir.as_deref())?;
+    // One arena for the whole server lifetime: requests intern into it
+    // concurrently and it only grows (append-only), so a long-lived
+    // server stops allocating name strings once the vocabulary is warm.
+    let arena = flags.shared_intern.then(|| Arc::new(SymbolArena::new()));
     match socket {
-        Some(path) => serve_socket(&path, flags.config, flags.jobs, store),
+        Some(path) => serve_socket(&path, flags.config, flags.jobs, store, arena),
         None => {
             let reader = BufReader::new(std::io::stdin());
             let writer: SharedWriter = Arc::new(Mutex::new(Box::new(std::io::stdout())));
-            serve_connection(reader, &writer, flags.config, flags.jobs, store);
+            serve_connection(reader, &writer, flags.config, flags.jobs, store, arena);
             Ok(())
         }
     }
@@ -100,6 +109,7 @@ fn serve_socket(
     config: SierraConfig,
     jobs: usize,
     store: Arc<dyn SummaryStore>,
+    arena: Option<Arc<SymbolArena>>,
 ) -> Result<(), String> {
     let _ = std::fs::remove_file(path);
     let listener = std::os::unix::net::UnixListener::bind(path)
@@ -113,7 +123,14 @@ fn serve_socket(
                 .map_err(|e| format!("cannot clone socket stream: {e}"))?,
         );
         let writer: SharedWriter = Arc::new(Mutex::new(Box::new(stream)));
-        if serve_connection(reader, &writer, config, jobs, Arc::clone(&store)) {
+        if serve_connection(
+            reader,
+            &writer,
+            config,
+            jobs,
+            Arc::clone(&store),
+            arena.clone(),
+        ) {
             break;
         }
     }
@@ -127,6 +144,7 @@ fn serve_socket(
     _config: SierraConfig,
     _jobs: usize,
     _store: Arc<dyn SummaryStore>,
+    _arena: Option<Arc<SymbolArena>>,
 ) -> Result<(), String> {
     Err("--socket requires a Unix platform; use stdin mode instead".to_owned())
 }
@@ -140,6 +158,7 @@ fn serve_connection<R: BufRead>(
     config: SierraConfig,
     jobs: usize,
     store: Arc<dyn SummaryStore>,
+    arena: Option<Arc<SymbolArena>>,
 ) -> bool {
     let workers = effective_jobs(jobs, usize::MAX);
     let mut shutdown = false;
@@ -150,6 +169,7 @@ fn serve_connection<R: BufRead>(
             let rx = Arc::clone(&rx);
             let writer = Arc::clone(writer);
             let store = Arc::clone(&store);
+            let arena = arena.clone();
             scope.spawn(move || loop {
                 // Receive under the lock, release before analyzing so the
                 // other workers can pick up queued requests.
@@ -158,7 +178,7 @@ fn serve_connection<R: BufRead>(
                     guard.recv()
                 };
                 match next {
-                    Ok(req) => handle_request(req, config, &store, &writer),
+                    Ok(req) => handle_request(req, config, &store, arena.clone(), &writer),
                     Err(_) => break, // sender dropped: input finished
                 }
             });
@@ -225,9 +245,10 @@ fn handle_request(
     req: Request,
     config: SierraConfig,
     store: &Arc<dyn SummaryStore>,
+    arena: Option<Arc<SymbolArena>>,
     out: &SharedWriter,
 ) {
-    if let Err(e) = analyze(&req, config, store, out) {
+    if let Err(e) = analyze(&req, config, store, arena, out) {
         emit(out, error_event(req.id, &e.to_string()));
     }
 }
@@ -238,12 +259,16 @@ fn analyze(
     req: &Request,
     config: SierraConfig,
     store: &Arc<dyn SummaryStore>,
+    arena: Option<Arc<SymbolArena>>,
     out: &SharedWriter,
 ) -> Result<(), sierra_core::SessionError> {
-    let mut session = SessionBuilder::new(config)
+    let mut builder = SessionBuilder::new(config)
         .source(req.name.clone(), req.text.clone())
-        .store(Arc::clone(store))
-        .build()?;
+        .store(Arc::clone(store));
+    if let Some(arena) = arena {
+        builder = builder.arena(arena);
+    }
+    let mut session = builder.build()?;
     let id = req.id;
 
     let harnesses = session.harness()?.harness_count();
@@ -395,6 +420,7 @@ mod tests {
             SierraConfig::default(),
             1,
             store,
+            Some(Arc::new(SymbolArena::new())),
         );
         let bytes = buffer.lock().expect("buffer lock").clone();
         let text = String::from_utf8(bytes).expect("utf-8 output");

@@ -167,6 +167,7 @@ pub struct SessionBuilder {
     config: SierraConfig,
     store: Option<Arc<dyn SummaryStore>>,
     input: Option<SessionInput>,
+    arena: Option<Arc<apir::SymbolArena>>,
 }
 
 impl SessionBuilder {
@@ -176,6 +177,7 @@ impl SessionBuilder {
             config,
             store: None,
             input: None,
+            arena: None,
         }
     }
 
@@ -207,6 +209,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Interns class/method/field names into a shared [`apir::SymbolArena`]
+    /// when building from inline source, so framework names are stored once
+    /// per process across sessions (the serve loop passes its arena here).
+    /// Only affects [`Self::source`] input — pre-built apps keep whatever
+    /// interner they were constructed with. Reports and summary keys are
+    /// identical with or without a shared arena.
+    pub fn arena(mut self, arena: Arc<apir::SymbolArena>) -> Self {
+        self.arena = Some(arena);
+        self
+    }
+
     /// Finishes the builder. Fails with [`SessionError::InvalidApp`] if
     /// inline source does not parse, or [`SessionError::MissingInput`]
     /// if no input was supplied.
@@ -218,11 +231,10 @@ impl SessionBuilder {
             Some(SessionInput::App(app)) => (Some(*app), None),
             Some(SessionInput::Harness(h)) => (None, Some(h)),
             Some(SessionInput::Source { name, text }) => {
-                let app = android_model::asm::parse_app(&name, &text).map_err(|e| {
-                    SessionError::InvalidApp {
+                let app = android_model::asm::parse_app_with(&name, &text, self.arena.clone())
+                    .map_err(|e| SessionError::InvalidApp {
                         message: e.to_string(),
-                    }
-                })?;
+                    })?;
                 (Some(app), None)
             }
             None => {

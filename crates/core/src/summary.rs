@@ -34,6 +34,18 @@
 //! hold interned tables that don't serialize); the on-disk backend
 //! persists method summaries across processes and keeps artifacts
 //! per-process.
+//!
+//! ## Arena-stable keys
+//!
+//! Sessions are built through [`crate::SessionBuilder`], which may
+//! intern an app's names into a process-wide shared
+//! [`apir::SymbolArena`] (`sierra serve`, corpus runs) instead of a
+//! private per-program interner. Summary keys are **independent of that
+//! choice**: every fingerprint hashes resolved name *text* (via
+//! [`Program::name`] and the printed body), never raw symbol values, so
+//! a store primed without a shared arena hits from sessions built over
+//! one — and hits across processes whose arenas interned names in
+//! different orders.
 
 use apir::{BlockId, FieldId, Local, MethodId, Program, ProgramPrinter, StmtAddr};
 use pointer::{
@@ -149,7 +161,10 @@ pub fn summary_key(structural_fp: u64, printed_body: &str, config_fp: u64) -> u6
 /// whole-`Analysis` artifacts. Keys are content hashes, so a store never
 /// needs invalidation logic: stale entries are simply never looked up
 /// again. Implementations must be shareable across the serve worker pool
-/// and the overlapped comparison pass (`Send + Sync`).
+/// and the overlapped comparison pass (`Send + Sync`). Keys hash name
+/// text rather than symbol values, so one store serves sessions built
+/// over a shared [`apir::SymbolArena`] and private-interner sessions
+/// interchangeably.
 pub trait SummaryStore: Send + Sync + std::fmt::Debug {
     /// Looks up a method summary by key.
     fn get(&self, key: u64) -> Option<Arc<MethodSummary>>;

@@ -6,9 +6,11 @@
 //! to an activity count exactly as in the 20-app dataset.
 
 use crate::ground_truth::GroundTruth;
-use crate::twenty::{activity_count, synthesize};
+use crate::twenty::{activity_count, synthesize_with};
 use android_model::AndroidApp;
+use apir::SymbolArena;
 use sierra_prng::SplitMix64;
+use std::sync::Arc;
 
 /// Number of apps in the dataset.
 pub const APP_COUNT: usize = 174;
@@ -32,20 +34,33 @@ pub fn size_kb(index: usize) -> u32 {
 
 /// Builds app `index` of the dataset.
 pub fn build_app(index: usize) -> (AndroidApp, GroundTruth) {
+    build_app_with(index, None)
+}
+
+/// [`build_app`], interning into a shared arena when one is supplied.
+pub fn build_app_with(index: usize, arena: Option<Arc<SymbolArena>>) -> (AndroidApp, GroundTruth) {
     let kb = size_kb(index);
     let name = format!("org.fdroid.app{index:03}");
-    synthesize(
+    synthesize_with(
         &name,
         activity_count(kb),
         BASE_SEED.wrapping_add(7 + index as u64),
+        arena,
     )
 }
 
 /// Iterates over all apps lazily (building 174 apps eagerly is wasteful for
 /// callers that stream results).
 pub fn iter_apps() -> impl Iterator<Item = (usize, AndroidApp, GroundTruth)> {
-    (0..APP_COUNT).map(|i| {
-        let (app, truth) = build_app(i);
+    iter_apps_with(None)
+}
+
+/// [`iter_apps`], interning into a shared arena when one is supplied.
+pub fn iter_apps_with(
+    arena: Option<Arc<SymbolArena>>,
+) -> impl Iterator<Item = (usize, AndroidApp, GroundTruth)> {
+    (0..APP_COUNT).map(move |i| {
+        let (app, truth) = build_app_with(i, arena.clone());
         (i, app, truth)
     })
 }

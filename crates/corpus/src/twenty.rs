@@ -8,7 +8,9 @@
 use crate::ground_truth::GroundTruth;
 use crate::idioms::Idiom;
 use android_model::{AndroidApp, AndroidAppBuilder};
+use apir::SymbolArena;
 use sierra_prng::SplitMix64;
+use std::sync::Arc;
 
 /// Table 2 metadata for one app.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,17 +145,38 @@ pub fn activity_count(bytecode_kb: u32) -> usize {
 
 /// Synthesizes one app from its spec.
 pub fn build_app(spec: AppSpec) -> (AndroidApp, GroundTruth) {
-    synthesize(
+    build_app_with(spec, None)
+}
+
+/// [`build_app`], interning into a shared arena when one is supplied.
+pub fn build_app_with(spec: AppSpec, arena: Option<Arc<SymbolArena>>) -> (AndroidApp, GroundTruth) {
+    synthesize_with(
         spec.name,
         activity_count(spec.bytecode_kb),
         seed_of(spec.name),
+        arena,
     )
 }
 
 /// Synthesizes an app with `n_activities` planted idiom activities.
 pub fn synthesize(name: &str, n_activities: usize, seed: u64) -> (AndroidApp, GroundTruth) {
+    synthesize_with(name, n_activities, seed, None)
+}
+
+/// [`synthesize`], interning class/method/field names into a shared
+/// [`SymbolArena`] when one is supplied. The synthesized program is
+/// identical either way — only where the name strings live differs.
+pub fn synthesize_with(
+    name: &str,
+    n_activities: usize,
+    seed: u64,
+    arena: Option<Arc<SymbolArena>>,
+) -> (AndroidApp, GroundTruth) {
     let mut rng = SplitMix64::new(seed);
-    let mut app = AndroidAppBuilder::new(name);
+    let mut app = match arena {
+        Some(arena) => AndroidAppBuilder::with_arena(name, arena),
+        None => AndroidAppBuilder::new(name),
+    };
     let mut truth = GroundTruth::new();
     let pkg: String = name
         .chars()
@@ -173,10 +196,15 @@ pub fn synthesize(name: &str, n_activities: usize, seed: u64) -> (AndroidApp, Gr
 
 /// Builds the whole 20-app dataset.
 pub fn build_all() -> Vec<(AppSpec, AndroidApp, GroundTruth)> {
+    build_all_with(None)
+}
+
+/// [`build_all`], interning into a shared arena when one is supplied.
+pub fn build_all_with(arena: Option<Arc<SymbolArena>>) -> Vec<(AppSpec, AndroidApp, GroundTruth)> {
     TWENTY
         .iter()
         .map(|&spec| {
-            let (app, truth) = build_app(spec);
+            let (app, truth) = build_app_with(spec, arena.clone());
             (spec, app, truth)
         })
         .collect()

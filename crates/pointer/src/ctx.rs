@@ -10,6 +10,7 @@
 
 use android_model::ActionId;
 use apir::{AllocSiteId, CallSiteId, ClassId};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// One element of a context string.
@@ -269,14 +270,19 @@ impl SelectorKind {
 
     /// Context string for a virtually-dispatched callee, given the caller's
     /// string and the receiver object.
-    pub fn virtual_elems(
+    ///
+    /// Returns a [`Cow`] so selectors that pass an existing string
+    /// through unchanged (insensitive, already-short k-obj chains)
+    /// borrow instead of allocating; callers that need ownership use
+    /// `into_owned`.
+    pub fn virtual_elems<'a>(
         self,
-        caller: &[CtxElem],
+        caller: &'a [CtxElem],
         site: CallSiteId,
-        recv: &ObjData,
-    ) -> Vec<CtxElem> {
+        recv: &'a ObjData,
+    ) -> Cow<'a, [CtxElem]> {
         match self {
-            SelectorKind::Insensitive => Vec::new(),
+            SelectorKind::Insensitive => Cow::Borrowed(&[]),
             SelectorKind::KCfa(_) => truncate_last(caller, Some(CtxElem::Call(site)), self.k()),
             SelectorKind::KObj(_) | SelectorKind::Hybrid(_) | SelectorKind::ActionSensitive(_) => {
                 let alloc = recv.site().map(CtxElem::Alloc);
@@ -285,19 +291,21 @@ impl SelectorKind {
         }
     }
 
-    /// Context string for a static/special callee.
-    pub fn static_elems(self, caller: &[CtxElem], site: CallSiteId) -> Vec<CtxElem> {
+    /// Context string for a static/special callee. See
+    /// [`SelectorKind::virtual_elems`] for the borrowing contract.
+    pub fn static_elems<'a>(self, caller: &'a [CtxElem], site: CallSiteId) -> Cow<'a, [CtxElem]> {
         match self {
-            SelectorKind::Insensitive => Vec::new(),
-            SelectorKind::KObj(_) => caller.to_vec(),
+            SelectorKind::Insensitive => Cow::Borrowed(&[]),
+            SelectorKind::KObj(_) => Cow::Borrowed(caller),
             SelectorKind::KCfa(_) | SelectorKind::Hybrid(_) | SelectorKind::ActionSensitive(_) => {
                 truncate_last(caller, Some(CtxElem::Call(site)), self.k())
             }
         }
     }
 
-    /// Heap context for an allocation in `ctx`.
-    pub fn heap_ctx(self, ctx: &CtxData) -> (Option<ActionId>, Vec<CtxElem>) {
+    /// Heap context for an allocation in `ctx`. The string borrows from
+    /// `ctx` whenever truncation is a no-op.
+    pub fn heap_ctx<'a>(self, ctx: &'a CtxData) -> (Option<ActionId>, Cow<'a, [CtxElem]>) {
         let action = if self.action_sensitive() {
             Some(ctx.action)
         } else {
@@ -307,16 +315,21 @@ impl SelectorKind {
     }
 }
 
-/// Keeps the last `k` elements of `base ++ [extra]`.
-fn truncate_last(base: &[CtxElem], extra: Option<CtxElem>, k: usize) -> Vec<CtxElem> {
-    let mut v: Vec<CtxElem> = base.to_vec();
-    if let Some(e) = extra {
-        v.push(e);
+/// Keeps the last `k` elements of `base ++ [extra]`, borrowing `base`
+/// when the result is exactly `base` (no append, no truncation).
+fn truncate_last(base: &[CtxElem], extra: Option<CtxElem>, k: usize) -> Cow<'_, [CtxElem]> {
+    match extra {
+        None if base.len() <= k => Cow::Borrowed(base),
+        None => Cow::Owned(base[base.len() - k..].to_vec()),
+        Some(_) if k == 0 => Cow::Borrowed(&[]),
+        Some(e) => {
+            let keep_base = (k - 1).min(base.len());
+            let mut v = Vec::with_capacity(keep_base + 1);
+            v.extend_from_slice(&base[base.len() - keep_base..]);
+            v.push(e);
+            Cow::Owned(v)
+        }
     }
-    if v.len() > k {
-        v.drain(..v.len() - k);
-    }
-    v
 }
 
 #[cfg(test)]
@@ -429,6 +442,36 @@ mod tests {
             action: ActionId(0),
             elems: vec![CtxElem::Call(CallSiteId(1))],
         };
-        assert_eq!(s.heap_ctx(&ctx), (None, vec![]));
+        let (action, elems) = s.heap_ctx(&ctx);
+        assert_eq!(action, None);
+        assert!(elems.is_empty());
+    }
+
+    #[test]
+    fn pass_through_context_strings_borrow() {
+        // The no-op cases must not allocate: KObj static calls and
+        // already-short heap contexts borrow the input string.
+        let caller = vec![CtxElem::Alloc(AllocSiteId(1))];
+        assert!(matches!(
+            SelectorKind::KObj(2).static_elems(&caller, CallSiteId(0)),
+            Cow::Borrowed(_)
+        ));
+        assert!(matches!(
+            SelectorKind::Insensitive.virtual_elems(&caller, CallSiteId(0), &obj(9, vec![])),
+            Cow::Borrowed(_)
+        ));
+        let ctx = CtxData {
+            action: ActionId(0),
+            elems: vec![CtxElem::Call(CallSiteId(1))],
+        };
+        assert!(matches!(
+            SelectorKind::ActionSensitive(2).heap_ctx(&ctx).1,
+            Cow::Borrowed(_)
+        ));
+        // Truncation still owns.
+        assert!(matches!(
+            SelectorKind::KCfa(1).static_elems(&caller, CallSiteId(3)),
+            Cow::Owned(_)
+        ));
     }
 }

@@ -359,6 +359,120 @@ impl Worklist {
     }
 }
 
+/// Reusable solver working memory: every per-node side table that does
+/// *not* flow into the final [`Analysis`] (those are `nodes` and `pts`).
+///
+/// A corpus run solves hundreds of apps back to back; taking the scratch
+/// from a process-wide pool lets each solve inherit the previous app's
+/// vector capacities instead of growing them from zero again. Slots are
+/// cleared lazily as nodes are minted (`Solver::node`), so taking a
+/// scratch is O(1) regardless of how big the previous solve was.
+///
+/// Reuse is invisible to results: only capacities survive between
+/// solves, never values, so reports stay byte-identical with or without
+/// a warm pool.
+#[derive(Debug)]
+struct SolverScratch {
+    keys: Vec<NodeKey>,
+    delta: Vec<Vec<ObjId>>,
+    succ: Vec<Vec<NodeId>>,
+    pending: Vec<Vec<Pending>>,
+    queued: Vec<bool>,
+    parent: Vec<u32>,
+    last_fired: Vec<u64>,
+    lcd_seen: HashSet<(u32, u32)>,
+    lcd_queue: Vec<NodeId>,
+    worklist: Worklist,
+}
+
+impl Default for SolverScratch {
+    fn default() -> Self {
+        Self {
+            keys: Vec::new(),
+            delta: Vec::new(),
+            succ: Vec::new(),
+            pending: Vec::new(),
+            queued: Vec::new(),
+            parent: Vec::new(),
+            last_fired: Vec::new(),
+            lcd_seen: HashSet::new(),
+            lcd_queue: Vec::new(),
+            worklist: Worklist::new(WorklistPolicy::default()),
+        }
+    }
+}
+
+impl SolverScratch {
+    /// Prepares a (possibly recycled) scratch for a new solve. Per-node
+    /// slots are left as-is — `Solver::node` clears each one as it is
+    /// handed out — so only the global structures are reset here.
+    fn reset_for(&mut self, policy: WorklistPolicy) {
+        self.lcd_seen.clear();
+        self.lcd_queue.clear();
+        match (&mut self.worklist, policy) {
+            (Worklist::Fifo(q), WorklistPolicy::Fifo) => q.clear(),
+            (Worklist::Lrf(h), WorklistPolicy::TopoLrf) => h.clear(),
+            (w, p) => *w = Worklist::new(p),
+        }
+    }
+}
+
+/// Upper bound on idle scratches kept alive — about one per worker
+/// thread; anything beyond that is dropped instead of pooled.
+const MAX_POOLED_SCRATCH: usize = 16;
+
+struct ScratchPool {
+    free: std::sync::Mutex<Vec<SolverScratch>>,
+    reused: std::sync::atomic::AtomicU64,
+    fresh: std::sync::atomic::AtomicU64,
+}
+
+fn scratch_pool() -> &'static ScratchPool {
+    static POOL: std::sync::OnceLock<ScratchPool> = std::sync::OnceLock::new();
+    POOL.get_or_init(|| ScratchPool {
+        free: std::sync::Mutex::new(Vec::new()),
+        reused: std::sync::atomic::AtomicU64::new(0),
+        fresh: std::sync::atomic::AtomicU64::new(0),
+    })
+}
+
+impl ScratchPool {
+    fn take(&self) -> SolverScratch {
+        use std::sync::atomic::Ordering;
+        let popped = self.free.lock().expect("scratch pool lock").pop();
+        match popped {
+            Some(s) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                s
+            }
+            None => {
+                self.fresh.fetch_add(1, Ordering::Relaxed);
+                SolverScratch::default()
+            }
+        }
+    }
+
+    fn give(&self, scratch: SolverScratch) {
+        let mut free = self.free.lock().expect("scratch pool lock");
+        if free.len() < MAX_POOLED_SCRATCH {
+            free.push(scratch);
+        }
+    }
+}
+
+/// `(reused, fresh)` counts of solver-scratch checkouts since process
+/// start. `reused > 0` on a multi-app run confirms warm working memory
+/// is flowing between solves. Process-wide (not per-app) so per-app
+/// [`SolverStats`] stay deterministic regardless of scheduling.
+pub fn scratch_pool_stats() -> (u64, u64) {
+    use std::sync::atomic::Ordering;
+    let p = scratch_pool();
+    (
+        p.reused.load(Ordering::Relaxed),
+        p.fresh.load(Ordering::Relaxed),
+    )
+}
+
 struct Solver<'a> {
     program: &'a Program,
     fw: &'a FrameworkClasses,
@@ -444,6 +558,20 @@ impl<'a> Solver<'a> {
                 harness_site_kinds.insert(*site, kind.clone());
             }
         }
+        let mut scratch = scratch_pool().take();
+        scratch.reset_for(options.worklist);
+        let SolverScratch {
+            keys,
+            delta,
+            succ,
+            pending,
+            queued,
+            parent,
+            last_fired,
+            lcd_seen,
+            lcd_queue,
+            worklist,
+        } = scratch;
         Self {
             program: &harness.app.program,
             fw: &harness.app.framework,
@@ -454,18 +582,18 @@ impl<'a> Solver<'a> {
             objs: ObjTable::new(),
             actions: ActionRegistry::new(),
             nodes: HashMap::new(),
-            keys: Vec::new(),
+            keys,
             pts: Vec::new(),
-            delta: Vec::new(),
-            succ: Vec::new(),
-            pending: Vec::new(),
-            worklist: Worklist::new(options.worklist),
-            queued: Vec::new(),
-            parent: Vec::new(),
-            last_fired: Vec::new(),
+            delta,
+            succ,
+            pending,
+            worklist,
+            queued,
+            parent,
+            last_fired,
             clock: 0,
-            lcd_seen: HashSet::new(),
-            lcd_queue: Vec::new(),
+            lcd_seen,
+            lcd_queue,
             reachable: HashSet::new(),
             cg_edges: HashMap::new(),
             cg_edge_set: HashSet::new(),
@@ -577,6 +705,21 @@ impl<'a> Solver<'a> {
         for ctxs in contexts_by_method.values_mut() {
             ctxs.sort_unstable();
         }
+        // Hand the working memory back for the next solve. Values never
+        // survive the round trip (slots are reset as nodes are minted),
+        // only capacities do.
+        scratch_pool().give(SolverScratch {
+            keys: std::mem::take(&mut self.keys),
+            delta: std::mem::take(&mut self.delta),
+            succ: std::mem::take(&mut self.succ),
+            pending: std::mem::take(&mut self.pending),
+            queued: std::mem::take(&mut self.queued),
+            parent: std::mem::take(&mut self.parent),
+            last_fired: std::mem::take(&mut self.last_fired),
+            lcd_seen: std::mem::take(&mut self.lcd_seen),
+            lcd_queue: std::mem::take(&mut self.lcd_queue),
+            worklist: std::mem::replace(&mut self.worklist, Worklist::new(WorklistPolicy::Fifo)),
+        });
         Analysis {
             selector: self.selector,
             options: self.options,
@@ -613,16 +756,30 @@ impl<'a> Solver<'a> {
         if let Some(&n) = self.nodes.get(&key) {
             return self.find(n);
         }
-        let n = NodeId(u32::try_from(self.keys.len()).expect("node overflow"));
+        // `pts` is the node-count authority: it starts empty every solve,
+        // while the scratch-backed side tables may be longer (recycled
+        // from a bigger previous solve) and are reset slot by slot here.
+        let idx = self.pts.len();
+        let n = NodeId(u32::try_from(idx).expect("node overflow"));
         self.nodes.insert(key.clone(), n);
-        self.keys.push(key);
         self.pts.push(PtsSet::new());
-        self.delta.push(Vec::new());
-        self.succ.push(Vec::new());
-        self.pending.push(Vec::new());
-        self.queued.push(false);
-        self.parent.push(n.0);
-        self.last_fired.push(0);
+        if idx < self.keys.len() {
+            self.keys[idx] = key;
+            self.delta[idx].clear();
+            self.succ[idx].clear();
+            self.pending[idx].clear();
+            self.queued[idx] = false;
+            self.parent[idx] = n.0;
+            self.last_fired[idx] = 0;
+        } else {
+            self.keys.push(key);
+            self.delta.push(Vec::new());
+            self.succ.push(Vec::new());
+            self.pending.push(Vec::new());
+            self.queued.push(false);
+            self.parent.push(n.0);
+            self.last_fired.push(0);
+        }
         n
     }
 
@@ -847,7 +1004,7 @@ impl<'a> Solver<'a> {
                     let obj = self.objs.intern(ObjData::Site {
                         site,
                         action,
-                        elems,
+                        elems: elems.into_owned(),
                         class,
                     });
                     let cur = self.ctxs.get(ctx).action;
@@ -955,9 +1112,9 @@ impl<'a> Solver<'a> {
                 if !self.program.method(target).has_body() {
                     return;
                 }
-                let caller_elems = self.ctxs.get(ctx).elems.clone();
-                let action = self.ctxs.get(ctx).action;
-                let elems = self.selector.static_elems(&caller_elems, site);
+                let data = self.ctxs.get(ctx);
+                let action = data.action;
+                let elems = self.selector.static_elems(&data.elems, site).into_owned();
                 let tctx = self.ctxs.intern(CtxData { action, elems });
                 self.record_cg_edge(method, ctx, site, target, tctx);
                 self.mark_reachable(target, tctx);
@@ -1286,14 +1443,13 @@ impl<'a> Solver<'a> {
         if !self.program.method(target).has_body() {
             return;
         }
-        let caller = self.ctxs.get(info.caller_ctx).clone();
+        let data = self.ctxs.get(info.caller_ctx);
+        let action = data.action;
         let elems = self
             .selector
-            .virtual_elems(&caller.elems, info.site, self.objs.get(recv));
-        let tctx = self.ctxs.intern(CtxData {
-            action: caller.action,
-            elems,
-        });
+            .virtual_elems(&data.elems, info.site, self.objs.get(recv))
+            .into_owned();
+        let tctx = self.ctxs.intern(CtxData { action, elems });
         self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, target, tctx);
         self.mark_reachable(target, tctx);
         let p0 = self.var(target, tctx, Local(0));
@@ -1351,10 +1507,14 @@ impl<'a> Solver<'a> {
         if !self.program.method(entry).has_body() {
             return;
         }
-        let caller = self.ctxs.get(info.caller_ctx).clone();
         let elems = self
             .selector
-            .virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+            .virtual_elems(
+                &self.ctxs.get(info.caller_ctx).elems,
+                info.site,
+                self.objs.get(recv),
+            )
+            .into_owned();
         let tctx = self.ctxs.intern(CtxData { action, elems });
         self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, entry, tctx);
         self.mark_reachable(entry, tctx);
@@ -1617,10 +1777,14 @@ impl<'a> Solver<'a> {
         if !self.program.method(entry).has_body() {
             return None;
         }
-        let caller = self.ctxs.get(info.caller_ctx).clone();
         let elems = self
             .selector
-            .virtual_elems(&caller.elems, info.site, self.objs.get(recv));
+            .virtual_elems(
+                &self.ctxs.get(info.caller_ctx).elems,
+                info.site,
+                self.objs.get(recv),
+            )
+            .into_owned();
         let tctx = self.ctxs.intern(CtxData { action, elems });
         self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, entry, tctx);
         self.mark_reachable(entry, tctx);

@@ -247,10 +247,9 @@ fn stores_nondefault(method: &Method, addr: StmtAddr, value: Operand) -> bool {
 /// load, the then/else edges whose target has the branch as its unique
 /// predecessor.
 fn guard_edges(program: &Program, method: &Method) -> Vec<GuardEdge> {
-    let preds = method.predecessors();
     let mut out = Vec::new();
     for edge in method.branch_edges() {
-        if preds[edge.to.index()].as_slice() != [edge.from] {
+        if method.preds(edge.to) != [edge.from] {
             continue;
         }
         let branch_addr = StmtAddr::new(

@@ -393,8 +393,7 @@ impl<'a> Refuter<'a> {
 
             // next < 0: cross to predecessors or handle method entry.
             let method = self.program.method(st.m);
-            let preds = method.predecessors();
-            let pred_list = &preds[st.block.index()];
+            let pred_list = method.preds(st.block);
             if !pred_list.is_empty() {
                 for &p in pred_list {
                     let count = st.visits.get(&(st.m, p)).copied().unwrap_or(0);
