@@ -101,6 +101,8 @@ pub struct FrameworkClasses {
     pub async_task: ClassId,
     /// `AsyncTask.execute()` — opaque concurrency op.
     pub async_task_execute: MethodId,
+    /// `AsyncTask.cancel(mayInterrupt)` — opaque window-closing op.
+    pub async_task_cancel: MethodId,
     /// `AsyncTask.onPreExecute()` — overridable callback (main thread).
     pub async_task_on_pre_execute: MethodId,
     /// `AsyncTask.doInBackground()` — overridable callback (bg thread).
@@ -384,6 +386,7 @@ impl FrameworkClasses {
         cb.set_super(object);
         let async_task = cb.build();
         let async_task_execute = pb.abstract_method(async_task, "execute", 1);
+        let async_task_cancel = pb.abstract_method(async_task, "cancel", 1);
         let async_task_on_pre_execute = pb.abstract_method(async_task, "onPreExecute", 1);
         let async_task_do_in_background = pb.abstract_method(async_task, "doInBackground", 1);
         let async_task_on_post_execute = pb.abstract_method(async_task, "onPostExecute", 1);
@@ -597,6 +600,7 @@ impl FrameworkClasses {
             handler_handle_message,
             async_task,
             async_task_execute,
+            async_task_cancel,
             async_task_on_pre_execute,
             async_task_do_in_background,
             async_task_on_post_execute,

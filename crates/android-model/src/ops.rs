@@ -17,6 +17,9 @@ pub enum FrameworkOp {
     /// `AsyncTask.execute()` — schedules `onPreExecute` (main),
     /// `doInBackground` (background), `onPostExecute` (main).
     AsyncTaskExecute,
+    /// `AsyncTask.cancel(mayInterrupt)` — quiesces the task's
+    /// `onPostExecute` delivery window.
+    AsyncTaskCancel,
     /// `Executor.execute(Runnable)` — runs the runnable on a pool thread.
     ExecutorExecute,
     /// `Handler.post(Runnable)` — posts to the handler's looper.
@@ -79,6 +82,7 @@ impl FrameworkOp {
         let op = match callee {
             m if m == fw.thread_start => ThreadStart,
             m if m == fw.async_task_execute => AsyncTaskExecute,
+            m if m == fw.async_task_cancel => AsyncTaskCancel,
             m if m == fw.executor_execute => ExecutorExecute,
             m if m == fw.handler_post => HandlerPost,
             m if m == fw.handler_post_delayed => HandlerPostDelayed,
@@ -180,6 +184,7 @@ mod tests {
         assert!(!FrameworkOp::FindViewById.creates_action());
         assert!(!FrameworkOp::SetListener(GuiEventKind::Click).creates_action());
         assert!(!FrameworkOp::UnregisterReceiver.creates_action());
+        assert!(!FrameworkOp::AsyncTaskCancel.creates_action());
     }
 
     #[test]

@@ -352,6 +352,76 @@ fn main() {
         (t_triage_on.as_secs_f64() / t_triage_off.as_secs_f64().max(1e-9) - 1.0) * 100.0
     );
 
+    // Message-history ablation: the protocol-idiom fixtures each plant
+    // one false positive that only the realizable-event-ordering check
+    // can discharge (dialog-dismiss, fragment-detach, task-cancel,
+    // pause-unregister) next to one true race it must not touch. The
+    // corpus-wide counters are deterministic and gated; the end-to-end
+    // timings show what the stage costs on the medium app.
+    group("histories_ablation");
+    let mut hist = sierra_core::HistoryStats::default();
+    let mut hist_missed = 0usize;
+    let mut hist_surviving_fps = 0usize;
+    for (fixture, proto_app, truth) in corpus::protocol_idioms::build_all() {
+        let result = Sierra::new().analyze_app(proto_app);
+        let h = &result.metrics.histories;
+        hist.components += h.components;
+        hist.pairs_checked += h.pairs_checked;
+        hist.product_edges += h.product_edges;
+        hist.discharged_unregistered += h.discharged_unregistered;
+        hist.discharged_destroy += h.discharged_destroy;
+        hist.discharged_pause += h.discharged_pause;
+        hist.dead_callbacks += h.dead_callbacks;
+        hist.infeasible_exported += h.infeasible_exported;
+        let p = &result.harness.app.program;
+        let mut groups: Vec<(String, String)> = result
+            .races
+            .iter()
+            .map(|r| {
+                let f = p.field(r.field);
+                (p.class_name(f.class).to_owned(), p.name(f.name).to_owned())
+            })
+            .collect();
+        groups.sort();
+        groups.dedup();
+        let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+        hist_missed += eval.missed;
+        hist_surviving_fps += eval.false_positives + eval.unplanted;
+        std::hint::black_box(fixture);
+    }
+    assert!(
+        hist_missed == 0 && hist_surviving_fps == 0,
+        "histories must discharge every planted FP and keep every true race \
+         ({hist_missed} missed, {hist_surviving_fps} surviving FPs)"
+    );
+    println!(
+        "histories over the protocol fixtures: {} pair(s) checked ({} product edges), \
+         {} discharged ({} unregistered, {} destroy-dominates, {} pause-quiesced), \
+         {} dead callback(s), {} infeasible edge(s) exported; 0 missed, 0 surviving FPs",
+        hist.pairs_checked,
+        hist.product_edges,
+        hist.discharged_total(),
+        hist.discharged_unregistered,
+        hist.discharged_destroy,
+        hist.discharged_pause,
+        hist.dead_callbacks,
+        hist.infeasible_exported,
+    );
+    let histories_run = |no_histories: bool| {
+        let cfg = SierraConfig::builder().no_histories(no_histories).build();
+        Sierra::with_config(cfg).analyze_app(app.clone())
+    };
+    let t_histories_on = time("pipeline_histories_on", 10, || {
+        histories_run(false).races.len()
+    });
+    let t_histories_off = time("pipeline_histories_off", 10, || {
+        histories_run(true).races.len()
+    });
+    println!(
+        "end-to-end with histories {t_histories_on:.3?} vs without {t_histories_off:.3?} ({:.1}% overhead)",
+        (t_histories_on.as_secs_f64() / t_histories_off.as_secs_f64().max(1e-9) - 1.0) * 100.0
+    );
+
     // Summary-store reuse: the edit-pair fixture's two versions differ by
     // one method body whose edit is a points-to no-op, so a warm run over
     // a store primed with the base version recomputes exactly one summary
@@ -540,6 +610,26 @@ fn main() {
                 ("triage_harm_scored_sites", num(harm_eval.scored)),
                 ("pipeline_triage_on_us", us(t_triage_on)),
                 ("pipeline_triage_off_us", us(t_triage_off)),
+            ]),
+        ),
+        (
+            "histories_ablation",
+            obj(vec![
+                ("hist_components", num(hist.components)),
+                ("hist_pairs_checked", num(hist.pairs_checked)),
+                ("hist_product_edges", num(hist.product_edges)),
+                (
+                    "hist_discharged_unregistered",
+                    num(hist.discharged_unregistered),
+                ),
+                ("hist_discharged_destroy", num(hist.discharged_destroy)),
+                ("hist_discharged_pause", num(hist.discharged_pause)),
+                ("hist_dead_callbacks", num(hist.dead_callbacks)),
+                ("hist_infeasible_exported", num(hist.infeasible_exported)),
+                ("hist_corpus_missed_races", num(hist_missed)),
+                ("hist_corpus_surviving_fps", num(hist_surviving_fps)),
+                ("pipeline_histories_on_us", us(t_histories_on)),
+                ("pipeline_histories_off_us", us(t_histories_off)),
             ]),
         ),
         (

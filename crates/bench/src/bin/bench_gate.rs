@@ -71,6 +71,15 @@ const GATED: &[&str] = &[
     "triage_value_inconsistency",
     "triage_likely_benign",
     "triage_dataflow_iterations",
+    // histories ablation (protocol-fixture counters; deterministic)
+    "hist_components",
+    "hist_pairs_checked",
+    "hist_product_edges",
+    "hist_discharged_unregistered",
+    "hist_discharged_destroy",
+    "hist_discharged_pause",
+    "hist_dead_callbacks",
+    "hist_infeasible_exported",
     // summary reuse (edit-pair fixture; warm run over a primed store)
     "cold_pointer_iterations",
     "warm_pointer_iterations",
@@ -159,6 +168,22 @@ fn run(current: &str, baseline: &str, slo_enabled: bool) -> Result<(), Vec<Strin
             violations.push(format!(
                 "triage_crash_precision_pct: {precision} is below the {CRASH_PRECISION_FLOOR_PCT}% floor on crash-capable labels"
             ));
+        }
+    }
+    // Structural invariants of the histories ablation: on the protocol
+    // fixtures the stage must discharge every planted false positive and
+    // keep every true race — both tallies are absolute zeros, not
+    // baseline-relative bands.
+    for (key, what) in [
+        ("hist_corpus_missed_races", "dropped a true race"),
+        ("hist_corpus_surviving_fps", "left a planted FP standing"),
+    ] {
+        if let Some(n) = counter(current, key) {
+            if n > 0.0 {
+                violations.push(format!(
+                    "{key}: {n} — the histories stage {what} on the protocol fixtures"
+                ));
+            }
         }
     }
     // Structural invariants of the summary-reuse group: a warm run over
@@ -266,6 +291,12 @@ mod tests {
         "propagations_collapse_on": 50,
         "propagations_collapse_off": 90
       },
+      "histories_ablation": {
+        "hist_pairs_checked": 6,
+        "hist_discharged_destroy": 1,
+        "hist_corpus_missed_races": 0,
+        "hist_corpus_surviving_fps": 0
+      },
       "summary_reuse": {
         "cold_pointer_iterations": 30,
         "warm_pointer_iterations": 0,
@@ -353,6 +384,31 @@ mod tests {
         let cold_store = BASE.replace("\"summaries_reused\": 6", "\"summaries_reused\": 0");
         let err = run(&cold_store, &cold_store, true).unwrap_err();
         assert!(err.iter().any(|v| v.contains("reused nothing")), "{err:?}");
+    }
+
+    #[test]
+    fn histories_soundness_zeros_are_enforced() {
+        // A nonzero tally fails even against a matching baseline: the
+        // zeros are absolute, not drift-banded.
+        let leaky = BASE.replace(
+            "\"hist_corpus_missed_races\": 0",
+            "\"hist_corpus_missed_races\": 1",
+        );
+        let err = run(&leaky, &leaky, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("dropped a true race")),
+            "{err:?}"
+        );
+
+        let lax = BASE.replace(
+            "\"hist_corpus_surviving_fps\": 0",
+            "\"hist_corpus_surviving_fps\": 2",
+        );
+        let err = run(&lax, &lax, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("left a planted FP standing")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -48,6 +48,14 @@ pub struct AppRow {
     pub triage_iters: usize,
     /// Stage time: harm triage.
     pub t_triage: Duration,
+    /// Pairs the message-history stage subjected to the product check.
+    pub hist_checked: usize,
+    /// Pairs the message-history stage discharged as unrealizable.
+    pub hist_discharged: usize,
+    /// Dead-callback CFG edges the history model exported to the refuter.
+    pub hist_infeasible: usize,
+    /// Stage time: message-history refutation.
+    pub t_histories: Duration,
     /// Ground-truth evaluation of EventRacer's reports.
     pub eventracer_eval: EvalCounts,
     /// Races EventRacer reported.
@@ -118,6 +126,10 @@ impl AppRow {
             triage_benign: m.triage.likely_benign,
             triage_iters: m.triage.dataflow_iterations,
             t_triage: m.timings.triage,
+            hist_checked: m.histories.pairs_checked,
+            hist_discharged: m.histories.discharged_total(),
+            hist_infeasible: m.histories.infeasible_exported,
+            t_histories: m.timings.histories,
             pa_worklist_iters: m.pointer.worklist_iterations,
             pa_collapsed_sccs: m.pointer.collapsed_sccs,
             pa_collapsed_nodes: m.pointer.collapsed_nodes,
@@ -416,12 +428,13 @@ pub fn table4(rows: &[AppRow]) -> String {
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<17} {:>10} {:>8} {:>11} {:>12} {:>10} {:>11} {:>11} {:>10} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7}\n",
+        "{:<17} {:>10} {:>8} {:>11} {:>12} {:>8} {:>10} {:>11} {:>11} {:>10} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8}\n",
         "App",
         "CG+PA(ms)",
         "HBG(ms)",
         "Prefilt(ms)",
         "Refute(ms)",
+        "Hist(ms)",
         "Triage(ms)",
         "Compare(ms)",
         "OvlSave(ms)",
@@ -434,7 +447,10 @@ pub fn table4(rows: &[AppRow]) -> String {
         "Paths",
         "Pruned",
         "Infeas",
-        "DFiters"
+        "DFiters",
+        "HistChk",
+        "HistDis",
+        "HistInf"
     ));
     for r in rows {
         if let Some(err) = &r.error {
@@ -442,12 +458,13 @@ pub fn table4(rows: &[AppRow]) -> String {
             continue;
         }
         out.push_str(&format!(
-            "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>11.2} {:>11.2} {:>10.2} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7}\n",
+            "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>8.2} {:>10.2} {:>11.2} {:>11.2} {:>10.2} {:>8} {:>5} {:>7} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7} {:>8}\n",
             r.name,
             ms(r.t_cg_pa),
             ms(r.t_hbg),
             ms(r.t_prefilter),
             ms(r.t_refutation),
+            ms(r.t_histories),
             ms(r.t_triage),
             ms(r.t_compare),
             ms(r.overlap_saved),
@@ -461,6 +478,9 @@ pub fn table4(rows: &[AppRow]) -> String {
             r.pruned_pairs,
             r.infeasible_edges,
             r.triage_iters,
+            r.hist_checked,
+            r.hist_discharged,
+            r.hist_infeasible,
         ));
     }
     let ok = ok_rows(rows);
@@ -468,12 +488,13 @@ pub fn table4(rows: &[AppRow]) -> String {
         median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
     };
     out.push_str(&format!(
-        "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>10.2} {:>11.2} {:>11.2} {:>10.2} {:>8.0} {:>5.0} {:>7.0} {:>8.0} {:>8.0} {:>6.0} {:>6.0} {:>6.0} {:>7.0}\n",
+        "{:<17} {:>10.2} {:>8.2} {:>11.2} {:>12.2} {:>8.2} {:>10.2} {:>11.2} {:>11.2} {:>10.2} {:>8.0} {:>5.0} {:>7.0} {:>8.0} {:>8.0} {:>6.0} {:>6.0} {:>6.0} {:>7.0} {:>7.0} {:>7.0} {:>8.0}\n",
         "MEDIAN",
         med(&|r| ms(r.t_cg_pa)),
         med(&|r| ms(r.t_hbg)),
         med(&|r| ms(r.t_prefilter)),
         med(&|r| ms(r.t_refutation)),
+        med(&|r| ms(r.t_histories)),
         med(&|r| ms(r.t_triage)),
         med(&|r| ms(r.t_compare)),
         med(&|r| ms(r.overlap_saved)),
@@ -487,6 +508,9 @@ pub fn table4(rows: &[AppRow]) -> String {
         med(&|r| r.pruned_pairs as f64),
         med(&|r| r.infeasible_edges as f64),
         med(&|r| r.triage_iters as f64),
+        med(&|r| r.hist_checked as f64),
+        med(&|r| r.hist_discharged as f64),
+        med(&|r| r.hist_infeasible as f64),
     ));
     out
 }
@@ -608,6 +632,8 @@ mod tests {
         assert!(t4.contains("Prefilt(ms)") && t4.contains("Pruned") && t4.contains("Infeas"));
         assert!(t4.contains("Compare(ms)") && t4.contains("OvlSave(ms)"));
         assert!(t4.contains("SCCs") && t4.contains("CollNod"));
+        assert!(t4.contains("Hist(ms)") && t4.contains("HistChk"));
+        assert!(t4.contains("HistDis") && t4.contains("HistInf"));
         let t5 = table5(std::slice::from_ref(&row));
         assert!(t5.contains("medians"));
         let cmp = comparison_summary(std::slice::from_ref(&row));

@@ -17,6 +17,9 @@
 //!                       (default topo-lrf)
 //! --no-overlap-compare  run the comparison pass serially instead of
 //!                       overlapped with refutation
+//! --no-histories        disable the message-history refutation stage
+//!                       (ablation; reproduces the pre-stage pipeline
+//!                       byte-for-byte)
 //! --no-triage           disable the post-refutation harm-triage stage
 //!                       (reports then carry no harm annotation)
 //! --min-harm <LEVEL>    drop reports triaged below LEVEL: benign |
@@ -24,6 +27,9 @@
 //! --cache-dir <PATH>    persist per-method summaries to PATH (the
 //!                       `serve` subcommand's warm store; created if
 //!                       absent)
+//! --cache-max-mb <N>    cap the on-disk summary store at N megabytes,
+//!                       evicting oldest entries first (requires
+//!                       --cache-dir; 0 or absent = unbounded)
 //! --no-shared-intern    give every app/request its own private string
 //!                       interner instead of the process-wide shared
 //!                       symbol arena (ablation; reports are identical
@@ -43,6 +49,8 @@ pub struct CommonFlags {
     pub jobs: usize,
     /// `--cache-dir PATH`: on-disk summary store directory, if any.
     pub cache_dir: Option<String>,
+    /// `--cache-max-mb N`: on-disk store size cap in megabytes.
+    pub cache_max_mb: Option<u64>,
     /// Intern names into one process-wide [`apir::SymbolArena`] shared
     /// across apps/requests (`true` unless `--no-shared-intern`).
     pub shared_intern: bool,
@@ -55,6 +63,7 @@ impl Default for CommonFlags {
         Self {
             jobs: 0,
             cache_dir: None,
+            cache_max_mb: None,
             shared_intern: true,
             config: SierraConfig::default(),
         }
@@ -64,14 +73,22 @@ impl Default for CommonFlags {
 impl CommonFlags {
     /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`,
     /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`,
-    /// `--no-overlap-compare`, `--no-triage`, `--min-harm`,
-    /// `--cache-dir`, and `--no-shared-intern` from `args`, removing
+    /// `--no-overlap-compare`, `--no-histories`, `--no-triage`,
+    /// `--min-harm`, `--cache-dir`, `--cache-max-mb`, and
+    /// `--no-shared-intern` from `args`, removing
     /// each recognized flag (and its value, if any). Unknown flags and
     /// positionals are untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
         let mut builder = SierraConfig::builder();
         let mut jobs = 0usize;
         let cache_dir = take_flag(args, "--cache-dir")?;
+        let cache_max_mb = match take_flag(args, "--cache-max-mb")? {
+            Some(v) => Some(
+                v.parse::<u64>()
+                    .map_err(|_| format!("invalid --cache-max-mb {v:?}: expected megabytes"))?,
+            ),
+            None => None,
+        };
         let shared_intern = !take_switch(args, "--no-shared-intern");
         if let Some(spec) = take_flag(args, "--context")? {
             let selector = spec
@@ -109,6 +126,9 @@ impl CommonFlags {
         if take_switch(args, "--no-overlap-compare") {
             builder = builder.overlap_compare(false);
         }
+        if take_switch(args, "--no-histories") {
+            builder = builder.no_histories(true);
+        }
         if take_switch(args, "--no-triage") {
             builder = builder.no_triage(true);
         }
@@ -119,6 +139,7 @@ impl CommonFlags {
         Ok(Self {
             jobs,
             cache_dir,
+            cache_max_mb,
             shared_intern,
             config: builder.build(),
         })
@@ -279,6 +300,33 @@ mod tests {
         assert_eq!(flags.cache_dir, None);
 
         assert!(CommonFlags::parse(&mut argv(&["serve", "--cache-dir"])).is_err());
+    }
+
+    #[test]
+    fn histories_switch_is_consumed() {
+        let mut args = argv(&["analyze", "fig1", "--no-histories"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(flags.config.no_histories);
+        assert_eq!(args, argv(&["analyze", "fig1"]));
+
+        let mut args = argv(&["analyze", "fig1"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(!flags.config.no_histories);
+    }
+
+    #[test]
+    fn cache_max_mb_flag_is_consumed() {
+        let mut args = argv(&["serve", "--cache-dir", "/tmp/c", "--cache-max-mb", "64"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(flags.cache_max_mb, Some(64));
+        assert_eq!(args, argv(&["serve"]));
+
+        let mut args = argv(&["serve"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(flags.cache_max_mb, None);
+
+        assert!(CommonFlags::parse(&mut argv(&["x", "--cache-max-mb", "big"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--cache-max-mb"])).is_err());
     }
 
     #[test]

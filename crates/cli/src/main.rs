@@ -23,10 +23,12 @@
 //! --no-cycle-collapse  disable online cycle collapse in the pointer solver
 //! --worklist <POLICY>  pointer solver worklist: topo-lrf | fifo
 //! --no-overlap-compare run the comparison pass serially, not overlapped
+//! --no-histories       disable the message-history refutation stage
 //! --no-triage          disable post-refutation harm triage
 //! --min-harm <LEVEL>   drop reports below LEVEL: benign | value |
 //!                      use-before-init | null-deref
 //! --cache-dir <PATH>   persist per-method summaries across runs
+//! --cache-max-mb <N>   cap the on-disk summary store, evicting oldest first
 //! --no-shared-intern   private per-app interners instead of the shared
 //!                      symbol arena (ablation)
 //! ```
@@ -39,8 +41,8 @@ use sierra_core::Sierra;
 const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>|serve [--socket PATH]>\n\
                      shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter\n\
                      \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare\n\
-                     \x20             --no-triage --min-harm <benign|value|use-before-init|null-deref>\n\
-                     \x20             --cache-dir <PATH> --no-shared-intern";
+                     \x20             --no-histories --no-triage --min-harm <benign|value|use-before-init|null-deref>\n\
+                     \x20             --cache-dir <PATH> --cache-max-mb <N> --no-shared-intern";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();

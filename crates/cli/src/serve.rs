@@ -70,12 +70,20 @@ enum ParsedLine {
 }
 
 /// Opens the summary store the server sessions share: on-disk under
-/// `cache_dir` when given (created if absent), in-memory otherwise.
-pub fn open_store(cache_dir: Option<&str>) -> Result<Arc<dyn SummaryStore>, String> {
+/// `cache_dir` when given (created if absent; capped at `max_mb`
+/// megabytes with oldest-first eviction when given), in-memory
+/// otherwise.
+pub fn open_store(
+    cache_dir: Option<&str>,
+    max_mb: Option<u64>,
+) -> Result<Arc<dyn SummaryStore>, String> {
     match cache_dir {
         Some(dir) => {
-            let store =
-                DiskStore::new(dir).map_err(|e| format!("cannot open cache dir {dir:?}: {e}"))?;
+            let store = match max_mb {
+                Some(mb) => DiskStore::with_max_bytes(dir, mb * 1024 * 1024),
+                None => DiskStore::new(dir),
+            }
+            .map_err(|e| format!("cannot open cache dir {dir:?}: {e}"))?;
             Ok(Arc::new(store))
         }
         None => Ok(Arc::new(MemoryStore::new())),
@@ -84,7 +92,7 @@ pub fn open_store(cache_dir: Option<&str>) -> Result<Arc<dyn SummaryStore>, Stri
 
 /// Runs the server until a `shutdown` request (or end of input).
 pub fn run(flags: &CommonFlags, socket: Option<String>) -> Result<(), String> {
-    let store = open_store(flags.cache_dir.as_deref())?;
+    let store = open_store(flags.cache_dir.as_deref(), flags.cache_max_mb)?;
     // One arena for the whole server lifetime: requests intern into it
     // concurrently and it only grows (append-only), so a long-lived
     // server stops allocating name strings once the vocabulary is warm.

@@ -66,7 +66,10 @@ fn race_reports_are_deterministically_ordered() {
         format!("{r}")
             .lines()
             .filter(|l| {
-                !l.starts_with("stages:") && !l.starts_with("refuter:") && !l.starts_with("triage:")
+                !l.starts_with("stages:")
+                    && !l.starts_with("refuter:")
+                    && !l.starts_with("histories:")
+                    && !l.starts_with("triage:")
             })
             .collect::<Vec<_>>()
             .join("\n")

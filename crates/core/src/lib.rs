@@ -41,6 +41,7 @@ mod session;
 mod summary;
 
 pub use engine::{run_jobs, EngineError};
+pub use histories::{HistoryPattern, HistoryStats};
 pub use json::Json;
 pub use link::{LinkStats, LinkedSummaries};
 pub use pipeline::{

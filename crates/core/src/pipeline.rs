@@ -14,6 +14,7 @@ use crate::report::RaceReport;
 use crate::session::{AnalysisSession, Stage};
 use android_model::AndroidApp;
 use harness_gen::HarnessResult;
+use histories::HistoryStats;
 use pointer::{Analysis, AnalysisOptions, SelectorKind, SolverStats, WorklistPolicy};
 use prefilter::{PrefilterStats, PrunedPair};
 use shbg::{Shbg, ShbgStats};
@@ -58,6 +59,11 @@ pub struct SierraConfig {
     /// ablation). Race reports then carry no harm annotation and every
     /// output is byte-identical to the pre-triage pipeline.
     pub no_triage: bool,
+    /// Disable the message-history refutation stage (the
+    /// `--no-histories` ablation), restoring the `refute → triage`
+    /// pipeline byte-identically. The stage is also skipped under
+    /// `skip_refutation`, whose ablations count raw pairs.
+    pub no_histories: bool,
     /// Drop reports classified below this harm level (`--min-harm`).
     /// `None` keeps everything. Ignored under `no_triage`, which never
     /// classifies.
@@ -76,6 +82,7 @@ impl Default for SierraConfig {
             pointer_options: AnalysisOptions::default(),
             overlap_compare: true,
             no_triage: false,
+            no_histories: false,
             min_harm: None,
         }
     }
@@ -169,6 +176,12 @@ impl SierraConfigBuilder {
         self
     }
 
+    /// Disables (or re-enables) the message-history refutation stage.
+    pub fn no_histories(mut self, yes: bool) -> Self {
+        self.cfg.no_histories = yes;
+        self
+    }
+
     /// Drops reports triaged below `level` (no-op under `no_triage`).
     pub fn min_harm(mut self, level: triage::Harm) -> Self {
         self.cfg.min_harm = Some(level);
@@ -194,6 +207,8 @@ pub struct StageTimings {
     pub prefilter: Duration,
     /// Symbolic-execution refutation.
     pub refutation: Duration,
+    /// Message-history refutation (automaton build + product checks).
+    pub histories: Duration,
     /// Post-refutation harm triage.
     pub triage: Duration,
     /// The comparison pass (`racy pairs w/o AS`), whether it ran
@@ -219,6 +234,9 @@ pub struct StageMetrics {
     pub prefilter: PrefilterStats,
     /// Refutation counters.
     pub refuter: RefuterStats,
+    /// Message-history refutation counters (all zero under
+    /// `no_histories` or `skip_refutation`).
+    pub histories: HistoryStats,
     /// Harm-triage counters (all zero under `no_triage`).
     pub triage: triage::TriageStats,
     /// Worker threads the refutation stage actually used (`0` when the
@@ -264,6 +282,9 @@ pub struct SierraResult {
     pub races: Vec<RaceReport>,
     /// Whether the harm-triage stage ran (false under `no_triage`).
     pub triage_ran: bool,
+    /// Whether the message-history stage ran (false under
+    /// `no_histories` or `skip_refutation`).
+    pub histories_ran: bool,
     /// Candidate pairs the prefilter removed before refutation, each
     /// with its machine-checkable reason (empty under `no_prefilter`).
     pub pruned: Vec<PrunedPair>,

@@ -37,6 +37,8 @@ pub struct Report {
     pub pruned_lines: Vec<(String, String)>,
     /// Whether the harm-triage stage ran.
     pub triage_ran: bool,
+    /// Whether the message-history refutation stage ran.
+    pub histories_ran: bool,
     /// Per-stage timings and counters.
     pub metrics: StageMetrics,
 }
@@ -75,6 +77,7 @@ impl Report {
                 })
                 .collect(),
             triage_ran: result.triage_ran,
+            histories_ran: result.histories_ran,
             metrics: result.metrics,
         }
     }
@@ -194,6 +197,30 @@ impl Report {
             rf.cache_hits,
             self.metrics.refute_jobs_used
         );
+        // Only emitted when the stage ran, so `--no-histories` output
+        // stays byte-identical to the histories-free pipeline.
+        if self.histories_ran {
+            let hs = &self.metrics.histories;
+            let _ = write!(
+                out,
+                "histories: {} of {} pair(s) discharged (unregistered {}, destroy {}, pause {}), {} automaton states / {} edges over {} component(s), {} product edges, {} dead callback(s), {} infeasible edges exported",
+                hs.discharged_total(),
+                hs.pairs_checked,
+                hs.discharged_unregistered,
+                hs.discharged_destroy,
+                hs.discharged_pause,
+                hs.automaton_states,
+                hs.automaton_edges,
+                hs.components,
+                hs.product_edges,
+                hs.dead_callbacks,
+                hs.infeasible_exported,
+            );
+            if with_timings {
+                let _ = write!(out, ", {:.2} ms", ms(self.metrics.timings.histories));
+            }
+            out.push('\n');
+        }
         // Only emitted when the stage ran, so `--no-triage` output stays
         // byte-identical to the pre-triage pipeline.
         if self.triage_ran {
@@ -236,6 +263,7 @@ impl Report {
         let hb = &self.metrics.shbg;
         let pf = &self.metrics.prefilter;
         let rf = &self.metrics.refuter;
+        let hs = &self.metrics.histories;
         let tg = &self.metrics.triage;
         let link = &self.metrics.link;
         obj(vec![
@@ -266,6 +294,7 @@ impl Report {
                 ),
             ),
             ("triage_ran", Json::Bool(self.triage_ran)),
+            ("histories_ran", Json::Bool(self.histories_ran)),
             (
                 "pointer",
                 obj(vec![
@@ -308,6 +337,21 @@ impl Report {
                 ]),
             ),
             (
+                "histories",
+                obj(vec![
+                    ("automaton_states", num(hs.automaton_states)),
+                    ("automaton_edges", num(hs.automaton_edges)),
+                    ("components", num(hs.components)),
+                    ("pairs_checked", num(hs.pairs_checked)),
+                    ("product_edges", num(hs.product_edges)),
+                    ("discharged_unregistered", num(hs.discharged_unregistered)),
+                    ("discharged_destroy", num(hs.discharged_destroy)),
+                    ("discharged_pause", num(hs.discharged_pause)),
+                    ("dead_callbacks", num(hs.dead_callbacks)),
+                    ("infeasible_exported", num(hs.infeasible_exported)),
+                ]),
+            ),
+            (
                 "triage",
                 obj(vec![
                     ("classified", num(tg.classified)),
@@ -334,6 +378,7 @@ impl Report {
                     ("hbg", Json::Num(ms(t.hbg))),
                     ("prefilter", Json::Num(ms(t.prefilter))),
                     ("refutation", Json::Num(ms(t.refutation))),
+                    ("histories", Json::Num(ms(t.histories))),
                     ("triage", Json::Num(ms(t.triage))),
                     ("compare", Json::Num(ms(t.compare))),
                     ("total", Json::Num(ms(t.total))),

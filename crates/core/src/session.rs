@@ -4,7 +4,8 @@
 //! stages, each computed once on first request and cached:
 //!
 //! ```text
-//! harness() → pointer() → shbg() → candidates() → prefilter() → refute() → finish()
+//! harness() → pointer() → shbg() → candidates() → prefilter() →
+//! refute() → histories() → triage() → finish()
 //! ```
 //!
 //! Calling a later stage forces the earlier ones, so `finish()` alone
@@ -40,10 +41,11 @@ use crate::summary::{
 use android_model::AndroidApp;
 use apir::{FieldId, InfeasibleEdges, Program};
 use harness_gen::HarnessResult;
+use histories::HistoryModel;
 use pointer::{collect_accesses_from_sites, Access, Analysis, SelectorKind};
-use prefilter::PrunedPair;
+use prefilter::{PrunedPair, Verdict};
 use shbg::Shbg;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use symexec::{Outcome, Refuter, RefuterConfig, RefuterStats};
@@ -66,6 +68,8 @@ pub enum Stage {
     Prefilter,
     /// Symbolic refutation (§5).
     Refute,
+    /// Message-history refutation.
+    Histories,
     /// Harm triage.
     Triage,
     /// The comparison pass without action sensitivity.
@@ -82,6 +86,7 @@ impl std::fmt::Display for Stage {
             Stage::Candidates => "candidates",
             Stage::Prefilter => "prefilter",
             Stage::Refute => "refute",
+            Stage::Histories => "histories",
             Stage::Triage => "triage",
             Stage::Compare => "compare",
         };
@@ -262,6 +267,9 @@ impl SessionBuilder {
             candidates: None,
             prefilter: None,
             races: None,
+            histories_model: None,
+            history_pruned: Vec::new(),
+            histories_done: false,
             triaged: false,
         })
     }
@@ -285,6 +293,9 @@ pub struct AnalysisSession {
     candidates: Option<Vec<(Access, Access)>>,
     prefilter: Option<PrefilterOutcome>,
     races: Option<Vec<RaceReport>>,
+    histories_model: Option<Arc<HistoryModel>>,
+    history_pruned: Vec<PrunedPair>,
+    histories_done: bool,
     triaged: bool,
 }
 
@@ -359,6 +370,8 @@ impl AnalysisSession {
             let program = &harness.app.program;
             let structural_fp = structural_fingerprint(program);
             let config_fp = config_fingerprint(self.config.selector, self.config.pointer_options);
+            let (corrupt_before, evicted_before) =
+                (self.store.corrupt_misses(), self.store.evictions());
             let (methods, reused, recomputed) = load_or_summarize(
                 program,
                 &harness.app.framework,
@@ -374,6 +387,8 @@ impl AnalysisSession {
             };
             self.metrics.link.summaries_reused = reused;
             self.metrics.link.summaries_recomputed = recomputed;
+            self.metrics.link.corrupt_misses = self.store.corrupt_misses() - corrupt_before;
+            self.metrics.link.evictions = self.store.evictions() - evicted_before;
             self.metrics.last_stage = Some(Stage::Link);
 
             let analysis_key = linked.analysis_key();
@@ -494,15 +509,73 @@ impl AnalysisSession {
         Ok(self.prefilter.as_ref().expect("just prefiltered"))
     }
 
+    /// Whether the message-history stage participates in this run.
+    fn histories_enabled(&self) -> bool {
+        !self.config.no_histories && !self.config.skip_refutation
+    }
+
+    /// Builds (once) the message-history model: the lifecycle automaton
+    /// plus per-action occurrence sets. Forced by [`Self::refute`] when
+    /// the stage is enabled (the refuter consumes its dead-callback
+    /// edges) and by [`Self::histories`].
+    fn history_model(&mut self) -> Result<Arc<HistoryModel>, SessionError> {
+        if self.histories_model.is_none() {
+            self.pointer()?;
+            let harness = self.harness.as_ref().expect("stage 1 ran");
+            let analysis = self.analysis.as_ref().expect("stage 2 ran");
+            let t = Instant::now();
+            let model = Arc::new(HistoryModel::build(
+                &harness.app.program,
+                &harness.app.framework,
+                analysis,
+            ));
+            self.metrics.histories = model.stats();
+            self.metrics.timings.histories = t.elapsed();
+            self.histories_model = Some(model);
+        }
+        Ok(Arc::clone(
+            self.histories_model.as_ref().expect("just built"),
+        ))
+    }
+
     /// Stage 6: refutation (§5) + prioritization (§3.1). With
     /// `skip_refutation` every candidate survives.
     pub fn refute(&mut self) -> Result<&[RaceReport], SessionError> {
         if self.races.is_none() {
             self.prefilter()?;
+            // When the histories stage is on, its dead-callback CFG
+            // edges join the prefilter's statically-infeasible edges in
+            // the refuter's shared prefilter channel — except for
+            // methods holding a surviving pair's accesses, which stage
+            // 8 must judge itself (a machine-checkable History verdict
+            // beats a silent symbolic refutation of the same pair).
+            let model = if self.histories_enabled() {
+                Some(self.history_model()?)
+            } else {
+                None
+            };
             let harness = self.harness.as_ref().expect("stage 1 ran");
             let analysis = self.analysis.as_ref().expect("stage 2 ran");
             let prefilter = self.prefilter.as_ref().expect("stage 5 ran");
             let candidates = &prefilter.kept;
+            let infeasible = match &model {
+                Some(model) if !model.dead_edges().is_empty() => {
+                    let kept_methods: HashSet<apir::MethodId> = candidates
+                        .iter()
+                        .flat_map(|(a, b)| [a.method, b.method])
+                        .collect();
+                    let mut merged = (*prefilter.infeasible).clone();
+                    let mut exported = 0usize;
+                    for (m, from, to) in model.dead_edges().iter_sorted() {
+                        if !kept_methods.contains(&m) && merged.insert(m, from, to) {
+                            exported += 1;
+                        }
+                    }
+                    self.metrics.histories.infeasible_exported = exported;
+                    Arc::new(merged)
+                }
+                _ => Arc::clone(&prefilter.infeasible),
+            };
             let t = Instant::now();
             let program = &harness.app.program;
             let (outcomes, refuter_stats, jobs_used) = if self.config.skip_refutation {
@@ -519,7 +592,7 @@ impl AnalysisSession {
                     self.config.refuter,
                     self.config.refute_jobs,
                     candidates,
-                    Some(Arc::clone(&prefilter.infeasible)),
+                    Some(infeasible),
                 );
                 (run.outcomes, run.stats, run.jobs_used)
             };
@@ -551,13 +624,72 @@ impl AnalysisSession {
         Ok(self.races.as_ref().expect("just refuted"))
     }
 
-    /// Stage 7: harm triage — classifies every surviving race with a
+    /// Stage 7: message-history refutation. Checks each surviving pair's
+    /// two callbacks for joint reachability under a realizable event
+    /// history of the lifecycle automaton; unrealizable pairs move from
+    /// the race list into the pruned list with a machine-checkable
+    /// [`Verdict::History`]. A no-op under `no_histories` or
+    /// `skip_refutation`.
+    pub fn histories(&mut self) -> Result<&[RaceReport], SessionError> {
+        self.refute()?;
+        if !self.histories_done {
+            self.histories_done = true;
+            if self.histories_enabled() {
+                let model = self.history_model()?;
+                let t = Instant::now();
+                let races = self.races.as_mut().expect("stage 6 ran");
+                let mut kept = Vec::with_capacity(races.len());
+                let mut pruned = Vec::new();
+                let mut pairs_checked = 0usize;
+                let mut product_edges = 0usize;
+                let (mut unregistered, mut destroy, mut pause) = (0usize, 0usize, 0usize);
+                for race in std::mem::take(races) {
+                    let check = model.check_pair(race.a.action, race.b.action);
+                    if check.checked {
+                        pairs_checked += 1;
+                        product_edges += check.product_edges;
+                    }
+                    match check.refuted {
+                        Some((pattern, action)) => {
+                            match pattern {
+                                histories::HistoryPattern::UnregisteredBeforePosted => {
+                                    unregistered += 1
+                                }
+                                histories::HistoryPattern::DestroyDominates => destroy += 1,
+                                histories::HistoryPattern::PauseQuiesced => pause += 1,
+                            }
+                            pruned.push(PrunedPair {
+                                a: race.a,
+                                b: race.b,
+                                verdict: Verdict::History { pattern, action },
+                            });
+                        }
+                        None => kept.push(race),
+                    }
+                }
+                *races = kept;
+                self.history_pruned = pruned;
+                self.metrics.histories.pairs_checked = pairs_checked;
+                self.metrics.histories.product_edges = product_edges;
+                self.metrics.histories.discharged_unregistered = unregistered;
+                self.metrics.histories.discharged_destroy = destroy;
+                self.metrics.histories.discharged_pause = pause;
+                self.metrics.timings.histories += t.elapsed();
+                self.metrics.histories.histories_ns =
+                    self.metrics.timings.histories.as_nanos() as u64;
+                self.metrics.last_stage = Some(Stage::Histories);
+            }
+        }
+        Ok(self.races.as_ref().expect("stage 6 ran"))
+    }
+
+    /// Stage 8: harm triage — classifies every surviving race with a
     /// [`triage::Harm`] verdict (nullness/taint dataflow on the read
     /// side, constant comparison on write/write pairs) and drops reports
     /// below `min_harm`. A no-op under `no_triage`, leaving every report
     /// annotation-free.
     pub fn triage(&mut self) -> Result<&[RaceReport], SessionError> {
-        self.refute()?;
+        self.histories()?;
         if !self.triaged {
             self.triaged = true;
             if !self.config.no_triage {
@@ -670,7 +802,10 @@ impl AnalysisSession {
         let graph = self.shbg.expect("stages ran");
         let races = self.races.expect("stages ran");
         let candidates = self.candidates.expect("stages ran");
-        let pruned = self.prefilter.expect("stages ran").pruned;
+        let mut pruned = self.prefilter.expect("stages ran").pruned;
+        // History-pruned pairs follow the prefilter's, preserving each
+        // stage's own candidate order.
+        pruned.extend(self.history_pruned);
 
         // Theoretical maximum of ordered pairs: the paper's `N·(N−1)/2`
         // over all of the app's actions (cross-harness pairs included in
@@ -691,6 +826,7 @@ impl AnalysisSession {
             racy_pairs_with_as: candidates.len(),
             races,
             triage_ran: !self.config.no_triage,
+            histories_ran: !self.config.no_histories && !self.config.skip_refutation,
             pruned,
             metrics,
             analysis,

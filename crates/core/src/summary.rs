@@ -54,8 +54,9 @@ use pointer::{
 };
 use prefilter::constprop::{self, ConstFacts};
 use shbg::CallDominance;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Every per-method fact the pipeline's stages need, cached by content
@@ -180,6 +181,18 @@ pub trait SummaryStore: Send + Sync + std::fmt::Debug {
 
     /// Caches a points-to `Analysis` artifact.
     fn put_analysis(&self, _key: u64, _analysis: Arc<Analysis>) {}
+
+    /// Lifetime count of lookups that found an entry but could not use
+    /// it (torn, truncated, or version-mismatched on-disk files).
+    /// Backends without durable storage cannot corrupt and return 0.
+    fn corrupt_misses(&self) -> usize {
+        0
+    }
+
+    /// Lifetime count of entries evicted to enforce a size cap.
+    fn evictions(&self) -> usize {
+        0
+    }
 }
 
 /// An in-memory [`SummaryStore`] — the default backend, also used by the
@@ -230,11 +243,18 @@ impl SummaryStore for MemoryStore {
 /// processes (the `--cache-dir` backend). `Analysis` artifacts stay
 /// in-memory (their interned tables are not serialized). Unreadable or
 /// version-mismatched files are treated as misses — a corrupt cache can
-/// cost recomputation, never correctness.
+/// cost recomputation, never correctness — but each corrupt file is
+/// counted (surfacing in [`crate::LinkStats`]) and its path logged once.
+/// With a size cap ([`Self::with_max_bytes`], the `--cache-max-mb`
+/// flag), every write may evict the oldest entries until the cap holds.
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
     analyses: Mutex<HashMap<u64, Arc<Analysis>>>,
+    max_bytes: Option<u64>,
+    corrupt: AtomicUsize,
+    evicted: AtomicUsize,
+    logged: Mutex<HashSet<PathBuf>>,
 }
 
 /// Version header of the on-disk summary format; bump on layout change
@@ -242,25 +262,90 @@ pub struct DiskStore {
 const DISK_FORMAT: &str = "sierra-summary v1";
 
 impl DiskStore {
-    /// Opens (creating if needed) a store rooted at `dir`.
+    /// Opens (creating if needed) an unbounded store rooted at `dir`.
     pub fn new(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(Self {
             dir,
             analyses: Mutex::new(HashMap::new()),
+            max_bytes: None,
+            corrupt: AtomicUsize::new(0),
+            evicted: AtomicUsize::new(0),
+            logged: Mutex::new(HashSet::new()),
         })
+    }
+
+    /// Opens a store capped at `max_bytes` of summary files; each write
+    /// evicts oldest-first (modification time, then file name as the
+    /// tiebreak) until the total size fits. `0` caps the store to
+    /// nothing but stays correct: entries are written, then immediately
+    /// reclaimed.
+    pub fn with_max_bytes(dir: impl Into<PathBuf>, max_bytes: u64) -> std::io::Result<Self> {
+        let mut store = Self::new(dir)?;
+        store.max_bytes = Some(max_bytes);
+        Ok(store)
     }
 
     fn path(&self, key: u64) -> PathBuf {
         self.dir.join(format!("{key:016x}.sum"))
     }
+
+    /// Records a corrupt file and logs its path the first time.
+    fn note_corrupt(&self, path: &std::path::Path) {
+        self.corrupt.fetch_add(1, Ordering::Relaxed);
+        let mut logged = self.logged.lock().expect("store lock");
+        if logged.insert(path.to_path_buf()) {
+            eprintln!(
+                "sierra: summary cache entry {} is corrupt; recomputing (entry will be rewritten)",
+                path.display()
+            );
+        }
+    }
+
+    /// Deletes oldest `.sum` files until the store fits its cap.
+    fn enforce_cap(&self) {
+        let Some(max) = self.max_bytes else { return };
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "sum"))
+            .filter_map(|e| {
+                let md = e.metadata().ok()?;
+                let mtime = md.modified().ok()?;
+                Some((mtime, e.path(), md.len()))
+            })
+            .collect();
+        let mut total: u64 = files.iter().map(|&(_, _, len)| len).sum();
+        if total <= max {
+            return;
+        }
+        files.sort();
+        for (_, path, len) in files {
+            if total <= max {
+                break;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
 }
 
 impl SummaryStore for DiskStore {
     fn get(&self, key: u64) -> Option<Arc<MethodSummary>> {
-        let text = std::fs::read_to_string(self.path(key)).ok()?;
-        parse_summary(&text).map(Arc::new)
+        let path = self.path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        match parse_summary(&text) {
+            Some(s) => Some(Arc::new(s)),
+            None => {
+                self.note_corrupt(&path);
+                None
+            }
+        }
     }
 
     fn put(&self, key: u64, summary: Arc<MethodSummary>) {
@@ -270,6 +355,7 @@ impl SummaryStore for DiskStore {
         if std::fs::write(&tmp, render_summary(&summary)).is_ok() {
             let _ = std::fs::rename(&tmp, &path);
         }
+        self.enforce_cap();
     }
 
     fn get_analysis(&self, key: u64) -> Option<Arc<Analysis>> {
@@ -281,6 +367,14 @@ impl SummaryStore for DiskStore {
             .lock()
             .expect("store lock")
             .insert(key, analysis);
+    }
+
+    fn corrupt_misses(&self) -> usize {
+        self.corrupt.load(Ordering::Relaxed)
+    }
+
+    fn evictions(&self) -> usize {
+        self.evicted.load(Ordering::Relaxed)
     }
 }
 
@@ -465,6 +559,67 @@ mod tests {
         store.put(42, Arc::clone(&s));
         assert_eq!(store.get(42).as_deref(), Some(&*s));
         assert!(store.get(43).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_counts_corrupt_entries_as_misses() {
+        let dir = std::env::temp_dir().join(format!("sierra-corrupt-test-{}", std::process::id()));
+        let store = DiskStore::new(&dir).expect("store dir");
+        let s = Arc::new(sample_summary());
+        store.put(7, Arc::clone(&s));
+
+        // Absent keys are plain misses, not corruption.
+        assert!(store.get(99).is_none());
+        assert_eq!(store.corrupt_misses(), 0);
+
+        // Truncate the entry mid-file: the lookup misses, the counter
+        // moves, and a re-put repairs the entry.
+        std::fs::write(
+            dir.join(format!("{:016x}.sum", 7u64)),
+            "sierra-summary v1\ndig",
+        )
+        .expect("truncate");
+        assert!(store.get(7).is_none());
+        assert_eq!(store.corrupt_misses(), 1);
+        assert!(store.get(7).is_none(), "still corrupt until rewritten");
+        assert_eq!(store.corrupt_misses(), 2, "every corrupt hit counts");
+        store.put(7, Arc::clone(&s));
+        assert_eq!(store.get(7).as_deref(), Some(&*s));
+        assert_eq!(store.corrupt_misses(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_evicts_oldest_first_under_a_size_cap() {
+        let dir = std::env::temp_dir().join(format!("sierra-evict-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let one_entry = render_summary(&sample_summary()).len() as u64;
+        // Room for two entries, not three.
+        let store = DiskStore::with_max_bytes(&dir, 2 * one_entry).expect("store dir");
+        let s = Arc::new(sample_summary());
+        store.put(1, Arc::clone(&s));
+        // Distinct mtimes so "oldest" is well-defined on coarse clocks.
+        let age = |key: u64, secs: u64| {
+            let path = dir.join(format!("{key:016x}.sum"));
+            let old = std::time::SystemTime::now() - std::time::Duration::from_secs(secs);
+            let f = std::fs::File::options()
+                .write(true)
+                .open(&path)
+                .expect("open entry");
+            f.set_modified(old).expect("set mtime");
+        };
+        age(1, 200);
+        store.put(2, Arc::clone(&s));
+        age(2, 100);
+        assert_eq!(store.evictions(), 0, "under the cap, nothing to do");
+
+        store.put(3, Arc::clone(&s));
+        assert_eq!(store.evictions(), 1, "third entry exceeds the cap");
+        assert!(store.get(1).is_none(), "the oldest entry was reclaimed");
+        assert_eq!(store.get(2).as_deref(), Some(&*s));
+        assert_eq!(store.get(3).as_deref(), Some(&*s));
+        assert_eq!(store.corrupt_misses(), 0, "eviction is not corruption");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,6 +11,10 @@
 //!   recording its expected verdict in a [`GroundTruth`];
 //! - [`prefilter_idioms`] — a fixture app exercising each pre-refutation
 //!   pruning verdict (escape, guarded, constprop) exactly once;
+//! - [`protocol_idioms`] — four apps whose planted false positives only
+//!   the message-history refutation stage can discharge (dialog
+//!   show/dismiss, fragment attach/detach, async-task cancellation,
+//!   unregister-in-onPause), each alongside a true race it must keep;
 //! - [`twenty`] — the Table 2 dataset, scaled by each app's real bytecode
 //!   size;
 //! - [`fdroid`] — 174 seeded apps with the paper's 1.1 MB median size.
@@ -25,6 +29,7 @@ pub mod figures;
 mod ground_truth;
 pub mod idioms;
 pub mod prefilter_idioms;
+pub mod protocol_idioms;
 pub mod triage_idioms;
 pub mod twenty;
 

@@ -571,6 +571,20 @@ impl<'a, D: Decider> Runtime<'a, D> {
                     self.receivers.retain(|&x| x != r);
                 }
             }
+            AsyncTaskCancel => {
+                // Cancellation drops the task's pending background body
+                // (and with it the onPostExecute followup) plus any
+                // already-scheduled onPostExecute; a queued onPreExecute
+                // still runs, as on Android.
+                if let Some(recv) = receiver {
+                    self.bg_ready.retain(|t| {
+                        !(t.receiver == recv && t.decl == fw.async_task_do_in_background)
+                    });
+                    self.main_queue.retain(|t| {
+                        !(t.receiver == recv && t.decl == fw.async_task_on_post_execute)
+                    });
+                }
+            }
             SetListener(kind) => {
                 if let Some(&l) = args.first() {
                     self.listeners.push((kind, l));

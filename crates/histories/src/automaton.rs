@@ -1,0 +1,353 @@
+//! The per-component event-order automaton (the paper's Figure 5
+//! lifecycle machine, reified as an explicit labelled graph).
+//!
+//! The harness generator encodes the activity lifecycle as a CFG
+//! (`harness_gen::generate`); this module re-derives the same machine
+//! as a small automaton over [`LifecycleEvent`] labels so that
+//! realizable-history questions ("can callback B still be delivered
+//! once callback A has run?") become reachability queries over at most
+//! eight states. One automaton instance describes *every* component:
+//! the per-component part of a history check is the occurrence-state
+//! sets attached to that component's actions, not the machine itself.
+
+use android_model::LifecycleEvent;
+
+/// A lifecycle-machine state: "where in Figure 5 the component is"
+/// after the most recent lifecycle callback returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LifeState {
+    /// Before `onCreate`.
+    Init,
+    /// After `onCreate` (instance 1 of the machine's entry column).
+    Created,
+    /// After `onStart` (either occurrence).
+    Started,
+    /// After `onResume` (either occurrence) — the interactive state.
+    Resumed,
+    /// After `onPause`.
+    Paused,
+    /// After `onStop`.
+    Stopped,
+    /// After `onRestart` (returning from stopped).
+    Restarted,
+    /// After `onDestroy` — terminal.
+    Destroyed,
+}
+
+impl LifeState {
+    /// All states, in declaration order (also their bit positions).
+    pub const ALL: [LifeState; 8] = [
+        LifeState::Init,
+        LifeState::Created,
+        LifeState::Started,
+        LifeState::Resumed,
+        LifeState::Paused,
+        LifeState::Stopped,
+        LifeState::Restarted,
+        LifeState::Destroyed,
+    ];
+
+    /// The state's bit position in a [`StateSet`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// A set of [`LifeState`]s as an 8-bit mask.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateSet(u8);
+
+impl StateSet {
+    /// The empty set.
+    pub const EMPTY: StateSet = StateSet(0);
+    /// All eight states.
+    pub const FULL: StateSet = StateSet(0xFF);
+
+    /// The singleton set `{s}`.
+    pub fn singleton(s: LifeState) -> StateSet {
+        StateSet(1 << s.index())
+    }
+
+    /// Whether `s` is a member.
+    pub fn contains(self, s: LifeState) -> bool {
+        self.0 & (1 << s.index()) != 0
+    }
+
+    /// Inserts `s`, returning the grown set.
+    #[must_use]
+    pub fn with(self, s: LifeState) -> StateSet {
+        StateSet(self.0 | (1 << s.index()))
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: StateSet) -> StateSet {
+        StateSet(self.0 | other.0)
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn minus(self, other: StateSet) -> StateSet {
+        StateSet(self.0 & !other.0)
+    }
+
+    /// Whether the two sets share a state.
+    pub fn intersects(self, other: StateSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of member states.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the member states in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = LifeState> {
+        LifeState::ALL
+            .into_iter()
+            .filter(move |s| self.contains(*s))
+    }
+}
+
+/// An edge label of the event-order automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventLabel {
+    /// A lifecycle callback; the `u8` is the occurrence instance
+    /// (`onStart`/`onResume` appear twice in Figure 5).
+    Lifecycle(LifecycleEvent, u8),
+    /// The interactive loop body (GUI / receiver / service dispatch
+    /// while resumed) — a self-loop on [`LifeState::Resumed`].
+    Loop,
+    /// The terminal idle self-loop on [`LifeState::Destroyed`].
+    Idle,
+}
+
+/// The Figure-5 event-order automaton: eight states, eleven edges, and
+/// a precomputed reflexive-transitive reachability matrix.
+#[derive(Debug, Clone)]
+pub struct LifecycleAutomaton {
+    edges: Vec<(LifeState, EventLabel, LifeState)>,
+    /// `reach[s]` = states reachable from `s` (reflexively).
+    reach: [StateSet; 8],
+}
+
+impl Default for LifecycleAutomaton {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LifecycleAutomaton {
+    /// Builds the automaton and its reachability closure.
+    pub fn new() -> LifecycleAutomaton {
+        use EventLabel::{Idle, Lifecycle, Loop};
+        use LifeState::*;
+        let edges = vec![
+            (Init, Lifecycle(LifecycleEvent::Create, 1), Created),
+            (Created, Lifecycle(LifecycleEvent::Start, 1), Started),
+            (Started, Lifecycle(LifecycleEvent::Resume, 1), Resumed),
+            (Resumed, Loop, Resumed),
+            (Resumed, Lifecycle(LifecycleEvent::Pause, 1), Paused),
+            (Paused, Lifecycle(LifecycleEvent::Resume, 2), Resumed),
+            (Paused, Lifecycle(LifecycleEvent::Stop, 1), Stopped),
+            (Stopped, Lifecycle(LifecycleEvent::Restart, 1), Restarted),
+            (Restarted, Lifecycle(LifecycleEvent::Start, 2), Started),
+            (Stopped, Lifecycle(LifecycleEvent::Destroy, 1), Destroyed),
+            (Destroyed, Idle, Destroyed),
+        ];
+        let mut reach = [StateSet::EMPTY; 8];
+        for s in LifeState::ALL {
+            reach[s.index()] = StateSet::singleton(s);
+        }
+        // Reflexive-transitive closure over 8 states: iterate to fixpoint.
+        loop {
+            let mut changed = false;
+            for &(from, _, to) in &edges {
+                let grown = reach[from.index()].union(reach[to.index()]);
+                if grown != reach[from.index()] {
+                    reach[from.index()] = grown;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        LifecycleAutomaton { edges, reach }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        LifeState::ALL.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The state the machine is in right after `event` (instance
+    /// `instance`) returns. Both occurrences of `Start`/`Resume` land in
+    /// the same state, so the instance only selects an existing edge.
+    pub fn target_of(&self, event: LifecycleEvent, instance: u8) -> LifeState {
+        self.edges
+            .iter()
+            .find_map(|&(_, label, to)| match label {
+                EventLabel::Lifecycle(e, i) if e == event && i == instance => Some(to),
+                _ => None,
+            })
+            .unwrap_or_else(|| {
+                // Occurrence folding: an out-of-range instance (the
+                // registry only mints 1 and 2) maps to the first edge
+                // carrying the event.
+                self.edges
+                    .iter()
+                    .find_map(|&(_, label, to)| match label {
+                        EventLabel::Lifecycle(e, _) if e == event => Some(to),
+                        _ => None,
+                    })
+                    .expect("every lifecycle event labels an edge")
+            })
+    }
+
+    /// States reachable from `s`, reflexively.
+    pub fn reachable_from(&self, s: LifeState) -> StateSet {
+        self.reach[s.index()]
+    }
+
+    /// States reachable from any member of `set`, reflexively.
+    pub fn closure(&self, set: StateSet) -> StateSet {
+        set.iter()
+            .fold(StateSet::EMPTY, |acc, s| acc.union(self.reach[s.index()]))
+    }
+
+    /// Forward reachability from `seed` that never *enters* a state in
+    /// `kill` (seed states in `kill` are dropped too). This is the
+    /// registration-window computation: a callback registered while the
+    /// machine sits in a `seed` state and unregistered by the callbacks
+    /// whose target states form `kill` can only be delivered inside the
+    /// returned window.
+    pub fn window(&self, seed: StateSet, kill: StateSet) -> StateSet {
+        let mut window = seed.minus(kill);
+        loop {
+            let mut grown = window;
+            for &(from, _, to) in &self.edges {
+                if grown.contains(from) && !kill.contains(to) {
+                    grown = grown.with(to);
+                }
+            }
+            if grown == window {
+                return window;
+            }
+            window = grown;
+        }
+    }
+
+    /// Whether the event trace is a realizable prefix of the machine:
+    /// starting at [`LifeState::Init`], every event must label an edge
+    /// out of the current state (the automaton is event-deterministic,
+    /// so the walk needs no backtracking).
+    pub fn accepts(&self, trace: &[LifecycleEvent]) -> bool {
+        let mut state = LifeState::Init;
+        for &event in trace {
+            let next = self
+                .edges
+                .iter()
+                .find_map(|&(from, label, to)| match label {
+                    EventLabel::Lifecycle(e, _) if from == state && e == event => Some(to),
+                    _ => None,
+                });
+            match next {
+                Some(to) => state = to,
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use LifecycleEvent::*;
+
+    #[test]
+    fn shape_matches_figure_5() {
+        let a = LifecycleAutomaton::new();
+        assert_eq!(a.state_count(), 8);
+        assert_eq!(a.edge_count(), 11);
+        assert_eq!(a.target_of(Create, 1), LifeState::Created);
+        assert_eq!(a.target_of(Start, 1), LifeState::Started);
+        assert_eq!(a.target_of(Start, 2), LifeState::Started);
+        assert_eq!(a.target_of(Resume, 2), LifeState::Resumed);
+        assert_eq!(a.target_of(Destroy, 1), LifeState::Destroyed);
+    }
+
+    #[test]
+    fn reachability_is_reflexive_and_respects_terminality() {
+        let a = LifecycleAutomaton::new();
+        for s in LifeState::ALL {
+            assert!(a.reachable_from(s).contains(s), "{s:?} reflexive");
+            // Destroyed is reachable from everything (every state can
+            // eventually tear down).
+            assert!(a.reachable_from(s).contains(LifeState::Destroyed));
+        }
+        assert_eq!(
+            a.reachable_from(LifeState::Destroyed),
+            StateSet::singleton(LifeState::Destroyed),
+            "Destroyed is terminal"
+        );
+        // Init is reachable only from itself.
+        for s in LifeState::ALL {
+            assert_eq!(
+                a.reachable_from(s).contains(LifeState::Init),
+                s == LifeState::Init
+            );
+        }
+    }
+
+    #[test]
+    fn window_drops_kill_states_and_everything_behind_them() {
+        let a = LifecycleAutomaton::new();
+        let created = StateSet::singleton(LifeState::Created);
+        // Registered in onCreate, unregistered in onPause: the window is
+        // exactly the pre-pause interactive prefix.
+        let w = a.window(created, StateSet::singleton(LifeState::Paused));
+        assert_eq!(
+            w,
+            StateSet::singleton(LifeState::Created)
+                .with(LifeState::Started)
+                .with(LifeState::Resumed)
+        );
+        // Cancelled in the registering callback itself: empty window.
+        assert!(a.window(created, created).is_empty());
+        // No kill: the window is the plain closure.
+        assert_eq!(a.window(created, StateSet::EMPTY), a.closure(created));
+    }
+
+    #[test]
+    fn accepts_the_canonical_traces_and_rejects_protocol_violations() {
+        let a = LifecycleAutomaton::new();
+        assert!(a.accepts(&[]));
+        assert!(a.accepts(&[Create, Start, Resume]));
+        assert!(a.accepts(&[Create, Start, Resume, Pause, Resume, Pause, Stop, Destroy]));
+        assert!(a.accepts(&[Create, Start, Resume, Pause, Stop, Restart, Start, Resume]));
+        // Protocol violations from the issue text.
+        assert!(!a.accepts(&[Resume]), "Resume before Create");
+        assert!(
+            !a.accepts(&[Create, Start, Resume, Pause, Restart]),
+            "Restart without Stop"
+        );
+        assert!(!a.accepts(&[Create, Create]));
+        assert!(
+            !a.accepts(&[Create, Start, Resume, Stop]),
+            "Stop without Pause"
+        );
+        assert!(!a.accepts(&[Create, Start, Resume, Pause, Stop, Destroy, Create]));
+    }
+}

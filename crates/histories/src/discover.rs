@@ -1,0 +1,130 @@
+//! Discovery of window-closing calls: `unregisterReceiver`,
+//! `removeUpdates`, and `AsyncTask.cancel`.
+//!
+//! A windowed callback (a broadcast receiver, a location listener, a
+//! task-completion callback) is only deliverable between the lifecycle
+//! callback that registered it and the one that unregisters or cancels
+//! it. Registration is already explicit in the action graph (the
+//! registering action is the windowed action's poster); this module
+//! finds the *closing* side by scanning lifecycle-callback bodies for
+//! the closing framework ops and matching their receiver/argument
+//! points-to sets against the windowed actions' receiver allocation
+//! sites.
+//!
+//! Two deliberate conservatisms keep the windows over- rather than
+//! under-approximate:
+//!
+//! - **Direct calls only.** Only closing calls written directly in a
+//!   lifecycle callback's own body are honoured; a call hidden behind a
+//!   helper method leaves the window untouched (sound — the window just
+//!   stays wider).
+//! - **`onDestroy` closes nothing.** A closing call inside the
+//!   destroying callback cannot be ordered against accesses in that
+//!   same callback at our event granularity, and deliveries already
+//!   enqueued on the looper when teardown begins may still dispatch
+//!   around it — so a destroy-time unregister never narrows a window.
+
+use android_model::{ActionId, ActionKind, FrameworkClasses, FrameworkOp, LifecycleEvent};
+use apir::{AllocSiteId, Operand, Program, Stmt};
+use pointer::Analysis;
+use std::collections::{HashMap, HashSet};
+
+/// Window-closing facts discovered from the app.
+#[derive(Debug, Default)]
+pub struct Discovered {
+    /// Windowed action → lifecycle events whose callbacks close its
+    /// window (deduped; `Destroy` never appears).
+    pub kills: HashMap<ActionId, Vec<LifecycleEvent>>,
+    /// Number of closing call sites honoured (for stage counters).
+    pub closing_calls: usize,
+}
+
+/// The windowed action kind a closing op quiesces.
+fn closed_kind(op: FrameworkOp) -> Option<ActionKind> {
+    match op {
+        FrameworkOp::UnregisterReceiver => Some(ActionKind::Receive),
+        FrameworkOp::RemoveUpdates => Some(ActionKind::LocationUpdate),
+        FrameworkOp::AsyncTaskCancel => Some(ActionKind::AsyncTaskPost),
+        _ => None,
+    }
+}
+
+/// Scans lifecycle-callback bodies for window-closing calls.
+pub fn discover(program: &Program, fw: &FrameworkClasses, analysis: &Analysis) -> Discovered {
+    let mut out = Discovered::default();
+    for &(m, ctx) in &analysis.reachable {
+        let act = analysis.actions.action(analysis.action_of(ctx));
+        let ActionKind::Lifecycle { event, .. } = act.kind else {
+            continue;
+        };
+        // A destroy-time unregister never narrows a window (see module
+        // docs); direct calls only.
+        if event == LifecycleEvent::Destroy || act.entry != m {
+            continue;
+        }
+        let method = program.method(m);
+        if !method.has_body() {
+            continue;
+        }
+        for (_, stmt) in method.iter_stmts() {
+            let Stmt::Call {
+                callee,
+                receiver,
+                args,
+                ..
+            } = stmt
+            else {
+                continue;
+            };
+            let Some(op) = FrameworkOp::classify(fw, *callee) else {
+                continue;
+            };
+            let Some(kind) = closed_kind(op) else {
+                continue;
+            };
+            // The quiesced object: the first argument for the
+            // unregister ops, the receiver for `cancel`.
+            let target = match op {
+                FrameworkOp::AsyncTaskCancel => *receiver,
+                _ => args.first().and_then(|a| match a {
+                    Operand::Local(l) => Some(*l),
+                    _ => None,
+                }),
+            };
+            let sites: HashSet<AllocSiteId> = target
+                .map(|l| {
+                    analysis
+                        .pts_var(m, ctx, l)
+                        .iter()
+                        .filter_map(|o| analysis.objs.get(o).site())
+                        .collect()
+                })
+                .unwrap_or_default();
+            let mut matched = false;
+            for w in analysis.actions.actions() {
+                if w.kind != kind || w.harness != act.harness {
+                    continue;
+                }
+                // Site-matched only: a closing call whose target the
+                // pointer analysis could not resolve closes nothing
+                // (narrowing a window without evidence would be unsound
+                // in the direction that matters).
+                let hit = w.recv_site.is_some_and(|site| sites.contains(&site));
+                if hit {
+                    let kills = out.kills.entry(w.id).or_default();
+                    if !kills.contains(&event) {
+                        kills.push(event);
+                    }
+                    matched = true;
+                }
+            }
+            if matched {
+                out.closing_calls += 1;
+            }
+        }
+    }
+    for kills in out.kills.values_mut() {
+        kills.sort();
+    }
+    out
+}

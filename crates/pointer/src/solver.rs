@@ -1185,8 +1185,8 @@ impl<'a> Solver<'a> {
                 let dn = self.var(method, ctx, d);
                 self.add_obj(dn, obj);
             }
-            SetListener(_) | UnregisterReceiver | RemoveUpdates | HandlerInit | GetMainLooper
-            | MyLooper | StartService => {}
+            SetListener(_) | UnregisterReceiver | RemoveUpdates | AsyncTaskCancel | HandlerInit
+            | GetMainLooper | MyLooper | StartService => {}
             ArrayListSetAt => {
                 let Some(r) = receiver else { return };
                 let rn = self.var(method, ctx, r);

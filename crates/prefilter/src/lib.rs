@@ -63,6 +63,17 @@ pub enum Verdict {
         /// The dead access.
         dead: StmtAddr,
     },
+    /// The pair's two callbacks are not jointly reachable in both
+    /// orders under any realizable message history of the lifecycle
+    /// automaton (discharged by the `histories` stage, which runs
+    /// *after* the symbolic refuter).
+    History {
+        /// The refutation pattern that discharged the pair.
+        pattern: histories::HistoryPattern,
+        /// The action the pattern blames (the unpostable, quiesced, or
+        /// destroy-separated side).
+        action: ActionId,
+    },
 }
 
 impl Verdict {
@@ -89,15 +100,23 @@ impl Verdict {
                     dead.stmt
                 )
             }
+            Verdict::History { pattern, action } => {
+                format!(
+                    "unrealizable ordering ({}, action {})",
+                    pattern.tag(),
+                    action.index()
+                )
+            }
         }
     }
 
-    /// Short machine tag (`escape` / `guarded` / `constprop`).
+    /// Short machine tag (`escape` / `guarded` / `constprop` / `history`).
     pub fn tag(&self) -> &'static str {
         match self {
             Verdict::NonEscaping { .. } => "escape",
             Verdict::Guarded { .. } => "guarded",
             Verdict::ConstProp { .. } => "constprop",
+            Verdict::History { .. } => "history",
         }
     }
 }
@@ -201,6 +220,9 @@ pub fn run_with_const_facts(
                     Verdict::NonEscaping { .. } => stats.pruned_escape += 1,
                     Verdict::Guarded { .. } => stats.pruned_guarded += 1,
                     Verdict::ConstProp { .. } => stats.pruned_constprop += 1,
+                    // The prefilter's own analyses never emit History;
+                    // the histories stage appends those pairs later.
+                    Verdict::History { .. } => {}
                 }
                 pruned.push(PrunedPair {
                     a: a.clone(),

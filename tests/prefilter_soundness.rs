@@ -117,6 +117,9 @@ fn fixture_prunes_guarded_and_constprop_pairs_under_default_contexts() {
             Verdict::Guarded { .. } => assert!(reason.contains("ready"), "{reason}"),
             Verdict::ConstProp { .. } => assert!(reason.contains("constant-dead"), "{reason}"),
             Verdict::NonEscaping { .. } => unreachable!("no escape prunes under AS contexts"),
+            Verdict::History { .. } => {
+                unreachable!("no protocol-window idioms in the prefilter corpus")
+            }
         }
     }
 
