@@ -280,6 +280,33 @@ impl ActionRegistry {
         (id, true)
     }
 
+    /// Rebuilds a registry from an id-ordered action list (the inverse
+    /// of [`Self::actions`], for artifact deserialization). The dedup
+    /// index is reconstructed from each action's stored identity —
+    /// including its *folded* `parent`, which is what `obtain` keys on —
+    /// so later `obtain` calls resolve exactly as in the original
+    /// registry. Action ids must equal list positions.
+    pub fn from_actions(actions: Vec<Action>) -> Self {
+        debug_assert!(actions.iter().enumerate().all(|(i, a)| a.id.index() == i));
+        let dedup = actions
+            .iter()
+            .map(|a| {
+                (
+                    ActionKey {
+                        harness: a.harness,
+                        kind: a.kind,
+                        origin_site: a.origin_site,
+                        recv_site: a.recv_site,
+                        entry: a.entry,
+                        parent: a.parent,
+                    },
+                    a.id,
+                )
+            })
+            .collect();
+        Self { actions, dedup }
+    }
+
     /// The action with the given id.
     pub fn action(&self, id: ActionId) -> &Action {
         &self.actions[id.index()]

@@ -13,12 +13,17 @@
 //! harm classifier's crash precision must stay at or above the 90%
 //! floor on the labelled corpus.
 //!
-//! The one exception to the no-wall-clock rule is the **latency SLO**
-//! band over the `corpus_throughput` group: p99 per-app latency and
+//! The exceptions to the no-wall-clock rule are the **latency SLO**
+//! band over the `corpus_throughput` group — p99 per-app latency and
 //! peak RSS may regress by at most 10% against the baseline
-//! (improvements always pass — the check is one-sided). The SLO gates
-//! only fire when the baseline records those keys, and `BENCH_GATE_SLO=0`
-//! disables them for noisy or throttled hosts.
+//! (improvements always pass — the check is one-sided); the SLO gates
+//! only fire when the baseline records those keys — and the
+//! **artifact-reuse payoff**: a warm process over a populated cache
+//! directory must finish in under half the cold wall-time of the same
+//! run (no baseline involved). `BENCH_GATE_SLO=0` disables both for
+//! noisy or throttled hosts. The artifact group's structural
+//! invariants (zero warm solver iterations, at least one shared
+//! framework summary) are absolute and always enforced.
 //!
 //! When an intentional change shifts a counter past the band, rerun
 //! `cargo bench -p sierra-bench --bench table4_efficiency` and refresh
@@ -211,6 +216,44 @@ fn run(current: &str, baseline: &str, slo_enabled: bool) -> Result<(), Vec<Strin
             violations.push("scratch_reused: corpus run reused no pooled solver scratch".into());
         }
     }
+    // Structural invariants of the artifact-reuse group, current-run
+    // only (no baseline needed): a warm process over a populated cache
+    // directory must skip the solver entirely, and a shared-store
+    // corpus pass must serve at least one framework summary from the
+    // shared layer.
+    if let Some(iters) = counter(current, "artifact_warm_pointer_iterations") {
+        if iters > 0.0 {
+            violations.push(format!(
+                "artifact_warm_pointer_iterations: {iters} — a warm process must reuse the \
+                 persisted points-to artifact instead of re-solving"
+            ));
+        }
+    }
+    if let Some(shared) = counter(current, "summaries_shared") {
+        if shared < 1.0 {
+            violations.push(
+                "summaries_shared: the shared-store corpus pass served no framework summaries"
+                    .into(),
+            );
+        }
+    }
+    // The warm-process payoff is wall-clock, so like the latency SLO it
+    // honors BENCH_GATE_SLO=0 on noisy hosts; unlike the SLO it needs
+    // no baseline — cold and warm come from the same run.
+    if slo_enabled {
+        if let (Some(cold), Some(warm)) = (
+            counter(current, "artifact_cold_us"),
+            counter(current, "artifact_warm_process_us"),
+        ) {
+            if warm >= 0.5 * cold {
+                violations.push(format!(
+                    "artifact_warm_process_us ({warm}) must be below half of artifact_cold_us \
+                     ({cold}): the artifact cache stopped paying for itself \
+                     (set BENCH_GATE_SLO=0 to skip on noisy hosts)"
+                ));
+            }
+        }
+    }
     // Latency SLO: one-sided band on p99 latency and peak RSS, active
     // only when the baseline records the keys.
     if slo_enabled {
@@ -302,6 +345,13 @@ mod tests {
         "warm_pointer_iterations": 0,
         "summaries_reused": 6,
         "summaries_recomputed": 1
+      },
+      "artifact_reuse": {
+        "artifact_cold_us": 5000.0,
+        "artifact_warm_process_us": 900.0,
+        "artifact_warm_pointer_iterations": 0,
+        "artifact_warm_summaries_reused": 6,
+        "summaries_shared": 12
       },
       "corpus_throughput": {
         "corpus_p99_latency_us": 1000.0,
@@ -473,6 +523,48 @@ mod tests {
         // (the scratch_reused structural check still applies to current).
         let bare = BASE.replace("\"corpus_p99_latency_us\": 1000.0,", "");
         assert!(run(&slow, &bare, true).is_ok());
+    }
+
+    #[test]
+    fn artifact_reuse_invariants_are_enforced() {
+        // A warm process that re-runs the solver fails absolutely, even
+        // against a matching baseline.
+        let resolving = BASE.replace(
+            "\"artifact_warm_pointer_iterations\": 0",
+            "\"artifact_warm_pointer_iterations\": 30",
+        );
+        let err = run(&resolving, &resolving, true).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|v| v.contains("must reuse the persisted points-to artifact")),
+            "{err:?}"
+        );
+
+        // A shared-store pass serving nothing fails.
+        let unshared = BASE.replace("\"summaries_shared\": 12", "\"summaries_shared\": 0");
+        let err = run(&unshared, &unshared, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("no framework summaries")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn artifact_warm_halving_is_enforced_and_slo_gated() {
+        // Warm wall-time at or past half of cold fails while the SLO
+        // checks are on…
+        let slow_warm = BASE.replace(
+            "\"artifact_warm_process_us\": 900.0",
+            "\"artifact_warm_process_us\": 2600.0",
+        );
+        let err = run(&slow_warm, &slow_warm, true).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|v| v.contains("below half of artifact_cold_us")),
+            "{err:?}"
+        );
+        // …and is waved through with BENCH_GATE_SLO=0 (noisy hosts).
+        assert!(run(&slow_warm, &slow_warm, false).is_ok());
     }
 
     #[test]

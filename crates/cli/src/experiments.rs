@@ -8,7 +8,9 @@
 
 use corpus::{fdroid, twenty, EvalCounts, GroundTruth, HarmEval};
 use eventracer::EventRacerConfig;
-use sierra_core::{run_jobs, EngineError, Report, Sierra, SierraConfig, SierraResult};
+use sierra_core::{
+    run_jobs, EngineError, Report, SessionBuilder, Sierra, SierraConfig, SierraResult, SummaryStore,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -60,6 +62,18 @@ pub struct AppRow {
     pub eventracer_eval: EvalCounts,
     /// Races EventRacer reported.
     pub eventracer_races: usize,
+    /// Per-method summaries served from the configured store (zero
+    /// when the run has no store).
+    pub summaries_reused: usize,
+    /// Per-method summaries recomputed this run.
+    pub summaries_recomputed: usize,
+    /// Framework summaries served from the corpus-shared layer.
+    pub summaries_shared: usize,
+    /// Whether the whole points-to `Analysis` was reused (in-memory
+    /// hit or persisted artifact blob).
+    pub analysis_reused: bool,
+    /// Corrupt cache entries this app's session treated as misses.
+    pub cache_corrupt_misses: usize,
     /// Pointer-analysis worklist iterations.
     pub pa_worklist_iters: usize,
     /// Constraint-graph SCCs collapsed online by the pointer solver.
@@ -130,6 +144,11 @@ impl AppRow {
             hist_discharged: m.histories.discharged_total(),
             hist_infeasible: m.histories.infeasible_exported,
             t_histories: m.timings.histories,
+            summaries_reused: m.link.summaries_reused,
+            summaries_recomputed: m.link.summaries_recomputed,
+            summaries_shared: m.link.summaries_shared,
+            analysis_reused: m.link.analysis_reused,
+            cache_corrupt_misses: m.link.corrupt_misses,
             pa_worklist_iters: m.pointer.worklist_iterations,
             pa_collapsed_sccs: m.pointer.collapsed_sccs,
             pa_collapsed_nodes: m.pointer.collapsed_nodes,
@@ -183,6 +202,52 @@ pub fn sierra_groups(result: &SierraResult) -> Vec<(String, String)> {
     v
 }
 
+/// The persistence layer of a corpus run: the summary/artifact store
+/// every app's session consults, plus (optionally) the corpus-wide
+/// shared layer for framework-origin summaries. The two are usually
+/// the same backing store — their key spaces are disjoint by
+/// fingerprint — but a run may also share across per-app stores.
+#[derive(Clone)]
+pub struct CorpusCache {
+    /// Per-app summary + analysis-artifact store.
+    pub store: Arc<dyn SummaryStore>,
+    /// Corpus-shared framework-summary layer, consulted before `store`
+    /// for framework-origin methods.
+    pub shared: Option<Arc<dyn SummaryStore>>,
+}
+
+impl CorpusCache {
+    /// A cache over one store; `shared` additionally promotes
+    /// framework summaries into the same store for corpus-wide reuse.
+    pub fn new(store: Arc<dyn SummaryStore>, shared: bool) -> Self {
+        let shared = shared.then(|| Arc::clone(&store));
+        Self { store, shared }
+    }
+}
+
+/// Runs the full pipeline on one app, routing the session through the
+/// cache's stores when one is configured. Panics on an internal stage
+/// failure, mirroring [`Sierra::analyze_app`].
+pub fn analyze_app_cached(
+    sierra_cfg: SierraConfig,
+    app: android_model::AndroidApp,
+    cache: Option<&CorpusCache>,
+) -> SierraResult {
+    let Some(cache) = cache else {
+        return Sierra::with_config(sierra_cfg).analyze_app(app);
+    };
+    let mut builder = SessionBuilder::new(sierra_cfg)
+        .app(app)
+        .store(Arc::clone(&cache.store));
+    if let Some(shared) = &cache.shared {
+        builder = builder.shared_store(Arc::clone(shared));
+    }
+    builder
+        .build()
+        .and_then(|session| session.finish())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
 /// Runs SIERRA + EventRacer + ground-truth scoring on one app.
 pub fn run_app(
     name: &str,
@@ -191,8 +256,23 @@ pub fn run_app(
     sierra_cfg: SierraConfig,
     er_cfg: &EventRacerConfig,
 ) -> AppRow {
+    run_app_cached(name, app, truth, sierra_cfg, er_cfg, None)
+}
+
+/// [`run_app`] with an optional persistence layer: sessions then reuse
+/// per-method summaries and whole points-to artifacts from `cache`
+/// instead of recomputing them. Reuse never changes the row's analysis
+/// columns — only the cache counters and the time spent.
+pub fn run_app_cached(
+    name: &str,
+    app: android_model::AndroidApp,
+    truth: &GroundTruth,
+    sierra_cfg: SierraConfig,
+    er_cfg: &EventRacerConfig,
+    cache: Option<&CorpusCache>,
+) -> AppRow {
     let er_report = eventracer::detect(&app, er_cfg);
-    let result = Sierra::with_config(sierra_cfg).analyze_app(app);
+    let result = analyze_app_cached(sierra_cfg, app, cache);
 
     let s_groups = sierra_groups(&result);
     let sierra_eval = truth.evaluate(s_groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
@@ -242,12 +322,26 @@ pub fn run_twenty_with(
     jobs: usize,
     shared_intern: bool,
 ) -> Vec<AppRow> {
+    run_twenty_cached(sierra_cfg, er_cfg, jobs, shared_intern, None)
+}
+
+/// [`run_twenty_with`] against an optional persistence layer. Workers
+/// share the cache: a second pass over the same store reuses every
+/// unchanged summary and points-to artifact, and with a shared layer
+/// each framework-method summary is computed once corpus-wide.
+pub fn run_twenty_cached(
+    sierra_cfg: SierraConfig,
+    er_cfg: &EventRacerConfig,
+    jobs: usize,
+    shared_intern: bool,
+    cache: Option<&CorpusCache>,
+) -> Vec<AppRow> {
     let items: Vec<(String, _)> = twenty::build_all_with(corpus_arena(shared_intern))
         .into_iter()
         .map(|(spec, app, truth)| (spec.name.to_owned(), (app, truth)))
         .collect();
     run_jobs(jobs, items, |name, (app, truth)| {
-        run_app(name, app, &truth, sierra_cfg, er_cfg)
+        run_app_cached(name, app, &truth, sierra_cfg, er_cfg, cache)
     })
     .into_iter()
     .map(row_or_error)
@@ -268,13 +362,25 @@ pub fn run_fdroid_with(
     jobs: usize,
     shared_intern: bool,
 ) -> Vec<AppRow> {
+    run_fdroid_cached(count, sierra_cfg, jobs, shared_intern, None)
+}
+
+/// [`run_fdroid_with`] against an optional persistence layer (see
+/// [`run_twenty_cached`]).
+pub fn run_fdroid_cached(
+    count: usize,
+    sierra_cfg: SierraConfig,
+    jobs: usize,
+    shared_intern: bool,
+    cache: Option<&CorpusCache>,
+) -> Vec<AppRow> {
     let er_cfg = EventRacerConfig::default();
     let items: Vec<(String, _)> = fdroid::iter_apps_with(corpus_arena(shared_intern))
         .take(count)
         .map(|(i, app, truth)| (format!("app{i:03}"), (app, truth)))
         .collect();
     run_jobs(jobs, items, |name, (app, truth)| {
-        run_app(name, app, &truth, sierra_cfg, &er_cfg)
+        run_app_cached(name, app, &truth, sierra_cfg, &er_cfg, cache)
     })
     .into_iter()
     .map(row_or_error)
@@ -284,6 +390,56 @@ pub fn run_fdroid_with(
 /// The rows that analyzed successfully (medians are computed over these).
 fn ok_rows(rows: &[AppRow]) -> Vec<&AppRow> {
     rows.iter().filter(|r| r.error.is_none()).collect()
+}
+
+/// Aggregate cache counters for one corpus pass; all zero when the run
+/// had no persistence layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Apps analyzed successfully (the denominator for
+    /// `analyses_reused`).
+    pub apps: usize,
+    /// Apps whose whole points-to `Analysis` was reused.
+    pub analyses_reused: usize,
+    /// Per-app store summary hits, summed over successful rows.
+    pub summaries_reused: usize,
+    /// Summaries recomputed (store miss or first sight).
+    pub summaries_recomputed: usize,
+    /// Framework summaries served from the corpus-shared layer.
+    pub summaries_shared: usize,
+    /// Corrupt cache entries treated as misses.
+    pub corrupt_misses: usize,
+}
+
+impl CacheStats {
+    /// Sums the cache counters of a corpus run's successful rows.
+    pub fn from_rows(rows: &[AppRow]) -> Self {
+        let mut s = Self::default();
+        for r in ok_rows(rows) {
+            s.apps += 1;
+            s.analyses_reused += usize::from(r.analysis_reused);
+            s.summaries_reused += r.summaries_reused;
+            s.summaries_recomputed += r.summaries_recomputed;
+            s.summaries_shared += r.summaries_shared;
+            s.corrupt_misses += r.cache_corrupt_misses;
+        }
+        s
+    }
+
+    /// The one-line `key=value` form the corpus commands print under
+    /// `--cache-dir` (CI uploads it as the corpus hit stats).
+    pub fn render(&self) -> String {
+        format!(
+            "cache: apps={} analyses_reused={} summaries_reused={} \
+             summaries_recomputed={} summaries_shared={} corrupt_misses={}",
+            self.apps,
+            self.analyses_reused,
+            self.summaries_reused,
+            self.summaries_recomputed,
+            self.summaries_shared,
+            self.corrupt_misses,
+        )
+    }
 }
 
 /// Median of a numeric series (paper reports medians in Tables 3–5).
@@ -638,6 +794,74 @@ mod tests {
         assert!(t5.contains("medians"));
         let cmp = comparison_summary(std::slice::from_ref(&row));
         assert!(cmp.contains("SIERRA"));
+    }
+
+    #[test]
+    fn cached_corpus_pass_reuses_summaries_and_artifacts() {
+        let dir = std::env::temp_dir().join(format!("sierra-corpus-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store: Arc<dyn SummaryStore> =
+            Arc::new(sierra_core::DiskStore::new(&dir).expect("cache dir"));
+        let cache = CorpusCache::new(store, true);
+        let cfg = SierraConfig::default();
+        let er = EventRacerConfig::default();
+        let run = |cache: Option<&CorpusCache>| {
+            let (app, truth) = corpus::figures::intra_component();
+            run_app_cached("fig1", app, &truth, cfg, &er, cache)
+        };
+
+        let cold = run(Some(&cache));
+        assert!(!cold.analysis_reused, "first pass computes everything");
+        assert!(cold.summaries_recomputed > 0);
+
+        let warm = run(Some(&cache));
+        assert!(warm.analysis_reused, "second pass reuses the artifact");
+        assert_eq!(warm.summaries_recomputed, 0);
+        assert!(warm.summaries_reused > 0);
+
+        // Reuse never changes the analysis columns.
+        let baseline = run(None);
+        for row in [&cold, &warm] {
+            assert_eq!(row.actions, baseline.actions);
+            assert_eq!(row.hb_edges, baseline.hb_edges);
+            assert_eq!(row.racy_with_as, baseline.racy_with_as);
+            assert_eq!(row.after_refutation, baseline.after_refutation);
+        }
+
+        let stats = CacheStats::from_rows(&[cold, warm]);
+        assert_eq!(stats.apps, 2);
+        assert_eq!(stats.analyses_reused, 1);
+        assert_eq!(stats.corrupt_misses, 0);
+        let line = stats.render();
+        assert!(
+            line.starts_with("cache: apps=2 analyses_reused=1"),
+            "{line}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_layer_serves_framework_summaries_across_apps() {
+        // One shared in-memory layer, two different apps with private
+        // per-app stores: the second app's framework-origin methods are
+        // all served from the layer the first app populated.
+        let shared: Arc<dyn SummaryStore> = Arc::new(sierra_core::MemoryStore::new());
+        let cfg = SierraConfig::default();
+        let er = EventRacerConfig::default();
+        let run = |app, truth: &GroundTruth| {
+            let cache = CorpusCache {
+                store: Arc::new(sierra_core::MemoryStore::new()),
+                shared: Some(Arc::clone(&shared)),
+            };
+            run_app_cached("app", app, truth, cfg, &er, Some(&cache))
+        };
+        let (app1, truth1) = corpus::figures::intra_component();
+        let first = run(app1, &truth1);
+        assert_eq!(first.summaries_shared, 0, "nothing to share yet");
+
+        let (app2, truth2) = corpus::figures::inter_component();
+        let second = run(app2, &truth2);
+        assert!(second.summaries_shared > 0, "framework summaries shared");
     }
 
     #[test]

@@ -27,9 +27,17 @@
 //! --cache-dir <PATH>    persist per-method summaries to PATH (the
 //!                       `serve` subcommand's warm store; created if
 //!                       absent)
-//! --cache-max-mb <N>    cap the on-disk summary store at N megabytes,
-//!                       evicting oldest entries first (requires
-//!                       --cache-dir; 0 or absent = unbounded)
+//! --cache-max-mb <N>    cap the on-disk store (summary files and
+//!                       artifact blobs) at N megabytes, evicting
+//!                       oldest entries first (requires --cache-dir;
+//!                       0 or absent = unbounded)
+//! --shared-store        consult a corpus-shared layer for
+//!                       framework-method summaries before per-app
+//!                       stores, so the framework slice is summarized
+//!                       once per corpus/serve process
+//! --no-artifact-cache   do not persist or load whole-`Analysis`
+//!                       artifact blobs (ablation; summary files and
+//!                       in-memory artifact reuse are unaffected)
 //! --no-shared-intern    give every app/request its own private string
 //!                       interner instead of the process-wide shared
 //!                       symbol arena (ablation; reports are identical
@@ -54,6 +62,9 @@ pub struct CommonFlags {
     /// Intern names into one process-wide [`apir::SymbolArena`] shared
     /// across apps/requests (`true` unless `--no-shared-intern`).
     pub shared_intern: bool,
+    /// `--shared-store`: share framework-method summaries across all
+    /// apps/requests through a corpus-shared layer.
+    pub shared_store: bool,
     /// The pipeline configuration assembled from `--context`/`--budget`.
     pub config: SierraConfig,
 }
@@ -65,6 +76,7 @@ impl Default for CommonFlags {
             cache_dir: None,
             cache_max_mb: None,
             shared_intern: true,
+            shared_store: false,
             config: SierraConfig::default(),
         }
     }
@@ -74,8 +86,9 @@ impl CommonFlags {
     /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`,
     /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`,
     /// `--no-overlap-compare`, `--no-histories`, `--no-triage`,
-    /// `--min-harm`, `--cache-dir`, `--cache-max-mb`, and
-    /// `--no-shared-intern` from `args`, removing
+    /// `--min-harm`, `--cache-dir`, `--cache-max-mb`,
+    /// `--no-shared-intern`, `--shared-store`, and
+    /// `--no-artifact-cache` from `args`, removing
     /// each recognized flag (and its value, if any). Unknown flags and
     /// positionals are untouched.
     pub fn parse(args: &mut Vec<String>) -> Result<Self, String> {
@@ -90,6 +103,10 @@ impl CommonFlags {
             None => None,
         };
         let shared_intern = !take_switch(args, "--no-shared-intern");
+        let shared_store = take_switch(args, "--shared-store");
+        if take_switch(args, "--no-artifact-cache") {
+            builder = builder.no_artifact_cache(true);
+        }
         if let Some(spec) = take_flag(args, "--context")? {
             let selector = spec
                 .parse()
@@ -141,6 +158,7 @@ impl CommonFlags {
             cache_dir,
             cache_max_mb,
             shared_intern,
+            shared_store,
             config: builder.build(),
         })
     }
@@ -340,6 +358,31 @@ mod tests {
         let flags = CommonFlags::parse(&mut args).expect("parse");
         assert!(flags.shared_intern);
         assert!(CommonFlags::default().shared_intern);
+    }
+
+    #[test]
+    fn shared_store_switch_is_consumed() {
+        let mut args = argv(&["table3", "--shared-store"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(flags.shared_store);
+        assert_eq!(args, argv(&["table3"]));
+
+        let mut args = argv(&["table3"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(!flags.shared_store);
+        assert!(!CommonFlags::default().shared_store);
+    }
+
+    #[test]
+    fn no_artifact_cache_switch_is_consumed() {
+        let mut args = argv(&["analyze", "fig1", "--no-artifact-cache"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(flags.config.no_artifact_cache);
+        assert_eq!(args, argv(&["analyze", "fig1"]));
+
+        let mut args = argv(&["analyze", "fig1"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert!(!flags.config.no_artifact_cache);
     }
 
     #[test]

@@ -27,11 +27,21 @@
 //! --no-triage          disable post-refutation harm triage
 //! --min-harm <LEVEL>   drop reports below LEVEL: benign | value |
 //!                      use-before-init | null-deref
-//! --cache-dir <PATH>   persist per-method summaries across runs
-//! --cache-max-mb <N>   cap the on-disk summary store, evicting oldest first
+//! --cache-dir <PATH>   persist per-method summaries and whole points-to
+//!                      artifacts across runs
+//! --cache-max-mb <N>   cap the on-disk store (summaries + artifact blobs),
+//!                      evicting oldest first
+//! --shared-store       serve framework-origin summaries from a corpus-wide
+//!                      shared layer (computed once per framework fingerprint)
+//! --no-artifact-cache  summaries only: never persist or load whole
+//!                      points-to artifacts (ablation)
 //! --no-shared-intern   private per-app interners instead of the shared
 //!                      symbol arena (ablation)
 //! ```
+//!
+//! Corpus commands run against `--cache-dir` print an aggregate
+//! `cache: …` hit-stats line after their table; a second identical run
+//! reuses every summary and points-to artifact from the first.
 
 use eventracer::EventRacerConfig;
 use sierra_cli::experiments;
@@ -42,7 +52,8 @@ const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|c
                      shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter\n\
                      \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare\n\
                      \x20             --no-histories --no-triage --min-harm <benign|value|use-before-init|null-deref>\n\
-                     \x20             --cache-dir <PATH> --cache-max-mb <N> --no-shared-intern";
+                     \x20             --cache-dir <PATH> --cache-max-mb <N> --shared-store --no-artifact-cache\n\
+                     \x20             --no-shared-intern";
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,32 +65,79 @@ fn main() {
         }
     };
     let cmd = args.first().cloned().unwrap_or_else(|| "help".to_owned());
+    // Any persistence flag turns the run's cache layer on: `--cache-dir`
+    // alone persists summaries + artifacts, `--shared-store` alone still
+    // shares framework summaries (in memory) within this corpus pass,
+    // and together the sharing persists across runs.
+    let cache = if common.cache_dir.is_some() || common.shared_store {
+        match sierra_cli::serve::open_store(common.cache_dir.as_deref(), common.cache_max_mb) {
+            Ok(store) => Some(experiments::CorpusCache::new(store, common.shared_store)),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        None
+    };
+    // The aggregate hit-stats line, printed after a corpus table when a
+    // cache is configured (CI parses this to track reuse across runs).
+    let print_cache_stats = |rows: &[experiments::AppRow]| {
+        if cache.is_some() {
+            println!("{}", experiments::CacheStats::from_rows(rows).render());
+        }
+    };
     let sierra_cfg = common.config;
     let jobs = common.jobs;
     let er_cfg = EventRacerConfig::default();
     match cmd.as_str() {
         "table2" => print!("{}", experiments::table2()),
         "table3" => {
-            let rows =
-                experiments::run_twenty_with(sierra_cfg, &er_cfg, jobs, common.shared_intern);
+            let rows = experiments::run_twenty_cached(
+                sierra_cfg,
+                &er_cfg,
+                jobs,
+                common.shared_intern,
+                cache.as_ref(),
+            );
             print!("{}", experiments::table3(&rows));
+            print_cache_stats(&rows);
         }
         "table4" => {
-            let rows =
-                experiments::run_twenty_with(sierra_cfg, &er_cfg, jobs, common.shared_intern);
+            let rows = experiments::run_twenty_cached(
+                sierra_cfg,
+                &er_cfg,
+                jobs,
+                common.shared_intern,
+                cache.as_ref(),
+            );
             print!("{}", experiments::table4(&rows));
+            print_cache_stats(&rows);
         }
         "table5" => {
             let count = take_raw_flag(&mut args, "--apps")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(corpus::fdroid::APP_COUNT);
-            let rows = experiments::run_fdroid_with(count, sierra_cfg, jobs, common.shared_intern);
+            let rows = experiments::run_fdroid_cached(
+                count,
+                sierra_cfg,
+                jobs,
+                common.shared_intern,
+                cache.as_ref(),
+            );
             print!("{}", experiments::table5(&rows));
+            print_cache_stats(&rows);
         }
         "compare" => {
-            let rows =
-                experiments::run_twenty_with(sierra_cfg, &er_cfg, jobs, common.shared_intern);
+            let rows = experiments::run_twenty_cached(
+                sierra_cfg,
+                &er_cfg,
+                jobs,
+                common.shared_intern,
+                cache.as_ref(),
+            );
             print!("{}", experiments::comparison_summary(&rows));
+            print_cache_stats(&rows);
         }
         "analyze" => {
             let Some(name) = args.get(1) else {
@@ -103,7 +161,7 @@ fn main() {
                 };
                 corpus::twenty::build_app(*spec)
             };
-            let result = Sierra::with_config(sierra_cfg).analyze_app(app);
+            let result = experiments::analyze_app_cached(sierra_cfg, app, cache.as_ref());
             print!("{result}");
             let groups = experiments::sierra_groups(&result);
             let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));

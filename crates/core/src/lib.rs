@@ -55,8 +55,8 @@ pub use session::{
     SessionError, Stage,
 };
 pub use summary::{
-    config_fingerprint, structural_fingerprint, summary_key, DiskStore, MemoryStore, MethodSummary,
-    SummaryStore,
+    config_fingerprint, framework_fingerprint, structural_fingerprint, summary_key, DiskStore,
+    MemoryStore, MethodSummary, SummaryStore,
 };
 pub use triage::{Harm, TriageStats, TriageVerdict, Witness};
 

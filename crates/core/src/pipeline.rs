@@ -68,6 +68,11 @@ pub struct SierraConfig {
     /// `None` keeps everything. Ignored under `no_triage`, which never
     /// classifies.
     pub min_harm: Option<triage::Harm>,
+    /// Disable persisting/loading serialized `Analysis` artifact blobs
+    /// (the `--no-artifact-cache` ablation). In-memory artifact reuse
+    /// and summary files are unaffected. Cache plumbing never enters
+    /// the config fingerprint, so flipping this cannot change keys.
+    pub no_artifact_cache: bool,
 }
 
 impl Default for SierraConfig {
@@ -84,6 +89,7 @@ impl Default for SierraConfig {
             no_triage: false,
             no_histories: false,
             min_harm: None,
+            no_artifact_cache: false,
         }
     }
 }
@@ -185,6 +191,13 @@ impl SierraConfigBuilder {
     /// Drops reports triaged below `level` (no-op under `no_triage`).
     pub fn min_harm(mut self, level: triage::Harm) -> Self {
         self.cfg.min_harm = Some(level);
+        self
+    }
+
+    /// Disables (or re-enables) durable `Analysis` artifact blobs (the
+    /// `--no-artifact-cache` ablation).
+    pub fn no_artifact_cache(mut self, yes: bool) -> Self {
+        self.cfg.no_artifact_cache = yes;
         self
     }
 

@@ -171,6 +171,7 @@ enum SessionInput {
 pub struct SessionBuilder {
     config: SierraConfig,
     store: Option<Arc<dyn SummaryStore>>,
+    shared: Option<Arc<dyn SummaryStore>>,
     input: Option<SessionInput>,
     arena: Option<Arc<apir::SymbolArena>>,
 }
@@ -181,6 +182,7 @@ impl SessionBuilder {
         Self {
             config,
             store: None,
+            shared: None,
             input: None,
             arena: None,
         }
@@ -211,6 +213,16 @@ impl SessionBuilder {
     /// this the session gets a private in-memory store.
     pub fn store(mut self, store: Arc<dyn SummaryStore>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Consults (and feeds) a corpus-shared store for framework-origin
+    /// method summaries, ahead of the per-app store (see
+    /// [`crate::summary::load_or_summarize`]). The shared store may be
+    /// the same object as the per-app store: the key spaces are
+    /// disjoint by fingerprint.
+    pub fn shared_store(mut self, shared: Arc<dyn SummaryStore>) -> Self {
+        self.shared = Some(shared);
         self
     }
 
@@ -259,6 +271,7 @@ impl SessionBuilder {
             started: Instant::now(),
             metrics: StageMetrics::default(),
             store,
+            shared: self.shared,
             app,
             harness,
             linked: None,
@@ -283,6 +296,8 @@ pub struct AnalysisSession {
     started: Instant,
     metrics: StageMetrics,
     store: Arc<dyn SummaryStore>,
+    /// Corpus-shared framework-summary layer, when configured.
+    shared: Option<Arc<dyn SummaryStore>>,
     /// Present until the harness stage consumes it (absent for
     /// harness-input sessions).
     app: Option<AndroidApp>,
@@ -372,13 +387,14 @@ impl AnalysisSession {
             let config_fp = config_fingerprint(self.config.selector, self.config.pointer_options);
             let (corrupt_before, evicted_before) =
                 (self.store.corrupt_misses(), self.store.evictions());
-            let (methods, reused, recomputed) = load_or_summarize(
+            let (methods, reused, recomputed, shared_hits) = load_or_summarize(
                 program,
                 &harness.app.framework,
                 self.config.pointer_options.index_sensitive,
                 structural_fp,
                 config_fp,
                 self.store.as_ref(),
+                self.shared.as_deref(),
             );
             let linked = LinkedSummaries {
                 methods,
@@ -387,18 +403,35 @@ impl AnalysisSession {
             };
             self.metrics.link.summaries_reused = reused;
             self.metrics.link.summaries_recomputed = recomputed;
-            self.metrics.link.corrupt_misses = self.store.corrupt_misses() - corrupt_before;
-            self.metrics.link.evictions = self.store.evictions() - evicted_before;
+            self.metrics.link.summaries_shared = shared_hits;
             self.metrics.last_stage = Some(Stage::Link);
 
             let analysis_key = linked.analysis_key();
-            let analysis = match self.store.get_analysis(analysis_key) {
+            let use_blobs = !self.config.no_artifact_cache && self.store.persists_artifacts();
+            let mut from_blob = false;
+            let cached = self.store.get_analysis(analysis_key).or_else(|| {
+                // Cold-process path: rehydrate the artifact blob the
+                // durable store persisted. A blob that fails the deep
+                // decode (e.g. written by a different build) is a plain
+                // miss; the re-solve below rewrites it.
+                if !use_blobs {
+                    return None;
+                }
+                let blob = self.store.get_artifact(analysis_key)?;
+                let decoded = pointer::artifact::decode(&blob, harness.app.framework.clone())?;
+                from_blob = true;
+                Some(Arc::new(decoded))
+            });
+            let analysis = match cached {
                 Some(cached) => {
                     // The cached artifact carries the stats of the run
                     // that produced it, so reports stay byte-identical;
                     // the work done *this* session is in `link`.
                     self.metrics.link.analysis_reused = true;
                     self.metrics.link.pointer_iterations_run = 0;
+                    if from_blob {
+                        self.store.put_analysis(analysis_key, Arc::clone(&cached));
+                    }
                     cached
                 }
                 None => {
@@ -409,9 +442,15 @@ impl AnalysisSession {
                     ));
                     self.metrics.link.pointer_iterations_run = analysis.stats.worklist_iterations;
                     self.store.put_analysis(analysis_key, Arc::clone(&analysis));
+                    if use_blobs {
+                        self.store
+                            .put_artifact(analysis_key, &pointer::artifact::encode(&analysis));
+                    }
                     analysis
                 }
             };
+            self.metrics.link.corrupt_misses = self.store.corrupt_misses() - corrupt_before;
+            self.metrics.link.evictions = self.store.evictions() - evicted_before;
             self.metrics.timings.cg_pa = t.elapsed();
             self.metrics.pointer = analysis.stats;
             self.metrics.last_stage = Some(Stage::Pointer);
@@ -755,15 +794,15 @@ impl AnalysisSession {
         });
         let run_compare = |cfg: SierraConfig,
                            harness: Arc<HarnessResult>,
-                           store: Arc<dyn SummaryStore>|
+                           store: Arc<dyn SummaryStore>,
+                           shared: Option<Arc<dyn SummaryStore>>|
          -> Result<(usize, Duration), SessionError> {
             let t = Instant::now();
-            let count = SessionBuilder::new(cfg)
-                .harness(harness)
-                .store(store)
-                .build()?
-                .candidates()?
-                .len();
+            let mut builder = SessionBuilder::new(cfg).harness(harness).store(store);
+            if let Some(shared) = shared {
+                builder = builder.shared_store(shared);
+            }
+            let count = builder.build()?.candidates()?.len();
             Ok((count, t.elapsed()))
         };
 
@@ -773,8 +812,10 @@ impl AnalysisSession {
                 compare_overlapped = true;
                 let shared = Arc::clone(&harness);
                 let shared_store = Arc::clone(&self.store);
+                let shared_layer = self.shared.clone();
                 std::thread::scope(|scope| {
-                    let compare = scope.spawn(move || run_compare(cfg, shared, shared_store));
+                    let compare =
+                        scope.spawn(move || run_compare(cfg, shared, shared_store, shared_layer));
                     let refuted = self.refute().map(|_| ());
                     let compared = compare
                         .join()
@@ -782,7 +823,12 @@ impl AnalysisSession {
                     refuted.and(compared)
                 })?
             }
-            Some(cfg) => run_compare(cfg, Arc::clone(&harness), Arc::clone(&self.store))?,
+            Some(cfg) => run_compare(
+                cfg,
+                Arc::clone(&harness),
+                Arc::clone(&self.store),
+                self.shared.clone(),
+            )?,
             None => (0, Duration::ZERO),
         };
         self.refute()?;

@@ -30,10 +30,29 @@
 //! `fnv64(structural fp ‖ config fp ‖ every method's pointer digest)`:
 //! if no solver-relevant statement changed anywhere, the previous
 //! points-to result is reused outright and the warm run performs zero
-//! worklist iterations. Analysis artifacts live in memory only (they
-//! hold interned tables that don't serialize); the on-disk backend
-//! persists method summaries across processes and keeps artifacts
-//! per-process.
+//! worklist iterations. The on-disk backend persists artifacts too, as
+//! versioned binary blobs ([`pointer::artifact`]) next to the summary
+//! files, so the reuse survives process boundaries: a cold `sierra
+//! analyze`, a restarted `serve`, or a fresh CI job warm-starts from
+//! `--cache-dir` exactly like an in-memory warm hit.
+//!
+//! ## Corpus-shared framework summaries
+//!
+//! Most corpus apps embed the *same* framework model, and a framework
+//! method's summary depends only on framework content — yet the
+//! standard key covers the whole program's structural fingerprint, so
+//! per-app stores recompute identical framework summaries once per app.
+//! [`load_or_summarize`] therefore accepts an optional **shared store**:
+//! methods of [`apir::Origin::Framework`] classes are additionally
+//! keyed by [`framework_fingerprint`] (the structural fingerprint
+//! restricted to framework entities, identical across apps built from
+//! one framework model) and looked up shared-first. A miss promotes the
+//! freshly computed summary into the shared store, so the framework
+//! slice of an entire corpus is summarized exactly once. The two key
+//! spaces cannot collide semantically — a framework-keyed entry is only
+//! ever looked up by sessions whose framework slice hashes identically
+//! — so one backing store may safely serve as both the per-app and the
+//! shared layer (how the `--shared-store` flag wires it).
 //!
 //! ## Arena-stable keys
 //!
@@ -47,7 +66,7 @@
 //! one — and hits across processes whose arenas interned names in
 //! different orders.
 
-use apir::{BlockId, FieldId, Local, MethodId, Program, ProgramPrinter, StmtAddr};
+use apir::{BlockId, FieldId, Local, MethodId, Origin, Program, ProgramPrinter, StmtAddr};
 use pointer::{
     extract_pointer_facts, fnv64, method_access_sites, pointer_digest, AccessSite, Analysis,
     AnalysisOptions, Fnv64, SelectorKind,
@@ -142,6 +161,70 @@ pub fn structural_fingerprint(program: &Program) -> u64 {
     h.finish()
 }
 
+/// [`structural_fingerprint`] restricted to framework entities: classes
+/// of [`Origin::Framework`] plus the fields and methods they declare,
+/// rendered in the same per-entity format. Apps built from the same
+/// framework model produce the same value regardless of their app/
+/// library code (the framework installs first, so its ids are stable
+/// across apps), which makes it the key prefix for the corpus-shared
+/// summary layer: a framework method's summary keyed by this
+/// fingerprint is valid for *every* app sharing the framework slice.
+pub fn framework_fingerprint(program: &Program) -> u64 {
+    let mut h = Fnv64::new();
+    for c in program.classes() {
+        if c.origin != Origin::Framework {
+            continue;
+        }
+        h.write(
+            format!(
+                "c{}:{};super={:?};if={:?};int={};origin={:?};",
+                c.id.0,
+                program.name(c.name),
+                c.super_class,
+                c.interfaces,
+                c.is_interface,
+                c.origin
+            )
+            .as_bytes(),
+        );
+    }
+    for f in program.fields() {
+        if program.class(f.class).origin != Origin::Framework {
+            continue;
+        }
+        h.write(
+            format!(
+                "f{}:{}.{};ty={:?};st={};",
+                f.id.0,
+                f.class.0,
+                program.name(f.name),
+                f.ty,
+                f.is_static
+            )
+            .as_bytes(),
+        );
+    }
+    for m in program.methods() {
+        if program.class(m.class).origin != Origin::Framework {
+            continue;
+        }
+        h.write(
+            format!(
+                "m{}:{}.{};p={};ret={:?};st={};abs={};",
+                m.id.0,
+                m.class.0,
+                program.name(m.name),
+                m.param_count,
+                m.ret,
+                m.is_static,
+                m.is_abstract
+            )
+            .as_bytes(),
+        );
+    }
+    h.finish()
+}
+
 /// Fingerprint of the configuration axes that change per-method facts:
 /// the context selector and the pointer-analysis options. Any change
 /// misses the whole store.
@@ -181,6 +264,25 @@ pub trait SummaryStore: Send + Sync + std::fmt::Debug {
 
     /// Caches a points-to `Analysis` artifact.
     fn put_analysis(&self, _key: u64, _analysis: Arc<Analysis>) {}
+
+    /// Looks up a serialized `Analysis` artifact blob (the durable,
+    /// cross-process counterpart of [`Self::get_analysis`]). Backends
+    /// without durable storage return `None`. Returned bytes carry a
+    /// validated envelope ([`pointer::artifact::envelope_is_valid`]);
+    /// deeper decode failures are the caller's (plain) miss.
+    fn get_artifact(&self, _key: u64) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Persists a serialized `Analysis` artifact blob.
+    fn put_artifact(&self, _key: u64, _blob: &[u8]) {}
+
+    /// Whether [`Self::put_artifact`] durably stores blobs. Sessions
+    /// skip serialization entirely for stores that don't, so the
+    /// in-memory path never pays encode cost.
+    fn persists_artifacts(&self) -> bool {
+        false
+    }
 
     /// Lifetime count of lookups that found an entry but could not use
     /// it (torn, truncated, or version-mismatched on-disk files).
@@ -239,14 +341,17 @@ impl SummaryStore for MemoryStore {
 }
 
 /// An on-disk [`SummaryStore`]: each summary is one plain-text file
-/// `<key>.sum` under the cache directory, so summaries persist across
-/// processes (the `--cache-dir` backend). `Analysis` artifacts stay
-/// in-memory (their interned tables are not serialized). Unreadable or
-/// version-mismatched files are treated as misses — a corrupt cache can
-/// cost recomputation, never correctness — but each corrupt file is
-/// counted (surfacing in [`crate::LinkStats`]) and its path logged once.
+/// `<key>.sum` and each `Analysis` artifact one binary blob `<key>.art`
+/// under the cache directory, so both persist across processes (the
+/// `--cache-dir` backend). Artifacts additionally warm an in-memory map
+/// so repeat hits within one process skip deserialization. Unreadable,
+/// truncated, or version-mismatched files of either kind are treated as
+/// misses — a corrupt cache can cost recomputation, never correctness —
+/// but each corrupt file is counted (surfacing in [`crate::LinkStats`])
+/// and its path logged once; the next put overwrites (repairs) it.
 /// With a size cap ([`Self::with_max_bytes`], the `--cache-max-mb`
-/// flag), every write may evict the oldest entries until the cap holds.
+/// flag), every write may evict the oldest entries — summary files and
+/// artifact blobs alike, both counted toward the cap — until it holds.
 #[derive(Debug)]
 pub struct DiskStore {
     dir: PathBuf,
@@ -291,19 +396,24 @@ impl DiskStore {
         self.dir.join(format!("{key:016x}.sum"))
     }
 
+    fn artifact_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.art"))
+    }
+
     /// Records a corrupt file and logs its path the first time.
     fn note_corrupt(&self, path: &std::path::Path) {
         self.corrupt.fetch_add(1, Ordering::Relaxed);
         let mut logged = self.logged.lock().expect("store lock");
         if logged.insert(path.to_path_buf()) {
             eprintln!(
-                "sierra: summary cache entry {} is corrupt; recomputing (entry will be rewritten)",
+                "sierra: cache entry {} is corrupt; recomputing (entry will be rewritten)",
                 path.display()
             );
         }
     }
 
-    /// Deletes oldest `.sum` files until the store fits its cap.
+    /// Deletes oldest cache entries (summary files and artifact blobs)
+    /// until the store fits its cap.
     fn enforce_cap(&self) {
         let Some(max) = self.max_bytes else { return };
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
@@ -311,7 +421,11 @@ impl DiskStore {
         };
         let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
             .flatten()
-            .filter(|e| e.path().extension().is_some_and(|x| x == "sum"))
+            .filter(|e| {
+                e.path()
+                    .extension()
+                    .is_some_and(|x| x == "sum" || x == "art")
+            })
             .filter_map(|e| {
                 let md = e.metadata().ok()?;
                 let mtime = md.modified().ok()?;
@@ -367,6 +481,31 @@ impl SummaryStore for DiskStore {
             .lock()
             .expect("store lock")
             .insert(key, analysis);
+    }
+
+    fn get_artifact(&self, key: u64) -> Option<Vec<u8>> {
+        let path = self.artifact_path(key);
+        let bytes = std::fs::read(&path).ok()?;
+        if pointer::artifact::envelope_is_valid(&bytes) {
+            Some(bytes)
+        } else {
+            self.note_corrupt(&path);
+            None
+        }
+    }
+
+    fn put_artifact(&self, key: u64, blob: &[u8]) {
+        let path = self.artifact_path(key);
+        let tmp = self.dir.join(format!("{key:016x}.art.tmp"));
+        // Write-then-rename so concurrent readers never see a torn blob.
+        if std::fs::write(&tmp, blob).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+        self.enforce_cap();
+    }
+
+    fn persists_artifacts(&self) -> bool {
+        true
     }
 
     fn corrupt_misses(&self) -> usize {
@@ -466,8 +605,14 @@ fn parse_summary(text: &str) -> Option<MethodSummary> {
 }
 
 /// Computes (or retrieves) summaries for every method with a body, in
-/// method-id order, consulting `store` by content key. Returns the
-/// summary list plus `(reused, recomputed)` counts.
+/// method-id order, consulting `store` by content key — and, for
+/// framework-origin methods, `shared` first under the framework-scoped
+/// key (see [`framework_fingerprint`]). A shared miss that resolves
+/// elsewhere promotes the summary into the shared store, so across a
+/// corpus each framework method is summarized exactly once. Returns the
+/// summary list plus `(reused, recomputed, shared_hits)` counts;
+/// shared-layer hits count toward `shared_hits` only, keeping `reused`
+/// comparable with and without a shared store.
 #[allow(clippy::type_complexity)]
 pub fn load_or_summarize(
     program: &Program,
@@ -476,15 +621,33 @@ pub fn load_or_summarize(
     structural_fp: u64,
     config_fp: u64,
     store: &dyn SummaryStore,
-) -> (Vec<(MethodId, Arc<MethodSummary>)>, usize, usize) {
+    shared: Option<&dyn SummaryStore>,
+) -> (Vec<(MethodId, Arc<MethodSummary>)>, usize, usize, usize) {
     let printer = ProgramPrinter::new(program);
+    let framework_fp = shared.map(|_| framework_fingerprint(program));
     let mut methods = Vec::new();
-    let (mut reused, mut recomputed) = (0, 0);
+    let (mut reused, mut recomputed, mut shared_hits) = (0, 0, 0);
     for m in program.methods() {
         if !m.has_body() {
             continue;
         }
-        let key = summary_key(structural_fp, &printer.print_method(m.id), config_fp);
+        let body = printer.print_method(m.id);
+        let key = summary_key(structural_fp, &body, config_fp);
+        // Framework methods additionally live in the shared layer under
+        // a key independent of this app's app/library code.
+        let shared_key = match (shared, framework_fp) {
+            (Some(_), Some(fp)) if program.class(m.class).origin == Origin::Framework => {
+                Some(summary_key(fp, &body, config_fp))
+            }
+            _ => None,
+        };
+        if let (Some(sh), Some(sk)) = (shared, shared_key) {
+            if let Some(s) = sh.get(sk) {
+                shared_hits += 1;
+                methods.push((m.id, s));
+                continue;
+            }
+        }
         let summary = match store.get(key) {
             Some(s) => {
                 reused += 1;
@@ -497,9 +660,12 @@ pub fn load_or_summarize(
                 s
             }
         };
+        if let (Some(sh), Some(sk)) = (shared, shared_key) {
+            sh.put(sk, Arc::clone(&summary));
+        }
         methods.push((m.id, summary));
     }
-    (methods, reused, recomputed)
+    (methods, reused, recomputed, shared_hits)
 }
 
 #[cfg(test)]
@@ -587,6 +753,101 @@ mod tests {
         store.put(7, Arc::clone(&s));
         assert_eq!(store.get(7).as_deref(), Some(&*s));
         assert_eq!(store.corrupt_misses(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Wraps `payload` in the artifact envelope format
+    /// ([`pointer::artifact`]); the literal magic/version here pin the
+    /// on-disk layout.
+    fn artifact_blob(payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"SIERRART");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv64(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn disk_store_round_trips_artifact_blobs() {
+        let dir = std::env::temp_dir().join(format!("sierra-art-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::new(&dir).expect("store dir");
+        assert!(store.get_artifact(5).is_none(), "cold store misses");
+        let blob = artifact_blob(b"solver state bytes");
+        store.put_artifact(5, &blob);
+        assert_eq!(store.get_artifact(5).as_deref(), Some(&blob[..]));
+        assert!(store.get_artifact(6).is_none());
+        assert_eq!(store.corrupt_misses(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_store_counts_corrupt_artifact_blobs_and_repairs_on_put() {
+        let dir =
+            std::env::temp_dir().join(format!("sierra-art-corrupt-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DiskStore::new(&dir).expect("store dir");
+        let blob = artifact_blob(b"points-to artifact");
+        store.put_artifact(9, &blob);
+
+        // Truncation breaks the envelope: counted miss, not an error.
+        std::fs::write(
+            dir.join(format!("{:016x}.art", 9u64)),
+            &blob[..blob.len() - 3],
+        )
+        .expect("truncate");
+        assert!(store.get_artifact(9).is_none());
+        assert_eq!(store.corrupt_misses(), 1);
+
+        // A version bump from a future layout is equally a miss.
+        let mut skewed = blob.clone();
+        skewed[8] = skewed[8].wrapping_add(1);
+        std::fs::write(dir.join(format!("{:016x}.art", 9u64)), &skewed).expect("skew");
+        assert!(store.get_artifact(9).is_none());
+        assert_eq!(store.corrupt_misses(), 2);
+
+        // The next put repairs the entry in place.
+        store.put_artifact(9, &blob);
+        assert_eq!(store.get_artifact(9).as_deref(), Some(&blob[..]));
+        assert_eq!(store.corrupt_misses(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_cap_counts_and_evicts_artifact_blobs_too() {
+        let dir =
+            std::env::temp_dir().join(format!("sierra-art-evict-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let blob = artifact_blob(&[0xabu8; 256]);
+        // Cap fits two blobs plus one summary, nothing more.
+        let one_entry = render_summary(&sample_summary()).len() as u64;
+        let store =
+            DiskStore::with_max_bytes(&dir, 2 * blob.len() as u64 + one_entry).expect("store dir");
+        let age = |name: String, secs: u64| {
+            let old = std::time::SystemTime::now() - std::time::Duration::from_secs(secs);
+            let f = std::fs::File::options()
+                .write(true)
+                .open(dir.join(name))
+                .expect("open entry");
+            f.set_modified(old).expect("set mtime");
+        };
+        store.put_artifact(1, &blob);
+        age(format!("{:016x}.art", 1u64), 300);
+        store.put(2, Arc::new(sample_summary()));
+        age(format!("{:016x}.sum", 2u64), 200);
+        store.put_artifact(3, &blob);
+        age(format!("{:016x}.art", 3u64), 100);
+        assert_eq!(store.evictions(), 0, "exactly at the cap");
+
+        // A new blob exceeds the cap; the oldest entry — an artifact
+        // blob — is reclaimed, proving blobs are both counted and
+        // evictable.
+        store.put_artifact(4, &blob);
+        assert!(store.evictions() >= 1);
+        assert!(store.get_artifact(1).is_none(), "oldest blob reclaimed");
+        assert_eq!(store.get_artifact(4).as_deref(), Some(&blob[..]));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

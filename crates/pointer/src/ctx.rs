@@ -64,6 +64,23 @@ impl CtxTable {
         &self.data[id.0 as usize]
     }
 
+    /// Every interned context, in id order (`CtxId(i)` is position `i`).
+    pub fn entries(&self) -> &[CtxData] {
+        &self.data
+    }
+
+    /// Rebuilds a table from an id-ordered entry list (the inverse of
+    /// [`Self::entries`], for artifact deserialization). Interning the
+    /// same data afterwards resolves to the original ids.
+    pub fn from_entries(data: Vec<CtxData>) -> Self {
+        let map = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.clone(), CtxId(i as u32)))
+            .collect();
+        Self { data, map }
+    }
+
     /// Number of distinct contexts.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -159,6 +176,23 @@ impl ObjTable {
     /// Resolves an object id.
     pub fn get(&self, id: ObjId) -> &ObjData {
         &self.data[id.0 as usize]
+    }
+
+    /// Every interned object, in id order (`ObjId(i)` is position `i`).
+    pub fn entries(&self) -> &[ObjData] {
+        &self.data
+    }
+
+    /// Rebuilds a table from an id-ordered entry list (the inverse of
+    /// [`Self::entries`], for artifact deserialization). Interning the
+    /// same data afterwards resolves to the original ids.
+    pub fn from_entries(data: Vec<ObjData>) -> Self {
+        let map = data
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.clone(), ObjId(i as u32)))
+            .collect();
+        Self { data, map }
     }
 
     /// Number of distinct objects.

@@ -18,6 +18,7 @@
 //! under fresh action contexts, producing the action set, posting records,
 //! and per-action memory accesses that the SHBG and race detector consume.
 
+pub mod artifact;
 mod ctx;
 mod ptsset;
 mod result;

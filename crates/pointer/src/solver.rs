@@ -115,7 +115,7 @@ pub struct PostRecord {
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum NodeKey {
+pub(crate) enum NodeKey {
     Var {
         method: MethodId,
         ctx: CtxId,
@@ -135,7 +135,7 @@ enum NodeKey {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-struct NodeId(u32);
+pub(crate) struct NodeId(pub(crate) u32);
 
 /// Counters recorded while the solver runs, reported per stage by the
 /// pipeline's metrics. All counts are deterministic: the solver visits
@@ -215,7 +215,7 @@ pub struct Analysis {
     pub options: AnalysisOptions,
     /// The framework ids of the analyzed app (needed to re-recognize
     /// container ops when extracting accesses).
-    framework: FrameworkClasses,
+    pub(crate) framework: FrameworkClasses,
     /// All minted actions.
     pub actions: ActionRegistry,
     /// Method-context table.
@@ -226,7 +226,7 @@ pub struct Analysis {
     pub reachable: HashSet<(MethodId, CtxId)>,
     /// Per-method reachable contexts, sorted (cached from `reachable`
     /// so [`Analysis::contexts_of`] never re-scans or re-sorts).
-    contexts_by_method: HashMap<MethodId, Vec<CtxId>>,
+    pub(crate) contexts_by_method: HashMap<MethodId, Vec<CtxId>>,
     /// Call-graph edges: `(caller, ctx, site) → callees`.
     pub cg_edges: HashMap<(MethodId, CtxId, CallSiteId), Vec<(MethodId, CtxId)>>,
     /// Action-posting records.
@@ -237,8 +237,8 @@ pub struct Analysis {
     pub root_actions: Vec<(ClassId, ActionId)>,
     /// Counters recorded during solving.
     pub stats: SolverStats,
-    nodes: HashMap<NodeKey, NodeId>,
-    pts: Vec<PtsSet>,
+    pub(crate) nodes: HashMap<NodeKey, NodeId>,
+    pub(crate) pts: Vec<PtsSet>,
 }
 
 static EMPTY_PTS: PtsSet = PtsSet::new();

@@ -1045,3 +1045,90 @@ mod cycle_collapse {
         }
     }
 }
+
+mod artifact_roundtrip {
+    use super::news_app;
+    use crate::{analyze, artifact, collect_accesses, SelectorKind};
+
+    /// Canonical projection of accesses for equality (Access lacks
+    /// PartialEq by design).
+    fn canon(a: &crate::Analysis, h: &harness_gen::HarnessResult) -> Vec<String> {
+        let mut v: Vec<String> = collect_accesses(a, &h.app.program, Some(h.harness_class))
+            .iter()
+            .map(|x| {
+                format!(
+                    "{:?}",
+                    (
+                        x.action,
+                        x.method,
+                        x.ctx,
+                        x.addr,
+                        x.is_write,
+                        x.field,
+                        &x.base,
+                        x.is_static
+                    )
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_round_trips() {
+        let h = news_app();
+        let a = analyze(&h, SelectorKind::ActionSensitive(1));
+        let blob = artifact::encode(&a);
+        assert_eq!(blob, artifact::encode(&a), "encode must be deterministic");
+        assert!(artifact::envelope_is_valid(&blob));
+        let d = artifact::decode(&blob, h.app.framework.clone()).expect("round-trip decode");
+        // Analysis has no PartialEq; byte-identical re-encode proves every
+        // serialized component survived, and stats carry over verbatim.
+        assert_eq!(artifact::encode(&d), blob);
+        assert_eq!(d.stats, a.stats);
+        assert!(
+            d.stats.worklist_iterations > 0,
+            "stats are the original run's"
+        );
+    }
+
+    #[test]
+    fn decoded_analysis_is_observationally_equivalent() {
+        let h = news_app();
+        let a = analyze(&h, SelectorKind::ActionSensitive(1));
+        let d = artifact::decode(&artifact::encode(&a), h.app.framework.clone()).unwrap();
+        assert_eq!(canon(&d, &h), canon(&a, &h));
+        assert_eq!(d.reachable, a.reachable);
+        assert_eq!(d.cg_edges, a.cg_edges);
+        assert_eq!(d.posts, a.posts);
+        assert_eq!(d.root_actions, a.root_actions);
+        assert_eq!(d.actions.actions().len(), a.actions.actions().len());
+    }
+
+    #[test]
+    fn envelope_rejects_truncation_corruption_and_version_skew() {
+        let h = news_app();
+        let a = analyze(&h, SelectorKind::ActionSensitive(1));
+        let blob = artifact::encode(&a);
+        let fw = h.app.framework.clone();
+
+        // Truncated at every interesting boundary.
+        for cut in [0, 7, 8, 27, blob.len() / 2, blob.len() - 1] {
+            assert!(!artifact::envelope_is_valid(&blob[..cut]), "cut={cut}");
+            assert!(artifact::decode(&blob[..cut], fw.clone()).is_none());
+        }
+
+        // Flipped payload byte breaks the checksum.
+        let mut torn = blob.clone();
+        *torn.last_mut().unwrap() ^= 0xff;
+        assert!(!artifact::envelope_is_valid(&torn));
+        assert!(artifact::decode(&torn, fw.clone()).is_none());
+
+        // Version bump must read as a miss, not a parse attempt.
+        let mut skewed = blob.clone();
+        skewed[8] = skewed[8].wrapping_add(1);
+        assert!(!artifact::envelope_is_valid(&skewed));
+        assert!(artifact::decode(&skewed, fw).is_none());
+    }
+}

@@ -170,9 +170,10 @@ fn disk_store_round_trips_across_processes() {
         let store: Arc<dyn SummaryStore> = Arc::new(DiskStore::new(&dir).expect("cache dir"));
         run_with_store(edit_pairs::base_app(), cfg, store)
     };
-    // Second "process": fresh DiskStore instance over the same directory.
-    // The analysis artifact is memory-only, so summaries reload from disk
-    // but the solver re-runs.
+    // Second "process": fresh DiskStore instance over the same directory
+    // (empty in-memory artifact map). Summaries reload from their files
+    // and the whole analysis rehydrates from its persisted blob, so the
+    // solver never runs.
     let warm = {
         let store: Arc<dyn SummaryStore> = Arc::new(DiskStore::new(&dir).expect("cache dir"));
         run_with_store(edit_pairs::base_app(), cfg, store)
@@ -181,9 +182,155 @@ fn disk_store_round_trips_across_processes() {
     let w = warm.metrics.link;
     assert_eq!(w.summaries_recomputed, 0, "summaries persisted to disk");
     assert_eq!(w.summaries_reused, cold.metrics.link.summaries_recomputed);
-    assert!(!w.analysis_reused, "analysis artifacts are per-process");
+    assert!(w.analysis_reused, "analysis blob persisted to disk");
+    assert_eq!(w.pointer_iterations_run, 0, "no solver work cross-process");
+    assert_eq!(w.corrupt_misses, 0);
+
+    // The ablation flag restores the old per-process behavior.
+    let ablated = {
+        let store: Arc<dyn SummaryStore> = Arc::new(DiskStore::new(&dir).expect("cache dir"));
+        let cfg = SierraConfig::builder().no_artifact_cache(true).build();
+        run_with_store(edit_pairs::base_app(), cfg, store)
+    };
+    assert!(
+        !ablated.metrics.link.analysis_reused,
+        "--no-artifact-cache must not read blobs"
+    );
+    assert!(ablated.metrics.link.pointer_iterations_run > 0);
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Entry point for [`true_child_processes_reuse_the_artifact_cache`]:
+/// runs one full session in *this* process when the spawn env vars are
+/// set, and is an immediate no-op during a normal test-suite run.
+#[test]
+fn spawned_child_runs_one_session() {
+    let Ok(role) = std::env::var("SIERRA_SPAWN_ROLE") else {
+        return;
+    };
+    let dir = std::path::PathBuf::from(std::env::var("SIERRA_SPAWN_DIR").expect("spawn dir"));
+    let store: Arc<dyn SummaryStore> =
+        Arc::new(DiskStore::new(dir.join("cache")).expect("cache dir"));
+    let app = match role.as_str() {
+        "cold" => edit_pairs::base_app(),
+        "warm" => edit_pairs::edited_app(),
+        other => panic!("unknown spawn role {other:?}"),
+    };
+    let result = run_with_store(app, SierraConfig::default(), store);
+    let l = result.metrics.link;
+    std::fs::write(dir.join(format!("{role}.report")), stable(&result)).expect("write report");
+    std::fs::write(
+        dir.join(format!("{role}.metrics")),
+        format!(
+            "analysis_reused={}\npointer_iterations_run={}\nsummaries_reused={}\nsummaries_recomputed={}\n",
+            l.analysis_reused, l.pointer_iterations_run, l.summaries_reused, l.summaries_recomputed,
+        ),
+    )
+    .expect("write metrics");
+}
+
+#[test]
+fn true_child_processes_reuse_the_artifact_cache() {
+    let dir = std::env::temp_dir().join(format!("sierra-spawn-reuse-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("spawn dir");
+
+    // Two genuinely separate OS processes against one cache dir: a cold
+    // base-version run, then a warm edited-version run (the edit is a
+    // points-to no-op, so the digest vector — and the artifact key — is
+    // unchanged).
+    let exe = std::env::current_exe().expect("test binary path");
+    for role in ["cold", "warm"] {
+        let status = std::process::Command::new(&exe)
+            .args(["spawned_child_runs_one_session", "--exact"])
+            .env("SIERRA_SPAWN_ROLE", role)
+            .env("SIERRA_SPAWN_DIR", &dir)
+            .status()
+            .expect("spawn child test process");
+        assert!(status.success(), "{role} child process failed");
+    }
+
+    let metrics = std::fs::read_to_string(dir.join("warm.metrics")).expect("warm metrics");
+    let field = |name: &str| -> String {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name}=")))
+            .unwrap_or_else(|| panic!("missing {name} in {metrics:?}"))
+            .to_string()
+    };
+    assert_eq!(
+        field("analysis_reused"),
+        "true",
+        "warm process hit the blob"
+    );
+    assert_eq!(field("pointer_iterations_run"), "0");
+    assert!(field("summaries_reused").parse::<usize>().expect("count") >= 1);
+    assert_eq!(field("summaries_recomputed"), "1", "only the edited body");
+
+    // The cross-process warm report is byte-identical to a plain
+    // in-memory run of the same app version.
+    let in_memory = run_with_store(
+        edit_pairs::edited_app(),
+        SierraConfig::default(),
+        Arc::new(MemoryStore::new()) as Arc<dyn SummaryStore>,
+    );
+    let warm_report = std::fs::read_to_string(dir.join("warm.report")).expect("warm report");
+    assert_eq!(warm_report, stable(&in_memory));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shared_store_computes_framework_summaries_once_corpus_wide() {
+    let shared: Arc<dyn SummaryStore> = Arc::new(MemoryStore::new());
+    let cfg = SierraConfig::default();
+    let run_shared = |app: android_model::AndroidApp| {
+        SessionBuilder::new(cfg)
+            .app(app)
+            .store(Arc::new(MemoryStore::new()) as Arc<dyn SummaryStore>)
+            .shared_store(Arc::clone(&shared))
+            .build()
+            .expect("valid app")
+            .finish()
+            .expect("pipeline runs")
+    };
+
+    // First app: nothing shared yet; its framework summaries are
+    // promoted into the shared layer as they are computed.
+    let first = run_shared(edit_pairs::base_app());
+    assert_eq!(first.metrics.link.summaries_shared, 0, "cold shared layer");
+
+    // Second, *different* app with its own cold per-app store: every
+    // framework-origin method with a body is served from the shared
+    // layer — i.e. the framework slice is computed once corpus-wide.
+    let (app2, _) = corpus::figures::intra_component();
+    let framework_methods = app2
+        .program
+        .methods()
+        .iter()
+        .filter(|m| m.has_body() && app2.program.class(m.class).origin == apir::Origin::Framework)
+        .count();
+    assert!(framework_methods >= 1, "fixture must exercise the layer");
+    let second = run_shared(app2);
+    assert_eq!(
+        second.metrics.link.summaries_shared, framework_methods,
+        "all framework summaries must come from the shared layer"
+    );
+    assert!(
+        second.metrics.link.summaries_recomputed
+            < framework_methods + second.metrics.link.summaries_shared,
+        "shared hits must not be recomputed"
+    );
+
+    // Sharing changes work done, never results.
+    let (app2_again, _) = corpus::figures::intra_component();
+    let unshared = run_with_store(
+        app2_again,
+        cfg,
+        Arc::new(MemoryStore::new()) as Arc<dyn SummaryStore>,
+    );
+    assert_eq!(stable(&second), stable(&unshared));
 }
 
 #[test]
