@@ -265,6 +265,23 @@ pub struct FrameworkClasses {
     pub on_completion_listener: ClassId,
     /// `OnCompletionListener.onCompletion(MediaPlayer)`.
     pub on_completion: MethodId,
+
+    // --- java.lang reflection + intent dispatch (soundness-policy gated) ---
+    /// `java.lang.Class` — the reflective class token.
+    pub java_class: ClassId,
+    /// `Class.forName(String)` — opaque reflective lookup.
+    pub class_for_name: MethodId,
+    /// `Class.newInstance()` — opaque reflective instantiation.
+    pub class_new_instance: MethodId,
+    /// `Class.invoke(String, Object)` — opaque reflective invocation (the
+    /// model's collapsed `Method.invoke`).
+    pub method_invoke: MethodId,
+    /// `Intent.setClass(String)` — opaque component binding.
+    pub intent_set_class: MethodId,
+    /// `Context.startActivity(Intent)` — opaque inter-component dispatch.
+    pub start_activity: MethodId,
+    /// `Context.sendBroadcast(Intent)` — opaque inter-component dispatch.
+    pub send_broadcast: MethodId,
 }
 
 impl FrameworkClasses {
@@ -563,6 +580,18 @@ impl FrameworkClasses {
         let on_completion_listener = cb.build();
         let on_completion = pb.abstract_method(on_completion_listener, "onCompletion", 2);
 
+        // java.lang.Class — reflection surface. Installed last so every
+        // pre-existing framework id stays stable across versions.
+        let mut cb = pb.class("java.lang.Class", fw);
+        cb.set_super(object);
+        let java_class = cb.build();
+        let class_for_name = pb.abstract_method(java_class, "forName", 1);
+        let class_new_instance = pb.abstract_method(java_class, "newInstance", 1);
+        let method_invoke = pb.abstract_method(java_class, "invoke", 3);
+        let intent_set_class = pb.abstract_method(intent, "setClass", 2);
+        let start_activity = pb.abstract_method(context, "startActivity", 2);
+        let send_broadcast = pb.abstract_method(context, "sendBroadcast", 2);
+
         Self {
             object,
             runnable,
@@ -673,6 +702,13 @@ impl FrameworkClasses {
             set_on_completion_listener,
             on_completion_listener,
             on_completion,
+            java_class,
+            class_for_name,
+            class_new_instance,
+            method_invoke,
+            intent_set_class,
+            start_activity,
+            send_broadcast,
         }
     }
 }
@@ -715,6 +751,12 @@ mod tests {
             fw.handler_post,
             fw.async_task_execute,
             fw.find_view_by_id,
+            fw.class_for_name,
+            fw.class_new_instance,
+            fw.method_invoke,
+            fw.intent_set_class,
+            fw.start_activity,
+            fw.send_broadcast,
         ] {
             assert!(
                 p.method(m).is_abstract,

@@ -70,6 +70,25 @@ pub enum FrameworkOp {
     ArrayListSetAt,
     /// `ArrayList.getAt(int)` — index-sensitive container load.
     ArrayListGetAt,
+    /// `Class.forName(String)` — reflective class lookup; resolvable when
+    /// the name operand is a constant naming an app class.
+    ClassForName,
+    /// `Class.newInstance()` — reflective instantiation of the class the
+    /// receiver token denotes.
+    ClassNewInstance,
+    /// `Class.invoke(String, Object)` — reflective invocation (the model's
+    /// collapsed `Method.invoke`): dispatches the named method on the
+    /// receiver argument when the name is constant.
+    MethodInvoke,
+    /// `Intent.setClass(String)` — binds an intent to its target component
+    /// by class name.
+    IntentSetClass,
+    /// `Context.startActivity(Intent)` — inter-component dispatch: launches
+    /// the intent's target activity.
+    StartActivity,
+    /// `Context.sendBroadcast(Intent)` — inter-component dispatch: delivers
+    /// `onReceive` to the intent's target receiver.
+    SendBroadcast,
 }
 
 impl FrameworkOp {
@@ -110,6 +129,12 @@ impl FrameworkOp {
             m if m == fw.handler_init => HandlerInit,
             m if m == fw.get_main_looper => GetMainLooper,
             m if m == fw.my_looper => MyLooper,
+            m if m == fw.class_for_name => ClassForName,
+            m if m == fw.class_new_instance => ClassNewInstance,
+            m if m == fw.method_invoke => MethodInvoke,
+            m if m == fw.intent_set_class => IntentSetClass,
+            m if m == fw.start_activity => StartActivity,
+            m if m == fw.send_broadcast => SendBroadcast,
             _ => return None,
         };
         Some(op)
@@ -137,6 +162,8 @@ impl FrameworkOp {
                 | TimerSchedule
                 | RequestLocationUpdates
                 | SetOnCompletionListener
+                | StartActivity
+                | SendBroadcast
         )
     }
 
@@ -146,6 +173,36 @@ impl FrameworkOp {
             FrameworkOp::SetListener(k) => Some(k),
             _ => None,
         }
+    }
+
+    /// Whether this op is an *opaque-by-default* edge whose resolution
+    /// depends on the active soundness policy: reflection lookups and
+    /// inter-component intent dispatch. Under the `ignore` policy these
+    /// sites stay silent; `resolve` consults the constant/manifest table
+    /// and `havoc` additionally falls back to type-compatible targets.
+    pub fn is_policy_gated(self) -> bool {
+        use FrameworkOp::*;
+        matches!(
+            self,
+            ClassForName
+                | ClassNewInstance
+                | MethodInvoke
+                | IntentSetClass
+                | StartActivity
+                | SendBroadcast
+        )
+    }
+
+    /// Whether this op is a reflective lookup/invocation.
+    pub fn is_reflective(self) -> bool {
+        use FrameworkOp::*;
+        matches!(self, ClassForName | ClassNewInstance | MethodInvoke)
+    }
+
+    /// Whether this op is an inter-component intent dispatch.
+    pub fn is_intent_dispatch(self) -> bool {
+        use FrameworkOp::*;
+        matches!(self, IntentSetClass | StartActivity | SendBroadcast)
     }
 }
 
@@ -171,6 +228,14 @@ mod tests {
             FrameworkOp::classify(&fw, fw.find_view_by_id),
             Some(FrameworkOp::FindViewById)
         );
+        assert_eq!(
+            FrameworkOp::classify(&fw, fw.class_for_name),
+            Some(FrameworkOp::ClassForName)
+        );
+        assert_eq!(
+            FrameworkOp::classify(&fw, fw.start_activity),
+            Some(FrameworkOp::StartActivity)
+        );
         // Transparent methods are not ops.
         assert_eq!(FrameworkOp::classify(&fw, fw.thread_init), None);
         assert_eq!(FrameworkOp::classify(&fw, fw.array_list_add), None);
@@ -185,6 +250,32 @@ mod tests {
         assert!(!FrameworkOp::SetListener(GuiEventKind::Click).creates_action());
         assert!(!FrameworkOp::UnregisterReceiver.creates_action());
         assert!(!FrameworkOp::AsyncTaskCancel.creates_action());
+    }
+
+    #[test]
+    fn policy_gated_ops() {
+        use FrameworkOp::*;
+        for op in [
+            ClassForName,
+            ClassNewInstance,
+            MethodInvoke,
+            IntentSetClass,
+            StartActivity,
+            SendBroadcast,
+        ] {
+            assert!(op.is_policy_gated());
+        }
+        assert!(!ThreadStart.is_policy_gated());
+        assert!(!FindViewById.is_policy_gated());
+        assert!(ClassForName.is_reflective());
+        assert!(!ClassForName.is_intent_dispatch());
+        assert!(StartActivity.is_intent_dispatch());
+        assert!(!StartActivity.is_reflective());
+        // Intent dispatch creates actions; reflection alone does not.
+        assert!(StartActivity.creates_action());
+        assert!(SendBroadcast.creates_action());
+        assert!(!ClassForName.creates_action());
+        assert!(!IntentSetClass.creates_action());
     }
 
     #[test]

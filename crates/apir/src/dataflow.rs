@@ -1019,6 +1019,109 @@ mod tests {
         assert!(joined.0.is_empty());
     }
 
+    /// The resolve-aware oracle shape the triage stage uses: a call
+    /// site whose callee has no body yields an empty list (opaque —
+    /// unresolved reflection, a havoc-smashed site, or a framework
+    /// stub); everything else resolves statically.
+    struct BodyAwareCalls;
+
+    impl CallOracle for BodyAwareCalls {
+        fn callees(&self, _addr: StmtAddr, stmt: &Stmt) -> Vec<MethodId> {
+            match stmt {
+                Stmt::Call { callee, .. } => vec![*callee],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn opaque_call_drops_result_facts_but_keeps_the_rest() {
+        // main: x = 7; y = opaque(x); sink(x, y)
+        //
+        // `opaque` has no body — the case every opaque-policy leaves at
+        // a call site it cannot (or chooses not to) resolve. The driver
+        // must not solve it, the caller must keep unrelated facts (x is
+        // still 7 after the call), and the facts about the call's own
+        // result must drop to ⊤ (havoc transfer: y is unknown in sink).
+        let mut pb = ProgramBuilder::new();
+        let class = pb.class("T", Origin::App).build();
+        let opaque = pb.abstract_method(class, "opaque", 1);
+
+        let mut mb = pb.method(class, "sink");
+        mb.set_param_count(2);
+        mb.ret(None);
+        let sink = mb.finish();
+
+        let mut mb = pb.method(class, "main");
+        mb.set_param_count(0);
+        let x = mb.fresh_local();
+        let y = mb.fresh_local();
+        mb.const_(x, ConstValue::Int(7));
+        mb.call(
+            Some(y),
+            InvokeKind::Static,
+            opaque,
+            None,
+            vec![Operand::Local(x)],
+        );
+        mb.call(
+            None,
+            InvokeKind::Static,
+            sink,
+            None,
+            vec![Operand::Local(x), Operand::Local(y)],
+        );
+        mb.ret(None);
+        let main = mb.finish();
+        let program = pb.finish();
+
+        let r = solve_interprocedural(&program, &BodyAwareCalls, &[main], &InterConsts);
+        assert!(
+            !r.per_method.contains_key(&opaque),
+            "a bodyless callee is never solved"
+        );
+        assert_eq!(r.per_method.len(), 2, "main and sink only");
+        let sink_entry = r.per_method[&sink]
+            .block_input(BlockId(0))
+            .expect("sink reached past the opaque site");
+        assert_eq!(
+            sink_entry.0.get(&Local(0)),
+            Some(&ConstValue::Int(7)),
+            "facts not flowing through the opaque callee survive it"
+        );
+        assert_eq!(
+            sink_entry.0.get(&Local(1)),
+            None,
+            "the opaque call's result enters the callee as ⊤"
+        );
+    }
+
+    #[test]
+    fn empty_root_and_all_opaque_calls_yield_no_results() {
+        // A root whose every call is opaque produces exactly one solve:
+        // the driver must terminate without inventing callee boundaries.
+        struct NoCalls;
+        impl CallOracle for NoCalls {
+            fn callees(&self, _addr: StmtAddr, _stmt: &Stmt) -> Vec<MethodId> {
+                Vec::new()
+            }
+        }
+        let mut pb = ProgramBuilder::new();
+        let class = pb.class("T", Origin::App).build();
+        let opaque = pb.abstract_method(class, "opaque", 0);
+        let mut mb = pb.method(class, "main");
+        mb.set_param_count(0);
+        mb.call(None, InvokeKind::Static, opaque, None, vec![]);
+        mb.ret(None);
+        let main = mb.finish();
+        let program = pb.finish();
+
+        let r = solve_interprocedural(&program, &NoCalls, &[main], &InterConsts);
+        assert_eq!(r.solves, 1);
+        assert_eq!(r.per_method.len(), 1);
+        assert!(r.per_method.contains_key(&main));
+    }
+
     #[test]
     fn bitset_operations() {
         let mut s = BitSet::with_capacity(130);

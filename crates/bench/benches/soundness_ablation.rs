@@ -1,0 +1,190 @@
+//! Soundness-mode ablation: what each opaque-call policy buys.
+//!
+//! Runs the soundness-audit corpus (the twenty Table-2 apps plus the
+//! `reflection_idioms` fixtures, whose planted races are invisible
+//! unless reflection/intent edges are modeled) once per policy and
+//! records, in `BENCH_soundness.json`:
+//!
+//! - per-policy planted-race recall (`soundness_recall_*_pct`) — the
+//!   measurable-recall claim the gate pins: `resolve` and `havoc` must
+//!   hold 100% on this corpus, and recall must be monotone up the
+//!   `ignore → resolve → havoc` ladder;
+//! - `soundness_truth_lost_havoc` — planted races the most conservative
+//!   policy still misses (must be zero);
+//! - `edge_subset_violations` — apps where the context-insensitive
+//!   call-graph projection fails `ignore ⊆ resolve ⊆ havoc` (must be
+//!   zero);
+//! - the audit's unresolved-site census under `ignore`
+//!   (`soundness_unresolved_ignore`, `soundness_refl_sites_ignore`,
+//!   `soundness_intent_sites_ignore`) — deterministic counters the gate
+//!   bands against the baseline.
+//!
+//! ```sh
+//! cargo bench -p sierra-bench --bench soundness_ablation
+//! ```
+
+use android_model::AndroidApp;
+use corpus::GroundTruth;
+use sierra_bench::{group, time};
+use sierra_core::json::{num, obj, Json};
+use sierra_core::{OpaquePolicy, Sierra, SierraConfig, SierraResult};
+use std::collections::BTreeSet;
+
+/// The audit corpus: every Table-2 app plus the two policy fixtures.
+fn audit_corpus() -> Vec<(String, AndroidApp, GroundTruth)> {
+    let mut apps: Vec<(String, AndroidApp, GroundTruth)> = corpus::twenty::build_all()
+        .into_iter()
+        .map(|(spec, app, truth)| (spec.name.to_owned(), app, truth))
+        .collect();
+    let (app, truth) = corpus::reflection_idioms::reflection_idioms_app();
+    apps.push(("ReflectionIdioms".to_owned(), app, truth));
+    let (app, truth) = corpus::reflection_idioms::intent_idioms_app();
+    apps.push(("IntentIdioms".to_owned(), app, truth));
+    apps
+}
+
+/// Context-insensitive `(caller, site, callee)` projection of the call
+/// graph (contexts are allocated in policy-dependent order).
+fn edge_projection(result: &SierraResult) -> BTreeSet<(u32, u32, u32)> {
+    let mut out = BTreeSet::new();
+    for ((m, _, site), callees) in &result.analysis.cg_edges {
+        for &(callee, _) in callees {
+            out.insert((m.0, site.0, callee.0));
+        }
+    }
+    out
+}
+
+/// One policy's corpus pass, reduced to the gated tallies.
+#[derive(Default)]
+struct PolicyTally {
+    found: usize,
+    missed: usize,
+    unresolved: usize,
+    refl: usize,
+    intent: usize,
+    edges: Vec<BTreeSet<(u32, u32, u32)>>,
+}
+
+impl PolicyTally {
+    fn recall_pct(&self) -> f64 {
+        if self.found + self.missed == 0 {
+            100.0
+        } else {
+            100.0 * self.found as f64 / (self.found + self.missed) as f64
+        }
+    }
+}
+
+fn run_policy(apps: &[(String, AndroidApp, GroundTruth)], policy: OpaquePolicy) -> PolicyTally {
+    let cfg = SierraConfig::builder().opaque_policy(policy).build();
+    let mut tally = PolicyTally::default();
+    for (_, app, truth) in apps {
+        let result = Sierra::with_config(cfg).analyze_app(app.clone());
+        let p = &result.harness.app.program;
+        let groups: Vec<(String, String)> = result
+            .races
+            .iter()
+            .map(|r| {
+                let f = p.field(r.field);
+                (p.class_name(f.class).to_owned(), p.name(f.name).to_owned())
+            })
+            .collect();
+        let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+        tally.found += eval.true_races;
+        tally.missed += eval.missed;
+        let s = result.metrics.soundness;
+        tally.unresolved += s.unresolved_sites;
+        tally.refl += s.reflective_sites;
+        tally.intent += s.intent_sites;
+        tally.edges.push(edge_projection(&result));
+    }
+    tally
+}
+
+fn main() {
+    let apps = audit_corpus();
+    group("soundness_ablation");
+
+    let mut tallies: Vec<(OpaquePolicy, PolicyTally)> = Vec::new();
+    for policy in OpaquePolicy::ALL {
+        let mut last = None;
+        time(&format!("corpus/{policy}"), 3, || {
+            let t = run_policy(&apps, policy);
+            let out = (t.found, t.missed);
+            last = Some(t);
+            out
+        });
+        tallies.push((policy, last.expect("at least one timed run")));
+    }
+
+    let by = |p: OpaquePolicy| {
+        &tallies
+            .iter()
+            .find(|(q, _)| *q == p)
+            .expect("all policies ran")
+            .1
+    };
+    let (ignore, resolve, havoc) = (
+        by(OpaquePolicy::Ignore),
+        by(OpaquePolicy::Resolve),
+        by(OpaquePolicy::Havoc),
+    );
+
+    // `ignore ⊆ resolve ⊆ havoc` per app, on the projected edge sets.
+    let mut edge_subset_violations = 0usize;
+    for (i, (name, _, _)) in apps.iter().enumerate() {
+        for (lo, hi, label) in [
+            (&ignore.edges[i], &resolve.edges[i], "ignore ⊆ resolve"),
+            (&resolve.edges[i], &havoc.edges[i], "resolve ⊆ havoc"),
+        ] {
+            if !lo.is_subset(hi) {
+                edge_subset_violations += 1;
+                println!("  VIOLATION {name}: {label} fails");
+            }
+        }
+    }
+
+    println!(
+        "recall: ignore {:.1}% ({} found, {} missed) | resolve {:.1}% | havoc {:.1}% | {} subset violation(s)",
+        ignore.recall_pct(),
+        ignore.found,
+        ignore.missed,
+        resolve.recall_pct(),
+        havoc.recall_pct(),
+        edge_subset_violations,
+    );
+
+    let json = obj(vec![
+        ("bench", Json::Str("soundness_ablation".to_owned())),
+        ("apps", num(apps.len())),
+        (
+            "soundness_ablation",
+            obj(vec![
+                (
+                    "soundness_recall_ignore_pct",
+                    Json::Num(ignore.recall_pct()),
+                ),
+                (
+                    "soundness_recall_resolve_pct",
+                    Json::Num(resolve.recall_pct()),
+                ),
+                ("soundness_recall_havoc_pct", Json::Num(havoc.recall_pct())),
+                ("soundness_found_ignore", num(ignore.found)),
+                ("soundness_found_resolve", num(resolve.found)),
+                ("soundness_found_havoc", num(havoc.found)),
+                ("soundness_truth_lost_havoc", num(havoc.missed)),
+                ("edge_subset_violations", num(edge_subset_violations)),
+                ("soundness_unresolved_ignore", num(ignore.unresolved)),
+                ("soundness_refl_sites_ignore", num(ignore.refl)),
+                ("soundness_intent_sites_ignore", num(ignore.intent)),
+                ("soundness_refl_sites_resolve", num(resolve.refl)),
+                ("soundness_intent_sites_resolve", num(resolve.intent)),
+            ]),
+        ),
+    ]);
+    let mut rendered = json.render();
+    rendered.push('\n');
+    std::fs::write("BENCH_soundness.json", &rendered).expect("write BENCH_soundness.json");
+    println!("wrote BENCH_soundness.json");
+}

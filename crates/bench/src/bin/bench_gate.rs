@@ -25,10 +25,20 @@
 //! invariants (zero warm solver iterations, at least one shared
 //! framework summary) are absolute and always enforced.
 //!
+//! The soundness ablation (`--bench soundness_ablation`) contributes a
+//! second current file, `BENCH_soundness.json`, merged from the
+//! directory of the current run when present. Its recall keys are
+//! banded like any counter, and its ladder invariants are absolute:
+//! recall monotone over `ignore → resolve → havoc`, `resolve`/`havoc`
+//! at the 100% floor on the planted corpus, zero planted races lost
+//! under `havoc`, zero `ignore ⊆ resolve ⊆ havoc` edge-subset
+//! violations.
+//!
 //! When an intentional change shifts a counter past the band, rerun
-//! `cargo bench -p sierra-bench --bench table4_efficiency` and refresh
-//! the gated keys in `crates/bench/BENCH_baseline.json` in the same
-//! commit, so the diff documents the new cost.
+//! `cargo bench -p sierra-bench --bench table4_efficiency` (and
+//! `--bench soundness_ablation`) and refresh the gated keys in
+//! `crates/bench/BENCH_baseline.json` in the same commit, so the diff
+//! documents the new cost.
 //!
 //! Usage: `bench_gate [current.json] [baseline.json]` (defaults to the
 //! crate-relative paths used by CI).
@@ -94,6 +104,11 @@ const GATED: &[&str] = &[
     // scratch_reused is scheduling-dependent and only checked > 0)
     "arena_symbols",
     "arena_bytes",
+    // soundness ablation (opaque-call policy audit; deterministic)
+    "soundness_recall_ignore_pct",
+    "soundness_unresolved_ignore",
+    "soundness_refl_sites_ignore",
+    "soundness_intent_sites_ignore",
 ];
 
 /// Latency-SLO keys from the `corpus_throughput` group: gated
@@ -106,6 +121,12 @@ const SLO_GATED: &[&str] = &["corpus_p99_latency_us", "corpus_peak_rss_kb"];
 /// is worse than no triage at all, so this floor is absolute rather than
 /// baseline-relative.
 const CRASH_PRECISION_FLOOR_PCT: f64 = 90.0;
+
+/// Planted-race recall the `resolve` and `havoc` opaque-call policies
+/// must hold on the soundness-audit corpus, in percent. The corpus
+/// plants races reachable only through reflective and intent-dispatch
+/// edges, so anything under 100% means a resolution path broke.
+const SOUNDNESS_RECALL_FLOOR_PCT: f64 = 100.0;
 
 /// Extracts the numeric value of `"key": <number>` from `json`. No serde
 /// in-tree, and the bench JSON is flat and machine-written, so a quoted
@@ -189,6 +210,43 @@ fn run(current: &str, baseline: &str, slo_enabled: bool) -> Result<(), Vec<Strin
                     "{key}: {n} — the histories stage {what} on the protocol fixtures"
                 ));
             }
+        }
+    }
+    // Structural invariants of the soundness ablation, current-run only:
+    // recall must be monotone up the policy ladder, the sound end of the
+    // ladder must hold the 100% floor on the planted corpus, climbing to
+    // havoc must lose nothing, and the projected call graph must satisfy
+    // ignore ⊆ resolve ⊆ havoc on every app.
+    let recall = |p: &str| counter(current, &format!("soundness_recall_{p}_pct"));
+    if let (Some(ig), Some(re), Some(ha)) = (recall("ignore"), recall("resolve"), recall("havoc")) {
+        if !(ig <= re && re <= ha) {
+            violations.push(format!(
+                "soundness recall not monotone: ignore {ig} / resolve {re} / havoc {ha}"
+            ));
+        }
+        for (policy, pct) in [("resolve", re), ("havoc", ha)] {
+            if pct < SOUNDNESS_RECALL_FLOOR_PCT {
+                violations.push(format!(
+                    "soundness_recall_{policy}_pct: {pct} is below the \
+                     {SOUNDNESS_RECALL_FLOOR_PCT}% floor on the planted corpus"
+                ));
+            }
+        }
+    }
+    if let Some(lost) = counter(current, "soundness_truth_lost_havoc") {
+        if lost > 0.0 {
+            violations.push(format!(
+                "soundness_truth_lost_havoc: {lost} planted race(s) lost under the most \
+                 conservative policy"
+            ));
+        }
+    }
+    if let Some(bad) = counter(current, "edge_subset_violations") {
+        if bad > 0.0 {
+            violations.push(format!(
+                "edge_subset_violations: {bad} app(s) break ignore ⊆ resolve ⊆ havoc on the \
+                 projected call graph"
+            ));
         }
     }
     // Structural invariants of the summary-reuse group: a warm run over
@@ -295,9 +353,24 @@ fn main() -> ExitCode {
             None
         }
     };
-    let (Some(current), Some(baseline)) = (read(&current_path), read(&baseline_path)) else {
+    let (Some(mut current), Some(baseline)) = (read(&current_path), read(&baseline_path)) else {
         return ExitCode::FAILURE;
     };
+    // The soundness ablation writes its counters to a sibling file
+    // (`BENCH_soundness.json`, from `--bench soundness_ablation`); when
+    // present it is concatenated into the current run so one gate pass
+    // covers both benches. The quoted-key scan does not require the
+    // combined text to be a single JSON document.
+    let soundness_path = std::path::Path::new(&current_path)
+        .parent()
+        .map(|d| d.join("BENCH_soundness.json"));
+    if let Some(p) = soundness_path {
+        if let Ok(s) = std::fs::read_to_string(&p) {
+            current.push('\n');
+            current.push_str(&s);
+            println!("bench_gate: merged {}", p.display());
+        }
+    }
     let slo_enabled = std::env::var("BENCH_GATE_SLO").map_or(true, |v| v != "0");
     match run(&current, &baseline, slo_enabled) {
         Ok(()) => {
@@ -565,6 +638,103 @@ mod tests {
         );
         // …and is waved through with BENCH_GATE_SLO=0 (noisy hosts).
         assert!(run(&slow_warm, &slow_warm, false).is_ok());
+    }
+
+    /// The soundness ablation's sibling file (`BENCH_soundness.json`),
+    /// as concatenated into the current run by `main` — and into the
+    /// baseline when the keys are refreshed.
+    const SOUND: &str = r#"{
+      "soundness_ablation": {
+        "soundness_recall_ignore_pct": 98.6,
+        "soundness_recall_resolve_pct": 100.0,
+        "soundness_recall_havoc_pct": 100.0,
+        "soundness_truth_lost_havoc": 0,
+        "edge_subset_violations": 0,
+        "soundness_unresolved_ignore": 990,
+        "soundness_refl_sites_ignore": 3,
+        "soundness_intent_sites_ignore": 2
+      }
+    }"#;
+
+    fn with_soundness(base: &str) -> String {
+        format!("{base}\n{SOUND}")
+    }
+
+    #[test]
+    fn soundness_counters_are_banded_like_any_other() {
+        let merged = with_soundness(BASE);
+        assert!(run(&merged, &merged, true).is_ok());
+        // The unresolved-site census drifts like any gated counter.
+        let drifted = merged.replace(
+            "\"soundness_unresolved_ignore\": 990",
+            "\"soundness_unresolved_ignore\": 1200",
+        );
+        let err = run(&drifted, &merged, true).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|v| v.starts_with("soundness_unresolved_ignore:")),
+            "{err:?}"
+        );
+        // A run missing the soundness file fails against a baseline
+        // that records its keys — the ablation cannot silently vanish.
+        let err = run(BASE, &merged, true).unwrap_err();
+        assert!(
+            err.iter()
+                .any(|v| v.starts_with("soundness_recall_ignore_pct:")
+                    && v.contains("missing from current run")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn soundness_ladder_invariants_are_enforced() {
+        let merged = with_soundness(BASE);
+        // Recall must not decrease up the ignore → resolve → havoc
+        // ladder, even against a matching baseline.
+        let inverted = merged
+            .replace(
+                "\"soundness_recall_ignore_pct\": 98.6",
+                "\"soundness_recall_ignore_pct\": 100.0",
+            )
+            .replace(
+                "\"soundness_recall_resolve_pct\": 100.0",
+                "\"soundness_recall_resolve_pct\": 97.0",
+            );
+        let err = run(&inverted, &inverted, true).unwrap_err();
+        assert!(err.iter().any(|v| v.contains("not monotone")), "{err:?}");
+
+        // The sound end of the ladder holds the 100% floor.
+        let slipped = merged.replace(
+            "\"soundness_recall_havoc_pct\": 100.0",
+            "\"soundness_recall_havoc_pct\": 99.3",
+        );
+        let err = run(&slipped, &slipped, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("below the 100% floor")),
+            "{err:?}"
+        );
+
+        // Climbing to havoc must lose no planted race.
+        let lossy = merged.replace(
+            "\"soundness_truth_lost_havoc\": 0",
+            "\"soundness_truth_lost_havoc\": 1",
+        );
+        let err = run(&lossy, &lossy, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("planted race(s) lost")),
+            "{err:?}"
+        );
+
+        // The projected call graph must satisfy the subset law.
+        let unsound = merged.replace(
+            "\"edge_subset_violations\": 0",
+            "\"edge_subset_violations\": 2",
+        );
+        let err = run(&unsound, &unsound, true).unwrap_err();
+        assert!(
+            err.iter().any(|v| v.contains("ignore ⊆ resolve ⊆ havoc")),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -38,6 +38,16 @@ pub struct AppRow {
     pub after_refutation: usize,
     /// Ground-truth evaluation of SIERRA's reports.
     pub sierra_eval: EvalCounts,
+    /// Callback recall measured by the soundness audit, in percent
+    /// (reachable harness-known callbacks / all harness-known ones).
+    pub soundness_reach_pct: f64,
+    /// Call sites the soundness audit left unresolved (all reasons).
+    pub soundness_unres: usize,
+    /// Unresolved reflective sites (`forName`/`newInstance`/`invoke`).
+    pub soundness_refl: usize,
+    /// Unresolved intent-dispatch sites (`setClass`/`startActivity`/
+    /// `sendBroadcast`).
+    pub soundness_intent: usize,
     /// Reports triaged crash-capable (null-deref + use-before-init).
     pub triage_crash: usize,
     /// Reports triaged value-inconsistency.
@@ -135,6 +145,10 @@ impl AppRow {
             racy_without_as: report.racy_pairs_without_as,
             racy_with_as: report.racy_pairs_with_as,
             after_refutation: report.race_lines.len(),
+            soundness_reach_pct: m.soundness.recall_pct(),
+            soundness_unres: m.soundness.unresolved_sites,
+            soundness_refl: m.soundness.reflective_sites,
+            soundness_intent: m.soundness.intent_sites,
             triage_crash: m.triage.null_deref + m.triage.use_before_init,
             triage_value: m.triage.value_inconsistency,
             triage_benign: m.triage.likely_benign,
@@ -720,6 +734,109 @@ pub fn table5(rows: &[AppRow]) -> String {
     out
 }
 
+/// Runs the soundness-audit corpus: the twenty Table-2 apps plus the
+/// reflection/intent fixture apps whose planted races are invisible
+/// under the `ignore` opaque-call policy (see
+/// `corpus::reflection_idioms`).
+pub fn run_soundness_corpus(
+    sierra_cfg: SierraConfig,
+    er_cfg: &EventRacerConfig,
+    jobs: usize,
+    shared_intern: bool,
+    cache: Option<&CorpusCache>,
+) -> Vec<AppRow> {
+    let mut rows = run_twenty_cached(sierra_cfg, er_cfg, jobs, shared_intern, cache);
+    for (name, (app, truth)) in [
+        (
+            "ReflectionIdioms",
+            corpus::reflection_idioms::reflection_idioms_app(),
+        ),
+        (
+            "IntentIdioms",
+            corpus::reflection_idioms::intent_idioms_app(),
+        ),
+    ] {
+        rows.push(run_app_cached(name, app, &truth, sierra_cfg, er_cfg, cache));
+    }
+    rows
+}
+
+/// Renders one policy's rows of the soundness table (Table-3 style):
+/// the audit columns (Reach%, Unres, Refl, Intent) next to the report
+/// count and its ground-truth score.
+pub fn table_soundness(policy: &str, rows: &[AppRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("opaque-policy: {policy}\n"));
+    out.push_str(&format!(
+        "{:<17} {:>6} {:>5} {:>5} {:>6} {:>6} {:>5} {:>5}\n",
+        "App", "Reach%", "Unres", "Refl", "Intent", "AfterR", "True", "Miss"
+    ));
+    for r in rows {
+        if let Some(err) = &r.error {
+            out.push_str(&format!("{:<17} ERROR: {err}\n", r.name));
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<17} {:>6.1} {:>5} {:>5} {:>6} {:>6} {:>5} {:>5}\n",
+            r.name,
+            r.soundness_reach_pct,
+            r.soundness_unres,
+            r.soundness_refl,
+            r.soundness_intent,
+            r.after_refutation,
+            r.sierra_eval.true_races,
+            r.sierra_eval.missed,
+        ));
+    }
+    let ok = ok_rows(rows);
+    let m = |f: &dyn Fn(&AppRow) -> f64| {
+        median(&ok.iter().map(|r| f(r)).collect::<Vec<_>>()).unwrap_or(0.0)
+    };
+    out.push_str(&format!(
+        "{:<17} {:>6.1} {:>5.0} {:>5.0} {:>6.0} {:>6.0} {:>5.0} {:>5.0}\n",
+        "MEDIAN",
+        m(&|r| r.soundness_reach_pct),
+        m(&|r| r.soundness_unres as f64),
+        m(&|r| r.soundness_refl as f64),
+        m(&|r| r.soundness_intent as f64),
+        m(&|r| r.after_refutation as f64),
+        m(&|r| r.sierra_eval.true_races as f64),
+        m(&|r| r.sierra_eval.missed as f64),
+    ));
+    out
+}
+
+/// Corpus-wide race recall of one policy's rows, in percent: planted
+/// true races found over planted races findable (found + missed).
+pub fn corpus_race_recall(rows: &[AppRow]) -> f64 {
+    let ok = ok_rows(rows);
+    let found: usize = ok.iter().map(|r| r.sierra_eval.true_races).sum();
+    let missed: usize = ok.iter().map(|r| r.sierra_eval.missed).sum();
+    if found + missed == 0 {
+        100.0
+    } else {
+        100.0 * found as f64 / (found + missed) as f64
+    }
+}
+
+/// The per-policy summary lines closing the soundness table: corpus
+/// race recall plus the median audit reach of each policy.
+pub fn soundness_summary(policies: &[(&str, &[AppRow])]) -> String {
+    let mut out = String::new();
+    for (name, rows) in policies {
+        let ok = ok_rows(rows);
+        let found: usize = ok.iter().map(|r| r.sierra_eval.true_races).sum();
+        let missed: usize = ok.iter().map(|r| r.sierra_eval.missed).sum();
+        let reach =
+            median(&ok.iter().map(|r| r.soundness_reach_pct).collect::<Vec<_>>()).unwrap_or(0.0);
+        out.push_str(&format!(
+            "soundness[{name:<7}]: race-recall {:.1}% ({found} found, {missed} missed), median callback reach {reach:.1}%\n",
+            corpus_race_recall(rows),
+        ));
+    }
+    out
+}
+
 /// Aggregate comparison against EventRacer (§6.4's averages).
 pub fn comparison_summary(rows: &[AppRow]) -> String {
     let ok = ok_rows(rows);
@@ -794,6 +911,45 @@ mod tests {
         assert!(t5.contains("medians"));
         let cmp = comparison_summary(std::slice::from_ref(&row));
         assert!(cmp.contains("SIERRA"));
+    }
+
+    #[test]
+    fn soundness_table_tracks_policy_recall() {
+        // One fixture app per policy stands in for the corpus sweep the
+        // `soundness` subcommand runs; the fixture's planted race is the
+        // recall signal (invisible under ignore, found under resolve).
+        let er = EventRacerConfig::default();
+        let row_for = |policy: sierra_core::OpaquePolicy| {
+            let (app, truth) = corpus::reflection_idioms::intent_idioms_app();
+            let cfg = SierraConfig::builder().opaque_policy(policy).build();
+            run_app_cached("IntentIdioms", app, &truth, cfg, &er, None)
+        };
+        let ignore = vec![row_for(sierra_core::OpaquePolicy::Ignore)];
+        let resolve = vec![row_for(sierra_core::OpaquePolicy::Resolve)];
+
+        assert_eq!(ignore[0].sierra_eval.true_races, 0);
+        assert_eq!(resolve[0].sierra_eval.missed, 0);
+        assert!(ignore[0].soundness_intent >= 2, "setClass + startActivity");
+        assert!(resolve[0].soundness_intent < ignore[0].soundness_intent);
+        assert!(resolve[0].soundness_reach_pct >= ignore[0].soundness_reach_pct);
+        assert_eq!(corpus_race_recall(&ignore), 0.0);
+        assert_eq!(corpus_race_recall(&resolve), 100.0);
+
+        let table = table_soundness("ignore", &ignore);
+        assert!(table.contains("opaque-policy: ignore"), "{table}");
+        assert!(
+            table.contains("Reach%") && table.contains("Intent"),
+            "{table}"
+        );
+        assert!(
+            table.contains("IntentIdioms") && table.contains("MEDIAN"),
+            "{table}"
+        );
+
+        let summary = soundness_summary(&[("ignore", &ignore), ("resolve", &resolve)]);
+        assert!(summary.contains("soundness[ignore "), "{summary}");
+        assert!(summary.contains("race-recall 0.0%"), "{summary}");
+        assert!(summary.contains("race-recall 100.0%"), "{summary}");
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!                       solver (ablation)
 //! --worklist <POLICY>   pointer solver worklist: topo-lrf | fifo
 //!                       (default topo-lrf)
+//! --opaque-policy <P>   opaque call sites (reflection, intent
+//!                       dispatch): ignore | resolve | havoc
+//!                       (default ignore)
 //! --no-overlap-compare  run the comparison pass serially instead of
 //!                       overlapped with refutation
 //! --no-histories        disable the message-history refutation stage
@@ -85,7 +88,8 @@ impl Default for CommonFlags {
 impl CommonFlags {
     /// Extracts `--context`, `--budget`, `--jobs`, `--refute-jobs`,
     /// `--no-prefilter`, `--no-cycle-collapse`, `--worklist`,
-    /// `--no-overlap-compare`, `--no-histories`, `--no-triage`,
+    /// `--opaque-policy`, `--no-overlap-compare`, `--no-histories`,
+    /// `--no-triage`,
     /// `--min-harm`, `--cache-dir`, `--cache-max-mb`,
     /// `--no-shared-intern`, `--shared-store`, and
     /// `--no-artifact-cache` from `args`, removing
@@ -139,6 +143,10 @@ impl CommonFlags {
         if let Some(v) = take_flag(args, "--worklist")? {
             let policy: pointer::WorklistPolicy = v.parse()?;
             builder = builder.worklist_policy(policy);
+        }
+        if let Some(v) = take_flag(args, "--opaque-policy")? {
+            let policy: pointer::OpaquePolicy = v.parse()?;
+            builder = builder.opaque_policy(policy);
         }
         if take_switch(args, "--no-overlap-compare") {
             builder = builder.overlap_compare(false);
@@ -283,6 +291,34 @@ mod tests {
             pointer::WorklistPolicy::TopoLrf
         );
         assert!(flags.config.overlap_compare);
+    }
+
+    #[test]
+    fn opaque_policy_flag_is_consumed() {
+        let mut args = argv(&["table3", "--opaque-policy", "resolve"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(
+            flags.config.pointer_options.opaque_policy,
+            pointer::OpaquePolicy::Resolve
+        );
+        assert_eq!(args, argv(&["table3"]));
+
+        let mut args = argv(&["table3", "--opaque-policy", "havoc"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(
+            flags.config.pointer_options.opaque_policy,
+            pointer::OpaquePolicy::Havoc
+        );
+
+        let mut args = argv(&["table3"]);
+        let flags = CommonFlags::parse(&mut args).expect("parse");
+        assert_eq!(
+            flags.config.pointer_options.opaque_policy,
+            pointer::OpaquePolicy::Ignore
+        );
+
+        assert!(CommonFlags::parse(&mut argv(&["x", "--opaque-policy", "guess"])).is_err());
+        assert!(CommonFlags::parse(&mut argv(&["x", "--opaque-policy"])).is_err());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! sierra-cli analyze <AppName>      # one Table-2 app, with race reports
 //! sierra-cli figures                # run the Figure 1/2/8 apps
 //! sierra-cli verify <AppName>       # dynamically verify static reports
+//! sierra-cli soundness              # call-graph soundness audit across
+//!                                   # the ignore/resolve/havoc policies
 //! sierra-cli serve [--socket PATH]  # line-delimited JSON analysis server
 //! ```
 //!
@@ -22,6 +24,8 @@
 //! --no-prefilter       disable pre-refutation static pruning
 //! --no-cycle-collapse  disable online cycle collapse in the pointer solver
 //! --worklist <POLICY>  pointer solver worklist: topo-lrf | fifo
+//! --opaque-policy <P>  opaque call sites (reflection, intent dispatch):
+//!                      ignore | resolve | havoc
 //! --no-overlap-compare run the comparison pass serially, not overlapped
 //! --no-histories       disable the message-history refutation stage
 //! --no-triage          disable post-refutation harm triage
@@ -48,10 +52,11 @@ use sierra_cli::experiments;
 use sierra_cli::flags::{take_raw_flag, CommonFlags};
 use sierra_core::Sierra;
 
-const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>|serve [--socket PATH]>\n\
+const USAGE: &str = "usage: sierra-cli <table2|table3|table4|table5 [--apps N]|compare|analyze <App>|figures|verify <App>|soundness|serve [--socket PATH]>\n\
                      shared flags: --context <SPEC> --budget <N> --jobs <N> --refute-jobs <N> --no-prefilter\n\
-                     \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --no-overlap-compare\n\
-                     \x20             --no-histories --no-triage --min-harm <benign|value|use-before-init|null-deref>\n\
+                     \x20             --no-cycle-collapse --worklist <topo-lrf|fifo> --opaque-policy <ignore|resolve|havoc>\n\
+                     \x20             --no-overlap-compare --no-histories --no-triage\n\
+                     \x20             --min-harm <benign|value|use-before-init|null-deref>\n\
                      \x20             --cache-dir <PATH> --cache-max-mb <N> --shared-store --no-artifact-cache\n\
                      \x20             --no-shared-intern";
 
@@ -254,6 +259,33 @@ fn main() {
                     eval.missed
                 );
             }
+        }
+        "soundness" => {
+            // One corpus pass per policy; `--opaque-policy` on the
+            // command line is irrelevant here (the audit sweeps all
+            // three), but every other shared flag applies to each pass.
+            let mut sections: Vec<(&str, Vec<experiments::AppRow>)> = Vec::new();
+            for policy in sierra_core::OpaquePolicy::ALL {
+                let mut cfg = sierra_cfg;
+                cfg.pointer_options.opaque_policy = policy;
+                let rows = experiments::run_soundness_corpus(
+                    cfg,
+                    &er_cfg,
+                    jobs,
+                    common.shared_intern,
+                    cache.as_ref(),
+                );
+                sections.push((policy.as_str(), rows));
+            }
+            for (policy, rows) in &sections {
+                print!("{}", experiments::table_soundness(policy, rows));
+                println!();
+            }
+            let summary: Vec<(&str, &[experiments::AppRow])> = sections
+                .iter()
+                .map(|(p, rows)| (*p, rows.as_slice()))
+                .collect();
+            print!("{}", experiments::soundness_summary(&summary));
         }
         "serve" => {
             let socket = take_raw_flag(&mut args, "--socket");

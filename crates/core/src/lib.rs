@@ -47,6 +47,7 @@ pub use link::{LinkStats, LinkedSummaries};
 pub use pipeline::{
     Sierra, SierraConfig, SierraConfigBuilder, SierraResult, StageMetrics, StageTimings,
 };
+pub use pointer::OpaquePolicy;
 pub use prefilter::{PrefilterStats, PrunedPair, Verdict};
 pub use render::Report;
 pub use report::{describe_action, describe_pair, priority_of, Priority, RaceReport};
@@ -54,6 +55,7 @@ pub use session::{
     refute_candidates, AnalysisSession, PrefilterOutcome, RefutationRun, SessionBuilder,
     SessionError, Stage,
 };
+pub use soundness::SoundnessStats;
 pub use summary::{
     config_fingerprint, framework_fingerprint, structural_fingerprint, summary_key, DiskStore,
     MemoryStore, MethodSummary, SummaryStore,

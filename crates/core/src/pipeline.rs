@@ -15,9 +15,10 @@ use crate::session::{AnalysisSession, Stage};
 use android_model::AndroidApp;
 use harness_gen::HarnessResult;
 use histories::HistoryStats;
-use pointer::{Analysis, AnalysisOptions, SelectorKind, SolverStats, WorklistPolicy};
+use pointer::{Analysis, AnalysisOptions, OpaquePolicy, SelectorKind, SolverStats, WorklistPolicy};
 use prefilter::{PrefilterStats, PrunedPair};
 use shbg::{Shbg, ShbgStats};
+use soundness::SoundnessStats;
 use std::sync::Arc;
 use std::time::Duration;
 use symexec::{RefuterConfig, RefuterStats};
@@ -169,6 +170,13 @@ impl SierraConfigBuilder {
         self
     }
 
+    /// Sets the opaque-call soundness policy (reflection and intent
+    /// dispatch): `ignore` (default), `resolve`, or `havoc`.
+    pub fn opaque_policy(mut self, policy: OpaquePolicy) -> Self {
+        self.cfg.pointer_options.opaque_policy = policy;
+        self
+    }
+
     /// Enables or disables overlapping the comparison pass with
     /// refutation.
     pub fn overlap_compare(mut self, yes: bool) -> Self {
@@ -252,6 +260,10 @@ pub struct StageMetrics {
     pub histories: HistoryStats,
     /// Harm-triage counters (all zero under `no_triage`).
     pub triage: triage::TriageStats,
+    /// Call-graph soundness audit: unresolved-site classification and
+    /// reachable-callback recall (computed after the pointer stage
+    /// regardless of policy; only *rendered* under `resolve`/`havoc`).
+    pub soundness: SoundnessStats,
     /// Worker threads the refutation stage actually used (`0` when the
     /// stage was skipped).
     pub refute_jobs_used: usize,

@@ -39,6 +39,10 @@ pub struct Report {
     pub triage_ran: bool,
     /// Whether the message-history refutation stage ran.
     pub histories_ran: bool,
+    /// Whether the soundness audit is part of the report surface (true
+    /// under the `resolve`/`havoc` opaque policies; `ignore` keeps the
+    /// pre-soundness-modes output byte-identical).
+    pub soundness_audited: bool,
     /// Per-stage timings and counters.
     pub metrics: StageMetrics,
 }
@@ -78,6 +82,8 @@ impl Report {
                 .collect(),
             triage_ran: result.triage_ran,
             histories_ran: result.histories_ran,
+            soundness_audited: result.analysis.options.opaque_policy
+                != pointer::OpaquePolicy::Ignore,
             metrics: result.metrics,
         }
     }
@@ -241,6 +247,24 @@ impl Report {
             }
             out.push('\n');
         }
+        // Only emitted under `resolve`/`havoc`, so `--opaque-policy
+        // ignore` output stays byte-identical to the pre-soundness-modes
+        // pipeline.
+        if self.soundness_audited {
+            let sn = &self.metrics.soundness;
+            let _ = writeln!(
+                out,
+                "soundness: {:.1}% callback recall ({} of {} reachable), {} unresolved site(s) (reflective {}, intent {}, bodyless-framework {}, no-receiver-targets {})",
+                sn.recall_pct(),
+                sn.reachable_callbacks,
+                sn.known_callbacks,
+                sn.unresolved_sites,
+                sn.reflective_sites,
+                sn.intent_sites,
+                sn.bodyless_framework_sites,
+                sn.no_receiver_sites,
+            );
+        }
         for (i, line) in self.race_lines.iter().enumerate() {
             let _ = writeln!(out, "{:>3}. {}", i + 1, line);
         }
@@ -266,7 +290,7 @@ impl Report {
         let hs = &self.metrics.histories;
         let tg = &self.metrics.triage;
         let link = &self.metrics.link;
-        obj(vec![
+        let mut fields = vec![
             ("app", Json::Str(self.app_name.clone())),
             ("harnesses", num(self.harness_count)),
             ("actions", num(self.action_count)),
@@ -384,6 +408,25 @@ impl Report {
                     ("total", Json::Num(ms(t.total))),
                 ]),
             ),
-        ])
+        ];
+        // Key present only under `resolve`/`havoc` — `ignore` JSON stays
+        // byte-identical to the pre-soundness-modes payload.
+        if self.soundness_audited {
+            let sn = &self.metrics.soundness;
+            fields.push((
+                "soundness",
+                obj(vec![
+                    ("known_callbacks", num(sn.known_callbacks)),
+                    ("reachable_callbacks", num(sn.reachable_callbacks)),
+                    ("recall_pct", Json::Num(sn.recall_pct())),
+                    ("unresolved_sites", num(sn.unresolved_sites)),
+                    ("reflective_sites", num(sn.reflective_sites)),
+                    ("intent_sites", num(sn.intent_sites)),
+                    ("bodyless_framework_sites", num(sn.bodyless_framework_sites)),
+                    ("no_receiver_sites", num(sn.no_receiver_sites)),
+                ]),
+            ));
+        }
+        obj(fields)
     }
 }

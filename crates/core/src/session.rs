@@ -453,6 +453,10 @@ impl AnalysisSession {
             self.metrics.link.evictions = self.store.evictions() - evicted_before;
             self.metrics.timings.cg_pa = t.elapsed();
             self.metrics.pointer = analysis.stats;
+            // Audit the solved call graph while the program is at hand;
+            // the stats ride StageMetrics into tables and gates. Runs
+            // under every policy (it is how `ignore`'s gap is measured).
+            self.metrics.soundness = soundness::audit(&harness.app.program, &analysis);
             self.metrics.last_stage = Some(Stage::Pointer);
             self.linked = Some(linked);
             self.analysis = Some(analysis);

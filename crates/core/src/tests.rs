@@ -421,3 +421,82 @@ fn indexed_buffer_idiom_detects_same_slot_race_only() {
     assert_eq!(eval.missed, 0);
     assert_eq!(eval.false_positives, 0);
 }
+
+#[test]
+fn reflection_race_needs_resolve_policy() {
+    use crate::OpaquePolicy;
+    let (app, truth) = corpus::reflection_idioms::reflection_idioms_app();
+
+    let ignored = Sierra::new().analyze_app(app.clone());
+    let groups = reported_groups(&ignored);
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert_eq!(
+        eval.true_races, 0,
+        "reflective race must be invisible under ignore: {groups:?}"
+    );
+
+    for policy in [OpaquePolicy::Resolve, OpaquePolicy::Havoc] {
+        let cfg = SierraConfig::builder().opaque_policy(policy).build();
+        let found = Sierra::with_config(cfg).analyze_app(app.clone());
+        let groups = reported_groups(&found);
+        let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+        assert_eq!(
+            eval.missed, 0,
+            "{policy} must surface the reflective race: {groups:?}"
+        );
+    }
+}
+
+#[test]
+fn intent_race_needs_resolve_policy() {
+    use crate::OpaquePolicy;
+    let (app, truth) = corpus::reflection_idioms::intent_idioms_app();
+
+    let ignored = Sierra::new().analyze_app(app.clone());
+    let groups = reported_groups(&ignored);
+    let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+    assert_eq!(
+        eval.true_races, 0,
+        "intent-launched race must be invisible under ignore: {groups:?}"
+    );
+
+    for policy in [OpaquePolicy::Resolve, OpaquePolicy::Havoc] {
+        let cfg = SierraConfig::builder().opaque_policy(policy).build();
+        let found = Sierra::with_config(cfg).analyze_app(app.clone());
+        let groups = reported_groups(&found);
+        let eval = truth.evaluate(groups.iter().map(|(c, f)| (c.as_str(), f.as_str())));
+        assert_eq!(
+            eval.missed, 0,
+            "{policy} must surface the intent-launched race: {groups:?}"
+        );
+    }
+}
+
+#[test]
+fn soundness_section_renders_only_under_non_ignore_policies() {
+    use crate::{OpaquePolicy, Report};
+    let (app, _) = corpus::reflection_idioms::reflection_idioms_app();
+
+    let ignored = Sierra::new().analyze_app(app.clone());
+    let stable = Report::from_result(&ignored).render_stable();
+    assert!(
+        !stable.contains("soundness:"),
+        "ignore output must match the pre-soundness-modes report: {stable}"
+    );
+    // The audit still runs and measures the gap ignore leaves.
+    assert!(ignored.metrics.soundness.reflective_sites >= 3);
+
+    let cfg = SierraConfig::builder()
+        .opaque_policy(OpaquePolicy::Resolve)
+        .build();
+    let resolved = Sierra::with_config(cfg).analyze_app(app);
+    let report = Report::from_result(&resolved);
+    let stable = report.render_stable();
+    assert!(stable.contains("soundness:"), "{stable}");
+    let json = report.render_json().render();
+    assert!(json.contains("\"soundness\""), "{json}");
+    assert!(
+        resolved.metrics.soundness.recall_pct() >= ignored.metrics.soundness.recall_pct(),
+        "resolve can only raise callback recall"
+    );
+}

@@ -15,6 +15,9 @@
 //!   the message-history refutation stage can discharge (dialog
 //!   show/dismiss, fragment attach/detach, async-task cancellation,
 //!   unregister-in-onPause), each alongside a true race it must keep;
+//! - [`reflection_idioms`] — two apps whose planted races hide behind
+//!   reflection / intent dispatch and surface only under the `resolve`
+//!   or `havoc` opaque-call policies;
 //! - [`twenty`] — the Table 2 dataset, scaled by each app's real bytecode
 //!   size;
 //! - [`fdroid`] — 174 seeded apps with the paper's 1.1 MB median size.
@@ -30,6 +33,7 @@ mod ground_truth;
 pub mod idioms;
 pub mod prefilter_idioms;
 pub mod protocol_idioms;
+pub mod reflection_idioms;
 pub mod triage_idioms;
 pub mod twenty;
 

@@ -1,0 +1,219 @@
+//! Fixture apps whose planted races hide behind opaque call-graph edges.
+//!
+//! Each app plants exactly one true race that is invisible under the
+//! `ignore` opaque policy and detectable under `resolve` (and therefore
+//! `havoc`), pinning that each soundness level finds the races it
+//! promises:
+//!
+//! - **reflection**: `onClick` reaches its racy write only through
+//!   `Class.forName("com.reflect.Task")` → `newInstance()` →
+//!   `invoke("mutate", inst)`. With reflection unmodeled the write is
+//!   unreachable and the static field has a single writer; the resolve
+//!   table (constant class/method names) restores the second writer.
+//! - **intent dispatch**: `onClick` launches `com.intent.Detail` via
+//!   `Intent.setClass` + `startActivity`. Under `ignore` the target's
+//!   `onCreate` only runs in its *own* harness, so its write never pairs
+//!   with the sender harness's `onLongClick` write; resolving the
+//!   manifest-declared target mints the `onCreate` action inside the
+//!   sender's harness where the pair races.
+
+use crate::ground_truth::{GroundTruth, RaceLabel};
+use android_model::{AndroidApp, AndroidAppBuilder};
+use apir::{ConstValue, InvokeKind, Operand, Type};
+
+/// Activity of the reflection fixture.
+pub const REFLECT_ACTIVITY: &str = "com.reflect.Main";
+
+/// The reflectively-instantiated task class.
+pub const REFLECT_TASK: &str = "com.reflect.Task";
+
+/// Sender activity of the intent fixture.
+pub const INTENT_ACTIVITY: &str = "com.intent.Main";
+
+/// Intent-launched target activity.
+pub const INTENT_TARGET: &str = "com.intent.Detail";
+
+/// Builds the reflection fixture app and its ground truth.
+pub fn reflection_idioms_app() -> (AndroidApp, GroundTruth) {
+    let mut app = AndroidAppBuilder::new("ReflectionIdioms");
+    let mut truth = GroundTruth::new();
+    let fw = app.framework().clone();
+    let task_name = app.program_builder().intern(REFLECT_TASK);
+    let mutate_name = app.program_builder().intern("mutate");
+
+    // Task: a plain class (deliberately not a manifest component) whose
+    // `mutate` writes the racy static field.
+    let mut cb = app.subclass(REFLECT_TASK, fw.object);
+    let shared = cb.static_field("shared", Type::Int);
+    let task = cb.build();
+
+    let mut mb = app.method(task, "mutate");
+    mb.set_param_count(1);
+    mb.static_store(shared, Operand::Const(ConstValue::Int(1)));
+    mb.ret(None);
+    mb.finish();
+
+    let mut cb = app.activity(REFLECT_ACTIVITY);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_long_click_listener);
+    let activity = cb.build();
+
+    // reflectMutate(): cls = Class.forName("com.reflect.Task");
+    // inst = cls.newInstance(); cls.invoke("mutate", inst).
+    let mut mb = app.method(activity, "reflectMutate");
+    mb.set_param_count(1);
+    let cls = mb.fresh_local();
+    mb.call(
+        Some(cls),
+        InvokeKind::Static,
+        fw.class_for_name,
+        None,
+        vec![Operand::Const(ConstValue::Str(task_name))],
+    );
+    let inst = mb.fresh_local();
+    mb.call(
+        Some(inst),
+        InvokeKind::Virtual,
+        fw.class_new_instance,
+        Some(cls),
+        vec![],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.method_invoke,
+        Some(cls),
+        vec![
+            Operand::Const(ConstValue::Str(mutate_name)),
+            Operand::Local(inst),
+        ],
+    );
+    mb.ret(None);
+    let reflect_mutate = mb.finish();
+
+    // onClick: the reflective writer.
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    mb.vcall(reflect_mutate, this, vec![]);
+    mb.ret(None);
+    mb.finish();
+
+    // onLongClick: the direct writer the reflective one races with.
+    let mut mb = app.method(activity, "onLongClick");
+    mb.set_param_count(2);
+    mb.static_store(shared, Operand::Const(ConstValue::Int(2)));
+    mb.ret(None);
+    mb.finish();
+
+    register_handlers(
+        &mut app,
+        activity,
+        &[
+            (1, fw.set_on_click_listener),
+            (2, fw.set_on_long_click_listener),
+        ],
+    );
+
+    truth.plant(REFLECT_TASK, "shared", RaceLabel::TrueRace);
+    (app.finish().expect("valid reflection fixture"), truth)
+}
+
+/// Builds the intent-dispatch fixture app and its ground truth.
+pub fn intent_idioms_app() -> (AndroidApp, GroundTruth) {
+    let mut app = AndroidAppBuilder::new("IntentIdioms");
+    let mut truth = GroundTruth::new();
+    let fw = app.framework().clone();
+    let target_name = app.program_builder().intern(INTENT_TARGET);
+
+    // The launched activity: its onCreate writes the racy static field.
+    let mut cb = app.activity(INTENT_TARGET);
+    let hits = cb.static_field("hits", Type::Int);
+    let target = cb.build();
+
+    let mut mb = app.method(target, "onCreate");
+    mb.set_param_count(1);
+    mb.static_store(hits, Operand::Const(ConstValue::Int(1)));
+    mb.ret(None);
+    mb.finish();
+
+    let mut cb = app.activity(INTENT_ACTIVITY);
+    cb.add_interface(fw.on_click_listener);
+    cb.add_interface(fw.on_long_click_listener);
+    let activity = cb.build();
+
+    // onClick: intent = new Intent; intent.setClass("com.intent.Detail");
+    // startActivity(intent) — the opaque dispatch edge.
+    let mut mb = app.method(activity, "onClick");
+    mb.set_param_count(2);
+    let this = mb.param(0);
+    let intent = mb.fresh_local();
+    mb.new_(intent, fw.intent);
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.intent_set_class,
+        Some(intent),
+        vec![Operand::Const(ConstValue::Str(target_name))],
+    );
+    mb.call(
+        None,
+        InvokeKind::Virtual,
+        fw.start_activity,
+        Some(this),
+        vec![Operand::Local(intent)],
+    );
+    mb.ret(None);
+    mb.finish();
+
+    // onLongClick: the sender-side writer the launched onCreate races
+    // with (unordered GUI actions in the sender's harness).
+    let mut mb = app.method(activity, "onLongClick");
+    mb.set_param_count(2);
+    mb.static_store(hits, Operand::Const(ConstValue::Int(2)));
+    mb.ret(None);
+    mb.finish();
+
+    register_handlers(
+        &mut app,
+        activity,
+        &[
+            (1, fw.set_on_click_listener),
+            (2, fw.set_on_long_click_listener),
+        ],
+    );
+
+    truth.plant(INTENT_TARGET, "hits", RaceLabel::TrueRace);
+    (app.finish().expect("valid intent fixture"), truth)
+}
+
+/// Emits an `onCreate` that binds each `(view id, setter)` pair to `this`.
+fn register_handlers(
+    app: &mut AndroidAppBuilder,
+    activity: apir::ClassId,
+    handlers: &[(i64, apir::MethodId)],
+) {
+    let fw = app.framework().clone();
+    let mut mb = app.method(activity, "onCreate");
+    mb.set_param_count(1);
+    let this = mb.param(0);
+    for &(id, register) in handlers {
+        let view = mb.fresh_local();
+        mb.call(
+            Some(view),
+            InvokeKind::Virtual,
+            fw.find_view_by_id,
+            Some(this),
+            vec![Operand::Const(ConstValue::Int(id))],
+        );
+        mb.call(
+            None,
+            InvokeKind::Virtual,
+            register,
+            Some(view),
+            vec![Operand::Local(this)],
+        );
+    }
+    mb.ret(None);
+    mb.finish();
+}

@@ -684,6 +684,11 @@ impl<'a, D: Decider> Runtime<'a, D> {
                 }
             }
             StartService | RemoveUpdates | HandlerInit | GetMainLooper | MyLooper => {}
+            // Reflection and intent dispatch are static-soundness-policy
+            // concerns; the dynamic replay baseline leaves them inert,
+            // matching how intent-driven StartService is handled above.
+            ClassForName | ClassNewInstance | MethodInvoke | IntentSetClass | StartActivity
+            | SendBroadcast => {}
         }
         Value::Null
     }

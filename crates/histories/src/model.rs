@@ -83,7 +83,14 @@ impl HistoryModel {
                 occ: occ[id.index()].unwrap_or(StateSet::FULL),
                 narrowed: narrowed[id.index()],
                 relevant,
-                lifecycle: matches!(act.kind, ActionKind::Lifecycle { .. }),
+                // Instance 0 marks a policy-spawned component launch
+                // (intent resolution): its ordering is *not* fixed by
+                // this harness's lifecycle chain, so it must not hide
+                // behind the lifecycle-vs-lifecycle exclusion below.
+                lifecycle: matches!(
+                    act.kind,
+                    ActionKind::Lifecycle { instance, .. } if instance > 0
+                ),
                 harness: act.harness,
             });
         }
@@ -239,8 +246,11 @@ impl HistoryModel {
 
 /// Memoized occurrence recursion over the action graph.
 ///
-/// - Lifecycle callbacks occur exactly in their automaton target state;
-///   GUI callbacks occur in the interactive `Resumed` loop.
+/// - Lifecycle callbacks of the harness's own chain (instance ≥ 1)
+///   occur exactly in their automaton target state; GUI callbacks occur
+///   in the interactive `Resumed` loop. Policy-spawned component
+///   launches (lifecycle instance 0) are posted actions, not chain
+///   members, and take the posted-action rule below.
 /// - Background actions and the harness root occur "anywhere" (FULL) —
 ///   they are also marked irrelevant, so FULL only matters when they
 ///   appear as posters of main-looper actions, where it is the sound
@@ -270,7 +280,13 @@ fn solve_occ(
     visiting[id.index()] = true;
     let act = analysis.actions.action(id);
     let v = match act.kind {
-        ActionKind::Lifecycle { event, instance } => {
+        // Instance 0 is a spawned *other* component's lifecycle entry
+        // (intent resolution under the resolve/havoc policies): the
+        // sender's automaton says nothing about when the launched
+        // component runs, so it is treated like any posted action —
+        // deliverable in the forward closure of its posters' states
+        // (the default arm below).
+        ActionKind::Lifecycle { event, instance } if instance > 0 => {
             StateSet::singleton(automaton.target_of(event, instance))
         }
         ActionKind::Gui { .. } => StateSet::singleton(LifeState::Resumed),

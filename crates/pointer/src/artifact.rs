@@ -38,7 +38,7 @@
 use crate::ctx::{CtxData, CtxElem, CtxTable, ObjData, ObjTable, SelectorKind};
 use crate::ptsset::PtsSet;
 use crate::solver::{Analysis, AnalysisOptions, NodeId, NodeKey, PostRecord, SolverStats};
-use crate::WorklistPolicy;
+use crate::{OpaquePolicy, WorklistPolicy};
 use android_model::{
     Action, ActionId, ActionKind, ActionRegistry, FrameworkClasses, GuiEventKind, LifecycleEvent,
     ThreadKind,
@@ -50,7 +50,7 @@ use std::collections::{HashMap, HashSet};
 const MAGIC: &[u8; 8] = b"SIERRART";
 
 /// Artifact layout version; bump on any payload format change.
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Envelope header length: magic + version + payload length + checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
@@ -158,6 +158,20 @@ pub fn encode(analysis: &Analysis) -> Vec<u8> {
         for obj in set.iter() {
             w.u32(obj.0);
         }
+    }
+
+    let mut resolved: Vec<CallSiteId> = analysis.resolved_sites.iter().copied().collect();
+    resolved.sort_unstable_by_key(|s| s.0);
+    w.len(resolved.len());
+    for s in resolved {
+        w.u32(s.0);
+    }
+
+    let mut havoc: Vec<crate::ObjId> = analysis.havoc_escaped.iter().copied().collect();
+    havoc.sort_unstable_by_key(|o| o.0);
+    w.len(havoc.len());
+    for o in havoc {
+        w.u32(o.0);
     }
 
     let payload = w.0;
@@ -284,6 +298,19 @@ pub fn decode(bytes: &[u8], framework: FrameworkClasses) -> Option<Analysis> {
     if nodes.values().any(|n| n.0 as usize >= pts.len()) {
         return None;
     }
+
+    let n_resolved = r.len()?;
+    let mut resolved_sites = HashSet::with_capacity(n_resolved);
+    for _ in 0..n_resolved {
+        resolved_sites.insert(CallSiteId(r.u32()?));
+    }
+
+    let n_havoc = r.len()?;
+    let mut havoc_escaped = HashSet::with_capacity(n_havoc);
+    for _ in 0..n_havoc {
+        havoc_escaped.insert(crate::ObjId(r.u32()?));
+    }
+
     if !r.at_end() {
         return None;
     }
@@ -301,6 +328,8 @@ pub fn decode(bytes: &[u8], framework: FrameworkClasses) -> Option<Analysis> {
         posts,
         harness_actions,
         root_actions,
+        resolved_sites,
+        havoc_escaped,
         stats,
         nodes,
         pts,
@@ -369,6 +398,11 @@ impl Writer {
         self.u8(match o.worklist {
             WorklistPolicy::Fifo => 0,
             WorklistPolicy::TopoLrf => 1,
+        });
+        self.u8(match o.opaque_policy {
+            OpaquePolicy::Ignore => 0,
+            OpaquePolicy::Resolve => 1,
+            OpaquePolicy::Havoc => 2,
         });
     }
 
@@ -485,6 +519,11 @@ impl Writer {
                 self.i64(*view_id);
                 self.u32(class.0);
             }
+            ObjData::Conjured { class, site } => {
+                self.u8(2);
+                self.u32(class.0);
+                self.u32(site.0);
+            }
         }
     }
 
@@ -597,7 +636,17 @@ impl Reader<'_> {
             index_sensitive: self.bool()?,
             cycle_collapse: self.bool()?,
             worklist: self.worklist()?,
+            opaque_policy: self.opaque_policy()?,
         })
+    }
+
+    fn opaque_policy(&mut self) -> Option<OpaquePolicy> {
+        match self.u8()? {
+            0 => Some(OpaquePolicy::Ignore),
+            1 => Some(OpaquePolicy::Resolve),
+            2 => Some(OpaquePolicy::Havoc),
+            _ => None,
+        }
     }
 
     fn bool(&mut self) -> Option<bool> {
@@ -723,6 +772,10 @@ impl Reader<'_> {
                 activity: ClassId(self.u32()?),
                 view_id: self.i64()?,
                 class: ClassId(self.u32()?),
+            }),
+            2 => Some(ObjData::Conjured {
+                class: ClassId(self.u32()?),
+                site: CallSiteId(self.u32()?),
             }),
             _ => None,
         }

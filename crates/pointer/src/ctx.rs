@@ -122,13 +122,26 @@ pub enum ObjData {
         /// The view's class per the layout (or the base `View`).
         class: ClassId,
     },
+    /// A soundness-policy-conjured object with no program allocation
+    /// site: a reflective class token (`Class.forName`), a reflective
+    /// instance (`Class.newInstance`), or an intent-launched component.
+    /// Keyed by the conjuring call site so tokens and instances from
+    /// different sites stay distinct.
+    Conjured {
+        /// The denoted (token) or instantiated class.
+        class: ClassId,
+        /// The call site that conjured the object.
+        site: CallSiteId,
+    },
 }
 
 impl ObjData {
     /// The object's dynamic class.
     pub fn class(&self) -> ClassId {
         match self {
-            ObjData::Site { class, .. } | ObjData::View { class, .. } => *class,
+            ObjData::Site { class, .. }
+            | ObjData::View { class, .. }
+            | ObjData::Conjured { class, .. } => *class,
         }
     }
 
@@ -136,7 +149,7 @@ impl ObjData {
     pub fn site(&self) -> Option<AllocSiteId> {
         match self {
             ObjData::Site { site, .. } => Some(*site),
-            ObjData::View { .. } => None,
+            ObjData::View { .. } | ObjData::Conjured { .. } => None,
         }
     }
 
@@ -144,7 +157,7 @@ impl ObjData {
     pub fn elems(&self) -> &[CtxElem] {
         match self {
             ObjData::Site { elems, .. } => elems,
-            ObjData::View { .. } => &[],
+            ObjData::View { .. } | ObjData::Conjured { .. } => &[],
         }
     }
 }

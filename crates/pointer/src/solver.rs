@@ -74,6 +74,68 @@ impl std::fmt::Display for WorklistPolicy {
     }
 }
 
+/// Soundness policy for opaque call edges — reflection lookups and
+/// inter-component intent dispatch ([`FrameworkOp::is_policy_gated`]).
+///
+/// Android call graphs silently drop methods behind these edges (Samhi
+/// et al.); the policy makes that unsoundness explicit and selectable:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OpaquePolicy {
+    /// Leave every policy-gated site unmodeled. Byte-identical to the
+    /// pipeline before soundness modes existed.
+    #[default]
+    Ignore,
+    /// Everything `Resolve` does, plus conservative fallbacks at sites
+    /// the table cannot prove: pointer arguments are smashed into the
+    /// published-heap set and type-compatible component callbacks are
+    /// marked reachable. Over-approximates `Resolve`.
+    Havoc,
+    /// Resolve constant class-name strings and manifest-declared intent
+    /// targets to concrete callees via the resolve table; sites the
+    /// table cannot prove stay silent (per-site fallback to `Ignore`).
+    Resolve,
+}
+
+impl OpaquePolicy {
+    /// Stable lowercase name (used by CLI flags and metrics output).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpaquePolicy::Ignore => "ignore",
+            OpaquePolicy::Havoc => "havoc",
+            OpaquePolicy::Resolve => "resolve",
+        }
+    }
+
+    /// All policies, ordered from least to most sound.
+    pub const ALL: [OpaquePolicy; 3] = [
+        OpaquePolicy::Ignore,
+        OpaquePolicy::Resolve,
+        OpaquePolicy::Havoc,
+    ];
+}
+
+impl std::str::FromStr for OpaquePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ignore" => Ok(OpaquePolicy::Ignore),
+            "havoc" => Ok(OpaquePolicy::Havoc),
+            "resolve" => Ok(OpaquePolicy::Resolve),
+            other => Err(format!(
+                "unknown opaque policy `{other}` (expected `ignore`, `havoc`, or `resolve`)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for OpaquePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Analysis options beyond the context selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AnalysisOptions {
@@ -91,6 +153,8 @@ pub struct AnalysisOptions {
     pub cycle_collapse: bool,
     /// Worklist scheduling policy.
     pub worklist: WorklistPolicy,
+    /// Soundness policy for reflection and intent-dispatch edges.
+    pub opaque_policy: OpaquePolicy,
 }
 
 impl Default for AnalysisOptions {
@@ -99,6 +163,7 @@ impl Default for AnalysisOptions {
             index_sensitive: true,
             cycle_collapse: true,
             worklist: WorklistPolicy::default(),
+            opaque_policy: OpaquePolicy::default(),
         }
     }
 }
@@ -169,11 +234,21 @@ pub struct SolverStats {
 
 #[derive(Debug, Clone)]
 enum Pending {
-    Load { field: FieldId, dst: NodeId },
-    Store { field: FieldId, src: SrcValue },
+    Load {
+        field: FieldId,
+        dst: NodeId,
+    },
+    Store {
+        field: FieldId,
+        src: SrcValue,
+    },
     VCall(CallInfo),
     HarnessCall(CallInfo),
     Op(OpInfo),
+    /// `havoc`-policy smash: every object reaching this node is treated
+    /// as published to the heap (it escaped through an unresolved
+    /// opaque call).
+    Havoc,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -204,6 +279,10 @@ struct OpInfo {
     args: Vec<Operand>,
     /// Pre-resolved constant `Message.what`, for message ops.
     what: Option<i64>,
+    /// Result destination, for ops that produce a value (reflection).
+    dst: Option<Local>,
+    /// Pre-resolved constant method-name string, for `MethodInvoke`.
+    name_const: Option<apir::Symbol>,
 }
 
 /// The finished analysis (points-to sets, call graph, actions, posts).
@@ -235,6 +314,13 @@ pub struct Analysis {
     pub harness_actions: HashMap<CallSiteId, ActionId>,
     /// Per activity: the harness-root action.
     pub root_actions: Vec<(ClassId, ActionId)>,
+    /// Opaque (reflection/intent) call sites the active policy's resolve
+    /// table discharged to concrete targets. Empty under `ignore`.
+    pub resolved_sites: HashSet<CallSiteId>,
+    /// Objects conservatively published by the `havoc` policy: pointer
+    /// arguments smashed at opaque sites the table could not resolve.
+    /// Empty under `ignore` and `resolve`.
+    pub havoc_escaped: HashSet<ObjId>,
     /// Counters recorded during solving.
     pub stats: SolverStats,
     pub(crate) nodes: HashMap<NodeKey, NodeId>,
@@ -298,14 +384,23 @@ impl Analysis {
                 out.extend(self.pts[node.0 as usize].iter());
             }
         }
+        // `havoc` publishes smashed arguments of unresolved opaque
+        // calls: the unknown callee may store them anywhere.
+        out.extend(self.havoc_escaped.iter().copied());
         out
     }
 
     /// Call sites in `(method, ctx)` that resolved to no analyzed callee
     /// (framework ops, body-less targets, empty receiver sets). The
     /// escape analysis treats pointer arguments at such sites as having
-    /// escaped, since the callee's effect on them is unmodeled.
+    /// escaped, since the callee's effect on them is unmodeled. A site
+    /// the opaque-policy table resolved is *not* opaque even when its
+    /// effect is purely model-level (e.g. `Class.forName` minting a
+    /// token without a call edge).
     pub fn is_opaque_call(&self, method: MethodId, ctx: CtxId, site: CallSiteId) -> bool {
+        if self.resolved_sites.contains(&site) {
+            return false;
+        }
         self.cg_edges
             .get(&(method, ctx, site))
             .is_none_or(Vec::is_empty)
@@ -519,6 +614,8 @@ struct Solver<'a> {
     resolved: HashSet<(CallSiteId, CtxId, ObjId)>,
     op_resolved: HashSet<(CallSiteId, CtxId, ObjId, ObjId)>,
     root_actions: Vec<(ClassId, ActionId)>,
+    resolved_sites: HashSet<CallSiteId>,
+    havoc_escaped: HashSet<ObjId>,
     /// Per-method body facts, extracted once and shared across contexts
     /// (the statement list is context-independent).
     facts: HashMap<MethodId, Rc<MethodPointerFacts>>,
@@ -605,6 +702,8 @@ impl<'a> Solver<'a> {
             resolved: HashSet::new(),
             op_resolved: HashSet::new(),
             root_actions: Vec::new(),
+            resolved_sites: HashSet::new(),
+            havoc_escaped: HashSet::new(),
             facts: HashMap::new(),
             stats: SolverStats::default(),
         }
@@ -733,6 +832,8 @@ impl<'a> Solver<'a> {
             posts: self.posts,
             harness_actions: self.harness_actions,
             root_actions: self.root_actions,
+            resolved_sites: self.resolved_sites,
+            havoc_escaped: self.havoc_escaped,
             stats: self.stats,
             nodes: self.nodes,
             pts: self.pts,
@@ -1187,6 +1288,10 @@ impl<'a> Solver<'a> {
             }
             SetListener(_) | UnregisterReceiver | RemoveUpdates | AsyncTaskCancel | HandlerInit
             | GetMainLooper | MyLooper | StartService => {}
+            ClassForName | ClassNewInstance | MethodInvoke | IntentSetClass | StartActivity
+            | SendBroadcast => {
+                self.process_opaque_op(method, ctx, addr, site, dst, op, receiver, args);
+            }
             ArrayListSetAt => {
                 let Some(r) = receiver else { return };
                 let rn = self.var(method, ctx, r);
@@ -1220,6 +1325,8 @@ impl<'a> Solver<'a> {
                             recv_node: Some(rn),
                             args,
                             what,
+                            dst: None,
+                            name_const: None,
                         }),
                     );
                 }
@@ -1237,6 +1344,8 @@ impl<'a> Solver<'a> {
                             recv_node: Some(rn),
                             args,
                             what: None,
+                            dst: None,
+                            name_const: None,
                         }),
                     );
                 }
@@ -1259,6 +1368,8 @@ impl<'a> Solver<'a> {
                     recv_node: Some(rn),
                     args,
                     what: None,
+                    dst: None,
+                    name_const: None,
                 };
                 self.add_pending(rn, Pending::Op(info.clone()));
                 self.add_pending(an, Pending::Op(info));
@@ -1286,6 +1397,8 @@ impl<'a> Solver<'a> {
                         recv_node: None,
                         args,
                         what: None,
+                        dst: None,
+                        name_const: None,
                     }),
                 );
             }
@@ -1306,6 +1419,8 @@ impl<'a> Solver<'a> {
                         recv_node: None,
                         args,
                         what: None,
+                        dst: None,
+                        name_const: None,
                     }),
                 );
             }
@@ -1323,10 +1438,331 @@ impl<'a> Solver<'a> {
                         recv_node: None,
                         args,
                         what: None,
+                        dst: None,
+                        name_const: None,
                     }),
                 );
             }
         }
+    }
+
+    /// Policy-gated opaque ops: reflection and inter-component intent
+    /// dispatch. Under `ignore` every site is left unmodeled (the
+    /// pre-soundness-modes behavior, bit for bit). `resolve` consults
+    /// the resolve table — constant class-name strings against the
+    /// program's class list, intent targets against the manifest — and
+    /// `havoc` adds conservative fallbacks at sites the table cannot
+    /// discharge.
+    #[allow(clippy::too_many_arguments)]
+    fn process_opaque_op(
+        &mut self,
+        method: MethodId,
+        ctx: CtxId,
+        addr: StmtAddr,
+        site: CallSiteId,
+        dst: Option<Local>,
+        op: FrameworkOp,
+        receiver: Option<Local>,
+        args: Vec<Operand>,
+    ) {
+        use FrameworkOp::*;
+        if self.options.opaque_policy == OpaquePolicy::Ignore {
+            return;
+        }
+        let havoc = self.options.opaque_policy == OpaquePolicy::Havoc;
+        match op {
+            ClassForName => {
+                let Some(d) = dst else { return };
+                let action = self.ctxs.get(ctx).action;
+                let dn = self.var(method, ctx, d);
+                match self.const_class_arg(method, addr, args.first().copied()) {
+                    Some(target) => {
+                        let token = self.conjure(target, site, action);
+                        self.add_obj(dn, token);
+                        self.resolved_sites.insert(site);
+                    }
+                    None if havoc => {
+                        // Any manifest component could be the reflected
+                        // class: conjure a token per candidate so
+                        // type-compatible callbacks become reachable
+                        // through downstream flow.
+                        for target in self.manifest_components() {
+                            let token = self.conjure(target, site, action);
+                            self.add_obj(dn, token);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            ClassNewInstance => {
+                let Some(rn) = receiver.map(|r| self.var(method, ctx, r)) else {
+                    return;
+                };
+                self.add_pending(
+                    rn,
+                    Pending::Op(OpInfo {
+                        op,
+                        site,
+                        caller_method: method,
+                        caller_ctx: ctx,
+                        recv_node: Some(rn),
+                        args,
+                        what: None,
+                        dst,
+                        name_const: None,
+                    }),
+                );
+            }
+            MethodInvoke => {
+                // invoke(name, target): resolve the name constant here
+                // (statement addresses are unavailable later) and pend on
+                // the target-object argument.
+                let name_const = self.const_str_arg(method, addr, args.first().copied());
+                let Some(an) = args.get(1).and_then(|a| self.operand_node(method, ctx, *a)) else {
+                    return;
+                };
+                self.add_pending(
+                    an,
+                    Pending::Op(OpInfo {
+                        op,
+                        site,
+                        caller_method: method,
+                        caller_ctx: ctx,
+                        recv_node: None,
+                        args,
+                        what: None,
+                        dst,
+                        name_const,
+                    }),
+                );
+            }
+            IntentSetClass => {
+                // Pure binding marker: `intent_target` reads the bound
+                // class off the IR at the dispatch site. A constant
+                // binding means the site is table-resolved, not opaque.
+                if self
+                    .const_class_arg(method, addr, args.first().copied())
+                    .is_some()
+                {
+                    self.resolved_sites.insert(site);
+                }
+            }
+            StartActivity | SendBroadcast => {
+                match self.intent_target(method, addr, args.first().copied(), op) {
+                    Some(target) => {
+                        self.spawn_component(method, ctx, site, target, op);
+                        self.resolved_sites.insert(site);
+                    }
+                    None if havoc => {
+                        // Unknown target: launch every type-compatible
+                        // manifest component and smash the intent — its
+                        // contents escape to an unknown callee.
+                        let fallback = if op == StartActivity {
+                            self.harness.app.manifest.activities.clone()
+                        } else {
+                            self.harness.app.manifest.receivers.clone()
+                        };
+                        for target in fallback {
+                            self.spawn_component(method, ctx, site, target, op);
+                        }
+                        if let Some(an) = args
+                            .first()
+                            .and_then(|a| self.operand_node(method, ctx, *a))
+                        {
+                            self.add_pending(an, Pending::Havoc);
+                        }
+                    }
+                    None => {}
+                }
+            }
+            _ => unreachable!("not a policy-gated op: {op:?}"),
+        }
+    }
+
+    /// A constant string argument, via SCCP-lite local constant tracing.
+    fn const_str_arg(
+        &self,
+        method: MethodId,
+        addr: StmtAddr,
+        arg: Option<Operand>,
+    ) -> Option<apir::Symbol> {
+        let m = self.program.method(method);
+        match arg.and_then(|op| local_defs::resolve_const_operand(m, addr, op))? {
+            ConstValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A constant class-name argument resolved against the program's
+    /// class list — the string half of the resolve table.
+    fn const_class_arg(
+        &self,
+        method: MethodId,
+        addr: StmtAddr,
+        arg: Option<Operand>,
+    ) -> Option<ClassId> {
+        let sym = self.const_str_arg(method, addr, arg)?;
+        self.program.class_by_name(self.program.name(sym))
+    }
+
+    /// Every manifest-declared component class (the `havoc` fallback
+    /// candidate set for unresolved reflective lookups).
+    fn manifest_components(&self) -> Vec<ClassId> {
+        let m = &self.harness.app.manifest;
+        m.activities
+            .iter()
+            .chain(&m.receivers)
+            .chain(&m.services)
+            .copied()
+            .collect()
+    }
+
+    /// Mints a policy-conjured object and pins its allocating action.
+    fn conjure(&mut self, class: ClassId, site: CallSiteId, action: ActionId) -> ObjId {
+        let obj = self.objs.intern(ObjData::Conjured { class, site });
+        self.alloc_action.entry(obj).or_insert(action);
+        obj
+    }
+
+    /// The intent-dispatch half of the resolve table: traces the intent
+    /// operand to its allocation, finds the unique constant
+    /// `Intent.setClass` binding on the same allocation, and checks the
+    /// bound class is manifest-declared for the dispatch kind. Mirrors
+    /// the `message_what` origin-tracing discipline: any ambiguity
+    /// (no binding, conflicting bindings, non-constant name) is
+    /// unresolved.
+    fn intent_target(
+        &self,
+        method: MethodId,
+        addr: StmtAddr,
+        intent: Option<Operand>,
+        op: FrameworkOp,
+    ) -> Option<ClassId> {
+        let m = self.program.method(method);
+        let l = intent?.as_local()?;
+        let (origin_addr, _) = local_defs::find_value_origin(m, addr, l)?;
+        let mut found: Option<ClassId> = None;
+        for (saddr, stmt) in m.iter_stmts() {
+            let Stmt::Call {
+                callee,
+                receiver: Some(r),
+                args,
+                ..
+            } = stmt
+            else {
+                continue;
+            };
+            if *callee != self.fw.intent_set_class {
+                continue;
+            }
+            let Some((oaddr, _)) = local_defs::find_value_origin(m, saddr, *r) else {
+                continue;
+            };
+            if oaddr != origin_addr {
+                continue;
+            }
+            match args
+                .first()
+                .and_then(|a| local_defs::resolve_const_operand(m, saddr, *a))
+            {
+                Some(ConstValue::Str(s)) => {
+                    let class = self.program.class_by_name(self.program.name(s))?;
+                    if found.is_none() || found == Some(class) {
+                        found = Some(class);
+                    } else {
+                        return None;
+                    }
+                }
+                _ => return None,
+            }
+        }
+        let class = found?;
+        let manifest = &self.harness.app.manifest;
+        let declared = if op == FrameworkOp::StartActivity {
+            manifest.activities.contains(&class)
+        } else {
+            manifest.receivers.contains(&class)
+        };
+        declared.then_some(class)
+    }
+
+    /// Launches an intent target: mints the component's entry action
+    /// (`onCreate` for activities, `onReceive` for receivers) *within
+    /// the sender's harness*, conjures the component instance, and
+    /// analyzes the entry body under the new action — the solver-side
+    /// mirror of [`Solver::spawn`] for components without an allocation
+    /// site.
+    fn spawn_component(
+        &mut self,
+        method: MethodId,
+        ctx: CtxId,
+        site: CallSiteId,
+        target: ClassId,
+        op: FrameworkOp,
+    ) {
+        let (decl, kind) = if op == FrameworkOp::StartActivity {
+            (
+                self.fw.activity_on_create,
+                ActionKind::Lifecycle {
+                    event: android_model::LifecycleEvent::Create,
+                    instance: 0,
+                },
+            )
+        } else {
+            (self.fw.on_receive, ActionKind::Receive)
+        };
+        let Some(entry) = self.program.dispatch(target, decl) else {
+            return;
+        };
+        let cur = self.ctxs.get(ctx).action;
+        let harness = self.actions.action(cur).harness;
+        let recv = self.conjure(target, site, cur);
+        let (action, _) = self.actions.obtain(
+            harness,
+            kind,
+            Some(site),
+            None,
+            entry,
+            ThreadKind::Main,
+            Some(cur),
+        );
+        let rec = PostRecord {
+            poster: cur,
+            site,
+            posted: action,
+        };
+        if self.post_set.insert(rec) {
+            self.posts.push(rec);
+        }
+        if !self.program.method(entry).has_body() {
+            return;
+        }
+        let elems = self
+            .selector
+            .virtual_elems(&self.ctxs.get(ctx).elems, site, self.objs.get(recv))
+            .into_owned();
+        let tctx = self.ctxs.intern(CtxData { action, elems });
+        self.record_cg_edge(method, ctx, site, entry, tctx);
+        self.mark_reachable(entry, tctx);
+        let p0 = self.var(entry, tctx, Local(0));
+        self.add_obj(p0, recv);
+    }
+
+    /// Reflective method lookup: the named method with a body on the
+    /// receiver's class or its nearest superclass.
+    fn reflect_lookup(&self, recv_class: ClassId, name: apir::Symbol) -> Option<MethodId> {
+        let mut cur = Some(recv_class);
+        while let Some(c) = cur {
+            let class = self.program.class(c);
+            if let Some(&m) = class.methods.iter().find(|&&m| {
+                let mm = self.program.method(m);
+                mm.name == name && mm.has_body()
+            }) {
+                return Some(m);
+            }
+            cur = class.super_class;
+        }
+        None
     }
 
     /// Resolves a container index operand to its slot field: `idx0..idx7`
@@ -1432,6 +1868,11 @@ impl<'a> Solver<'a> {
                 }
             }
             Pending::Op(info) => self.resolve_op(info),
+            Pending::Havoc => {
+                for &o in delta {
+                    self.havoc_escaped.insert(o);
+                }
+            }
         }
     }
 
@@ -1556,7 +1997,7 @@ impl<'a> Solver<'a> {
                     None => Vec::new(),
                 }
             }
-            BindService => match info.args.get(1).and_then(|a| a.as_local()) {
+            BindService | MethodInvoke => match info.args.get(1).and_then(|a| a.as_local()) {
                 Some(l) => {
                     let n = self.var(info.caller_method, info.caller_ctx, l);
                     self.pts[n.0 as usize].iter().collect()
@@ -1726,6 +2167,58 @@ impl<'a> Solver<'a> {
                     Some(ThreadKind::Main),
                     false,
                 );
+            }
+            ClassNewInstance => {
+                // The receiver is a reflective class token; conjure an
+                // instance of the class it denotes. Ordinary virtual
+                // dispatch takes over from there.
+                let ObjData::Conjured { class, .. } = *self.objs.get(recv) else {
+                    return;
+                };
+                let Some(d) = info.dst else { return };
+                let inst = self.conjure(class, info.site, cur);
+                let dn = self.var(info.caller_method, info.caller_ctx, d);
+                self.add_obj(dn, inst);
+                self.resolved_sites.insert(info.site);
+            }
+            MethodInvoke => {
+                if arg == NO_OBJ {
+                    return;
+                }
+                let Some(name) = info.name_const else {
+                    // Unknown method name: under havoc the target object
+                    // escapes into the unknown callee.
+                    if self.options.opaque_policy == OpaquePolicy::Havoc {
+                        self.havoc_escaped.insert(arg);
+                    }
+                    return;
+                };
+                let recv_class = self.objs.get(arg).class();
+                let Some(target) = self.reflect_lookup(recv_class, name) else {
+                    if self.options.opaque_policy == OpaquePolicy::Havoc {
+                        self.havoc_escaped.insert(arg);
+                    }
+                    return;
+                };
+                let data = self.ctxs.get(info.caller_ctx);
+                let elems = self
+                    .selector
+                    .virtual_elems(&data.elems, info.site, self.objs.get(arg))
+                    .into_owned();
+                let tctx = self.ctxs.intern(CtxData { action: cur, elems });
+                self.record_cg_edge(info.caller_method, info.caller_ctx, info.site, target, tctx);
+                self.mark_reachable(target, tctx);
+                let p0 = self.var(target, tctx, Local(0));
+                self.add_obj(p0, arg);
+                if let Some(d) = info.dst {
+                    let ret = self.node(NodeKey::Ret {
+                        method: target,
+                        ctx: tctx,
+                    });
+                    let dn = self.var(info.caller_method, info.caller_ctx, d);
+                    self.add_edge(ret, dn);
+                }
+                self.resolved_sites.insert(info.site);
             }
             _ => {
                 let _ = harness;

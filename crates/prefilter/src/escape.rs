@@ -72,9 +72,18 @@ pub fn non_escaping_objects(program: &Program, analysis: &Analysis) -> HashSet<O
             let leaks = if analysis.is_opaque_call(m, ctx, *site) {
                 true
             } else {
-                analysis.cg_edges[&(m, ctx, *site)]
-                    .iter()
-                    .any(|&(_, callee_ctx)| analysis.action_of(callee_ctx) != action)
+                // A policy-resolved site may carry no call edge at all
+                // (`Class.forName` minting a token, `Intent.setClass`
+                // binding a target): nothing crosses actions there, so
+                // it is no longer an opaque-leak channel.
+                analysis
+                    .cg_edges
+                    .get(&(m, ctx, *site))
+                    .is_some_and(|callees| {
+                        callees
+                            .iter()
+                            .any(|&(_, callee_ctx)| analysis.action_of(callee_ctx) != action)
+                    })
             };
             if !leaks {
                 continue;
